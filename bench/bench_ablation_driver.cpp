@@ -1,0 +1,73 @@
+// Ablation: the driver optimizations the paper calls out in §6-§7 —
+// prologue memoization of device instructions and request batching.
+// Measures the dialogue iteration latency of a reaction that updates table
+// entries, with each optimization disabled in turn.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace mantis;
+
+const char* kSrc = R"P4R(
+header_type h_t { fields { k : 32; } }
+header h_t h;
+action fwd(p) { modify_field(standard_metadata.egress_spec, p); }
+malleable table mt { reads { h.k : exact; } actions { fwd; } size : 128; }
+control ingress { apply(mt); }
+control egress { }
+reaction rx(ing h.k) { }
+)P4R";
+
+double iteration_latency_us(bool memoization, bool batching, int mods) {
+  driver::DriverOptions dopts;
+  dopts.enable_memoization = memoization;
+  dopts.enable_batching = batching;
+  bench::Stack stack(kSrc, {}, {}, dopts);
+
+  std::vector<agent::UserEntryId> ids;
+  stack.agent->run_prologue([&](agent::ReactionContext& ctx) {
+    for (int i = 0; i < mods; ++i) {
+      p4::EntrySpec spec;
+      spec.key = {{static_cast<std::uint64_t>(i), ~std::uint64_t{0}}};
+      spec.action = "fwd";
+      spec.action_args = {1};
+      ids.push_back(ctx.add_entry("mt", spec));
+    }
+  });
+  std::uint64_t round = 0;
+  stack.agent->set_native_reaction("rx", [&](agent::ReactionContext& ctx) {
+    ++round;
+    for (const auto id : ids) {
+      ctx.mod_entry("mt", id, "fwd", {1 + (round % 4)});
+    }
+  });
+  stack.agent->run_dialogue(20);
+  // Skip the first (cold) iterations when judging the steady state.
+  Samples steady;
+  const auto& all = stack.agent->iteration_latencies().values();
+  for (std::size_t i = 5; i < all.size(); ++i) steady.add(all[i]);
+  return steady.median() / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: driver memoization + batching (steady-state dialogue "
+      "latency, reaction modifies N user entries/iteration)");
+  bench::print_row({"N_mods", "full_us", "no_memo_us", "no_batch_us",
+                    "neither_us"});
+  for (const int mods : {1, 4, 16}) {
+    bench::print_row({std::to_string(mods),
+                      bench::fmt(iteration_latency_us(true, true, mods), 1),
+                      bench::fmt(iteration_latency_us(false, true, mods), 1),
+                      bench::fmt(iteration_latency_us(true, false, mods), 1),
+                      bench::fmt(iteration_latency_us(false, false, mods), 1)});
+  }
+  std::printf(
+      "\nMemoization removes the cold driver-instruction cost from every\n"
+      "repeated op; batching amortizes the PCIe round trip across the\n"
+      "prepare and mirror groups. Both are load-bearing for the paper's\n"
+      "10s-of-us claim once reactions touch more than a couple of entries.\n");
+  return 0;
+}

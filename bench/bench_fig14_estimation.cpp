@@ -1,0 +1,144 @@
+// Figure 14: average flow-size estimation error of Mantis vs the baselines:
+// sFlow (1:30000 sampling), a data-plane exact hash table, and a 2-stage
+// count-min sketch at 8K and 16K entries.
+//
+// Workload: a synthetic CAIDA-like trace (Zipf flow sizes; DESIGN.md
+// documents the substitution). Mantis runs on the full stack: the trace is
+// replayed into the simulated switch while the DoS reaction's estimation
+// loop attributes total-byte-counter deltas to the last-seen source at its
+// natural dialogue rate (~1-in-N packet sampling). The baselines consume the
+// same trace offline, as pure algorithms — exactly what they are.
+//
+// Expected shape (paper): Mantis beats sFlow by orders of magnitude; data
+// plane structures are comparable for elephants but orders of magnitude
+// worse for mice (collision error vs bounded sampling error).
+#include "apps/dos_mitigation.hpp"
+#include "baseline/count_min.hpp"
+#include "baseline/dp_hashtable.hpp"
+#include "baseline/sflow.hpp"
+#include "bench_util.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace {
+
+using namespace mantis;
+
+struct BucketStats {
+  double err_sum = 0;
+  int n = 0;
+  void add(double e) {
+    err_sum += e;
+    ++n;
+  }
+  double avg() const { return n == 0 ? 0.0 : err_sum / n; }
+};
+
+double rel_error(std::uint64_t est, std::uint64_t truth) {
+  return std::abs(static_cast<double>(est) - static_cast<double>(truth)) /
+         static_cast<double>(truth);
+}
+
+}  // namespace
+
+int main() {
+  workload::TraceConfig cfg;
+  cfg.num_flows = 20'000;
+  cfg.num_packets = 250'000;
+  // Replay pace chosen so the dialogue loop lands at the paper's ~1-in-5
+  // packet sampling (tcpreplay pacing played the same role on the testbed).
+  cfg.duration_s = 0.6;
+  cfg.zipf_skew = 1.05;
+  const auto trace = workload::generate_trace(cfg);
+
+  // ---- Mantis on the full stack -------------------------------------------
+  bench::Stack stack(apps::dos_p4r_source());
+  auto state = std::make_shared<apps::DosState>();
+  apps::DosConfig dos_cfg;
+  dos_cfg.block_threshold_gbps = 1e9;  // estimation only: never block
+  stack.agent->set_native_reaction("dos_react",
+                                   apps::make_dos_reaction(state, dos_cfg));
+  stack.agent->run_prologue(
+      [&](agent::ReactionContext& ctx) { apps::install_dos_routes(ctx, 8); });
+
+  const Time t0 = stack.loop.now();
+  for (const auto& pkt : trace.packets) {
+    stack.loop.schedule_at(t0 + pkt.t, [&stack, &pkt] {
+      auto p = stack.sw->factory().make(pkt.bytes);
+      stack.sw->factory().set(p, "ipv4.srcAddr", pkt.src_ip);
+      stack.sw->factory().set(p, "ipv4.dstAddr", pkt.dst_ip);
+      stack.sw->inject(std::move(p), 0);
+    });
+  }
+  const Time end = t0 + static_cast<Time>(cfg.duration_s * 1e9) + kMillisecond;
+  stack.agent->run_dialogue_until(end);
+  stack.loop.run();
+
+  const double sample_rate =
+      static_cast<double>(state->samples_attributed) /
+      static_cast<double>(trace.packets.size());
+  std::printf("Mantis dialogue iterations: %llu (~1 in %.1f packets sampled)\n",
+              static_cast<unsigned long long>(stack.agent->iterations()),
+              1.0 / sample_rate);
+
+  // ---- Baselines over the same trace --------------------------------------
+  baseline::SflowEstimator sflow(30'000);
+  baseline::DpHashTable ht8k(8192), ht16k(16384);
+  baseline::CountMinSketch cms8k(2, 8192), cms16k(2, 16384);
+  for (const auto& pkt : trace.packets) {
+    sflow.observe(pkt.src_ip, pkt.bytes);
+    ht8k.add(pkt.src_ip, pkt.bytes);
+    ht16k.add(pkt.src_ip, pkt.bytes);
+    cms8k.add(pkt.src_ip, pkt.bytes);
+    cms16k.add(pkt.src_ip, pkt.bytes);
+  }
+
+  // ---- Error by flow-size bucket -------------------------------------------
+  struct Estimator {
+    std::string name;
+    std::function<std::uint64_t(std::uint32_t)> estimate;
+  };
+  const std::vector<Estimator> estimators = {
+      {"mantis", [&](std::uint32_t s) { return state->estimate(s); }},
+      {"sflow_1:30k", [&](std::uint32_t s) { return sflow.estimate(s); }},
+      {"hashtbl_8k", [&](std::uint32_t s) { return ht8k.estimate(s); }},
+      {"hashtbl_16k", [&](std::uint32_t s) { return ht16k.estimate(s); }},
+      {"cms_8k", [&](std::uint32_t s) { return cms8k.estimate(s); }},
+      {"cms_16k", [&](std::uint32_t s) { return cms16k.estimate(s); }},
+  };
+
+  const std::vector<std::pair<std::string, std::uint64_t>> buckets = {
+      {"<2KB", 2'000},
+      {"2-20KB", 20'000},
+      {"20-200KB", 200'000},
+      {"0.2-2MB", 2'000'000},
+      {">2MB", ~std::uint64_t{0}},
+  };
+
+  bench::print_header("Figure 14: avg relative estimation error by flow size");
+  std::vector<std::string> header = {"bucket", "flows"};
+  for (const auto& est : estimators) header.push_back(est.name);
+  bench::print_row(header, 13);
+
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t lo = b == 0 ? 0 : buckets[b - 1].second;
+    const std::uint64_t hi = buckets[b].second;
+    std::vector<BucketStats> stats(estimators.size());
+    int flows = 0;
+    for (const auto& [src, truth] : trace.bytes_per_src) {
+      if (truth < lo || truth >= hi) continue;
+      ++flows;
+      for (std::size_t e = 0; e < estimators.size(); ++e) {
+        stats[e].add(rel_error(estimators[e].estimate(src), truth));
+      }
+    }
+    std::vector<std::string> row = {buckets[b].first, std::to_string(flows)};
+    for (const auto& s : stats) row.push_back(bench::fmt(s.avg(), 3));
+    bench::print_row(row, 13);
+  }
+
+  std::printf(
+      "\nShape check (paper Fig 14): mantis << sflow everywhere; mantis\n"
+      "comparable to DP structures for big flows and far better for small\n"
+      "flows, where collisions misattribute arbitrarily many bytes.\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Figure 15: aggregate throughput of legitimate flows around a DoS flood.
+//
+// 250 AIMD flows (S_1..S_250) utilize ~20% of a 10 Gbps bottleneck toward D.
+// At t_attack, S_0 blasts UDP at 25 Gbps. The Mantis DoS reaction detects the
+// hostile sender from its estimated rate and installs a drop rule through the
+// serializable update protocol; the paper observes the rule ~100us after the
+// first hostile packet and benign recovery within ~500us.
+#include "apps/dos_mitigation.hpp"
+#include "baseline/legacy_controller.hpp"
+#include "bench_util.hpp"
+#include "workload/fluid_tcp.hpp"
+#include "workload/udp_flood.hpp"
+
+namespace {
+
+using namespace mantis;
+
+/// The comparison point: a traditional control plane that polls the raw
+/// total-byte counter and last-seen source every 10ms (OpenFlow-style
+/// cadence) and installs the drop rule through ordinary driver calls.
+/// Returns the mitigation delay after the first hostile packet.
+Duration run_traditional_defense() {
+  sim::SwitchConfig sw_cfg;
+  sw_cfg.port_gbps = 10.0;
+  sw_cfg.queue_capacity_bytes = 150 * 1500;
+  bench::Stack stack(apps::dos_p4r_source(), sw_cfg);
+  stack.agent->run_prologue(
+      [&](agent::ReactionContext& ctx) { apps::install_dos_routes(ctx, 1); });
+  // No dialogue loop: only the slow poller reacts.
+
+  workload::UdpFloodConfig atk;
+  atk.src_ip = 0x0a0000aa;
+  atk.dst_ip = 0xc0a80000;
+  atk.in_port = 30;
+  atk.rate_gbps = 25.0;
+  atk.start_at = 10 * kMillisecond;
+  workload::UdpFloodSource flood(*stack.sw, atk);
+  const Time horizon = 120 * kMillisecond;
+  flood.start(horizon);
+
+  // The traditional poller reads the raw counter + the last-seen source
+  // register (no isolation) and applies the same 1 Gbps/100us policy.
+  Time blocked_at = -1;
+  std::uint64_t last_total = 0;
+  std::map<std::uint32_t, std::pair<Time, std::uint64_t>> flows;
+  baseline::SlowPollerConfig cfg;
+  cfg.reg = "total_bytes_r";
+  cfg.lo = 0;
+  cfg.hi = 0;
+  cfg.period = 10 * kMillisecond;
+  baseline::SlowPoller poller(
+      *stack.drv, cfg,
+      [&](Time now, const std::vector<std::uint64_t>& values) {
+        if (blocked_at >= 0) return;
+        const std::uint64_t total = values[0];
+        const std::uint64_t delta = total - last_total;
+        last_total = total;
+        // Raw (unisolated) read of the last-seen source.
+        const auto* rinfo = stack.artifacts.bindings.find_reaction("dos_react");
+        const auto src = static_cast<std::uint32_t>(
+            stack.sw->registers().read(rinfo->measure_regs[0], 0));
+        if (src == 0) return;
+        auto& [first_seen, bytes] = flows[src];
+        if (first_seen == 0) first_seen = now;
+        bytes += delta;
+        const double age_us = to_us(now - first_seen);
+        if (age_us > 100 &&
+            static_cast<double>(bytes) * 8.0 / (age_us * 1000.0) > 1.0) {
+          auto ctx = stack.agent->management_context();
+          p4::EntrySpec spec;
+          spec.key = {{src, ~std::uint64_t{0}}};
+          spec.action = "_drop";
+          ctx.add_entry("block", spec);
+          blocked_at = stack.sw->loop().now();
+        }
+      });
+  poller.start(horizon);
+  stack.loop.run();
+  return blocked_at < 0 ? -1 : blocked_at - flood.first_packet_at();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mantis;
+
+  sim::SwitchConfig sw_cfg;
+  sw_cfg.num_ports = 32;
+  sw_cfg.port_gbps = 10.0;  // the bottleneck link toward D is port 1
+  sw_cfg.queue_capacity_bytes = 150 * 1500;
+  bench::Stack stack(apps::dos_p4r_source(), sw_cfg);
+
+  auto state = std::make_shared<apps::DosState>();
+  apps::DosConfig dos_cfg;
+  dos_cfg.block_threshold_gbps = 1.0;
+  dos_cfg.min_age_us = 100;
+  Time blocked_at = -1;
+  std::uint32_t blocked_src = 0;
+  state->on_block = [&](std::uint32_t src, Time t) {
+    if (blocked_at < 0) {
+      blocked_at = t;
+      blocked_src = src;
+    }
+  };
+  stack.agent->set_native_reaction("dos_react",
+                                   apps::make_dos_reaction(state, dos_cfg));
+  stack.agent->run_prologue(
+      [&](agent::ReactionContext& ctx) { apps::install_dos_routes(ctx, 1); });
+
+  // 250 legitimate AIMD flows at ~8 Mbps each (~20% of 10G aggregate).
+  constexpr int kFlows = 250;
+  std::vector<std::unique_ptr<workload::FluidTcpFlow>> flows;
+  const Time horizon = 30 * kMillisecond;
+  for (int i = 0; i < kFlows; ++i) {
+    workload::FluidTcpConfig cfg;
+    cfg.src_ip = 0x0a000100 + static_cast<std::uint32_t>(i);
+    cfg.dst_ip = 0xc0a80000;  // D, routed to port 1
+    cfg.in_port = 2 + (i % 24);
+    cfg.init_rate_gbps = 0.008;
+    cfg.min_rate_gbps = 0.002;
+    cfg.max_rate_gbps = 0.012;  // application-limited, like the paper's flows
+    cfg.additive_gbps = 0.002;
+    cfg.rtt = 100 * kMicrosecond;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(i);
+    flows.push_back(std::make_unique<workload::FluidTcpFlow>(*stack.sw, cfg));
+  }
+
+  // Per-100us goodput bins for the timeline.
+  const Duration bin = 100 * kMicrosecond;
+  std::vector<std::uint64_t> legit_bytes(
+      static_cast<std::size_t>(horizon / bin) + 2, 0);
+  stack.sw->set_on_transmit([&](const sim::Packet& pkt, int port, Time t) {
+    for (auto& f : flows) f->on_transmit(pkt);
+    if (port != 1) return;
+    const auto src = stack.sw->factory().get(pkt, "ipv4.srcAddr");
+    const auto slot = static_cast<std::size_t>(t / bin);
+    if (src >= 0x0a000100 && src < 0x0a000100 + kFlows &&
+        slot < legit_bytes.size()) {
+      legit_bytes[slot] += pkt.length_bytes();
+    }
+  });
+  // Stagger flow starts across the first 2ms (they are independent senders,
+  // not a synchronized burst).
+  Rng start_rng(7);
+  const Time base = stack.loop.now();
+  for (auto& f : flows) {
+    const Time at =
+        base + static_cast<Time>(start_rng.uniform(2000)) * kMicrosecond;
+    stack.loop.schedule_at(at, [&f, horizon] { f->start(horizon); });
+  }
+
+  // The attacker: 25 Gbps UDP starting at t = 10ms.
+  workload::UdpFloodConfig atk;
+  atk.src_ip = 0x0a0000aa;
+  atk.dst_ip = 0xc0a80000;
+  atk.in_port = 30;
+  atk.rate_gbps = 25.0;
+  atk.start_at = 10 * kMillisecond;
+  workload::UdpFloodSource flood(*stack.sw, atk);
+  flood.start(horizon);
+
+  stack.agent->run_dialogue_until(horizon);
+  stack.loop.run();
+
+  bench::print_header("Figure 15: aggregate legitimate goodput timeline");
+  bench::print_row({"t_ms", "legit_gbps"});
+  for (std::size_t b = 0; b < legit_bytes.size(); ++b) {
+    const double gbps = static_cast<double>(legit_bytes[b]) * 8.0 /
+                        static_cast<double>(bin);
+    // Print a decimated timeline plus full resolution around the attack.
+    const Time t = static_cast<Time>(b) * bin;
+    const bool dense = t >= 9500 * kMicrosecond && t <= 13 * kMillisecond;
+    if (dense || b % 10 == 0) {
+      bench::print_row({bench::fmt(to_ms(t), 2), bench::fmt(gbps, 3)});
+    }
+  }
+
+  bench::print_header("mitigation summary");
+  std::printf("first hostile packet at: %.3f ms\n", to_ms(flood.first_packet_at()));
+  if (blocked_at >= 0) {
+    std::printf("drop rule buffered at:   %.3f ms (src 0x%x)\n",
+                to_ms(blocked_at), blocked_src);
+    std::printf("detection-to-rule time:  %.1f us (paper: ~100 us)\n",
+                to_us(blocked_at - flood.first_packet_at()));
+  } else {
+    std::printf("ATTACKER NEVER BLOCKED\n");
+  }
+  std::printf("attacker packets sent: %llu\n",
+              static_cast<unsigned long long>(flood.sent()));
+
+  const Duration traditional = run_traditional_defense();
+  if (traditional >= 0) {
+    std::printf(
+        "\ntraditional control plane (10ms polls): mitigation after %.1f ms\n"
+        "-> Mantis reacts ~%.0fx faster (paper: orders of magnitude, cf. "
+        "Poseidon)\n",
+        to_ms(traditional),
+        blocked_at >= 0 ? static_cast<double>(traditional) /
+                              static_cast<double>(blocked_at -
+                                                  flood.first_packet_at())
+                        : 0.0);
+  } else {
+    std::printf("\ntraditional control plane: attacker NEVER blocked within "
+                "the horizon\n");
+  }
+  return 0;
+}

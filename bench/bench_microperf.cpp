@@ -1,0 +1,140 @@
+// Host-side performance microbenchmarks (real time, google-benchmark):
+// how fast the library itself executes — table lookups, packet pipeline
+// traversals, reaction interpretation, end-to-end frontend+compile. These
+// gate the simulator's usefulness for large experiments (Fig 14 replays
+// hundreds of thousands of packets).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "p4r/creact/cparser.hpp"
+#include "p4r/creact/interp.hpp"
+#include "p4r/lexer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mantis;
+
+const char* kFwdSrc = R"P4R(
+header_type h_t { fields { k : 32; tag : 16; } }
+header h_t h;
+action mark(v) { modify_field(h.tag, v); }
+action fwd(p) { modify_field(standard_metadata.egress_spec, p); }
+table acl { reads { h.k : ternary; } actions { mark; } size : 256; }
+table route { reads { h.k : exact; } actions { fwd; } default_action : fwd(1); size : 1024; }
+control ingress { apply(acl); apply(route); }
+control egress { }
+)P4R";
+
+void BM_ExactTableLookup(benchmark::State& state) {
+  bench::Stack stack(kFwdSrc);
+  auto& tbl = stack.sw->table("route");
+  Rng rng(1);
+  for (int i = 0; i < 512; ++i) {
+    p4::EntrySpec spec;
+    spec.key = {{static_cast<std::uint64_t>(i), ~std::uint64_t{0}}};
+    spec.action = "fwd";
+    spec.action_args = {2};
+    tbl.add_entry(spec);
+  }
+  auto pkt = stack.sw->factory().make();
+  const auto f = stack.artifacts.prog.fields.require("h.k");
+  for (auto _ : state) {
+    pkt.set(f, rng.uniform(1024), 32);
+    benchmark::DoNotOptimize(tbl.lookup(pkt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExactTableLookup);
+
+void BM_TernaryTableScan(benchmark::State& state) {
+  bench::Stack stack(kFwdSrc);
+  auto& tbl = stack.sw->table("acl");
+  for (int i = 0; i < state.range(0); ++i) {
+    p4::EntrySpec spec;
+    spec.key = {{static_cast<std::uint64_t>(i) << 8, 0xff00}};
+    spec.action = "mark";
+    spec.action_args = {1};
+    spec.priority = i;
+    tbl.add_entry(spec);
+  }
+  auto pkt = stack.sw->factory().make();
+  const auto f = stack.artifacts.prog.fields.require("h.k");
+  Rng rng(2);
+  for (auto _ : state) {
+    pkt.set(f, rng.uniform(1u << 16), 32);
+    benchmark::DoNotOptimize(tbl.lookup(pkt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TernaryTableScan)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PacketThroughSwitch(benchmark::State& state) {
+  bench::Stack stack(kFwdSrc);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto pkt = stack.sw->factory().make();
+    stack.sw->factory().set(pkt, "h.k", rng.uniform(1024));
+    stack.sw->inject(std::move(pkt), 0);
+    stack.loop.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketThroughSwitch);
+
+void BM_InterpretedMadReaction(benchmark::State& state) {
+  // The hash-polarization MAD body: a realistic interpreted workload.
+  auto toks = p4r::lex(R"(
+static uint64_t last[8];
+uint64_t loads[8];
+uint64_t total = 0;
+for (int p = 0; p < 8; ++p) {
+  loads[p] = counts[p] - last[p];
+  last[p] = counts[p];
+  total = total + loads[p];
+}
+uint64_t sorted[8];
+for (int i = 0; i < 8; ++i) sorted[i] = loads[i];
+for (int i = 1; i < 8; ++i) {
+  uint64_t key = sorted[i];
+  int j = i - 1;
+  while (j >= 0 && sorted[j] > key) { sorted[j + 1] = sorted[j]; j = j - 1; }
+  sorted[j + 1] = key;
+}
+${out} = (sorted[3] + sorted[4]) / 2;
+)");
+  toks.pop_back();
+  const auto body = p4r::creact::parse_body(toks);
+  p4r::creact::Interp interp(body);
+  struct Env : p4r::creact::ReactionEnv {
+    p4r::creact::CValue v = 0;
+    p4r::creact::CValue mbl_get(const std::string&) override { return v; }
+    void mbl_set(const std::string&, p4r::creact::CValue x) override { v = x; }
+    p4r::creact::CValue table_call(
+        const std::string&, const std::string&,
+        const std::vector<p4r::creact::TableCallArg>&) override {
+      return 0;
+    }
+  } env;
+  p4r::creact::PolledParams params;
+  p4r::creact::PolledParams::Array arr;
+  arr.lo = 0;
+  arr.values = {5, 9, 2, 7, 7, 3, 8, 1};
+  params.arrays["counts"] = arr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.run(params, env));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InterpretedMadReaction);
+
+void BM_FrontendAndCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile::compile_source(kFwdSrc));
+  }
+}
+BENCHMARK(BM_FrontendAndCompile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

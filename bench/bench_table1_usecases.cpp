@@ -1,0 +1,122 @@
+// Table 1: per-use-case footprint — malleable counts, lines of code, control
+// flow (stages/tables/registers), and memory (SRAM/TCAM/metadata), measured
+// as the marginal increase over a basic router, exactly as the paper frames
+// it. All numbers come from the real compiler + stage allocator output.
+#include <sstream>
+
+#include "apps/dos_mitigation.hpp"
+#include "apps/gray_failure.hpp"
+#include "apps/hash_polarization.hpp"
+#include "apps/rl_dctcp.hpp"
+#include "bench_util.hpp"
+#include "p4/alloc/stage_alloc.hpp"
+#include "p4/resources.hpp"
+
+namespace {
+
+using namespace mantis;
+
+/// The "basic router" baseline the paper subtracts: one exact route table.
+const char* kBasicRouter = R"P4R(
+header_type ipv4_t {
+  fields { srcAddr : 32; dstAddr : 32; totalLen : 16; protocol : 8; ecn : 1; }
+}
+header ipv4_t ipv4;
+action set_egress(port) { modify_field(standard_metadata.egress_spec, port); }
+table route {
+  reads { ipv4.dstAddr : exact; }
+  actions { set_egress; }
+  default_action : set_egress(1);
+  size : 256;
+}
+control ingress { apply(route); }
+control egress { }
+)P4R";
+
+int count_lines(const std::string& s) {
+  int lines = 0;
+  bool non_empty = false;
+  for (const char c : s) {
+    if (c == '\n') {
+      if (non_empty) ++lines;
+      non_empty = false;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      non_empty = true;
+    }
+  }
+  return lines + (non_empty ? 1 : 0);
+}
+
+struct Row {
+  std::string name;
+  std::size_t vals = 0, flds = 0, tbls_mbl = 0;
+  int loc_p4r = 0, loc_p4 = 0;
+  int stages = 0;
+  std::size_t tables = 0, registers = 0;
+  std::uint64_t sram_kb = 0, tcam_b = 0, metadata_bits = 0;
+};
+
+Row measure(const std::string& name, const std::string& src,
+            const p4::ResourceSummary& base, const p4::ProgramStages& base_stages) {
+  const auto analyzed = p4r::frontend(src);
+  const auto art = compile::compile(analyzed);
+
+  Row row;
+  row.name = name;
+  row.vals = analyzed.values.size();
+  row.flds = analyzed.fields.size();
+  row.tbls_mbl = analyzed.malleable_tables.size();
+  row.loc_p4r = count_lines(src);
+  row.loc_p4 = count_lines(art.p4_source);
+
+  const auto res = compute_resources(art.prog);
+  const auto marg = marginal(res, base);
+  p4::StageModel model;
+  const auto stages = p4::allocate_program_stages(art.prog, model);
+  row.stages = std::max(0, stages.total() - base_stages.total());
+  row.tables = marg.num_tables;
+  row.registers = marg.num_registers;
+  row.sram_kb = (marg.table_sram_bits + marg.register_sram_bits) / 8 / 1024;
+  row.tcam_b = marg.table_tcam_bits / 8;
+  row.metadata_bits = marg.metadata_bits;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const auto base_art = compile::compile_source(kBasicRouter);
+  const auto base = p4::compute_resources(base_art.prog);
+  const auto base_stages = p4::allocate_program_stages(base_art.prog);
+
+  std::vector<Row> rows = {
+      measure("dos", apps::dos_p4r_source(), base, base_stages),
+      measure("grayfail", apps::gray_failure_p4r_source(), base, base_stages),
+      measure("hashpol", apps::hash_polarization_p4r_source(), base,
+              base_stages),
+      measure("rl", apps::rl_dctcp_p4r_source(), base, base_stages),
+  };
+
+  mantis::bench::print_header(
+      "Table 1: use-case footprint (marginal over a basic router)");
+  mantis::bench::print_row({"example", "val", "fld", "tbl", "LoC_P4R", "LoC_P4",
+                            "Stgs", "Tbls", "Regs", "SRAM_KB", "TCAM_B",
+                            "Meta_b"},
+                           10);
+  for (const auto& r : rows) {
+    mantis::bench::print_row(
+        {r.name, std::to_string(r.vals), std::to_string(r.flds),
+         std::to_string(r.tbls_mbl), std::to_string(r.loc_p4r),
+         std::to_string(r.loc_p4), std::to_string(r.stages),
+         std::to_string(r.tables), std::to_string(r.registers),
+         std::to_string(r.sram_kb), std::to_string(r.tcam_b),
+         std::to_string(r.metadata_bits)},
+        10);
+  }
+  std::printf(
+      "\nColumns mirror the paper's Table 1: malleable value/field/table\n"
+      "counts, P4R vs generated-P4 lines, marginal stages/tables/registers\n"
+      "and memory. (Absolute values differ from the Tofino backend; the\n"
+      "ordering and orders of magnitude are the comparable signal.)\n");
+  return 0;
+}

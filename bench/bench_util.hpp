@@ -1,0 +1,55 @@
+// Shared helpers for the benchmark/experiment binaries. Each bench binary
+// regenerates one table or figure from the paper's evaluation (§8), printing
+// paper-style rows computed over virtual time. EXPERIMENTS.md records the
+// outputs next to the paper's numbers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "compile/compiler.hpp"
+#include "driver/driver.hpp"
+#include "sim/switch.hpp"
+
+namespace mantis::bench {
+
+/// Full stack bundle (mirrors tests/helpers.hpp, duplicated to keep the
+/// bench tree self-contained).
+struct Stack {
+  compile::Artifacts artifacts;
+  sim::EventLoop loop;
+  std::unique_ptr<sim::Switch> sw;
+  std::unique_ptr<driver::Driver> drv;
+  std::unique_ptr<agent::Agent> agent;
+
+  explicit Stack(const std::string& p4r_source, sim::SwitchConfig sw_cfg = {},
+                 agent::AgentOptions agent_opts = {},
+                 driver::DriverOptions drv_opts = {},
+                 compile::Options compile_opts = {}) {
+    artifacts = compile::compile_source(p4r_source, compile_opts);
+    sw = std::make_unique<sim::Switch>(loop, artifacts.prog, sw_cfg);
+    drv = std::make_unique<driver::Driver>(*sw, drv_opts);
+    agent = std::make_unique<agent::Agent>(*drv, artifacts, agent_opts);
+  }
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_us(Duration d) { return fmt(to_us(d), 2); }
+
+}  // namespace mantis::bench

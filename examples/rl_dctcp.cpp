@@ -1,0 +1,91 @@
+// Example: reinforcement learning over the reaction loop (use case #4,
+// §8.3.4). The DCTCP ECN marking threshold is a malleable value; the
+// reaction runs epsilon-greedy tabular Q-learning over (utilization, queue
+// depth) states, rewarded for utilization minus queue length, while DCTCP
+// flows respond to the marks.
+//
+//   $ ./example_rl_dctcp
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "apps/rl_dctcp.hpp"
+#include "compile/compiler.hpp"
+#include "driver/driver.hpp"
+#include "sim/switch.hpp"
+#include "workload/fluid_tcp.hpp"
+
+int main() {
+  using namespace mantis;
+
+  const auto artifacts = compile::compile_source(apps::rl_dctcp_p4r_source());
+  sim::EventLoop loop;
+  sim::SwitchConfig cfg;
+  cfg.port_gbps = 10.0;
+  cfg.queue_capacity_bytes = 200 * 1500;
+  sim::Switch sw(loop, artifacts.prog, cfg);
+  driver::Driver drv(sw);
+  agent::Agent agent(drv, artifacts);
+
+  auto state = std::make_shared<apps::RlState>();
+  state->cfg.link_gbps = 10.0;
+  state->cfg.epsilon = 0.1;
+  state->cfg.step_interval = 200 * kMicrosecond;  // one RL step per ~20 loops
+  agent.set_native_reaction("rl_react", apps::make_rl_reaction(state));
+  agent.run_prologue();
+
+  // DCTCP senders toward the bottleneck.
+  const Time horizon = 80 * kMillisecond;
+  std::vector<std::unique_ptr<workload::FluidTcpFlow>> flows;
+  for (int i = 0; i < 8; ++i) {
+    workload::FluidTcpConfig fc;
+    fc.src_ip = 0x0a000200 + static_cast<std::uint32_t>(i);
+    fc.dst_ip = 0xc0a80000;
+    fc.in_port = 2 + i;
+    fc.init_rate_gbps = 0.5;
+    fc.max_rate_gbps = 3.0;
+    fc.additive_gbps = 0.1;
+    fc.rtt = 200 * kMicrosecond;
+    fc.dctcp = true;
+    fc.seed = 900 + static_cast<std::uint64_t>(i);
+    flows.push_back(std::make_unique<workload::FluidTcpFlow>(sw, fc));
+  }
+  sw.set_on_transmit([&](const sim::Packet& pkt, int, Time) {
+    for (auto& f : flows) f->on_transmit(pkt);
+  });
+  // The route table default forwards to port 1 (the bottleneck).
+  for (auto& f : flows) f->start(horizon);
+
+  std::printf("RL steps (reward = utilization - queue penalty):\n");
+  double window_reward = 0;
+  int window_n = 0;
+  state->on_step = [&](int action, double reward) {
+    window_reward += reward;
+    if (++window_n == 40) {
+      std::printf("  steps %4llu..%4llu: avg reward %+.3f, current threshold %llu pkts\n",
+                  static_cast<unsigned long long>(state->steps - 39),
+                  static_cast<unsigned long long>(state->steps),
+                  window_reward / window_n,
+                  static_cast<unsigned long long>(
+                      state->cfg.thresholds[static_cast<std::size_t>(action)]));
+      window_reward = 0;
+      window_n = 0;
+    }
+  };
+
+  agent.run_dialogue_until(horizon);
+  loop.run();
+
+  const auto& hist = state->reward_history;
+  const std::size_t q = hist.size() / 4;
+  double early = 0, late = 0;
+  for (std::size_t i = 0; i < q; ++i) early += hist[i];
+  for (std::size_t i = hist.size() - q; i < hist.size(); ++i) late += hist[i];
+  std::printf("\nRL steps: %llu; avg reward first quartile %+.3f -> last "
+              "quartile %+.3f\n",
+              static_cast<unsigned long long>(state->steps), early / q, late / q);
+  std::printf("learned ECN threshold now: %llu packets\n",
+              static_cast<unsigned long long>(agent.scalar("ecn_thresh")));
+  return 0;
+}

@@ -1,0 +1,205 @@
+// The Mantis control-plane agent (paper §6).
+//
+// Runs the prologue (initial entries, memoization, user init) and then the
+// dialogue loop, each iteration of which is:
+//
+//   updateTable(memo, "p4r_init_", {measure_ver : mv ^ 1});
+//   read_measurements(memo, mv); mv ^= 1;
+//   run_user_reaction(memo, helper_state, vv ^ 1);
+//   updateTable(memo, "p4r_init_", {config_ver : vv ^ 1});
+//   fill_shadow_tables(memo, vv); vv ^= 1;
+//
+// Reactions can be native C++ callables or interpreted bodies extracted from
+// the .p4r source (the reproduction's analogue of the dlopen'd .so, including
+// hot swap between iterations). All latencies are virtual time, so the
+// iteration granularity is directly comparable to the paper's Figures 10-12.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agent/handles.hpp"
+#include "agent/measurement.hpp"
+#include "agent/update_protocol.hpp"
+#include "compile/compiler.hpp"
+#include "driver/driver.hpp"
+#include "p4r/creact/cparser.hpp"
+#include "p4r/creact/interp.hpp"
+#include "util/stats.hpp"
+
+namespace mantis::agent {
+
+struct AgentOptions {
+  /// Virtual `nanosleep` between iterations; trades reaction time for CPU
+  /// utilization (paper Fig 11). 0 = busy loop.
+  Duration pacing_sleep = 0;
+  /// Default virtual CPU cost charged for a native reaction body.
+  Duration native_reaction_cost = 1000;
+  /// Virtual CPU cost per interpreted reaction step.
+  Duration interp_step_cost = 2;
+  /// Ablation: disable the timestamp-guarded register cache (§5.2).
+  bool register_cache = true;
+  /// Flip vv (and refresh the master entry) every iteration, as in the §6
+  /// pseudocode, even when the reaction changed nothing. Setting this false
+  /// skips commit+mirror on clean iterations (latency ablation).
+  bool commit_every_iteration = true;
+};
+
+class Agent;
+
+/// The interface reactions use: polled parameters, malleable accessors, and
+/// user-keyspace table operations. Table/scalar writes made inside a reaction
+/// are buffered and committed through the serializable update protocol;
+/// outside a reaction they apply immediately (management plane).
+class ReactionContext {
+ public:
+  // ---- polled parameters ----
+  bool has_arg(const std::string& name) const;
+  std::int64_t arg(const std::string& name) const;
+  std::int64_t arg(const std::string& name, std::uint32_t index) const;
+  std::uint32_t arg_lo(const std::string& name) const;
+  std::uint32_t arg_hi(const std::string& name) const;
+
+  // ---- malleable scalars (values and field selectors) ----
+  std::uint64_t get(const std::string& name) const;
+  void set(const std::string& name, std::uint64_t value);
+  /// Alias for set() on a malleable field: shifts the reference to alts[i].
+  void shift_field(const std::string& name, std::size_t alt_index);
+
+  // ---- malleable (and plain) tables, user-level key space ----
+  UserEntryId add_entry(const std::string& table, const p4::EntrySpec& user);
+  void mod_entry(const std::string& table, UserEntryId id,
+                 const std::string& action, std::vector<std::uint64_t> args);
+  void del_entry(const std::string& table, UserEntryId id);
+  std::optional<UserEntryId> find_entry(const std::string& table,
+                                        const std::vector<p4::MatchValue>& key) const;
+  std::size_t entry_count(const std::string& table) const;
+
+  Time now() const;
+
+ private:
+  friend class Agent;
+  ReactionContext(Agent& agent, const p4r::creact::PolledParams* params)
+      : agent_(&agent), params_(params) {}
+  Agent* agent_;
+  const p4r::creact::PolledParams* params_;  ///< null outside reactions
+};
+
+class Agent {
+ public:
+  /// `artifacts` must outlive the agent.
+  Agent(driver::Driver& drv, const compile::Artifacts& artifacts,
+        AgentOptions opts = {});
+
+  using NativeFn = std::function<void(ReactionContext&)>;
+
+  /// Replaces the interpreted body of `name` with a native callable
+  /// (cost 0 = use options default). Also usable mid-run as the hot-swap
+  /// mechanism: takes effect at the next iteration, like the paper's
+  /// signal-triggered .so reload. `reinit_statics` clears interpreter statics
+  /// when swapping back to the interpreted body.
+  void set_native_reaction(const std::string& name, NativeFn fn,
+                           Duration cost = 0);
+  void swap_to_interpreted(const std::string& name, bool reinit_statics);
+
+  /// Re-executes the prologue's user initialization (the paper lets a
+  /// hot-swapped reaction request this). Only valid after run_prologue.
+  void rerun_user_init();
+
+  /// Prologue: installs generated static entries and overflow-init entries,
+  /// memoizes driver state, then runs `user_init` (immediate mode).
+  void run_prologue(const std::function<void(ReactionContext&)>& user_init = {});
+
+  /// One full dialogue iteration (all registered reactions).
+  void dialogue_iteration();
+  void run_dialogue(std::size_t iterations);
+  void run_dialogue_until(Time t);
+
+  // ---- management-plane (immediate) access ----
+  ReactionContext management_context() { return ReactionContext(*this, nullptr); }
+  void set_scalar(const std::string& name, std::uint64_t value);  ///< immediate
+  std::uint64_t scalar(const std::string& name) const;
+
+  // ---- introspection ----
+  int vv() const { return vv_; }
+  int mv() const { return mv_; }
+  std::uint64_t iterations() const { return iters_; }
+  Duration busy_time() const { return busy_; }
+  /// Per-iteration wall (virtual) latencies, excluding pacing sleep.
+  const Samples& iteration_latencies() const { return iter_latency_; }
+
+  /// Phase breakdown of the most recent iteration (the terms of the §8.1
+  /// cost equation as actually incurred).
+  struct IterationBreakdown {
+    Duration mv_flip = 0;
+    Duration measure_and_react = 0;  ///< per-reaction poll + body, summed
+    Duration update = 0;             ///< prepare + commit + mirror
+    Duration total() const { return mv_flip + measure_and_react + update; }
+  };
+  const IterationBreakdown& last_breakdown() const { return last_breakdown_; }
+
+  /// Receives values from interpreted reactions' `log(v)` builtin.
+  using LogHook = std::function<void(const std::string& reaction, std::int64_t)>;
+  void set_log_hook(LogHook hook) { log_hook_ = std::move(hook); }
+  const compile::Artifacts& artifacts() const { return *art_; }
+  driver::Driver& drv() { return *drv_; }
+
+ private:
+  friend class ReactionContext;
+  class InterpEnv;
+
+  driver::Driver* drv_;
+  const compile::Artifacts* art_;
+  AgentOptions opts_;
+  Measurement measure_;
+  std::map<std::string, TableRuntime> tables_;
+  UpdateProtocol protocol_;
+
+  std::map<std::string, std::uint64_t> scalars_;
+  std::map<std::string, std::uint64_t> committed_scalars_;
+  int vv_ = 0;
+  int mv_ = 0;
+  bool prologue_done_ = false;
+
+  /// handles[vv] of each overflow init table's entries ([0] unused = master).
+  std::vector<std::array<sim::EntryHandle, 2>> init_handles_;
+
+  struct ReactionRt {
+    const compile::ReactionInfo* info = nullptr;
+    NativeFn native;
+    Duration native_cost = 0;
+    /// Heap-allocated: the Interp holds a pointer to the body, which must
+    /// stay stable when ReactionRt moves.
+    std::unique_ptr<p4r::creact::CBody> body;
+    std::unique_ptr<p4r::creact::Interp> interp;
+    bool use_native = false;
+  };
+  std::vector<ReactionRt> reactions_;
+
+  std::vector<PendingOp> pending_;
+  bool in_reaction_ = false;
+
+  std::uint64_t iters_ = 0;
+  Duration busy_ = 0;
+  Samples iter_latency_;
+  LogHook log_hook_;
+  IterationBreakdown last_breakdown_;
+  std::function<void(ReactionContext&)> user_init_;
+
+  sim::EventLoop& loop();
+  std::vector<std::uint64_t> master_args(int vv, int mv) const;
+  std::vector<std::uint64_t> init_args(std::size_t table_idx,
+                                       const std::map<std::string, std::uint64_t>&
+                                           scalars) const;
+  ReactionRt* find_reaction(const std::string& name);
+  void commit_scalars_immediate();
+  void run_one_reaction(ReactionRt& rt);
+  void apply_updates();  ///< prepare + commit + mirror for buffered state
+};
+
+}  // namespace mantis::agent

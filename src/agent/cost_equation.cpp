@@ -1,0 +1,55 @@
+#include "agent/cost_equation.hpp"
+
+#include "util/bits.hpp"
+
+namespace mantis::agent {
+
+CostBreakdown predict_iteration(const driver::CostModel& costs,
+                                const compile::ReactionInfo& rinfo,
+                                Duration reaction_compute,
+                                std::size_t table_entry_mods,
+                                std::size_t n_init_tables,
+                                std::size_t dirty_init_overflow) {
+  CostBreakdown out;
+
+  // F10b(1 tblMod): the mv flip is one master (default-entry) update.
+  out.mv_flip = costs.set_default();
+
+  // sum over args of F10a: one scattered-word read covering the packed field
+  // registers, plus a pair of range DMAs per register parameter.
+  if (!rinfo.measure_regs.empty()) {
+    out.measurement += costs.packed_words_read(rinfo.measure_regs.size());
+  }
+  for (const auto& reg : rinfo.regs) {
+    const std::size_t cells = 2 * (reg.hi - reg.lo + 1);
+    const std::size_t bytes = cells * 4;  // duplicated registers are polled
+    out.measurement += costs.range_read(bytes);      // values
+    out.measurement += costs.range_read(cells * 4);  // timestamps
+  }
+
+  out.reaction_compute = reaction_compute;
+
+  // sum over tblMods of 2*F10b(t): prepare + mirror batches.
+  if (table_entry_mods > 0) {
+    const Duration batch =
+        costs.batch_overhead + costs.pcie_rtt +
+        static_cast<Duration>(table_entry_mods) *
+            (costs.table_mod(true) - costs.pcie_rtt);
+    out.prepare_and_mirror = 2 * batch;
+  }
+
+  // 2*F10b(N_init - 1): overflow init tables touched in prepare and mirror.
+  if (dirty_init_overflow > 0 && n_init_tables > 1) {
+    const Duration batch =
+        costs.batch_overhead + costs.pcie_rtt +
+        static_cast<Duration>(dirty_init_overflow) *
+            (costs.table_mod(true) - costs.pcie_rtt);
+    out.init_overflow = 2 * batch;
+  }
+
+  // F10b(1 tblMod): the vv commit on the master.
+  out.commit = costs.set_default();
+  return out;
+}
+
+}  // namespace mantis::agent

@@ -1,0 +1,45 @@
+// The reaction latency cost model of paper §8.1:
+//
+//   F10b(1 tblMod) + sum_args F10a(arg) + C
+//     + sum_tblMods 2*F10b(t) + 2*F10b(N_init - 1) + F10b(1 tblMod)
+//
+// where F10a/F10b are the measurement/update latency curves of Figs 10a/10b,
+// C the reaction body's compute time, and N_init the number of init tables.
+// The first line is serializable measurement + reaction logic (mv flip, arg
+// polls, body); the second is serializable update (prepare+mirror for each
+// table modification and overflow init table, plus the vv commit).
+// bench_fig10_raw_latency validates the prediction against measured loops.
+#pragma once
+
+#include "compile/bindings.hpp"
+#include "driver/cost_model.hpp"
+#include "util/time.hpp"
+
+namespace mantis::agent {
+
+struct CostBreakdown {
+  Duration mv_flip = 0;
+  Duration measurement = 0;
+  Duration reaction_compute = 0;
+  Duration prepare_and_mirror = 0;
+  Duration init_overflow = 0;
+  Duration commit = 0;
+
+  Duration total() const {
+    return mv_flip + measurement + reaction_compute + prepare_and_mirror +
+           init_overflow + commit;
+  }
+};
+
+/// Predicts one dialogue iteration's latency for a reaction.
+/// `table_entry_mods` is the number of concrete table entries the reaction
+/// touches per iteration; `n_init_tables` counts all init tables (>= 1);
+/// `dirty_init_overflow` how many overflow init tables change this iteration.
+CostBreakdown predict_iteration(const driver::CostModel& costs,
+                                const compile::ReactionInfo& rinfo,
+                                Duration reaction_compute,
+                                std::size_t table_entry_mods,
+                                std::size_t n_init_tables,
+                                std::size_t dirty_init_overflow = 0);
+
+}  // namespace mantis::agent

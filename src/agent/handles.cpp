@@ -1,0 +1,124 @@
+#include "agent/handles.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mantis::agent {
+
+namespace {
+
+constexpr std::uint64_t kFullMask = ~std::uint64_t{0};
+
+}  // namespace
+
+std::vector<p4::EntrySpec> expand_user_entry(const compile::TableInfo& info,
+                                             const AltCounts& alts,
+                                             const p4::EntrySpec& user,
+                                             std::optional<int> vv) {
+  expects(user.key.size() == info.original_read_count,
+          "expand_user_entry: key arity mismatch for " + info.name);
+  const auto* action_info = info.find_action(user.action);
+  if (action_info == nullptr) {
+    throw UserError("table " + info.name + ": unknown original action '" +
+                    user.action + "'");
+  }
+
+  // Dims relevant to this entry: every match-expanded field, plus every
+  // field the entry's action is specialized over. (A field used in both
+  // places contributes one dim — the paper's shared-selector case.)
+  std::vector<std::string> dims;
+  for (const auto& mri : info.mbl_reads) dims.push_back(mri.mbl);
+  for (const auto& d : action_info->dims) {
+    if (std::find(dims.begin(), dims.end(), d) == dims.end()) dims.push_back(d);
+  }
+
+  std::vector<std::size_t> dim_counts;
+  std::size_t combos = 1;
+  for (const auto& d : dims) {
+    auto it = alts.find(d);
+    expects(it != alts.end(), "expand_user_entry: missing alt count for " + d);
+    dim_counts.push_back(it->second);
+    combos *= it->second;
+  }
+
+  const std::size_t total_cols = info.total_cols;
+  std::vector<p4::EntrySpec> out;
+  out.reserve(combos);
+
+  for (std::size_t c = 0; c < combos; ++c) {
+    // Decode choice per dim (last dim fastest, consistent with ActionInfo).
+    std::vector<std::size_t> choice(dims.size());
+    std::size_t rem = c;
+    for (std::size_t k = dims.size(); k-- > 0;) {
+      choice[k] = rem % dim_counts[k];
+      rem /= dim_counts[k];
+    }
+    auto choice_of = [&](const std::string& field) -> std::optional<std::size_t> {
+      for (std::size_t k = 0; k < dims.size(); ++k) {
+        if (dims[k] == field) return choice[k];
+      }
+      return std::nullopt;
+    };
+
+    p4::EntrySpec concrete;
+    concrete.priority = user.priority;
+    concrete.action_args = user.action_args;
+    // Wildcard everything, then fill.
+    concrete.key.assign(total_cols, p4::MatchValue{0, 0});
+
+    // Plain columns.
+    for (std::size_t i = 0; i < info.original_read_count; ++i) {
+      if (info.col_of_original[i] >= 0) {
+        concrete.key[static_cast<std::size_t>(info.col_of_original[i])] =
+            user.key[i];
+      }
+    }
+    // Match-expanded columns: the chosen alternative gets the user's
+    // key component; the other alternatives stay wildcard.
+    for (const auto& mri : info.mbl_reads) {
+      const auto chosen = choice_of(mri.mbl);
+      ensures(chosen.has_value(), "expand_user_entry: missing choice");
+      const auto& user_mv = user.key[mri.original_index];
+      concrete.key[mri.alt_cols[*chosen]] =
+          p4::MatchValue{user_mv.value & mri.premask, user_mv.mask & mri.premask};
+    }
+    // Selector columns: concrete value for dims relevant to this entry,
+    // wildcard for selector columns this entry does not care about.
+    for (const auto& [field, col] : info.selector_cols) {
+      const auto chosen = choice_of(field);
+      if (chosen.has_value()) {
+        concrete.key[col] = p4::MatchValue{*chosen, kFullMask};
+      }
+    }
+    // Version column.
+    if (vv.has_value()) {
+      ensures(info.vv_col >= 0, "expand_user_entry: vv given for plain table");
+      concrete.key[static_cast<std::size_t>(info.vv_col)] =
+          p4::MatchValue{static_cast<std::uint64_t>(*vv), kFullMask};
+    } else {
+      ensures(info.vv_col < 0, "expand_user_entry: vv required for " + info.name);
+    }
+
+    // Specialized action for this combination (restricted to action dims).
+    std::vector<std::size_t> action_choice;
+    for (const auto& d : action_info->dims) {
+      const auto chosen = choice_of(d);
+      ensures(chosen.has_value(), "expand_user_entry: missing action choice");
+      action_choice.push_back(*chosen);
+    }
+    concrete.action = action_info->specialized_for(action_choice);
+    out.push_back(std::move(concrete));
+  }
+  return out;
+}
+
+std::optional<UserEntryId> TableRuntime::find_by_key(
+    const std::vector<p4::MatchValue>& key) const {
+  for (const auto& [id, entry] : entries) {
+    if (!entry.pending_delete && entry.user_spec.key == key) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mantis::agent

@@ -1,0 +1,57 @@
+// User-entry expansion and per-table runtime state.
+//
+// Users (and reactions) operate on a table's *original* key/action space —
+// the reads and actions declared in the .p4r source. The compiler may have
+// expanded that space (alt columns, selector columns, action specialization,
+// the vv version column); this module maps a user-level EntrySpec to the set
+// of concrete entries the transformed table needs (paper §4.1's entry
+// formula) and tracks the installed handles of both vv copies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compile/bindings.hpp"
+#include "p4/ir.hpp"
+#include "sim/table_state.hpp"
+
+namespace mantis::agent {
+
+/// Stable identifier for a user-level entry on one table.
+using UserEntryId = std::uint64_t;
+
+/// Alternative counts per malleable field, needed to enumerate expansions.
+using AltCounts = std::map<std::string, std::size_t>;
+
+/// Expands a user-level entry into the concrete entries to install.
+/// `user` has one MatchValue per *original* read and names an *original*
+/// action. `vv` selects the version-bit value (nullopt for non-malleable
+/// tables). Every concrete entry carries the user's priority.
+std::vector<p4::EntrySpec> expand_user_entry(const compile::TableInfo& info,
+                                             const AltCounts& alts,
+                                             const p4::EntrySpec& user,
+                                             std::optional<int> vv);
+
+/// Runtime bookkeeping for one user table.
+struct TableRuntime {
+  struct UserEntry {
+    p4::EntrySpec user_spec;
+    /// Concrete handles per vv value; non-malleable tables use only [0].
+    std::vector<sim::EntryHandle> handles[2];
+    /// Set while a buffered delete awaits commit/mirror, so reactions read
+    /// their own writes (find/count skip flagged entries).
+    bool pending_delete = false;
+  };
+
+  const compile::TableInfo* info = nullptr;
+  AltCounts alts;
+  std::map<UserEntryId, UserEntry> entries;
+  UserEntryId next_id = 1;
+
+  std::optional<UserEntryId> find_by_key(const std::vector<p4::MatchValue>& key) const;
+};
+
+}  // namespace mantis::agent

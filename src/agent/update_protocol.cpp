@@ -1,0 +1,190 @@
+#include "agent/update_protocol.hpp"
+
+#include "util/check.hpp"
+
+namespace mantis::agent {
+
+TableRuntime& UpdateProtocol::runtime(const std::string& table) {
+  auto it = tables_->find(table);
+  if (it == tables_->end()) throw UserError("unknown user table: " + table);
+  return it->second;
+}
+
+namespace {
+
+/// Same specialization dims => same expanded keys => in-place modify is safe.
+bool same_dims(const compile::TableInfo& info, const std::string& a,
+               const std::string& b) {
+  const auto* ai = info.find_action(a);
+  const auto* bi = info.find_action(b);
+  ensures(ai != nullptr && bi != nullptr, "same_dims: unknown action");
+  return ai->dims == bi->dims;
+}
+
+}  // namespace
+
+void UpdateProtocol::apply_copy(const std::vector<PendingOp>& ops, int vv) {
+  driver::Driver::Batch batch;
+  // Adds (and shape-changing mods) get handles back from run_batch in
+  // order; remember where each op's handles land.
+  struct AddRecord {
+    UserEntryId id = 0;
+    const std::string* table = nullptr;
+    std::size_t count = 0;
+  };
+  std::vector<AddRecord> adds;
+
+  for (const auto& op : ops) {
+    auto& rt = runtime(op.table);
+    ensures(rt.info->malleable, "update protocol used on non-malleable table " +
+                                    op.table);
+    ensures(vv == 0 || vv == 1, "apply_copy: bad vv");
+    auto& entry = rt.entries.at(op.id);
+    auto& handles = entry.handles[vv];
+
+    switch (op.kind) {
+      case PendingOp::Kind::kAdd: {
+        const auto specs = expand_user_entry(*rt.info, rt.alts, op.user_spec, vv);
+        for (const auto& spec : specs) batch.add(op.table, spec);
+        adds.push_back(AddRecord{op.id, &op.table, specs.size()});
+        break;
+      }
+      case PendingOp::Kind::kMod: {
+        const auto specs = expand_user_entry(*rt.info, rt.alts, op.user_spec, vv);
+        if (same_dims(*rt.info, op.old_action, op.user_spec.action)) {
+          ensures(specs.size() == handles.size(),
+                  "apply_copy: expansion count changed unexpectedly");
+          for (std::size_t i = 0; i < specs.size(); ++i) {
+            batch.modify(op.table, handles[i], specs[i].action,
+                         specs[i].action_args);
+          }
+        } else {
+          // Different specialization shape: replace the concrete entries.
+          for (const auto h : handles) batch.erase(op.table, h);
+          handles.clear();
+          for (const auto& spec : specs) batch.add(op.table, spec);
+          adds.push_back(AddRecord{op.id, &op.table, specs.size()});
+        }
+        break;
+      }
+      case PendingOp::Kind::kDel: {
+        for (const auto h : handles) batch.erase(op.table, h);
+        handles.clear();
+        break;
+      }
+    }
+  }
+
+  const auto new_handles = drv_->run_batch(std::move(batch));
+  std::size_t cursor = 0;
+  for (const auto& rec : adds) {
+    auto& rt = runtime(*rec.table);
+    auto& entry = rt.entries.at(rec.id);
+    auto& handles = entry.handles[vv];
+    for (std::size_t i = 0; i < rec.count; ++i) {
+      ensures(cursor < new_handles.size(), "apply_copy: handle underflow");
+      handles.push_back(new_handles[cursor++]);
+    }
+  }
+  ensures(cursor == new_handles.size(), "apply_copy: handle overflow");
+}
+
+void UpdateProtocol::prepare(const std::vector<PendingOp>& ops, int vv_next) {
+  apply_copy(ops, vv_next);
+}
+
+void UpdateProtocol::mirror(const std::vector<PendingOp>& ops, int vv_old) {
+  apply_copy(ops, vv_old);
+  for (const auto& op : ops) {
+    if (op.kind == PendingOp::Kind::kDel) {
+      runtime(op.table).entries.erase(op.id);
+    }
+  }
+}
+
+UserEntryId UpdateProtocol::immediate_add(const std::string& table,
+                                          const p4::EntrySpec& user) {
+  auto& rt = runtime(table);
+  const UserEntryId id = rt.next_id++;
+  TableRuntime::UserEntry entry;
+  entry.user_spec = user;
+  rt.entries.emplace(id, std::move(entry));
+
+  if (rt.info->malleable) {
+    driver::Driver::Batch batch;
+    std::size_t per_copy = 0;
+    for (const int vv : {0, 1}) {
+      const auto specs = expand_user_entry(*rt.info, rt.alts, user, vv);
+      per_copy = specs.size();
+      for (const auto& spec : specs) batch.add(table, spec);
+    }
+    const auto handles = drv_->run_batch(std::move(batch));
+    ensures(handles.size() == 2 * per_copy, "immediate_add: handle mismatch");
+    auto& entry_ref = rt.entries.at(id);
+    for (std::size_t i = 0; i < per_copy; ++i) {
+      entry_ref.handles[0].push_back(handles[i]);
+    }
+    for (std::size_t i = 0; i < per_copy; ++i) {
+      entry_ref.handles[1].push_back(handles[per_copy + i]);
+    }
+  } else {
+    const auto specs = expand_user_entry(*rt.info, rt.alts, user, std::nullopt);
+    driver::Driver::Batch batch;
+    for (const auto& spec : specs) batch.add(table, spec);
+    const auto handles = drv_->run_batch(std::move(batch));
+    rt.entries.at(id).handles[0] = handles;
+  }
+  return id;
+}
+
+void UpdateProtocol::immediate_mod(const std::string& table, UserEntryId id,
+                                   const std::string& action,
+                                   std::vector<std::uint64_t> args) {
+  auto& rt = runtime(table);
+  auto it = rt.entries.find(id);
+  if (it == rt.entries.end()) throw UserError("immediate_mod: bad entry id");
+  const std::string old_action = it->second.user_spec.action;
+  it->second.user_spec.action = action;
+  it->second.user_spec.action_args = std::move(args);
+
+  if (rt.info->malleable) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kMod;
+    op.table = table;
+    op.id = id;
+    op.user_spec = it->second.user_spec;
+    op.old_action = old_action;
+    apply_copy({op}, 0);
+    apply_copy({op}, 1);
+    return;
+  }
+  const auto specs =
+      expand_user_entry(*rt.info, rt.alts, it->second.user_spec, std::nullopt);
+  auto& handles = it->second.handles[0];
+  if (same_dims(*rt.info, old_action, it->second.user_spec.action)) {
+    driver::Driver::Batch batch;
+    ensures(specs.size() == handles.size(), "immediate_mod: expansion mismatch");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      batch.modify(table, handles[i], specs[i].action, specs[i].action_args);
+    }
+    drv_->run_batch(std::move(batch));
+  } else {
+    driver::Driver::Batch batch;
+    for (const auto h : handles) batch.erase(table, h);
+    for (const auto& spec : specs) batch.add(table, spec);
+    handles = drv_->run_batch(std::move(batch));
+  }
+}
+
+void UpdateProtocol::immediate_del(const std::string& table, UserEntryId id) {
+  auto& rt = runtime(table);
+  auto it = rt.entries.find(id);
+  if (it == rt.entries.end()) throw UserError("immediate_del: bad entry id");
+  driver::Driver::Batch batch;
+  for (const auto h : it->second.handles[0]) batch.erase(table, h);
+  for (const auto h : it->second.handles[1]) batch.erase(table, h);
+  drv_->run_batch(std::move(batch));
+  rt.entries.erase(it);
+}
+
+}  // namespace mantis::agent

@@ -1,0 +1,66 @@
+// The serializable update protocol (paper §5.1.2, Figs 7-8).
+//
+// Reaction-time table operations are buffered; after the reaction body runs,
+// the agent executes:
+//   PREPARE — install/modify/delete the *shadow* copies (vv = vv^1) of every
+//             touched entry, batched; packets keep using the primary copies.
+//   COMMIT  — one master-init-table update flips vv (done by the agent, which
+//             also carries scalar malleable changes in the same update).
+//   MIRROR  — replay the same operations on the now-shadow old-primary
+//             copies, so a subsequent flip is instantly safe and the shadow
+//             maintenance cost is amortized into every iteration.
+// Outside the dialogue (prologue / management), IMMEDIATE mode installs both
+// copies at once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/handles.hpp"
+#include "driver/driver.hpp"
+
+namespace mantis::agent {
+
+struct PendingOp {
+  enum class Kind : std::uint8_t { kAdd, kMod, kDel };
+  Kind kind = Kind::kAdd;
+  std::string table;
+  UserEntryId id = 0;
+  p4::EntrySpec user_spec;   ///< kAdd/kMod: the (new) user-level spec
+  std::string old_action;    ///< kMod: the action before the modification
+};
+
+class UpdateProtocol {
+ public:
+  UpdateProtocol(driver::Driver& drv, std::map<std::string, TableRuntime>& tables)
+      : drv_(&drv), tables_(&tables) {}
+
+  /// PREPARE: applies `ops` to the vv = `vv_next` copies in one batch.
+  /// All target tables must be malleable.
+  void prepare(const std::vector<PendingOp>& ops, int vv_next);
+
+  /// MIRROR: replays `ops` onto the vv = `vv_old` copies in one batch and
+  /// finalizes bookkeeping (deletes user entries that were removed).
+  void mirror(const std::vector<PendingOp>& ops, int vv_old);
+
+  /// IMMEDIATE mode: installs both vv copies (malleable) or the single copy
+  /// (plain table) right away. Returns the new user entry id.
+  UserEntryId immediate_add(const std::string& table, const p4::EntrySpec& user);
+  void immediate_mod(const std::string& table, UserEntryId id,
+                     const std::string& action, std::vector<std::uint64_t> args);
+  void immediate_del(const std::string& table, UserEntryId id);
+
+ private:
+  driver::Driver* drv_;
+  std::map<std::string, TableRuntime>* tables_;
+
+  TableRuntime& runtime(const std::string& table);
+
+  /// Applies ops to one vv copy; `record_adds` stores returned handles into
+  /// the user entries' handle lists for that copy.
+  void apply_copy(const std::vector<PendingOp>& ops, int vv);
+};
+
+}  // namespace mantis::agent

@@ -1,0 +1,161 @@
+#include "apps/dos_mitigation.hpp"
+
+#include "util/check.hpp"
+
+namespace mantis::apps {
+
+std::string dos_p4r_source() {
+  return R"P4R(
+// Use case #1: flow size estimation + DoS mitigation (paper 8.3.1).
+header_type ipv4_t {
+  fields {
+    srcAddr : 32;
+    dstAddr : 32;
+    totalLen : 16;
+    protocol : 8;
+    ecn : 1;
+  }
+}
+header ipv4_t ipv4;
+
+header_type dos_meta_t {
+  fields { total : 48; }
+}
+metadata dos_meta_t dos_meta;
+
+// Running total of bytes received (read by the reaction).
+register total_bytes_r { width : 48; instance_count : 1; }
+
+action count_bytes() {
+  register_read(dos_meta.total, total_bytes_r, 0);
+  add_to_field(dos_meta.total, standard_metadata.packet_length);
+  register_write(total_bytes_r, 0, dos_meta.total);
+}
+table tally {
+  actions { count_bytes; }
+  default_action : count_bytes;
+  size : 1;
+}
+
+action allow() { }
+
+// Reaction-managed drop list, updated with serializable three-phase commits.
+malleable table block {
+  reads { ipv4.srcAddr : exact; }
+  actions { _drop; allow; }
+  default_action : allow;
+  size : 1024;
+}
+
+action set_egress(port) {
+  modify_field(standard_metadata.egress_spec, port);
+}
+table route {
+  reads { ipv4.dstAddr : lpm; }
+  actions { set_egress; }
+  default_action : set_egress(1);
+  size : 256;
+}
+
+control ingress {
+  apply(block);
+  apply(route);
+  apply(tally);
+}
+control egress { }
+
+// Interpreted equivalent of the native reaction in dos_mitigation.cpp:
+// attribute byte-count deltas to the last-seen source, block >1 Gbps senders.
+reaction dos_react(ing ipv4.srcAddr, reg total_bytes_r[0:0]) {
+  static uint64_t last_total = 0;
+  static uint32_t keys[1024];
+  static uint64_t flow_bytes[1024];
+  static uint64_t first_us[1024];
+  static uint8_t used[1024];
+  static uint8_t blocked[1024];
+
+  uint64_t total = total_bytes_r[0];
+  uint32_t src = ipv4_srcAddr;
+  uint64_t delta = total - last_total;
+  last_total = total;
+  if (src == 0) return;
+
+  uint32_t h = (src * 2654435761) % 1024;
+  int probes = 0;
+  while (probes < 1024) {
+    if (used[h] == 0) {
+      used[h] = 1;
+      keys[h] = src;
+      flow_bytes[h] = 0;
+      first_us[h] = now_us();
+      break;
+    }
+    if (keys[h] == src) break;
+    h = (h + 1) % 1024;
+    probes = probes + 1;
+  }
+  if (probes >= 1024) return;
+
+  flow_bytes[h] = flow_bytes[h] + delta;
+  uint64_t age = now_us() - first_us[h];
+  // rate > 1 Gbps  <=>  bits / age_us > 1000
+  if (blocked[h] == 0 && age > 100 && flow_bytes[h] * 8 > age * 1000) {
+    block.addEntry("_drop", src);
+    blocked[h] = 1;
+  }
+}
+)P4R";
+}
+
+std::uint64_t DosState::estimate(std::uint32_t src) const {
+  auto it = flows.find(src);
+  return it == flows.end() ? 0 : it->second.bytes;
+}
+
+agent::Agent::NativeFn make_dos_reaction(std::shared_ptr<DosState> state,
+                                         DosConfig cfg) {
+  expects(state != nullptr, "make_dos_reaction: null state");
+  return [state, cfg](agent::ReactionContext& ctx) {
+    ++state->iterations;
+    const auto total =
+        static_cast<std::uint64_t>(ctx.arg("total_bytes_r", 0));
+    const auto src = static_cast<std::uint32_t>(ctx.arg("ipv4_srcAddr"));
+    const std::uint64_t delta = total - state->last_total;
+    state->last_total = total;
+    if (src == 0) return;
+    ++state->samples_attributed;
+
+    auto [it, inserted] = state->flows.try_emplace(src);
+    auto& flow = it->second;
+    if (inserted) flow.first_seen = ctx.now();
+    flow.bytes += delta;
+
+    if (flow.blocked) return;
+    const auto age_us =
+        static_cast<std::uint64_t>((ctx.now() - flow.first_seen) / 1000);
+    if (age_us <= cfg.min_age_us) return;
+    const double gbps =
+        static_cast<double>(flow.bytes) * 8.0 / (static_cast<double>(age_us) * 1000.0);
+    if (gbps > cfg.block_threshold_gbps) {
+      p4::EntrySpec spec;
+      spec.key.push_back(p4::MatchValue{src, ~std::uint64_t{0}});
+      spec.action = "_drop";
+      ctx.add_entry("block", spec);
+      flow.blocked = true;
+      if (state->on_block) state->on_block(src, ctx.now());
+    }
+  };
+}
+
+void install_dos_routes(agent::ReactionContext& ctx, int egress_ports) {
+  expects(egress_ports > 0, "install_dos_routes: need at least one port");
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    p4::EntrySpec spec;
+    spec.key.push_back(p4::MatchValue{0xc0a80000u + i, mask_for_width(32)});
+    spec.action = "set_egress";
+    spec.action_args = {1 + (i % static_cast<std::uint32_t>(egress_ports))};
+    ctx.add_entry("route", spec);
+  }
+}
+
+}  // namespace mantis::apps

@@ -1,0 +1,56 @@
+// Use case #1 (paper §8.3.1): flow size estimation and DoS mitigation.
+//
+// The data plane tracks the current packet's source IP (measured field) and a
+// running total byte counter (measured register). The reaction attributes
+// each iteration's byte delta to the last-seen source, estimates per-sender
+// rates, and installs a drop rule into the malleable `block` table for any
+// sender exceeding the threshold (the Poseidon-style defense).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "agent/agent.hpp"
+
+namespace mantis::apps {
+
+struct DosConfig {
+  double block_threshold_gbps = 1.0;  ///< paper's simple 1 Gbps threshold
+  std::uint64_t min_age_us = 100;     ///< minimum flow age before blocking
+};
+
+/// The P4R program (with an embedded interpreted reaction equivalent to the
+/// native one below).
+std::string dos_p4r_source();
+
+/// Shared state of the native reaction: per-sender estimates and block log.
+struct DosState {
+  struct Flow {
+    Time first_seen = 0;
+    std::uint64_t bytes = 0;
+    bool blocked = false;
+  };
+  std::map<std::uint32_t, Flow> flows;
+  std::uint64_t last_total = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t samples_attributed = 0;
+
+  /// Invoked at block time: (source ip, virtual time of the buffered add).
+  std::function<void(std::uint32_t, Time)> on_block;
+
+  /// Mantis's estimate of bytes sent by `src` (0 if never sampled).
+  std::uint64_t estimate(std::uint32_t src) const;
+};
+
+/// Builds the native reaction for the "dos_react" reaction slot.
+agent::Agent::NativeFn make_dos_reaction(std::shared_ptr<DosState> state,
+                                         DosConfig cfg = {});
+
+/// Installs the routing entries the examples/benches use: dst 192.168.x.y
+/// routes to port (x % egress_ports). Call from the agent prologue.
+void install_dos_routes(agent::ReactionContext& ctx, int egress_ports);
+
+}  // namespace mantis::apps

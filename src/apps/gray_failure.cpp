@@ -1,0 +1,244 @@
+#include "apps/gray_failure.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace mantis::apps {
+
+std::string gray_failure_p4r_source() {
+  return R"P4R(
+// Use case #2: gray-failure detection and route recomputation (paper 8.3.2).
+header_type ipv4_t {
+  fields {
+    srcAddr : 32;
+    dstAddr : 32;
+    totalLen : 16;
+    protocol : 8;
+    ecn : 1;
+  }
+}
+header ipv4_t ipv4;
+
+header_type gf_meta_t {
+  fields { c : 32; }
+}
+metadata gf_meta_t gf_meta;
+
+// Per-ingress-port heartbeat counter (polled by the reaction).
+register hb_count_r { width : 32; instance_count : 32; }
+
+action count_hb() {
+  register_read(gf_meta.c, hb_count_r, standard_metadata.ingress_port);
+  add_to_field(gf_meta.c, 1);
+  register_write(hb_count_r, standard_metadata.ingress_port, gf_meta.c);
+}
+table hb_tally {
+  reads { ipv4.protocol : exact; }
+  actions { count_hb; no_op; }
+  default_action : no_op;
+  size : 4;
+}
+
+action set_egress(port) {
+  modify_field(standard_metadata.egress_spec, port);
+}
+malleable table route {
+  reads { ipv4.dstAddr : exact; }
+  actions { set_egress; _drop; }
+  default_action : _drop;
+  size : 256;
+}
+
+control ingress {
+  apply(hb_tally);
+  apply(route);
+}
+control egress { }
+
+// Interpreted detector (the native version adds full Dijkstra rerouting):
+// flags ports whose heartbeat delta falls below eta * T_d / T_s twice in a
+// row. eta = 1/2, T_s = 1us.
+reaction gf_react(reg hb_count_r[0:7], ing standard_metadata.ingress_global_timestamp) {
+  static uint64_t last_counts[8];
+  static uint64_t last_ts = 0;
+  static int below[8];
+  static uint8_t down[8];
+
+  uint64_t ts = standard_metadata_ingress_global_timestamp;
+  uint64_t td = ts - last_ts;
+  last_ts = ts;
+  if (td == 0) return;
+
+  for (int p = 0; p < 8; ++p) {
+    uint64_t delta = hb_count_r[p] - last_counts[p];
+    last_counts[p] = hb_count_r[p];
+    uint64_t threshold = td / 2;  // eta=1/2, T_s=1us, td in us
+    if (delta < threshold) {
+      below[p] = below[p] + 1;
+    } else {
+      below[p] = 0;
+    }
+    if (below[p] >= 2 && down[p] == 0) {
+      down[p] = 1;
+      log(p);
+    }
+  }
+}
+)P4R";
+}
+
+// ---------------------------------------------------------------------------
+// Topology / Dijkstra
+// ---------------------------------------------------------------------------
+
+std::map<std::uint32_t, int> Topology::compute_routes(
+    const std::vector<bool>& port_down) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(num_nodes), kInf);
+  std::vector<int> first_hop(static_cast<std::size_t>(num_nodes), -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[0] = 0;
+  pq.emplace(0.0, 0);
+
+  auto relax = [&](int from, int to, int via_port_of_zero, double cost) {
+    if (dist[static_cast<std::size_t>(from)] + cost <
+        dist[static_cast<std::size_t>(to)]) {
+      dist[static_cast<std::size_t>(to)] =
+          dist[static_cast<std::size_t>(from)] + cost;
+      first_hop[static_cast<std::size_t>(to)] =
+          from == 0 ? via_port_of_zero : first_hop[static_cast<std::size_t>(from)];
+      pq.emplace(dist[static_cast<std::size_t>(to)], to);
+    }
+  };
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& link : links) {
+      // A down port of node 0 disables the link in both directions.
+      const bool usable =
+          !((link.a == 0 &&
+             static_cast<std::size_t>(link.port_a) < port_down.size() &&
+             port_down[static_cast<std::size_t>(link.port_a)]) ||
+            (link.b == 0 &&
+             static_cast<std::size_t>(link.port_b) < port_down.size() &&
+             port_down[static_cast<std::size_t>(link.port_b)]));
+      if (!usable) continue;
+      if (link.a == u) relax(u, link.b, link.port_a, link.cost);
+      if (link.b == u) relax(u, link.a, link.port_b, link.cost);
+    }
+  }
+
+  std::map<std::uint32_t, int> routes;
+  for (const auto& [addr, node] : dst_node) {
+    routes[addr] = dist[static_cast<std::size_t>(node)] == kInf
+                       ? -1
+                       : first_hop[static_cast<std::size_t>(node)];
+  }
+  return routes;
+}
+
+Topology Topology::fat_tree_slice(int fanout, int num_dsts) {
+  expects(fanout >= 2, "fat_tree_slice: need >= 2 uplinks");
+  Topology topo;
+  // node 0: this switch; nodes 1..fanout: aggregation neighbours;
+  // nodes fanout+1..fanout+num_dsts: destinations, each dual-homed to two
+  // consecutive aggregation nodes.
+  topo.num_nodes = 1 + fanout + num_dsts;
+  for (int a = 0; a < fanout; ++a) {
+    topo.links.push_back(Link{0, 1 + a, a, 0, 1.0});
+  }
+  for (int d = 0; d < num_dsts; ++d) {
+    const int node = 1 + fanout + d;
+    const int agg1 = 1 + (d % fanout);
+    const int agg2 = 1 + ((d + 1) % fanout);
+    topo.links.push_back(Link{agg1, node, 1 + d, 0, 1.0});
+    topo.links.push_back(Link{agg2, node, 1 + d, 0, 1.1});
+    topo.dst_node.emplace(0xc0a80000u + static_cast<std::uint32_t>(d), node);
+  }
+  return topo;
+}
+
+// ---------------------------------------------------------------------------
+// Reaction
+// ---------------------------------------------------------------------------
+
+void GrayFailureState::install_initial_routes(agent::ReactionContext& ctx) {
+  last_counts.assign(static_cast<std::size_t>(cfg.num_ports), 0);
+  below_streak.assign(static_cast<std::size_t>(cfg.num_ports), 0);
+  port_down.assign(static_cast<std::size_t>(cfg.num_ports), false);
+
+  const auto routes = topo.compute_routes(port_down);
+  for (const auto& [addr, port] : routes) {
+    expects(port >= 0, "install_initial_routes: unreachable destination");
+    p4::EntrySpec spec;
+    spec.key.push_back(p4::MatchValue{addr, ~std::uint64_t{0}});
+    spec.action = "set_egress";
+    spec.action_args = {static_cast<std::uint64_t>(port)};
+    route_ids[addr] = ctx.add_entry("route", spec);
+    current_port[addr] = port;
+  }
+
+  // Heartbeats are protocol 253.
+  p4::EntrySpec hb;
+  hb.key.push_back(p4::MatchValue{253, ~std::uint64_t{0}});
+  hb.action = "count_hb";
+  ctx.add_entry("hb_tally", hb);
+}
+
+agent::Agent::NativeFn make_gray_failure_reaction(
+    std::shared_ptr<GrayFailureState> state) {
+  expects(state != nullptr, "make_gray_failure_reaction: null state");
+  return [state](agent::ReactionContext& ctx) {
+    auto& st = *state;
+    const auto ts_us = static_cast<std::uint64_t>(
+        ctx.arg("standard_metadata_ingress_global_timestamp"));
+    const std::uint64_t td_us = ts_us - st.last_ts_us;
+    st.last_ts_us = ts_us;
+    if (td_us == 0) return;
+
+    const double ts_per_us =
+        1.0 / (static_cast<double>(st.cfg.ts) / kMicrosecond);
+    const auto threshold = static_cast<std::uint64_t>(
+        st.cfg.eta * static_cast<double>(td_us) * ts_per_us);
+
+    bool newly_down = false;
+    for (int p = 0; p < st.cfg.num_ports; ++p) {
+      const auto count = static_cast<std::uint64_t>(
+          ctx.arg("hb_count_r", static_cast<std::uint32_t>(p)));
+      const std::uint64_t delta = count - st.last_counts[static_cast<std::size_t>(p)];
+      st.last_counts[static_cast<std::size_t>(p)] = count;
+      auto& streak = st.below_streak[static_cast<std::size_t>(p)];
+      streak = delta < threshold ? streak + 1 : 0;
+      if (streak >= st.cfg.consecutive_required &&
+          !st.port_down[static_cast<std::size_t>(p)]) {
+        st.port_down[static_cast<std::size_t>(p)] = true;
+        newly_down = true;
+        if (st.on_detect) st.on_detect(p, ctx.now());
+      }
+    }
+    if (!newly_down) return;
+
+    // Recompute shortest paths and rewrite entries whose first hop changed.
+    const auto routes = st.topo.compute_routes(st.port_down);
+    for (const auto& [addr, port] : routes) {
+      auto cur = st.current_port.find(addr);
+      if (cur == st.current_port.end() || cur->second == port) continue;
+      if (port < 0) {
+        ctx.mod_entry("route", st.route_ids.at(addr), "_drop", {});
+      } else {
+        ctx.mod_entry("route", st.route_ids.at(addr), "set_egress",
+                      {static_cast<std::uint64_t>(port)});
+      }
+      cur->second = port;
+    }
+    if (st.on_routes_installed) st.on_routes_installed(ctx.now());
+  };
+}
+
+}  // namespace mantis::apps

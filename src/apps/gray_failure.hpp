@@ -1,0 +1,76 @@
+// Use case #2 (paper §8.3.2): gray-failure detection + route recomputation.
+//
+// Neighbours emit heartbeats every T_s; the data plane counts them per port.
+// The reaction polls the counts and the data-plane timestamp, compares each
+// port's delta against delta_threshold = floor(eta * T_d / T_s), and after
+// two consecutive violations marks the link down, recomputes shortest paths
+// over the modeled topology, and rewrites the malleable route table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+
+namespace mantis::apps {
+
+std::string gray_failure_p4r_source();
+
+/// A small network around the monitored switch (node 0). Used for genuine
+/// route recomputation (Dijkstra), not just static backup flipping.
+struct Topology {
+  struct Link {
+    int a = 0;
+    int b = 0;
+    int port_a = 0;  ///< egress port on `a` toward `b`
+    int port_b = 0;
+    double cost = 1.0;
+  };
+  int num_nodes = 0;
+  std::vector<Link> links;
+  std::map<std::uint32_t, int> dst_node;  ///< destination address -> node
+
+  /// First-hop port (from node 0) per destination, avoiding down ports of
+  /// node 0. Unreachable destinations map to -1.
+  std::map<std::uint32_t, int> compute_routes(
+      const std::vector<bool>& port_down) const;
+
+  /// A two-tier test topology: `fanout` neighbours each reaching every
+  /// destination, destinations multi-homed so any single port failure is
+  /// survivable.
+  static Topology fat_tree_slice(int fanout, int num_dsts);
+};
+
+struct GrayFailureConfig {
+  int num_ports = 8;                  ///< monitored heartbeat ports
+  Duration ts = 1 * kMicrosecond;     ///< heartbeat period T_s
+  double eta = 0.5;                   ///< delivery expectation
+  int consecutive_required = 2;       ///< violations before declaring failure
+};
+
+struct GrayFailureState {
+  GrayFailureConfig cfg;
+  Topology topo;
+
+  std::vector<std::uint64_t> last_counts;
+  std::uint64_t last_ts_us = 0;
+  std::vector<int> below_streak;
+  std::vector<bool> port_down;
+  std::map<std::uint32_t, agent::UserEntryId> route_ids;
+  std::map<std::uint32_t, int> current_port;
+
+  std::function<void(int, Time)> on_detect;    ///< port declared down
+  std::function<void(Time)> on_routes_installed;
+
+  /// Prologue helper: installs initial routes and remembers entry ids.
+  void install_initial_routes(agent::ReactionContext& ctx);
+};
+
+agent::Agent::NativeFn make_gray_failure_reaction(
+    std::shared_ptr<GrayFailureState> state);
+
+}  // namespace mantis::apps

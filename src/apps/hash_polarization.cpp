@@ -1,0 +1,195 @@
+#include "apps/hash_polarization.hpp"
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mantis::apps {
+
+std::string hash_polarization_p4r_source() {
+  return R"P4R(
+// Use case #3: ECMP hash polarization mitigation (paper 8.3.3).
+header_type ipv4_t {
+  fields {
+    srcAddr : 32;
+    dstAddr : 32;
+    totalLen : 16;
+    protocol : 8;
+    ecn : 1;
+  }
+}
+header ipv4_t ipv4;
+
+header_type l4_t {
+  fields {
+    srcPort : 16;
+    dstPort : 16;
+  }
+}
+header l4_t l4;
+
+header_type hp_meta_t {
+  fields { c : 32; }
+}
+metadata hp_meta_t hp_meta;
+
+// Malleable hash inputs: each can be shifted among same-width header fields.
+malleable field h_src {
+  width : 32;
+  init : ipv4.srcAddr;
+  alts { ipv4.srcAddr, ipv4.dstAddr }
+}
+malleable field h_dst {
+  width : 32;
+  init : ipv4.dstAddr;
+  alts { ipv4.dstAddr, ipv4.srcAddr }
+}
+malleable field h_l4 {
+  width : 16;
+  init : l4.srcPort;
+  alts { l4.srcPort, l4.dstPort }
+}
+
+field_list ecmp_fl {
+  ${h_src};
+  ${h_dst};
+  ${h_l4};
+  ipv4.protocol;
+}
+field_list_calculation ecmp_hash {
+  input { ecmp_fl; }
+  algorithm : crc32;
+  output_width : 16;
+}
+
+action ecmp_route() {
+  modify_field_with_hash_based_offset(standard_metadata.egress_spec, 0, ecmp_hash, 8);
+}
+table ecmp {
+  actions { ecmp_route; }
+  default_action : ecmp_route;
+  size : 1;
+}
+
+// Per-egress-port packet counters, collected in the egress pipeline.
+register egr_pkts_r { width : 32; instance_count : 8; }
+
+action count_egr() {
+  register_read(hp_meta.c, egr_pkts_r, standard_metadata.egress_port);
+  add_to_field(hp_meta.c, 1);
+  register_write(egr_pkts_r, standard_metadata.egress_port, hp_meta.c);
+}
+table egr_tally {
+  actions { count_egr; }
+  default_action : count_egr;
+  size : 1;
+}
+
+control ingress {
+  apply(ecmp);
+}
+control egress {
+  apply(egr_tally);
+}
+
+// Interpreted MAD detector; the native reaction also cycles configurations.
+reaction hp_react(reg egr_pkts_r[0:7]) {
+  static uint64_t last[8];
+  uint64_t loads[8];
+  uint64_t total = 0;
+  for (int p = 0; p < 8; ++p) {
+    loads[p] = egr_pkts_r[p] - last[p];
+    last[p] = egr_pkts_r[p];
+    total = total + loads[p];
+  }
+  if (total == 0) return;
+
+  // median via insertion sort of a copy
+  uint64_t sorted[8];
+  for (int i = 0; i < 8; ++i) sorted[i] = loads[i];
+  for (int i = 1; i < 8; ++i) {
+    uint64_t key = sorted[i];
+    int j = i - 1;
+    while (j >= 0 && sorted[j] > key) {
+      sorted[j + 1] = sorted[j];
+      j = j - 1;
+    }
+    sorted[j + 1] = key;
+  }
+  uint64_t med = (sorted[3] + sorted[4]) / 2;
+
+  uint64_t dev[8];
+  for (int i = 0; i < 8; ++i) {
+    dev[i] = loads[i] > med ? loads[i] - med : med - loads[i];
+  }
+  for (int i = 1; i < 8; ++i) {
+    uint64_t key = dev[i];
+    int j = i - 1;
+    while (j >= 0 && dev[j] > key) {
+      dev[j + 1] = dev[j];
+      j = j - 1;
+    }
+    dev[j + 1] = key;
+  }
+  uint64_t mad = (dev[3] + dev[4]) / 2;
+
+  static int streak = 0;
+  uint64_t mean = total / 8;
+  if (mean > 0 && mad * 4 > mean) {
+    streak = streak + 1;
+  } else {
+    streak = 0;
+  }
+  if (streak >= 3) {
+    // shift the hash inputs to the next configuration
+    ${h_src} = 1 - ${h_src};
+    ${h_l4} = 1 - ${h_l4};
+    streak = 0;
+  }
+}
+)P4R";
+}
+
+agent::Agent::NativeFn make_hash_pol_reaction(
+    std::shared_ptr<HashPolState> state) {
+  expects(state != nullptr, "make_hash_pol_reaction: null state");
+  expects(!state->cfg.configs.empty(), "make_hash_pol_reaction: no configs");
+  return [state](agent::ReactionContext& ctx) {
+    auto& st = *state;
+    const int n = st.cfg.num_ports;
+    if (st.last_counts.empty()) {
+      st.last_counts.assign(static_cast<std::size_t>(n), 0);
+    }
+    std::vector<double> loads(static_cast<std::size_t>(n));
+    double total = 0;
+    for (int p = 0; p < n; ++p) {
+      const auto count = static_cast<std::uint64_t>(
+          ctx.arg("egr_pkts_r", static_cast<std::uint32_t>(p)));
+      loads[static_cast<std::size_t>(p)] = static_cast<double>(
+          count - st.last_counts[static_cast<std::size_t>(p)]);
+      st.last_counts[static_cast<std::size_t>(p)] = count;
+      total += loads[static_cast<std::size_t>(p)];
+    }
+    if (total <= 0) return;
+
+    const double mad = median_absolute_deviation(loads);
+    const double mean = total / n;
+    st.last_ratio = mad / mean;
+    if (st.last_ratio > st.cfg.imbalance_ratio) {
+      ++st.imbalanced_streak;
+    } else {
+      st.imbalanced_streak = 0;
+    }
+    if (st.imbalanced_streak < st.cfg.persistence) return;
+    st.imbalanced_streak = 0;
+
+    st.current_config = (st.current_config + 1) % st.cfg.configs.size();
+    const auto& cfg = st.cfg.configs[st.current_config];
+    ctx.set("h_src", cfg[0]);
+    ctx.set("h_dst", cfg[1]);
+    ctx.set("h_l4", cfg[2]);
+    ++st.shifts;
+    if (st.on_shift) st.on_shift(st.current_config, ctx.now());
+  };
+}
+
+}  // namespace mantis::apps

@@ -1,0 +1,50 @@
+// Use case #3 (paper §8.3.3): hash polarization mitigation.
+//
+// The ECMP hash inputs are malleable fields (each shiftable among header
+// alternatives); the field_list usage triggers the compiler's load strategy
+// (§4.1's read optimization) so the alternatives are not enumerated into
+// field_lists. The reaction polls per-egress packet counters, computes the
+// Median Absolute Deviation of port loads, and when the imbalance persists
+// shifts the hash inputs to the next configuration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+
+namespace mantis::apps {
+
+std::string hash_polarization_p4r_source();
+
+struct HashPolConfig {
+  int num_ports = 8;
+  /// MAD/mean ratio above which the load is considered imbalanced.
+  double imbalance_ratio = 0.25;
+  /// Consecutive imbalanced iterations before shifting.
+  int persistence = 3;
+  /// Hash-input configurations to cycle through, as (h_src, h_dst, h_l4)
+  /// selector triples.
+  std::vector<std::array<std::uint64_t, 3>> configs = {
+      {0, 0, 0}, {1, 0, 1}, {0, 1, 1}, {1, 1, 0}};
+};
+
+struct HashPolState {
+  HashPolConfig cfg;
+  std::vector<std::uint64_t> last_counts;
+  int imbalanced_streak = 0;
+  std::size_t current_config = 0;
+  std::uint64_t shifts = 0;
+  std::function<void(std::size_t, Time)> on_shift;
+
+  /// MAD/mean of the last window (for tests/benches).
+  double last_ratio = 0.0;
+};
+
+agent::Agent::NativeFn make_hash_pol_reaction(std::shared_ptr<HashPolState> state);
+
+}  // namespace mantis::apps

@@ -1,0 +1,178 @@
+#include "apps/rl_dctcp.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mantis::apps {
+
+std::string rl_dctcp_p4r_source() {
+  return R"P4R(
+// Use case #4: RL-tuned DCTCP ECN marking threshold (paper 8.3.4).
+header_type ipv4_t {
+  fields {
+    srcAddr : 32;
+    dstAddr : 32;
+    totalLen : 16;
+    protocol : 8;
+    ecn : 1;
+  }
+}
+header ipv4_t ipv4;
+
+header_type rl_meta_t {
+  fields {
+    diff : 19;
+    over : 1;
+    b : 32;
+  }
+}
+metadata rl_meta_t rl_meta;
+
+// The DCTCP marking threshold (packets), reconfigured by the RL reaction.
+malleable value ecn_thresh { width : 16; init : 64; }
+
+action set_egress(port) {
+  modify_field(standard_metadata.egress_spec, port);
+}
+table route {
+  reads { ipv4.dstAddr : exact; }
+  actions { set_egress; }
+  default_action : set_egress(1);
+  size : 64;
+}
+
+// Egress: mark ECN when deq_qdepth >= threshold. RMT has no branch in
+// actions, so compute the comparison arithmetically: diff wraps negative
+// (bit 18 set) exactly when qdepth < threshold.
+action ecn_mark() {
+  subtract(rl_meta.diff, standard_metadata.deq_qdepth, ${ecn_thresh});
+  shift_right(rl_meta.over, rl_meta.diff, 18);
+  bit_xor(ipv4.ecn, rl_meta.over, 1);
+}
+
+// Egress byte counter: half of the reward's state.
+register egr_bytes_r { width : 48; instance_count : 1; }
+
+action count_egr_bytes() {
+  register_read(rl_meta.b, egr_bytes_r, 0);
+  add_to_field(rl_meta.b, standard_metadata.packet_length);
+  register_write(egr_bytes_r, 0, rl_meta.b);
+}
+
+table ecn_stage {
+  actions { ecn_mark; }
+  default_action : ecn_mark;
+  size : 1;
+}
+table egr_tally {
+  actions { count_egr_bytes; }
+  default_action : count_egr_bytes;
+  size : 1;
+}
+
+control ingress {
+  apply(route);
+}
+control egress {
+  apply(ecn_stage);
+  apply(egr_tally);
+}
+
+// Interpreted placeholder policy (the native reaction implements epsilon-
+// greedy tabular Q-learning): proportional threshold adaptation.
+reaction rl_react(reg egr_bytes_r[0:0], egr standard_metadata.deq_qdepth) {
+  static uint64_t last_bytes = 0;
+  uint64_t delivered = egr_bytes_r[0] - last_bytes;
+  last_bytes = egr_bytes_r[0];
+  uint64_t q = standard_metadata_deq_qdepth;
+  uint64_t t = ${ecn_thresh};
+  if (q > t * 2 && t > 4) {
+    ${ecn_thresh} = t / 2;
+  }
+  if (q < t / 2 && delivered > 0 && t < 256) {
+    ${ecn_thresh} = t * 2;
+  }
+}
+)P4R";
+}
+
+int RlState::state_index(double util, std::uint64_t qdepth) const {
+  const int ub = std::min(cfg.util_buckets - 1,
+                          static_cast<int>(util * cfg.util_buckets));
+  // Queue depth buckets are logarithmic: 0,1-2,3-6,7-14,...
+  int qb = 0;
+  std::uint64_t limit = 1;
+  while (qb < cfg.qdepth_buckets - 1 && qdepth > limit) {
+    limit = limit * 2 + 1;
+    ++qb;
+  }
+  return ub * cfg.qdepth_buckets + qb;
+}
+
+agent::Agent::NativeFn make_rl_reaction(std::shared_ptr<RlState> state) {
+  expects(state != nullptr, "make_rl_reaction: null state");
+  expects(!state->cfg.thresholds.empty(), "make_rl_reaction: empty action space");
+  return [state](agent::ReactionContext& ctx) {
+    auto& st = *state;
+    const auto& cfg = st.cfg;
+    if (st.q.empty()) {
+      st.q.assign(static_cast<std::size_t>(cfg.util_buckets * cfg.qdepth_buckets),
+                  std::vector<double>(cfg.thresholds.size(), 0.0));
+      st.rng = Rng(cfg.seed);
+      st.last_step_at = ctx.now();
+      st.last_bytes = static_cast<std::uint64_t>(ctx.arg("egr_bytes_r", 0));
+      return;
+    }
+    if (cfg.step_interval > 0 && ctx.now() - st.last_step_at < cfg.step_interval) {
+      return;
+    }
+
+    // Observe s_{i+1} and the reward r_i of the previous action.
+    const auto bytes = static_cast<std::uint64_t>(ctx.arg("egr_bytes_r", 0));
+    const auto qdepth =
+        static_cast<std::uint64_t>(ctx.arg("standard_metadata_deq_qdepth"));
+    const double interval_ns =
+        std::max<double>(1.0, static_cast<double>(ctx.now() - st.last_step_at));
+    const double gbps =
+        static_cast<double>(bytes - st.last_bytes) * 8.0 / interval_ns;
+    const double util = std::clamp(gbps / cfg.link_gbps, 0.0, 1.0);
+    st.last_bytes = bytes;
+    st.last_step_at = ctx.now();
+
+    const int s_next = st.state_index(util, qdepth);
+    const double reward =
+        util - cfg.queue_penalty *
+                   (static_cast<double>(qdepth) /
+                    static_cast<double>(cfg.thresholds.back() * 2));
+
+    // TD(0) update for the transition (s, a) -> s_next.
+    if (st.last_state >= 0) {
+      auto& row = st.q[static_cast<std::size_t>(st.last_state)];
+      const double best_next =
+          *std::max_element(st.q[static_cast<std::size_t>(s_next)].begin(),
+                            st.q[static_cast<std::size_t>(s_next)].end());
+      double& qsa = row[static_cast<std::size_t>(st.last_action)];
+      qsa += cfg.alpha * (reward + cfg.gamma * best_next - qsa);
+      st.cumulative_reward += reward;
+      st.reward_history.push_back(reward);
+      if (st.on_step) st.on_step(st.last_action, reward);
+    }
+
+    // epsilon-greedy action selection.
+    int action;
+    if (st.rng.chance(cfg.epsilon)) {
+      action = static_cast<int>(st.rng.uniform(cfg.thresholds.size()));
+    } else {
+      const auto& row = st.q[static_cast<std::size_t>(s_next)];
+      action = static_cast<int>(
+          std::max_element(row.begin(), row.end()) - row.begin());
+    }
+    ctx.set("ecn_thresh", cfg.thresholds[static_cast<std::size_t>(action)]);
+    st.last_state = s_next;
+    st.last_action = action;
+    ++st.steps;
+  };
+}
+
+}  // namespace mantis::apps

@@ -1,0 +1,57 @@
+// Use case #4 (paper §8.3.4): reinforcement learning over the reaction loop.
+//
+// The DCTCP ECN marking threshold is a malleable value; the reaction polls
+// egress byte counters and queue depth (state s_i), picks the next threshold
+// with an epsilon-greedy policy (action a_i), and updates a tabular Q
+// function with the TD(0) rule from Sutton & Barto [46], maximizing
+// utilization minus a queue-length penalty.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "util/rng.hpp"
+
+namespace mantis::apps {
+
+std::string rl_dctcp_p4r_source();
+
+struct RlConfig {
+  /// Candidate marking thresholds (packets) — the discrete action space.
+  std::vector<std::uint64_t> thresholds = {4, 8, 16, 32, 64, 128};
+  double epsilon = 0.1;      ///< exploration probability
+  double alpha = 0.2;        ///< learning rate
+  double gamma = 0.9;        ///< discount
+  int util_buckets = 8;      ///< state discretization
+  int qdepth_buckets = 8;
+  double link_gbps = 10.0;   ///< for utilization normalization
+  Duration step_interval = 0;  ///< min virtual time between RL steps (0 = every iteration)
+  double queue_penalty = 0.5;
+  std::uint64_t seed = 17;
+};
+
+struct RlState {
+  RlConfig cfg;
+  Rng rng{17};
+
+  std::vector<std::vector<double>> q;  ///< [state][action]
+  int last_state = -1;
+  int last_action = -1;
+  std::uint64_t last_bytes = 0;
+  Time last_step_at = 0;
+
+  std::uint64_t steps = 0;
+  double cumulative_reward = 0;
+  std::vector<double> reward_history;
+  std::function<void(int, double)> on_step;  ///< (chosen action, reward)
+
+  int state_index(double util, std::uint64_t qdepth) const;
+};
+
+agent::Agent::NativeFn make_rl_reaction(std::shared_ptr<RlState> state);
+
+}  // namespace mantis::apps

@@ -1,0 +1,40 @@
+#include "baseline/count_min.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "sim/action_exec.hpp"
+#include "util/check.hpp"
+
+namespace mantis::baseline {
+
+CountMinSketch::CountMinSketch(std::size_t depth, std::size_t width)
+    : width_(width), rows_(depth, std::vector<std::uint64_t>(width, 0)) {
+  expects(depth > 0 && width > 0, "CountMinSketch: empty dimensions");
+}
+
+std::size_t CountMinSketch::index(std::uint32_t key, std::size_t row) const {
+  // Same CRC-32 as the simulated data plane, with a per-row seed — mirrors a
+  // P4 implementation using distinct field_list_calculations per stage.
+  std::array<std::uint8_t, 4> bytes = {
+      static_cast<std::uint8_t>(key >> 24), static_cast<std::uint8_t>(key >> 16),
+      static_cast<std::uint8_t>(key >> 8), static_cast<std::uint8_t>(key)};
+  const std::uint32_t h = sim::crc32(bytes, static_cast<std::uint32_t>(row) * 0x9e3779b9u);
+  return h % width_;
+}
+
+void CountMinSketch::add(std::uint32_t key, std::uint64_t amount) {
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    rows_[r][index(key, r)] += amount;
+  }
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint32_t key) const {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    best = std::min(best, rows_[r][index(key, r)]);
+  }
+  return best;
+}
+
+}  // namespace mantis::baseline

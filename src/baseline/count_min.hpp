@@ -1,0 +1,29 @@
+// Count-min sketch (paper Fig 14's data-plane sketch baseline, configured as
+// in [44]: 2 stages of 8,192 or 16,384 counters). Collision-induced
+// over-counting is the error mechanism the paper contrasts with Mantis's
+// bounded sampling error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mantis::baseline {
+
+class CountMinSketch {
+ public:
+  CountMinSketch(std::size_t depth, std::size_t width);
+
+  void add(std::uint32_t key, std::uint64_t amount);
+  std::uint64_t estimate(std::uint32_t key) const;
+
+  std::size_t depth() const { return rows_.size(); }
+  std::size_t width() const { return width_; }
+
+ private:
+  std::size_t width_;
+  std::vector<std::vector<std::uint64_t>> rows_;
+
+  std::size_t index(std::uint32_t key, std::size_t row) const;
+};
+
+}  // namespace mantis::baseline

@@ -1,0 +1,38 @@
+#include "baseline/dp_hashtable.hpp"
+
+#include <array>
+
+#include "sim/action_exec.hpp"
+#include "util/check.hpp"
+
+namespace mantis::baseline {
+
+DpHashTable::DpHashTable(std::size_t slots) : slots_(slots) {
+  expects(slots > 0, "DpHashTable: empty table");
+}
+
+std::size_t DpHashTable::index(std::uint32_t key) const {
+  std::array<std::uint8_t, 4> bytes = {
+      static_cast<std::uint8_t>(key >> 24), static_cast<std::uint8_t>(key >> 16),
+      static_cast<std::uint8_t>(key >> 8), static_cast<std::uint8_t>(key)};
+  return sim::crc32(bytes) % slots_.size();
+}
+
+void DpHashTable::add(std::uint32_t key, std::uint64_t amount) {
+  auto& slot = slots_[index(key)];
+  if (!slot.used) {
+    slot.used = true;
+    slot.owner = key;
+  } else if (slot.owner != key) {
+    ++collisions_;
+  }
+  slot.bytes += amount;  // colliders' bytes land on the slot owner
+}
+
+std::uint64_t DpHashTable::estimate(std::uint32_t key) const {
+  const auto& slot = slots_[index(key)];
+  if (!slot.used || slot.owner != key) return 0;
+  return slot.bytes;
+}
+
+}  // namespace mantis::baseline

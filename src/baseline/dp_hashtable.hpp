@@ -1,0 +1,36 @@
+// Data-plane exact hash table baseline (paper Fig 14): a single-hash table
+// of per-sender byte counters, as implementable with one register array and
+// one field_list_calculation. On a collision, the slot keeps its original
+// owner and the collider's bytes are misattributed to that owner — exactly
+// the unbounded-error mechanism the paper contrasts with Mantis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mantis::baseline {
+
+class DpHashTable {
+ public:
+  explicit DpHashTable(std::size_t slots);
+
+  void add(std::uint32_t key, std::uint64_t amount);
+  /// Estimate for `key`: the owner of its slot reports the slot total;
+  /// a non-owner (collision victim) reports 0.
+  std::uint64_t estimate(std::uint32_t key) const;
+
+  std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  struct Slot {
+    bool used = false;
+    std::uint32_t owner = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Slot> slots_;
+  std::uint64_t collisions_ = 0;
+
+  std::size_t index(std::uint32_t key) const;
+};
+
+}  // namespace mantis::baseline

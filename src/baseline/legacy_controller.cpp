@@ -1,0 +1,40 @@
+#include "baseline/legacy_controller.hpp"
+
+namespace mantis::baseline {
+
+LegacyUpdater::LegacyUpdater(driver::Driver& drv, LegacyUpdaterConfig cfg)
+    : drv_(&drv), cfg_(std::move(cfg)), rng_(cfg_.seed) {}
+
+void LegacyUpdater::start(Time until) { submit(until); }
+
+void LegacyUpdater::submit(Time until) {
+  if (stopped_ || drv_->target().loop().now() > until) return;
+  drv_->async_modify_entry(
+      cfg_.table, cfg_.handle, cfg_.action, cfg_.args,
+      [this, until](Duration latency) {
+        latencies_.add(static_cast<double>(latency));
+        const auto jittered = static_cast<Duration>(
+            static_cast<double>(cfg_.think_time) * (0.5 + rng_.uniform01()));
+        drv_->target().loop().schedule_in(std::max<Duration>(1, jittered),
+                                          [this, until] { submit(until); });
+      });
+}
+
+SlowPoller::SlowPoller(driver::Driver& drv, SlowPollerConfig cfg, Callback cb)
+    : drv_(&drv), cfg_(std::move(cfg)), cb_(std::move(cb)) {}
+
+void SlowPoller::start(Time until) { tick(until); }
+
+void SlowPoller::tick(Time until) {
+  if (stopped_ || drv_->target().loop().now() > until) return;
+  drv_->async_read_register_range(
+      cfg_.reg, cfg_.lo, cfg_.hi,
+      [this, until](std::vector<std::uint64_t> values, Duration) {
+        ++polls_;
+        if (cb_) cb_(drv_->target().loop().now(), values);
+        drv_->target().loop().schedule_in(cfg_.period,
+                                          [this, until] { tick(until); });
+      });
+}
+
+}  // namespace mantis::baseline

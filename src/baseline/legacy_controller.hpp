@@ -1,0 +1,84 @@
+// Legacy control-plane clients used as baselines/companions:
+//  * LegacyUpdater — a traditional controller thread submitting a continuous
+//    stream of table updates through the shared driver channel (paper Fig 12:
+//    its latency distribution with/without Mantis running).
+//  * SlowPoller — a traditional OpenFlow-style control loop that polls
+//    counters at millisecond granularity (the "orders of magnitude slower"
+//    comparison point of §1/§8.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/driver.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mantis::baseline {
+
+struct LegacyUpdaterConfig {
+  std::string table;
+  sim::EntryHandle handle = 0;
+  std::string action;
+  std::vector<std::uint64_t> args;
+  /// Gap between an update's completion and the next submission. Jittered
+  /// uniformly by +/-50% so the client does not phase-lock with the Mantis
+  /// loop (as a real controller thread would not).
+  Duration think_time = 5 * kMicrosecond;
+  std::uint64_t seed = 21;
+};
+
+/// Submits back-to-back async table modifications and records each op's
+/// total latency (queueing behind the Mantis agent included).
+class LegacyUpdater {
+ public:
+  LegacyUpdater(driver::Driver& drv, LegacyUpdaterConfig cfg);
+
+  void start(Time until);
+  void stop() { stopped_ = true; }
+
+  const Samples& latencies() const { return latencies_; }
+
+ private:
+  driver::Driver* drv_;
+  LegacyUpdaterConfig cfg_;
+  Rng rng_;
+  bool stopped_ = false;
+  Samples latencies_;
+
+  void submit(Time until);
+};
+
+struct SlowPollerConfig {
+  std::string reg;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  Duration period = 10 * kMillisecond;  ///< typical SNMP/OpenFlow cadence
+};
+
+/// Polls a register range on a traditional-control-plane schedule and hands
+/// each snapshot to a callback. Used to contrast reaction latencies.
+class SlowPoller {
+ public:
+  using Callback = std::function<void(Time, const std::vector<std::uint64_t>&)>;
+
+  SlowPoller(driver::Driver& drv, SlowPollerConfig cfg, Callback cb);
+
+  void start(Time until);
+  void stop() { stopped_ = true; }
+
+  std::uint64_t polls() const { return polls_; }
+
+ private:
+  driver::Driver* drv_;
+  SlowPollerConfig cfg_;
+  Callback cb_;
+  bool stopped_ = false;
+  std::uint64_t polls_ = 0;
+
+  void tick(Time until);
+};
+
+}  // namespace mantis::baseline

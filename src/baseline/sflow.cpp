@@ -1,0 +1,25 @@
+#include "baseline/sflow.hpp"
+
+#include "util/check.hpp"
+
+namespace mantis::baseline {
+
+SflowEstimator::SflowEstimator(std::uint32_t sample_rate_n, std::uint64_t seed)
+    : n_(sample_rate_n), rng_(seed) {
+  expects(n_ > 0, "SflowEstimator: sample rate must be positive");
+}
+
+void SflowEstimator::observe(std::uint32_t src_ip, std::uint32_t bytes) {
+  // Random 1-in-N sampling (the standard sFlow sampling process).
+  if (rng_.uniform(n_) != 0) return;
+  ++samples_;
+  sampled_bytes_[src_ip] += bytes;
+}
+
+std::uint64_t SflowEstimator::estimate(std::uint32_t src_ip) const {
+  auto it = sampled_bytes_.find(src_ip);
+  if (it == sampled_bytes_.end()) return 0;
+  return it->second * n_;
+}
+
+}  // namespace mantis::baseline

@@ -1,0 +1,33 @@
+// sFlow-style estimator (paper Fig 14 baseline): the control plane samples
+// 1-in-N packets and scales counts up by N (RFC 3176 / [34]). The paper uses
+// the 1:30000 sampling rate reported for a production datacenter [37].
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace mantis::baseline {
+
+class SflowEstimator {
+ public:
+  explicit SflowEstimator(std::uint32_t sample_rate_n = 30'000,
+                          std::uint64_t seed = 3);
+
+  /// Offers one packet to the sampler.
+  void observe(std::uint32_t src_ip, std::uint32_t bytes);
+
+  /// Estimated bytes for `src_ip` (0 if never sampled).
+  std::uint64_t estimate(std::uint32_t src_ip) const;
+
+  std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  std::uint32_t n_;
+  Rng rng_;
+  std::uint64_t samples_ = 0;
+  std::map<std::uint32_t, std::uint64_t> sampled_bytes_;
+};
+
+}  // namespace mantis::baseline

@@ -1,0 +1,41 @@
+#include "compile/bindings.hpp"
+
+#include "util/check.hpp"
+
+namespace mantis::compile {
+
+const std::string& ActionInfo::specialized_for(
+    const std::vector<std::size_t>& alts) const {
+  expects(alts.size() == dims.size(), "specialized_for: wrong choice arity");
+  std::size_t index = 0;
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    expects(alts[k] < dim_alts[k], "specialized_for: alt out of range");
+    index = index * dim_alts[k] + alts[k];
+  }
+  ensures(index < specialized.size(), "specialized_for: bad combination index");
+  return specialized[index];
+}
+
+const ActionInfo* TableInfo::find_action(const std::string& name) const {
+  for (const auto& a : actions) {
+    if (a.original == name) return &a;
+  }
+  return nullptr;
+}
+
+const TableInfo& Bindings::table(const std::string& name) const {
+  auto it = tables.find(name);
+  if (it == tables.end()) {
+    throw UserError("unknown user table: " + name);
+  }
+  return it->second;
+}
+
+const ReactionInfo* Bindings::find_reaction(const std::string& name) const {
+  for (const auto& r : reactions) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace mantis::compile

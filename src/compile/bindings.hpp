@@ -1,0 +1,167 @@
+// Bindings: the contract between the Mantis compiler and the Mantis agent.
+//
+// The compiler rewrites the data plane (paper §4–5); the agent then needs to
+// know where everything landed: which init table/parameter position holds
+// each malleable scalar, how each malleable table's key/action space was
+// expanded, which generated registers hold each reaction's polled parameters,
+// and which duplicated/timestamp registers shadow each user register. This
+// header is that map. It corresponds to the metadata the paper's compiler
+// bakes into the generated C library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "p4/ir.hpp"
+
+namespace mantis::compile {
+
+// ---------------------------------------------------------------------------
+// Init tables (paper §4.1, §5.1.1)
+// ---------------------------------------------------------------------------
+
+/// One generated init table. The *master* (always index 0) carries the vv and
+/// mv version bits and is the per-pipeline serialization point; it is a
+/// keyless table updated via its default action. Overflow tables (when the
+/// packed parameters exceed the action-size budget) read vv and hold two
+/// entries, managed like malleable tables.
+struct InitTable {
+  std::string table;
+  std::string action;
+  bool master = false;
+  /// Names of the scalars stored by this table's action, in parameter order.
+  /// For the master the last two are "vv_" and "mv_".
+  std::vector<std::string> params;
+};
+
+/// Where a malleable scalar (value, or a field's alt selector) lives.
+struct ScalarSlot {
+  std::size_t init_table = 0;  ///< index into Bindings::init_tables
+  std::size_t param = 0;       ///< position in that init action's params
+  std::uint64_t init_value = 0;
+  p4::Width width = 16;
+  bool is_selector = false;  ///< true for a malleable field's alt selector
+  std::size_t alt_count = 0; ///< selectors: number of alternatives
+};
+
+// ---------------------------------------------------------------------------
+// Malleable tables and field expansion (paper §4.1, §5.1.2)
+// ---------------------------------------------------------------------------
+
+/// A malleable-field match key that was expanded into |alts| ternary columns
+/// plus a (ternary) selector column.
+struct MblReadInfo {
+  std::string mbl;                    ///< malleable field name
+  std::size_t original_index = 0;     ///< index in the user-declared reads
+  p4::MatchKind original_kind = p4::MatchKind::kExact;
+  std::size_t selector_col = 0;       ///< column of `<mbl>_alt_`
+  std::vector<std::size_t> alt_cols;  ///< column per alternative, in alt order
+  /// `${x} mask N` qualifier from the source; ANDed into every expanded
+  /// entry's alt-column value/mask.
+  std::uint64_t premask = ~std::uint64_t{0};
+};
+
+/// Specialization record for one user-declared action.
+struct ActionInfo {
+  std::string original;
+  /// Malleable fields the action uses, in specialization order. Empty when
+  /// the action needed no specialization.
+  std::vector<std::string> dims;
+  /// Alternative counts, parallel to dims.
+  std::vector<std::size_t> dim_alts;
+  /// Specialized action names indexed by the mixed-radix combination of alt
+  /// choices (last dim fastest). Size == product(dim_alts); size 1 (the
+  /// original name) when dims is empty.
+  std::vector<std::string> specialized;
+
+  /// Maps alt choices (parallel to dims) to the specialized action name.
+  const std::string& specialized_for(const std::vector<std::size_t>& alts) const;
+};
+
+/// Everything the agent needs to install/maintain entries on one user table.
+struct TableInfo {
+  std::string name;
+  bool malleable = false;  ///< user declared `malleable table`
+  int vv_col = -1;         ///< column of the vv version bit (malleable only)
+  std::size_t original_read_count = 0;
+  /// For each original read: the transformed column index, or -1 when the
+  /// read was malleable-expanded (see mbl_reads).
+  std::vector<int> col_of_original;
+  std::vector<MblReadInfo> mbl_reads;
+  /// Selector column per malleable field used by this table's actions
+  /// (shared with mbl_reads' selector when the field is also a match key).
+  std::map<std::string, std::size_t> selector_cols;
+  std::vector<ActionInfo> actions;
+  /// Worst-case concrete entries per user entry (not counting the x2 for vv).
+  std::size_t expansion_product = 1;
+  /// Total match columns after transformation.
+  std::size_t total_cols = 0;
+
+  const ActionInfo* find_action(const std::string& name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Measurement (paper §4.2, §5.2)
+// ---------------------------------------------------------------------------
+
+/// A header/metadata reaction parameter packed into a generated measurement
+/// register (2 instances, indexed by the packet's mv bit).
+struct FieldParamSlot {
+  std::string c_name;  ///< identifier bound in the reaction body
+  p4::Gress gress = p4::Gress::kIngress;
+  std::string reg;          ///< generated register name
+  unsigned bit_offset = 0;  ///< offset within the packed word
+  p4::Width width = 0;
+};
+
+/// A user-register reaction parameter served by the duplicate+timestamp
+/// scheme. Duplicate layout is interleaved: dup[2*i + mv] mirrors user[i],
+/// ts[2*i + mv] counts writes to that copy.
+struct RegParamSlot {
+  std::string c_name;
+  std::string user_reg;
+  std::string dup_reg;
+  std::string ts_reg;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  bool original_eliminated = false;  ///< write-only optimization applied
+};
+
+struct ReactionInfo {
+  std::string name;
+  std::vector<FieldParamSlot> fields;
+  std::vector<RegParamSlot> regs;
+  std::vector<std::string> mbl_params;  ///< ${...} args (always readable)
+  /// Distinct measurement registers this reaction polls (in poll order).
+  std::vector<std::string> measure_regs;
+};
+
+// ---------------------------------------------------------------------------
+// Bindings
+// ---------------------------------------------------------------------------
+
+struct Bindings {
+  std::vector<InitTable> init_tables;
+  std::map<std::string, ScalarSlot> scalars;
+
+  /// Positions of the version bits within the master init action's params.
+  std::size_t vv_param = 0;
+  std::size_t mv_param = 0;
+
+  p4::FieldId vv_field = p4::kInvalidField;  ///< p4r_meta_.vv_
+  p4::FieldId mv_field = p4::kInvalidField;  ///< p4r_meta_.mv_
+
+  std::map<std::string, TableInfo> tables;
+  std::vector<ReactionInfo> reactions;
+
+  /// Entries the agent prologue must install (e.g. malleable-field load
+  /// tables for the field_list strategy).
+  std::vector<std::pair<std::string, p4::EntrySpec>> static_entries;
+
+  const TableInfo& table(const std::string& name) const;
+  const ReactionInfo* find_reaction(const std::string& name) const;
+};
+
+}  // namespace mantis::compile

@@ -1,0 +1,183 @@
+// Compiler driver: init-table generation (paper §4.1 "Compound usages" +
+// §5.1.1), control-block assembly, and the public compile() entry points.
+#include "compile/compiler.hpp"
+
+#include "compile/context.hpp"
+#include "compile/packing.hpp"
+#include "p4/emit.hpp"
+#include "util/check.hpp"
+
+namespace mantis::compile {
+
+namespace detail {
+
+void run_init_pass(Context& ctx) {
+  auto& prog = ctx.prog;
+
+  if (ctx.opts.max_init_action_bits < 2) {
+    throw UserError("compile options: max_init_action_bits must be >= 2 "
+                    "(the vv/mv version bits live in the master init action)");
+  }
+
+  // Pack all malleable scalars plus the two version bits into as few init
+  // actions as the platform action-size budget allows; vv/mv are pinned into
+  // the first (master) action so a single update is the serialization point.
+  std::vector<PackItem> items;
+  for (const auto& s : ctx.scalar_items) items.push_back(PackItem{s.name, s.width});
+  const std::size_t vv_idx = items.size();
+  items.push_back(PackItem{"vv_", 1});
+  const std::size_t mv_idx = items.size();
+  items.push_back(PackItem{"mv_", 1});
+
+  const auto bins = first_fit_decreasing_pinned(items, ctx.opts.max_init_action_bits,
+                                                {vv_idx, mv_idx});
+
+  auto scalar_of = [&](const std::string& name) -> const Context::ScalarItem* {
+    for (const auto& s : ctx.scalar_items) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  auto field_of = [&](const std::string& name) -> p4::FieldId {
+    if (name == "vv_") return ctx.bind.vv_field;
+    if (name == "mv_") return ctx.bind.mv_field;
+    auto vit = ctx.value_fields.find(name);
+    if (vit != ctx.value_fields.end()) return vit->second;
+    auto sit = ctx.selector_fields.find(name);
+    ensures(sit != ctx.selector_fields.end(), "init_pass: unknown scalar " + name);
+    return sit->second;
+  };
+
+  for (std::size_t k = 0; k < bins.size(); ++k) {
+    const bool master = k == 0;
+    const std::string table_name =
+        master ? "p4r_init_" : "p4r_init" + std::to_string(k) + "_";
+    const std::string action_name =
+        master ? "p4r_init_action_" : "p4r_init" + std::to_string(k) + "_action_";
+
+    p4::ActionDecl act;
+    act.name = action_name;
+    InitTable init_info;
+    init_info.table = table_name;
+    init_info.action = action_name;
+    init_info.master = master;
+    std::vector<std::uint64_t> init_args;
+
+    for (const auto item_idx : bins[k].items) {
+      const std::string& name = items[item_idx].name;
+      const std::uint16_t param_pos = static_cast<std::uint16_t>(act.params.size());
+      act.params.push_back(
+          p4::ActionParam{name, static_cast<p4::Width>(items[item_idx].size)});
+      p4::Instruction ins;
+      ins.op = p4::PrimOp::kModifyField;
+      ins.args = {p4::Operand::of_field(field_of(name)),
+                  p4::Operand::of_param(param_pos)};
+      act.body.push_back(std::move(ins));
+      init_info.params.push_back(name);
+
+      if (name == "vv_") {
+        ensures(master, "init_pass: vv_ must land in the master init table");
+        ctx.bind.vv_param = param_pos;
+        init_args.push_back(0);
+      } else if (name == "mv_") {
+        ensures(master, "init_pass: mv_ must land in the master init table");
+        ctx.bind.mv_param = param_pos;
+        init_args.push_back(0);
+      } else {
+        const auto* s = scalar_of(name);
+        ensures(s != nullptr, "init_pass: missing scalar item " + name);
+        ScalarSlot slot;
+        slot.init_table = k;
+        slot.param = param_pos;
+        slot.init_value = s->init;
+        slot.width = s->width;
+        slot.is_selector = s->is_selector;
+        slot.alt_count = s->alt_count;
+        ctx.bind.scalars.emplace(name, slot);
+        init_args.push_back(s->init);
+      }
+    }
+
+    p4::TableDecl tbl;
+    tbl.name = table_name;
+    if (!master) {
+      // Overflow init tables read vv and hold two entries, managed like
+      // malleable tables; the master (updated last) is the commit point.
+      tbl.reads.push_back(
+          p4::MatchSpec{ctx.bind.vv_field, p4::MatchKind::kExact, ""});
+      tbl.size = 2;
+    } else {
+      tbl.size = 1;
+    }
+    tbl.actions = {action_name};
+    tbl.default_action = action_name;
+    tbl.default_action_args = init_args;
+
+    prog.actions.push_back(std::move(act));
+    prog.tables.push_back(std::move(tbl));
+    ctx.init_table_names.push_back(table_name);
+    ctx.bind.init_tables.push_back(std::move(init_info));
+  }
+}
+
+void run_assemble(Context& ctx) {
+  auto& prog = ctx.prog;
+
+  std::vector<p4::ControlNode> ingress;
+  for (const auto& name : ctx.init_table_names) {
+    ingress.push_back(p4::ControlNode{p4::ApplyNode{name}});
+  }
+  for (const auto& name : ctx.load_tables) {
+    ingress.push_back(p4::ControlNode{p4::ApplyNode{name}});
+  }
+  for (auto& node : prog.ingress.nodes) ingress.push_back(std::move(node));
+  for (const auto& name : ctx.measure_tables_ing) {
+    ingress.push_back(p4::ControlNode{p4::ApplyNode{name}});
+  }
+  prog.ingress.nodes = std::move(ingress);
+
+  for (const auto& name : ctx.measure_tables_egr) {
+    prog.egress.nodes.push_back(p4::ControlNode{p4::ApplyNode{name}});
+  }
+
+  if (prog.find_action("_no_op_") == nullptr) {
+    p4::ActionDecl no_op;
+    no_op.name = "_no_op_";
+    prog.actions.push_back(std::move(no_op));
+  }
+  prog.validate();
+}
+
+}  // namespace detail
+
+// Defined in emit_c.cpp.
+std::string emit_c_skeleton(const detail::Context& ctx);
+
+Artifacts compile(const p4r::P4RProgram& src, const Options& opts) {
+  detail::Context ctx;
+  ctx.src = &src;
+  ctx.opts = opts;
+
+  detail::run_setup(ctx);
+  detail::run_value_pass(ctx);
+  detail::run_field_pass(ctx);
+  detail::run_isolation_pass(ctx);
+  detail::run_measure_pass(ctx);
+  detail::run_init_pass(ctx);
+  detail::run_assemble(ctx);
+
+  Artifacts out;
+  out.c_source = emit_c_skeleton(ctx);
+  out.p4_source = p4::emit_p4(ctx.prog);
+  out.reactions = src.reactions;
+  out.bindings = std::move(ctx.bind);
+  out.prog = std::move(ctx.prog);
+  return out;
+}
+
+Artifacts compile_source(std::string_view p4r_source, const Options& opts) {
+  const p4r::P4RProgram analyzed = p4r::frontend(p4r_source);
+  return compile(analyzed, opts);
+}
+
+}  // namespace mantis::compile

@@ -1,0 +1,40 @@
+// The Mantis compiler (paper §4–5): transforms a P4R program into
+//  (1) a valid, malleable P4 program (runnable on the RMT simulator and
+//      emittable as P4-14 text), and
+//  (2) the bindings + reaction bodies the Mantis agent executes
+//      (the counterpart of the paper's generated C library).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "compile/bindings.hpp"
+#include "p4r/sema.hpp"
+
+namespace mantis::compile {
+
+struct Options {
+  /// Maximum total parameter bits of a single init action (platform action-
+  /// size budget). Exceeding it splits the init table (paper §4.1/§5.1.1).
+  unsigned max_init_action_bits = 128;
+  /// Width of packed measurement registers (paper packs 32-bit words).
+  unsigned measure_word_bits = 32;
+};
+
+struct Artifacts {
+  p4::Program prog;     ///< transformed and validated
+  Bindings bindings;
+  std::vector<p4r::Reaction> reactions;  ///< reaction bodies (token streams)
+  std::string p4_source;  ///< artifact #1: generated P4-14 text
+  std::string c_source;   ///< artifact #2: generated C skeleton text
+};
+
+/// Compiles an analyzed P4R program. Throws UserError on programs the
+/// transformation rules cannot handle (e.g. writing a malleable field that a
+/// field_list reads).
+Artifacts compile(const p4r::P4RProgram& src, const Options& opts = {});
+
+/// Convenience: lex + parse + analyze + compile.
+Artifacts compile_source(std::string_view p4r_source, const Options& opts = {});
+
+}  // namespace mantis::compile

@@ -1,0 +1,63 @@
+// Internal working state shared by the compiler passes. Not installed as
+// public API; include only from compile/*.cpp.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compile/bindings.hpp"
+#include "compile/compiler.hpp"
+#include "p4r/sema.hpp"
+
+namespace mantis::compile::detail {
+
+/// Name of the generated metadata instance holding malleable scalars and the
+/// version bits.
+inline constexpr std::string_view kMetaInstance = "p4r_meta_";
+
+struct Context {
+  const p4r::P4RProgram* src = nullptr;
+  Options opts;
+
+  p4::Program prog;  ///< working program (starts as a copy of src->prog)
+  Bindings bind;
+
+  /// malleable value name -> its p4r_meta_ field
+  std::map<std::string, p4::FieldId> value_fields;
+  /// malleable field name -> its alt-selector p4r_meta_ field
+  std::map<std::string, p4::FieldId> selector_fields;
+  /// malleable field name -> load-strategy value field (field_list usage)
+  std::map<std::string, p4::FieldId> loaded_value_fields;
+
+  /// Scalar init parameters accumulated by the value/field passes:
+  /// (name, width bits, init value, is_selector, alt_count).
+  struct ScalarItem {
+    std::string name;
+    p4::Width width = 0;
+    std::uint64_t init = 0;
+    bool is_selector = false;
+    std::size_t alt_count = 0;
+  };
+  std::vector<ScalarItem> scalar_items;
+
+  /// Generated load tables, applied right after init in ingress order.
+  std::vector<std::string> load_tables;
+  /// Generated measurement tables per pipeline, applied at the pipeline end.
+  std::vector<std::string> measure_tables_ing;
+  std::vector<std::string> measure_tables_egr;
+  /// Generated init tables, applied first in ingress (master first).
+  std::vector<std::string> init_table_names;
+};
+
+// Pass entry points (run in this order by compile()).
+void run_setup(Context& ctx);           // p4r_meta_ instance, vv_/mv_ bits
+void run_value_pass(Context& ctx);      // paper Fig 4
+void run_field_pass(Context& ctx);      // paper Figs 5-6 + load strategy
+void run_isolation_pass(Context& ctx);  // vv columns, register dup + ts
+void run_measure_pass(Context& ctx);    // packed measurement registers
+void run_init_pass(Context& ctx);       // init tables, bin packing
+void run_assemble(Context& ctx);        // splice generated tables into the
+                                        // control blocks; final validation
+
+}  // namespace mantis::compile::detail

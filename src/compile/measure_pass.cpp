@@ -1,0 +1,146 @@
+// Measurement transformation (paper §4.2 + §5.2 "Fields"):
+// header/metadata reaction parameters are packed (sorted first-fit) into
+// generated 32-bit registers with two instances each, written at the end of
+// the annotated pipeline and indexed by the packet's mv bit. The control
+// plane polls only the checkpoint copies, giving serializable measurement.
+// Packing is per reaction, so each dialogue polls only the registers the
+// reaction about to run actually needs (freshness, §4.2).
+#include "compile/context.hpp"
+#include "compile/packing.hpp"
+#include "util/check.hpp"
+
+namespace mantis::compile::detail {
+
+void run_measure_pass(Context& ctx) {
+  auto& prog = ctx.prog;
+
+  // Shared shift temporary for the packing instructions.
+  const p4::FieldId shift_tmp =
+      prog.append_metadata_field(kMetaInstance, "p4r_sh_", 64);
+
+  std::vector<p4::Instruction> ing_body;
+  std::vector<p4::Instruction> egr_body;
+
+  for (const auto& rx : ctx.src->reactions) {
+    ReactionInfo rinfo;
+    rinfo.name = rx.name;
+
+    for (const p4::Gress gress : {p4::Gress::kIngress, p4::Gress::kEgress}) {
+      // Collect this reaction's field params for this pipeline.
+      std::vector<const p4r::ReactionParam*> params;
+      std::vector<PackItem> items;
+      for (const auto& param : rx.params) {
+        if (param.kind != p4r::ReactionParam::Kind::kField) continue;
+        if (param.gress != gress) continue;
+        params.push_back(&param);
+        items.push_back(PackItem{param.c_name, prog.fields.width(param.field)});
+      }
+      if (items.empty()) continue;
+
+      const auto bins = first_fit_decreasing(items, ctx.opts.measure_word_bits);
+      auto& body = gress == p4::Gress::kIngress ? ing_body : egr_body;
+
+      for (std::size_t k = 0; k < bins.size(); ++k) {
+        const auto& bin = bins[k];
+        const p4::Width reg_width =
+            bin.used > ctx.opts.measure_word_bits ? 64
+            : static_cast<p4::Width>(ctx.opts.measure_word_bits);
+        const std::string reg_name =
+            "p4r_meas_" + rx.name + "_" +
+            std::string(gress == p4::Gress::kIngress ? "ing" : "egr") + "_" +
+            std::to_string(k) + "_";
+        prog.registers.push_back(p4::RegisterDecl{reg_name, reg_width, 2});
+
+        const p4::FieldId acc =
+            prog.append_metadata_field(kMetaInstance, reg_name + "acc_", reg_width);
+
+        p4::Instruction clear;
+        clear.op = p4::PrimOp::kModifyField;
+        clear.args = {p4::Operand::of_field(acc), p4::Operand::of_const(0)};
+        body.push_back(std::move(clear));
+
+        unsigned offset = 0;
+        for (const auto item_idx : bin.items) {
+          const auto* param = params[item_idx];
+          const p4::Width w = prog.fields.width(param->field);
+
+          p4::Instruction shl;
+          shl.op = p4::PrimOp::kShiftLeft;
+          shl.args = {p4::Operand::of_field(shift_tmp),
+                      p4::Operand::of_field(param->field),
+                      p4::Operand::of_const(offset)};
+          body.push_back(std::move(shl));
+          p4::Instruction orr;
+          orr.op = p4::PrimOp::kBitOr;
+          orr.args = {p4::Operand::of_field(acc), p4::Operand::of_field(acc),
+                      p4::Operand::of_field(shift_tmp)};
+          body.push_back(std::move(orr));
+
+          FieldParamSlot slot;
+          slot.c_name = param->c_name;
+          slot.gress = gress;
+          slot.reg = reg_name;
+          slot.bit_offset = offset;
+          slot.width = w;
+          rinfo.fields.push_back(std::move(slot));
+          offset += w;
+        }
+
+        p4::Instruction store;
+        store.op = p4::PrimOp::kRegisterWrite;
+        store.object = reg_name;
+        store.args = {p4::Operand::of_field(ctx.bind.mv_field),
+                      p4::Operand::of_field(acc)};
+        body.push_back(std::move(store));
+
+        rinfo.measure_regs.push_back(reg_name);
+      }
+    }
+
+    for (const auto& param : rx.params) {
+      switch (param.kind) {
+        case p4r::ReactionParam::Kind::kRegister: {
+          RegParamSlot slot;
+          slot.c_name = param.c_name;
+          slot.user_reg = param.reg;
+          slot.dup_reg = param.reg + "__dup_";
+          slot.ts_reg = param.reg + "__ts_";
+          slot.lo = param.lo;
+          slot.hi = param.hi;
+          slot.original_eliminated = prog.find_register(param.reg) == nullptr;
+          rinfo.regs.push_back(std::move(slot));
+          break;
+        }
+        case p4r::ReactionParam::Kind::kMalleable:
+          rinfo.mbl_params.push_back(param.mbl);
+          break;
+        case p4r::ReactionParam::Kind::kField:
+          break;  // handled above
+      }
+    }
+
+    ctx.bind.reactions.push_back(std::move(rinfo));
+  }
+
+  auto make_measure = [&](std::vector<p4::Instruction> body, p4::Gress gress,
+                          std::vector<std::string>& out_tables) {
+    if (body.empty()) return;
+    const std::string suffix = gress == p4::Gress::kIngress ? "ing" : "egr";
+    p4::ActionDecl act;
+    act.name = "p4r_measure_" + suffix + "_action_";
+    act.body = std::move(body);
+    prog.actions.push_back(std::move(act));
+
+    p4::TableDecl tbl;
+    tbl.name = "p4r_measure_" + suffix + "_";
+    tbl.actions = {"p4r_measure_" + suffix + "_action_"};
+    tbl.default_action = tbl.actions[0];
+    tbl.size = 1;
+    out_tables.push_back(tbl.name);
+    prog.tables.push_back(std::move(tbl));
+  };
+  make_measure(std::move(ing_body), p4::Gress::kIngress, ctx.measure_tables_ing);
+  make_measure(std::move(egr_body), p4::Gress::kEgress, ctx.measure_tables_egr);
+}
+
+}  // namespace mantis::compile::detail

@@ -1,0 +1,76 @@
+#include "compile/packing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mantis::compile {
+
+std::vector<PackedBin> first_fit_decreasing_pinned(
+    const std::vector<PackItem>& items, unsigned capacity,
+    const std::vector<std::size_t>& pinned) {
+  expects(capacity > 0, "first_fit_decreasing: capacity == 0");
+
+  std::vector<PackedBin> bins;
+  std::vector<bool> placed(items.size(), false);
+
+  // Pinned items seed the first bin (they may exceed capacity together only
+  // if the caller miscounted; that is a programming error).
+  if (!pinned.empty()) {
+    PackedBin first;
+    for (const auto idx : pinned) {
+      expects(idx < items.size(), "first_fit_decreasing: bad pinned index");
+      expects(!placed[idx], "first_fit_decreasing: pinned index repeated");
+      first.items.push_back(idx);
+      first.used += items[idx].size;
+      placed[idx] = true;
+    }
+    expects(first.used <= capacity,
+            "first_fit_decreasing: pinned items exceed capacity");
+    bins.push_back(std::move(first));
+  }
+
+  // Sort remaining item indices by decreasing size (stable for determinism).
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return items[a].size > items[b].size;
+  });
+
+  for (const auto idx : order) {
+    if (placed[idx]) continue;
+    const unsigned size = items[idx].size;
+    if (size > capacity) {
+      // Oversized: dedicated bin.
+      PackedBin solo;
+      solo.items.push_back(idx);
+      solo.used = size;
+      bins.push_back(std::move(solo));
+      continue;
+    }
+    bool fitted = false;
+    for (auto& bin : bins) {
+      if (bin.used <= capacity && bin.used + size <= capacity) {
+        bin.items.push_back(idx);
+        bin.used += size;
+        fitted = true;
+        break;
+      }
+    }
+    if (!fitted) {
+      PackedBin bin;
+      bin.items.push_back(idx);
+      bin.used = size;
+      bins.push_back(std::move(bin));
+    }
+  }
+  return bins;
+}
+
+std::vector<PackedBin> first_fit_decreasing(const std::vector<PackItem>& items,
+                                            unsigned capacity) {
+  return first_fit_decreasing_pinned(items, capacity, {});
+}
+
+}  // namespace mantis::compile

@@ -1,0 +1,35 @@
+// Sorted first-fit bin packing (paper §4.1 "Compound usages" and §4.2):
+// Mantis packs init-action parameters into as few actions as possible and
+// measurement fields into as few 32-bit registers as possible, using
+// first-fit-decreasing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mantis::compile {
+
+struct PackItem {
+  std::string name;
+  unsigned size = 0;  ///< bits
+};
+
+struct PackedBin {
+  std::vector<std::size_t> items;  ///< indices into the input vector
+  unsigned used = 0;               ///< bits consumed
+};
+
+/// First-fit-decreasing. Items larger than `capacity` get a dedicated
+/// oversized bin (callers handle those; used for >32-bit measurement fields).
+/// The relative order of equal-sized items is preserved (stable sort).
+std::vector<PackedBin> first_fit_decreasing(const std::vector<PackItem>& items,
+                                            unsigned capacity);
+
+/// Variant that pins `pinned` item indices into the first bin (used to force
+/// vv/mv into the master init action).
+std::vector<PackedBin> first_fit_decreasing_pinned(
+    const std::vector<PackItem>& items, unsigned capacity,
+    const std::vector<std::size_t>& pinned);
+
+}  // namespace mantis::compile

@@ -1,0 +1,47 @@
+// Setup + malleable value transformation (paper Fig 4).
+//
+// Each malleable value becomes a field of the generated p4r_meta_ metadata
+// instance, loaded by the init action at the start of the ingress pipeline.
+// Every `${value}` use in an action body is rewritten to read that field.
+#include "compile/context.hpp"
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace mantis::compile::detail {
+
+void run_setup(Context& ctx) {
+  ctx.prog = ctx.src->prog;  // work on a copy; the frontend output is reusable
+  p4::add_standard_metadata(ctx.prog);
+
+  ctx.prog.add_metadata_instance("p4r_meta_t_", kMetaInstance,
+                                 {{"vv_", 1}, {"mv_", 1}});
+  ctx.bind.vv_field = ctx.prog.fields.require("p4r_meta_.vv_");
+  ctx.bind.mv_field = ctx.prog.fields.require("p4r_meta_.mv_");
+}
+
+void run_value_pass(Context& ctx) {
+  for (const auto& value : ctx.src->values) {
+    const p4::FieldId field = ctx.prog.append_metadata_field(
+        kMetaInstance, value.name, value.width, value.init);
+    ctx.value_fields.emplace(value.name, field);
+    ctx.scalar_items.push_back(Context::ScalarItem{
+        value.name, value.width, value.init, /*is_selector=*/false,
+        /*alt_count=*/0});
+  }
+
+  // Rewrite `${value}` operands to the generated metadata field. (Malleable
+  // *field* operands are handled by the field pass.)
+  for (auto& action : ctx.prog.actions) {
+    for (auto& ins : action.body) {
+      for (auto& arg : ins.args) {
+        if (arg.kind != p4::OperandKind::kMbl) continue;
+        auto it = ctx.value_fields.find(arg.mbl);
+        if (it == ctx.value_fields.end()) continue;
+        arg = p4::Operand::of_field(it->second);
+      }
+    }
+  }
+}
+
+}  // namespace mantis::compile::detail

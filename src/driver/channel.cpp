@@ -1,0 +1,26 @@
+#include "driver/channel.hpp"
+
+#include "util/check.hpp"
+
+namespace mantis::driver {
+
+Time Channel::submit(Duration cost, std::function<void()> apply,
+                     Duration critical) {
+  expects(cost >= 0, "Channel::submit: negative cost");
+  if (critical < 0) critical = cost;
+  expects(critical <= cost, "Channel::submit: critical section exceeds cost");
+  // Local preparation runs immediately; the critical section queues behind
+  // whatever currently holds the channel.
+  const Time local_done = loop_->now() + (cost - critical);
+  const Time start_critical = std::max(local_done, free_at_);
+  const Time completion = start_critical + critical;
+  free_at_ = completion;
+  busy_time_ += cost;
+  ++ops_;
+  if (apply) loop_->schedule_at(completion, std::move(apply));
+  return completion;
+}
+
+Time Channel::free_at() const { return std::max(loop_->now(), free_at_); }
+
+}  // namespace mantis::driver

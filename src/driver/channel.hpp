@@ -1,0 +1,47 @@
+// The serialized driver channel.
+//
+// The real switch has one driver/PCIe path; concurrent control-plane clients
+// (the Mantis agent, legacy applications) contend for it. We model it as a
+// FIFO resource: an operation occupies [start, start+cost) and its effect
+// (table/register mutation or read) happens at the completion instant.
+// Queueing delay behind the in-flight op is what produces Fig 12's bimodal
+// legacy-latency distribution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_loop.hpp"
+#include "util/time.hpp"
+
+namespace mantis::driver {
+
+class Channel {
+ public:
+  explicit Channel(sim::EventLoop& loop) : loop_(&loop) {}
+
+  /// Submits an operation of duration `cost`, of which only the trailing
+  /// `critical` nanoseconds hold the channel exclusively (the lock + device
+  /// kick); the leading remainder is thread-local preparation that runs
+  /// concurrently with other clients' ops. `apply` runs at the completion
+  /// instant (after any queueing). Returns the completion time.
+  /// `critical` defaults to the whole cost (fully exclusive).
+  Time submit(Duration cost, std::function<void()> apply,
+              Duration critical = -1);
+
+  /// Earliest time a newly submitted op could start.
+  Time free_at() const;
+
+  /// Total busy time accumulated so far (for utilization accounting).
+  Duration busy_time() const { return busy_time_; }
+
+  std::uint64_t ops_submitted() const { return ops_; }
+
+ private:
+  sim::EventLoop* loop_;
+  Time free_at_ = 0;
+  Duration busy_time_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace mantis::driver

@@ -1,0 +1,71 @@
+// Latency cost model for control-plane <-> ASIC interactions.
+//
+// This stands in for the Barefoot driver + PCIe measurements of paper Fig 10.
+// Parameters are chosen so the *shapes* the paper reports hold:
+//  * reading field arguments costs one PCIe transaction per packed 32-bit
+//    register -> linear in packed-register count (Fig 10a, "field args"),
+//  * a contiguous register-array range read is one DMA; each extra byte adds
+//    10s of ns (Fig 10a, "register args"),
+//  * scalar malleable updates are a single memoized table modification ->
+//    flat in the number of malleables (Fig 10b),
+//  * malleable-table updates are linear in entries touched (Fig 10b),
+//  * memoization (prologue-computed driver metadata) makes repeated
+//    operations several times cheaper than cold ones (§6, §7).
+// Absolute numbers land end-to-end reactions in the 10s-of-µs band the paper
+// reports. EXPERIMENTS.md lists the exact values used.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace mantis::driver {
+
+struct CostModel {
+  Duration pcie_rtt = 900;             ///< fixed round-trip per transaction
+  Duration reg_read_base = 800;        ///< driver bookkeeping per read op
+  Duration reg_read_per_word = 250;    ///< each packed 32-bit register read
+  Duration reg_range_per_byte = 16;    ///< contiguous DMA range, per byte
+  Duration reg_write = 1200;
+
+  Duration table_mod_memoized = 1400;
+  Duration table_mod_cold = 7000;
+  Duration table_add_memoized = 2600;
+  Duration table_add_cold = 11000;
+  Duration table_del_memoized = 1400;
+  Duration table_del_cold = 7000;
+  Duration table_set_default = 1600;
+
+  Duration batch_overhead = 300;       ///< per submitted batch
+
+  /// Fraction of an operation's latency that holds the shared driver/ASIC
+  /// path exclusively (lock + MMIO kick); the rest is thread-local work and
+  /// in-flight DMA that concurrent clients do not queue behind. This is what
+  /// keeps Mantis's busy loop from starving legacy control planes (Fig 12).
+  double exclusive_fraction = 0.06;
+
+  Duration critical(Duration cost) const {
+    return static_cast<Duration>(static_cast<double>(cost) * exclusive_fraction);
+  }
+
+  // ---- derived helpers ----
+  Duration packed_words_read(std::size_t words) const {
+    return pcie_rtt + reg_read_base +
+           reg_read_per_word * static_cast<Duration>(words);
+  }
+  Duration range_read(std::size_t bytes) const {
+    return pcie_rtt + reg_read_base +
+           reg_range_per_byte * static_cast<Duration>(bytes);
+  }
+  Duration register_write() const { return pcie_rtt + reg_write; }
+  Duration table_mod(bool memoized) const {
+    return pcie_rtt + (memoized ? table_mod_memoized : table_mod_cold);
+  }
+  Duration table_add(bool memoized) const {
+    return pcie_rtt + (memoized ? table_add_memoized : table_add_cold);
+  }
+  Duration table_del(bool memoized) const {
+    return pcie_rtt + (memoized ? table_del_memoized : table_del_cold);
+  }
+  Duration set_default() const { return pcie_rtt + table_set_default; }
+};
+
+}  // namespace mantis::driver

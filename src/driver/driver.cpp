@@ -1,0 +1,231 @@
+#include "driver/driver.hpp"
+
+namespace mantis::driver {
+
+Driver::Driver(sim::Switch& sw, DriverOptions opts)
+    : sw_(&sw), opts_(opts), channel_(sw.loop()) {}
+
+bool Driver::memoized(const std::string& table, const std::string& action) {
+  if (!opts_.enable_memoization) return false;
+  const std::string key = table + "\x1f" + action;
+  // First touch establishes the memo (the prologue normally does this
+  // explicitly; dialogue-time first touches pay the cold cost once).
+  return !memo_.insert(key).second;
+}
+
+void Driver::memoize(const std::string& table, const std::string& action) {
+  if (!opts_.enable_memoization) return;
+  memo_.insert(table + "\x1f" + action);
+}
+
+void Driver::sync_submit(Duration cost, const std::function<void()>& effect) {
+  ++sync_ops_;
+  const Time completion =
+      channel_.submit(cost, nullptr, opts_.costs.critical(cost));
+  sw_->loop().run_until(completion);
+  effect();
+}
+
+sim::EntryHandle Driver::add_entry(const std::string& table,
+                                   const p4::EntrySpec& spec) {
+  const Duration cost = opts_.costs.table_add(memoized(table, spec.action));
+  sim::EntryHandle h = 0;
+  sync_submit(cost, [&] { h = sw_->table(table).add_entry(spec); });
+  return h;
+}
+
+void Driver::modify_entry(const std::string& table, sim::EntryHandle h,
+                          const std::string& action,
+                          std::vector<std::uint64_t> args) {
+  const Duration cost = opts_.costs.table_mod(memoized(table, action));
+  sync_submit(cost, [&] { sw_->table(table).modify_entry(h, action, std::move(args)); });
+}
+
+void Driver::delete_entry(const std::string& table, sim::EntryHandle h) {
+  const Duration cost = opts_.costs.table_del(memoized(table, "\x1f""del"));
+  sync_submit(cost, [&] { sw_->table(table).delete_entry(h); });
+}
+
+void Driver::set_default(const std::string& table, const std::string& action,
+                         std::vector<std::uint64_t> args) {
+  sync_submit(opts_.costs.set_default(),
+              [&] { sw_->table(table).set_default(action, std::move(args)); });
+}
+
+std::uint64_t Driver::read_register(const std::string& reg, std::uint32_t index) {
+  std::uint64_t value = 0;
+  sync_submit(opts_.costs.packed_words_read(1),
+              [&] { value = sw_->registers().read(reg, index); });
+  return value;
+}
+
+std::vector<std::uint64_t> Driver::read_register_range(const std::string& reg,
+                                                       std::uint32_t first,
+                                                       std::uint32_t last) {
+  expects(first <= last, "Driver::read_register_range: first > last");
+  const auto width_bytes = bits_to_bytes(sw_->registers().width(reg));
+  const std::size_t bytes = static_cast<std::size_t>(last - first + 1) * width_bytes;
+  std::vector<std::uint64_t> values;
+  sync_submit(opts_.costs.range_read(bytes),
+              [&] { values = sw_->registers().read_range(reg, first, last); });
+  return values;
+}
+
+std::vector<std::uint64_t> Driver::read_packed_words(
+    const std::vector<WordRef>& words) {
+  std::vector<std::uint64_t> values;
+  sync_submit(opts_.costs.packed_words_read(words.size()), [&] {
+    values.reserve(words.size());
+    for (const auto& w : words) {
+      values.push_back(sw_->registers().read(w.reg, w.index));
+    }
+  });
+  return values;
+}
+
+void Driver::write_register(const std::string& reg, std::uint32_t index,
+                            std::uint64_t value) {
+  sync_submit(opts_.costs.register_write(),
+              [&] { sw_->registers().write(reg, index, value); });
+}
+
+std::uint64_t Driver::read_counter(const std::string& counter,
+                                   std::uint32_t index) {
+  std::uint64_t value = 0;
+  sync_submit(opts_.costs.packed_words_read(1),
+              [&] { value = sw_->registers().counter_value(counter, index); });
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Batch
+// ---------------------------------------------------------------------------
+
+void Driver::Batch::add(std::string table, p4::EntrySpec spec) {
+  Op op;
+  op.kind = Op::Kind::kAdd;
+  op.table = std::move(table);
+  op.spec = std::move(spec);
+  ops_.push_back(std::move(op));
+}
+
+void Driver::Batch::modify(std::string table, sim::EntryHandle h,
+                           std::string action, std::vector<std::uint64_t> args) {
+  Op op;
+  op.kind = Op::Kind::kMod;
+  op.table = std::move(table);
+  op.handle = h;
+  op.action = std::move(action);
+  op.args = std::move(args);
+  ops_.push_back(std::move(op));
+}
+
+void Driver::Batch::erase(std::string table, sim::EntryHandle h) {
+  Op op;
+  op.kind = Op::Kind::kDel;
+  op.table = std::move(table);
+  op.handle = h;
+  ops_.push_back(std::move(op));
+}
+
+std::vector<sim::EntryHandle> Driver::run_batch(Batch batch) {
+  if (batch.empty()) return {};
+
+  if (!opts_.enable_batching) {
+    // Ablation: issue ops one by one (one channel occupancy each).
+    std::vector<sim::EntryHandle> handles;
+    for (auto& op : batch.ops_) {
+      switch (op.kind) {
+        case Batch::Op::Kind::kAdd:
+          handles.push_back(add_entry(op.table, op.spec));
+          break;
+        case Batch::Op::Kind::kMod:
+          modify_entry(op.table, op.handle, op.action, std::move(op.args));
+          break;
+        case Batch::Op::Kind::kDel:
+          delete_entry(op.table, op.handle);
+          break;
+      }
+    }
+    return handles;
+  }
+
+  Duration cost = opts_.costs.batch_overhead;
+  for (const auto& op : batch.ops_) {
+    switch (op.kind) {
+      case Batch::Op::Kind::kAdd:
+        cost += opts_.costs.table_add(memoized(op.table, op.spec.action)) -
+                opts_.costs.pcie_rtt;
+        break;
+      case Batch::Op::Kind::kMod:
+        cost += opts_.costs.table_mod(memoized(op.table, op.action)) -
+                opts_.costs.pcie_rtt;
+        break;
+      case Batch::Op::Kind::kDel:
+        cost += opts_.costs.table_del(memoized(op.table, "\x1f""del")) -
+                opts_.costs.pcie_rtt;
+        break;
+    }
+  }
+  cost += opts_.costs.pcie_rtt;  // the batch pays one shared round trip
+
+  std::vector<sim::EntryHandle> handles;
+  sync_submit(cost, [&] {
+    for (auto& op : batch.ops_) {
+      switch (op.kind) {
+        case Batch::Op::Kind::kAdd:
+          handles.push_back(sw_->table(op.table).add_entry(op.spec));
+          break;
+        case Batch::Op::Kind::kMod:
+          sw_->table(op.table).modify_entry(op.handle, op.action,
+                                            std::move(op.args));
+          break;
+        case Batch::Op::Kind::kDel:
+          sw_->table(op.table).delete_entry(op.handle);
+          break;
+      }
+    }
+  });
+  return handles;
+}
+
+// ---------------------------------------------------------------------------
+// Async (legacy clients)
+// ---------------------------------------------------------------------------
+
+void Driver::async_modify_entry(const std::string& table, sim::EntryHandle h,
+                                const std::string& action,
+                                std::vector<std::uint64_t> args,
+                                std::function<void(Duration)> done) {
+  const Time submitted = sw_->loop().now();
+  const Duration cost = opts_.costs.table_mod(memoized(table, action));
+  channel_.submit(
+      cost,
+      [this, table, h, action, args = std::move(args), submitted,
+       done = std::move(done)]() mutable {
+        sw_->table(table).modify_entry(h, action, std::move(args));
+        if (done) done(sw_->loop().now() - submitted);
+      },
+      opts_.costs.critical(cost));
+}
+
+void Driver::async_read_register_range(
+    const std::string& reg, std::uint32_t first, std::uint32_t last,
+    std::function<void(std::vector<std::uint64_t>, Duration)> done) {
+  expects(first <= last, "Driver::async_read_register_range: first > last");
+  const Time submitted = sw_->loop().now();
+  const auto width_bytes = bits_to_bytes(sw_->registers().width(reg));
+  const std::size_t bytes = static_cast<std::size_t>(last - first + 1) * width_bytes;
+  const Duration cost = opts_.costs.range_read(bytes);
+  channel_.submit(
+      cost,
+      [this, reg, first, last, submitted, done = std::move(done)] {
+        auto values = sw_->registers().read_range(reg, first, last);
+        if (done) {
+          done(std::move(values), sw_->loop().now() - submitted);
+        }
+      },
+      opts_.costs.critical(cost));
+}
+
+}  // namespace mantis::driver

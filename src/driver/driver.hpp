@@ -1,0 +1,143 @@
+// The control-plane driver: the API the Mantis agent (and legacy control
+// planes) use to touch the ASIC. Wraps the simulated switch's raw surface
+// with the latency model, the serialized channel, request batching, and the
+// paper's prologue-time memoization of repeated operations (§6–7).
+//
+// Two calling styles:
+//  * Synchronous (the Mantis agent): the call advances virtual time to the
+//    op's completion — packets and other actors keep running in between —
+//    then returns the result. This models a CPU thread blocked on the driver.
+//  * Asynchronous (legacy clients): submit with a completion callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "driver/channel.hpp"
+#include "driver/cost_model.hpp"
+#include "sim/switch.hpp"
+
+namespace mantis::driver {
+
+struct DriverOptions {
+  CostModel costs;
+  bool enable_memoization = true;  ///< ablation: always-cold when false
+  bool enable_batching = true;     ///< ablation: batches degrade to single ops
+};
+
+class Driver {
+ public:
+  Driver(sim::Switch& sw, DriverOptions opts = {});
+
+  sim::Switch& target() { return *sw_; }
+  const CostModel& costs() const { return opts_.costs; }
+  Channel& channel() { return channel_; }
+
+  // ---------- synchronous API (Mantis agent) ----------
+
+  /// Installs an entry; returns its handle. Virtual time advances to
+  /// completion.
+  sim::EntryHandle add_entry(const std::string& table, const p4::EntrySpec& spec);
+
+  void modify_entry(const std::string& table, sim::EntryHandle h,
+                    const std::string& action, std::vector<std::uint64_t> args);
+
+  void delete_entry(const std::string& table, sim::EntryHandle h);
+
+  void set_default(const std::string& table, const std::string& action,
+                   std::vector<std::uint64_t> args);
+
+  /// Reads one register cell.
+  std::uint64_t read_register(const std::string& reg, std::uint32_t index);
+
+  /// Reads a contiguous range [first, last] in one DMA (cheap per byte).
+  std::vector<std::uint64_t> read_register_range(const std::string& reg,
+                                                 std::uint32_t first,
+                                                 std::uint32_t last);
+
+  /// Reads a set of scattered packed words (the field-argument path: one
+  /// PCIe word read per packed register). Returns values in request order.
+  struct WordRef {
+    std::string reg;
+    std::uint32_t index = 0;
+  };
+  std::vector<std::uint64_t> read_packed_words(const std::vector<WordRef>& words);
+
+  void write_register(const std::string& reg, std::uint32_t index,
+                      std::uint64_t value);
+
+  /// Reads a P4 counter cell (same latency class as a register word).
+  std::uint64_t read_counter(const std::string& counter, std::uint32_t index);
+
+  // ---------- batched synchronous table updates ----------
+
+  /// A group of table mutations submitted as one channel occupancy (batch
+  /// overhead amortized). Mutations all apply at the batch completion
+  /// instant. Used for the prepare and mirror steps of the update protocol.
+  class Batch {
+   public:
+    void add(std::string table, p4::EntrySpec spec);
+    void modify(std::string table, sim::EntryHandle h, std::string action,
+                std::vector<std::uint64_t> args);
+    void erase(std::string table, sim::EntryHandle h);
+    bool empty() const { return ops_.empty(); }
+    std::size_t size() const { return ops_.size(); }
+
+   private:
+    friend class Driver;
+    struct Op {
+      enum class Kind { kAdd, kMod, kDel } kind;
+      std::string table;
+      p4::EntrySpec spec;           // kAdd
+      sim::EntryHandle handle = 0;  // kMod/kDel
+      std::string action;           // kMod
+      std::vector<std::uint64_t> args;
+    };
+    std::vector<Op> ops_;
+  };
+
+  /// Executes the batch; returns handles for the adds, in order.
+  std::vector<sim::EntryHandle> run_batch(Batch batch);
+
+  // ---------- asynchronous API (legacy control planes) ----------
+
+  /// Submits a table modification; `done(latency)` fires at completion with
+  /// the op's total latency including queueing (Fig 12's measured quantity).
+  void async_modify_entry(const std::string& table, sim::EntryHandle h,
+                          const std::string& action,
+                          std::vector<std::uint64_t> args,
+                          std::function<void(Duration)> done);
+
+  /// Submits a register range read; `done(values, latency)` fires at
+  /// completion. Used by clients that live on the event loop (a synchronous
+  /// read from inside an event callback would nest run_until and distort
+  /// other actors' timing).
+  void async_read_register_range(
+      const std::string& reg, std::uint32_t first, std::uint32_t last,
+      std::function<void(std::vector<std::uint64_t>, Duration)> done);
+
+  // ---------- memoization ----------
+
+  /// Pre-warms the driver metadata for a (table, action) pair so the first
+  /// dialogue-time touch is already cheap. Called from the agent prologue.
+  void memoize(const std::string& table, const std::string& action);
+
+  std::uint64_t sync_ops() const { return sync_ops_; }
+
+ private:
+  sim::Switch* sw_;
+  DriverOptions opts_;
+  Channel channel_;
+  std::unordered_set<std::string> memo_;
+  std::uint64_t sync_ops_ = 0;
+
+  bool memoized(const std::string& table, const std::string& action);
+  /// Submits a synchronous op: occupies the channel, runs the loop to the
+  /// completion instant, performs `effect` there, and returns.
+  void sync_submit(Duration cost, const std::function<void()>& effect);
+};
+
+}  // namespace mantis::driver

@@ -1,0 +1,215 @@
+#include "p4/alloc/stage_alloc.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mantis::p4 {
+
+namespace {
+
+bool is_field_writing(PrimOp op) {
+  switch (op) {
+    case PrimOp::kModifyField:
+    case PrimOp::kAdd:
+    case PrimOp::kSubtract:
+    case PrimOp::kAddToField:
+    case PrimOp::kSubtractFromField:
+    case PrimOp::kBitAnd:
+    case PrimOp::kBitOr:
+    case PrimOp::kBitXor:
+    case PrimOp::kShiftLeft:
+    case PrimOp::kShiftRight:
+    case PrimOp::kRegisterRead:
+    case PrimOp::kModifyFieldWithHash:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void insert_unique(std::vector<FieldId>& vec, FieldId f) {
+  if (std::find(vec.begin(), vec.end(), f) == vec.end()) vec.push_back(f);
+}
+
+}  // namespace
+
+std::vector<FieldId> fields_written_by(const Program& prog, const TableDecl& tbl) {
+  std::vector<FieldId> out;
+  for (const auto& name : tbl.actions) {
+    const auto* act = prog.find_action(name);
+    ensures(act != nullptr, "fields_written_by: unknown action " + name);
+    for (const auto& ins : act->body) {
+      if (is_field_writing(ins.op) && !ins.args.empty() &&
+          ins.args[0].kind == OperandKind::kField) {
+        insert_unique(out, ins.args[0].field);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FieldId> fields_read_by(const Program& prog, const TableDecl& tbl) {
+  std::vector<FieldId> out;
+  for (const auto& read : tbl.reads) insert_unique(out, read.field);
+  for (const auto& name : tbl.actions) {
+    const auto* act = prog.find_action(name);
+    ensures(act != nullptr, "fields_read_by: unknown action " + name);
+    for (const auto& ins : act->body) {
+      const std::size_t first_src = is_field_writing(ins.op) ? 1 : 0;
+      for (std::size_t i = first_src; i < ins.args.size(); ++i) {
+        if (ins.args[i].kind == OperandKind::kField) {
+          insert_unique(out, ins.args[i].field);
+        }
+      }
+    }
+    // Hash inputs are reads too.
+    for (const auto& ins : act->body) {
+      if (ins.op != PrimOp::kModifyFieldWithHash) continue;
+      const auto* hc = prog.find_hash_calc(ins.object);
+      ensures(hc != nullptr, "fields_read_by: unknown hash calc");
+      const auto* fl = prog.find_field_list(hc->field_list);
+      ensures(fl != nullptr, "fields_read_by: unknown field list");
+      for (const auto& entry : fl->fields) {
+        if (!entry.is_malleable()) insert_unique(out, entry.field);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> registers_used_by(const Program& prog, const TableDecl& tbl) {
+  std::vector<std::string> out;
+  for (const auto& name : tbl.actions) {
+    const auto* act = prog.find_action(name);
+    ensures(act != nullptr, "registers_used_by: unknown action " + name);
+    for (const auto& ins : act->body) {
+      if (ins.op == PrimOp::kRegisterRead || ins.op == PrimOp::kRegisterWrite) {
+        if (std::find(out.begin(), out.end(), ins.object) == out.end()) {
+          out.push_back(ins.object);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+StageAssignment allocate_stages(const Program& prog, const ControlBlock& block,
+                                const StageModel& model) {
+  const auto order = prog.tables_in(block);
+
+  struct StageLoad {
+    std::uint64_t sram = 0;
+    std::uint64_t tcam = 0;
+    int tables = 0;
+  };
+  std::vector<StageLoad> load(static_cast<std::size_t>(model.max_stages));
+
+  // register name -> stage that hosts it (RMT: one stage per register)
+  std::unordered_map<std::string, int> register_stage;
+  StageAssignment result;
+
+  // Cache table read/write sets for dependency checks.
+  std::unordered_map<std::string, std::vector<FieldId>> writes, reads;
+  for (const auto& name : order) {
+    const auto* tbl = prog.find_table(name);
+    ensures(tbl != nullptr, "allocate_stages: unknown table " + name);
+    writes[name] = fields_written_by(prog, *tbl);
+    reads[name] = fields_read_by(prog, *tbl);
+  }
+
+  auto intersects = [](const std::vector<FieldId>& a, const std::vector<FieldId>& b) {
+    return std::any_of(a.begin(), a.end(), [&](FieldId f) {
+      return std::find(b.begin(), b.end(), f) != b.end();
+    });
+  };
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto& name = order[i];
+    const auto* tbl = prog.find_table(name);
+
+    // Earliest legal stage from dependencies on earlier tables.
+    int min_stage = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto& prior = order[j];
+      const int prior_stage = result.table_stage.at(prior);
+      const bool match_dep = intersects(writes[prior], reads[name]);
+      const bool write_dep = intersects(writes[prior], writes[name]);
+      if (match_dep || write_dep) min_stage = std::max(min_stage, prior_stage + 1);
+    }
+
+    // Register co-location: all users of a register share its stage.
+    int pinned_stage = -1;
+    for (const auto& reg : registers_used_by(prog, *tbl)) {
+      auto it = register_stage.find(reg);
+      if (it != register_stage.end()) {
+        if (pinned_stage != -1 && pinned_stage != it->second) {
+          throw UserError("stage allocation: table " + name +
+                          " uses registers pinned to different stages");
+        }
+        pinned_stage = it->second;
+      }
+    }
+    if (pinned_stage != -1 && pinned_stage < min_stage) {
+      throw UserError("stage allocation: register placement conflicts with "
+                      "dependencies for table " + name);
+    }
+
+    const std::uint64_t key_bits = table_match_bits(prog, *tbl);
+    const std::uint64_t act_bits = table_action_data_bits(prog, *tbl);
+    const bool in_tcam = tbl->is_ternary() ||
+                         std::any_of(tbl->reads.begin(), tbl->reads.end(),
+                                     [](const MatchSpec& m) {
+                                       return m.kind == MatchKind::kLpm;
+                                     });
+    const std::uint64_t tcam_need = in_tcam ? tbl->size * key_bits : 0;
+    const std::uint64_t sram_need =
+        in_tcam ? tbl->size * act_bits : tbl->size * (key_bits + act_bits);
+
+    auto fits = [&](int s) {
+      const auto& sl = load[static_cast<std::size_t>(s)];
+      return sl.tables + 1 <= model.tables_per_stage &&
+             sl.sram + sram_need <= model.sram_bits_per_stage &&
+             sl.tcam + tcam_need <= model.tcam_bits_per_stage;
+    };
+
+    int chosen = -1;
+    if (pinned_stage != -1) {
+      if (!fits(pinned_stage)) {
+        throw UserError("stage allocation: pinned stage overflows for table " + name);
+      }
+      chosen = pinned_stage;
+    } else {
+      for (int s = min_stage; s < model.max_stages; ++s) {
+        if (fits(s)) {
+          chosen = s;
+          break;
+        }
+      }
+      if (chosen == -1) {
+        throw UserError("stage allocation: program does not fit in " +
+                        std::to_string(model.max_stages) + " stages (table " +
+                        name + ")");
+      }
+    }
+
+    auto& sl = load[static_cast<std::size_t>(chosen)];
+    sl.tables += 1;
+    sl.sram += sram_need;
+    sl.tcam += tcam_need;
+    result.table_stage[name] = chosen;
+    result.stages_used = std::max(result.stages_used, chosen + 1);
+    for (const auto& reg : registers_used_by(prog, *tbl)) {
+      register_stage.emplace(reg, chosen);
+    }
+  }
+  return result;
+}
+
+ProgramStages allocate_program_stages(const Program& prog, const StageModel& model) {
+  ProgramStages out;
+  out.ingress = allocate_stages(prog, prog.ingress, model).stages_used;
+  out.egress = allocate_stages(prog, prog.egress, model).stages_used;
+  return out;
+}
+
+}  // namespace mantis::p4

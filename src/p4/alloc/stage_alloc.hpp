@@ -1,0 +1,67 @@
+// RMT stage allocation: places each pipeline's tables into match-action
+// stages subject to data dependencies and per-stage capacity, mirroring how a
+// Tofino-class compiler lays out a program. Backs Table 1's "Stgs" column.
+//
+// Dependency rules (standard match/action dependency analysis):
+//  - MATCH dependency: B matches on (or its actions read) a field some action
+//    of an earlier-applied table A writes => stage(B) > stage(A).
+//  - WRITE-WRITE dependency on the same field also serializes A before B.
+//  - Tables that share a stateful register must land in the same stage (RMT
+//    restricts a register to one stage); if dependencies make that
+//    impossible the allocator throws.
+//  - Otherwise tables may share a stage up to the capacity limits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p4/ir.hpp"
+#include "p4/resources.hpp"
+
+namespace mantis::p4 {
+
+/// Per-stage capacity of the modeled RMT switch. Defaults approximate one
+/// Tofino-class pipeline (documented model, not vendor data).
+struct StageModel {
+  int max_stages = 12;
+  std::uint64_t sram_bits_per_stage = 10ull * 1024 * 1024;  // 1.25 MiB
+  std::uint64_t tcam_bits_per_stage = 512ull * 1024;        // 64 KiB
+  int tables_per_stage = 16;
+};
+
+struct StageAssignment {
+  /// table name -> stage index (0-based)
+  std::unordered_map<std::string, int> table_stage;
+  int stages_used = 0;
+};
+
+/// Allocates all tables applied by `block` (one pipeline). Throws UserError
+/// if the program cannot fit within `model.max_stages`.
+StageAssignment allocate_stages(const Program& prog, const ControlBlock& block,
+                                const StageModel& model = StageModel{});
+
+/// Convenience: max of ingress and egress stage counts... reported per
+/// pipeline as ingress_stages + egress_stages (Tofino has separate gress
+/// stage budgets; we report the sum as the program's stage footprint).
+struct ProgramStages {
+  int ingress = 0;
+  int egress = 0;
+  int total() const { return ingress + egress; }
+};
+
+ProgramStages allocate_program_stages(const Program& prog,
+                                      const StageModel& model = StageModel{});
+
+/// Fields written by any action of the table (destinations of field-writing
+/// primitives). Exposed for tests.
+std::vector<FieldId> fields_written_by(const Program& prog, const TableDecl& tbl);
+
+/// Fields read by the table: match keys plus action source operands.
+std::vector<FieldId> fields_read_by(const Program& prog, const TableDecl& tbl);
+
+/// Registers accessed (read or written) by any action of the table.
+std::vector<std::string> registers_used_by(const Program& prog, const TableDecl& tbl);
+
+}  // namespace mantis::p4

@@ -1,0 +1,21 @@
+// P4-14 text emitter: prints a Program back as a valid P4-14 v1.0.5 source
+// file. This is the Mantis compiler's artifact #1 (paper Fig. 2) — the
+// "valid but malleable" P4 program a user would hand to the vendor compiler.
+#pragma once
+
+#include <string>
+
+#include "p4/ir.hpp"
+
+namespace mantis::p4 {
+
+/// Renders the whole program as P4-14 text.
+std::string emit_p4(const Program& prog);
+
+/// Renders a single action (exposed for tests and diff-friendly goldens).
+std::string emit_action(const Program& prog, const ActionDecl& action);
+
+/// Renders a single table declaration.
+std::string emit_table(const Program& prog, const TableDecl& table);
+
+}  // namespace mantis::p4

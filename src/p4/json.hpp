@@ -1,0 +1,18 @@
+// JSON emitter for compiled programs, in the spirit of p4c's bmv2 JSON
+// artifact: a machine-readable description of the transformed data plane
+// (header types, instances, actions, tables, registers, control flow) that
+// external tooling — visualizers, rule checkers, other simulators — can
+// consume without linking this library.
+#pragma once
+
+#include <string>
+
+#include "p4/ir.hpp"
+
+namespace mantis::p4 {
+
+/// Serializes the program. Deterministic output (declaration order), 2-space
+/// indentation, UTF-8; numbers are decimal.
+std::string emit_json(const Program& prog);
+
+}  // namespace mantis::p4

@@ -1,0 +1,84 @@
+#include "p4/resources.hpp"
+
+#include <algorithm>
+
+namespace mantis::p4 {
+
+std::uint64_t table_match_bits(const Program& prog, const TableDecl& tbl) {
+  std::uint64_t bits = 0;
+  for (const auto& read : tbl.reads) {
+    bits += read.kind == MatchKind::kValid ? 1 : prog.fields.width(read.field);
+  }
+  return bits;
+}
+
+std::uint64_t table_action_data_bits(const Program& prog, const TableDecl& tbl) {
+  std::uint64_t widest = 0;
+  for (const auto& name : tbl.actions) {
+    const auto* act = prog.find_action(name);
+    ensures(act != nullptr, "table_action_data_bits: unknown action " + name);
+    std::uint64_t bits = 0;
+    for (const auto& p : act->params) bits += p.width;
+    widest = std::max(widest, bits);
+  }
+  constexpr std::uint64_t kActionIdBits = 8;
+  return widest + kActionIdBits;
+}
+
+ResourceSummary compute_resources(const Program& prog) {
+  ResourceSummary sum;
+  sum.num_tables = prog.tables.size();
+  sum.num_registers = prog.registers.size();
+
+  for (const auto& tbl : prog.tables) {
+    TableResources tr;
+    tr.name = tbl.name;
+    tr.entries = tbl.size;
+    tr.match_bits = table_match_bits(prog, tbl);
+    tr.action_data_bits = table_action_data_bits(prog, tbl);
+    const bool in_tcam =
+        tbl.is_ternary() ||
+        std::any_of(tbl.reads.begin(), tbl.reads.end(), [](const MatchSpec& m) {
+          return m.kind == MatchKind::kLpm;
+        });
+    const std::uint64_t entries = tbl.size;
+    if (in_tcam) {
+      tr.tcam_bits = entries * tr.match_bits;
+      tr.sram_bits = entries * tr.action_data_bits;
+    } else {
+      tr.sram_bits = entries * (tr.match_bits + tr.action_data_bits);
+    }
+    sum.table_tcam_bits += tr.tcam_bits;
+    sum.table_sram_bits += tr.sram_bits;
+    sum.tables.push_back(std::move(tr));
+  }
+
+  for (const auto& reg : prog.registers) sum.register_sram_bits += reg.total_bits();
+  for (const auto& ctr : prog.counters) {
+    constexpr std::uint64_t kCounterBits = 64;
+    sum.register_sram_bits += kCounterBits * ctr.instance_count;
+  }
+
+  for (const auto& inst : prog.instances) {
+    if (!inst.is_metadata) continue;
+    const auto* type = prog.find_header_type(inst.type_name);
+    ensures(type != nullptr, "compute_resources: instance with missing type");
+    sum.metadata_bits += type->total_width();
+  }
+  return sum;
+}
+
+ResourceSummary marginal(const ResourceSummary& full, const ResourceSummary& base) {
+  auto sub = [](std::uint64_t a, std::uint64_t b) { return a > b ? a - b : 0; };
+  ResourceSummary m;
+  m.table_tcam_bits = sub(full.table_tcam_bits, base.table_tcam_bits);
+  m.table_sram_bits = sub(full.table_sram_bits, base.table_sram_bits);
+  m.register_sram_bits = sub(full.register_sram_bits, base.register_sram_bits);
+  m.metadata_bits = sub(full.metadata_bits, base.metadata_bits);
+  m.num_tables = full.num_tables > base.num_tables ? full.num_tables - base.num_tables : 0;
+  m.num_registers =
+      full.num_registers > base.num_registers ? full.num_registers - base.num_registers : 0;
+  return m;
+}
+
+}  // namespace mantis::p4

@@ -1,0 +1,62 @@
+// Resource accounting over the IR: TCAM/SRAM bits, metadata bits, table and
+// register counts. Backs Table 1's Memory columns and Figure 13's TCAM plots.
+//
+// Cost model (documented, deliberately simple):
+//  - A ternary or LPM table lives in TCAM; its cost is entries * key_bits
+//    (value+mask doubling and slicing granularity are constant factors the
+//    paper's relative comparisons don't depend on).
+//  - An exact table lives in SRAM: entries * (key_bits + action data bits),
+//    where action data bits = widest action's parameter bits + an 8-bit
+//    action id.
+//  - Ternary tables additionally pay SRAM for action data.
+//  - Registers and counters are SRAM.
+//  - Metadata bits = sum of all metadata instance field widths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "p4/ir.hpp"
+
+namespace mantis::p4 {
+
+struct TableResources {
+  std::string name;
+  std::size_t entries = 0;
+  std::uint64_t match_bits = 0;        ///< key width in bits
+  std::uint64_t action_data_bits = 0;  ///< per-entry action payload
+  std::uint64_t tcam_bits = 0;
+  std::uint64_t sram_bits = 0;
+};
+
+struct ResourceSummary {
+  std::vector<TableResources> tables;
+  std::uint64_t table_tcam_bits = 0;
+  std::uint64_t table_sram_bits = 0;
+  std::uint64_t register_sram_bits = 0;
+  std::uint64_t metadata_bits = 0;
+  std::size_t num_tables = 0;
+  std::size_t num_registers = 0;
+
+  std::uint64_t total_tcam_bytes() const { return (table_tcam_bits + 7) / 8; }
+  std::uint64_t total_sram_bytes() const {
+    return (table_sram_bits + register_sram_bits + 7) / 8;
+  }
+};
+
+/// Computes the summary for a whole program.
+ResourceSummary compute_resources(const Program& prog);
+
+/// Key width (bits) of a single table, counting each read at its field width
+/// (valid matches count 1 bit).
+std::uint64_t table_match_bits(const Program& prog, const TableDecl& tbl);
+
+/// Widest action payload among the table's actions, plus an 8-bit action id.
+std::uint64_t table_action_data_bits(const Program& prog, const TableDecl& tbl);
+
+/// Marginal usage of `full` over `base` (clamped at zero per component).
+/// This is how Table 1 reports "marginal increase over a basic router".
+ResourceSummary marginal(const ResourceSummary& full, const ResourceSummary& base);
+
+}  // namespace mantis::p4

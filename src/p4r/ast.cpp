@@ -1,0 +1,5 @@
+#include "p4r/ast.hpp"
+
+// The AST is plain data; out-of-line definitions are not currently needed.
+// This translation unit anchors the header's inclusion in the build.
+namespace mantis::p4r {}

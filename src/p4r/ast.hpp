@@ -1,0 +1,187 @@
+// Abstract syntax tree for P4R source: the P4-14 subset plus the Figure 3
+// extensions (malleable value/field/table declarations and reactions).
+// Produced by the parser, consumed by sema (which lowers to p4::Program +
+// P4R metadata).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "p4r/token.hpp"
+
+namespace mantis::p4r {
+
+struct AstLoc {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+};
+
+inline AstLoc loc_of(const Token& tok) { return AstLoc{tok.line, tok.col}; }
+
+/// A reference appearing where P4-14 expects a field: either a concrete
+/// "instance.field" / bare identifier, or a malleable `${name}`.
+struct AstRef {
+  std::string text;        ///< "a.b", bare name, or malleable name (no ${})
+  bool malleable = false;  ///< true when written as ${text}
+  AstLoc loc;
+};
+
+/// A primitive-action argument: literal or reference.
+struct AstArg {
+  enum class Kind : std::uint8_t { kConst, kRef };
+  Kind kind = Kind::kConst;
+  std::uint64_t value = 0;
+  AstRef ref;
+  AstLoc loc;
+};
+
+struct AstPrim {
+  std::string name;
+  std::vector<AstArg> args;
+  AstLoc loc;
+};
+
+struct AstAction {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<AstPrim> body;
+  AstLoc loc;
+};
+
+struct AstRead {
+  AstRef ref;
+  std::string match_kind;  ///< "exact" | "ternary" | "lpm" | "valid"
+  /// Optional `mask N` qualifier (Fig 3 field_or_masked_ref); full mask when
+  /// absent. Only meaningful on malleable reads.
+  std::uint64_t mask = ~std::uint64_t{0};
+  AstLoc loc;
+};
+
+struct AstTable {
+  std::string name;
+  bool malleable = false;
+  std::vector<AstRead> reads;
+  std::vector<std::string> actions;
+  std::size_t size = 1024;
+  std::string default_action;
+  std::vector<std::uint64_t> default_args;
+  AstLoc loc;
+};
+
+struct AstHeaderType {
+  std::string name;
+  std::vector<std::pair<std::string, unsigned>> fields;  ///< (name, width)
+  AstLoc loc;
+};
+
+struct AstInstance {
+  std::string type_name;
+  std::string name;
+  bool metadata = false;
+  /// Optional metadata initializers: { field : value, ... }.
+  std::vector<std::pair<std::string, std::uint64_t>> initializers;
+  AstLoc loc;
+};
+
+struct AstRegister {
+  std::string name;
+  unsigned width = 32;
+  std::uint32_t instance_count = 1;
+  AstLoc loc;
+};
+
+struct AstCounter {
+  std::string name;
+  std::uint32_t instance_count = 1;
+  AstLoc loc;
+};
+
+struct AstFieldList {
+  std::string name;
+  std::vector<AstRef> entries;
+  AstLoc loc;
+};
+
+struct AstHashCalc {
+  std::string name;
+  std::string field_list;
+  std::string algorithm = "crc32";
+  unsigned output_width = 16;
+  AstLoc loc;
+};
+
+struct AstMblValue {
+  std::string name;
+  unsigned width = 16;
+  std::uint64_t init = 0;
+  AstLoc loc;
+};
+
+struct AstMblField {
+  std::string name;
+  unsigned width = 32;
+  std::string init;               ///< must be a member of alts
+  std::vector<std::string> alts;  ///< concrete field refs
+  AstLoc loc;
+};
+
+struct AstCond {
+  AstArg lhs;
+  std::string op;  ///< "==", "!=", "<", "<=", ">", ">="
+  AstArg rhs;
+  AstLoc loc;
+};
+
+struct AstControlNode;
+
+struct AstApply {
+  std::string table;
+  AstLoc loc;
+};
+
+struct AstIf {
+  AstCond cond;
+  std::vector<AstControlNode> then_branch;
+  std::vector<AstControlNode> else_branch;
+  AstLoc loc;
+};
+
+struct AstControlNode {
+  std::variant<AstApply, AstIf> node;
+};
+
+struct AstReactionArg {
+  enum class Kind : std::uint8_t { kIngField, kEgrField, kRegister, kMalleable };
+  Kind kind = Kind::kIngField;
+  std::string name;        ///< field ref text / register name / malleable name
+  std::uint32_t lo = 0;    ///< kRegister: inclusive range
+  std::uint32_t hi = 0;
+  AstLoc loc;
+};
+
+struct AstReaction {
+  std::string name;
+  std::vector<AstReactionArg> args;
+  std::vector<Token> body;  ///< tokens strictly inside the outer braces
+  AstLoc loc;
+};
+
+struct AstProgram {
+  std::vector<AstHeaderType> header_types;
+  std::vector<AstInstance> instances;
+  std::vector<AstRegister> registers;
+  std::vector<AstCounter> counters;
+  std::vector<AstFieldList> field_lists;
+  std::vector<AstHashCalc> hash_calcs;
+  std::vector<AstAction> actions;
+  std::vector<AstTable> tables;
+  std::vector<AstMblValue> mbl_values;
+  std::vector<AstMblField> mbl_fields;
+  std::vector<AstControlNode> ingress;
+  std::vector<AstControlNode> egress;
+  std::vector<AstReaction> reactions;
+};
+
+}  // namespace mantis::p4r

@@ -1,0 +1,4 @@
+#include "p4r/creact/cast.hpp"
+
+// The reaction AST is plain data; this TU anchors the header in the build.
+namespace mantis::p4r::creact {}

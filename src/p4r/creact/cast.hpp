@@ -1,0 +1,103 @@
+// AST for the C-subset reaction language embedded in `.p4r` files.
+//
+// The paper compiles reaction bodies with gcc and dlopens the result; here we
+// interpret the same language so `.p4r` programs (e.g. Figure 1 verbatim) run
+// end-to-end with no toolchain dependency. Native C++ reactions remain
+// available through agent::Agent for performance-critical users.
+//
+// Supported subset: fixed-width integer types (int, bool, intN_t/uintN_t),
+// local scalars and fixed-size arrays, `static` persistent variables, full C
+// expression grammar over integers (including assignment operators, ++/--,
+// ternary), if/else, for, while, break/continue/return, `${mbl}` reads and
+// writes, `table.addEntry/modEntry/delEntry/setDefault(...)` calls, and a few
+// builtins (abs/min/max/now_us/log).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "p4r/token.hpp"
+
+namespace mantis::p4r::creact {
+
+/// All reaction-language values are 64-bit signed integers; declared unsigned
+/// widths wrap on assignment. (Register contents in the paper's use cases are
+/// all < 2^48, so signed ordering matches unsigned ordering in practice.)
+using CValue = std::int64_t;
+
+struct CExpr;
+using CExprPtr = std::unique_ptr<CExpr>;
+
+struct CExpr {
+  enum class Kind : std::uint8_t {
+    kNum,      ///< literal (value)
+    kString,   ///< string literal (text) — only valid as a call argument
+    kVar,      ///< local/static/param scalar (name)
+    kMbl,      ///< ${name}
+    kIndex,    ///< a[b]
+    kUnary,    ///< op a        (op in ! ~ - +)
+    kPreIncDec,   ///< ++a / --a   (op)
+    kPostIncDec,  ///< a++ / a--   (op)
+    kBinary,   ///< a op b
+    kAssign,   ///< a op b      (op in = += -= *= /= %= &= |= ^= <<= >>=)
+    kTernary,  ///< a ? b : c
+    kCall,     ///< name(args) or name.member(args)
+  };
+
+  Kind kind = Kind::kNum;
+  CValue value = 0;
+  std::string name;
+  std::string member;  ///< kCall: method name for table calls
+  std::string op;
+  CExprPtr a, b, c;
+  std::vector<CExprPtr> args;
+  std::uint32_t line = 0, col = 0;
+};
+
+struct CStmt;
+using CStmtPtr = std::unique_ptr<CStmt>;
+
+struct CStmt {
+  enum class Kind : std::uint8_t {
+    kExpr,
+    kDecl,
+    kDeclGroup,  ///< comma-separated declarators; runs in the CURRENT scope
+    kIf,
+    kFor,
+    kWhile,
+    kBlock,
+    kBreak,
+    kContinue,
+    kReturn,
+  };
+
+  Kind kind = Kind::kExpr;
+
+  // kDecl
+  std::string type;
+  std::string name;
+  bool is_static = false;
+  std::int64_t array_size = -1;  ///< >= 0 for arrays
+  CExprPtr init;                 ///< optional initializer (scalars only)
+
+  // kExpr / kReturn
+  CExprPtr expr;
+
+  // kIf / kFor / kWhile
+  CStmtPtr init_stmt;  ///< for
+  CExprPtr cond;
+  CExprPtr post;  ///< for
+  std::vector<CStmtPtr> body;
+  std::vector<CStmtPtr> else_body;
+
+  std::uint32_t line = 0, col = 0;
+};
+
+/// A parsed reaction body.
+struct CBody {
+  std::vector<CStmtPtr> stmts;
+};
+
+}  // namespace mantis::p4r::creact

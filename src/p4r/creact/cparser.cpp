@@ -1,0 +1,438 @@
+#include "p4r/creact/cparser.hpp"
+
+#include <array>
+
+#include "util/check.hpp"
+
+namespace mantis::p4r::creact {
+
+namespace {
+
+const std::array<std::string_view, 13> kTypeNames = {
+    "int",     "bool",     "unsigned", "long",     "int8_t",
+    "int16_t", "int32_t",  "int64_t",  "uint8_t",  "uint16_t",
+    "uint32_t", "uint64_t", "size_t"};
+
+bool is_type_name(const Token& tok) {
+  if (tok.kind != TokKind::kIdent) return false;
+  for (const auto t : kTypeNames) {
+    if (tok.text == t) return true;
+  }
+  return false;
+}
+
+bool is_assign_op(const Token& tok) {
+  if (tok.kind != TokKind::kSym) return false;
+  static const std::array<std::string_view, 11> ops = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  for (const auto op : ops) {
+    if (tok.text == op) return true;
+  }
+  return false;
+}
+
+/// Binary operator precedence (higher binds tighter). Assignment and ternary
+/// are handled separately (right-associative).
+int binary_precedence(const Token& tok) {
+  if (tok.kind != TokKind::kSym) return -1;
+  const std::string& t = tok.text;
+  if (t == "*" || t == "/" || t == "%") return 10;
+  if (t == "+" || t == "-") return 9;
+  if (t == "<<" || t == ">>") return 8;
+  if (t == "<" || t == "<=" || t == ">" || t == ">=") return 7;
+  if (t == "==" || t == "!=") return 6;
+  if (t == "&") return 5;
+  if (t == "^") return 4;
+  if (t == "|") return 3;
+  if (t == "&&") return 2;
+  if (t == "||") return 1;
+  return -1;
+}
+
+class CParser {
+ public:
+  explicit CParser(std::span<const Token> toks) : toks_(toks) {}
+
+  CBody run() {
+    CBody body;
+    while (!at_end()) body.stmts.push_back(parse_stmt());
+    return body;
+  }
+
+ private:
+  std::span<const Token> toks_;
+  std::size_t pos_ = 0;
+
+  static Token eof_token() {
+    Token tok;
+    tok.kind = TokKind::kEof;
+    return tok;
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    static const Token eof = eof_token();
+    return pos_ + ahead < toks_.size() ? toks_[pos_ + ahead] : eof;
+  }
+  bool at_end() const { return pos_ >= toks_.size(); }
+  const Token& next() {
+    static const Token eof = eof_token();
+    return pos_ < toks_.size() ? toks_[pos_++] : eof;
+  }
+
+  [[noreturn]] static void fail(const Token& tok, const std::string& msg) {
+    throw UserError("reaction parse error at " + loc_str(tok) + ": " + msg);
+  }
+
+  void expect_sym(std::string_view s) {
+    const Token& tok = next();
+    if (!tok.is_sym(s)) {
+      fail(tok, "expected '" + std::string(s) + "', got '" + tok.text + "'");
+    }
+  }
+  std::string expect_ident() {
+    const Token& tok = next();
+    if (tok.kind != TokKind::kIdent) fail(tok, "expected identifier");
+    return tok.text;
+  }
+  bool accept_sym(std::string_view s) {
+    if (peek().is_sym(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // ---------------- statements ----------------
+
+  CStmtPtr parse_stmt() {
+    const Token& tok = peek();
+    auto stmt = std::make_unique<CStmt>();
+    stmt->line = tok.line;
+    stmt->col = tok.col;
+
+    if (tok.is_sym("{")) {
+      next();
+      stmt->kind = CStmt::Kind::kBlock;
+      while (!accept_sym("}")) {
+        if (at_end()) fail(peek(), "unterminated block");
+        stmt->body.push_back(parse_stmt());
+      }
+      return stmt;
+    }
+    if (tok.is_ident("if")) {
+      next();
+      stmt->kind = CStmt::Kind::kIf;
+      expect_sym("(");
+      stmt->cond = parse_expr();
+      expect_sym(")");
+      stmt->body.push_back(parse_stmt());
+      if (peek().is_ident("else")) {
+        next();
+        stmt->else_body.push_back(parse_stmt());
+      }
+      return stmt;
+    }
+    if (tok.is_ident("while")) {
+      next();
+      stmt->kind = CStmt::Kind::kWhile;
+      expect_sym("(");
+      stmt->cond = parse_expr();
+      expect_sym(")");
+      stmt->body.push_back(parse_stmt());
+      return stmt;
+    }
+    if (tok.is_ident("for")) {
+      next();
+      stmt->kind = CStmt::Kind::kFor;
+      expect_sym("(");
+      if (!peek().is_sym(";")) {
+        stmt->init_stmt = parse_simple_stmt();  // consumes its ';'
+      } else {
+        next();
+      }
+      if (!peek().is_sym(";")) stmt->cond = parse_expr();
+      expect_sym(";");
+      if (!peek().is_sym(")")) stmt->post = parse_expr();
+      expect_sym(")");
+      stmt->body.push_back(parse_stmt());
+      return stmt;
+    }
+    if (tok.is_ident("break")) {
+      next();
+      expect_sym(";");
+      stmt->kind = CStmt::Kind::kBreak;
+      return stmt;
+    }
+    if (tok.is_ident("continue")) {
+      next();
+      expect_sym(";");
+      stmt->kind = CStmt::Kind::kContinue;
+      return stmt;
+    }
+    if (tok.is_ident("return")) {
+      next();
+      stmt->kind = CStmt::Kind::kReturn;
+      if (!peek().is_sym(";")) stmt->expr = parse_expr();
+      expect_sym(";");
+      return stmt;
+    }
+    return parse_simple_stmt();
+  }
+
+  /// Declaration or expression statement, including the trailing ';'.
+  CStmtPtr parse_simple_stmt() {
+    auto stmt = std::make_unique<CStmt>();
+    stmt->line = peek().line;
+    stmt->col = peek().col;
+
+    const bool is_static = peek().is_ident("static");
+    if (is_static || is_type_name(peek()) ||
+        (peek().is_ident("const") && is_type_name(peek(1)))) {
+      if (is_static) next();
+      if (peek().is_ident("const")) next();
+      stmt->kind = CStmt::Kind::kDecl;
+      stmt->is_static = is_static;
+      stmt->type = expect_ident();
+      // "unsigned long" / "long long" style two-word types.
+      while (peek().is_ident("long") || peek().is_ident("int")) next();
+      parse_declarator(*stmt);
+      // Comma-separated declarators desugar to a transparent decl group.
+      if (peek().is_sym(",")) {
+        auto block = std::make_unique<CStmt>();
+        block->kind = CStmt::Kind::kDeclGroup;
+        block->line = stmt->line;
+        block->col = stmt->col;
+        const std::string type = stmt->type;
+        const bool stat = stmt->is_static;
+        block->body.push_back(std::move(stmt));
+        while (accept_sym(",")) {
+          auto decl = std::make_unique<CStmt>();
+          decl->kind = CStmt::Kind::kDecl;
+          decl->type = type;
+          decl->is_static = stat;
+          decl->line = peek().line;
+          decl->col = peek().col;
+          parse_declarator(*decl);
+          block->body.push_back(std::move(decl));
+        }
+        expect_sym(";");
+        return block;
+      }
+      expect_sym(";");
+      return stmt;
+    }
+
+    stmt->kind = CStmt::Kind::kExpr;
+    stmt->expr = parse_expr();
+    expect_sym(";");
+    return stmt;
+  }
+
+  void parse_declarator(CStmt& decl) {
+    decl.name = expect_ident();
+    if (accept_sym("[")) {
+      const Token& size = next();
+      if (size.kind != TokKind::kNumber) fail(size, "array size must be a literal");
+      decl.array_size = static_cast<std::int64_t>(size.value);
+      expect_sym("]");
+    }
+    if (accept_sym("=")) decl.init = parse_expr();
+  }
+
+  // ---------------- expressions ----------------
+
+  CExprPtr parse_expr() { return parse_assignment(); }
+
+  CExprPtr parse_assignment() {
+    CExprPtr lhs = parse_ternary();
+    if (is_assign_op(peek())) {
+      const Token& op = next();
+      if (lhs->kind != CExpr::Kind::kVar && lhs->kind != CExpr::Kind::kIndex &&
+          lhs->kind != CExpr::Kind::kMbl) {
+        fail(op, "assignment target must be a variable, array element, or ${...}");
+      }
+      auto node = std::make_unique<CExpr>();
+      node->kind = CExpr::Kind::kAssign;
+      node->op = op.text;
+      node->line = op.line;
+      node->col = op.col;
+      node->a = std::move(lhs);
+      node->b = parse_assignment();  // right-associative
+      return node;
+    }
+    return lhs;
+  }
+
+  CExprPtr parse_ternary() {
+    CExprPtr cond = parse_binary(0);
+    if (!peek().is_sym("?")) return cond;
+    const Token& q = next();
+    auto node = std::make_unique<CExpr>();
+    node->kind = CExpr::Kind::kTernary;
+    node->line = q.line;
+    node->col = q.col;
+    node->a = std::move(cond);
+    node->b = parse_expr();
+    expect_sym(":");
+    node->c = parse_assignment();
+    return node;
+  }
+
+  CExprPtr parse_binary(int min_prec) {
+    CExprPtr lhs = parse_unary();
+    for (;;) {
+      const int prec = binary_precedence(peek());
+      if (prec < 0 || prec < min_prec) return lhs;
+      const Token& op = next();
+      CExprPtr rhs = parse_binary(prec + 1);
+      auto node = std::make_unique<CExpr>();
+      node->kind = CExpr::Kind::kBinary;
+      node->op = op.text;
+      node->line = op.line;
+      node->col = op.col;
+      node->a = std::move(lhs);
+      node->b = std::move(rhs);
+      lhs = std::move(node);
+    }
+  }
+
+  CExprPtr parse_unary() {
+    const Token& tok = peek();
+    if (tok.is_sym("!") || tok.is_sym("~") || tok.is_sym("-") || tok.is_sym("+")) {
+      next();
+      auto node = std::make_unique<CExpr>();
+      node->kind = CExpr::Kind::kUnary;
+      node->op = tok.text;
+      node->line = tok.line;
+      node->col = tok.col;
+      node->a = parse_unary();
+      return node;
+    }
+    if (tok.is_sym("++") || tok.is_sym("--")) {
+      next();
+      auto node = std::make_unique<CExpr>();
+      node->kind = CExpr::Kind::kPreIncDec;
+      node->op = tok.text;
+      node->line = tok.line;
+      node->col = tok.col;
+      node->a = parse_unary();
+      return node;
+    }
+    if (tok.is_sym("(") && is_type_name(peek(1)) && peek(2).is_sym(")")) {
+      // C-style cast: types are all int64 internally, so casts are no-ops.
+      next();
+      next();
+      next();
+      return parse_unary();
+    }
+    return parse_postfix();
+  }
+
+  CExprPtr parse_postfix() {
+    CExprPtr node = parse_primary();
+    for (;;) {
+      if (peek().is_sym("[")) {
+        const Token& br = next();
+        auto idx = std::make_unique<CExpr>();
+        idx->kind = CExpr::Kind::kIndex;
+        idx->line = br.line;
+        idx->col = br.col;
+        idx->a = std::move(node);
+        idx->b = parse_expr();
+        expect_sym("]");
+        node = std::move(idx);
+      } else if (peek().is_sym("++") || peek().is_sym("--")) {
+        const Token& op = next();
+        auto post = std::make_unique<CExpr>();
+        post->kind = CExpr::Kind::kPostIncDec;
+        post->op = op.text;
+        post->line = op.line;
+        post->col = op.col;
+        post->a = std::move(node);
+        node = std::move(post);
+      } else {
+        return node;
+      }
+    }
+  }
+
+  CExprPtr parse_primary() {
+    const Token& tok = peek();
+    if (tok.kind == TokKind::kNumber) {
+      next();
+      auto node = std::make_unique<CExpr>();
+      node->kind = CExpr::Kind::kNum;
+      node->value = static_cast<CValue>(tok.value);
+      node->line = tok.line;
+      node->col = tok.col;
+      return node;
+    }
+    if (tok.kind == TokKind::kString) {
+      next();
+      auto node = std::make_unique<CExpr>();
+      node->kind = CExpr::Kind::kString;
+      node->name = tok.text;
+      node->line = tok.line;
+      node->col = tok.col;
+      return node;
+    }
+    if (tok.is_sym("${")) {
+      next();
+      auto node = std::make_unique<CExpr>();
+      node->kind = CExpr::Kind::kMbl;
+      node->name = expect_ident();
+      node->line = tok.line;
+      node->col = tok.col;
+      expect_sym("}");
+      return node;
+    }
+    if (tok.is_sym("(")) {
+      next();
+      CExprPtr inner = parse_expr();
+      expect_sym(")");
+      return inner;
+    }
+    if (tok.kind == TokKind::kIdent) {
+      next();
+      std::string name = tok.text;
+      std::string member;
+      if (peek().is_sym(".")) {
+        next();
+        member = expect_ident();
+      }
+      if (peek().is_sym("(")) {
+        next();
+        auto call = std::make_unique<CExpr>();
+        call->kind = CExpr::Kind::kCall;
+        call->name = std::move(name);
+        call->member = std::move(member);
+        call->line = tok.line;
+        call->col = tok.col;
+        if (!accept_sym(")")) {
+          for (;;) {
+            call->args.push_back(parse_expr());
+            if (accept_sym(")")) break;
+            expect_sym(",");
+          }
+        }
+        return call;
+      }
+      if (!member.empty()) {
+        fail(tok, "member access is only supported for table method calls");
+      }
+      auto var = std::make_unique<CExpr>();
+      var->kind = CExpr::Kind::kVar;
+      var->name = std::move(name);
+      var->line = tok.line;
+      var->col = tok.col;
+      return var;
+    }
+    fail(tok, "unexpected token '" + tok.text + "' in expression");
+  }
+};
+
+}  // namespace
+
+CBody parse_body(std::span<const Token> tokens) { return CParser(tokens).run(); }
+
+}  // namespace mantis::p4r::creact

@@ -1,0 +1,14 @@
+// Parser for the C-subset reaction language: consumes the token span the P4R
+// parser captured between a reaction's braces and produces a CBody.
+#pragma once
+
+#include <span>
+
+#include "p4r/creact/cast.hpp"
+
+namespace mantis::p4r::creact {
+
+/// Throws UserError with line:col diagnostics on malformed bodies.
+CBody parse_body(std::span<const Token> tokens);
+
+}  // namespace mantis::p4r::creact

@@ -1,0 +1,447 @@
+#include "p4r/creact/interp.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mantis::p4r::creact {
+
+namespace {
+
+[[noreturn]] void fail(std::uint32_t line, std::uint32_t col, const std::string& msg) {
+  throw UserError("reaction runtime error at " + std::to_string(line) + ":" +
+                  std::to_string(col) + ": " + msg);
+}
+
+struct TypeInfo {
+  unsigned width;
+  bool is_unsigned;
+};
+
+TypeInfo type_info(const std::string& type) {
+  if (type == "bool") return {1, true};
+  if (type == "int8_t") return {8, false};
+  if (type == "uint8_t") return {8, true};
+  if (type == "int16_t") return {16, false};
+  if (type == "uint16_t") return {16, true};
+  if (type == "int" || type == "int32_t") return {32, false};
+  if (type == "unsigned" || type == "uint32_t") return {32, true};
+  if (type == "long" || type == "int64_t") return {64, false};
+  if (type == "uint64_t" || type == "size_t") return {64, true};
+  return {64, false};
+}
+
+/// Wraps `v` to the cell's declared width (unsigned: mask; signed: sign-
+/// extend from the width).
+CValue normalize(CValue v, unsigned width, bool is_unsigned) {
+  if (width >= 64) return v;
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  const std::uint64_t bits = static_cast<std::uint64_t>(v) & mask;
+  if (is_unsigned) return static_cast<CValue>(bits);
+  const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  return static_cast<CValue>((bits ^ sign)) - static_cast<CValue>(sign);
+}
+
+constexpr std::uint64_t kMaxSteps = 50'000'000;  ///< runaway-loop guard
+
+enum class Flow : std::uint8_t { kNormal, kBreak, kContinue, kReturn };
+
+}  // namespace
+
+Interp::Interp(const CBody& body) : body_(&body) {}
+
+CValue Interp::static_value(const std::string& name) const {
+  auto it = statics_.find(name);
+  if (it == statics_.end()) throw PreconditionError("no such static: " + name);
+  return it->second.scalar;
+}
+
+/// Executes one invocation; holds all transient (per-run) state.
+class Runner {
+ public:
+  Runner(Interp& interp, const PolledParams& params, ReactionEnv& env)
+      : interp_(&interp), params_(&params), env_(&env) {}
+
+  std::uint64_t run() {
+    push_scope();
+    materialize_params();
+    for (const auto& stmt : interp_->body_->stmts) {
+      if (exec(*stmt) == Flow::kReturn) break;
+    }
+    pop_scope();
+    return steps_;
+  }
+
+ private:
+  using Cell = Interp::Cell;
+
+  Interp* interp_;
+  const PolledParams* params_;
+  ReactionEnv* env_;
+  std::vector<std::map<std::string, Cell>> scopes_;
+  std::uint64_t steps_ = 0;
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  void bump(std::uint32_t line, std::uint32_t col) {
+    if (++steps_ > kMaxSteps) fail(line, col, "reaction exceeded step limit");
+  }
+
+  void materialize_params() {
+    auto& root = scopes_.front();
+    for (const auto& [name, value] : params_->scalars) {
+      Cell cell;
+      cell.scalar = value;
+      root.emplace(name, std::move(cell));
+    }
+    for (const auto& [name, arr] : params_->arrays) {
+      Cell cell;
+      cell.is_array = true;
+      cell.array = arr.values;
+      cell.array_lo = arr.lo;
+      root.emplace(name, std::move(cell));
+    }
+  }
+
+  Cell* find(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    auto st = interp_->statics_.find(name);
+    if (st != interp_->statics_.end()) return &st->second;
+    return nullptr;
+  }
+
+  // ------------- statements -------------
+
+  Flow exec(const CStmt& stmt) {
+    bump(stmt.line, stmt.col);
+    switch (stmt.kind) {
+      case CStmt::Kind::kExpr:
+        eval(*stmt.expr);
+        return Flow::kNormal;
+      case CStmt::Kind::kDecl:
+        exec_decl(stmt);
+        return Flow::kNormal;
+      case CStmt::Kind::kDeclGroup:
+        for (const auto& s : stmt.body) exec_decl(*s);
+        return Flow::kNormal;
+      case CStmt::Kind::kBlock: {
+        push_scope();
+        Flow flow = Flow::kNormal;
+        for (const auto& s : stmt.body) {
+          flow = exec(*s);
+          if (flow != Flow::kNormal) break;
+        }
+        pop_scope();
+        return flow;
+      }
+      case CStmt::Kind::kIf: {
+        if (eval(*stmt.cond) != 0) {
+          return exec_scoped(stmt.body);
+        }
+        if (!stmt.else_body.empty()) return exec_scoped(stmt.else_body);
+        return Flow::kNormal;
+      }
+      case CStmt::Kind::kWhile: {
+        while (eval(*stmt.cond) != 0) {
+          bump(stmt.line, stmt.col);
+          const Flow flow = exec_scoped(stmt.body);
+          if (flow == Flow::kBreak) break;
+          if (flow == Flow::kReturn) return flow;
+        }
+        return Flow::kNormal;
+      }
+      case CStmt::Kind::kFor: {
+        push_scope();
+        if (stmt.init_stmt) exec(*stmt.init_stmt);
+        while (stmt.cond == nullptr || eval(*stmt.cond) != 0) {
+          bump(stmt.line, stmt.col);
+          const Flow flow = exec_scoped(stmt.body);
+          if (flow == Flow::kBreak) break;
+          if (flow == Flow::kReturn) {
+            pop_scope();
+            return flow;
+          }
+          if (stmt.post) eval(*stmt.post);
+        }
+        pop_scope();
+        return Flow::kNormal;
+      }
+      case CStmt::Kind::kBreak:
+        return Flow::kBreak;
+      case CStmt::Kind::kContinue:
+        return Flow::kContinue;
+      case CStmt::Kind::kReturn:
+        if (stmt.expr) eval(*stmt.expr);
+        return Flow::kReturn;
+    }
+    return Flow::kNormal;
+  }
+
+  Flow exec_scoped(const std::vector<CStmtPtr>& body) {
+    push_scope();
+    Flow flow = Flow::kNormal;
+    for (const auto& s : body) {
+      flow = exec(*s);
+      if (flow != Flow::kNormal) break;
+    }
+    pop_scope();
+    return flow;
+  }
+
+  void exec_decl(const CStmt& stmt) {
+    const auto info = type_info(stmt.type);
+    if (stmt.is_static) {
+      // First execution initializes; later passes reuse the persisted cell.
+      if (interp_->statics_.count(stmt.name) == 0) {
+        Cell cell;
+        cell.width = info.width;
+        cell.is_unsigned = info.is_unsigned;
+        if (stmt.array_size >= 0) {
+          cell.is_array = true;
+          cell.array.assign(static_cast<std::size_t>(stmt.array_size), 0);
+        } else if (stmt.init) {
+          cell.scalar = normalize(eval(*stmt.init), info.width, info.is_unsigned);
+        }
+        interp_->statics_.emplace(stmt.name, std::move(cell));
+      }
+      return;
+    }
+    Cell cell;
+    cell.width = info.width;
+    cell.is_unsigned = info.is_unsigned;
+    if (stmt.array_size >= 0) {
+      cell.is_array = true;
+      cell.array.assign(static_cast<std::size_t>(stmt.array_size), 0);
+    } else if (stmt.init) {
+      cell.scalar = normalize(eval(*stmt.init), info.width, info.is_unsigned);
+    }
+    auto [it, inserted] = scopes_.back().insert_or_assign(stmt.name, std::move(cell));
+    (void)it;
+    (void)inserted;
+  }
+
+  // ------------- expressions -------------
+
+  CValue eval(const CExpr& e) {
+    bump(e.line, e.col);
+    switch (e.kind) {
+      case CExpr::Kind::kNum:
+        return e.value;
+      case CExpr::Kind::kString:
+        fail(e.line, e.col, "string literal only allowed as a call argument");
+      case CExpr::Kind::kVar: {
+        Cell* cell = find(e.name);
+        if (cell == nullptr) fail(e.line, e.col, "unknown identifier '" + e.name + "'");
+        if (cell->is_array) fail(e.line, e.col, "'" + e.name + "' is an array");
+        return cell->scalar;
+      }
+      case CExpr::Kind::kMbl:
+        return env_->mbl_get(e.name);
+      case CExpr::Kind::kIndex: {
+        CValue* slot = index_slot(e);
+        return *slot;
+      }
+      case CExpr::Kind::kUnary: {
+        const CValue v = eval(*e.a);
+        if (e.op == "!") return v == 0 ? 1 : 0;
+        if (e.op == "~") return ~v;
+        if (e.op == "-") return -v;
+        return v;  // unary +
+      }
+      case CExpr::Kind::kPreIncDec:
+      case CExpr::Kind::kPostIncDec: {
+        const CValue delta = e.op == "++" ? 1 : -1;
+        if (e.a->kind == CExpr::Kind::kMbl) {
+          fail(e.line, e.col, "++/-- not supported on malleables");
+        }
+        CValue* slot = lvalue_slot(*e.a);
+        const CValue old = *slot;
+        *slot = wrap_for(*e.a, old + delta);
+        return e.kind == CExpr::Kind::kPreIncDec ? *slot : old;
+      }
+      case CExpr::Kind::kBinary:
+        return eval_binary(e);
+      case CExpr::Kind::kAssign:
+        return eval_assign(e);
+      case CExpr::Kind::kTernary:
+        return eval(*e.a) != 0 ? eval(*e.b) : eval(*e.c);
+      case CExpr::Kind::kCall:
+        return eval_call(e);
+    }
+    return 0;
+  }
+
+  CValue eval_binary(const CExpr& e) {
+    // Short-circuit forms first.
+    if (e.op == "&&") return (eval(*e.a) != 0 && eval(*e.b) != 0) ? 1 : 0;
+    if (e.op == "||") return (eval(*e.a) != 0 || eval(*e.b) != 0) ? 1 : 0;
+    const CValue a = eval(*e.a);
+    const CValue b = eval(*e.b);
+    // +,-,* wrap in two's complement (computed unsigned to avoid host UB).
+    const auto ua = static_cast<std::uint64_t>(a);
+    const auto ub = static_cast<std::uint64_t>(b);
+    if (e.op == "+") return static_cast<CValue>(ua + ub);
+    if (e.op == "-") return static_cast<CValue>(ua - ub);
+    if (e.op == "*") return static_cast<CValue>(ua * ub);
+    if (e.op == "/") {
+      if (b == 0) fail(e.line, e.col, "division by zero");
+      return a / b;
+    }
+    if (e.op == "%") {
+      if (b == 0) fail(e.line, e.col, "modulo by zero");
+      return a % b;
+    }
+    if (e.op == "&") return a & b;
+    if (e.op == "|") return a | b;
+    if (e.op == "^") return a ^ b;
+    if (e.op == "<<") return a << (b & 63);
+    if (e.op == ">>") return a >> (b & 63);
+    if (e.op == "==") return a == b ? 1 : 0;
+    if (e.op == "!=") return a != b ? 1 : 0;
+    if (e.op == "<") return a < b ? 1 : 0;
+    if (e.op == "<=") return a <= b ? 1 : 0;
+    if (e.op == ">") return a > b ? 1 : 0;
+    if (e.op == ">=") return a >= b ? 1 : 0;
+    fail(e.line, e.col, "unsupported operator '" + e.op + "'");
+  }
+
+  /// Applies a compound-assignment operator.
+  static CValue apply_op(const std::string& op, CValue old, CValue rhs,
+                         std::uint32_t line, std::uint32_t col) {
+    if (op == "=") return rhs;
+    const auto uo = static_cast<std::uint64_t>(old);
+    const auto ur = static_cast<std::uint64_t>(rhs);
+    if (op == "+=") return static_cast<CValue>(uo + ur);
+    if (op == "-=") return static_cast<CValue>(uo - ur);
+    if (op == "*=") return static_cast<CValue>(uo * ur);
+    if (op == "/=") {
+      if (rhs == 0) fail(line, col, "division by zero");
+      return old / rhs;
+    }
+    if (op == "%=") {
+      if (rhs == 0) fail(line, col, "modulo by zero");
+      return old % rhs;
+    }
+    if (op == "&=") return old & rhs;
+    if (op == "|=") return old | rhs;
+    if (op == "^=") return old ^ rhs;
+    if (op == "<<=") return old << (rhs & 63);
+    if (op == ">>=") return old >> (rhs & 63);
+    fail(line, col, "unsupported assignment operator '" + op + "'");
+  }
+
+  CValue eval_assign(const CExpr& e) {
+    const CValue rhs = eval(*e.b);
+    if (e.a->kind == CExpr::Kind::kMbl) {
+      const CValue old = e.op == "=" ? 0 : env_->mbl_get(e.a->name);
+      const CValue result = apply_op(e.op, old, rhs, e.line, e.col);
+      env_->mbl_set(e.a->name, result);
+      return result;
+    }
+    CValue* slot = lvalue_slot(*e.a);
+    const CValue result = apply_op(e.op, *slot, rhs, e.line, e.col);
+    *slot = wrap_for(*e.a, result);
+    return *slot;
+  }
+
+  /// Resolves a kVar or kIndex expression to a storage slot.
+  CValue* lvalue_slot(const CExpr& e) {
+    if (e.kind == CExpr::Kind::kVar) {
+      Cell* cell = find(e.name);
+      if (cell == nullptr) fail(e.line, e.col, "unknown identifier '" + e.name + "'");
+      if (cell->is_array) fail(e.line, e.col, "cannot assign to array '" + e.name + "'");
+      return &cell->scalar;
+    }
+    if (e.kind == CExpr::Kind::kIndex) return index_slot(e);
+    fail(e.line, e.col, "expression is not assignable");
+  }
+
+  CValue* index_slot(const CExpr& e) {
+    if (e.a->kind != CExpr::Kind::kVar) {
+      fail(e.line, e.col, "only named arrays can be indexed");
+    }
+    Cell* cell = find(e.a->name);
+    if (cell == nullptr) {
+      fail(e.line, e.col, "unknown identifier '" + e.a->name + "'");
+    }
+    if (!cell->is_array) fail(e.line, e.col, "'" + e.a->name + "' is not an array");
+    const CValue raw = eval(*e.b);
+    const CValue idx = raw - static_cast<CValue>(cell->array_lo);
+    if (idx < 0 || static_cast<std::size_t>(idx) >= cell->array.size()) {
+      fail(e.line, e.col, "index " + std::to_string(raw) + " out of range for '" +
+                              e.a->name + "'");
+    }
+    return &cell->array[static_cast<std::size_t>(idx)];
+  }
+
+  CValue wrap_for(const CExpr& target, CValue v) {
+    if (target.kind == CExpr::Kind::kVar) {
+      Cell* cell = find(target.name);
+      if (cell != nullptr) return normalize(v, cell->width, cell->is_unsigned);
+    }
+    if (target.kind == CExpr::Kind::kIndex &&
+        target.a->kind == CExpr::Kind::kVar) {
+      Cell* cell = find(target.a->name);
+      if (cell != nullptr) return normalize(v, cell->width, cell->is_unsigned);
+    }
+    return v;
+  }
+
+  CValue eval_call(const CExpr& e) {
+    // Table method call: t.method(args...)
+    if (!e.member.empty()) {
+      std::vector<TableCallArg> args;
+      args.reserve(e.args.size());
+      for (const auto& arg : e.args) {
+        TableCallArg out;
+        if (arg->kind == CExpr::Kind::kString) {
+          out.is_string = true;
+          out.str = arg->name;
+        } else {
+          out.num = eval(*arg);
+        }
+        args.push_back(std::move(out));
+      }
+      return env_->table_call(e.name, e.member, args);
+    }
+    // Builtins.
+    auto arity = [&](std::size_t n) {
+      if (e.args.size() != n) {
+        fail(e.line, e.col, e.name + " expects " + std::to_string(n) + " args");
+      }
+    };
+    if (e.name == "abs") {
+      arity(1);
+      const CValue v = eval(*e.args[0]);
+      return v < 0 ? -v : v;
+    }
+    if (e.name == "min") {
+      arity(2);
+      return std::min(eval(*e.args[0]), eval(*e.args[1]));
+    }
+    if (e.name == "max") {
+      arity(2);
+      return std::max(eval(*e.args[0]), eval(*e.args[1]));
+    }
+    if (e.name == "now_us") {
+      arity(0);
+      return env_->now_us();
+    }
+    if (e.name == "log") {
+      arity(1);
+      env_->log_value(eval(*e.args[0]));
+      return 0;
+    }
+    fail(e.line, e.col, "unknown function '" + e.name + "'");
+  }
+};
+
+std::uint64_t Interp::run(const PolledParams& params, ReactionEnv& env) {
+  return Runner(*this, params, env).run();
+}
+
+}  // namespace mantis::p4r::creact

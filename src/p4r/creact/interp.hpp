@@ -1,0 +1,90 @@
+// Tree-walking interpreter for parsed reaction bodies.
+//
+// Each Interp instance owns the `static` variable storage for one reaction,
+// mirroring the paper's "stateful dialogue" design where C statics in the
+// dlopen'd reaction retain values across loop iterations (§6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "p4r/creact/cast.hpp"
+
+namespace mantis::p4r::creact {
+
+/// One argument to a table method call (`t.addEntry("act", key, args...)`).
+struct TableCallArg {
+  bool is_string = false;
+  std::string str;
+  CValue num = 0;
+};
+
+/// Host hooks for malleable access, table calls, and builtins. Implemented by
+/// the Mantis agent.
+class ReactionEnv {
+ public:
+  virtual ~ReactionEnv() = default;
+
+  virtual CValue mbl_get(const std::string& name) = 0;
+  virtual void mbl_set(const std::string& name, CValue value) = 0;
+
+  /// Dispatches `table.method(args...)`; returns the method's value (entry
+  /// handles for addEntry, 0 otherwise).
+  virtual CValue table_call(const std::string& table, const std::string& method,
+                            const std::vector<TableCallArg>& args) = 0;
+
+  /// Current virtual time in microseconds (builtin `now_us()`).
+  virtual CValue now_us() { return 0; }
+
+  /// Builtin `log(v)`; for debugging reactions.
+  virtual void log_value(CValue) {}
+};
+
+/// The parameter snapshot the agent polled for this iteration.
+struct PolledParams {
+  std::map<std::string, CValue> scalars;
+
+  struct Array {
+    std::uint32_t lo = 0;               ///< first data-plane index
+    std::vector<CValue> values;         ///< values[i] is dp index lo + i
+  };
+  std::map<std::string, Array> arrays;
+};
+
+class Interp {
+ public:
+  /// `body` must outlive the interpreter.
+  explicit Interp(const CBody& body);
+
+  /// Executes the body once; returns the number of interpreter steps taken
+  /// (the agent uses this to charge virtual CPU time). Throws UserError on
+  /// runtime errors (unknown identifier, bad index, division by zero,
+  /// runaway loop).
+  std::uint64_t run(const PolledParams& params, ReactionEnv& env);
+
+  /// Clears `static` storage (used when hot-swapping reactions with
+  /// re-initialization requested).
+  void reset_statics() { statics_.clear(); }
+
+  /// Test hook: value of a static after the last run (throws if absent).
+  CValue static_value(const std::string& name) const;
+
+ private:
+  const CBody* body_;
+
+  struct Cell {
+    bool is_array = false;
+    CValue scalar = 0;
+    std::vector<CValue> array;
+    std::uint32_t array_lo = 0;  ///< index offset (params keep dp indices)
+    unsigned width = 64;
+    bool is_unsigned = false;
+  };
+
+  std::map<std::string, Cell> statics_;
+  friend class Runner;
+};
+
+}  // namespace mantis::p4r::creact

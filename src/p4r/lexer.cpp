@@ -1,0 +1,170 @@
+#include "p4r/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "util/check.hpp"
+
+namespace mantis::p4r {
+
+namespace {
+
+[[noreturn]] void fail(std::uint32_t line, std::uint32_t col, const std::string& msg) {
+  throw UserError("lex error at " + std::to_string(line) + ":" +
+                  std::to_string(col) + ": " + msg);
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Longest-match operator table (covers P4R punctuation and the C reaction
+// subset). Order within each length does not matter; lengths are tried
+// longest-first.
+constexpr std::array<std::string_view, 2> kOps3 = {"<<=", ">>="};
+constexpr std::array<std::string_view, 19> kOps2 = {
+    "${", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++",
+    "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+constexpr std::string_view kOps1 = "{}()[];:,.<>=+-*/%&|^!~?";
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::uint32_t line = 1, col = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (src[i + k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    // Whitespace
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    // Comments
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const std::uint32_t start_line = line, start_col = col;
+      advance(2);
+      for (;;) {
+        if (i + 1 >= src.size()) fail(start_line, start_col, "unterminated comment");
+        if (src[i] == '*' && src[i + 1] == '/') {
+          advance(2);
+          break;
+        }
+        advance(1);
+      }
+      continue;
+    }
+    // Identifiers / keywords
+    if (ident_start(c)) {
+      Token tok;
+      tok.kind = TokKind::kIdent;
+      tok.line = line;
+      tok.col = col;
+      std::size_t j = i;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      tok.text = std::string(src.substr(i, j - i));
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Numbers (decimal or 0x hex)
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token tok;
+      tok.kind = TokKind::kNumber;
+      tok.line = line;
+      tok.col = col;
+      std::size_t j = i;
+      int base = 10;
+      if (c == '0' && j + 1 < src.size() && (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+        base = 16;
+        j += 2;
+        while (j < src.size() && std::isxdigit(static_cast<unsigned char>(src[j]))) ++j;
+        if (j == i + 2) fail(line, col, "malformed hex literal");
+      } else {
+        while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      }
+      tok.text = std::string(src.substr(i, j - i));
+      tok.value = std::stoull(base == 16 ? tok.text.substr(2) : tok.text, nullptr, base);
+      if (j < src.size() && ident_start(src[j])) {
+        fail(line, col, "identifier may not start with a digit");
+      }
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // String literals (used by reaction bodies for action names).
+    if (c == '"') {
+      Token tok;
+      tok.kind = TokKind::kString;
+      tok.line = line;
+      tok.col = col;
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] != '"' && src[j] != '\n') ++j;
+      if (j >= src.size() || src[j] != '"') fail(line, col, "unterminated string");
+      tok.text = std::string(src.substr(i + 1, j - i - 1));
+      advance(j - i + 1);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Operators, longest match first.
+    auto try_op = [&](std::string_view op) -> bool {
+      if (src.substr(i).substr(0, op.size()) != op) return false;
+      Token tok;
+      tok.kind = TokKind::kSym;
+      tok.text = std::string(op);
+      tok.line = line;
+      tok.col = col;
+      advance(op.size());
+      out.push_back(std::move(tok));
+      return true;
+    };
+    bool matched = false;
+    for (const auto op : kOps3) {
+      if (op.size() == 3 && try_op(op)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      for (const auto op : kOps2) {
+        if (try_op(op)) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched && kOps1.find(c) != std::string_view::npos) {
+      matched = try_op(std::string_view(&src[i], 1));
+    }
+    if (!matched) fail(line, col, std::string("unexpected character '") + c + "'");
+  }
+
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = line;
+  eof.col = col;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace mantis::p4r

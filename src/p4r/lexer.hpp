@@ -1,0 +1,17 @@
+// Lexer for P4R source (P4-14 subset + Figure 3 extensions + embedded C
+// reaction bodies). One pass tokenizes the whole file, including reaction
+// bodies, whose C-subset operators are all in the symbol table below.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "p4r/token.hpp"
+
+namespace mantis::p4r {
+
+/// Tokenizes `source`; throws UserError with line:col on bad input.
+/// The result always ends with a kEof token.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace mantis::p4r

@@ -1,0 +1,533 @@
+#include "p4r/parser.hpp"
+
+#include "p4r/lexer.hpp"
+#include "util/check.hpp"
+
+namespace mantis::p4r {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : toks_(lex(source)) {}
+
+  AstProgram run() {
+    AstProgram prog;
+    while (!at_eof()) {
+      const Token& tok = peek();
+      if (tok.is_ident("header_type")) {
+        prog.header_types.push_back(parse_header_type());
+      } else if (tok.is_ident("header")) {
+        prog.instances.push_back(parse_instance(/*metadata=*/false));
+      } else if (tok.is_ident("metadata")) {
+        prog.instances.push_back(parse_instance(/*metadata=*/true));
+      } else if (tok.is_ident("register")) {
+        prog.registers.push_back(parse_register());
+      } else if (tok.is_ident("counter")) {
+        prog.counters.push_back(parse_counter());
+      } else if (tok.is_ident("field_list")) {
+        prog.field_lists.push_back(parse_field_list());
+      } else if (tok.is_ident("field_list_calculation")) {
+        prog.hash_calcs.push_back(parse_hash_calc());
+      } else if (tok.is_ident("action")) {
+        prog.actions.push_back(parse_action());
+      } else if (tok.is_ident("table")) {
+        prog.tables.push_back(parse_table(/*malleable=*/false));
+      } else if (tok.is_ident("malleable")) {
+        parse_malleable(prog);
+      } else if (tok.is_ident("control")) {
+        parse_control(prog);
+      } else if (tok.is_ident("reaction")) {
+        prog.reactions.push_back(parse_reaction());
+      } else if (tok.is_ident("parser")) {
+        skip_parser_decl();  // accepted for P4-14 compatibility, ignored
+      } else {
+        fail(tok, "unexpected token '" + tok.text + "' at top level");
+      }
+    }
+    return prog;
+  }
+
+ private:
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] static void fail(const Token& tok, const std::string& msg) {
+    throw UserError("parse error at " + loc_str(tok) + ": " + msg);
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  bool at_eof() const { return peek().kind == TokKind::kEof; }
+  const Token& next() {
+    const Token& tok = peek();
+    if (!at_eof()) ++pos_;
+    return tok;
+  }
+  const Token& expect_sym(std::string_view s) {
+    const Token& tok = next();
+    if (!tok.is_sym(s)) fail(tok, "expected '" + std::string(s) + "'");
+    return tok;
+  }
+  const Token& expect_ident() {
+    const Token& tok = next();
+    if (tok.kind != TokKind::kIdent) fail(tok, "expected identifier");
+    return tok;
+  }
+  const Token& expect_kw(std::string_view kw) {
+    const Token& tok = next();
+    if (!tok.is_ident(kw)) fail(tok, "expected '" + std::string(kw) + "'");
+    return tok;
+  }
+  std::uint64_t expect_number() {
+    const Token& tok = next();
+    if (tok.kind != TokKind::kNumber) fail(tok, "expected number");
+    return tok.value;
+  }
+  bool accept_sym(std::string_view s) {
+    if (peek().is_sym(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool accept_kw(std::string_view kw) {
+    if (peek().is_ident(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// "a" or "a.b" (dotted reference), or "${name}".
+  AstRef parse_ref() {
+    AstRef ref;
+    ref.loc = loc_of(peek());
+    if (accept_sym("${")) {
+      ref.malleable = true;
+      ref.text = expect_ident().text;
+      expect_sym("}");
+      return ref;
+    }
+    ref.text = expect_ident().text;
+    while (accept_sym(".")) ref.text += "." + expect_ident().text;
+    return ref;
+  }
+
+  AstArg parse_arg() {
+    AstArg arg;
+    arg.loc = loc_of(peek());
+    if (peek().kind == TokKind::kNumber) {
+      arg.kind = AstArg::Kind::kConst;
+      arg.value = expect_number();
+      return arg;
+    }
+    arg.kind = AstArg::Kind::kRef;
+    arg.ref = parse_ref();
+    return arg;
+  }
+
+  AstHeaderType parse_header_type() {
+    AstHeaderType ht;
+    ht.loc = loc_of(peek());
+    expect_kw("header_type");
+    ht.name = expect_ident().text;
+    expect_sym("{");
+    expect_kw("fields");
+    expect_sym("{");
+    while (!accept_sym("}")) {
+      const std::string fname = expect_ident().text;
+      expect_sym(":");
+      const auto width = expect_number();
+      expect_sym(";");
+      ht.fields.emplace_back(fname, static_cast<unsigned>(width));
+    }
+    expect_sym("}");
+    return ht;
+  }
+
+  AstInstance parse_instance(bool metadata) {
+    AstInstance inst;
+    inst.loc = loc_of(peek());
+    next();  // 'header' or 'metadata'
+    inst.metadata = metadata;
+    inst.type_name = expect_ident().text;
+    inst.name = expect_ident().text;
+    if (accept_sym("{")) {
+      if (!metadata) fail(peek(), "only metadata instances take initializers");
+      for (;;) {
+        const std::string fname = expect_ident().text;
+        expect_sym(":");
+        inst.initializers.emplace_back(fname, expect_number());
+        if (accept_sym("}")) break;
+        expect_sym(",");
+      }
+    }
+    expect_sym(";");
+    return inst;
+  }
+
+  AstRegister parse_register() {
+    AstRegister reg;
+    reg.loc = loc_of(peek());
+    expect_kw("register");
+    reg.name = expect_ident().text;
+    expect_sym("{");
+    while (!accept_sym("}")) {
+      const std::string key = expect_ident().text;
+      expect_sym(":");
+      const auto value = expect_number();
+      expect_sym(";");
+      if (key == "width") {
+        reg.width = static_cast<unsigned>(value);
+      } else if (key == "instance_count") {
+        reg.instance_count = static_cast<std::uint32_t>(value);
+      } else {
+        fail(peek(), "unknown register attribute '" + key + "'");
+      }
+    }
+    return reg;
+  }
+
+  AstCounter parse_counter() {
+    AstCounter ctr;
+    ctr.loc = loc_of(peek());
+    expect_kw("counter");
+    ctr.name = expect_ident().text;
+    expect_sym("{");
+    while (!accept_sym("}")) {
+      const std::string key = expect_ident().text;
+      expect_sym(":");
+      if (key == "type") {
+        expect_ident();  // "packets" / "bytes" — accepted, modeled as packets
+      } else if (key == "instance_count") {
+        ctr.instance_count = static_cast<std::uint32_t>(expect_number());
+      } else {
+        fail(peek(), "unknown counter attribute '" + key + "'");
+      }
+      expect_sym(";");
+    }
+    return ctr;
+  }
+
+  AstFieldList parse_field_list() {
+    AstFieldList fl;
+    fl.loc = loc_of(peek());
+    expect_kw("field_list");
+    fl.name = expect_ident().text;
+    expect_sym("{");
+    while (!accept_sym("}")) {
+      fl.entries.push_back(parse_ref());
+      expect_sym(";");
+    }
+    return fl;
+  }
+
+  AstHashCalc parse_hash_calc() {
+    AstHashCalc hc;
+    hc.loc = loc_of(peek());
+    expect_kw("field_list_calculation");
+    hc.name = expect_ident().text;
+    expect_sym("{");
+    while (!accept_sym("}")) {
+      const std::string key = expect_ident().text;
+      if (key == "input") {
+        expect_sym("{");
+        hc.field_list = expect_ident().text;
+        expect_sym(";");
+        expect_sym("}");
+      } else if (key == "algorithm") {
+        expect_sym(":");
+        hc.algorithm = expect_ident().text;
+        expect_sym(";");
+      } else if (key == "output_width") {
+        expect_sym(":");
+        hc.output_width = static_cast<unsigned>(expect_number());
+        expect_sym(";");
+      } else {
+        fail(peek(), "unknown field_list_calculation attribute '" + key + "'");
+      }
+    }
+    return hc;
+  }
+
+  AstAction parse_action() {
+    AstAction act;
+    act.loc = loc_of(peek());
+    expect_kw("action");
+    act.name = expect_ident().text;
+    expect_sym("(");
+    if (!accept_sym(")")) {
+      for (;;) {
+        act.params.push_back(expect_ident().text);
+        if (accept_sym(")")) break;
+        expect_sym(",");
+      }
+    }
+    expect_sym("{");
+    while (!accept_sym("}")) {
+      AstPrim prim;
+      prim.loc = loc_of(peek());
+      prim.name = expect_ident().text;
+      expect_sym("(");
+      if (!accept_sym(")")) {
+        for (;;) {
+          prim.args.push_back(parse_arg());
+          if (accept_sym(")")) break;
+          expect_sym(",");
+        }
+      }
+      expect_sym(";");
+      act.body.push_back(std::move(prim));
+    }
+    return act;
+  }
+
+  AstTable parse_table(bool malleable) {
+    AstTable tbl;
+    tbl.loc = loc_of(peek());
+    tbl.malleable = malleable;
+    expect_kw("table");
+    tbl.name = expect_ident().text;
+    expect_sym("{");
+    while (!accept_sym("}")) {
+      const Token& key = peek();
+      if (accept_kw("reads")) {
+        expect_sym("{");
+        while (!accept_sym("}")) {
+          AstRead read;
+          read.loc = loc_of(peek());
+          read.ref = parse_ref();
+          if (accept_kw("mask")) {
+            if (!read.ref.malleable) {
+              fail(peek(), "'mask' qualifier is only supported on ${...} reads");
+            }
+            read.mask = expect_number();
+          }
+          expect_sym(":");
+          read.match_kind = expect_ident().text;
+          expect_sym(";");
+          tbl.reads.push_back(std::move(read));
+        }
+      } else if (accept_kw("actions")) {
+        expect_sym("{");
+        while (!accept_sym("}")) {
+          tbl.actions.push_back(expect_ident().text);
+          expect_sym(";");
+        }
+      } else if (accept_kw("size")) {
+        expect_sym(":");
+        tbl.size = static_cast<std::size_t>(expect_number());
+        expect_sym(";");
+      } else if (accept_kw("default_action")) {
+        expect_sym(":");
+        tbl.default_action = expect_ident().text;
+        if (accept_sym("(")) {
+          if (!accept_sym(")")) {
+            for (;;) {
+              tbl.default_args.push_back(expect_number());
+              if (accept_sym(")")) break;
+              expect_sym(",");
+            }
+          }
+        }
+        expect_sym(";");
+      } else {
+        fail(key, "unknown table attribute '" + key.text + "'");
+      }
+    }
+    return tbl;
+  }
+
+  void parse_malleable(AstProgram& prog) {
+    expect_kw("malleable");
+    const Token& kind = peek();
+    if (kind.is_ident("table")) {
+      prog.tables.push_back(parse_table(/*malleable=*/true));
+      return;
+    }
+    if (kind.is_ident("value")) {
+      AstMblValue mv;
+      mv.loc = loc_of(kind);
+      next();
+      mv.name = expect_ident().text;
+      expect_sym("{");
+      while (!accept_sym("}")) {
+        const std::string key = expect_ident().text;
+        expect_sym(":");
+        if (key == "width") {
+          mv.width = static_cast<unsigned>(expect_number());
+        } else if (key == "init") {
+          mv.init = expect_number();
+        } else {
+          fail(peek(), "unknown malleable value attribute '" + key + "'");
+        }
+        expect_sym(";");
+      }
+      prog.mbl_values.push_back(std::move(mv));
+      return;
+    }
+    if (kind.is_ident("field")) {
+      AstMblField mf;
+      mf.loc = loc_of(kind);
+      next();
+      mf.name = expect_ident().text;
+      expect_sym("{");
+      while (!accept_sym("}")) {
+        const Token& key = peek();
+        if (accept_kw("width")) {
+          expect_sym(":");
+          mf.width = static_cast<unsigned>(expect_number());
+          expect_sym(";");
+        } else if (accept_kw("init")) {
+          expect_sym(":");
+          mf.init = parse_ref().text;
+          expect_sym(";");
+        } else if (accept_kw("alts")) {
+          expect_sym("{");
+          for (;;) {
+            mf.alts.push_back(parse_ref().text);
+            if (accept_sym("}")) break;
+            expect_sym(",");
+          }
+          accept_sym(";");  // trailing ';' after the alts block is optional
+        } else {
+          fail(key, "unknown malleable field attribute '" + key.text + "'");
+        }
+      }
+      prog.mbl_fields.push_back(std::move(mf));
+      return;
+    }
+    fail(kind, "expected 'value', 'field', or 'table' after 'malleable'");
+  }
+
+  std::vector<AstControlNode> parse_control_body() {
+    std::vector<AstControlNode> nodes;
+    expect_sym("{");
+    while (!accept_sym("}")) {
+      const Token& tok = peek();
+      if (accept_kw("apply")) {
+        AstApply apply;
+        apply.loc = loc_of(tok);
+        expect_sym("(");
+        apply.table = expect_ident().text;
+        expect_sym(")");
+        expect_sym(";");
+        nodes.push_back(AstControlNode{std::move(apply)});
+      } else if (accept_kw("if")) {
+        AstIf ifn;
+        ifn.loc = loc_of(tok);
+        expect_sym("(");
+        ifn.cond.lhs = parse_arg();
+        const Token& op = next();
+        if (op.kind != TokKind::kSym ||
+            (op.text != "==" && op.text != "!=" && op.text != "<" &&
+             op.text != "<=" && op.text != ">" && op.text != ">=")) {
+          fail(op, "expected comparison operator");
+        }
+        ifn.cond.op = op.text;
+        ifn.cond.rhs = parse_arg();
+        expect_sym(")");
+        ifn.then_branch = parse_control_body();
+        if (accept_kw("else")) ifn.else_branch = parse_control_body();
+        nodes.push_back(AstControlNode{std::move(ifn)});
+      } else {
+        fail(tok, "expected 'apply' or 'if' in control block");
+      }
+    }
+    return nodes;
+  }
+
+  void parse_control(AstProgram& prog) {
+    expect_kw("control");
+    const Token& which = expect_ident();
+    auto body = parse_control_body();
+    if (which.text == "ingress") {
+      prog.ingress = std::move(body);
+    } else if (which.text == "egress") {
+      prog.egress = std::move(body);
+    } else {
+      fail(which, "control block must be 'ingress' or 'egress'");
+    }
+  }
+
+  AstReaction parse_reaction() {
+    AstReaction rx;
+    rx.loc = loc_of(peek());
+    expect_kw("reaction");
+    rx.name = expect_ident().text;
+    expect_sym("(");
+    if (!accept_sym(")")) {
+      for (;;) {
+        AstReactionArg arg;
+        arg.loc = loc_of(peek());
+        if (accept_kw("ing")) {
+          arg.kind = AstReactionArg::Kind::kIngField;
+          arg.name = parse_ref().text;
+        } else if (accept_kw("egr")) {
+          arg.kind = AstReactionArg::Kind::kEgrField;
+          arg.name = parse_ref().text;
+        } else if (accept_kw("reg")) {
+          arg.kind = AstReactionArg::Kind::kRegister;
+          arg.name = expect_ident().text;
+          expect_sym("[");
+          arg.lo = static_cast<std::uint32_t>(expect_number());
+          expect_sym(":");
+          arg.hi = static_cast<std::uint32_t>(expect_number());
+          expect_sym("]");
+        } else if (peek().is_sym("${")) {
+          arg.kind = AstReactionArg::Kind::kMalleable;
+          AstRef ref = parse_ref();
+          arg.name = ref.text;
+        } else {
+          fail(peek(), "expected 'ing', 'egr', 'reg', or '${...}' reaction arg");
+        }
+        rx.args.push_back(std::move(arg));
+        if (accept_sym(")")) break;
+        expect_sym(",");
+      }
+    }
+    // Capture the body token span between the outermost braces. The `}`
+    // closing a `${name}` reference must not count as a block close.
+    expect_sym("{");
+    int depth = 1;
+    bool in_mbl_ref = false;
+    while (depth > 0) {
+      const Token& tok = next();
+      if (tok.kind == TokKind::kEof) fail(tok, "unterminated reaction body");
+      if (tok.is_sym("${")) in_mbl_ref = true;
+      if (tok.is_sym("}")) {
+        if (in_mbl_ref) {
+          in_mbl_ref = false;
+        } else {
+          --depth;
+        }
+      } else if (tok.is_sym("{")) {
+        ++depth;
+      }
+      if (depth > 0) rx.body.push_back(tok);
+    }
+    return rx;
+  }
+
+  void skip_parser_decl() {
+    expect_kw("parser");
+    expect_ident();
+    expect_sym("{");
+    int depth = 1;
+    while (depth > 0) {
+      const Token& tok = next();
+      if (tok.kind == TokKind::kEof) fail(tok, "unterminated parser declaration");
+      if (tok.is_sym("{")) ++depth;
+      if (tok.is_sym("}")) --depth;
+    }
+  }
+};
+
+}  // namespace
+
+AstProgram parse(std::string_view source) { return Parser(source).run(); }
+
+}  // namespace mantis::p4r

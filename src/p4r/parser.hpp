@@ -1,0 +1,16 @@
+// Recursive-descent parser for P4R (the P4-14 v1.0.5 subset Mantis's use
+// cases need, extended per paper Figure 3). The paper's implementation used
+// Flex/Bison; a hand-written parser gives the same language with better
+// diagnostics and no generated-code build step.
+#pragma once
+
+#include <string_view>
+
+#include "p4r/ast.hpp"
+
+namespace mantis::p4r {
+
+/// Parses P4R source text. Throws UserError with line:col diagnostics.
+AstProgram parse(std::string_view source);
+
+}  // namespace mantis::p4r

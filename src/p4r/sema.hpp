@@ -1,0 +1,78 @@
+// Semantic analysis: lowers a parsed AstProgram into a p4::Program (with
+// `${...}` references left as kMbl operands for the Mantis compiler) plus the
+// P4R metadata the compiler and agent need — malleable declarations and
+// reaction signatures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "p4/ir.hpp"
+#include "p4r/ast.hpp"
+
+namespace mantis::p4r {
+
+struct MalleableValue {
+  std::string name;
+  p4::Width width = 16;
+  std::uint64_t init = 0;
+};
+
+struct MalleableField {
+  std::string name;
+  p4::Width width = 32;
+  std::vector<p4::FieldId> alts;
+  std::size_t init_alt = 0;  ///< index into alts
+};
+
+/// One polled parameter of a reaction.
+struct ReactionParam {
+  enum class Kind : std::uint8_t { kField, kRegister, kMalleable };
+  Kind kind = Kind::kField;
+
+  // kField
+  p4::Gress gress = p4::Gress::kIngress;
+  p4::FieldId field = p4::kInvalidField;
+
+  // kRegister
+  std::string reg;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  // kMalleable
+  std::string mbl;
+
+  /// Identifier this parameter is bound to inside the C body
+  /// (field refs have '.' replaced by '_'; registers keep their name and are
+  /// indexed with their original data-plane indices lo..hi).
+  std::string c_name;
+};
+
+struct Reaction {
+  std::string name;
+  std::vector<ReactionParam> params;
+  std::vector<Token> body;  ///< C-subset token stream (braces stripped)
+};
+
+struct P4RProgram {
+  p4::Program prog;
+  std::vector<MalleableValue> values;
+  std::vector<MalleableField> fields;
+  std::vector<std::string> malleable_tables;
+  std::vector<Reaction> reactions;
+
+  const MalleableValue* find_value(std::string_view name) const;
+  const MalleableField* find_field(std::string_view name) const;
+  bool is_malleable_table(std::string_view name) const;
+  bool is_malleable_name(std::string_view name) const;
+};
+
+/// Lowers the AST. Throws UserError on semantic errors (unknown fields,
+/// `${x}` with no such malleable, init not in alts, bad register ranges...).
+P4RProgram analyze(const AstProgram& ast);
+
+/// Convenience: parse + analyze.
+P4RProgram frontend(std::string_view source);
+
+}  // namespace mantis::p4r

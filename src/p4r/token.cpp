@@ -1,0 +1,9 @@
+#include "p4r/token.hpp"
+
+namespace mantis::p4r {
+
+std::string loc_str(const Token& tok) {
+  return std::to_string(tok.line) + ":" + std::to_string(tok.col);
+}
+
+}  // namespace mantis::p4r

@@ -1,0 +1,37 @@
+// Token definitions shared by the P4R lexer and the embedded-C reaction
+// lexer (one token stream serves both: the P4R parser slices out reaction
+// bodies and hands the token span to the creact parser).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mantis::p4r {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kNumber,
+  kString,  ///< double-quoted literal; text holds the unquoted contents
+  kSym,     ///< operator/punctuation; text holds the exact spelling
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  std::uint32_t line = 0;  ///< 1-based
+  std::uint32_t col = 0;   ///< 1-based
+  std::uint64_t value = 0; ///< parsed value for kNumber
+
+  bool is_sym(std::string_view s) const { return kind == TokKind::kSym && text == s; }
+  bool is_ident(std::string_view s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+};
+
+/// "line:col" for diagnostics.
+std::string loc_str(const Token& tok);
+
+}  // namespace mantis::p4r

@@ -1,0 +1,41 @@
+#include "sim/event_loop.hpp"
+
+namespace mantis::sim {
+
+void EventLoop::schedule_at(Time t, Callback cb) {
+  expects(t >= now_, "EventLoop::schedule_at: time in the past");
+  expects(static_cast<bool>(cb), "EventLoop::schedule_at: empty callback");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop so the callback may schedule more events.
+  Event ev = queue_.top();
+  queue_.pop();
+  ensures(ev.t >= now_, "EventLoop: time went backwards");
+  now_ = ev.t;
+  ev.cb();
+  return true;
+}
+
+std::size_t EventLoop::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+void EventLoop::run_until(Time t) {
+  expects(t >= now_, "EventLoop::run_until: time in the past");
+  while (!queue_.empty() && queue_.top().t <= t) step();
+  now_ = t;
+}
+
+void EventLoop::advance_now(Time t) {
+  expects(t >= now_, "EventLoop::advance_now: time in the past");
+  expects(queue_.empty() || queue_.top().t >= t,
+          "EventLoop::advance_now: pending earlier events");
+  now_ = t;
+}
+
+}  // namespace mantis::sim

@@ -1,0 +1,69 @@
+// Discrete-event scheduler with a virtual nanosecond clock.
+//
+// Everything in the reproduction — packet arrivals, pipeline latencies, PCIe
+// transactions, reaction CPU time, legacy control-plane clients — runs as
+// events on one loop, so the interleaving of the Mantis agent with packet
+// processing is deterministic and serializability becomes a testable
+// property rather than a hope.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/time.hpp"
+
+namespace mantis::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now). Ties run in scheduling
+  /// order (FIFO), which the update-protocol proofs rely on.
+  void schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` `d` nanoseconds from now.
+  void schedule_in(Duration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or `max_events` executed.
+  /// Returns the number executed.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  void run_until(Time t);
+
+  /// Advances the clock without running anything scheduled in between.
+  /// Only legal when nothing earlier is pending — used by actors that model
+  /// blocking work (e.g. a PCIe transaction occupying the CPU). Prefer
+  /// schedule_in for anything that can interleave.
+  void advance_now(Time t);
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mantis::sim

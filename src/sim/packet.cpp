@@ -1,0 +1,8 @@
+#include "sim/packet.hpp"
+
+namespace mantis::sim {
+
+Packet::Packet(std::size_t field_count, std::uint32_t length_bytes)
+    : values_(field_count, 0), length_bytes_(length_bytes) {}
+
+}  // namespace mantis::sim

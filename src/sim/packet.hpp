@@ -1,0 +1,78 @@
+// The simulator's packet model.
+//
+// Packets are pre-parsed: every field in the program's FieldCatalog has a
+// slot (value-initialized to zero), which matches how the apps use the
+// simulator — the P4-14 parser stage of a real program is fixed plumbing the
+// paper never reconfigures (Mantis explicitly assumes the data-plane
+// structure is known a priori, §3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "p4/ir.hpp"
+#include "util/bits.hpp"
+#include "util/time.hpp"
+
+namespace mantis::sim {
+
+class Packet {
+ public:
+  /// Creates a packet with `field_count` zeroed fields and the given wire
+  /// length in bytes (also mirrored into standard_metadata.packet_length by
+  /// the switch on ingress).
+  explicit Packet(std::size_t field_count, std::uint32_t length_bytes = 64);
+
+  std::uint64_t get(p4::FieldId f) const {
+    expects(f < values_.size(), "Packet::get: field out of range");
+    return values_[f];
+  }
+
+  /// Sets a field, truncating to `width` bits.
+  void set(p4::FieldId f, std::uint64_t value, p4::Width width) {
+    expects(f < values_.size(), "Packet::set: field out of range");
+    values_[f] = truncate_to_width(value, width);
+  }
+
+  std::uint32_t length_bytes() const { return length_bytes_; }
+  void set_length_bytes(std::uint32_t len) { length_bytes_ = len; }
+
+  bool dropped() const { return dropped_; }
+  void mark_dropped() { dropped_ = true; }
+  void clear_dropped() { dropped_ = false; }
+
+  std::size_t field_count() const { return values_.size(); }
+
+ private:
+  std::vector<std::uint64_t> values_;
+  std::uint32_t length_bytes_;
+  bool dropped_ = false;
+};
+
+/// Convenience: packet factory bound to a program, with named-field setters.
+/// Used pervasively by workloads and tests.
+class PacketFactory {
+ public:
+  explicit PacketFactory(const p4::Program& prog) : prog_(&prog) {}
+
+  Packet make(std::uint32_t length_bytes = 64) const {
+    return Packet(prog_->fields.size(), length_bytes);
+  }
+
+  /// Sets "instance.field" by name; throws UserError if unknown.
+  void set(Packet& pkt, std::string_view full_name, std::uint64_t value) const {
+    const p4::FieldId f = prog_->fields.require(full_name);
+    pkt.set(f, value, prog_->fields.width(f));
+  }
+
+  std::uint64_t get(const Packet& pkt, std::string_view full_name) const {
+    return pkt.get(prog_->fields.require(full_name));
+  }
+
+  const p4::Program& program() const { return *prog_; }
+
+ private:
+  const p4::Program* prog_;
+};
+
+}  // namespace mantis::sim

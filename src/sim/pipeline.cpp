@@ -1,0 +1,43 @@
+#include "sim/pipeline.hpp"
+
+namespace mantis::sim {
+
+Pipeline::Pipeline(const p4::Program& prog, const p4::ControlBlock& block,
+                   std::unordered_map<std::string, TableState>& tables,
+                   RegisterFile& regs)
+    : prog_(&prog), block_(&block), tables_(&tables), exec_(prog, regs) {
+  for (const auto& name : prog.tables_in(block)) {
+    ensures(tables.count(name) != 0, "Pipeline: missing table state for " + name);
+  }
+}
+
+void Pipeline::run_nodes(const std::vector<p4::ControlNode>& nodes, Packet& pkt) {
+  for (const auto& node : nodes) {
+    if (const auto* apply = std::get_if<p4::ApplyNode>(&node.node)) {
+      auto& table = tables_->at(apply->table);
+      const auto result = table.lookup(pkt);
+      if (result.hit) {
+        ++stats_.table_hits;
+      } else {
+        ++stats_.table_misses;
+      }
+      const auto* act = prog_->find_action(*result.action);
+      ensures(act != nullptr, "Pipeline: unknown action " + *result.action);
+      exec_.execute(*act, *result.args, pkt);
+    } else {
+      const auto& ifn = std::get<p4::IfNode>(node.node);
+      if (eval_condition(*prog_, ifn.cond, pkt)) {
+        run_nodes(ifn.then_branch, pkt);
+      } else {
+        run_nodes(ifn.else_branch, pkt);
+      }
+    }
+  }
+}
+
+void Pipeline::process(Packet& pkt) {
+  ++stats_.packets;
+  run_nodes(block_->nodes, pkt);
+}
+
+}  // namespace mantis::sim

@@ -1,0 +1,45 @@
+// One match-action pipeline (ingress or egress): walks the program's control
+// block, looks up tables, and executes the winning actions on the packet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "p4/ir.hpp"
+#include "sim/action_exec.hpp"
+#include "sim/table_state.hpp"
+
+namespace mantis::sim {
+
+class Pipeline {
+ public:
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t table_hits = 0;
+    std::uint64_t table_misses = 0;
+  };
+
+  /// `tables` must outlive the pipeline and contain every table the control
+  /// block applies.
+  Pipeline(const p4::Program& prog, const p4::ControlBlock& block,
+           std::unordered_map<std::string, TableState>& tables,
+           RegisterFile& regs);
+
+  /// Runs the control block over the packet. Matches RMT semantics: a drop
+  /// marks the packet but the remaining stages still execute.
+  void process(Packet& pkt);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const p4::Program* prog_;
+  const p4::ControlBlock* block_;
+  std::unordered_map<std::string, TableState>* tables_;
+  ActionExecutor exec_;
+  Stats stats_;
+
+  void run_nodes(const std::vector<p4::ControlNode>& nodes, Packet& pkt);
+};
+
+}  // namespace mantis::sim

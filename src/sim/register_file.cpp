@@ -1,0 +1,83 @@
+#include "sim/register_file.hpp"
+
+#include "util/bits.hpp"
+
+namespace mantis::sim {
+
+RegisterFile::RegisterFile(const p4::Program& prog) {
+  for (const auto& reg : prog.registers) {
+    arrays_.emplace(reg.name,
+                    Array{reg.width, std::vector<std::uint64_t>(reg.instance_count, 0)});
+  }
+  for (const auto& ctr : prog.counters) {
+    counters_.emplace(ctr.name, std::vector<std::uint64_t>(ctr.instance_count, 0));
+  }
+}
+
+const RegisterFile::Array& RegisterFile::array(const std::string& reg) const {
+  auto it = arrays_.find(reg);
+  if (it == arrays_.end()) throw UserError("unknown register: " + reg);
+  return it->second;
+}
+
+std::uint64_t RegisterFile::read(const std::string& reg, std::uint32_t index) const {
+  const auto& arr = array(reg);
+  if (index >= arr.cells.size()) {
+    throw UserError("register " + reg + ": index " + std::to_string(index) +
+                    " out of range");
+  }
+  return arr.cells[index];
+}
+
+void RegisterFile::write(const std::string& reg, std::uint32_t index,
+                         std::uint64_t value) {
+  auto it = arrays_.find(reg);
+  if (it == arrays_.end()) throw UserError("unknown register: " + reg);
+  auto& arr = it->second;
+  if (index >= arr.cells.size()) {
+    throw UserError("register " + reg + ": index " + std::to_string(index) +
+                    " out of range");
+  }
+  arr.cells[index] = truncate_to_width(value, arr.width);
+}
+
+std::vector<std::uint64_t> RegisterFile::read_range(const std::string& reg,
+                                                    std::uint32_t first,
+                                                    std::uint32_t last) const {
+  const auto& arr = array(reg);
+  expects(first <= last, "RegisterFile::read_range: first > last");
+  if (last >= arr.cells.size()) {
+    throw UserError("register " + reg + ": range end out of bounds");
+  }
+  return std::vector<std::uint64_t>(arr.cells.begin() + first,
+                                    arr.cells.begin() + last + 1);
+}
+
+std::uint32_t RegisterFile::instance_count(const std::string& reg) const {
+  return static_cast<std::uint32_t>(array(reg).cells.size());
+}
+
+p4::Width RegisterFile::width(const std::string& reg) const {
+  return array(reg).width;
+}
+
+void RegisterFile::count(const std::string& counter, std::uint32_t index) {
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) throw UserError("unknown counter: " + counter);
+  if (index >= it->second.size()) {
+    throw UserError("counter " + counter + ": index out of range");
+  }
+  ++it->second[index];
+}
+
+std::uint64_t RegisterFile::counter_value(const std::string& counter,
+                                          std::uint32_t index) const {
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) throw UserError("unknown counter: " + counter);
+  if (index >= it->second.size()) {
+    throw UserError("counter " + counter + ": index out of range");
+  }
+  return it->second[index];
+}
+
+}  // namespace mantis::sim

@@ -1,0 +1,47 @@
+// Stateful register and counter storage for the simulated switch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p4/ir.hpp"
+
+namespace mantis::sim {
+
+class RegisterFile {
+ public:
+  explicit RegisterFile(const p4::Program& prog);
+
+  /// Reads one register cell. Throws UserError on unknown name / bad index.
+  std::uint64_t read(const std::string& reg, std::uint32_t index) const;
+
+  /// Writes one cell, truncated to the register's declared width.
+  void write(const std::string& reg, std::uint32_t index, std::uint64_t value);
+
+  /// Reads an inclusive index range [first, last].
+  std::vector<std::uint64_t> read_range(const std::string& reg,
+                                        std::uint32_t first,
+                                        std::uint32_t last) const;
+
+  std::uint32_t instance_count(const std::string& reg) const;
+  p4::Width width(const std::string& reg) const;
+  bool has(const std::string& reg) const { return arrays_.count(reg) != 0; }
+
+  // Counters (packet counters; P4-14 `count` primitive).
+  void count(const std::string& counter, std::uint32_t index);
+  std::uint64_t counter_value(const std::string& counter, std::uint32_t index) const;
+
+ private:
+  struct Array {
+    p4::Width width;
+    std::vector<std::uint64_t> cells;
+  };
+  std::unordered_map<std::string, Array> arrays_;
+  std::unordered_map<std::string, std::vector<std::uint64_t>> counters_;
+
+  const Array& array(const std::string& reg) const;
+};
+
+}  // namespace mantis::sim

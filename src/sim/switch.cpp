@@ -1,0 +1,155 @@
+#include "sim/switch.hpp"
+
+namespace mantis::sim {
+
+namespace {
+
+p4::Program prepare_program(p4::Program prog) {
+  add_standard_metadata(prog);
+  if (prog.find_action("_no_op_") == nullptr) {
+    p4::ActionDecl no_op;
+    no_op.name = "_no_op_";
+    prog.actions.push_back(std::move(no_op));
+  }
+  prog.validate();
+  return prog;
+}
+
+}  // namespace
+
+Switch::Switch(EventLoop& loop, const p4::Program& prog, SwitchConfig cfg)
+    : loop_(&loop),
+      prog_(prepare_program(prog)),
+      cfg_(cfg),
+      factory_(prog_),
+      regs_(prog_),
+      port_stats_(static_cast<std::size_t>(cfg.num_ports)),
+      rx_up_(static_cast<std::size_t>(cfg.num_ports), true) {
+  for (const auto& tbl : prog_.tables) {
+    tables_.emplace(tbl.name, TableState(prog_, tbl));
+  }
+  ingress_ = std::make_unique<Pipeline>(prog_, prog_.ingress, tables_, regs_);
+  egress_ = std::make_unique<Pipeline>(prog_, prog_.egress, tables_, regs_);
+  tm_ = std::make_unique<TrafficManager>(
+      loop, cfg.num_ports, cfg.port_gbps, cfg.queue_capacity_bytes,
+      [this](Packet pkt, int port) { on_dequeue(std::move(pkt), port); });
+
+  f_ingress_port_ = prog_.fields.require(p4::intrinsics::kIngressPort);
+  f_egress_spec_ = prog_.fields.require(p4::intrinsics::kEgressSpec);
+  f_egress_port_ = prog_.fields.require(p4::intrinsics::kEgressPort);
+  f_packet_length_ = prog_.fields.require(p4::intrinsics::kPacketLength);
+  f_enq_qdepth_ = prog_.fields.require(p4::intrinsics::kEnqQdepth);
+  f_deq_qdepth_ = prog_.fields.require(p4::intrinsics::kDeqQdepth);
+  f_ing_ts_ = prog_.fields.require(p4::intrinsics::kIngressTimestamp);
+  f_egr_ts_ = prog_.fields.require(p4::intrinsics::kEgressTimestamp);
+}
+
+const Switch::PortStats& Switch::port_stats(int port) const {
+  expects(port >= 0 && port < cfg_.num_ports, "Switch::port_stats: bad port");
+  return port_stats_[static_cast<std::size_t>(port)];
+}
+
+void Switch::set_port_up(int port, bool up) {
+  expects(port >= 0 && port < cfg_.num_ports, "Switch::set_port_up: bad port");
+  rx_up_[static_cast<std::size_t>(port)] = up;
+  tm_->set_port_up(port, up);
+}
+
+bool Switch::port_up(int port) const {
+  expects(port >= 0 && port < cfg_.num_ports, "Switch::port_up: bad port");
+  return rx_up_[static_cast<std::size_t>(port)];
+}
+
+TableState& Switch::table(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw UserError("unknown table: " + name);
+  return it->second;
+}
+
+const TableState& Switch::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw UserError("unknown table: " + name);
+  return it->second;
+}
+
+void Switch::inject_internal(Packet pkt, int port, bool recirculated) {
+  expects(port >= 0 && port < cfg_.num_ports, "Switch::inject: bad port");
+  auto& stats = port_stats_[static_cast<std::size_t>(port)];
+  if (!rx_up_[static_cast<std::size_t>(port)]) {
+    ++stats.rx_drops;
+    return;
+  }
+  // Packet-rate admission: each pipeline pass (recirculations included)
+  // consumes one slot; a small input buffer tolerates bursts.
+  if (cfg_.pipeline_pps > 0) {
+    const Duration slot =
+        static_cast<Duration>(1'000'000'000ull / cfg_.pipeline_pps);
+    const Time now = loop_->now();
+    const Duration backlog_limit =
+        slot * static_cast<Duration>(cfg_.ingress_buffer_pkts);
+    if (!recirculated && pipeline_free_at_ > now + backlog_limit) {
+      ++stats.rx_drops;
+      return;
+    }
+    pipeline_free_at_ = std::max(pipeline_free_at_, now) + slot;
+  }
+  ++stats.rx_pkts;
+  stats.rx_bytes += pkt.length_bytes();
+
+  const p4::Width w9 = 9, w19 = 19, w32 = 32, w48 = 48;
+  pkt.set(f_ingress_port_, static_cast<std::uint64_t>(port), w9);
+  pkt.set(f_packet_length_, pkt.length_bytes(), w32);
+  pkt.set(f_ing_ts_, static_cast<std::uint64_t>(loop_->now() / 1000), w48);
+
+  // The ingress pipeline executes atomically at arrival time: control-plane
+  // operations are separate events, so a packet never observes a half-applied
+  // multi-entry update — matching real RMT per-packet consistency.
+  ingress_->process(pkt);
+  if (pkt.dropped()) {
+    ++stats.rx_drops;
+    return;
+  }
+
+  const int out = static_cast<int>(pkt.get(f_egress_spec_));
+  if (out == cfg_.recirc_port) {
+    Packet recirc = std::move(pkt);
+    recirc.clear_dropped();
+    loop_->schedule_in(cfg_.ingress_latency + cfg_.recirc_latency,
+                       [this, p = std::move(recirc)]() mutable {
+                         inject_internal(std::move(p), 0, true);
+                       });
+    return;
+  }
+  if (out < 0 || out >= cfg_.num_ports) {
+    ++stats.rx_drops;  // unrouted packet
+    return;
+  }
+
+  pkt.set(f_enq_qdepth_, tm_->queue_depth_pkts(out), w19);
+  loop_->schedule_in(cfg_.ingress_latency,
+                     [this, out, p = std::move(pkt)]() mutable {
+                       tm_->enqueue(std::move(p), out);
+                     });
+}
+
+void Switch::on_dequeue(Packet pkt, int port) {
+  const p4::Width w9 = 9, w19 = 19, w48 = 48;
+  pkt.set(f_egress_port_, static_cast<std::uint64_t>(port), w9);
+  pkt.set(f_deq_qdepth_, tm_->queue_depth_pkts(port), w19);
+  pkt.set(f_egr_ts_, static_cast<std::uint64_t>(loop_->now() / 1000), w48);
+
+  egress_->process(pkt);
+  if (pkt.dropped()) return;
+
+  auto& stats = port_stats_[static_cast<std::size_t>(port)];
+  ++stats.tx_pkts;
+  stats.tx_bytes += pkt.length_bytes();
+  if (on_transmit_) {
+    loop_->schedule_in(cfg_.egress_latency,
+                       [this, port, p = std::move(pkt)]() {
+                         on_transmit_(p, port, loop_->now());
+                       });
+  }
+}
+
+}  // namespace mantis::sim

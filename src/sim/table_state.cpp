@@ -1,0 +1,222 @@
+#include "sim/table_state.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace mantis::sim {
+
+namespace {
+
+/// Prefix length of an LPM mask (number of leading set bits within width).
+unsigned prefix_length(std::uint64_t mask, unsigned width) {
+  unsigned len = 0;
+  for (unsigned bit = width; bit-- > 0;) {
+    if ((mask >> bit) & 1) {
+      ++len;
+    } else {
+      break;
+    }
+  }
+  return len;
+}
+
+}  // namespace
+
+TableState::TableState(const p4::Program& prog, const p4::TableDecl& decl)
+    : prog_(&prog), decl_(&decl) {
+  all_exact_ = !decl.reads.empty() &&
+               std::all_of(decl.reads.begin(), decl.reads.end(),
+                           [](const p4::MatchSpec& m) {
+                             return m.kind == p4::MatchKind::kExact;
+                           });
+  default_action_ = decl.default_action;
+  default_args_ = decl.default_action_args;
+  if (default_action_.empty()) {
+    // P4-14 default-default: no_op. The program is guaranteed (by the
+    // loader) to contain a no_op action named "_no_op_".
+    default_action_ = "_no_op_";
+  }
+}
+
+void TableState::check_spec(const p4::EntrySpec& spec) const {
+  if (spec.key.size() != decl_->reads.size()) {
+    throw UserError("table " + name() + ": key arity " +
+                    std::to_string(spec.key.size()) + " != " +
+                    std::to_string(decl_->reads.size()));
+  }
+  if (std::find(decl_->actions.begin(), decl_->actions.end(), spec.action) ==
+      decl_->actions.end()) {
+    throw UserError("table " + name() + ": action " + spec.action +
+                    " not bound to table");
+  }
+  const auto* act = prog_->find_action(spec.action);
+  ensures(act != nullptr, "TableState: action missing from program");
+  if (act->params.size() != spec.action_args.size()) {
+    throw UserError("table " + name() + ": action " + spec.action + " expects " +
+                    std::to_string(act->params.size()) + " args, got " +
+                    std::to_string(spec.action_args.size()));
+  }
+  for (std::size_t i = 0; i < spec.key.size(); ++i) {
+    const auto width = prog_->fields.width(decl_->reads[i].field);
+    const auto m = mask_for_width(width);
+    if ((spec.key[i].value & ~m) != 0) {
+      throw UserError("table " + name() + ": key component " + std::to_string(i) +
+                      " wider than field");
+    }
+    if (decl_->reads[i].kind == p4::MatchKind::kExact &&
+        (spec.key[i].mask & m) != m) {
+      throw UserError("table " + name() + ": exact key component " +
+                      std::to_string(i) + " must use a full mask");
+    }
+  }
+}
+
+EntryHandle TableState::add_entry(const p4::EntrySpec& spec) {
+  check_spec(spec);
+  if (entries_.size() >= decl_->size) {
+    throw UserError("table " + name() + ": full (" + std::to_string(decl_->size) +
+                    " entries)");
+  }
+  if (all_exact_) {
+    std::vector<std::uint64_t> packed;
+    packed.reserve(spec.key.size());
+    for (const auto& k : spec.key) packed.push_back(k.value);
+    if (exact_index_.count(packed) != 0) {
+      throw UserError("table " + name() + ": duplicate exact key");
+    }
+    const EntryHandle h = next_handle_++;
+    exact_index_.emplace(std::move(packed), h);
+    entries_.emplace(h, StoredEntry{spec, next_seq_++});
+    return h;
+  }
+  const EntryHandle h = next_handle_++;
+  entries_.emplace(h, StoredEntry{spec, next_seq_++});
+  return h;
+}
+
+void TableState::modify_entry(EntryHandle h, const std::string& action,
+                              std::vector<std::uint64_t> args) {
+  auto it = entries_.find(h);
+  if (it == entries_.end()) throw UserError("table " + name() + ": bad handle");
+  p4::EntrySpec updated = it->second.spec;
+  updated.action = action;
+  updated.action_args = std::move(args);
+  check_spec(updated);
+  it->second.spec = std::move(updated);
+}
+
+void TableState::delete_entry(EntryHandle h) {
+  auto it = entries_.find(h);
+  if (it == entries_.end()) throw UserError("table " + name() + ": bad handle");
+  if (all_exact_) {
+    std::vector<std::uint64_t> packed;
+    for (const auto& k : it->second.spec.key) packed.push_back(k.value);
+    exact_index_.erase(packed);
+  }
+  entries_.erase(it);
+}
+
+void TableState::set_default(const std::string& action,
+                             std::vector<std::uint64_t> args) {
+  if (std::find(decl_->actions.begin(), decl_->actions.end(), action) ==
+      decl_->actions.end()) {
+    throw UserError("table " + name() + ": default action " + action +
+                    " not bound to table");
+  }
+  default_action_ = action;
+  default_args_ = std::move(args);
+}
+
+std::optional<EntryHandle> TableState::find_entry(
+    const std::vector<p4::MatchValue>& key) const {
+  for (const auto& [h, e] : entries_) {
+    if (e.spec.key == key) return h;
+  }
+  return std::nullopt;
+}
+
+bool TableState::entry_matches(const StoredEntry& e, const Packet& pkt) const {
+  for (std::size_t i = 0; i < decl_->reads.size(); ++i) {
+    const auto& read = decl_->reads[i];
+    const auto& k = e.spec.key[i];
+    const std::uint64_t field_val = pkt.get(read.field);
+    switch (read.kind) {
+      case p4::MatchKind::kExact:
+        if (field_val != k.value) return false;
+        break;
+      case p4::MatchKind::kTernary:
+      case p4::MatchKind::kLpm:
+        if ((field_val & k.mask) != (k.value & k.mask)) return false;
+        break;
+      case p4::MatchKind::kValid:
+        // All headers are considered valid in the pre-parsed model; a key
+        // value of 1 matches, 0 never does.
+        if (k.value != 1) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+TableState::LookupResult TableState::lookup(const Packet& pkt) const {
+  LookupResult miss;
+  miss.hit = false;
+  miss.action = &default_action_;
+  miss.args = &default_args_;
+
+  if (decl_->reads.empty()) return miss;  // default-action-only table
+
+  if (all_exact_) {
+    std::vector<std::uint64_t> packed;
+    packed.reserve(decl_->reads.size());
+    for (const auto& read : decl_->reads) packed.push_back(pkt.get(read.field));
+    auto it = exact_index_.find(packed);
+    if (it == exact_index_.end()) return miss;
+    const auto& e = entries_.at(it->second);
+    return LookupResult{true, &e.spec.action, &e.spec.action_args, it->second};
+  }
+
+  // Ternary / LPM / mixed: scan all entries, pick by (priority, then longest
+  // total prefix for LPM reads, then earliest insert).
+  const StoredEntry* best = nullptr;
+  EntryHandle best_h = 0;
+  unsigned best_prefix = 0;
+  for (const auto& [h, e] : entries_) {
+    if (!entry_matches(e, pkt)) continue;
+    unsigned prefix = 0;
+    for (std::size_t i = 0; i < decl_->reads.size(); ++i) {
+      if (decl_->reads[i].kind == p4::MatchKind::kLpm) {
+        prefix += prefix_length(e.spec.key[i].mask,
+                                prog_->fields.width(decl_->reads[i].field));
+      }
+    }
+    const bool better =
+        best == nullptr || e.spec.priority > best->spec.priority ||
+        (e.spec.priority == best->spec.priority && prefix > best_prefix) ||
+        (e.spec.priority == best->spec.priority && prefix == best_prefix &&
+         e.insert_seq < best->insert_seq);
+    if (better) {
+      best = &e;
+      best_h = h;
+      best_prefix = prefix;
+    }
+  }
+  if (best == nullptr) return miss;
+  return LookupResult{true, &best->spec.action, &best->spec.action_args, best_h};
+}
+
+const p4::EntrySpec& TableState::entry(EntryHandle h) const {
+  auto it = entries_.find(h);
+  if (it == entries_.end()) throw UserError("table " + name() + ": bad handle");
+  return it->second.spec;
+}
+
+std::vector<EntryHandle> TableState::handles() const {
+  std::vector<EntryHandle> out;
+  out.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) out.push_back(h);
+  return out;
+}
+
+}  // namespace mantis::sim

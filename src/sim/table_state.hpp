@@ -1,0 +1,89 @@
+// Runtime state of one match-action table: the entry store plus the match
+// engines (exact hash index, ternary priority scan, LPM longest-prefix scan).
+//
+// Single-entry operations are atomic with respect to packets by construction
+// (each driver op is one event on the loop) — exactly the guarantee RMT
+// hardware gives and the *only* one Mantis's update protocol assumes (§5.1.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p4/ir.hpp"
+#include "sim/packet.hpp"
+
+namespace mantis::sim {
+
+/// Opaque handle for a installed entry; stable until delete.
+using EntryHandle = std::uint64_t;
+
+class TableState {
+ public:
+  TableState(const p4::Program& prog, const p4::TableDecl& decl);
+
+  const p4::TableDecl& decl() const { return *decl_; }
+  const std::string& name() const { return decl_->name; }
+
+  /// Installs an entry. Throws UserError when the table is full, the key
+  /// arity is wrong, or the action is not bound to this table.
+  EntryHandle add_entry(const p4::EntrySpec& spec);
+
+  /// Replaces the action/args of an existing entry (match key is immutable,
+  /// as on RMT hardware).
+  void modify_entry(EntryHandle h, const std::string& action,
+                    std::vector<std::uint64_t> args);
+
+  void delete_entry(EntryHandle h);
+
+  void set_default(const std::string& action, std::vector<std::uint64_t> args);
+
+  /// Finds an installed entry with this exact key spec (values+masks), if any.
+  std::optional<EntryHandle> find_entry(const std::vector<p4::MatchValue>& key) const;
+
+  struct LookupResult {
+    bool hit = false;
+    const std::string* action = nullptr;            ///< never null
+    const std::vector<std::uint64_t>* args = nullptr;  ///< never null
+    EntryHandle handle = 0;                         ///< valid when hit
+  };
+
+  /// Matches `pkt` against the table; returns the winning entry's action or
+  /// the default action on miss.
+  LookupResult lookup(const Packet& pkt) const;
+
+  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t capacity() const { return decl_->size; }
+
+  const p4::EntrySpec& entry(EntryHandle h) const;
+
+  /// All live handles (stable iteration order: ascending handle).
+  std::vector<EntryHandle> handles() const;
+
+ private:
+  struct StoredEntry {
+    p4::EntrySpec spec;
+    std::uint64_t insert_seq = 0;  ///< tie-break: earlier insert wins
+  };
+
+  const p4::Program* prog_;
+  const p4::TableDecl* decl_;
+  std::map<EntryHandle, StoredEntry> entries_;
+  EntryHandle next_handle_ = 1;
+  std::uint64_t next_seq_ = 0;
+
+  std::string default_action_;
+  std::vector<std::uint64_t> default_args_;
+
+  bool all_exact_ = false;
+  /// Exact-match index: packed key -> handle (only when all reads exact).
+  std::map<std::vector<std::uint64_t>, EntryHandle> exact_index_;
+
+  void check_spec(const p4::EntrySpec& spec) const;
+  bool entry_matches(const StoredEntry& e, const Packet& pkt) const;
+};
+
+}  // namespace mantis::sim

@@ -1,0 +1,93 @@
+#include "sim/traffic_manager.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mantis::sim {
+
+TrafficManager::TrafficManager(EventLoop& loop, int num_ports, double port_gbps,
+                               std::uint64_t queue_capacity_bytes, Deliver deliver)
+    : loop_(&loop),
+      bytes_per_ns_(port_gbps / 8.0),
+      capacity_bytes_(queue_capacity_bytes),
+      deliver_(std::move(deliver)),
+      queues_(static_cast<std::size_t>(num_ports)) {
+  expects(num_ports > 0, "TrafficManager: need at least one port");
+  expects(port_gbps > 0, "TrafficManager: port rate must be positive");
+  expects(static_cast<bool>(deliver_), "TrafficManager: deliver callback required");
+}
+
+TrafficManager::PortQueue& TrafficManager::queue(int port) {
+  expects(port >= 0 && port < num_ports(), "TrafficManager: bad port");
+  return queues_[static_cast<std::size_t>(port)];
+}
+
+const TrafficManager::PortQueue& TrafficManager::queue(int port) const {
+  expects(port >= 0 && port < num_ports(), "TrafficManager: bad port");
+  return queues_[static_cast<std::size_t>(port)];
+}
+
+Duration TrafficManager::transmission_time(std::uint32_t bytes) const {
+  const double ns = static_cast<double>(bytes) / bytes_per_ns_;
+  return static_cast<Duration>(std::llround(std::max(1.0, ns)));
+}
+
+void TrafficManager::enqueue(Packet pkt, int port) {
+  auto& q = queue(port);
+  if (!q.up || q.bytes + pkt.length_bytes() > capacity_bytes_) {
+    ++q.stats.tail_drops;
+    return;
+  }
+  q.bytes += pkt.length_bytes();
+  ++q.stats.enq_pkts;
+  q.packets.push_back(std::move(pkt));
+  if (!q.busy) start_service(port);
+}
+
+void TrafficManager::start_service(int port) {
+  auto& q = queue(port);
+  if (q.busy || q.packets.empty()) return;
+  q.busy = true;
+  const Duration tx = transmission_time(q.packets.front().length_bytes());
+  loop_->schedule_in(tx, [this, port] {
+    auto& pq = queue(port);
+    ensures(!pq.packets.empty(), "TrafficManager: service fired on empty queue");
+    Packet pkt = std::move(pq.packets.front());
+    pq.packets.pop_front();
+    pq.bytes -= pkt.length_bytes();
+    ++pq.stats.deq_pkts;
+    pq.stats.deq_bytes += pkt.length_bytes();
+    pq.busy = false;
+    const bool was_up = pq.up;
+    // Note: `pq` may dangle if deliver_ mutates ports; re-fetch afterwards.
+    if (was_up) deliver_(std::move(pkt), port);
+    start_service(port);
+  });
+}
+
+std::uint32_t TrafficManager::queue_depth_pkts(int port) const {
+  return static_cast<std::uint32_t>(queue(port).packets.size());
+}
+
+std::uint64_t TrafficManager::queue_depth_bytes(int port) const {
+  return queue(port).bytes;
+}
+
+void TrafficManager::set_port_up(int port, bool up) {
+  auto& q = queue(port);
+  q.up = up;
+  if (!up) {
+    q.stats.tail_drops += q.packets.size();
+    q.packets.clear();
+    q.bytes = 0;
+  }
+}
+
+bool TrafficManager::port_up(int port) const { return queue(port).up; }
+
+const TrafficManager::PortStats& TrafficManager::stats(int port) const {
+  return queue(port).stats;
+}
+
+}  // namespace mantis::sim

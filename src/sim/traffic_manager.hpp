@@ -1,0 +1,68 @@
+// Traffic manager: per-egress-port FIFO queues serviced at line rate, with
+// tail drop and queue-depth gauges. Sits between the ingress and egress
+// pipelines, like the TM of an RMT ASIC. Queue depth is where the DoS and RL
+// use cases read congestion from.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "sim/packet.hpp"
+
+namespace mantis::sim {
+
+class TrafficManager {
+ public:
+  /// `deliver` is invoked at dequeue time (start of egress processing).
+  using Deliver = std::function<void(Packet, int port)>;
+
+  TrafficManager(EventLoop& loop, int num_ports, double port_gbps,
+                 std::uint64_t queue_capacity_bytes, Deliver deliver);
+
+  /// Enqueues for transmission on `port`; tail-drops when the queue is full
+  /// or the port is administratively down.
+  void enqueue(Packet pkt, int port);
+
+  std::uint32_t queue_depth_pkts(int port) const;
+  std::uint64_t queue_depth_bytes(int port) const;
+
+  void set_port_up(int port, bool up);
+  bool port_up(int port) const;
+
+  struct PortStats {
+    std::uint64_t enq_pkts = 0;
+    std::uint64_t deq_pkts = 0;
+    std::uint64_t deq_bytes = 0;
+    std::uint64_t tail_drops = 0;
+  };
+  const PortStats& stats(int port) const;
+
+  int num_ports() const { return static_cast<int>(queues_.size()); }
+
+  /// Serialization delay for `bytes` at the configured port rate.
+  Duration transmission_time(std::uint32_t bytes) const;
+
+ private:
+  struct PortQueue {
+    std::deque<Packet> packets;
+    std::uint64_t bytes = 0;
+    bool busy = false;
+    bool up = true;
+    PortStats stats;
+  };
+
+  EventLoop* loop_;
+  double bytes_per_ns_;
+  std::uint64_t capacity_bytes_;
+  Deliver deliver_;
+  std::vector<PortQueue> queues_;
+
+  void start_service(int port);
+  PortQueue& queue(int port);
+  const PortQueue& queue(int port) const;
+};
+
+}  // namespace mantis::sim

@@ -1,0 +1,38 @@
+// Bit-level helpers shared by the IR, the simulator, and the compiler.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace mantis {
+
+/// Returns a mask with the low `width` bits set. `width` must be in [0, 64].
+inline std::uint64_t mask_for_width(unsigned width) {
+  expects(width <= 64, "mask_for_width: width > 64");
+  if (width == 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << width) - 1;
+}
+
+/// Truncates `value` to `width` bits (two's-complement wraparound).
+inline std::uint64_t truncate_to_width(std::uint64_t value, unsigned width) {
+  return value & mask_for_width(width);
+}
+
+/// Number of bits needed to distinguish `n` alternatives (>= 1 value).
+/// ceil(log2(n)) with ceil_log2(1) == 1 so a selector field is never 0-wide.
+inline unsigned ceil_log2(std::uint64_t n) {
+  expects(n >= 1, "ceil_log2: n must be >= 1");
+  unsigned bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+/// Rounds `bits` up to whole bytes.
+inline std::uint64_t bits_to_bytes(std::uint64_t bits) { return (bits + 7) / 8; }
+
+}  // namespace mantis

@@ -1,0 +1,41 @@
+// Lightweight precondition / invariant checking.
+//
+// Following the Core Guidelines (I.6, E.12), violated expectations throw; the
+// library never calls std::abort. All checks stay enabled in release builds:
+// the simulator is a correctness tool, not a fast path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mantis {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant is broken (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown for errors in user-supplied programs (P4R source, reaction code).
+class UserError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Checks a caller-facing precondition.
+inline void expects(bool cond, const std::string& msg) {
+  if (!cond) throw PreconditionError(msg);
+}
+
+/// Checks an internal invariant.
+inline void ensures(bool cond, const std::string& msg) {
+  if (!cond) throw InvariantError(msg);
+}
+
+}  // namespace mantis

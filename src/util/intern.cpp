@@ -1,0 +1,28 @@
+#include "util/intern.hpp"
+
+#include "util/check.hpp"
+
+namespace mantis {
+
+Interner::Interner() { strings_.emplace_back(); }
+
+Sym Interner::intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  const Sym sym = static_cast<Sym>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), sym);
+  return sym;
+}
+
+Sym Interner::lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kNoSym : it->second;
+}
+
+const std::string& Interner::str(Sym sym) const {
+  expects(sym != kNoSym && sym < strings_.size(), "Interner::str: invalid Sym");
+  return strings_[sym];
+}
+
+}  // namespace mantis

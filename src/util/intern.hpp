@@ -1,0 +1,42 @@
+// String interning. Field references, table names, and action names are
+// compared and hashed constantly in the simulator's hot loop; interning turns
+// those into integer operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mantis {
+
+/// An interned string handle. Valid only with the Interner that produced it.
+/// Value 0 is reserved as "invalid / none".
+using Sym = std::uint32_t;
+
+constexpr Sym kNoSym = 0;
+
+/// Bidirectional string <-> Sym table. Not thread-safe; each simulation owns
+/// one (usually via p4::Program).
+class Interner {
+ public:
+  Interner();
+
+  /// Returns the Sym for `s`, interning it on first use. Never returns kNoSym.
+  Sym intern(std::string_view s);
+
+  /// Returns the Sym for `s` if already interned, kNoSym otherwise.
+  Sym lookup(std::string_view s) const;
+
+  /// Returns the string for `sym`. Throws if `sym` is invalid.
+  const std::string& str(Sym sym) const;
+
+  std::size_t size() const { return strings_.size() - 1; }
+
+ private:
+  std::vector<std::string> strings_;  // index == Sym; [0] is a placeholder
+  std::unordered_map<std::string, Sym> index_;
+};
+
+}  // namespace mantis

@@ -1,0 +1,62 @@
+// Deterministic random number generation for workloads and experiments.
+//
+// We implement xoshiro256** (public-domain algorithm by Blackman & Vigna)
+// rather than using std::mt19937 so that traces are bit-identical across
+// standard libraries, which keeps EXPERIMENTS.md numbers reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mantis {
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Samples ranks from a Zipf(s) distribution over {1, ..., n} by inverting a
+/// precomputed CDF. Used to synthesize heavy-tailed (CAIDA-like) flow sizes.
+class ZipfSampler {
+ public:
+  /// `n` is the support size, `s` the skew exponent (s > 0).
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Returns a rank in [1, n]; rank 1 is the most probable.
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  double pmf(std::uint64_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mantis

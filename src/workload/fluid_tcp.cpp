@@ -1,0 +1,88 @@
+#include "workload/fluid_tcp.hpp"
+
+#include <algorithm>
+
+namespace mantis::workload {
+
+FluidTcpFlow::FluidTcpFlow(sim::Switch& sw, FluidTcpConfig cfg)
+    : sw_(&sw), cfg_(cfg), rng_(cfg.seed ^ cfg.src_ip), rate_gbps_(cfg.init_rate_gbps) {
+  const auto& prog = sw.program();
+  f_src_ = prog.fields.find("ipv4.srcAddr");
+  f_dst_ = prog.fields.find("ipv4.dstAddr");
+  f_ecn_ = prog.fields.find("ipv4.ecn");
+  expects(f_src_ != p4::kInvalidField && f_dst_ != p4::kInvalidField,
+          "FluidTcpFlow: program must declare ipv4.srcAddr/dstAddr");
+}
+
+Duration FluidTcpFlow::gap() const {
+  const double bytes_per_ns = rate_gbps_ / 8.0;
+  const double mean_gap = static_cast<double>(cfg_.pkt_bytes) / bytes_per_ns;
+  return static_cast<Duration>(std::max(1.0, mean_gap));
+}
+
+void FluidTcpFlow::start(Time until) {
+  emit(until);
+  adjust(until);
+}
+
+void FluidTcpFlow::emit(Time until) {
+  if (stopped_ || sw_->loop().now() > until) return;
+  auto pkt = sw_->factory().make(cfg_.pkt_bytes);
+  const auto& prog = sw_->program();
+  pkt.set(f_src_, cfg_.src_ip, prog.fields.width(f_src_));
+  pkt.set(f_dst_, cfg_.dst_ip, prog.fields.width(f_dst_));
+  sw_->inject(std::move(pkt), cfg_.in_port);
+  ++sent_total_;
+  const Duration mean = gap();
+  const auto next = static_cast<Duration>(
+      std::max(1.0, rng_.exponential(static_cast<double>(mean))));
+  sw_->loop().schedule_in(next, [this, until] { emit(until); });
+}
+
+void FluidTcpFlow::on_transmit(const sim::Packet& pkt) {
+  if (pkt.get(f_src_) != cfg_.src_ip) return;
+  ++delivered_total_;
+  delivered_bytes_ += pkt.length_bytes();
+  if (f_ecn_ != p4::kInvalidField && pkt.get(f_ecn_) != 0) ++marked_total_;
+}
+
+void FluidTcpFlow::adjust(Time until) {
+  if (stopped_ || sw_->loop().now() > until) return;
+  // Everything sent at least one RTT ago has had ample time to arrive
+  // (pipeline + serialization are microseconds); whatever of it is still
+  // outstanding was dropped or is stuck in a standing queue — both are
+  // congestion signals, as for a real loss/delay-based sender.
+  const std::uint64_t judged_sent =
+      sent_asof_prev_adjust_ - sent_asof_prev2_adjust_;
+  const std::uint64_t outstanding =
+      sent_asof_prev_adjust_ > delivered_total_
+          ? sent_asof_prev_adjust_ - delivered_total_
+          : 0;
+  const std::uint64_t judged_marked = marked_total_ - marked_asof_prev_adjust_;
+  const std::uint64_t judged_delivered =
+      delivered_total_ - delivered_asof_prev_adjust_;
+  if (judged_sent > 0) {
+    const double loss_frac = static_cast<double>(outstanding) /
+                             static_cast<double>(judged_sent);
+    const double mark_frac =
+        judged_delivered == 0
+            ? 0.0
+            : static_cast<double>(judged_marked) /
+                  static_cast<double>(judged_delivered);
+    if (cfg_.dctcp && mark_frac > 0) {
+      rate_gbps_ = std::max(cfg_.min_rate_gbps,
+                            rate_gbps_ * std::max(0.1, 1.0 - mark_frac / 2.0));
+    } else if (loss_frac > 0.02) {
+      rate_gbps_ = std::max(cfg_.min_rate_gbps, rate_gbps_ / 2.0);
+    } else {
+      rate_gbps_ = std::min(cfg_.max_rate_gbps, rate_gbps_ + cfg_.additive_gbps);
+    }
+  }
+  sent_asof_prev2_adjust_ = sent_asof_prev_adjust_;
+  sent_asof_prev_adjust_ = sent_total_;
+  delivered_asof_prev_adjust_ = delivered_total_;
+  marked_asof_prev_adjust_ = marked_total_;
+  sw_->loop().schedule_in(cfg_.rtt, [this, until] { adjust(until); });
+}
+
+}  // namespace mantis::workload

@@ -1,0 +1,74 @@
+// AIMD fluid TCP flow model (substitute for the 250 real TCP flows of paper
+// Fig 15 and the DCTCP senders of §8.3.4).
+//
+// Each flow emits fixed-size packets at its current rate (Poisson gaps) into
+// the switch, observes deliveries via the transmit hook, and every RTT:
+//   * additive-increases its rate when everything it sent arrived unmarked,
+//   * halves on loss (or, in DCTCP mode, reduces proportionally to the ECN
+//     mark fraction).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/switch.hpp"
+#include "util/rng.hpp"
+
+namespace mantis::workload {
+
+struct FluidTcpConfig {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  int in_port = 0;
+  double init_rate_gbps = 0.01;
+  double min_rate_gbps = 0.01;
+  double max_rate_gbps = 25.0;
+  double additive_gbps = 0.008;      ///< per-RTT additive increase
+  Duration rtt = 40 * kMicrosecond;  ///< control-loop interval
+  std::uint32_t pkt_bytes = 1500;
+  bool dctcp = false;                ///< react to ECN marks instead of loss
+  std::uint64_t seed = 11;
+};
+
+class FluidTcpFlow {
+ public:
+  FluidTcpFlow(sim::Switch& sw, FluidTcpConfig cfg);
+
+  void start(Time until);
+  void stop() { stopped_ = true; }
+
+  /// Must be called (by the experiment harness) for every packet the switch
+  /// transmits, so flows can attribute deliveries/marks to themselves.
+  void on_transmit(const sim::Packet& pkt);
+
+  double rate_gbps() const { return rate_gbps_; }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  std::uint32_t src_ip() const { return cfg_.src_ip; }
+
+ private:
+  sim::Switch* sw_;
+  FluidTcpConfig cfg_;
+  Rng rng_;
+  bool stopped_ = false;
+  double rate_gbps_;
+
+  // Cumulative counters; loss is judged one RTT behind so in-flight packets
+  // are not mistaken for drops.
+  std::uint64_t sent_total_ = 0;
+  std::uint64_t delivered_total_ = 0;
+  std::uint64_t marked_total_ = 0;
+  std::uint64_t sent_asof_prev_adjust_ = 0;
+  std::uint64_t sent_asof_prev2_adjust_ = 0;
+  std::uint64_t delivered_asof_prev_adjust_ = 0;
+  std::uint64_t marked_asof_prev_adjust_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+
+  p4::FieldId f_src_ = p4::kInvalidField;
+  p4::FieldId f_dst_ = p4::kInvalidField;
+  p4::FieldId f_ecn_ = p4::kInvalidField;
+
+  void emit(Time until);
+  void adjust(Time until);
+  Duration gap() const;
+};
+
+}  // namespace mantis::workload

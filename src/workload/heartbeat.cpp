@@ -1,0 +1,25 @@
+#include "workload/heartbeat.hpp"
+
+namespace mantis::workload {
+
+HeartbeatSource::HeartbeatSource(sim::Switch& sw, HeartbeatConfig cfg)
+    : sw_(&sw), cfg_(cfg), rng_(cfg.seed) {}
+
+void HeartbeatSource::start(Time until) { tick(until); }
+
+void HeartbeatSource::tick(Time until) {
+  if (stopped_ || sw_->loop().now() > until) return;
+  if (!rng_.chance(cfg_.loss_prob)) {
+    auto pkt = sw_->factory().make(64);
+    const auto& prog = sw_->program();
+    const auto proto = prog.fields.find("ipv4.protocol");
+    if (proto != p4::kInvalidField) {
+      pkt.set(proto, cfg_.proto, prog.fields.width(proto));
+    }
+    sw_->inject(std::move(pkt), cfg_.port);
+    ++emitted_;
+  }
+  sw_->loop().schedule_in(cfg_.period, [this, until] { tick(until); });
+}
+
+}  // namespace mantis::workload

@@ -1,0 +1,47 @@
+// Per-port heartbeat generators (paper §8.3.2): each neighbour of the switch
+// emits a high-priority heartbeat packet every T_s; the gray-failure reaction
+// compares received counts against expectations.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/switch.hpp"
+#include "util/rng.hpp"
+
+namespace mantis::workload {
+
+struct HeartbeatConfig {
+  int port = 0;
+  Duration period = 1 * kMicrosecond;  ///< T_s
+  double loss_prob = 0.0;              ///< gray-loss probability
+  std::uint8_t proto = 253;            ///< protocol number marking heartbeats
+  std::uint64_t seed = 7;
+};
+
+/// Schedules heartbeat injections on the switch's event loop until `until`.
+/// The generator models the *neighbour*: disabling the switch port (or
+/// raising loss_prob) is what emulates a (gray) link failure.
+class HeartbeatSource {
+ public:
+  HeartbeatSource(sim::Switch& sw, HeartbeatConfig cfg);
+
+  /// Starts emitting; safe to call once.
+  void start(Time until);
+
+  /// Gray-degrades / restores the link at runtime.
+  void set_loss_prob(double p) { cfg_.loss_prob = p; }
+  void stop() { stopped_ = true; }
+
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  sim::Switch* sw_;
+  HeartbeatConfig cfg_;
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t emitted_ = 0;
+
+  void tick(Time until);
+};
+
+}  // namespace mantis::workload

@@ -1,0 +1,41 @@
+#include "workload/trace_gen.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mantis::workload {
+
+Trace generate_trace(const TraceConfig& cfg) {
+  expects(cfg.num_flows > 0 && cfg.num_packets > 0, "generate_trace: empty config");
+  expects(cfg.min_pkt_bytes <= cfg.max_pkt_bytes, "generate_trace: bad sizes");
+
+  Rng rng(cfg.seed);
+  ZipfSampler zipf(cfg.num_flows, cfg.zipf_skew);
+
+  Trace trace;
+  trace.packets.reserve(cfg.num_packets);
+
+  const double mean_gap_ns =
+      cfg.duration_s * 1e9 / static_cast<double>(cfg.num_packets);
+  double t = 0;
+  for (std::size_t i = 0; i < cfg.num_packets; ++i) {
+    t += rng.exponential(mean_gap_ns);
+    const std::uint64_t rank = zipf.sample(rng);
+    TracePacket pkt;
+    pkt.t = static_cast<Time>(t);
+    pkt.src_ip = 0x0a000000u + static_cast<std::uint32_t>(rank);
+    pkt.dst_ip = 0xc0a80000u + static_cast<std::uint32_t>(rank % 64);
+    pkt.src_port = static_cast<std::uint16_t>(1024 + rank % 50000);
+    pkt.dst_port = 443;
+    pkt.proto = 6;
+    pkt.bytes = static_cast<std::uint32_t>(
+        rng.uniform_range(cfg.min_pkt_bytes, cfg.max_pkt_bytes));
+    trace.bytes_per_src[pkt.src_ip] += pkt.bytes;
+    trace.packets_per_src[pkt.src_ip] += 1;
+    trace.packets.push_back(pkt);
+  }
+  return trace;
+}
+
+}  // namespace mantis::workload

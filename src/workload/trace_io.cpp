@@ -1,0 +1,78 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mantis::workload {
+
+namespace {
+constexpr const char* kMagic = "#mantis-trace v1";
+}
+
+void write_trace(const Trace& trace, std::ostream& out) {
+  out << kMagic << "\n";
+  out << "# t_ns src_ip dst_ip src_port dst_port proto bytes\n";
+  for (const auto& pkt : trace.packets) {
+    out << pkt.t << ' ' << std::hex << pkt.src_ip << ' ' << pkt.dst_ip
+        << std::dec << ' ' << pkt.src_port << ' ' << pkt.dst_port << ' '
+        << static_cast<unsigned>(pkt.proto) << ' ' << pkt.bytes << "\n";
+  }
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw UserError("save_trace: cannot open " + path);
+  write_trace(trace, out);
+  if (!out) throw UserError("save_trace: write failed for " + path);
+}
+
+Trace read_trace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  bool magic_seen = false;
+  Time last_t = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line == kMagic) magic_seen = true;
+      continue;
+    }
+    if (!magic_seen) {
+      throw UserError("read_trace: missing '" + std::string(kMagic) +
+                      "' header before data");
+    }
+    std::istringstream ss(line);
+    TracePacket pkt;
+    long long t = 0;
+    unsigned proto = 0;
+    if (!(ss >> t >> std::hex >> pkt.src_ip >> pkt.dst_ip >> std::dec >>
+          pkt.src_port >> pkt.dst_port >> proto >> pkt.bytes)) {
+      throw UserError("read_trace: malformed line " + std::to_string(line_no));
+    }
+    if (t < last_t) {
+      throw UserError("read_trace: timestamps not monotone at line " +
+                      std::to_string(line_no));
+    }
+    last_t = t;
+    pkt.t = t;
+    pkt.proto = static_cast<std::uint8_t>(proto);
+    trace.bytes_per_src[pkt.src_ip] += pkt.bytes;
+    trace.packets_per_src[pkt.src_ip] += 1;
+    trace.packets.push_back(pkt);
+  }
+  if (!magic_seen) throw UserError("read_trace: not a mantis trace file");
+  return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UserError("load_trace: cannot open " + path);
+  return read_trace(in);
+}
+
+}  // namespace mantis::workload

@@ -1,0 +1,28 @@
+// Trace (de)serialization: a simple line-oriented text format so generated
+// workloads can be saved, inspected with standard tools, edited, and
+// replayed deterministically across runs (the reproduction's stand-in for
+// pcap + tcpreplay).
+//
+// Format, one packet per line after the header:
+//   #mantis-trace v1
+//   <t_ns> <src_ip_hex> <dst_ip_hex> <src_port> <dst_port> <proto> <bytes>
+// Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace_gen.hpp"
+
+namespace mantis::workload {
+
+/// Writes the trace; throws UserError on I/O failure.
+void save_trace(const Trace& trace, const std::string& path);
+void write_trace(const Trace& trace, std::ostream& out);
+
+/// Reads a trace (recomputing the ground-truth maps). Throws UserError on
+/// malformed input, with the offending line number.
+Trace load_trace(const std::string& path);
+Trace read_trace(std::istream& in);
+
+}  // namespace mantis::workload

@@ -1,0 +1,42 @@
+#include "workload/udp_flood.hpp"
+
+#include <algorithm>
+
+namespace mantis::workload {
+
+UdpFloodSource::UdpFloodSource(sim::Switch& sw, UdpFloodConfig cfg)
+    : sw_(&sw), cfg_(cfg) {
+  const auto& prog = sw.program();
+  f_src_ = prog.fields.find("ipv4.srcAddr");
+  f_dst_ = prog.fields.find("ipv4.dstAddr");
+  f_proto_ = prog.fields.find("ipv4.protocol");
+  expects(f_src_ != p4::kInvalidField, "UdpFloodSource: needs ipv4.srcAddr");
+}
+
+void UdpFloodSource::start(Time until) {
+  const Time now = sw_->loop().now();
+  const Time at = std::max(now, cfg_.start_at);
+  sw_->loop().schedule_at(at, [this, until] { emit(until); });
+}
+
+void UdpFloodSource::emit(Time until) {
+  if (stopped_ || sw_->loop().now() > until) return;
+  if (first_packet_at_ < 0) first_packet_at_ = sw_->loop().now();
+  auto pkt = sw_->factory().make(cfg_.pkt_bytes);
+  const auto& prog = sw_->program();
+  pkt.set(f_src_, cfg_.src_ip, prog.fields.width(f_src_));
+  if (f_dst_ != p4::kInvalidField) {
+    pkt.set(f_dst_, cfg_.dst_ip, prog.fields.width(f_dst_));
+  }
+  if (f_proto_ != p4::kInvalidField) {
+    pkt.set(f_proto_, 17, prog.fields.width(f_proto_));
+  }
+  sw_->inject(std::move(pkt), cfg_.in_port);
+  ++sent_;
+  const double bytes_per_ns = cfg_.rate_gbps / 8.0;
+  const auto gap = static_cast<Duration>(
+      std::max(1.0, static_cast<double>(cfg_.pkt_bytes) / bytes_per_ns));
+  sw_->loop().schedule_in(gap, [this, until] { emit(until); });
+}
+
+}  // namespace mantis::workload

@@ -1,0 +1,41 @@
+// Constant-rate UDP flood source (the paper's DPDK blaster, Fig 15).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/switch.hpp"
+#include "util/rng.hpp"
+
+namespace mantis::workload {
+
+struct UdpFloodConfig {
+  std::uint32_t src_ip = 0xdead0001;
+  std::uint32_t dst_ip = 0;
+  int in_port = 0;
+  double rate_gbps = 25.0;
+  std::uint32_t pkt_bytes = 1500;
+  Time start_at = 0;
+};
+
+class UdpFloodSource {
+ public:
+  UdpFloodSource(sim::Switch& sw, UdpFloodConfig cfg);
+
+  void start(Time until);
+  void stop() { stopped_ = true; }
+
+  std::uint64_t sent() const { return sent_; }
+  Time first_packet_at() const { return first_packet_at_; }
+
+ private:
+  sim::Switch* sw_;
+  UdpFloodConfig cfg_;
+  bool stopped_ = false;
+  std::uint64_t sent_ = 0;
+  Time first_packet_at_ = -1;
+  p4::FieldId f_src_, f_dst_, f_proto_;
+
+  void emit(Time until);
+};
+
+}  // namespace mantis::workload

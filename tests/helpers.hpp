@@ -1,0 +1,94 @@
+// Shared test scaffolding: builds the full stack (compile -> simulated
+// switch -> driver -> agent) from P4R source.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "agent/agent.hpp"
+#include "compile/compiler.hpp"
+#include "driver/driver.hpp"
+#include "sim/switch.hpp"
+
+namespace mantis::test {
+
+struct Stack {
+  compile::Artifacts artifacts;
+  sim::EventLoop loop;
+  std::unique_ptr<sim::Switch> sw;
+  std::unique_ptr<driver::Driver> drv;
+  std::unique_ptr<agent::Agent> agent;
+
+  Stack(const std::string& p4r_source, sim::SwitchConfig sw_cfg = {},
+        agent::AgentOptions agent_opts = {},
+        driver::DriverOptions drv_opts = {},
+        compile::Options compile_opts = {}) {
+    artifacts = compile::compile_source(p4r_source, compile_opts);
+    sw = std::make_unique<sim::Switch>(loop, artifacts.prog, sw_cfg);
+    drv = std::make_unique<driver::Driver>(*sw, drv_opts);
+    agent = std::make_unique<agent::Agent>(*drv, artifacts, agent_opts);
+  }
+};
+
+/// A minimal malleable-value program in the shape of paper Figure 1.
+inline std::string figure1_style_source() {
+  return R"P4R(
+header_type hdr_t {
+  fields {
+    foo : 32;
+    bar : 32;
+    baz : 16;
+    qux : 32;
+  }
+}
+header hdr_t hdr;
+
+malleable value value_var { width : 16; init : 1; }
+malleable field field_var {
+  width : 32;
+  init : hdr.foo;
+  alts { hdr.foo, hdr.bar }
+}
+
+register qdepths_r { width : 32; instance_count : 16; }
+
+action my_action() {
+  add(hdr.baz, hdr.baz, ${value_var});
+  modify_field(${field_var}, hdr.qux);
+}
+action set_out(port) {
+  modify_field(standard_metadata.egress_spec, port);
+}
+
+malleable table table_var {
+  reads { ${field_var} : exact; }
+  actions { my_action; _drop; }
+  size : 64;
+}
+table forward {
+  actions { set_out; }
+  default_action : set_out(1);
+  size : 1;
+}
+
+control ingress {
+  apply(table_var);
+  apply(forward);
+}
+control egress { }
+
+reaction my_reaction(reg qdepths_r[1:10]) {
+  uint16_t current_max = 0;
+  uint16_t max_port = 0;
+  for (int i = 1; i <= 10; ++i) {
+    if (qdepths_r[i] > current_max) {
+      current_max = qdepths_r[i];
+      max_port = i;
+    }
+  }
+  ${value_var} = max_port;
+}
+)P4R";
+}
+
+}  // namespace mantis::test

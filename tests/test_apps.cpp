@@ -1,0 +1,330 @@
+// Behavioural tests for the four paper use cases (§8.3), run on the full
+// stack. These are the miniature versions of the Fig 14-16 experiments.
+#include <gtest/gtest.h>
+
+#include "apps/gray_failure.hpp"
+#include "apps/hash_polarization.hpp"
+#include "apps/rl_dctcp.hpp"
+#include "helpers.hpp"
+#include "workload/heartbeat.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace mantis::test {
+namespace {
+
+constexpr std::uint64_t kFull = ~std::uint64_t{0};
+
+// ---------------------------------------------------------------------------
+// Use case #2: gray failure
+// ---------------------------------------------------------------------------
+
+struct GrayFailureFixture {
+  Stack stack{apps::gray_failure_p4r_source()};
+  std::shared_ptr<apps::GrayFailureState> state =
+      std::make_shared<apps::GrayFailureState>();
+  std::vector<std::unique_ptr<workload::HeartbeatSource>> sources;
+
+  explicit GrayFailureFixture(int fanout = 4) {
+    state->cfg.num_ports = fanout;
+    state->cfg.ts = 1 * kMicrosecond;
+    state->cfg.eta = 0.5;
+    state->topo = apps::Topology::fat_tree_slice(fanout, 8);
+    stack.agent->set_native_reaction("gf_react",
+                                     apps::make_gray_failure_reaction(state));
+    stack.agent->run_prologue([&](agent::ReactionContext& ctx) {
+      state->install_initial_routes(ctx);
+    });
+    for (int p = 0; p < fanout; ++p) {
+      workload::HeartbeatConfig cfg;
+      cfg.port = p;
+      cfg.period = state->cfg.ts;
+      cfg.seed = 100 + static_cast<std::uint64_t>(p);
+      sources.push_back(std::make_unique<workload::HeartbeatSource>(stack.sw.operator*(), cfg));
+      sources.back()->start(stack.loop.now() + 50 * kMillisecond);
+    }
+  }
+};
+
+TEST(GrayFailure, TopologyRoutesAvoidDownPorts) {
+  const auto topo = apps::Topology::fat_tree_slice(4, 8);
+  std::vector<bool> up(4, false);
+  const auto routes = topo.compute_routes(up);
+  EXPECT_EQ(routes.size(), 8u);
+  for (const auto& [dst, port] : routes) {
+    EXPECT_GE(port, 0);
+    EXPECT_LT(port, 4);
+  }
+  // Fail port 0: every destination still reachable via another port.
+  std::vector<bool> down0(4, false);
+  down0[0] = true;
+  const auto rerouted = topo.compute_routes(down0);
+  for (const auto& [dst, port] : rerouted) {
+    EXPECT_GE(port, 0);
+    EXPECT_NE(port, 0);
+  }
+  // All ports down: unreachable.
+  std::vector<bool> all_down(4, true);
+  for (const auto& [dst, port] : topo.compute_routes(all_down)) {
+    EXPECT_EQ(port, -1);
+  }
+}
+
+TEST(GrayFailure, DetectsHardFailureAndReroutes) {
+  GrayFailureFixture fx;
+  int detected_port = -1;
+  Time detect_time = -1, reroute_time = -1;
+  fx.state->on_detect = [&](int port, Time t) {
+    detected_port = port;
+    detect_time = t;
+  };
+  fx.state->on_routes_installed = [&](Time t) { reroute_time = t; };
+
+  // Warm up so counters have a baseline.
+  fx.stack.agent->run_dialogue(20);
+  EXPECT_EQ(detected_port, -1) << "spurious detection on healthy links";
+
+  // Hard-fail port 2's neighbour at a known instant.
+  const Time fail_at = fx.stack.loop.now();
+  fx.sources[2]->stop();
+  while (detected_port == -1 &&
+         fx.stack.loop.now() < fail_at + 10 * kMillisecond) {
+    fx.stack.agent->dialogue_iteration();
+  }
+  ASSERT_EQ(detected_port, 2);
+  EXPECT_GE(detect_time, fail_at);
+  ASSERT_GE(reroute_time, detect_time);
+  // Detection + reroute within a millisecond (paper: 100-200us on Tofino).
+  EXPECT_LT(reroute_time - fail_at, 1 * kMillisecond);
+
+  // The malleable route table no longer uses port 2.
+  auto probe = fx.stack.sw->factory().make();
+  for (const auto& [addr, id] : fx.state->route_ids) {
+    EXPECT_NE(fx.state->current_port.at(addr), 2);
+  }
+}
+
+TEST(GrayFailure, GrayLossDetectedViaEta) {
+  GrayFailureFixture fx;
+  int detected_port = -1;
+  fx.state->on_detect = [&](int port, Time) { detected_port = port; };
+  fx.stack.agent->run_dialogue(20);
+  // 80% loss on port 1: heartbeat deltas fall below eta=0.5 expectations.
+  fx.sources[1]->set_loss_prob(0.8);
+  const Time start = fx.stack.loop.now();
+  while (detected_port == -1 && fx.stack.loop.now() < start + 10 * kMillisecond) {
+    fx.stack.agent->dialogue_iteration();
+  }
+  EXPECT_EQ(detected_port, 1);
+}
+
+TEST(GrayFailure, MildLossToleratedUnderLowEta) {
+  GrayFailureFixture fx;
+  int detected_port = -1;
+  fx.state->on_detect = [&](int port, Time) { detected_port = port; };
+  fx.stack.agent->run_dialogue(20);
+  // 10% loss with eta = 0.5 should NOT trip the detector.
+  fx.sources[0]->set_loss_prob(0.1);
+  const Time start = fx.stack.loop.now();
+  while (fx.stack.loop.now() < start + 5 * kMillisecond) {
+    fx.stack.agent->dialogue_iteration();
+  }
+  EXPECT_EQ(detected_port, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Use case #3: hash polarization
+// ---------------------------------------------------------------------------
+
+struct HashPolFixture {
+  Stack stack{apps::hash_polarization_p4r_source()};
+  std::shared_ptr<apps::HashPolState> state = std::make_shared<apps::HashPolState>();
+  Rng rng{99};
+
+  HashPolFixture() {
+    stack.agent->set_native_reaction("hp_react",
+                                     apps::make_hash_pol_reaction(state));
+    stack.agent->run_prologue();
+  }
+
+  /// A polarized workload: 16 correlated flow tuples (srcAddr determines
+  /// dstAddr and srcPort, e.g. NAT'd prefixes), so the initial hash config
+  /// {srcAddr, dstAddr, srcPort} sees only 16 distinct inputs and loads the
+  /// ports unevenly. dstPort is high-entropy, so a config that includes it
+  /// rebalances.
+  void send_polarized(int n) {
+    for (int i = 0; i < n; ++i) {
+      const std::uint32_t tuple = static_cast<std::uint32_t>(rng.uniform(16));
+      auto pkt = stack.sw->factory().make(200);
+      stack.sw->factory().set(pkt, "ipv4.srcAddr", 0x0a000000 + tuple);
+      stack.sw->factory().set(pkt, "ipv4.dstAddr", 0xc0a80000 + tuple * 7);
+      stack.sw->factory().set(pkt, "l4.srcPort", 4096);
+      stack.sw->factory().set(pkt, "l4.dstPort", rng.uniform(40000));
+      stack.sw->inject(std::move(pkt), 0);
+      stack.loop.run();
+    }
+  }
+
+  std::vector<double> port_loads() {
+    std::vector<double> loads;
+    for (int p = 0; p < 8; ++p) {
+      loads.push_back(static_cast<double>(stack.sw->port_stats(p).tx_pkts));
+    }
+    return loads;
+  }
+};
+
+TEST(HashPolarization, ShiftsInputsUntilBalanced) {
+  HashPolFixture fx;
+  std::size_t shifted_to = 0;
+  Time shift_time = -1;
+  fx.state->on_shift = [&](std::size_t cfg, Time t) {
+    shifted_to = cfg;
+    shift_time = t;
+  };
+
+  // Drive a few measure-react rounds over the polarized workload.
+  for (int round = 0; round < 10 && shift_time < 0; ++round) {
+    fx.send_polarized(400);
+    fx.stack.agent->dialogue_iteration();
+  }
+  ASSERT_GE(shift_time, 0) << "persistent imbalance never triggered a shift";
+  EXPECT_GT(fx.state->last_ratio, fx.state->cfg.imbalance_ratio);
+
+  // After the shift the selected config hashes on high-entropy fields; the
+  // incremental load must spread out.
+  const auto before = fx.port_loads();
+  fx.send_polarized(1500);
+  const auto after = fx.port_loads();
+  std::vector<double> delta;
+  for (int p = 0; p < 8; ++p) delta.push_back(after[p] - before[p]);
+  const double mad = median_absolute_deviation(delta);
+  double total = 0;
+  for (const double d : delta) total += d;
+  EXPECT_GT(total, 0);
+  EXPECT_LT(mad / (total / 8), fx.state->cfg.imbalance_ratio)
+      << "post-shift load still polarized";
+}
+
+TEST(HashPolarization, BalancedLoadNeverShifts) {
+  HashPolFixture fx;
+  bool shifted = false;
+  fx.state->on_shift = [&](std::size_t, Time) { shifted = true; };
+  Rng rng(5);
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      auto pkt = fx.stack.sw->factory().make(200);
+      // High-entropy everything: initial config balances fine.
+      fx.stack.sw->factory().set(pkt, "ipv4.srcAddr", rng.uniform(1u << 30));
+      fx.stack.sw->factory().set(pkt, "ipv4.dstAddr", rng.uniform(1u << 30));
+      fx.stack.sw->factory().set(pkt, "l4.srcPort", rng.uniform(60000));
+      fx.stack.sw->inject(std::move(pkt), 0);
+      fx.stack.loop.run();
+    }
+    fx.stack.agent->dialogue_iteration();
+  }
+  EXPECT_FALSE(shifted);
+}
+
+TEST(HashPolarization, LoadStrategyFieldListSelectsAlternative) {
+  // The compiler's load strategy must make the hash actually depend on the
+  // selected alternative: shifting h_src from srcAddr to dstAddr changes the
+  // egress port of a crafted packet.
+  HashPolFixture fx;
+  auto egress_of = [&](std::uint32_t src, std::uint32_t dst) {
+    int port = -1;
+    fx.stack.sw->set_on_transmit(
+        [&](const sim::Packet&, int p, Time) { port = p; });
+    auto pkt = fx.stack.sw->factory().make(100);
+    fx.stack.sw->factory().set(pkt, "ipv4.srcAddr", src);
+    fx.stack.sw->factory().set(pkt, "ipv4.dstAddr", dst);
+    fx.stack.sw->inject(std::move(pkt), 0);
+    fx.stack.loop.run();
+    return port;
+  };
+  // Find (src, dst) whose hashes differ under the two configs.
+  int a = -1, b = -1;
+  std::uint32_t src = 1, dst = 0x1000;
+  for (; src < 64; ++src) {
+    a = egress_of(src, dst);
+    fx.stack.agent->set_scalar("h_src", 1);  // now hashes dstAddr twice
+    b = egress_of(src, dst);
+    fx.stack.agent->set_scalar("h_src", 0);
+    if (a != b) break;
+  }
+  EXPECT_NE(a, b) << "shifting the malleable hash input had no effect";
+}
+
+// ---------------------------------------------------------------------------
+// Use case #4: RL DCTCP
+// ---------------------------------------------------------------------------
+
+TEST(RlDctcp, EcnMarkingRespectsMalleableThreshold) {
+  Stack stack(apps::rl_dctcp_p4r_source());
+  stack.agent->run_prologue();
+  stack.agent->set_scalar("ecn_thresh", 4);
+
+  int marked = 0, unmarked = 0;
+  stack.sw->set_on_transmit([&](const sim::Packet& pkt, int, Time) {
+    if (stack.sw->factory().get(pkt, "ipv4.ecn") != 0) {
+      ++marked;
+    } else {
+      ++unmarked;
+    }
+  });
+  // A burst deep enough that later packets dequeue with qdepth >= 4.
+  for (int i = 0; i < 32; ++i) {
+    auto pkt = stack.sw->factory().make(1500);
+    stack.sw->factory().set(pkt, "ipv4.dstAddr", 1);
+    stack.sw->inject(std::move(pkt), 0);
+  }
+  stack.loop.run();
+  EXPECT_GT(marked, 0);
+  EXPECT_GT(unmarked, 0);  // the tail of the queue drains below threshold
+
+  // Raise the threshold far above the burst size: nothing marks.
+  stack.agent->set_scalar("ecn_thresh", 500);
+  marked = unmarked = 0;
+  for (int i = 0; i < 32; ++i) {
+    auto pkt = stack.sw->factory().make(1500);
+    stack.sw->factory().set(pkt, "ipv4.dstAddr", 1);
+    stack.sw->inject(std::move(pkt), 0);
+  }
+  stack.loop.run();
+  EXPECT_EQ(marked, 0);
+}
+
+TEST(RlDctcp, QLearningStepsAndImproves) {
+  Stack stack(apps::rl_dctcp_p4r_source());
+  auto state = std::make_shared<apps::RlState>();
+  state->cfg.link_gbps = 25.0;
+  state->cfg.epsilon = 0.2;
+  stack.agent->set_native_reaction("rl_react", apps::make_rl_reaction(state));
+  stack.agent->run_prologue();
+
+  // Steady traffic so utilization/qdepth signals exist.
+  Rng rng(1);
+  for (int round = 0; round < 120; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      auto pkt = stack.sw->factory().make(1500);
+      stack.sw->factory().set(pkt, "ipv4.dstAddr", 1);
+      stack.sw->factory().set(pkt, "ipv4.srcAddr", rng.uniform(1 << 16));
+      stack.sw->inject(std::move(pkt), 0);
+    }
+    stack.agent->dialogue_iteration();
+  }
+  EXPECT_GT(state->steps, 100u);
+  ASSERT_GT(state->reward_history.size(), 40u);
+  // Q values were learned (some state visited and updated).
+  double qsum = 0;
+  for (const auto& row : state->q) {
+    for (const double v : row) qsum += std::abs(v);
+  }
+  EXPECT_GT(qsum, 0.0);
+  // The committed threshold is one of the action-space values.
+  const auto t = stack.agent->scalar("ecn_thresh");
+  EXPECT_NE(std::find(state->cfg.thresholds.begin(), state->cfg.thresholds.end(), t),
+            state->cfg.thresholds.end());
+}
+
+}  // namespace
+}  // namespace mantis::test

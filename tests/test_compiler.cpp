@@ -1,0 +1,454 @@
+// Tests for the Mantis compiler passes: value/field transformations, load
+// strategy, init-table packing/splitting, measurement packing, isolation
+// (vv columns, register duplication), and the emitted artifacts.
+#include <gtest/gtest.h>
+
+#include "compile/compiler.hpp"
+#include "compile/packing.hpp"
+#include "p4/alloc/stage_alloc.hpp"
+
+namespace mantis::compile {
+namespace {
+
+const char* kHeader = R"(
+header_type h_t { fields { a : 32; b : 32; c : 16; d : 16; e : 8; } }
+header h_t h;
+)";
+
+Artifacts compile_src(const std::string& body, Options opts = {}) {
+  return compile_source(std::string(kHeader) + body, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+TEST(Packing, FirstFitDecreasingIsCompact) {
+  std::vector<PackItem> items = {{"a", 20}, {"b", 10}, {"c", 30}, {"d", 2}};
+  const auto bins = first_fit_decreasing(items, 32);
+  // FFD: 30+2 | 20+10 -> two bins.
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].used, 32u);
+  EXPECT_EQ(bins[1].used, 30u);
+}
+
+TEST(Packing, OversizedItemsGetDedicatedBins) {
+  std::vector<PackItem> items = {{"big", 48}, {"small", 8}};
+  const auto bins = first_fit_decreasing(items, 32);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].used, 48u);
+}
+
+TEST(Packing, PinnedItemsSeedFirstBin) {
+  std::vector<PackItem> items = {{"x", 30}, {"vv", 1}, {"mv", 1}};
+  const auto bins = first_fit_decreasing_pinned(items, 32, {1, 2});
+  ASSERT_GE(bins.size(), 1u);
+  EXPECT_EQ(bins[0].items[0], 1u);
+  EXPECT_EQ(bins[0].items[1], 2u);
+  // x (30 bits) still fits alongside the two pinned bits.
+  EXPECT_EQ(bins.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Malleable values (paper Fig 4)
+// ---------------------------------------------------------------------------
+
+TEST(ValuePass, RewritesUsesAndRegistersInitParam) {
+  const auto art = compile_src(R"(
+malleable value knob { width : 16; init : 5; }
+action bump() { add(h.c, h.c, ${knob}); }
+table t { actions { bump; } default_action : bump; size : 1; }
+control ingress { apply(t); }
+control egress { }
+)");
+  // The use became a concrete read of p4r_meta_.knob.
+  const auto* act = art.prog.find_action("bump");
+  ASSERT_NE(act, nullptr);
+  EXPECT_EQ(act->body[0].args[2].kind, p4::OperandKind::kField);
+  EXPECT_EQ(art.prog.fields.full_name(act->body[0].args[2].field),
+            "p4r_meta_.knob");
+  // Scalar slot with the right init.
+  const auto& slot = art.bindings.scalars.at("knob");
+  EXPECT_EQ(slot.init_value, 5u);
+  EXPECT_EQ(slot.width, 16);
+  EXPECT_FALSE(slot.is_selector);
+  // Master init table exists and its default args include the init value.
+  ASSERT_FALSE(art.bindings.init_tables.empty());
+  const auto* init = art.prog.find_table("p4r_init_");
+  ASSERT_NE(init, nullptr);
+  EXPECT_EQ(init->default_action_args[slot.param], 5u);
+  // Init is applied first in ingress.
+  const auto order = art.prog.tables_in(art.prog.ingress);
+  EXPECT_EQ(order.front(), "p4r_init_");
+}
+
+TEST(InitPass, SplitsWhenExceedingActionBudget) {
+  Options opts;
+  opts.max_init_action_bits = 40;
+  const auto art = compile_src(R"(
+malleable value k1 { width : 32; init : 1; }
+malleable value k2 { width : 32; init : 2; }
+malleable value k3 { width : 32; init : 3; }
+action bump() { add(h.a, ${k1}, ${k2}); add(h.b, h.b, ${k3}); }
+table t { actions { bump; } default_action : bump; size : 1; }
+control ingress { apply(t); }
+control egress { }
+)",
+                               opts);
+  ASSERT_GE(art.bindings.init_tables.size(), 2u);
+  EXPECT_TRUE(art.bindings.init_tables[0].master);
+  // vv/mv pinned to the master.
+  const auto& mp = art.bindings.init_tables[0].params;
+  EXPECT_NE(std::find(mp.begin(), mp.end(), "vv_"), mp.end());
+  EXPECT_NE(std::find(mp.begin(), mp.end(), "mv_"), mp.end());
+  // Overflow init tables read vv and hold two entries.
+  for (std::size_t k = 1; k < art.bindings.init_tables.size(); ++k) {
+    const auto* tbl = art.prog.find_table(art.bindings.init_tables[k].table);
+    ASSERT_NE(tbl, nullptr);
+    ASSERT_EQ(tbl->reads.size(), 1u);
+    EXPECT_EQ(tbl->reads[0].field, art.bindings.vv_field);
+    EXPECT_EQ(tbl->size, 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malleable fields (paper Figs 5-6)
+// ---------------------------------------------------------------------------
+
+TEST(FieldPass, WriteSideSpecialization) {
+  const auto art = compile_src(R"(
+malleable field wv { width : 32; init : h.a; alts { h.a, h.b } }
+action store(x) { modify_field(${wv}, x); }
+table tw { reads { h.c : ternary; } actions { store; } size : 64; }
+control ingress { apply(tw); }
+control egress { }
+)");
+  const auto& info = art.bindings.table("tw");
+  // One specialized action per alternative.
+  ASSERT_EQ(info.actions.size(), 1u);
+  EXPECT_EQ(info.actions[0].dims, (std::vector<std::string>{"wv"}));
+  ASSERT_EQ(info.actions[0].specialized.size(), 2u);
+  // The specialized bodies write the concrete alternatives.
+  const auto* a0 = art.prog.find_action(info.actions[0].specialized[0]);
+  const auto* a1 = art.prog.find_action(info.actions[0].specialized[1]);
+  ASSERT_NE(a0, nullptr);
+  ASSERT_NE(a1, nullptr);
+  EXPECT_EQ(art.prog.fields.full_name(a0->body[0].args[0].field), "h.a");
+  EXPECT_EQ(art.prog.fields.full_name(a1->body[0].args[0].field), "h.b");
+  // Table gained a ternary selector column and doubled its size budget.
+  EXPECT_EQ(info.selector_cols.size(), 1u);
+  EXPECT_EQ(info.expansion_product, 2u);
+  EXPECT_EQ(art.prog.find_table("tw")->size, 128u);
+  // The original action is gone from the program.
+  EXPECT_EQ(art.prog.find_action("store"), nullptr);
+}
+
+TEST(FieldPass, ReadSideMatchExpansion) {
+  const auto art = compile_src(R"(
+malleable field rv { width : 32; init : h.a; alts { h.a, h.b } }
+action use() { add(h.c, h.d, ${rv}); }
+table tr {
+  reads { h.e : exact; ${rv} : exact; }
+  actions { use; }
+  size : 64;
+}
+control ingress { apply(tr); }
+control egress { }
+)");
+  const auto& info = art.bindings.table("tr");
+  ASSERT_EQ(info.mbl_reads.size(), 1u);
+  const auto& mri = info.mbl_reads[0];
+  EXPECT_EQ(mri.original_index, 1u);
+  ASSERT_EQ(mri.alt_cols.size(), 2u);
+  // Exact malleable reads become ternary alternative columns (paper Fig 6).
+  const auto* tbl = art.prog.find_table("tr");
+  EXPECT_EQ(tbl->reads[mri.alt_cols[0]].kind, p4::MatchKind::kTernary);
+  EXPECT_EQ(tbl->reads[mri.alt_cols[1]].kind, p4::MatchKind::kTernary);
+  // Concrete reads keep their position mapping and kind.
+  ASSERT_EQ(info.col_of_original.size(), 2u);
+  EXPECT_GE(info.col_of_original[0], 0);
+  EXPECT_EQ(info.col_of_original[1], -1);
+  EXPECT_EQ(tbl->reads[static_cast<std::size_t>(info.col_of_original[0])].kind,
+            p4::MatchKind::kExact);
+  // Selector column is shared between match expansion and action dims.
+  EXPECT_EQ(info.selector_cols.size(), 1u);
+  EXPECT_EQ(mri.selector_col, info.selector_cols.at("rv"));
+  EXPECT_EQ(info.expansion_product, 2u);
+}
+
+TEST(FieldPass, CompoundTwoFieldsInOneAction) {
+  const auto art = compile_src(R"(
+malleable field f1 { width : 32; init : h.a; alts { h.a, h.b } }
+malleable field f2 { width : 16; init : h.c; alts { h.c, h.d } }
+action mix() { modify_field(${f1}, h.b); add(h.d, h.c, 1); modify_field(${f2}, h.e); }
+table tm { reads { h.e : ternary; } actions { mix; } size : 8; }
+control ingress { apply(tm); }
+control egress { }
+)");
+  const auto& info = art.bindings.table("tm");
+  ASSERT_EQ(info.actions.size(), 1u);
+  EXPECT_EQ(info.actions[0].dims.size(), 2u);
+  EXPECT_EQ(info.actions[0].specialized.size(), 4u);  // 2 x 2 permutations
+  EXPECT_EQ(info.expansion_product, 4u);
+  EXPECT_EQ(info.selector_cols.size(), 2u);
+  EXPECT_EQ(art.prog.find_table("tm")->size, 32u);
+}
+
+TEST(FieldPass, LoadStrategyForFieldLists) {
+  const auto art = compile_src(R"(
+malleable field hin { width : 32; init : h.a; alts { h.a, h.b } }
+field_list fl { ${hin}; h.c; }
+field_list_calculation hc { input { fl; } algorithm : crc32; output_width : 8; }
+action pick() { modify_field_with_hash_based_offset(standard_metadata.egress_spec, 0, hc, 4); }
+table tp { actions { pick; } default_action : pick; size : 1; }
+control ingress { apply(tp); }
+control egress { }
+)");
+  // A load table exists, applied after init, with one static entry per alt.
+  const auto* load = art.prog.find_table("p4r_load_hin_");
+  ASSERT_NE(load, nullptr);
+  const auto order = art.prog.tables_in(art.prog.ingress);
+  const auto pos_init = std::find(order.begin(), order.end(), "p4r_init_");
+  const auto pos_load = std::find(order.begin(), order.end(), "p4r_load_hin_");
+  const auto pos_user = std::find(order.begin(), order.end(), "tp");
+  EXPECT_LT(pos_init, pos_load);
+  EXPECT_LT(pos_load, pos_user);
+  EXPECT_EQ(art.bindings.static_entries.size(), 2u);
+  // The field_list now references the loaded value field, not the malleable.
+  const auto* fl = art.prog.find_field_list("fl");
+  ASSERT_NE(fl, nullptr);
+  EXPECT_FALSE(fl->fields[0].is_malleable());
+  EXPECT_EQ(art.prog.fields.full_name(fl->fields[0].field), "p4r_meta_.hin_val_");
+  // No action specialization happened for a load-strategy field.
+  EXPECT_TRUE(art.bindings.table("tp").actions[0].dims.empty());
+}
+
+TEST(FieldPass, WritingLoadedFieldRejected) {
+  EXPECT_THROW(compile_src(R"(
+malleable field hin { width : 32; init : h.a; alts { h.a, h.b } }
+field_list fl { ${hin}; }
+field_list_calculation hc { input { fl; } algorithm : crc32; output_width : 8; }
+action bad() { modify_field(${hin}, 1); }
+table tb { actions { bad; } default_action : bad; size : 1; }
+control ingress { apply(tb); }
+control egress { }
+)"),
+               UserError);
+}
+
+TEST(FieldPass, SpecializedDefaultActionRejected) {
+  EXPECT_THROW(compile_src(R"(
+malleable field f { width : 32; init : h.a; alts { h.a, h.b } }
+action w() { modify_field(${f}, 1); }
+table t { reads { h.c : exact; } actions { w; } default_action : w; size : 4; }
+control ingress { apply(t); }
+control egress { }
+)"),
+               UserError);
+}
+
+// ---------------------------------------------------------------------------
+// Isolation (paper §5)
+// ---------------------------------------------------------------------------
+
+TEST(IsolationPass, MalleableTableGainsVvColumnAndDoubleSize) {
+  const auto art = compile_src(R"(
+action fwd(p) { modify_field(standard_metadata.egress_spec, p); }
+malleable table mt { reads { h.a : exact; } actions { fwd; } size : 10; }
+control ingress { apply(mt); }
+control egress { }
+)");
+  const auto& info = art.bindings.table("mt");
+  EXPECT_TRUE(info.malleable);
+  ASSERT_GE(info.vv_col, 0);
+  const auto* tbl = art.prog.find_table("mt");
+  EXPECT_EQ(tbl->reads[static_cast<std::size_t>(info.vv_col)].field,
+            art.bindings.vv_field);
+  EXPECT_EQ(tbl->size, 20u);
+}
+
+TEST(IsolationPass, RegisterDuplicationWithTimestamps) {
+  const auto art = compile_src(R"(
+register cnt { width : 32; instance_count : 4; }
+header_type m_t { fields { s : 32; } }
+metadata m_t m;
+action tally() {
+  register_read(m.s, cnt, 1);
+  add_to_field(m.s, 1);
+  register_write(cnt, 1, m.s);
+}
+table t { actions { tally; } default_action : tally; size : 1; }
+control ingress { apply(t); }
+control egress { }
+reaction rx(reg cnt[0:3]) { }
+)");
+  // The data plane reads cnt, so the original stays; dup + ts appear.
+  EXPECT_NE(art.prog.find_register("cnt"), nullptr);
+  const auto* dup = art.prog.find_register("cnt__dup_");
+  const auto* ts = art.prog.find_register("cnt__ts_");
+  ASSERT_NE(dup, nullptr);
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(dup->instance_count, 8u);
+  EXPECT_EQ(ts->instance_count, 8u);
+  // The tally action now mirrors writes into the duplicate.
+  const auto* act = art.prog.find_action("tally");
+  ASSERT_NE(act, nullptr);
+  int dup_writes = 0, ts_writes = 0;
+  for (const auto& ins : act->body) {
+    if (ins.op == p4::PrimOp::kRegisterWrite && ins.object == "cnt__dup_") ++dup_writes;
+    if (ins.op == p4::PrimOp::kRegisterWrite && ins.object == "cnt__ts_") ++ts_writes;
+  }
+  EXPECT_EQ(dup_writes, 1);
+  EXPECT_EQ(ts_writes, 1);
+  ASSERT_EQ(art.bindings.reactions.size(), 1u);
+  EXPECT_FALSE(art.bindings.reactions[0].regs[0].original_eliminated);
+}
+
+TEST(IsolationPass, WriteOnlyRegisterEliminated) {
+  const auto art = compile_src(R"(
+register wonly { width : 32; instance_count : 2; }
+action stamp() { register_write(wonly, 0, h.a); }
+table t { actions { stamp; } default_action : stamp; size : 1; }
+control ingress { apply(t); }
+control egress { }
+reaction rx(reg wonly[0:1]) { }
+)");
+  EXPECT_EQ(art.prog.find_register("wonly"), nullptr);
+  EXPECT_NE(art.prog.find_register("wonly__dup_"), nullptr);
+  EXPECT_TRUE(art.bindings.reactions[0].regs[0].original_eliminated);
+  // And the original write instruction is gone.
+  const auto* act = art.prog.find_action("stamp");
+  for (const auto& ins : act->body) {
+    EXPECT_FALSE(ins.op == p4::PrimOp::kRegisterWrite && ins.object == "wonly");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement (paper §4.2)
+// ---------------------------------------------------------------------------
+
+TEST(MeasurePass, PacksFieldsIntoWordsPerReaction) {
+  const auto art = compile_src(R"(
+control ingress { }
+control egress { }
+reaction rx(ing h.c, ing h.d, ing h.e, egr h.a) { }
+)");
+  const auto* rinfo = art.bindings.find_reaction("rx");
+  ASSERT_NE(rinfo, nullptr);
+  // c(16) + d(16) share one 32-bit word; e(8) in the same or next; a(32) in
+  // its own egress word.
+  ASSERT_EQ(rinfo->fields.size(), 4u);
+  std::set<std::string> regs;
+  for (const auto& f : rinfo->fields) regs.insert(f.reg);
+  // 16+16 fills a word; 8 spills to a second ingress word; egress separate.
+  EXPECT_EQ(regs.size(), 3u);
+  for (const auto& name : rinfo->measure_regs) {
+    const auto* reg = art.prog.find_register(name);
+    ASSERT_NE(reg, nullptr);
+    EXPECT_EQ(reg->instance_count, 2u);  // mv-gated working/checkpoint pair
+  }
+  // Measurement tables exist at the end of each pipeline.
+  EXPECT_EQ(art.prog.tables_in(art.prog.ingress).back(), "p4r_measure_ing_");
+  EXPECT_EQ(art.prog.tables_in(art.prog.egress).back(), "p4r_measure_egr_");
+}
+
+TEST(MeasurePass, OversizedFieldGetsWideRegister) {
+  const auto art = compile_src(R"(
+control ingress { }
+control egress { }
+reaction rx(ing standard_metadata.ingress_global_timestamp) { }
+)");
+  const auto* rinfo = art.bindings.find_reaction("rx");
+  ASSERT_EQ(rinfo->fields.size(), 1u);
+  const auto* reg = art.prog.find_register(rinfo->fields[0].reg);
+  ASSERT_NE(reg, nullptr);
+  EXPECT_EQ(reg->width, 64);  // 48-bit timestamp cannot share a 32-bit word
+}
+
+TEST(MeasurePass, SeparatePackingPerReaction) {
+  const auto art = compile_src(R"(
+control ingress { }
+control egress { }
+reaction r1(ing h.c) { }
+reaction r2(ing h.d) { }
+)");
+  const auto* r1 = art.bindings.find_reaction("r1");
+  const auto* r2 = art.bindings.find_reaction("r2");
+  // Each reaction polls only its own register (freshness optimization).
+  ASSERT_EQ(r1->measure_regs.size(), 1u);
+  ASSERT_EQ(r2->measure_regs.size(), 1u);
+  EXPECT_NE(r1->measure_regs[0], r2->measure_regs[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------------
+
+TEST(Artifacts, EmittedP4IsNonEmptyAndMentionsGeneratedObjects) {
+  const auto art = compile_src(R"(
+malleable value k { width : 8; init : 1; }
+action bump() { add(h.c, h.c, ${k}); }
+table t { actions { bump; } default_action : bump; size : 1; }
+control ingress { apply(t); }
+control egress { }
+reaction rx(ing h.a) { ${k} = 2; }
+)");
+  EXPECT_NE(art.p4_source.find("p4r_init_"), std::string::npos);
+  EXPECT_NE(art.p4_source.find("p4r_meta_"), std::string::npos);
+  EXPECT_NE(art.p4_source.find("p4r_meas_rx_ing_0_"), std::string::npos);
+  EXPECT_NE(art.c_source.find("p4r_reaction_rx_"), std::string::npos);
+  EXPECT_NE(art.c_source.find("p4r_set_k_"), std::string::npos);
+  EXPECT_EQ(art.reactions.size(), 1u);
+  // The transformed program revalidates and has no leftover malleables.
+  EXPECT_NO_THROW(art.prog.validate());
+}
+
+TEST(Artifacts, StageAllocationSucceedsOnCompiledPrograms) {
+  const auto art = compile_src(R"(
+malleable field f { width : 32; init : h.a; alts { h.a, h.b } }
+action use() { add(h.c, h.d, ${f}); }
+table t { reads { ${f} : exact; } actions { use; } size : 32; }
+control ingress { apply(t); }
+control egress { }
+reaction rx(ing h.a) { }
+)");
+  const auto stages = p4::allocate_program_stages(art.prog);
+  EXPECT_GE(stages.ingress, 2);  // init must precede dependent tables
+  EXPECT_LE(stages.total(), 24);
+}
+
+}  // namespace
+}  // namespace mantis::compile
+
+namespace mantis::compile {
+namespace {
+
+TEST(FieldPass, MaskQualifierOnMalleableRead) {
+  const auto art = compile_src(R"(
+malleable field mr { width : 32; init : h.a; alts { h.a, h.b } }
+action use() { add(h.c, h.d, ${mr}); }
+table tm2 {
+  reads { ${mr} mask 0xff : exact; }
+  actions { use; }
+  size : 8;
+}
+control ingress { apply(tm2); }
+control egress { }
+)");
+  const auto& info = art.bindings.table("tm2");
+  ASSERT_EQ(info.mbl_reads.size(), 1u);
+  EXPECT_EQ(info.mbl_reads[0].premask, 0xffu);
+}
+
+TEST(FieldPass, MaskQualifierOnConcreteReadRejected) {
+  EXPECT_THROW(compile_src(R"(
+action a2() { }
+table t2 { reads { h.a mask 0xff : exact; } actions { a2; } size : 4; }
+control ingress { apply(t2); }
+control egress { }
+)"),
+               UserError);
+}
+
+}  // namespace
+}  // namespace mantis::compile

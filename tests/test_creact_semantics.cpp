@@ -1,0 +1,146 @@
+// Documented-semantics tests for creact corners: static identity, scoping,
+// step accounting, and expression edge cases.
+#include <gtest/gtest.h>
+
+#include "p4r/creact/cparser.hpp"
+#include "p4r/creact/interp.hpp"
+#include "p4r/lexer.hpp"
+#include "util/check.hpp"
+
+namespace mantis::p4r::creact {
+namespace {
+
+struct NullEnv : ReactionEnv {
+  std::map<std::string, CValue> mbls;
+  CValue mbl_get(const std::string& n) override { return mbls[n]; }
+  void mbl_set(const std::string& n, CValue v) override { mbls[n] = v; }
+  CValue table_call(const std::string&, const std::string&,
+                    const std::vector<TableCallArg>&) override {
+    return 0;
+  }
+};
+
+CBody parse_src(const std::string& src) {
+  auto toks = lex(src);
+  toks.pop_back();
+  return parse_body(toks);
+}
+
+TEST(CreactSemantics, StaticsAreKeyedByNameAcrossScopes) {
+  // Statics persist by NAME for the whole reaction (matching a single
+  // translation unit's DATA segment); a same-named static in another block
+  // refers to the same storage. This is the documented model.
+  const auto body = parse_src(R"(
+if (1) { static int n = 0; n += 1; }
+if (1) { static int n = 0; n += 10; }
+${out} = 0;
+)");
+  Interp interp(body);
+  NullEnv env;
+  interp.run({}, env);
+  interp.run({}, env);
+  EXPECT_EQ(interp.static_value("n"), 22);
+}
+
+TEST(CreactSemantics, LocalShadowsStaticAndParam) {
+  const auto body = parse_src(R"(
+static int v = 100;
+{
+  int v = 1;
+  v += 1;
+  ${inner} = v;
+}
+v += 1;
+${outer} = v;
+${p} = qd;
+{
+  int qd = 7;
+  ${shadowed} = qd;
+}
+)");
+  Interp interp(body);
+  NullEnv env;
+  PolledParams params;
+  params.scalars["qd"] = 42;
+  interp.run(params, env);
+  EXPECT_EQ(env.mbls["inner"], 2);
+  EXPECT_EQ(env.mbls["outer"], 101);
+  EXPECT_EQ(env.mbls["p"], 42);
+  EXPECT_EQ(env.mbls["shadowed"], 7);
+}
+
+TEST(CreactSemantics, StaticInitializerRunsOnce) {
+  const auto body = parse_src("static int n = 5 + 5; n += 1; ${out} = n;");
+  Interp interp(body);
+  NullEnv env;
+  interp.run({}, env);
+  interp.run({}, env);
+  EXPECT_EQ(env.mbls["out"], 12);  // init 10, then +1 twice
+}
+
+TEST(CreactSemantics, StepCountScalesWithWork) {
+  NullEnv env;
+  const auto small = parse_src("int s = 0; for (int i = 0; i < 10; ++i) s += i;");
+  const auto big = parse_src("int s = 0; for (int i = 0; i < 1000; ++i) s += i;");
+  Interp si(small), bi(big);
+  const auto a = si.run({}, env);
+  const auto b = bi.run({}, env);
+  EXPECT_GT(b, 50 * a);  // the agent charges CPU time proportionally
+}
+
+TEST(CreactSemantics, ParamsAreWritableLocalCopies) {
+  // Like C function parameters: assignable, without affecting the next poll.
+  const auto body = parse_src("qd += 1; ${out} = qd;");
+  Interp interp(body);
+  NullEnv env;
+  PolledParams params;
+  params.scalars["qd"] = 10;
+  interp.run(params, env);
+  EXPECT_EQ(env.mbls["out"], 11);
+  interp.run(params, env);  // fresh copy each run
+  EXPECT_EQ(env.mbls["out"], 11);
+}
+
+TEST(CreactSemantics, ArrayParamElementsWritable) {
+  const auto body = parse_src(R"(
+arr[3] = arr[3] * 2;
+${out} = arr[3] + arr[4];
+)");
+  Interp interp(body);
+  NullEnv env;
+  PolledParams params;
+  PolledParams::Array arr;
+  arr.lo = 3;
+  arr.values = {5, 6};
+  params.arrays["arr"] = arr;
+  interp.run(params, env);
+  EXPECT_EQ(env.mbls["out"], 16);
+}
+
+TEST(CreactSemantics, DeepExpressionNesting) {
+  std::string expr = "1";
+  for (int i = 0; i < 60; ++i) expr = "(" + expr + " + 1)";
+  const auto body = parse_src("${out} = " + expr + ";");
+  Interp interp(body);
+  NullEnv env;
+  interp.run({}, env);
+  EXPECT_EQ(env.mbls["out"], 61);
+}
+
+TEST(CreactSemantics, ForWithoutCondIsBoundedByStepLimit) {
+  const auto body = parse_src("for (;;) { }");
+  Interp interp(body);
+  NullEnv env;
+  EXPECT_THROW(interp.run({}, env), UserError);
+}
+
+TEST(CreactSemantics, NegativeNumbersAndUnaryChains) {
+  const auto body = parse_src("${out} = - - -5 + ~~3 + !!7;");
+  Interp interp(body);
+  NullEnv env;
+  interp.run({}, env);
+  EXPECT_EQ(env.mbls["out"], -5 + 3 + 1);
+}
+
+}  // namespace
+}  // namespace mantis::p4r::creact

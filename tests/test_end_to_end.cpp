@@ -1,0 +1,147 @@
+// End-to-end integration: P4R source -> compiler -> simulated switch ->
+// driver -> agent dialogue, for both the Figure-1-style program (interpreted
+// reaction) and the DoS use case (native reaction).
+#include <gtest/gtest.h>
+
+#include "apps/dos_mitigation.hpp"
+#include "helpers.hpp"
+
+namespace mantis::test {
+namespace {
+
+TEST(EndToEnd, Figure1CompilesAndLoads) {
+  Stack stack(figure1_style_source());
+  EXPECT_NE(stack.artifacts.p4_source.find("p4r_init_"), std::string::npos);
+  EXPECT_NE(stack.artifacts.p4_source.find("p4r_meta_"), std::string::npos);
+  // The malleable table gained a vv column and alt expansion.
+  const auto& info = stack.artifacts.bindings.table("table_var");
+  EXPECT_TRUE(info.malleable);
+  EXPECT_GE(info.vv_col, 0);
+  ASSERT_EQ(info.mbl_reads.size(), 1u);
+  EXPECT_EQ(info.mbl_reads[0].alt_cols.size(), 2u);
+}
+
+TEST(EndToEnd, Figure1InterpretedReactionTracksRegisterMax) {
+  Stack stack(figure1_style_source());
+  stack.agent->run_prologue();
+
+  // qdepths_r is write-only from the data plane's perspective, so the
+  // compiler eliminated the original and kept only the duplicate. Emulate
+  // data-plane updates by writing the working copy (index 2*i + mv) plus its
+  // timestamp.
+  auto& regs = stack.sw->registers();
+  ASSERT_TRUE(regs.has("qdepths_r__dup_"));
+  const int mv = stack.agent->mv();  // data plane currently writes this copy
+  regs.write("qdepths_r__dup_", 2 * 7 + mv, 42);
+  regs.write("qdepths_r__ts_", 2 * 7 + mv, 1);
+  regs.write("qdepths_r__dup_", 2 * 3 + mv, 17);
+  regs.write("qdepths_r__ts_", 2 * 3 + mv, 1);
+
+  stack.agent->dialogue_iteration();
+  // The interpreted reaction sets ${value_var} = argmax index (7).
+  EXPECT_EQ(stack.agent->scalar("value_var"), 7u);
+
+  // And the committed value must be live in the data plane: a packet through
+  // table_var's my_action adds value_var to hdr.baz.
+  p4::EntrySpec match_any;
+  match_any.key.push_back(p4::MatchValue{5, ~std::uint64_t{0}});
+  match_any.action = "my_action";
+  auto ctx = stack.agent->management_context();
+  ctx.add_entry("table_var", match_any);
+
+  auto pkt = stack.sw->factory().make();
+  stack.sw->factory().set(pkt, "hdr.foo", 5);
+  stack.sw->factory().set(pkt, "hdr.baz", 100);
+  stack.sw->inject(std::move(pkt), 0);
+  // Packet processed synchronously at ingress; check the register side
+  // effects... my_action writes hdr fields, not registers; instead re-run a
+  // packet and capture it at egress.
+  bool saw = false;
+  stack.sw->set_on_transmit([&](const sim::Packet& out, int, Time) {
+    saw = true;
+    EXPECT_EQ(stack.sw->factory().get(out, "hdr.baz"), 100u + 7u);
+    // my_action also wrote hdr.qux's value into ${field_var} = hdr.foo (alt 0)
+    EXPECT_EQ(stack.sw->factory().get(out, "hdr.foo"),
+              stack.sw->factory().get(out, "hdr.qux"));
+  });
+  auto pkt2 = stack.sw->factory().make();
+  stack.sw->factory().set(pkt2, "hdr.foo", 5);
+  stack.sw->factory().set(pkt2, "hdr.baz", 100);
+  stack.sw->factory().set(pkt2, "hdr.qux", 99);
+  stack.sw->inject(std::move(pkt2), 0);
+  stack.loop.run();
+  EXPECT_TRUE(saw);
+}
+
+TEST(EndToEnd, DosNativeReactionBlocksFlooder) {
+  Stack stack(apps::dos_p4r_source());
+  auto state = std::make_shared<apps::DosState>();
+  std::uint32_t blocked_src = 0;
+  Time blocked_at = -1;
+  state->on_block = [&](std::uint32_t src, Time t) {
+    blocked_src = src;
+    blocked_at = t;
+  };
+  stack.agent->set_native_reaction("dos_react",
+                                   apps::make_dos_reaction(state, {}));
+  stack.agent->run_prologue(
+      [&](agent::ReactionContext& ctx) { apps::install_dos_routes(ctx, 4); });
+
+  // A single source blasting ~5 Gbps: 1500B every 2.4us.
+  const std::uint32_t attacker = 0x0a00002a;
+  const Time base = stack.loop.now();
+  for (int i = 0; i < 2000; ++i) {
+    stack.loop.schedule_at(base + i * 2400, [&, i] {
+      auto pkt = stack.sw->factory().make(1500);
+      stack.sw->factory().set(pkt, "ipv4.srcAddr", attacker);
+      stack.sw->factory().set(pkt, "ipv4.dstAddr", 0xc0a80001);
+      stack.sw->inject(std::move(pkt), 0);
+    });
+  }
+
+  while (blocked_at < 0 && stack.loop.now() < 3 * kMillisecond) {
+    stack.agent->dialogue_iteration();
+  }
+  ASSERT_GE(blocked_at, 0) << "flooder never blocked";
+  EXPECT_EQ(blocked_src, attacker);
+  // Reaction installed the rule well within a millisecond of the flood start.
+  EXPECT_LT(blocked_at, 1 * kMillisecond);
+
+  // After the commit, the data plane must drop the attacker's packets.
+  stack.loop.run();  // drain
+  const auto before = stack.sw->port_stats(0).rx_drops;
+  auto pkt = stack.sw->factory().make(1500);
+  stack.sw->factory().set(pkt, "ipv4.srcAddr", attacker);
+  stack.sw->factory().set(pkt, "ipv4.dstAddr", 0xc0a80001);
+  stack.sw->inject(std::move(pkt), 0);
+  EXPECT_EQ(stack.sw->port_stats(0).rx_drops, before + 1);
+}
+
+TEST(EndToEnd, DosInterpretedReactionBlocksFlooder) {
+  Stack stack(apps::dos_p4r_source());
+  stack.agent->run_prologue(
+      [&](agent::ReactionContext& ctx) { apps::install_dos_routes(ctx, 4); });
+
+  const std::uint32_t attacker = 0x0a000017;
+  const Time base = stack.loop.now();
+  for (int i = 0; i < 2000; ++i) {
+    stack.loop.schedule_at(base + i * 2400, [&, i] {
+      auto pkt = stack.sw->factory().make(1500);
+      stack.sw->factory().set(pkt, "ipv4.srcAddr", attacker);
+      stack.sw->factory().set(pkt, "ipv4.dstAddr", 0xc0a80001);
+      stack.sw->inject(std::move(pkt), 0);
+    });
+  }
+
+  auto ctx = stack.agent->management_context();
+  std::vector<p4::MatchValue> key{p4::MatchValue{attacker, ~std::uint64_t{0}}};
+  while (!ctx.find_entry("block", key).has_value() &&
+         stack.loop.now() < 3 * kMillisecond) {
+    stack.agent->dialogue_iteration();
+  }
+  EXPECT_TRUE(ctx.find_entry("block", key).has_value())
+      << "interpreted reaction never installed the drop rule";
+}
+
+}  // namespace
+}  // namespace mantis::test

@@ -1,0 +1,125 @@
+// The interpreted (.p4r-embedded) reactions of the use cases, running
+// through the creact interpreter inside the real dialogue loop — including
+// pipeline packet-rate admission and the interpreted gray-failure detector's
+// log() output surfacing through the agent's log hook.
+#include <gtest/gtest.h>
+
+#include "apps/gray_failure.hpp"
+#include "apps/hash_polarization.hpp"
+#include "apps/rl_dctcp.hpp"
+#include "helpers.hpp"
+#include "workload/heartbeat.hpp"
+
+namespace mantis::test {
+namespace {
+
+TEST(InterpretedApps, GrayFailureDetectorLogsDownPort) {
+  Stack stack(apps::gray_failure_p4r_source());
+  std::vector<std::int64_t> logged;
+  stack.agent->set_log_hook(
+      [&](const std::string& rx, std::int64_t v) {
+        EXPECT_EQ(rx, "gf_react");
+        logged.push_back(v);
+      });
+  stack.agent->run_prologue([&](agent::ReactionContext& ctx) {
+    p4::EntrySpec hb;
+    hb.key = {{253, ~std::uint64_t{0}}};  // heartbeat protocol number
+    hb.action = "count_hb";
+    ctx.add_entry("hb_tally", hb);
+  });
+
+  std::vector<std::unique_ptr<workload::HeartbeatSource>> sources;
+  for (int p = 0; p < 8; ++p) {
+    workload::HeartbeatConfig cfg;
+    cfg.port = p;
+    cfg.period = 1 * kMicrosecond;
+    cfg.seed = 300 + static_cast<std::uint64_t>(p);
+    sources.push_back(std::make_unique<workload::HeartbeatSource>(*stack.sw, cfg));
+    sources.back()->start(stack.loop.now() + 40 * kMillisecond);
+  }
+  stack.agent->run_dialogue(20);
+  EXPECT_TRUE(logged.empty()) << "spurious detection";
+
+  sources[5]->stop();
+  const Time start = stack.loop.now();
+  while (logged.empty() && stack.loop.now() < start + 10 * kMillisecond) {
+    stack.agent->dialogue_iteration();
+  }
+  ASSERT_FALSE(logged.empty());
+  EXPECT_EQ(logged.front(), 5);
+}
+
+TEST(InterpretedApps, HashPolReactionShiftsSelectorsOnImbalance) {
+  Stack stack(apps::hash_polarization_p4r_source());
+  stack.agent->run_prologue();
+  Rng rng(31);
+  const auto initial_src = stack.agent->scalar("h_src");
+  const auto initial_l4 = stack.agent->scalar("h_l4");
+
+  // Polarized correlated workload (as in the native test).
+  bool shifted = false;
+  for (int round = 0; round < 12 && !shifted; ++round) {
+    for (int i = 0; i < 400; ++i) {
+      const auto tuple = static_cast<std::uint32_t>(rng.uniform(16));
+      auto pkt = stack.sw->factory().make(200);
+      stack.sw->factory().set(pkt, "ipv4.srcAddr", 0x0a000000 + tuple);
+      stack.sw->factory().set(pkt, "ipv4.dstAddr", 0xc0a80000 + tuple * 7);
+      stack.sw->factory().set(pkt, "l4.srcPort", 4096);
+      stack.sw->factory().set(pkt, "l4.dstPort", rng.uniform(40000));
+      stack.sw->inject(std::move(pkt), 0);
+      stack.loop.run();
+    }
+    stack.agent->dialogue_iteration();
+    shifted = stack.agent->scalar("h_src") != initial_src ||
+              stack.agent->scalar("h_l4") != initial_l4;
+  }
+  EXPECT_TRUE(shifted) << "interpreted MAD reaction never shifted the inputs";
+}
+
+TEST(InterpretedApps, RlPlaceholderAdaptsThreshold) {
+  Stack stack(apps::rl_dctcp_p4r_source());
+  stack.agent->run_prologue();
+  const auto initial = stack.agent->scalar("ecn_thresh");
+
+  // Saturate the egress queue so deq_qdepth >> threshold: the interpreted
+  // proportional policy must halve the threshold.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 400; ++i) {
+      auto pkt = stack.sw->factory().make(1500);
+      stack.sw->factory().set(pkt, "ipv4.dstAddr", 1);
+      stack.sw->inject(std::move(pkt), 0);
+    }
+    stack.agent->dialogue_iteration();
+  }
+  EXPECT_LT(stack.agent->scalar("ecn_thresh"), initial);
+}
+
+TEST(PipelineAdmission, RateLimitAndRecircPriority) {
+  sim::SwitchConfig cfg;
+  cfg.pipeline_pps = 1'000'000;
+  cfg.ingress_buffer_pkts = 4;
+  Stack stack(R"P4R(
+header_type h_t { fields { a : 8; } }
+header h_t h;
+action fwd(p) { modify_field(standard_metadata.egress_spec, p); }
+table o { actions { fwd; } default_action : fwd(1); size : 1; }
+control ingress { apply(o); }
+control egress { }
+)P4R",
+              cfg);
+  // Offer 2x line rate: about half must drop at the ingress buffer.
+  const Time base = stack.loop.now();
+  for (int i = 0; i < 2000; ++i) {
+    stack.loop.schedule_at(base + i * 500, [&] {  // 2 Mpps offered
+      stack.sw->inject(stack.sw->factory().make(100), 0);
+    });
+  }
+  stack.loop.run();
+  const auto& st = stack.sw->port_stats(0);
+  EXPECT_GT(st.rx_drops, 800u);
+  EXPECT_LT(st.rx_drops, 1200u);
+  EXPECT_NEAR(static_cast<double>(st.rx_pkts), 1000.0, 200.0);
+}
+
+}  // namespace
+}  // namespace mantis::test

@@ -1,0 +1,116 @@
+// Tests for the JSON program emitter and trace file I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compile/compiler.hpp"
+#include "p4/json.hpp"
+#include "workload/trace_io.hpp"
+
+namespace mantis {
+namespace {
+
+TEST(JsonEmit, CompiledProgramSerializes) {
+  const auto art = compile::compile_source(R"P4R(
+header_type h_t { fields { a : 32; b : 16; } }
+header h_t h;
+malleable value knob { width : 8; init : 3; }
+action bump(v) { add(h.b, v, ${knob}); }
+table t { reads { h.a : lpm; } actions { bump; } default_action : bump(1); size : 32; }
+control ingress { apply(t); if (h.b > 5) { apply(t2); } }
+table t2 { reads { h.b : exact; } actions { bump; } size : 4; }
+control egress { }
+reaction rx(ing h.a) { ${knob} = 1; }
+)P4R");
+  const auto json = p4::emit_json(art.prog);
+
+  // Structural landmarks.
+  EXPECT_NE(json.find("\"program\""), std::string::npos);
+  EXPECT_NE(json.find("\"header_types\""), std::string::npos);
+  EXPECT_NE(json.find("\"p4r_meta_t_\""), std::string::npos);
+  EXPECT_NE(json.find("\"match_type\": \"lpm\""), std::string::npos);
+  EXPECT_NE(json.find("\"op\": \"if\""), std::string::npos);
+  EXPECT_NE(json.find("\"relation\": \">\""), std::string::npos);
+  EXPECT_NE(json.find("\"p4r_meas_rx_ing_0_\""), std::string::npos);
+  EXPECT_NE(json.find("\"default_action\""), std::string::npos);
+
+  // Balanced braces/brackets (cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(JsonEmit, EscapesSpecialCharacters) {
+  p4::Program prog;
+  prog.name = "with\"quote\\and\nnewline";
+  const auto json = p4::emit_json(prog);
+  EXPECT_NE(json.find("with\\\"quote\\\\and\\nnewline"), std::string::npos);
+}
+
+TEST(TraceIo, RoundTripsExactly) {
+  workload::TraceConfig cfg;
+  cfg.num_flows = 50;
+  cfg.num_packets = 500;
+  cfg.duration_s = 0.01;
+  const auto trace = workload::generate_trace(cfg);
+
+  std::ostringstream out;
+  workload::write_trace(trace, out);
+  std::istringstream in(out.str());
+  const auto loaded = workload::read_trace(in);
+
+  ASSERT_EQ(loaded.packets.size(), trace.packets.size());
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    EXPECT_EQ(loaded.packets[i].t, trace.packets[i].t);
+    EXPECT_EQ(loaded.packets[i].src_ip, trace.packets[i].src_ip);
+    EXPECT_EQ(loaded.packets[i].dst_ip, trace.packets[i].dst_ip);
+    EXPECT_EQ(loaded.packets[i].src_port, trace.packets[i].src_port);
+    EXPECT_EQ(loaded.packets[i].dst_port, trace.packets[i].dst_port);
+    EXPECT_EQ(loaded.packets[i].proto, trace.packets[i].proto);
+    EXPECT_EQ(loaded.packets[i].bytes, trace.packets[i].bytes);
+  }
+  EXPECT_EQ(loaded.bytes_per_src, trace.bytes_per_src);
+  EXPECT_EQ(loaded.packets_per_src, trace.packets_per_src);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  workload::TraceConfig cfg;
+  cfg.num_flows = 10;
+  cfg.num_packets = 100;
+  cfg.duration_s = 0.001;
+  const auto trace = workload::generate_trace(cfg);
+  const std::string path = "/tmp/mantis_trace_test.txt";
+  workload::save_trace(trace, path);
+  const auto loaded = workload::load_trace(path);
+  EXPECT_EQ(loaded.packets.size(), 100u);
+  EXPECT_EQ(loaded.bytes_per_src, trace.bytes_per_src);
+}
+
+TEST(TraceIo, Errors) {
+  {
+    std::istringstream in("1 a b 1 2 3 4\n");  // no magic
+    EXPECT_THROW(workload::read_trace(in), UserError);
+  }
+  {
+    std::istringstream in("#mantis-trace v1\nnot numbers here\n");
+    EXPECT_THROW(workload::read_trace(in), UserError);
+  }
+  {
+    std::istringstream in("#mantis-trace v1\n100 a b 1 2 6 64\n50 a b 1 2 6 64\n");
+    EXPECT_THROW(workload::read_trace(in), UserError);  // non-monotone
+  }
+  EXPECT_THROW(workload::load_trace("/nonexistent/dir/trace.txt"), UserError);
+}
+
+}  // namespace
+}  // namespace mantis

@@ -1,0 +1,118 @@
+// Measurement packing details: odd widths, bit offsets, unpack correctness,
+// and freshness across mv flips.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace mantis::test {
+namespace {
+
+// Odd-width fields (9 + 19 + 3 bits fit one 32-bit word exactly alongside
+// nothing; FFD order is 19, 9, 3).
+const char* kOddWidthSrc = R"P4R(
+header_type h_t { fields { p : 9; q : 19; r : 3; } }
+header h_t h;
+control ingress { }
+control egress { }
+reaction rx(ing h.p, ing h.q, ing h.r) { }
+)P4R";
+
+TEST(MeasurePacking, OddWidthsPackIntoOneWordAndUnpackExactly) {
+  Stack stack(kOddWidthSrc);
+  const auto* rinfo = stack.artifacts.bindings.find_reaction("rx");
+  ASSERT_NE(rinfo, nullptr);
+  ASSERT_EQ(rinfo->measure_regs.size(), 1u) << "9+19+3 bits must share a word";
+
+  std::int64_t p = -1, q = -1, r = -1;
+  stack.agent->set_native_reaction("rx", [&](agent::ReactionContext& ctx) {
+    p = ctx.arg("h_p");
+    q = ctx.arg("h_q");
+    r = ctx.arg("h_r");
+  });
+  stack.agent->run_prologue();
+
+  auto pkt = stack.sw->factory().make();
+  stack.sw->factory().set(pkt, "h.p", 0x1ab);    // 9 bits, MSB set
+  stack.sw->factory().set(pkt, "h.q", 0x7ffff);  // all 19 bits
+  stack.sw->factory().set(pkt, "h.r", 0x5);      // 3 bits
+  stack.sw->inject(std::move(pkt), 0);
+  stack.loop.run();
+  stack.agent->dialogue_iteration();
+
+  EXPECT_EQ(p, 0x1ab);
+  EXPECT_EQ(q, 0x7ffff);
+  EXPECT_EQ(r, 0x5);
+}
+
+TEST(MeasurePacking, FreshValuesEachIteration) {
+  Stack stack(kOddWidthSrc);
+  std::vector<std::int64_t> seen;
+  stack.agent->set_native_reaction("rx", [&](agent::ReactionContext& ctx) {
+    seen.push_back(ctx.arg("h_q"));
+  });
+  stack.agent->run_prologue();
+
+  for (int round = 1; round <= 4; ++round) {
+    auto pkt = stack.sw->factory().make();
+    stack.sw->factory().set(pkt, "h.q", round * 1000);
+    stack.sw->inject(std::move(pkt), 0);
+    stack.loop.run();
+    stack.agent->dialogue_iteration();
+  }
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{1000, 2000, 3000, 4000}));
+}
+
+TEST(MeasurePacking, LastWriterWinsWithinAnInterval) {
+  // The pull-based model only sees the most recent update (paper §4.2 "this
+  // pull-based model will only see a subset of updates").
+  Stack stack(kOddWidthSrc);
+  std::int64_t q = -1;
+  stack.agent->set_native_reaction(
+      "rx", [&](agent::ReactionContext& ctx) { q = ctx.arg("h_q"); });
+  stack.agent->run_prologue();
+  for (int i = 1; i <= 5; ++i) {
+    auto pkt = stack.sw->factory().make();
+    stack.sw->factory().set(pkt, "h.q", i);
+    stack.sw->inject(std::move(pkt), 0);
+  }
+  stack.loop.run();
+  stack.agent->dialogue_iteration();
+  EXPECT_EQ(q, 5);
+}
+
+// Width > 32 cannot share a word; width exactly 32 packs alone per word with
+// another 32-bit neighbour in a second word.
+const char* kWideSrc = R"P4R(
+header_type h_t { fields { w : 48; a : 32; b : 32; } }
+header h_t h;
+control ingress { }
+control egress { }
+reaction rx(ing h.w, ing h.a, ing h.b) { }
+)P4R";
+
+TEST(MeasurePacking, WideFieldsGetOwnRegisters) {
+  Stack stack(kWideSrc);
+  const auto* rinfo = stack.artifacts.bindings.find_reaction("rx");
+  ASSERT_EQ(rinfo->measure_regs.size(), 3u);
+
+  std::int64_t w = 0, a = 0, b = 0;
+  stack.agent->set_native_reaction("rx", [&](agent::ReactionContext& ctx) {
+    w = ctx.arg("h_w");
+    a = ctx.arg("h_a");
+    b = ctx.arg("h_b");
+  });
+  stack.agent->run_prologue();
+  auto pkt = stack.sw->factory().make();
+  stack.sw->factory().set(pkt, "h.w", 0xabcdef012345ull);
+  stack.sw->factory().set(pkt, "h.a", 0xffffffff);
+  stack.sw->factory().set(pkt, "h.b", 0x12345678);
+  stack.sw->inject(std::move(pkt), 0);
+  stack.loop.run();
+  stack.agent->dialogue_iteration();
+  EXPECT_EQ(static_cast<std::uint64_t>(w), 0xabcdef012345ull);
+  EXPECT_EQ(static_cast<std::uint64_t>(a), 0xffffffffull);
+  EXPECT_EQ(static_cast<std::uint64_t>(b), 0x12345678ull);
+}
+
+}  // namespace
+}  // namespace mantis::test

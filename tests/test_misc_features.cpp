@@ -1,0 +1,99 @@
+// Odds and ends: counter reads through the driver, hot-swap with user-init
+// re-execution, emitted mask qualifiers, transmission timing at different
+// port speeds.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "p4/emit.hpp"
+
+namespace mantis::test {
+namespace {
+
+constexpr std::uint64_t kFull = ~std::uint64_t{0};
+
+TEST(Counters, CountPrimitiveAndDriverRead) {
+  Stack stack(R"P4R(
+header_type h_t { fields { a : 8; } }
+header h_t h;
+counter per_class { type : packets; instance_count : 4; }
+action tally() { count(per_class, h.a); }
+action fwd(p) { modify_field(standard_metadata.egress_spec, p); }
+table tc { actions { tally; } default_action : tally; size : 1; }
+table o { actions { fwd; } default_action : fwd(1); size : 1; }
+control ingress { apply(tc); apply(o); }
+control egress { }
+)P4R");
+  for (const std::uint64_t cls : {1u, 1u, 3u, 1u}) {
+    auto pkt = stack.sw->factory().make();
+    stack.sw->factory().set(pkt, "h.a", cls);
+    stack.sw->inject(std::move(pkt), 0);
+  }
+  stack.loop.run();
+  EXPECT_EQ(stack.drv->read_counter("per_class", 1), 3u);
+  EXPECT_EQ(stack.drv->read_counter("per_class", 3), 1u);
+  EXPECT_EQ(stack.drv->read_counter("per_class", 0), 0u);
+  EXPECT_THROW(stack.drv->read_counter("ghost", 0), UserError);
+}
+
+TEST(HotSwap, RerunUserInitReinstallsState) {
+  Stack stack(figure1_style_source());
+  int init_runs = 0;
+  stack.agent->run_prologue([&](agent::ReactionContext& ctx) {
+    ++init_runs;
+    // Idempotent init: (re)install a known entry if absent.
+    std::vector<p4::MatchValue> key{{static_cast<std::uint64_t>(init_runs), kFull}};
+    p4::EntrySpec spec;
+    spec.key = key;
+    spec.action = "my_action";
+    if (!ctx.find_entry("table_var", key).has_value()) {
+      ctx.add_entry("table_var", spec);
+    }
+  });
+  EXPECT_EQ(init_runs, 1);
+  // Swap in a native reaction and request re-initialization, as the paper's
+  // dlopen reload flow allows.
+  stack.agent->set_native_reaction("my_reaction", [](agent::ReactionContext&) {});
+  stack.agent->rerun_user_init();
+  EXPECT_EQ(init_runs, 2);
+  auto ctx = stack.agent->management_context();
+  EXPECT_EQ(ctx.entry_count("table_var"), 2u);
+}
+
+TEST(EmitMask, PreCompileDumpShowsQualifier) {
+  const auto analyzed = p4r::frontend(R"P4R(
+header_type h_t { fields { a : 32; b : 32; } }
+header h_t h;
+malleable field m { width : 32; init : h.a; alts { h.a, h.b } }
+action x() { }
+table t { reads { ${m} mask 255 : exact; } actions { x; } size : 4; }
+control ingress { apply(t); }
+control egress { }
+)P4R");
+  const auto text = p4::emit_table(analyzed.prog, *analyzed.prog.find_table("t"));
+  EXPECT_NE(text.find("${m} mask 255 : exact;"), std::string::npos);
+}
+
+TEST(PortSpeeds, TransmissionScalesWithConfiguredRate) {
+  for (const double gbps : {1.0, 10.0, 100.0}) {
+    sim::SwitchConfig cfg;
+    cfg.port_gbps = gbps;
+    Stack stack(R"P4R(
+header_type h_t { fields { a : 8; } }
+header h_t h;
+action fwd(p) { modify_field(standard_metadata.egress_spec, p); }
+table o { actions { fwd; } default_action : fwd(1); size : 1; }
+control ingress { apply(o); }
+control egress { }
+)P4R",
+                cfg);
+    Time tx = -1;
+    stack.sw->set_on_transmit([&](const sim::Packet&, int, Time t) { tx = t; });
+    stack.sw->inject(stack.sw->factory().make(1250), 0);
+    stack.loop.run();
+    const auto serialization = static_cast<Duration>(1250 * 8 / gbps);
+    EXPECT_EQ(tx, 400 + serialization + 300) << gbps << " Gbps";
+  }
+}
+
+}  // namespace
+}  // namespace mantis::test

@@ -1,0 +1,215 @@
+// Tests for the resource model and the RMT stage allocator.
+#include <gtest/gtest.h>
+
+#include "p4/alloc/stage_alloc.hpp"
+#include "p4/resources.hpp"
+#include "p4r/sema.hpp"
+
+namespace mantis::p4 {
+namespace {
+
+Program build(const char* src) { return p4r::frontend(src).prog; }
+
+const char* kMixedSrc = R"P4R(
+header_type h_t { fields { a : 32; b : 16; c : 8; } }
+header h_t h;
+register r { width : 24; instance_count : 100; }
+counter ctr { type : packets; instance_count : 10; }
+action act(v) { modify_field(h.b, v); }
+table exact_t { reads { h.a : exact; } actions { act; } size : 100; }
+table tern_t { reads { h.a : ternary; h.c : exact; } actions { act; } size : 50; }
+table lpm_t { reads { h.a : lpm; } actions { act; } size : 10; }
+control ingress { apply(exact_t); apply(tern_t); apply(lpm_t); }
+control egress { }
+)P4R";
+
+TEST(Resources, PerTableAccounting) {
+  const auto prog = build(kMixedSrc);
+  const auto res = compute_resources(prog);
+  ASSERT_EQ(res.tables.size(), 3u);
+
+  const auto* exact = &res.tables[0];
+  EXPECT_EQ(exact->name, "exact_t");
+  EXPECT_EQ(exact->match_bits, 32u);
+  EXPECT_EQ(exact->action_data_bits, 32u + 8u);  // one 32-bit param + action id
+  EXPECT_EQ(exact->tcam_bits, 0u);
+  EXPECT_EQ(exact->sram_bits, 100u * (32 + 40));
+
+  const auto* tern = &res.tables[1];
+  EXPECT_EQ(tern->match_bits, 40u);
+  EXPECT_EQ(tern->tcam_bits, 50u * 40);
+  EXPECT_EQ(tern->sram_bits, 50u * 40);  // action data only
+
+  const auto* lpm = &res.tables[2];
+  EXPECT_EQ(lpm->tcam_bits, 10u * 32);  // LPM lives in TCAM
+
+  EXPECT_EQ(res.register_sram_bits, 24u * 100 + 64u * 10);
+  EXPECT_EQ(res.num_tables, 3u);
+  EXPECT_EQ(res.num_registers, 1u);
+  // standard_metadata counts toward metadata bits.
+  EXPECT_GT(res.metadata_bits, 0u);
+}
+
+TEST(Resources, MarginalClampsAtZero) {
+  ResourceSummary a, b;
+  a.table_sram_bits = 100;
+  b.table_sram_bits = 300;
+  b.num_tables = 2;
+  const auto m1 = marginal(b, a);
+  EXPECT_EQ(m1.table_sram_bits, 200u);
+  const auto m2 = marginal(a, b);
+  EXPECT_EQ(m2.table_sram_bits, 0u);
+}
+
+TEST(StageAlloc, IndependentTablesShareAStage) {
+  const auto prog = build(R"P4R(
+header_type h_t { fields { a : 32; b : 32; x : 16; y : 16; } }
+header h_t h;
+action seta(v) { modify_field(h.x, v); }
+action setb(v) { modify_field(h.y, v); }
+table t1 { reads { h.a : exact; } actions { seta; } size : 8; }
+table t2 { reads { h.b : exact; } actions { setb; } size : 8; }
+control ingress { apply(t1); apply(t2); }
+control egress { }
+)P4R");
+  const auto alloc = allocate_stages(prog, prog.ingress);
+  EXPECT_EQ(alloc.table_stage.at("t1"), alloc.table_stage.at("t2"));
+  EXPECT_EQ(alloc.stages_used, 1);
+}
+
+TEST(StageAlloc, MatchDependencySerializes) {
+  const auto prog = build(R"P4R(
+header_type h_t { fields { a : 32; x : 16; y : 16; } }
+header h_t h;
+action seta(v) { modify_field(h.x, v); }
+action useb(v) { modify_field(h.y, v); }
+table t1 { reads { h.a : exact; } actions { seta; } size : 8; }
+table t2 { reads { h.x : exact; } actions { useb; } size : 8; }
+control ingress { apply(t1); apply(t2); }
+control egress { }
+)P4R");
+  const auto alloc = allocate_stages(prog, prog.ingress);
+  EXPECT_LT(alloc.table_stage.at("t1"), alloc.table_stage.at("t2"));
+}
+
+TEST(StageAlloc, ActionReadDependencySerializes) {
+  const auto prog = build(R"P4R(
+header_type h_t { fields { a : 32; x : 16; y : 16; } }
+header h_t h;
+action seta(v) { modify_field(h.x, v); }
+action copy() { modify_field(h.y, h.x); }
+table t1 { reads { h.a : exact; } actions { seta; } size : 8; }
+table t2 { reads { h.a : exact; } actions { copy; } size : 8; }
+control ingress { apply(t1); apply(t2); }
+control egress { }
+)P4R");
+  const auto alloc = allocate_stages(prog, prog.ingress);
+  EXPECT_LT(alloc.table_stage.at("t1"), alloc.table_stage.at("t2"));
+}
+
+TEST(StageAlloc, WriteWriteDependencySerializes) {
+  const auto prog = build(R"P4R(
+header_type h_t { fields { a : 32; x : 16; } }
+header h_t h;
+action w1(v) { modify_field(h.x, v); }
+action w2(v) { modify_field(h.x, v); }
+table t1 { reads { h.a : exact; } actions { w1; } size : 8; }
+table t2 { reads { h.a : exact; } actions { w2; } size : 8; }
+control ingress { apply(t1); apply(t2); }
+control egress { }
+)P4R");
+  const auto alloc = allocate_stages(prog, prog.ingress);
+  EXPECT_LT(alloc.table_stage.at("t1"), alloc.table_stage.at("t2"));
+}
+
+TEST(StageAlloc, RegisterUsersShareItsStage) {
+  const auto prog = build(R"P4R(
+header_type h_t { fields { a : 32; x : 32; y : 32; } }
+header h_t h;
+register r { width : 32; instance_count : 4; }
+action rd1() { register_read(h.x, r, 0); }
+action rd2() { register_read(h.y, r, 1); }
+table t1 { reads { h.a : exact; } actions { rd1; } size : 8; }
+table t2 { reads { h.a : exact; } actions { rd2; } size : 8; }
+control ingress { apply(t1); apply(t2); }
+control egress { }
+)P4R");
+  const auto alloc = allocate_stages(prog, prog.ingress);
+  EXPECT_EQ(alloc.table_stage.at("t1"), alloc.table_stage.at("t2"));
+}
+
+TEST(StageAlloc, RegisterPinningConflictRejected) {
+  // t2 depends on t1 (match dep) but also shares t1's register: impossible.
+  const auto prog = build(R"P4R(
+header_type h_t { fields { a : 32; x : 32; y : 32; } }
+header h_t h;
+register r { width : 32; instance_count : 4; }
+action rd1() { register_read(h.x, r, 0); }
+action rd2() { register_read(h.y, r, 1); }
+table t1 { reads { h.a : exact; } actions { rd1; } size : 8; }
+table t2 { reads { h.x : exact; } actions { rd2; } size : 8; }
+control ingress { apply(t1); apply(t2); }
+control egress { }
+)P4R");
+  EXPECT_THROW(allocate_stages(prog, prog.ingress), UserError);
+}
+
+TEST(StageAlloc, CapacityForcesNewStage) {
+  const auto prog = build(R"P4R(
+header_type h_t { fields { a : 32; x : 16; y : 16; } }
+header h_t h;
+action seta(v) { modify_field(h.x, v); }
+action setb(v) { modify_field(h.y, v); }
+table big1 { reads { h.a : ternary; } actions { seta; } size : 10000; }
+table big2 { reads { h.a : ternary; } actions { setb; } size : 10000; }
+control ingress { apply(big1); apply(big2); }
+control egress { }
+)P4R");
+  StageModel tight;
+  tight.tcam_bits_per_stage = 10000 * 32 + 100;  // fits one big table only
+  const auto alloc = allocate_stages(prog, prog.ingress, tight);
+  EXPECT_NE(alloc.table_stage.at("big1"), alloc.table_stage.at("big2"));
+}
+
+TEST(StageAlloc, OverflowBeyondMaxStagesRejected) {
+  // A chain of data-dependent tables longer than the stage budget.
+  std::string src = "header_type h_t { fields {";
+  for (int i = 0; i <= 14; ++i) src += " f" + std::to_string(i) + " : 16;";
+  src += " } }\nheader h_t h;\n";
+  std::string ingress = "control ingress {";
+  for (int i = 0; i < 14; ++i) {
+    src += "action a" + std::to_string(i) + "() { modify_field(h.f" +
+           std::to_string(i + 1) + ", h.f" + std::to_string(i) + "); }\n";
+    src += "table t" + std::to_string(i) + " { reads { h.f" + std::to_string(i) +
+           " : exact; } actions { a" + std::to_string(i) + "; } size : 4; }\n";
+    ingress += " apply(t" + std::to_string(i) + ");";
+  }
+  src += ingress + " }\ncontrol egress { }\n";
+  const auto prog = build(src.c_str());
+  StageModel model;
+  model.max_stages = 12;
+  EXPECT_THROW(allocate_stages(prog, prog.ingress, model), UserError);
+  StageModel bigger;
+  bigger.max_stages = 16;
+  EXPECT_EQ(allocate_stages(prog, prog.ingress, bigger).stages_used, 14);
+}
+
+TEST(StageAlloc, TablesPerStageLimit) {
+  std::string src = "header_type h_t { fields { a : 32; } }\nheader h_t h;\n";
+  src += "action nop_() { }\n";
+  std::string ingress = "control ingress {";
+  for (int i = 0; i < 20; ++i) {
+    src += "table t" + std::to_string(i) +
+           " { reads { h.a : exact; } actions { nop_; } size : 2; }\n";
+    ingress += " apply(t" + std::to_string(i) + ");";
+  }
+  src += ingress + " }\ncontrol egress { }\n";
+  const auto prog = build(src.c_str());
+  StageModel model;
+  model.tables_per_stage = 8;
+  const auto alloc = allocate_stages(prog, prog.ingress, model);
+  EXPECT_EQ(alloc.stages_used, 3);  // 20 independent tables / 8 per stage
+}
+
+}  // namespace
+}  // namespace mantis::p4

@@ -1,0 +1,127 @@
+// Robustness: malformed and adversarial inputs must produce UserError
+// diagnostics — never crashes, never other exception types — across the
+// frontend, the compiler, and the reaction interpreter.
+#include <gtest/gtest.h>
+
+#include "compile/compiler.hpp"
+#include "helpers.hpp"
+#include "p4r/sema.hpp"
+#include "util/rng.hpp"
+
+namespace mantis::test {
+namespace {
+
+/// Runs the frontend+compiler; the only acceptable outcomes are success or
+/// UserError.
+void expect_graceful(const std::string& source) {
+  try {
+    compile::compile_source(source);
+  } catch (const UserError&) {
+    // fine: a diagnostic
+  } catch (const std::exception& e) {
+    FAIL() << "non-diagnostic exception " << typeid(e).name() << ": "
+           << e.what() << "\nsource:\n"
+           << source;
+  }
+}
+
+TEST(Robustness, TruncatedPrograms) {
+  const std::string full = figure1_style_source();
+  // Cut the program at many byte offsets; every prefix must be handled.
+  for (std::size_t cut = 0; cut < full.size(); cut += 37) {
+    expect_graceful(full.substr(0, cut));
+  }
+}
+
+TEST(Robustness, TokenDeletionFuzz) {
+  const std::string full = figure1_style_source();
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Delete a random slice.
+    const std::size_t a = rng.uniform(full.size());
+    const std::size_t len = 1 + rng.uniform(40);
+    std::string mutated = full;
+    mutated.erase(a, len);
+    expect_graceful(mutated);
+  }
+}
+
+TEST(Robustness, RandomCharacterCorruption) {
+  const std::string full = figure1_style_source();
+  const std::string charset = "{}();:,.${}<>=+-*/ abz019_\"";
+  Rng rng(78);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = full;
+    for (int k = 0; k < 5; ++k) {
+      mutated[rng.uniform(mutated.size())] =
+          charset[rng.uniform(charset.size())];
+    }
+    expect_graceful(mutated);
+  }
+}
+
+TEST(Robustness, ReactionBodyFuzz) {
+  const char* prefix = R"(
+header_type h_t { fields { a : 32; } }
+header h_t h;
+control ingress { }
+control egress { }
+reaction rx(ing h.a) {
+)";
+  const std::string pieces[] = {
+      "int x = 0;", "x += h_a;",       "for (;;) { break; }",
+      "${v}",       "= 1;",            "while (x < 3) ++x;",
+      "if (",       "x)",              "{ }",
+      "log(x);",    "t.addEntry(\"a\"", ");",
+      "} else {",   "return;",          "int a[4]; a[x] = 1;",
+  };
+  Rng rng(79);
+  for (int trial = 0; trial < 80; ++trial) {
+    std::string body;
+    const int n = 1 + static_cast<int>(rng.uniform(8));
+    for (int i = 0; i < n; ++i) {
+      body += pieces[rng.uniform(std::size(pieces))];
+      body += "\n";
+    }
+    expect_graceful(std::string(prefix) + body + "\n}\n");
+  }
+}
+
+TEST(Robustness, InterpretedRuntimeFaultsSurfaceAsUserError) {
+  // Compile-clean programs whose reactions fault at runtime.
+  const char* bodies[] = {
+      "int a[2]; ${out} = a[h_a + 5];",  // index out of range (h_a polls 0)
+      "${out} = 10 / h_a;",          // div by zero when h_a == 0
+      "while (h_a == 0) { }",        // runaway when h_a == 0
+  };
+  for (const char* body : bodies) {
+    Stack stack(std::string(R"(
+header_type h_t { fields { a : 32; } }
+header h_t h;
+malleable value out { width : 16; init : 0; }
+action use() { add(h.a, h.a, ${out}); }
+table t { actions { use; } default_action : use; size : 1; }
+control ingress { apply(t); }
+control egress { }
+reaction rx(ing h.a) {
+)") + body + "\n}\n");
+    stack.agent->run_prologue();
+    // h_a polls as 0 (no packets) -> each body faults.
+    EXPECT_THROW(stack.agent->dialogue_iteration(), UserError) << body;
+  }
+}
+
+TEST(Robustness, AgentBreakdownSumsToIteration) {
+  Stack stack(figure1_style_source());
+  stack.agent->run_prologue();
+  stack.agent->dialogue_iteration();
+  const auto& bd = stack.agent->last_breakdown();
+  EXPECT_GT(bd.mv_flip, 0);
+  EXPECT_GT(bd.measure_and_react, 0);
+  EXPECT_GT(bd.update, 0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(bd.total()),
+                   stack.agent->iteration_latencies().values().back());
+}
+
+}  // namespace
+}  // namespace mantis::test
