@@ -51,23 +51,32 @@ double iteration_latency_us(bool memoization, bool batching, int mods) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report("ablation_driver", argc, argv);
   bench::print_header(
       "Ablation: driver memoization + batching (steady-state dialogue "
       "latency, reaction modifies N user entries/iteration)");
   bench::print_row({"N_mods", "full_us", "no_memo_us", "no_batch_us",
                     "neither_us"});
   for (const int mods : {1, 4, 16}) {
-    bench::print_row({std::to_string(mods),
-                      bench::fmt(iteration_latency_us(true, true, mods), 1),
-                      bench::fmt(iteration_latency_us(false, true, mods), 1),
-                      bench::fmt(iteration_latency_us(true, false, mods), 1),
-                      bench::fmt(iteration_latency_us(false, false, mods), 1)});
+    const double full = iteration_latency_us(true, true, mods);
+    const double no_memo = iteration_latency_us(false, true, mods);
+    const double no_batch = iteration_latency_us(true, false, mods);
+    const double neither = iteration_latency_us(false, false, mods);
+    bench::print_row({std::to_string(mods), bench::fmt(full, 1),
+                      bench::fmt(no_memo, 1), bench::fmt(no_batch, 1),
+                      bench::fmt(neither, 1)});
+    const std::string key = "mods" + std::to_string(mods);
+    report.set(key + ".full_us", full);
+    report.set(key + ".no_memo_us", no_memo);
+    report.set(key + ".no_batch_us", no_batch);
+    report.set(key + ".neither_us", neither);
   }
   std::printf(
       "\nMemoization removes the cold driver-instruction cost from every\n"
       "repeated op; batching amortizes the PCIe round trip across the\n"
       "prepare and mirror groups. Both are load-bearing for the paper's\n"
       "10s-of-us claim once reactions touch more than a couple of entries.\n");
+  report.write();
   return 0;
 }

@@ -67,22 +67,32 @@ double clean_iteration_latency_us(bool commit_every) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report("ablation_isolation", argc, argv);
   bench::print_header("Ablation 1: timestamp-guarded register cache (5.2)");
   bench::print_row({"cache", "stale_poll_frac"});
-  bench::print_row({"on", bench::fmt(stale_fraction(true), 3)});
-  bench::print_row({"off", bench::fmt(stale_fraction(false), 3)});
+  const double stale_on = stale_fraction(true);
+  const double stale_off = stale_fraction(false);
+  bench::print_row({"on", bench::fmt(stale_on, 3)});
+  bench::print_row({"off", bench::fmt(stale_off, 3)});
+  report.set("stale_frac.cache_on", stale_on);
+  report.set("stale_frac.cache_off", stale_off);
   std::printf(
       "Without the cache, polls alternate between the two copies and read\n"
       "the unwritten/old one roughly half the time between updates.\n");
 
   bench::print_header("Ablation 2: unconditional vs on-demand vv commit");
   bench::print_row({"mode", "clean_iter_us"});
-  bench::print_row({"commit_every", bench::fmt(clean_iteration_latency_us(true), 2)});
-  bench::print_row({"on_demand", bench::fmt(clean_iteration_latency_us(false), 2)});
+  const double commit_every = clean_iteration_latency_us(true);
+  const double on_demand = clean_iteration_latency_us(false);
+  bench::print_row({"commit_every", bench::fmt(commit_every, 2)});
+  bench::print_row({"on_demand", bench::fmt(on_demand, 2)});
+  report.set("clean_iter_us.commit_every", commit_every);
+  report.set("clean_iter_us.on_demand", on_demand);
   std::printf(
       "Unconditional commits keep latency uniform (the paper's choice);\n"
       "on-demand commits shave the master update off clean iterations at\n"
       "the cost of a bimodal iteration time.\n");
+  report.write();
   return 0;
 }

@@ -58,19 +58,22 @@ double usable_throughput(int recircs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mantis::bench::Report report("context_recirc", argc, argv);
   mantis::bench::print_header(
       "Context (paper 2): usable throughput vs recirculations per packet "
       "(offered load = pipeline line rate)");
   mantis::bench::print_row({"recircs", "usable_throughput_%"});
   for (const int n : {0, 1, 2, 3, 4}) {
-    mantis::bench::print_row(
-        {std::to_string(n), mantis::bench::fmt(100.0 * usable_throughput(n), 1)});
+    const double pct = 100.0 * usable_throughput(n);
+    mantis::bench::print_row({std::to_string(n), mantis::bench::fmt(pct, 1)});
+    report.set("recircs" + std::to_string(n) + ".usable_throughput_pct", pct);
   }
   std::printf(
       "\nEach pass consumes a pipeline slot: N recirculations leave\n"
       "~1/(N+1) of the packet budget for new traffic (paper quotes 38%% and\n"
       "16%% for 2 and 3 passes on the cited architecture). Mantis's\n"
       "control-plane reaction loop costs the data plane nothing.\n");
+  report.write();
   return 0;
 }

@@ -36,7 +36,7 @@ std::string field_args_program(int n_fields) {
   return src.str();
 }
 
-void figure_10a() {
+void figure_10a(bench::Report& report) {
   bench::print_header("Figure 10a: measurement latency vs bytes read");
   bench::print_row({"bytes", "field_args_us", "register_args_us"});
   for (const int bytes : {4, 8, 16, 32, 64, 128, 256, 512}) {
@@ -62,6 +62,9 @@ void figure_10a() {
 
     bench::print_row({std::to_string(bytes), bench::fmt_us(field_lat),
                       bench::fmt_us(reg_lat)});
+    const std::string key = "fig10a.bytes" + std::to_string(bytes);
+    report.set(key + ".field_args_us", to_us(field_lat));
+    report.set(key + ".register_args_us", to_us(reg_lat));
   }
 }
 
@@ -81,7 +84,7 @@ std::string scalars_program(int n) {
   return src.str();
 }
 
-void figure_10b() {
+void figure_10b(bench::Report& report) {
   bench::print_header("Figure 10b: update latency vs number of updates");
   bench::print_row({"updates", "scalar_mbl_us", "table_entries_us"});
   for (const int n : {1, 2, 4, 8, 16, 32, 64}) {
@@ -126,10 +129,13 @@ control egress { }
 
     bench::print_row({std::to_string(n), bench::fmt_us(scalar_lat),
                       bench::fmt_us(table_lat)});
+    const std::string key = "fig10b.updates" + std::to_string(n);
+    report.set(key + ".scalar_mbl_us", to_us(scalar_lat));
+    report.set(key + ".table_entries_us", to_us(table_lat));
   }
 }
 
-void cost_equation_validation() {
+void cost_equation_validation(bench::Report& report) {
   bench::print_header("8.1 cost equation: predicted vs measured iteration latency");
   bench::print_row({"field_args", "predicted_us", "measured_us", "error_%"});
   for (const int words : {1, 4, 16}) {
@@ -148,6 +154,10 @@ void cost_equation_validation() {
     bench::print_row({std::to_string(words),
                       bench::fmt_us(predicted.total()),
                       bench::fmt(measured / 1000.0, 2), bench::fmt(err, 1)});
+    const std::string key = "cost_eq.field_args" + std::to_string(words);
+    report.set(key + ".predicted_us", to_us(predicted.total()));
+    report.set(key + ".measured_us", measured / 1000.0);
+    report.set(key + ".error_pct", err);
   }
 }
 
@@ -174,10 +184,11 @@ BENCHMARK(BM_CompileFieldArgsProgram)->Arg(1)->Arg(8)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
-  figure_10a();
-  figure_10b();
-  cost_equation_validation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  mantis::bench::Report report("fig10_raw_latency", argc, argv);
+  figure_10a(report);
+  figure_10b(report);
+  cost_equation_validation(report);
+  mantis::bench::run_benchmarks(argc, argv, report);
+  report.write();
   return 0;
 }

@@ -26,7 +26,9 @@ reaction flip() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report("fig11_cpu", argc, argv);
+  report.params().set("duration_ms", std::int64_t{20});
   bench::print_header(
       "Figure 11: CPU utilization vs avg reaction time (single malleable "
       "field update, nanosleep pacing)");
@@ -57,10 +59,17 @@ int main() {
                       bench::fmt(lat.percentile(99) / 1000.0, 2),
                       bench::fmt(period / 1000.0, 2),
                       bench::fmt(react / 1000.0, 2)});
+    const std::string key = "sleep_us" + std::to_string(sleep_us);
+    report.set(key + ".cpu_util_pct", util);
+    report.set(key + ".avg_iter_us", lat.mean() / 1000.0);
+    report.set(key + ".p99_iter_us", lat.percentile(99) / 1000.0);
+    report.set(key + ".avg_period_us", period / 1000.0);
+    report.set(key + ".avg_react_us", react / 1000.0);
   }
   std::printf(
       "\nNote: 'avg_react_us' = expected event-to-reaction latency\n"
       "(half a loop period of waiting + one iteration), the paper's\n"
       "reaction-time metric for the utilization tradeoff.\n");
+  report.write();
   return 0;
 }

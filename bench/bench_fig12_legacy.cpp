@@ -55,7 +55,10 @@ Samples run_case(bool with_mantis) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report("fig12_legacy", argc, argv);
+  report.params().set("think_time_us", std::int64_t{5});
+  report.params().set("duration_ms", std::int64_t{100});
   bench::print_header("Figure 12: legacy table-update latency, without/with Mantis");
   const auto without = run_case(false);
   const auto with = run_case(true);
@@ -64,6 +67,10 @@ int main() {
   auto row = [&](const char* name, double a, double b) {
     bench::print_row({name, bench::fmt(a / 1000.0, 2), bench::fmt(b / 1000.0, 2),
                       bench::fmt(100.0 * (b - a) / a, 2)});
+    const std::string key(name);
+    report.set(key + ".without_us", a / 1000.0);
+    report.set(key + ".with_us", b / 1000.0);
+    report.set(key + ".impact_pct", 100.0 * (b - a) / a);
   };
   row("median", without.median(), with.median());
   row("p90", without.percentile(90), with.percentile(90));
@@ -89,5 +96,9 @@ int main() {
   }
   std::printf("ops delayed behind a Mantis op: %.1f%%\n",
               100.0 * delayed / static_cast<double>(with.count()));
+  report.count("ops.without", without.count());
+  report.count("ops.with", with.count());
+  report.set("delayed_pct", 100.0 * delayed / static_cast<double>(with.count()));
+  report.write();
   return 0;
 }

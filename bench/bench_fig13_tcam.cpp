@@ -65,7 +65,8 @@ std::uint64_t tcam_bits(unsigned k, unsigned a, bool read_side,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mantis::bench::Report report("fig13_tcam", argc, argv);
   for (const std::size_t occ : {512u, 1024u}) {
     mantis::bench::print_header(
         "Figure 13a: TCAM usage vs alternatives A (K=16, occupancy=" +
@@ -76,6 +77,10 @@ int main() {
       const double rkb = static_cast<double>(tcam_bits(16, a, true, occ)) / 8192.0;
       mantis::bench::print_row({std::to_string(a), mantis::bench::fmt(wkb, 1),
                                 mantis::bench::fmt(rkb, 1)});
+      const std::string key = "fig13a.occ" + std::to_string(occ) + ".alts" +
+                              std::to_string(a);
+      report.set(key + ".write_kb", wkb);
+      report.set(key + ".read_kb", rkb);
     }
   }
 
@@ -89,11 +94,16 @@ int main() {
       const double rkb = static_cast<double>(tcam_bits(k, 4, true, occ)) / 8192.0;
       mantis::bench::print_row({std::to_string(k), mantis::bench::fmt(wkb, 1),
                                 mantis::bench::fmt(rkb, 1)});
+      const std::string key = "fig13b.occ" + std::to_string(occ) + ".width" +
+                              std::to_string(k);
+      report.set(key + ".write_kb", wkb);
+      report.set(key + ".read_kb", rkb);
     }
   }
   std::printf(
       "\nShape check: tblWriteX grows linearly in A and is flat in K\n"
       "(selector column only); tblReadX is asymptotically quadratic in A\n"
       "(A entries x A alt columns) and linear in K.\n");
+  report.write();
   return 0;
 }

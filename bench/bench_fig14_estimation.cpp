@@ -40,7 +40,8 @@ double rel_error(std::uint64_t est, std::uint64_t truth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report("fig14_estimation", argc, argv);
   workload::TraceConfig cfg;
   cfg.num_flows = 20'000;
   cfg.num_packets = 250'000;
@@ -49,6 +50,9 @@ int main() {
   cfg.duration_s = 0.6;
   cfg.zipf_skew = 1.05;
   const auto trace = workload::generate_trace(cfg);
+  report.params().set("num_flows", static_cast<std::int64_t>(cfg.num_flows));
+  report.params().set("num_packets", static_cast<std::int64_t>(cfg.num_packets));
+  report.params().set("zipf_skew", cfg.zipf_skew);
 
   // ---- Mantis on the full stack -------------------------------------------
   bench::Stack stack(apps::dos_p4r_source());
@@ -79,6 +83,8 @@ int main() {
   std::printf("Mantis dialogue iterations: %llu (~1 in %.1f packets sampled)\n",
               static_cast<unsigned long long>(stack.agent->iterations()),
               1.0 / sample_rate);
+  report.count("dialogue_iterations", stack.agent->iterations());
+  report.set("sample_rate_inv", 1.0 / sample_rate);
 
   // ---- Baselines over the same trace --------------------------------------
   baseline::SflowEstimator sflow(30'000);
@@ -134,11 +140,17 @@ int main() {
     std::vector<std::string> row = {buckets[b].first, std::to_string(flows)};
     for (const auto& s : stats) row.push_back(bench::fmt(s.avg(), 3));
     bench::print_row(row, 13);
+    for (std::size_t e = 0; e < estimators.size(); ++e) {
+      report.set("bucket" + std::to_string(b) + "." + estimators[e].name +
+                     ".avg_rel_err",
+                 stats[e].avg());
+    }
   }
 
   std::printf(
       "\nShape check (paper Fig 14): mantis << sflow everywhere; mantis\n"
       "comparable to DP structures for big flows and far better for small\n"
       "flows, where collisions misattribute arbitrarily many bytes.\n");
+  report.write();
   return 0;
 }

@@ -81,9 +81,12 @@ Duration run_traditional_defense() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mantis;
 
+  bench::Report report("fig15_dos", argc, argv);
+  report.params().set("legit_flows", std::int64_t{250});
+  report.params().set("attack_gbps", 25.0);
   sim::SwitchConfig sw_cfg;
   sw_cfg.num_ports = 32;
   sw_cfg.port_gbps = 10.0;  // the bottleneck link toward D is port 1
@@ -177,18 +180,23 @@ int main() {
 
   bench::print_header("mitigation summary");
   std::printf("first hostile packet at: %.3f ms\n", to_ms(flood.first_packet_at()));
+  report.set("first_hostile_ms", to_ms(flood.first_packet_at()));
   if (blocked_at >= 0) {
     std::printf("drop rule buffered at:   %.3f ms (src 0x%x)\n",
                 to_ms(blocked_at), blocked_src);
     std::printf("detection-to-rule time:  %.1f us (paper: ~100 us)\n",
                 to_us(blocked_at - flood.first_packet_at()));
+    report.set("mantis_mitigation_us",
+               to_us(blocked_at - flood.first_packet_at()));
   } else {
     std::printf("ATTACKER NEVER BLOCKED\n");
   }
   std::printf("attacker packets sent: %llu\n",
               static_cast<unsigned long long>(flood.sent()));
+  report.count("attacker_pkts", flood.sent());
 
   const Duration traditional = run_traditional_defense();
+  if (traditional >= 0) report.set("traditional_mitigation_ms", to_ms(traditional));
   if (traditional >= 0) {
     std::printf(
         "\ntraditional control plane (10ms polls): mitigation after %.1f ms\n"
@@ -203,5 +211,6 @@ int main() {
     std::printf("\ntraditional control plane: attacker NEVER blocked within "
                 "the horizon\n");
   }
+  report.write();
   return 0;
 }

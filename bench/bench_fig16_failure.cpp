@@ -122,7 +122,9 @@ double false_positive_rate(double eta, double link_loss, int trials) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report("fig16_failure", argc, argv);
+  report.params().set("trials", std::int64_t{16});
   bench::print_header(
       "Figure 16a: failure detect+reroute time vs dialogue pacing (eta=0.5, "
       "Ts=1us, 16 trials each)");
@@ -133,6 +135,10 @@ int main() {
                       bench::fmt(r.reaction_us.mean(), 1),
                       bench::fmt(r.reaction_us.percentile(5), 1),
                       bench::fmt(r.reaction_us.percentile(95), 1)});
+    const std::string key = "fig16a.pacing_us" + std::to_string(pacing_us);
+    report.set(key + ".mean_us", r.reaction_us.mean());
+    report.set(key + ".p5_us", r.reaction_us.percentile(5));
+    report.set(key + ".p95_us", r.reaction_us.percentile(95));
   }
 
   bench::print_header("Figure 16b: reaction time vs eta (busy loop, 16 trials)");
@@ -142,6 +148,10 @@ int main() {
     bench::print_row({bench::fmt(eta, 2), bench::fmt(r.reaction_us.mean(), 1),
                       bench::fmt(r.reaction_us.percentile(5), 1),
                       bench::fmt(r.reaction_us.percentile(95), 1)});
+    const std::string key = "fig16b.eta" + bench::fmt(eta, 2);
+    report.set(key + ".mean_us", r.reaction_us.mean());
+    report.set(key + ".p5_us", r.reaction_us.percentile(5));
+    report.set(key + ".p95_us", r.reaction_us.percentile(95));
   }
 
   bench::print_header(
@@ -149,8 +159,9 @@ int main() {
       "15% ambient loss (8 trials x 200 iterations)");
   bench::print_row({"eta", "false_positive_rate"});
   for (const double eta : {0.5, 0.7, 0.8, 0.9}) {
-    bench::print_row({bench::fmt(eta, 2),
-                      bench::fmt(false_positive_rate(eta, 0.15, 8), 2)});
+    const double fp = false_positive_rate(eta, 0.15, 8);
+    bench::print_row({bench::fmt(eta, 2), bench::fmt(fp, 2)});
+    report.set("fp_rate.eta" + bench::fmt(eta, 2), fp);
   }
 
   std::printf(
@@ -159,5 +170,6 @@ int main() {
       "(paper: 10s of ms detection + ms rerouting). The idealized in-band\n"
       "detector bound for eta=0.2, Ts=1us is ~15us but forgoes control-plane\n"
       "route recomputation (paper 8.3.2).\n");
+  report.write();
   return 0;
 }

@@ -135,6 +135,38 @@ void BM_FrontendAndCompile(benchmark::State& state) {
 }
 BENCHMARK(BM_FrontendAndCompile);
 
+// A representative dialogue workload: one reaction with four 32-bit field
+// args and a scalar commit each iteration. This is the binary the telemetry
+// overhead budget is checked against (docs/TELEMETRY.md): build with
+// -DMANTIS_TELEMETRY=OFF and compare.
+const char* kDialogueSrc = R"P4R(
+header_type h_t { fields { f0 : 32; f1 : 32; f2 : 32; f3 : 32; } }
+header h_t h;
+malleable value knob { width : 32; init : 0; }
+action use() { add(h.f1, h.f1, ${knob}); }
+table t { actions { use; } default_action : use; size : 1; }
+control ingress { apply(t); }
+control egress { }
+reaction rx(ing h.f0, ing h.f1, ing h.f2, ing h.f3) {
+  ${knob} = ${knob} + 1;
+}
+)P4R";
+
+void BM_DialogueIteration(benchmark::State& state) {
+  bench::Stack stack(kDialogueSrc);
+  stack.agent->run_prologue();
+  for (auto _ : state) {
+    stack.agent->dialogue_iteration();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DialogueIteration);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mantis::bench::Report report("microperf", argc, argv);
+  mantis::bench::run_benchmarks(argc, argv, report);
+  report.write();
+  return 0;
+}

@@ -8,7 +8,14 @@
 //
 //   $ ./example_mantisc program.p4r
 //   $ ./example_mantisc --demo          # compiles the built-in Figure 1
+//   $ ./example_mantisc --demo --trace t.json --metrics m.json
+//
+// --trace / --metrics export host-side compile telemetry: wall-clock spans
+// per compiler phase (Chrome trace_event JSON) and a metrics snapshot with
+// artifact sizes (docs/TELEMETRY.md). mantisc has no simulation, so the
+// tracer times against wall clock.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -18,6 +25,7 @@
 #include "p4/alloc/stage_alloc.hpp"
 #include "p4/json.hpp"
 #include "p4/resources.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -81,29 +89,81 @@ void summarize(const mantis::compile::Artifacts& art) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <file.p4r> | --demo\n", argv[0]);
+  std::string input, trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (input.empty()) {
+      input = argv[i];
+    } else {
+      input.clear();
+      break;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <file.p4r> | --demo [--trace <out.json>] "
+                 "[--metrics <out.json>]\n",
+                 argv[0]);
     return 2;
   }
   try {
+    using mantis::telemetry::Track;
+    // Standalone bundle: no event loop, so spans time against wall clock.
+    mantis::telemetry::Telemetry tel;
+    if (!trace_path.empty()) tel.tracer().set_enabled(true);
+    auto& tracer = tel.tracer();
+
     std::string source;
     std::string stem;
-    if (std::string(argv[1]) == "--demo") {
+    if (input == "--demo") {
       source = mantis::apps::dos_p4r_source();
       stem = "dos_demo";
       std::printf("compiling the built-in DoS-mitigation use case\n");
     } else {
-      source = read_file(argv[1]);
-      stem = argv[1];
+      MANTIS_SPAN(tracer, "mantisc.read_source", "host", Track::kHost);
+      source = read_file(input);
+      stem = input;
       if (const auto dot = stem.rfind(".p4r"); dot != std::string::npos) {
         stem = stem.substr(0, dot);
       }
     }
-    const auto art = mantis::compile::compile_source(source);
-    write_file(stem + ".p4", art.p4_source);
-    write_file(stem + ".c", art.c_source);
-    write_file(stem + ".json", mantis::p4::emit_json(art.prog));
-    summarize(art);
+
+    mantis::compile::Artifacts art;
+    {
+      MANTIS_SPAN(tracer, "mantisc.compile", "host", Track::kHost,
+                  "source_bytes", static_cast<std::int64_t>(source.size()));
+      art = mantis::compile::compile_source(source);
+    }
+    {
+      MANTIS_SPAN(tracer, "mantisc.write_artifacts", "host", Track::kHost);
+      write_file(stem + ".p4", art.p4_source);
+      write_file(stem + ".c", art.c_source);
+      write_file(stem + ".json", mantis::p4::emit_json(art.prog));
+    }
+    {
+      MANTIS_SPAN(tracer, "mantisc.summarize", "host", Track::kHost);
+      summarize(art);
+    }
+
+    auto& m = tel.metrics();
+    m.counter("mantisc.source_bytes").add(source.size());
+    m.counter("mantisc.p4_bytes").add(art.p4_source.size());
+    m.counter("mantisc.c_bytes").add(art.c_source.size());
+    m.counter("mantisc.reactions").add(art.reactions.size());
+    m.counter("mantisc.init_tables").add(art.bindings.init_tables.size());
+    if (!trace_path.empty()) {
+      tel.write_trace_json(trace_path);
+      std::printf("trace: %s\n", trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      mantis::telemetry::ReportParams params;
+      params.set("input", input);
+      tel.write_metrics_json(metrics_path, "mantisc", params);
+      std::printf("metrics: %s\n", metrics_path.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mantisc: %s\n", e.what());

@@ -6,13 +6,21 @@
 // plane's behaviour.
 //
 //   $ ./example_quickstart
+//   $ ./example_quickstart --trace t.json --metrics m.json
+//
+// --trace writes a Chrome trace_event JSON (chrome://tracing / Perfetto)
+// showing the dialogue phases and driver-channel occupancy in virtual time;
+// --metrics writes the stack's metrics snapshot (docs/TELEMETRY.md).
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "agent/agent.hpp"
 #include "compile/compiler.hpp"
 #include "driver/driver.hpp"
 #include "sim/switch.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -65,8 +73,14 @@ reaction my_reaction(reg qdepths[1:10]) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mantis;
+
+  std::string trace_path, metrics_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+  }
 
   // 1. Compile P4R -> (malleable P4 program, bindings, reaction bodies).
   const auto artifacts = compile::compile_source(kFigure1);
@@ -77,6 +91,7 @@ int main() {
 
   // 2. Load the program into the simulated RMT switch; attach driver+agent.
   sim::EventLoop loop;
+  if (!trace_path.empty()) loop.telemetry().tracer().set_enabled(true);
   sim::Switch sw(loop, artifacts.prog);
   driver::Driver drv(sw);
   agent::Agent agent(drv, artifacts);
@@ -121,5 +136,15 @@ int main() {
   std::printf("dialogue iterations: %llu, median latency %.1f us\n",
               static_cast<unsigned long long>(agent.iterations()),
               agent.iteration_latencies().median() / 1000.0);
+
+  if (!trace_path.empty()) {
+    loop.telemetry().write_trace_json(trace_path);
+    std::printf("trace: %s (open in chrome://tracing or Perfetto)\n",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    loop.telemetry().write_metrics_json(metrics_path, "quickstart");
+    std::printf("metrics: %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -286,6 +286,33 @@ Agent::Agent(driver::Driver& drv, const compile::Artifacts& artifacts,
   const auto& bind = art_->bindings;
   expects(!bind.init_tables.empty(), "Agent: artifacts have no init tables");
 
+  tel_ = &drv.target().loop().telemetry();
+  // Agents sharing one loop (multi-pipeline stacks) each get their own
+  // metric names; the first keeps the plain "agent." prefix so the common
+  // single-agent case reads naturally.
+  auto& instances = tel_->metrics().counter("agent.instances");
+  const std::uint64_t index = instances.value();
+  instances.add();
+  const std::string prefix =
+      index == 0 ? "agent." : "agent" + std::to_string(index) + ".";
+  iters_ctr_ = &tel_->metrics().counter(prefix + "dialogue.iterations");
+  busy_ctr_ = &tel_->metrics().counter(prefix + "dialogue.busy_ns");
+  telemetry::HistogramOptions iter_opts;
+  iter_opts.first_bucket = 1024;  // ns; iterations run ~10..100us
+  iter_opts.keep_raw = true;      // iteration_latencies() stays exact
+  iter_hist_ =
+      &tel_->metrics().histogram(prefix + "dialogue.iteration_ns", iter_opts);
+  telemetry::HistogramOptions phase_opts;
+  phase_opts.first_bucket = 256;
+  phase_mv_flip_ =
+      &tel_->metrics().histogram(prefix + "phase.mv_flip_ns", phase_opts);
+  phase_measure_ =
+      &tel_->metrics().histogram(prefix + "phase.measure_ns", phase_opts);
+  phase_react_ =
+      &tel_->metrics().histogram(prefix + "phase.react_ns", phase_opts);
+  phase_update_ =
+      &tel_->metrics().histogram(prefix + "phase.update_ns", phase_opts);
+
   // Alternative counts per malleable field (from the selector scalar slots).
   AltCounts alt_counts;
   for (const auto& [name, slot] : bind.scalars) {
@@ -422,7 +449,13 @@ void Agent::rerun_user_init() {
 
 void Agent::run_one_reaction(ReactionRt& rt) {
   const int checkpoint = mv_ ^ 1;  // the copy the data plane just vacated
+  const Time t0 = loop().now();
   const auto params = measure_.poll(*drv_, *rt.info, checkpoint);
+  const Time after_poll = loop().now();
+  phase_measure_->record(static_cast<double>(after_poll - t0));
+  MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.measure", "dialogue",
+                     telemetry::Track::kAgent, t0, after_poll);
+
   ReactionContext ctx(*this, &params);
   Duration cost = 0;
   if (rt.use_native) {
@@ -435,6 +468,9 @@ void Agent::run_one_reaction(ReactionRt& rt) {
   }
   // Charge the reaction's CPU time; the data plane keeps running meanwhile.
   loop().run_until(loop().now() + cost);
+  phase_react_->record(static_cast<double>(loop().now() - after_poll));
+  MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.react", "dialogue",
+                     telemetry::Track::kAgent, after_poll, loop().now());
 }
 
 namespace {
@@ -496,6 +532,7 @@ void Agent::apply_updates() {
 
   const auto& bind = art_->bindings;
   const int vv_next = vv_ ^ 1;
+  const Time t0 = loop().now();
 
   // PREPARE: shadow copies of table ops + dirty overflow init entries.
   protocol_.prepare(ops, vv_next);
@@ -513,12 +550,20 @@ void Agent::apply_updates() {
     }
     if (!batch.empty()) drv_->run_batch(std::move(batch));
   }
+  const Time after_prepare = loop().now();
+  MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.prepare", "dialogue",
+                     telemetry::Track::kAgent, t0, after_prepare, "ops",
+                     static_cast<std::int64_t>(ops.size()));
 
   // COMMIT: one master update flips vv and carries the new scalars.
   const auto& master = bind.init_tables.front();
   drv_->set_default(master.table, master.action, master_args(vv_next, mv_));
   const int vv_old = vv_;
   vv_ = vv_next;
+  const Time after_commit = loop().now();
+  MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.vv_commit", "dialogue",
+                     telemetry::Track::kAgent, after_prepare, after_commit,
+                     "vv", vv_);
 
   // MIRROR: bring the old-primary copies up to date.
   protocol_.mirror(ops, vv_old);
@@ -532,6 +577,9 @@ void Agent::apply_updates() {
     drv_->run_batch(std::move(batch));
   }
   committed_scalars_ = scalars_;
+  MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.shadow_fill", "dialogue",
+                     telemetry::Track::kAgent, after_commit, loop().now(),
+                     "ops", static_cast<std::int64_t>(ops.size()));
 }
 
 void Agent::commit_scalars_immediate() {
@@ -574,6 +622,8 @@ void Agent::dialogue_iteration() {
   drv_->set_default(master.table, master.action, master_args(vv_, mv_ ^ 1));
   mv_ ^= 1;
   const Time after_flip = loop().now();
+  MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.mv_flip", "dialogue",
+                     telemetry::Track::kAgent, t0, after_flip, "mv", mv_);
 
   // (2)+(3) per reaction: poll freshest checkpoints, run the body.
   in_reaction_ = true;
@@ -588,10 +638,16 @@ void Agent::dialogue_iteration() {
   last_breakdown_.measure_and_react = after_react - after_flip;
   last_breakdown_.update = loop().now() - after_react;
 
-  ++iters_;
+  phase_mv_flip_->record(static_cast<double>(last_breakdown_.mv_flip));
+  phase_update_->record(static_cast<double>(last_breakdown_.update));
+
+  iters_ctr_->add();
   const Duration busy = loop().now() - t0;
-  busy_ += busy;
-  iter_latency_.add(static_cast<double>(busy));
+  busy_ctr_->add(static_cast<std::uint64_t>(busy));
+  iter_hist_->record(static_cast<double>(busy));
+  MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.iteration", "dialogue",
+                     telemetry::Track::kAgent, t0, loop().now(), "iteration",
+                     static_cast<std::int64_t>(iters_ctr_->value()));
 
   if (opts_.pacing_sleep > 0) {
     loop().run_until(loop().now() + opts_.pacing_sleep);

@@ -30,6 +30,7 @@
 #include "driver/driver.hpp"
 #include "p4r/creact/cparser.hpp"
 #include "p4r/creact/interp.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 
 namespace mantis::agent {
@@ -126,12 +127,15 @@ class Agent {
   std::uint64_t scalar(const std::string& name) const;
 
   // ---- introspection ----
+  // Latency accounting lives in the stack-wide telemetry::MetricsRegistry
+  // (metric names in docs/TELEMETRY.md); these accessors are thin views over
+  // the registry-owned metrics so existing callers keep working.
   int vv() const { return vv_; }
   int mv() const { return mv_; }
-  std::uint64_t iterations() const { return iters_; }
-  Duration busy_time() const { return busy_; }
+  std::uint64_t iterations() const { return iters_ctr_->value(); }
+  Duration busy_time() const { return static_cast<Duration>(busy_ctr_->value()); }
   /// Per-iteration wall (virtual) latencies, excluding pacing sleep.
-  const Samples& iteration_latencies() const { return iter_latency_; }
+  const Samples& iteration_latencies() const { return iter_hist_->raw(); }
 
   /// Phase breakdown of the most recent iteration (the terms of the §8.1
   /// cost equation as actually incurred).
@@ -184,9 +188,17 @@ class Agent {
   std::vector<PendingOp> pending_;
   bool in_reaction_ = false;
 
-  std::uint64_t iters_ = 0;
-  Duration busy_ = 0;
-  Samples iter_latency_;
+  // Cached telemetry sinks (owned by the loop's registry; see
+  // docs/TELEMETRY.md for the naming scheme).
+  telemetry::Telemetry* tel_;
+  telemetry::Counter* iters_ctr_;
+  telemetry::Counter* busy_ctr_;
+  telemetry::Histogram* iter_hist_;  ///< keep_raw: iteration_latencies() view
+  telemetry::Histogram* phase_mv_flip_;
+  telemetry::Histogram* phase_measure_;
+  telemetry::Histogram* phase_react_;
+  telemetry::Histogram* phase_update_;
+
   LogHook log_hook_;
   IterationBreakdown last_breakdown_;
   std::function<void(ReactionContext&)> user_init_;

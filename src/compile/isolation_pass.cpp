@@ -50,17 +50,20 @@ void run_isolation_pass(Context& ctx) {
 
       const auto* reg = prog.find_register(param.reg);
       ensures(reg != nullptr, "isolation_pass: missing register " + param.reg);
+      // Copy out before the push_backs below: they may reallocate
+      // prog.registers and invalidate `reg`.
+      const std::uint32_t reg_width = reg->width;
+      const std::uint32_t reg_count = reg->instance_count;
       const std::string dup_name = param.reg + "__dup_";
       const std::string ts_name = param.reg + "__ts_";
       const std::string seq_name = param.reg + "__seq_";
-      const std::uint32_t dup_count = reg->instance_count * 2;
-      prog.registers.push_back(p4::RegisterDecl{dup_name, reg->width, dup_count});
+      const std::uint32_t dup_count = reg_count * 2;
+      prog.registers.push_back(p4::RegisterDecl{dup_name, reg_width, dup_count});
       // ts holds, per copy, the value of the per-index write counter (seq)
       // at write time. A global-per-index stamp (not a per-copy count) is
       // what lets the control plane order the two copies' contents.
       prog.registers.push_back(p4::RegisterDecl{ts_name, 32, dup_count});
-      prog.registers.push_back(
-          p4::RegisterDecl{seq_name, 32, reg->instance_count});
+      prog.registers.push_back(p4::RegisterDecl{seq_name, 32, reg_count});
 
       const p4::FieldId dupidx = prog.append_metadata_field(
           kMetaInstance, param.reg + "_dupidx_", 32);

@@ -4,6 +4,16 @@
 
 namespace mantis::driver {
 
+Channel::Channel(sim::EventLoop& loop) : loop_(&loop) {
+  auto& tel = loop.telemetry();
+  ops_ctr_ = &tel.metrics().counter("driver.channel.ops");
+  telemetry::HistogramOptions occ;
+  occ.first_bucket = 64;  // ns; channel ops span ~100ns..100us
+  occupancy_hist_ = &tel.metrics().histogram("driver.channel.occupancy_ns", occ);
+  queue_wait_hist_ = &tel.metrics().histogram("driver.channel.queue_wait_ns", occ);
+  tracer_ = &tel.tracer();
+}
+
 Time Channel::submit(Duration cost, std::function<void()> apply,
                      Duration critical) {
   expects(cost >= 0, "Channel::submit: negative cost");
@@ -17,6 +27,18 @@ Time Channel::submit(Duration cost, std::function<void()> apply,
   free_at_ = completion;
   busy_time_ += cost;
   ++ops_;
+
+  ops_ctr_->add();
+  occupancy_hist_->record(static_cast<double>(cost));
+  queue_wait_hist_->record(static_cast<double>(start_critical - local_done));
+#if MANTIS_TELEMETRY_ENABLED
+  // One lane-2 span per occupancy: [submission, completion), queue wait as
+  // the argument, so contention is visible as back-to-back blocks.
+  tracer_->complete("channel.op", "driver", telemetry::Track::kDriverChannel,
+                    loop_->now(), completion, "queue_wait_ns",
+                    start_critical - local_done);
+#endif
+
   if (apply) loop_->schedule_at(completion, std::move(apply));
   return completion;
 }

@@ -18,7 +18,7 @@ namespace mantis::driver {
 
 class Channel {
  public:
-  explicit Channel(sim::EventLoop& loop) : loop_(&loop) {}
+  explicit Channel(sim::EventLoop& loop);
 
   /// Submits an operation of duration `cost`, of which only the trailing
   /// `critical` nanoseconds hold the channel exclusively (the lock + device
@@ -42,6 +42,13 @@ class Channel {
   Time free_at_ = 0;
   Duration busy_time_ = 0;
   std::uint64_t ops_ = 0;
+
+  // Cached telemetry sinks (owned by the loop's registry): channel occupancy
+  // and the queueing delay legacy clients experience behind in-flight ops.
+  telemetry::Counter* ops_ctr_;
+  telemetry::Histogram* occupancy_hist_;
+  telemetry::Histogram* queue_wait_hist_;
+  telemetry::Tracer* tracer_;
 };
 
 }  // namespace mantis::driver

@@ -3,7 +3,14 @@
 namespace mantis::driver {
 
 Driver::Driver(sim::Switch& sw, DriverOptions opts)
-    : sw_(&sw), opts_(opts), channel_(sw.loop()) {}
+    : sw_(&sw), opts_(opts), channel_(sw.loop()) {
+  auto& tel = sw.loop().telemetry();
+  sync_ops_ctr_ = &tel.metrics().counter("driver.sync_ops");
+  telemetry::HistogramOptions lat;
+  lat.first_bucket = 256;  // ns; legacy op latencies are ~1..50us
+  legacy_latency_hist_ =
+      &tel.metrics().histogram("driver.legacy.latency_ns", lat);
+}
 
 bool Driver::memoized(const std::string& table, const std::string& action) {
   if (!opts_.enable_memoization) return false;
@@ -20,6 +27,7 @@ void Driver::memoize(const std::string& table, const std::string& action) {
 
 void Driver::sync_submit(Duration cost, const std::function<void()>& effect) {
   ++sync_ops_;
+  sync_ops_ctr_->add();
   const Time completion =
       channel_.submit(cost, nullptr, opts_.costs.critical(cost));
   sw_->loop().run_until(completion);
@@ -204,7 +212,14 @@ void Driver::async_modify_entry(const std::string& table, sim::EntryHandle h,
       [this, table, h, action, args = std::move(args), submitted,
        done = std::move(done)]() mutable {
         sw_->table(table).modify_entry(h, action, std::move(args));
-        if (done) done(sw_->loop().now() - submitted);
+        const Duration latency = sw_->loop().now() - submitted;
+        legacy_latency_hist_->record(static_cast<double>(latency));
+#if MANTIS_TELEMETRY_ENABLED
+        sw_->loop().telemetry().tracer().complete(
+            "legacy.modify_entry", "driver", telemetry::Track::kLegacy,
+            submitted, sw_->loop().now());
+#endif
+        if (done) done(latency);
       },
       opts_.costs.critical(cost));
 }

@@ -134,6 +134,10 @@ class Driver {
   std::unordered_set<std::string> memo_;
   std::uint64_t sync_ops_ = 0;
 
+  // Cached telemetry sinks (owned by the loop's registry).
+  telemetry::Counter* sync_ops_ctr_;
+  telemetry::Histogram* legacy_latency_hist_;
+
   bool memoized(const std::string& table, const std::string& action);
   /// Submits a synchronous op: occupies the channel, runs the loop to the
   /// completion instant, performs `effect` there, and returns.

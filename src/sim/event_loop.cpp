@@ -2,6 +2,14 @@
 
 namespace mantis::sim {
 
+telemetry::Telemetry& EventLoop::telemetry() {
+  if (!telemetry_) {
+    telemetry_ = std::make_unique<mantis::telemetry::Telemetry>();
+    telemetry_->tracer().set_clock([this] { return now_; });
+  }
+  return *telemetry_;
+}
+
 void EventLoop::schedule_at(Time t, Callback cb) {
   expects(t >= now_, "EventLoop::schedule_at: time in the past");
   expects(static_cast<bool>(cb), "EventLoop::schedule_at: empty callback");

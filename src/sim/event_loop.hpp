@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/time.hpp"
 
@@ -20,6 +22,11 @@ namespace mantis::sim {
 class EventLoop {
  public:
   using Callback = std::function<void()>;
+
+  /// The stack-wide telemetry bundle (metrics + tracer). Lazily created;
+  /// the tracer's clock is this loop's virtual clock. Everything attached
+  /// to this loop (switch, driver, agent, legacy clients) records here.
+  telemetry::Telemetry& telemetry();
 
   /// Current virtual time.
   Time now() const { return now_; }
@@ -64,6 +71,7 @@ class EventLoop {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
 };
 
 }  // namespace mantis::sim

@@ -43,10 +43,19 @@ class Packet {
 
   std::size_t field_count() const { return values_.size(); }
 
+  /// Telemetry bookkeeping (full virtual-ns precision; the intrinsic
+  /// timestamp fields are microsecond-truncated like the hardware's).
+  Time arrival_time() const { return arrival_time_; }
+  void set_arrival_time(Time t) { arrival_time_ = t; }
+  Time enqueue_time() const { return enqueue_time_; }
+  void set_enqueue_time(Time t) { enqueue_time_ = t; }
+
  private:
   std::vector<std::uint64_t> values_;
   std::uint32_t length_bytes_;
   bool dropped_ = false;
+  Time arrival_time_ = -1;
+  Time enqueue_time_ = -1;
 };
 
 /// Convenience: packet factory bound to a program, with named-field setters.

@@ -34,6 +34,20 @@ Switch::Switch(EventLoop& loop, const p4::Program& prog, SwitchConfig cfg)
       loop, cfg.num_ports, cfg.port_gbps, cfg.queue_capacity_bytes,
       [this](Packet pkt, int port) { on_dequeue(std::move(pkt), port); });
 
+  auto& tel = loop.telemetry();
+  rx_ctr_ = &tel.metrics().counter("sim.switch.rx_pkts");
+  tx_ctr_ = &tel.metrics().counter("sim.switch.tx_pkts");
+  rx_drop_ctr_ = &tel.metrics().counter("sim.switch.rx_drops");
+  recirc_ctr_ = &tel.metrics().counter("sim.switch.recirculations");
+  telemetry::HistogramOptions stage;
+  stage.first_bucket = 64;  // ns
+  ingress_stage_hist_ =
+      &tel.metrics().histogram("sim.pipeline.ingress_stage_ns", stage);
+  tm_stage_hist_ = &tel.metrics().histogram("sim.pipeline.tm_stage_ns", stage);
+  egress_stage_hist_ =
+      &tel.metrics().histogram("sim.pipeline.egress_stage_ns", stage);
+  transit_hist_ = &tel.metrics().histogram("sim.switch.transit_ns", stage);
+
   f_ingress_port_ = prog_.fields.require(p4::intrinsics::kIngressPort);
   f_egress_spec_ = prog_.fields.require(p4::intrinsics::kEgressSpec);
   f_egress_port_ = prog_.fields.require(p4::intrinsics::kEgressPort);
@@ -75,8 +89,14 @@ const TableState& Switch::table(const std::string& name) const {
 void Switch::inject_internal(Packet pkt, int port, bool recirculated) {
   expects(port >= 0 && port < cfg_.num_ports, "Switch::inject: bad port");
   auto& stats = port_stats_[static_cast<std::size_t>(port)];
+  if (recirculated) {
+    recirc_ctr_->add();
+  } else if (pkt.arrival_time() < 0) {
+    pkt.set_arrival_time(loop_->now());
+  }
   if (!rx_up_[static_cast<std::size_t>(port)]) {
     ++stats.rx_drops;
+    rx_drop_ctr_->add();
     return;
   }
   // Packet-rate admission: each pipeline pass (recirculations included)
@@ -89,12 +109,14 @@ void Switch::inject_internal(Packet pkt, int port, bool recirculated) {
         slot * static_cast<Duration>(cfg_.ingress_buffer_pkts);
     if (!recirculated && pipeline_free_at_ > now + backlog_limit) {
       ++stats.rx_drops;
+      rx_drop_ctr_->add();
       return;
     }
     pipeline_free_at_ = std::max(pipeline_free_at_, now) + slot;
   }
   ++stats.rx_pkts;
   stats.rx_bytes += pkt.length_bytes();
+  rx_ctr_->add();
 
   const p4::Width w9 = 9, w19 = 19, w32 = 32, w48 = 48;
   pkt.set(f_ingress_port_, static_cast<std::uint64_t>(port), w9);
@@ -104,9 +126,19 @@ void Switch::inject_internal(Packet pkt, int port, bool recirculated) {
   // The ingress pipeline executes atomically at arrival time: control-plane
   // operations are separate events, so a packet never observes a half-applied
   // multi-entry update — matching real RMT per-packet consistency.
+#if MANTIS_TELEMETRY_ENABLED
+  // The ingress pass occupies [now, now + ingress_latency) in the model (the
+  // table walk itself is atomic at arrival; the latency is the schedule_in
+  // delay below), so the span covers the modeled window.
+  loop_->telemetry().tracer().complete(
+      "pkt.ingress_pipeline", "sim", telemetry::Track::kSwitch, loop_->now(),
+      loop_->now() + cfg_.ingress_latency, "port", port);
+#endif
+  ingress_stage_hist_->record(static_cast<double>(cfg_.ingress_latency));
   ingress_->process(pkt);
   if (pkt.dropped()) {
     ++stats.rx_drops;
+    rx_drop_ctr_->add();
     return;
   }
 
@@ -128,6 +160,7 @@ void Switch::inject_internal(Packet pkt, int port, bool recirculated) {
   pkt.set(f_enq_qdepth_, tm_->queue_depth_pkts(out), w19);
   loop_->schedule_in(cfg_.ingress_latency,
                      [this, out, p = std::move(pkt)]() mutable {
+                       p.set_enqueue_time(loop_->now());
                        tm_->enqueue(std::move(p), out);
                      });
 }
@@ -138,12 +171,27 @@ void Switch::on_dequeue(Packet pkt, int port) {
   pkt.set(f_deq_qdepth_, tm_->queue_depth_pkts(port), w19);
   pkt.set(f_egr_ts_, static_cast<std::uint64_t>(loop_->now() / 1000), w48);
 
+  if (pkt.enqueue_time() >= 0) {
+    tm_stage_hist_->record(static_cast<double>(loop_->now() - pkt.enqueue_time()));
+  }
+  egress_stage_hist_->record(static_cast<double>(cfg_.egress_latency));
+#if MANTIS_TELEMETRY_ENABLED
+  loop_->telemetry().tracer().complete(
+      "pkt.egress_pipeline", "sim", telemetry::Track::kSwitch, loop_->now(),
+      loop_->now() + cfg_.egress_latency, "port", port);
+#endif
+
   egress_->process(pkt);
   if (pkt.dropped()) return;
 
   auto& stats = port_stats_[static_cast<std::size_t>(port)];
   ++stats.tx_pkts;
   stats.tx_bytes += pkt.length_bytes();
+  tx_ctr_->add();
+  if (pkt.arrival_time() >= 0) {
+    transit_hist_->record(static_cast<double>(
+        loop_->now() + cfg_.egress_latency - pkt.arrival_time()));
+  }
   if (on_transmit_) {
     loop_->schedule_in(cfg_.egress_latency,
                        [this, port, p = std::move(pkt)]() {

@@ -106,6 +106,18 @@ class Switch {
 
   Time pipeline_free_at_ = 0;  ///< pipeline_pps admission bookkeeping
 
+  // Cached telemetry sinks (owned by the loop's registry): per-stage packet
+  // latency (ingress pipeline, TM residency, egress pipeline) plus the
+  // end-to-end switch transit time, and rx/tx/drop counters.
+  telemetry::Counter* rx_ctr_;
+  telemetry::Counter* tx_ctr_;
+  telemetry::Counter* rx_drop_ctr_;
+  telemetry::Counter* recirc_ctr_;
+  telemetry::Histogram* ingress_stage_hist_;
+  telemetry::Histogram* tm_stage_hist_;
+  telemetry::Histogram* egress_stage_hist_;
+  telemetry::Histogram* transit_hist_;
+
   // Cached intrinsic field ids.
   p4::FieldId f_ingress_port_;
   p4::FieldId f_egress_spec_;

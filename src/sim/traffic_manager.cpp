@@ -16,6 +16,27 @@ TrafficManager::TrafficManager(EventLoop& loop, int num_ports, double port_gbps,
   expects(num_ports > 0, "TrafficManager: need at least one port");
   expects(port_gbps > 0, "TrafficManager: port rate must be positive");
   expects(static_cast<bool>(deliver_), "TrafficManager: deliver callback required");
+
+  auto& tel = loop.telemetry();
+  telemetry::HistogramOptions depth;
+  depth.first_bucket = 1;  // packets; depths are small integers
+  depth_hist_ = &tel.metrics().histogram("sim.tm.queue_depth_pkts", depth);
+  enq_ctr_ = &tel.metrics().counter("sim.tm.enq_pkts");
+  deq_ctr_ = &tel.metrics().counter("sim.tm.deq_pkts");
+  drop_ctr_ = &tel.metrics().counter("sim.tm.tail_drops");
+}
+
+telemetry::Gauge& TrafficManager::port_depth_gauge(int port, PortQueue& q) {
+  if (q.depth_gauge == nullptr) {
+    q.depth_gauge = &loop_->telemetry().metrics().gauge(
+        "sim.tm.port" + std::to_string(port) + ".queue_depth_pkts");
+  }
+  return *q.depth_gauge;
+}
+
+void TrafficManager::record_depth(int port, PortQueue& q) {
+  depth_hist_->record(static_cast<double>(q.packets.size()));
+  port_depth_gauge(port, q).set(static_cast<double>(q.packets.size()));
 }
 
 TrafficManager::PortQueue& TrafficManager::queue(int port) {
@@ -37,11 +58,17 @@ void TrafficManager::enqueue(Packet pkt, int port) {
   auto& q = queue(port);
   if (!q.up || q.bytes + pkt.length_bytes() > capacity_bytes_) {
     ++q.stats.tail_drops;
+    drop_ctr_->add();
+    MANTIS_INSTANT(loop_->telemetry().tracer(), "tm.tail_drop", "sim",
+                   telemetry::Track::kTrafficManager, loop_->now(), "port",
+                   port);
     return;
   }
   q.bytes += pkt.length_bytes();
   ++q.stats.enq_pkts;
+  enq_ctr_->add();
   q.packets.push_back(std::move(pkt));
+  record_depth(port, q);
   if (!q.busy) start_service(port);
 }
 
@@ -58,6 +85,8 @@ void TrafficManager::start_service(int port) {
     pq.bytes -= pkt.length_bytes();
     ++pq.stats.deq_pkts;
     pq.stats.deq_bytes += pkt.length_bytes();
+    deq_ctr_->add();
+    record_depth(port, pq);
     pq.busy = false;
     const bool was_up = pq.up;
     // Note: `pq` may dangle if deliver_ mutates ports; re-fetch afterwards.
@@ -79,8 +108,10 @@ void TrafficManager::set_port_up(int port, bool up) {
   q.up = up;
   if (!up) {
     q.stats.tail_drops += q.packets.size();
+    drop_ctr_->add(q.packets.size());
     q.packets.clear();
     q.bytes = 0;
+    record_depth(port, q);
   }
 }
 

@@ -52,6 +52,9 @@ class TrafficManager {
     bool busy = false;
     bool up = true;
     PortStats stats;
+    /// Lazily bound per-port depth gauge (created on first enqueue so idle
+    /// ports do not clutter the registry).
+    telemetry::Gauge* depth_gauge = nullptr;
   };
 
   EventLoop* loop_;
@@ -60,6 +63,14 @@ class TrafficManager {
   Deliver deliver_;
   std::vector<PortQueue> queues_;
 
+  // Cached telemetry sinks.
+  telemetry::Histogram* depth_hist_;
+  telemetry::Counter* enq_ctr_;
+  telemetry::Counter* deq_ctr_;
+  telemetry::Counter* drop_ctr_;
+
+  telemetry::Gauge& port_depth_gauge(int port, PortQueue& q);
+  void record_depth(int port, PortQueue& q);
   void start_service(int port);
   PortQueue& queue(int port);
   const PortQueue& queue(int port) const;

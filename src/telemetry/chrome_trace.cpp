@@ -1,0 +1,69 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/metrics.hpp"  // json_escape, write_text_file
+
+namespace mantis::telemetry {
+
+namespace {
+
+/// Virtual ns -> trace microseconds, with sub-us precision preserved.
+std::string us_from_ns(std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000) : ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::ostringstream out;
+  out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
+
+  bool first = true;
+  auto emit_sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Lane names (chrome "thread_name" metadata events).
+  for (std::size_t t = 0; t < kNumTracks; ++t) {
+    emit_sep();
+    out << R"({"ph": "M", "pid": 0, "tid": )" << t
+        << R"(, "name": "thread_name", "args": {"name": ")"
+        << track_name(static_cast<Track>(t)) << "\"}}";
+  }
+
+  for (const auto& ev : tracer.events()) {
+    emit_sep();
+    out << "{\"name\": \"" << json_escape(ev.name) << "\", \"cat\": \""
+        << json_escape(ev.category) << "\", \"ph\": \""
+        << (ev.phase == TraceEvent::Phase::kComplete ? "X" : "i")
+        << "\", \"pid\": 0, \"tid\": " << static_cast<unsigned>(ev.track)
+        << ", \"ts\": " << us_from_ns(ev.vt_begin);
+    if (ev.phase == TraceEvent::Phase::kComplete) {
+      out << ", \"dur\": " << us_from_ns(ev.vt_dur);
+    } else {
+      out << ", \"s\": \"t\"";
+    }
+    out << ", \"args\": {\"wall_ns\": " << ev.wall_ns;
+    if (ev.arg_name != nullptr) {
+      out << ", \"" << json_escape(ev.arg_name) << "\": " << ev.arg;
+    }
+    out << "}}";
+  }
+
+  out << "\n]\n}\n";
+  return out.str();
+}
+
+void write_chrome_trace(const std::string& path, const Tracer& tracer) {
+  write_text_file(path, chrome_trace_json(tracer));
+}
+
+}  // namespace mantis::telemetry

@@ -1,0 +1,21 @@
+// Chrome trace_event JSON exporter: serializes a Tracer's retained events
+// into the format chrome://tracing and Perfetto load directly. Virtual time
+// maps to the trace timeline (ts/dur, microseconds); the wall-clock capture
+// instant rides along as an event argument.
+#pragma once
+
+#include <string>
+
+#include "telemetry/trace.hpp"
+
+namespace mantis::telemetry {
+
+/// Serializes the trace: {"displayTimeUnit":"ns","traceEvents":[...]}.
+/// Tracks become named pseudo-threads of pid 0. Complete events use ph "X",
+/// instants ph "i" (thread scope).
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Writes chrome_trace_json to `path`; throws UserError on I/O failure.
+void write_chrome_trace(const std::string& path, const Tracer& tracer);
+
+}  // namespace mantis::telemetry

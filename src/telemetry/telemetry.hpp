@@ -1,0 +1,36 @@
+// The per-stack telemetry bundle: one MetricsRegistry + one Tracer, owned by
+// the sim::EventLoop so every actor sharing a virtual clock also shares one
+// observability sink (agent, driver channel, switch, traffic manager, legacy
+// clients). Standalone tools (mantisc) can own a bundle directly; the tracer
+// then times against wall clock.
+#pragma once
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace mantis::telemetry {
+
+class Telemetry {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Convenience for the --metrics flag: a bare registry snapshot wrapped in
+  /// the {bench, params, metrics} report schema.
+  void write_metrics_json(const std::string& path, const std::string& name,
+                          const ReportParams& params = {}) const {
+    write_text_file(path, report_json(name, params, metrics_));
+  }
+  void write_trace_json(const std::string& path) const {
+    write_chrome_trace(path, tracer_);
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace mantis::telemetry

@@ -1,0 +1,125 @@
+#include "telemetry/trace.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace mantis::telemetry {
+
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+const char* track_name(Track t) {
+  switch (t) {
+    case Track::kAgent: return "agent";
+    case Track::kDriverChannel: return "driver.channel";
+    case Track::kSwitch: return "switch";
+    case Track::kTrafficManager: return "traffic_manager";
+    case Track::kLegacy: return "legacy";
+    case Track::kHost: return "host";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity), wall_epoch_ns_(steady_now_ns()) {
+  expects(capacity > 0, "Tracer: capacity must be positive");
+}
+
+void Tracer::set_enabled(bool on) {
+  enabled_ = on;
+  if (on && ring_.capacity() < capacity_) ring_.reserve(capacity_);
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  expects(capacity > 0, "Tracer: capacity must be positive");
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  recorded_ = 0;
+  if (enabled_) ring_.reserve(capacity_);
+}
+
+void Tracer::set_clock(std::function<Time()> now) { clock_ = std::move(now); }
+
+Time Tracer::now() const {
+  if (clock_) return clock_();
+  return steady_now_ns() - wall_epoch_ns_;
+}
+
+std::int64_t Tracer::wall_now_ns() const {
+  return steady_now_ns() - wall_epoch_ns_;
+}
+
+void Tracer::push(TraceEvent ev) {
+  ev.wall_ns = wall_now_ns();
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    // Ring wrap: slot of the oldest event.
+    ring_[recorded_ % capacity_] = ev;
+  }
+  ++recorded_;
+}
+
+void Tracer::complete(const char* name, const char* category, Track track,
+                      Time vt_begin, Time vt_end, const char* arg_name,
+                      std::int64_t arg) {
+  if (!enabled_) return;
+  expects(vt_end >= vt_begin, "Tracer::complete: negative span duration");
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = TraceEvent::Phase::kComplete;
+  ev.track = track;
+  ev.vt_begin = vt_begin;
+  ev.vt_dur = vt_end - vt_begin;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  push(ev);
+}
+
+void Tracer::instant(const char* name, const char* category, Track track,
+                     Time at, const char* arg_name, std::int64_t arg) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.track = track;
+  ev.vt_begin = at;
+  ev.vt_dur = 0;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  push(ev);
+}
+
+std::size_t Tracer::size() const { return ring_.size(); }
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Oldest slot is where the next overwrite would land.
+    const std::size_t head = recorded_ % capacity_;
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace mantis::telemetry

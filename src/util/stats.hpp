@@ -54,6 +54,32 @@ class Samples {
   void ensure_sorted() const;
 };
 
+/// P-square (P²) streaming quantile estimator (Jain & Chlamtac 1985):
+/// maintains five markers and adjusts them with parabolic interpolation, so
+/// one quantile is tracked in O(1) memory regardless of stream length. Used
+/// by telemetry histograms to report percentiles without retaining samples.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.99 for the 99th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double q() const { return q_; }
+  /// Current estimate. Exact while fewer than 5 samples seen. Throws when
+  /// empty.
+  double value() const;
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  double heights_[5] = {};   ///< marker heights
+  double pos_[5] = {};       ///< actual marker positions (1-based)
+  double desired_[5] = {};   ///< desired marker positions
+  double increment_[5] = {}; ///< desired-position increments per sample
+};
+
 /// Median of a span of values (copies; input untouched). Throws when empty.
 double median_of(std::vector<double> values);
 

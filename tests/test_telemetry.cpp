@@ -1,0 +1,341 @@
+// Tests for src/telemetry: metrics (histograms with P² streaming quantiles),
+// the virtual-time tracer (ring buffer, spans, instants), the Chrome trace
+// exporter, and the full-stack integration (a dialogue iteration produces
+// the §6 phase spans in causal virtual-time order).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mantis {
+namespace {
+
+using telemetry::Histogram;
+using telemetry::HistogramOptions;
+using telemetry::MetricsRegistry;
+using telemetry::TraceEvent;
+using telemetry::Tracer;
+using telemetry::Track;
+
+// Cheap well-formedness: braces/brackets balance outside string literals.
+void expect_balanced_json(const std::string& json) {
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// ---------------------------------------------------------------------------
+// P² streaming quantiles
+// ---------------------------------------------------------------------------
+
+TEST(P2Quantile, SmallSampleIsExact) {
+  P2Quantile q(0.5);
+  for (const double v : {5.0, 1.0, 3.0}) q.add(v);
+  EXPECT_EQ(q.count(), 3u);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);  // exact median of {1,3,5}
+}
+
+TEST(P2Quantile, TracksUniformMedianClosely) {
+  Rng rng(42);
+  P2Quantile p50(0.5), p90(0.9), p99(0.99);
+  std::vector<double> all;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = static_cast<double>(rng.uniform(1'000'000));
+    p50.add(v);
+    p90.add(v);
+    p99.add(v);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  auto exact = [&](double q) { return all[static_cast<std::size_t>(q * (all.size() - 1))]; };
+  // P² on a uniform distribution stays within ~2% of the exact quantile.
+  EXPECT_NEAR(p50.value(), exact(0.5), 0.02 * 1e6);
+  EXPECT_NEAR(p90.value(), exact(0.9), 0.02 * 1e6);
+  EXPECT_NEAR(p99.value(), exact(0.99), 0.02 * 1e6);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketsCountGeometrically) {
+  HistogramOptions opts;
+  opts.first_bucket = 10;  // bounds: 10, 20, 40, 80
+  opts.buckets = 4;
+  Histogram h(opts);
+  h.record(5);    // <= 10
+  h.record(10);   // <= 10 (bounds are inclusive upper)
+  h.record(15);   // <= 20
+  h.record(70);   // <= 80
+  h.record(1e9);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);  // overflow slot
+  EXPECT_DOUBLE_EQ(h.bucket_upper_bound(3), 80.0);
+  EXPECT_DOUBLE_EQ(h.stats().min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.stats().max(), 1e9);
+}
+
+TEST(Histogram, StreamingQuantilesMatchRawWithinTolerance) {
+  HistogramOptions streaming;
+  HistogramOptions raw_opts;
+  raw_opts.keep_raw = true;
+  Histogram stream(streaming), raw(raw_opts);
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    // Bimodal: the dialogue-latency shape (fast clean iterations + slow
+    // update-heavy ones).
+    const double v = (i % 4 == 0) ? 40'000.0 + static_cast<double>(rng.uniform(5'000))
+                                  : 10'000.0 + static_cast<double>(rng.uniform(2'000));
+    stream.record(v);
+    raw.record(v);
+  }
+  EXPECT_NEAR(stream.quantile(0.5), raw.quantile(0.5), 0.05 * raw.quantile(0.5));
+  EXPECT_NEAR(stream.quantile(0.99), raw.quantile(0.99),
+              0.05 * raw.quantile(0.99));
+}
+
+TEST(Histogram, KeepRawGivesExactPercentilesAndView) {
+  HistogramOptions opts;
+  opts.keep_raw = true;
+  Histogram h(opts);
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_EQ(h.raw().count(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), h.raw().median());
+  EXPECT_THROW(Histogram().raw(), PreconditionError);
+}
+
+TEST(MetricsRegistry, GetOrCreateAndKindConflicts) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("x.ops");
+  c.add(3);
+  EXPECT_EQ(&reg.counter("x.ops"), &c);  // stable pointer
+  EXPECT_EQ(reg.counter("x.ops").value(), 3u);
+  EXPECT_THROW(reg.gauge("x.ops"), PreconditionError);
+  EXPECT_THROW(reg.histogram("x.ops"), PreconditionError);
+  EXPECT_EQ(reg.find_counter("x.ops")->value(), 3u);
+  EXPECT_EQ(reg.find_gauge("x.ops"), nullptr);
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(7);
+  reg.gauge("b.depth").set(3.25);
+  auto& h = reg.histogram("c.latency_ns");
+  for (int i = 0; i < 100; ++i) h.record(1000.0 * i);
+  const auto json = reg.snapshot_json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  telemetry::ReportParams params;
+  params.set("trials", std::int64_t{16});
+  params.set("label", "a \"quoted\" name");
+  const auto report = telemetry::report_json("unit_test", params, reg);
+  expect_balanced_json(report);
+  EXPECT_NE(report.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(report.find("\"trials\": 16"), std::string::npos);
+  EXPECT_NE(report.find("a \\\"quoted\\\" name"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer ring buffer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, DisabledByDefaultAndRecordsNothing) {
+  Tracer t;
+  t.complete("x", "c", Track::kAgent, 0, 10);
+  t.instant("y", "c", Track::kAgent, 5);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Tracer, RingBufferWrapsOldestFirst) {
+  Tracer t(8);
+  t.set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    t.complete("ev", "c", Track::kAgent, i * 100, i * 100 + 50, "i", i);
+  }
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.recorded(), 20u);
+  EXPECT_EQ(t.dropped(), 12u);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 8u);
+  // Oldest retained is #12; order is strictly oldest -> newest.
+  for (std::size_t k = 0; k < evs.size(); ++k) {
+    EXPECT_EQ(evs[k].arg, static_cast<std::int64_t>(12 + k));
+    EXPECT_EQ(evs[k].vt_begin, static_cast<Time>((12 + k) * 100));
+    EXPECT_EQ(evs[k].vt_dur, 50);
+  }
+}
+
+TEST(Tracer, ScopedSpanUsesInstalledClock) {
+  Tracer t;
+  Time now = 1000;
+  t.set_clock([&now] { return now; });
+  t.set_enabled(true);
+  {
+    telemetry::ScopedSpan span(t, "work", "c", Track::kHost);
+    now = 1750;
+  }
+  ASSERT_EQ(t.size(), 1u);
+  const auto evs = t.events();
+  EXPECT_EQ(evs[0].vt_begin, 1000);
+  EXPECT_EQ(evs[0].vt_dur, 750);
+  EXPECT_EQ(evs[0].phase, TraceEvent::Phase::kComplete);
+}
+
+TEST(Tracer, ClearAndCapacityReset) {
+  Tracer t(4);
+  t.set_enabled(true);
+  for (int i = 0; i < 6; ++i) t.instant("i", "c", Track::kSwitch, i);
+  EXPECT_EQ(t.size(), 4u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+  t.set_capacity(2);
+  t.set_enabled(true);
+  for (int i = 0; i < 3; ++i) t.instant("i", "c", Track::kSwitch, i);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, EmitsWellFormedJsonWithTrackNames) {
+  Tracer t;
+  t.set_enabled(true);
+  t.complete("span \"a\"", "cat", Track::kAgent, 1000, 3500, "n", 4);
+  t.instant("mark", "cat", Track::kTrafficManager, 2000);
+  const auto json = telemetry::chrome_trace_json(t);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"agent\""), std::string::npos);
+  EXPECT_NE(json.find("\"traffic_manager\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  // ts/dur are microseconds: 1000ns begin -> 1.000us, 2500ns dur -> 2.500us.
+  EXPECT_NE(json.find("\"ts\": 1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 2.500"), std::string::npos);
+  EXPECT_NE(json.find("span \\\"a\\\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack integration
+// ---------------------------------------------------------------------------
+
+#if MANTIS_TELEMETRY_ENABLED
+TEST(TelemetryIntegration, DialogueIterationEmitsPhaseSpansInCausalOrder) {
+  test::Stack stack(test::figure1_style_source());
+  stack.loop.telemetry().tracer().set_enabled(true);
+  stack.agent->run_prologue();
+  stack.loop.telemetry().tracer().clear();  // isolate one iteration
+  stack.agent->dialogue_iteration();
+
+  const auto evs = stack.loop.telemetry().tracer().events();
+  const std::vector<std::string> phases = {
+      "dialogue.mv_flip", "dialogue.measure", "dialogue.react",
+      "dialogue.vv_commit", "dialogue.shadow_fill"};
+  Time prev_end = -1;
+  for (const auto& name : phases) {
+    const auto it = std::find_if(evs.begin(), evs.end(), [&](const TraceEvent& e) {
+      return name == e.name;
+    });
+    ASSERT_NE(it, evs.end()) << "missing span " << name;
+    EXPECT_EQ(it->track, Track::kAgent);
+    EXPECT_GE(it->vt_dur, 0) << name;
+    // Causal order: each phase begins no earlier than the previous ended.
+    // (prepare sits between react and vv_commit; the five named phases are
+    // still monotone.)
+    EXPECT_GE(it->vt_begin, prev_end) << name;
+    prev_end = it->vt_begin + it->vt_dur;
+  }
+
+  // The enclosing iteration span covers all five phases.
+  const auto iter = std::find_if(evs.begin(), evs.end(), [](const TraceEvent& e) {
+    return std::string("dialogue.iteration") == e.name;
+  });
+  ASSERT_NE(iter, evs.end());
+  EXPECT_GE(prev_end, iter->vt_begin);
+  EXPECT_LE(prev_end, iter->vt_begin + iter->vt_dur);
+
+  // Driver-channel occupancy spans ride along on their own track.
+  EXPECT_TRUE(std::any_of(evs.begin(), evs.end(), [](const TraceEvent& e) {
+    return e.track == Track::kDriverChannel;
+  }));
+}
+#endif  // MANTIS_TELEMETRY_ENABLED
+
+TEST(TelemetryIntegration, AgentAccessorsAreViewsOverRegistry) {
+  test::Stack stack(test::figure1_style_source());
+  stack.agent->run_prologue();
+  stack.agent->run_dialogue(5);
+
+  const auto& m = stack.loop.telemetry().metrics();
+  const auto* iters = m.find_counter("agent.dialogue.iterations");
+  const auto* busy = m.find_counter("agent.dialogue.busy_ns");
+  const auto* hist = m.find_histogram("agent.dialogue.iteration_ns");
+  ASSERT_NE(iters, nullptr);
+  ASSERT_NE(busy, nullptr);
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(stack.agent->iterations(), iters->value());
+  EXPECT_EQ(stack.agent->iterations(), 5u);
+  EXPECT_EQ(static_cast<std::uint64_t>(stack.agent->busy_time()), busy->value());
+  EXPECT_EQ(stack.agent->iteration_latencies().count(), hist->raw().count());
+  EXPECT_EQ(hist->count(), 5u);
+
+  // Phase histograms account for every iteration too.
+  for (const char* name :
+       {"agent.phase.mv_flip_ns", "agent.phase.measure_ns",
+        "agent.phase.react_ns", "agent.phase.update_ns"}) {
+    const auto* ph = m.find_histogram(name);
+    ASSERT_NE(ph, nullptr) << name;
+    EXPECT_EQ(ph->count(), 5u) << name;
+  }
+
+  // Driver/switch instrumentation registered under the same registry.
+  EXPECT_NE(m.find_counter("driver.channel.ops"), nullptr);
+  EXPECT_NE(m.find_histogram("driver.channel.occupancy_ns"), nullptr);
+}
+
+TEST(TelemetryIntegration, MetricsSnapshotExportsDialogueLatency) {
+  test::Stack stack(test::figure1_style_source());
+  stack.agent->run_prologue();
+  stack.agent->run_dialogue(3);
+  const auto json = stack.loop.telemetry().metrics().snapshot_json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"agent.dialogue.iteration_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"driver.channel.occupancy_ns\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mantis
