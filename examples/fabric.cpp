@@ -1,0 +1,86 @@
+// Fabric gray-failure demo: a 2-leaf/2-spine fabric where every switch runs
+// the gray-failure Mantis program under its own agent. A FaultInjector
+// silently degrades the leaf-spine link the sender's traffic crosses;
+// detection happens from real missing heartbeats, the reroute rewrites the
+// leaf's route table, and restoration is measured from actual end-to-end
+// packet delivery resuming over the alternate spine.
+//
+//   $ ./example_fabric
+//   $ ./example_fabric --seed 7 --metrics m.json
+//
+// Deterministic: the same seed reproduces the event log and metrics
+// byte-for-byte. Exits nonzero if delivery never restores (smoke check).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/scenarios.hpp"
+#include "telemetry/telemetry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mantis;
+
+  std::string metrics_path;
+  net::GrayScenarioConfig cfg;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      cfg.seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--loss") == 0) {
+      cfg.fault_loss = std::strtod(argv[i + 1], nullptr);
+    }
+    if (std::strcmp(argv[i], "--pacing-us") == 0) {
+      cfg.pacing = std::strtoll(argv[i + 1], nullptr, 10) * kMicrosecond;
+    }
+  }
+
+  net::GrayFabricScenario scenario(cfg);
+  auto res = scenario.run();
+
+  std::printf("leaf-spine 2x2, seed %llu: gray loss %.2f on %s (leaf0 port %d) "
+              "at t=%lldns\n\n",
+              static_cast<unsigned long long>(cfg.seed), cfg.fault_loss,
+              res.fault_link_name.c_str(), res.faulted_port,
+              static_cast<long long>(res.fault_at));
+  std::printf("--- event log ---\n");
+  for (const auto& e : res.events) std::printf("%s\n", e.c_str());
+
+  auto us = [](Duration d) { return static_cast<double>(d) / kMicrosecond; };
+  std::printf("\ndetect  +%.1fus  reroute +%.1fus  delivery restored +%.1fus\n",
+              us(res.detection_latency()),
+              res.rerouted_at < 0 ? -1.0 : us(res.rerouted_at - res.fault_at),
+              us(res.restoration_latency()));
+  std::printf("delivered %llu/%llu packets (%llu before the fault)\n",
+              static_cast<unsigned long long>(res.delivered),
+              static_cast<unsigned long long>(res.sent),
+              static_cast<unsigned long long>(res.delivered_before_fault));
+
+  // The degraded link's data direction drains once the reroute lands (only
+  // the residual heartbeats remain on it).
+  const auto& metrics = scenario.loop().telemetry().metrics();
+  for (const char* dir : {"ab", "ba"}) {
+    const auto* g = metrics.find_gauge("net.link." + res.fault_link_name + "." +
+                                       dir + ".util");
+    if (g != nullptr) {
+      std::printf("degraded link util (%s, final window): %.4f\n", dir,
+                  g->value());
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    telemetry::ReportParams params;
+    params.set("seed", static_cast<std::int64_t>(cfg.seed));
+    params.set("fault_loss", cfg.fault_loss);
+    scenario.loop().telemetry().write_metrics_json(metrics_path, "fabric_gray",
+                                                   params);
+    std::printf("metrics: %s\n", metrics_path.c_str());
+  }
+
+  if (!res.restored()) {
+    std::printf("FAIL: delivery never restored\n");
+    return 1;
+  }
+  return 0;
+}

@@ -6,12 +6,16 @@
 // plane's behaviour.
 //
 //   $ ./example_quickstart
-//   $ ./example_quickstart --trace t.json --metrics m.json
+//   $ ./example_quickstart --trace t.json --metrics m.json --seed 7
 //
 // --trace writes a Chrome trace_event JSON (chrome://tracing / Perfetto)
 // showing the dialogue phases and driver-channel occupancy in virtual time;
-// --metrics writes the stack's metrics snapshot (docs/TELEMETRY.md).
+// --metrics writes the stack's metrics snapshot (docs/TELEMETRY.md);
+// --seed draws the emulated queue depths from a seeded Rng (same seed =>
+// same argmax and same committed malleable value) instead of the fixed
+// single-cell default.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -21,6 +25,7 @@
 #include "driver/driver.hpp"
 #include "sim/switch.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -77,9 +82,15 @@ int main(int argc, char** argv) {
   using namespace mantis;
 
   std::string trace_path, metrics_path;
+  bool seeded = false;
+  std::uint64_t seed = 0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
     if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      seeded = true;
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
   }
 
   // 1. Compile P4R -> (malleable P4 program, bindings, reaction bodies).
@@ -106,8 +117,19 @@ int main(int argc, char** argv) {
 
   // 4. Emulate data-plane register state (queue depths) and run the
   //    interpreted reaction from the .p4r source in the dialogue loop.
-  sw.registers().write("qdepths__dup_", 2 * 7 + agent.mv(), 42);
-  sw.registers().write("qdepths__ts_", 2 * 7 + agent.mv(), 1);
+  //    With --seed, the depths come from a seeded Rng across all polled
+  //    cells (deterministic per seed); otherwise one fixed hot cell.
+  if (seeded) {
+    Rng rng(seed);
+    for (int i = 1; i <= 10; ++i) {
+      sw.registers().write("qdepths__dup_", 2 * i + agent.mv(),
+                           rng.uniform(100));
+      sw.registers().write("qdepths__ts_", 2 * i + agent.mv(), 1);
+    }
+  } else {
+    sw.registers().write("qdepths__dup_", 2 * 7 + agent.mv(), 42);
+    sw.registers().write("qdepths__ts_", 2 * 7 + agent.mv(), 1);
+  }
   agent.dialogue_iteration();
   std::printf("reaction committed ${value_var} = %llu (argmax register index)\n",
               static_cast<unsigned long long>(agent.scalar("value_var")));

@@ -1,9 +1,5 @@
 #include "apps/gray_failure.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <queue>
-
 #include "util/check.hpp"
 
 namespace mantis::apps {
@@ -91,81 +87,7 @@ reaction gf_react(reg hb_count_r[0:7], ing standard_metadata.ingress_global_time
 }
 
 // ---------------------------------------------------------------------------
-// Topology / Dijkstra
-// ---------------------------------------------------------------------------
-
-std::map<std::uint32_t, int> Topology::compute_routes(
-    const std::vector<bool>& port_down) const {
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(static_cast<std::size_t>(num_nodes), kInf);
-  std::vector<int> first_hop(static_cast<std::size_t>(num_nodes), -1);
-  using Item = std::pair<double, int>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  dist[0] = 0;
-  pq.emplace(0.0, 0);
-
-  auto relax = [&](int from, int to, int via_port_of_zero, double cost) {
-    if (dist[static_cast<std::size_t>(from)] + cost <
-        dist[static_cast<std::size_t>(to)]) {
-      dist[static_cast<std::size_t>(to)] =
-          dist[static_cast<std::size_t>(from)] + cost;
-      first_hop[static_cast<std::size_t>(to)] =
-          from == 0 ? via_port_of_zero : first_hop[static_cast<std::size_t>(from)];
-      pq.emplace(dist[static_cast<std::size_t>(to)], to);
-    }
-  };
-
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[static_cast<std::size_t>(u)]) continue;
-    for (const auto& link : links) {
-      // A down port of node 0 disables the link in both directions.
-      const bool usable =
-          !((link.a == 0 &&
-             static_cast<std::size_t>(link.port_a) < port_down.size() &&
-             port_down[static_cast<std::size_t>(link.port_a)]) ||
-            (link.b == 0 &&
-             static_cast<std::size_t>(link.port_b) < port_down.size() &&
-             port_down[static_cast<std::size_t>(link.port_b)]));
-      if (!usable) continue;
-      if (link.a == u) relax(u, link.b, link.port_a, link.cost);
-      if (link.b == u) relax(u, link.a, link.port_b, link.cost);
-    }
-  }
-
-  std::map<std::uint32_t, int> routes;
-  for (const auto& [addr, node] : dst_node) {
-    routes[addr] = dist[static_cast<std::size_t>(node)] == kInf
-                       ? -1
-                       : first_hop[static_cast<std::size_t>(node)];
-  }
-  return routes;
-}
-
-Topology Topology::fat_tree_slice(int fanout, int num_dsts) {
-  expects(fanout >= 2, "fat_tree_slice: need >= 2 uplinks");
-  Topology topo;
-  // node 0: this switch; nodes 1..fanout: aggregation neighbours;
-  // nodes fanout+1..fanout+num_dsts: destinations, each dual-homed to two
-  // consecutive aggregation nodes.
-  topo.num_nodes = 1 + fanout + num_dsts;
-  for (int a = 0; a < fanout; ++a) {
-    topo.links.push_back(Link{0, 1 + a, a, 0, 1.0});
-  }
-  for (int d = 0; d < num_dsts; ++d) {
-    const int node = 1 + fanout + d;
-    const int agg1 = 1 + (d % fanout);
-    const int agg2 = 1 + ((d + 1) % fanout);
-    topo.links.push_back(Link{agg1, node, 1 + d, 0, 1.0});
-    topo.links.push_back(Link{agg2, node, 1 + d, 0, 1.1});
-    topo.dst_node.emplace(0xc0a80000u + static_cast<std::uint32_t>(d), node);
-  }
-  return topo;
-}
-
-// ---------------------------------------------------------------------------
-// Reaction
+// Reaction (topology/Dijkstra now live in net/topology.cpp)
 // ---------------------------------------------------------------------------
 
 void GrayFailureState::install_initial_routes(agent::ReactionContext& ctx) {
@@ -173,7 +95,7 @@ void GrayFailureState::install_initial_routes(agent::ReactionContext& ctx) {
   below_streak.assign(static_cast<std::size_t>(cfg.num_ports), 0);
   port_down.assign(static_cast<std::size_t>(cfg.num_ports), false);
 
-  const auto routes = topo.compute_routes(port_down);
+  const auto routes = topo.compute_routes_from(self_node, port_down);
   for (const auto& [addr, port] : routes) {
     expects(port >= 0, "install_initial_routes: unreachable destination");
     p4::EntrySpec spec;
@@ -225,7 +147,7 @@ agent::Agent::NativeFn make_gray_failure_reaction(
     if (!newly_down) return;
 
     // Recompute shortest paths and rewrite entries whose first hop changed.
-    const auto routes = st.topo.compute_routes(st.port_down);
+    const auto routes = st.topo.compute_routes_from(st.self_node, st.port_down);
     for (const auto& [addr, port] : routes) {
       auto cur = st.current_port.find(addr);
       if (cur == st.current_port.end() || cur->second == port) continue;

@@ -15,35 +15,17 @@
 #include <vector>
 
 #include "agent/agent.hpp"
+#include "net/topology.hpp"
 
 namespace mantis::apps {
 
 std::string gray_failure_p4r_source();
 
-/// A small network around the monitored switch (node 0). Used for genuine
-/// route recomputation (Dijkstra), not just static backup flipping.
-struct Topology {
-  struct Link {
-    int a = 0;
-    int b = 0;
-    int port_a = 0;  ///< egress port on `a` toward `b`
-    int port_b = 0;
-    double cost = 1.0;
-  };
-  int num_nodes = 0;
-  std::vector<Link> links;
-  std::map<std::uint32_t, int> dst_node;  ///< destination address -> node
-
-  /// First-hop port (from node 0) per destination, avoiding down ports of
-  /// node 0. Unreachable destinations map to -1.
-  std::map<std::uint32_t, int> compute_routes(
-      const std::vector<bool>& port_down) const;
-
-  /// A two-tier test topology: `fanout` neighbours each reaching every
-  /// destination, destinations multi-homed so any single port failure is
-  /// survivable.
-  static Topology fat_tree_slice(int fanout, int num_dsts);
-};
+/// The modeled network around the monitored switch. Formerly a private
+/// struct here; now the shared fabric topology type (same `compute_routes`
+/// semantics — routes from node 0 — plus the generalized
+/// `compute_routes_from` the multi-switch fabric scenarios use).
+using Topology = net::Topology;
 
 struct GrayFailureConfig {
   int num_ports = 8;                  ///< monitored heartbeat ports
@@ -55,6 +37,9 @@ struct GrayFailureConfig {
 struct GrayFailureState {
   GrayFailureConfig cfg;
   Topology topo;
+  /// This switch's node id in `topo` (0 for the classic single-switch app;
+  /// the fabric harness runs one state per switch with its own node).
+  net::NodeId self_node = 0;
 
   std::vector<std::uint64_t> last_counts;
   std::uint64_t last_ts_us = 0;

@@ -149,6 +149,130 @@ reaction hp_react(reg egr_pkts_r[0:7]) {
 )P4R";
 }
 
+std::string hash_polarization_fabric_p4r_source(int ecmp_ports) {
+  expects(ecmp_ports >= 2, "hash_polarization_fabric_p4r_source: need >= 2");
+  // Same headers / malleable hash inputs / reaction as the single-switch
+  // program; the differences are the ECMP width (the switch's uplink count)
+  // and a post-ECMP exact route table for locally attached destinations.
+  std::string src = R"P4R(
+// Use case #3, fabric-truthful form: ECMP over the uplinks, exact routes
+// for local hosts, per-egress counters feeding the MAD reaction.
+header_type ipv4_t {
+  fields {
+    srcAddr : 32;
+    dstAddr : 32;
+    totalLen : 16;
+    protocol : 8;
+    ecn : 1;
+  }
+}
+header ipv4_t ipv4;
+
+header_type l4_t {
+  fields {
+    srcPort : 16;
+    dstPort : 16;
+  }
+}
+header l4_t l4;
+
+header_type hp_meta_t {
+  fields { c : 32; }
+}
+metadata hp_meta_t hp_meta;
+
+malleable field h_src {
+  width : 32;
+  init : ipv4.srcAddr;
+  alts { ipv4.srcAddr, ipv4.dstAddr }
+}
+malleable field h_dst {
+  width : 32;
+  init : ipv4.dstAddr;
+  alts { ipv4.dstAddr, ipv4.srcAddr }
+}
+malleable field h_l4 {
+  width : 16;
+  init : l4.srcPort;
+  alts { l4.srcPort, l4.dstPort }
+}
+
+field_list ecmp_fl {
+  ${h_src};
+  ${h_dst};
+  ${h_l4};
+  ipv4.protocol;
+}
+field_list_calculation ecmp_hash {
+  input { ecmp_fl; }
+  algorithm : crc32;
+  output_width : 16;
+}
+
+action ecmp_route() {
+  modify_field_with_hash_based_offset(standard_metadata.egress_spec, 0, ecmp_hash, ECMP_PORTS);
+}
+table ecmp {
+  actions { ecmp_route; }
+  default_action : ecmp_route;
+  size : 1;
+}
+
+// Local destinations (hosts, downlinks) override the ECMP choice.
+action set_egress(port) {
+  modify_field(standard_metadata.egress_spec, port);
+}
+table route {
+  reads { ipv4.dstAddr : exact; }
+  actions { set_egress; no_op; }
+  default_action : no_op;
+  size : 64;
+}
+
+register egr_pkts_r { width : 32; instance_count : 8; }
+
+action count_egr() {
+  register_read(hp_meta.c, egr_pkts_r, standard_metadata.egress_port);
+  add_to_field(hp_meta.c, 1);
+  register_write(egr_pkts_r, standard_metadata.egress_port, hp_meta.c);
+}
+table egr_tally {
+  actions { count_egr; }
+  default_action : count_egr;
+  size : 1;
+}
+
+control ingress {
+  apply(ecmp);
+  apply(route);
+}
+control egress {
+  apply(egr_tally);
+}
+
+reaction hp_react(reg egr_pkts_r[0:7]) {
+  static uint64_t last[8];
+  uint64_t loads[8];
+  uint64_t total = 0;
+  for (int p = 0; p < 8; ++p) {
+    loads[p] = egr_pkts_r[p] - last[p];
+    last[p] = egr_pkts_r[p];
+    total = total + loads[p];
+  }
+  if (total == 0) return;
+  static int streak = 0;
+  uint64_t mean = total / 8;
+  if (mean > 0) {
+    streak = streak + 1;
+  }
+}
+)P4R";
+  const std::string needle = "ECMP_PORTS";
+  const auto pos = src.find(needle);
+  src.replace(pos, needle.size(), std::to_string(ecmp_ports));
+  return src;
+}
+
 agent::Agent::NativeFn make_hash_pol_reaction(
     std::shared_ptr<HashPolState> state) {
   expects(state != nullptr, "make_hash_pol_reaction: null state");

@@ -21,6 +21,13 @@ namespace mantis::apps {
 
 std::string hash_polarization_p4r_source();
 
+/// Fabric variant: ECMP spreads over `ecmp_ports` ports (the switch's
+/// switch-facing uplinks, ports 0..ecmp_ports-1) and an exact `route` table
+/// applied *after* the ECMP stage overrides the egress for locally attached
+/// destinations (hosts / downlinks). Same malleable hash inputs and
+/// `hp_react` reaction as the single-switch program.
+std::string hash_polarization_fabric_p4r_source(int ecmp_ports);
+
 struct HashPolConfig {
   int num_ports = 8;
   /// MAD/mean ratio above which the load is considered imbalanced.

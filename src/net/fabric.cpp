@@ -1,0 +1,213 @@
+#include "net/fabric.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mantis::net {
+
+// ---------------------------------------------------------------------------
+// Host
+// ---------------------------------------------------------------------------
+
+void Host::send(sim::Packet pkt) {
+  if (pkt.origin_time() < 0) {
+    pkt.set_origin_time(fabric_->loop().now());
+  }
+  ++tx_pkts_;
+  ++fabric_->stats_.host_tx_pkts;
+  fabric_->host_tx_ctr_->add();
+  const int li = fabric_->topo_.link_at(node_, 0);
+  expects(li >= 0, "Host::send: host has no uplink");
+  fabric_->links_[static_cast<std::size_t>(li)]->transmit(node_, std::move(pkt));
+}
+
+void Host::receive(sim::Packet pkt) {
+  const Time now = fabric_->loop().now();
+  ++rx_pkts_;
+  last_rx_time_ = now;
+  ++fabric_->stats_.host_rx_pkts;
+  fabric_->host_rx_ctr_->add();
+  if (pkt.origin_time() >= 0) {
+    fabric_->transit_hist_->record(static_cast<double>(now - pkt.origin_time()));
+  }
+  if (on_receive_) on_receive_(pkt, now);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+Fabric::Fabric(sim::EventLoop& loop, const p4::Program& prog, Topology topo,
+               FabricConfig cfg)
+    : loop_(&loop), topo_(std::move(topo)), cfg_(std::move(cfg)) {
+  expects(topo_.num_switches >= 1,
+          "Fabric: topology must declare num_switches");
+  expects(topo_.num_switches <= topo_.num_nodes, "Fabric: bad num_switches");
+
+  auto& metrics = loop.telemetry().metrics();
+  host_tx_ctr_ = &metrics.counter("net.fabric.host_tx_pkts");
+  host_rx_ctr_ = &metrics.counter("net.fabric.host_rx_pkts");
+  unwired_ctr_ = &metrics.counter("net.fabric.unwired_tx_pkts");
+  telemetry::HistogramOptions transit;
+  transit.first_bucket = 256;  // ns; multi-hop transits run ~1-100us
+  transit_hist_ = &metrics.histogram("net.fabric.transit_ns", transit);
+
+  // Switches first: they own the program copy the factory() points at.
+  for (NodeId n = 0; n < topo_.num_switches; ++n) {
+    switches_.push_back(
+        std::make_unique<sim::Switch>(loop, prog, cfg_.switch_cfg));
+    switches_.back()->set_on_transmit(
+        [this, n](const sim::Packet& pkt, int port, Time) {
+          deliver_from(n, port, pkt);
+        });
+  }
+  // Hosts: reverse-map their address from dst_node (0 if unlisted).
+  for (NodeId n = topo_.num_switches; n < topo_.num_nodes; ++n) {
+    std::uint32_t addr = 0;
+    for (const auto& [a, node] : topo_.dst_node) {
+      if (node == n) {
+        addr = a;
+        break;
+      }
+    }
+    hosts_.emplace(n, std::unique_ptr<Host>(new Host(*this, n, addr)));
+  }
+
+  // Links, wired through arrive().
+  for (std::size_t i = 0; i < topo_.links.size(); ++i) {
+    const auto& spec = topo_.links[i];
+    LinkModel model = cfg_.default_link;
+    const auto ov = cfg_.link_overrides.find(i);
+    if (ov != cfg_.link_overrides.end()) {
+      model = ov->second;
+    } else {
+      model.seed = cfg_.base_seed + 2 * static_cast<std::uint64_t>(i);
+    }
+    const std::string name =
+        "n" + std::to_string(spec.a) + "-n" + std::to_string(spec.b);
+    links_.push_back(std::make_unique<Link>(
+        loop, name, Link::End{spec.a, spec.port_a}, Link::End{spec.b, spec.port_b},
+        model, [this](sim::Packet pkt, NodeId node, int port) {
+          arrive(std::move(pkt), node, port);
+        }));
+    port_link_.emplace(std::make_pair(spec.a, spec.port_a), i);
+    port_link_.emplace(std::make_pair(spec.b, spec.port_b), i);
+  }
+  last_busy_ns_.assign(links_.size(), {0, 0});
+}
+
+sim::Switch& Fabric::switch_at(NodeId n) {
+  expects(n >= 0 && n < topo_.num_switches, "Fabric::switch_at: not a switch");
+  return *switches_[static_cast<std::size_t>(n)];
+}
+
+Host& Fabric::host_at(NodeId n) {
+  auto it = hosts_.find(n);
+  if (it == hosts_.end()) {
+    throw UserError("Fabric::host_at: node " + std::to_string(n) +
+                    " is not a host");
+  }
+  return *it->second;
+}
+
+Host& Fabric::host_for(std::uint32_t addr) {
+  const auto it = topo_.dst_node.find(addr);
+  if (it == topo_.dst_node.end()) {
+    throw UserError("Fabric::host_for: unknown address");
+  }
+  return host_at(it->second);
+}
+
+Link& Fabric::link(std::size_t i) {
+  expects(i < links_.size(), "Fabric::link: bad index");
+  return *links_[i];
+}
+
+Link& Fabric::link_between(NodeId a, NodeId b) {
+  const int li = topo_.link_between(a, b);
+  if (li < 0) {
+    throw UserError("Fabric::link_between: no link n" + std::to_string(a) +
+                    "-n" + std::to_string(b));
+  }
+  return *links_[static_cast<std::size_t>(li)];
+}
+
+const sim::PacketFactory& Fabric::factory() const {
+  return switches_.front()->factory();
+}
+
+void Fabric::send_on_link(NodeId from, NodeId to, sim::Packet pkt) {
+  link_between(from, to).transmit(from, std::move(pkt));
+}
+
+namespace {
+
+/// Self-rescheduling emitter: each firing schedules a *copy* of itself (no
+/// shared_ptr cycle, so ASan's leak check stays clean and the loop drains
+/// once `until` passes).
+struct PeriodicTick {
+  sim::EventLoop* loop;
+  Link* link;
+  NodeId from;
+  Duration period;
+  Time until;
+  std::shared_ptr<std::function<sim::Packet()>> make;
+
+  void operator()() const {
+    if (loop->now() > until) return;
+    link->transmit(from, (*make)());
+    loop->schedule_in(period, *this);
+  }
+};
+
+}  // namespace
+
+void Fabric::start_periodic(NodeId from, NodeId to, Duration period,
+                            Time until, std::function<sim::Packet()> make) {
+  expects(period > 0, "Fabric::start_periodic: period must be positive");
+  PeriodicTick tick{loop_, &link_between(from, to), from, period, until,
+                    std::make_shared<std::function<sim::Packet()>>(std::move(make))};
+  loop_->schedule_in(period, tick);
+}
+
+void Fabric::deliver_from(NodeId node, int port, sim::Packet pkt) {
+  const auto it = port_link_.find({node, port});
+  if (it == port_link_.end()) {
+    ++stats_.unwired_tx_pkts;
+    unwired_ctr_->add();
+    return;
+  }
+  links_[it->second]->transmit(node, std::move(pkt));
+}
+
+void Fabric::arrive(sim::Packet pkt, NodeId node, int port) {
+  if (topo_.is_switch(node)) {
+    // Each switch measures its own transit; only origin_time spans hops.
+    pkt.set_arrival_time(-1);
+    pkt.set_enqueue_time(-1);
+    switch_at(node).inject(std::move(pkt), port);
+    return;
+  }
+  host_at(node).receive(std::move(pkt));
+}
+
+void Fabric::sample_telemetry() {
+  const Time now = loop_->now();
+  const Duration window = now - last_sample_time_;
+  if (window <= 0) return;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    for (int d = 0; d < 2; ++d) {
+      const auto busy = links_[i]->dir_stats(d).busy_ns;
+      const double util =
+          static_cast<double>(busy - last_busy_ns_[i][static_cast<std::size_t>(d)]) /
+          static_cast<double>(window);
+      last_busy_ns_[i][static_cast<std::size_t>(d)] = busy;
+      links_[i]->set_utilization(d, util);
+    }
+  }
+  last_sample_time_ = now;
+}
+
+}  // namespace mantis::net

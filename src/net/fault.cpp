@@ -1,0 +1,95 @@
+#include "net/fault.hpp"
+
+#include "util/check.hpp"
+
+namespace mantis::net {
+
+FaultInjector::FaultInjector(Fabric& fabric) : fabric_(&fabric) {
+  transitions_ctr_ =
+      &fabric.loop().telemetry().metrics().counter("net.fault.transitions");
+}
+
+void FaultInjector::note(const Link& link, const std::string& change) {
+  log_.push_back(std::to_string(fabric_->loop().now()) + " " + link.name() +
+                 " " + change);
+  transitions_ctr_->add();
+}
+
+void FaultInjector::apply_down(Link& link, int dir, bool down) {
+  link.set_down(down, dir);
+  note(link, down ? "down" : "up");
+}
+
+void FaultInjector::schedule(const FaultSpec& spec) {
+  expects(spec.link < fabric_->num_links(), "FaultInjector: bad link index");
+  expects(spec.direction >= -1 && spec.direction <= 1,
+          "FaultInjector: bad direction");
+  expects(spec.at >= fabric_->loop().now(),
+          "FaultInjector: fault scheduled in the past");
+  auto& loop = fabric_->loop();
+  Link* link = &fabric_->link(spec.link);
+  const int dir = spec.direction;
+
+  switch (spec.kind) {
+    case FaultSpec::Kind::kDown:
+      loop.schedule_at(spec.at, [this, link, dir] { apply_down(*link, dir, true); });
+      if (spec.duration > 0) {
+        loop.schedule_at(spec.at + spec.duration,
+                         [this, link, dir] { apply_down(*link, dir, false); });
+      }
+      break;
+
+    case FaultSpec::Kind::kGrayLoss: {
+      expects(spec.loss >= 0 && spec.loss <= 1, "FaultInjector: bad loss");
+      const double loss = spec.loss;
+      loop.schedule_at(spec.at, [this, link, dir, loss] {
+        link->set_loss(loss, dir);
+        note(*link, "loss=" + std::to_string(loss));
+      });
+      if (spec.duration > 0) {
+        // Restore the link's modeled ambient loss.
+        const double ambient = link->model().loss;
+        loop.schedule_at(spec.at + spec.duration, [this, link, dir, ambient] {
+          link->set_loss(ambient, dir);
+          note(*link, "loss=" + std::to_string(ambient) + " (restored)");
+        });
+      }
+      break;
+    }
+
+    case FaultSpec::Kind::kLatency: {
+      expects(spec.extra_latency > 0, "FaultInjector: bad extra latency");
+      const Duration extra = spec.extra_latency;
+      loop.schedule_at(spec.at, [this, link, dir, extra] {
+        link->set_extra_latency(extra, dir);
+        note(*link, "latency+=" + std::to_string(extra) + "ns");
+      });
+      if (spec.duration > 0) {
+        loop.schedule_at(spec.at + spec.duration, [this, link, dir] {
+          link->set_extra_latency(0, dir);
+          note(*link, "latency restored");
+        });
+      }
+      break;
+    }
+
+    case FaultSpec::Kind::kFlap: {
+      expects(spec.flap_period > 0 && spec.duration > 0,
+              "FaultInjector: flap needs period and duration");
+      bool down = true;
+      for (Time t = spec.at; t < spec.at + spec.duration;
+           t += spec.flap_period) {
+        const bool d = down;
+        loop.schedule_at(t, [this, link, dir, d] { apply_down(*link, dir, d); });
+        down = !down;
+      }
+      // Always end in the up state.
+      loop.schedule_at(spec.at + spec.duration,
+                       [this, link, dir] { apply_down(*link, dir, false); });
+      break;
+    }
+  }
+  specs_.push_back(spec);
+}
+
+}  // namespace mantis::net

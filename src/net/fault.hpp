@@ -1,0 +1,56 @@
+// Scheduled fault injection for fabric links, with deterministic replay:
+// the same FaultSpec schedule applied to the same fabric (same seeds)
+// produces a byte-identical transition log and delivery sequence.
+//
+// Supported faults (paper §8.3.2's failure taxonomy, broadened):
+//   kDown     — hard link-down for `duration` (0 = permanent)
+//   kGrayLoss — partial loss at rate `loss` (the gray failure proper)
+//   kLatency  — degradation: +`extra_latency` on every delivery
+//   kFlap     — down/up toggling every `flap_period` within `duration`
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace mantis::net {
+
+struct FaultSpec {
+  enum class Kind { kDown, kGrayLoss, kLatency, kFlap };
+  Kind kind = Kind::kDown;
+  std::size_t link = 0;      ///< index into the fabric's links
+  int direction = -1;        ///< 0 = a->b, 1 = b->a, -1 = both
+  Time at = 0;               ///< injection instant (absolute virtual time)
+  Duration duration = 0;     ///< 0 = permanent; kFlap requires > 0
+  double loss = 1.0;         ///< kGrayLoss rate (1.0 = silent hard failure)
+  Duration extra_latency = 0;  ///< kLatency addend
+  Duration flap_period = 0;    ///< kFlap toggle period
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Fabric& fabric);
+
+  /// Schedules every transition the fault implies as loop events. Safe to
+  /// call any time before `spec.at`.
+  void schedule(const FaultSpec& spec);
+
+  const std::vector<FaultSpec>& scheduled() const { return specs_; }
+
+  /// Human-readable, deterministic transition log ("<t_ns> <link> <change>"),
+  /// appended as each transition applies. Replay tests diff this.
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void apply_down(Link& link, int dir, bool down);
+  void note(const Link& link, const std::string& change);
+
+  Fabric* fabric_;
+  std::vector<FaultSpec> specs_;
+  std::vector<std::string> log_;
+  telemetry::Counter* transitions_ctr_;
+};
+
+}  // namespace mantis::net

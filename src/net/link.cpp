@@ -1,0 +1,108 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mantis::net {
+
+Link::Link(sim::EventLoop& loop, std::string name, End a, End b,
+           LinkModel model, Deliver deliver)
+    : loop_(&loop),
+      name_(std::move(name)),
+      a_(a),
+      b_(b),
+      model_(model),
+      deliver_(std::move(deliver)) {
+  expects(model_.gbps > 0, "Link: rate must be positive");
+  expects(model_.loss >= 0 && model_.loss <= 1, "Link: bad loss probability");
+  expects(static_cast<bool>(deliver_), "Link: deliver callback required");
+  auto& metrics = loop.telemetry().metrics();
+  const char* dir_tag[2] = {"ab", "ba"};
+  for (int d = 0; d < 2; ++d) {
+    auto& dir = dirs_[d];
+    dir.loss = model_.loss;
+    // Direction b->a gets an independent stream from the same seed.
+    dir.rng = Rng(d == 0 ? model_.seed
+                         : model_.seed ^ 0x9e3779b97f4a7c15ULL);
+    const std::string base = "net.link." + name_ + "." + dir_tag[d] + ".";
+    dir.tx_ctr = &metrics.counter(base + "tx_pkts");
+    dir.drop_ctr = &metrics.counter(base + "drops");
+    dir.util_gauge = &metrics.gauge(base + "util");
+  }
+}
+
+int Link::direction_from(NodeId from) const {
+  if (from == a_.node) return 0;
+  if (from == b_.node) return 1;
+  throw UserError("Link " + name_ + ": node " + std::to_string(from) +
+                  " is not an endpoint");
+}
+
+std::size_t Link::check_dir(int dir) {
+  expects(dir == 0 || dir == 1, "Link: direction must be 0 or 1");
+  return static_cast<std::size_t>(dir);
+}
+
+Duration Link::serialization_time(std::uint32_t bytes) const {
+  const double ns = static_cast<double>(bytes) * 8.0 / model_.gbps;
+  return static_cast<Duration>(std::llround(std::max(1.0, ns)));
+}
+
+void Link::transmit(NodeId from, sim::Packet pkt) {
+  auto& dir = dirs_[static_cast<std::size_t>(direction_from(from))];
+  if (dir.down) {
+    // Interface down: the TX side discards without occupying the wire.
+    ++dir.stats.dropped_pkts;
+    dir.drop_ctr->add();
+    return;
+  }
+  const Duration ser = serialization_time(pkt.length_bytes());
+  const Time start = std::max(loop_->now(), dir.busy_until);
+  dir.busy_until = start + ser;
+  dir.stats.busy_ns += static_cast<std::uint64_t>(ser);
+  ++dir.stats.tx_pkts;
+  dir.stats.tx_bytes += pkt.length_bytes();
+  dir.tx_ctr->add();
+
+  // Gray loss corrupts the frame *after* it occupied the wire (so a lossy
+  // link still consumes capacity). The draw happens at transmit time to keep
+  // the Rng consumption order independent of delivery interleaving.
+  const bool lost = dir.loss > 0 && dir.rng.chance(dir.loss);
+  if (lost) {
+    ++dir.stats.dropped_pkts;
+    dir.drop_ctr->add();
+    return;
+  }
+  const Time arrival = dir.busy_until + model_.propagation + dir.extra_latency;
+  const End to = receiver(direction_from(from));
+  auto& d = dir;
+  loop_->schedule_at(arrival, [this, to, &d, p = std::move(pkt)]() mutable {
+    ++d.stats.delivered_pkts;
+    deliver_(std::move(p), to.node, to.port);
+  });
+}
+
+void Link::set_down(bool down, int dir) {
+  for (int d = 0; d < 2; ++d) {
+    if (dir == -1 || dir == d) dirs_[d].down = down;
+  }
+}
+
+void Link::set_loss(double p, int dir) {
+  expects(p >= 0 && p <= 1, "Link::set_loss: bad probability");
+  for (int d = 0; d < 2; ++d) {
+    if (dir == -1 || dir == d) dirs_[d].loss = p;
+  }
+}
+
+void Link::set_extra_latency(Duration d_ns, int dir) {
+  expects(d_ns >= 0, "Link::set_extra_latency: negative latency");
+  for (int d = 0; d < 2; ++d) {
+    if (dir == -1 || dir == d) dirs_[d].extra_latency = d_ns;
+  }
+}
+
+}  // namespace mantis::net

@@ -1,0 +1,424 @@
+#include "net/scenarios.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mantis::net {
+
+namespace {
+
+/// Self-rescheduling host sender (copies itself per firing; no ownership
+/// cycle, so the loop drains once `until` passes).
+struct HostSendTick {
+  sim::EventLoop* loop = nullptr;
+  Fabric* fabric = nullptr;
+  NodeId host = -1;
+  Duration period = 0;
+  Time until = 0;
+  std::shared_ptr<std::function<sim::Packet()>> make;
+
+  void operator()() const {
+    if (loop->now() > until) return;
+    fabric->host_at(host).send((*make)());
+    loop->schedule_in(period, *this);
+  }
+};
+
+void start_host_traffic(sim::EventLoop& loop, Fabric& fabric, NodeId host,
+                        Duration period, Time until,
+                        std::function<sim::Packet()> make) {
+  HostSendTick tick{&loop, &fabric, host, period, until,
+                    std::make_shared<std::function<sim::Packet()>>(std::move(make))};
+  loop.schedule_in(period, tick);
+}
+
+/// Periodic windowed-utilization sampling (scenario-driven; the Fabric never
+/// schedules events itself).
+struct SampleTick {
+  sim::EventLoop* loop = nullptr;
+  Fabric* fabric = nullptr;
+  Duration period = 0;
+  Time until = 0;
+
+  void operator()() const {
+    if (loop->now() > until) return;
+    fabric->sample_telemetry();
+    loop->schedule_in(period, *this);
+  }
+};
+
+void start_telemetry_sampling(sim::EventLoop& loop, Fabric& fabric,
+                              Duration period, Time until) {
+  loop.schedule_in(period, SampleTick{&loop, &fabric, period, until});
+}
+
+/// Merge per-source event lines ("<t_ns> ...") into one time-ordered log.
+std::vector<std::string> merge_events(std::vector<std::string> a,
+                                      const std::vector<std::string>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::stable_sort(a.begin(), a.end(),
+                   [](const std::string& x, const std::string& y) {
+                     return std::strtoll(x.c_str(), nullptr, 10) <
+                            std::strtoll(y.c_str(), nullptr, 10);
+                   });
+  return a;
+}
+
+int port_toward(const Topology& topo, NodeId from, NodeId to) {
+  const int li = topo.link_between(from, to);
+  expects(li >= 0, "port_toward: nodes not adjacent");
+  const auto& l = topo.links[static_cast<std::size_t>(li)];
+  return l.a == from ? l.port_a : l.port_b;
+}
+
+/// The leaf a host hangs off (the other end of its uplink).
+NodeId leaf_of(const Topology& topo, NodeId host) {
+  const int li = topo.link_at(host, 0);
+  expects(li >= 0, "leaf_of: host has no uplink");
+  const auto& l = topo.links[static_cast<std::size_t>(li)];
+  return l.a == host ? l.b : l.a;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GrayFabricScenario
+// ---------------------------------------------------------------------------
+
+/// End-to-end delivery tracker shared between the sending and receiving
+/// hosts: restoration = the receive instant of the first packet in a run of
+/// K consecutive post-fault sequence numbers.
+struct GrayDeliveryTracker {
+  Time fault_at = 0;
+  std::size_t k = 4;
+  std::vector<Time> sent_at;  ///< seq -> virtual send time
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_before_fault = 0;
+  Time restored_at = -1;
+  std::deque<std::pair<std::uint64_t, Time>> recent;  ///< (seq, rx time)
+
+  void on_receive(std::uint64_t seq, Time rx_time) {
+    ++delivered;
+    if (seq < sent_at.size() && sent_at[seq] < fault_at) {
+      ++delivered_before_fault;
+      recent.clear();  // a pre-fault straggler breaks any post-fault run
+      return;
+    }
+    recent.emplace_back(seq, rx_time);
+    if (recent.size() > k) recent.pop_front();
+    if (restored_at >= 0 || recent.size() < k) return;
+    for (std::size_t i = 1; i < recent.size(); ++i) {
+      if (recent[i].first != recent[i - 1].first + 1) return;
+    }
+    restored_at = recent.front().second;
+  }
+};
+
+GrayFabricScenario::GrayFabricScenario(GrayScenarioConfig cfg)
+    : cfg_(std::move(cfg)) {
+  expects(cfg_.leaves >= 2 && cfg_.spines >= 2,
+          "GrayFabricScenario: need an alternate path (>=2 leaves, >=2 spines)");
+  expects(cfg_.hosts_per_leaf >= 1, "GrayFabricScenario: need hosts");
+  artifacts_ = compile::compile_source(apps::gray_failure_p4r_source());
+
+  Topology topo =
+      Topology::leaf_spine(cfg_.leaves, cfg_.spines, cfg_.hosts_per_leaf);
+  FabricConfig fc;
+  fc.default_link = cfg_.link;
+  fc.base_seed = cfg_.seed;
+  fabric_ = std::make_unique<Fabric>(loop_, artifacts_.prog, std::move(topo), fc);
+  injector_ = std::make_unique<FaultInjector>(*fabric_);
+
+  HarnessOptions hopts;
+  hopts.agent.pacing_sleep = cfg_.pacing;
+  harness_ = std::make_unique<FabricAgentHarness>(*fabric_, artifacts_, hopts);
+  harness_->add_all_switches();
+
+  for (NodeId n = 0; n < fabric_->num_switches(); ++n) {
+    auto st = std::make_shared<apps::GrayFailureState>();
+    st->cfg = cfg_.gf;
+    st->cfg.num_ports = static_cast<int>(
+        fabric_->topo().switch_facing_ports(n).size());
+    st->topo = fabric_->topo();
+    st->self_node = n;
+    st->on_detect = [this, n](int port, Time t) {
+      events_.push_back(std::to_string(t) + " n" + std::to_string(n) +
+                        " detect port" + std::to_string(port));
+      if (n == 0 && detected_at_ < 0) detected_at_ = t;
+    };
+    st->on_routes_installed = [this, n](Time t) {
+      events_.push_back(std::to_string(t) + " n" + std::to_string(n) +
+                        " reroute");
+      if (n == 0 && rerouted_at_ < 0) rerouted_at_ = t;
+    };
+    harness_->agent_at(n).set_native_reaction(
+        "gf_react", apps::make_gray_failure_reaction(st));
+    states_.push_back(std::move(st));
+  }
+}
+
+GrayFabricScenario::~GrayFabricScenario() = default;
+
+GrayScenarioResult GrayFabricScenario::run() {
+  expects(!ran_, "GrayFabricScenario::run: single-shot");
+  ran_ = true;
+
+  const auto& topo = fabric_->topo();
+  const NodeId src_host = topo.num_switches;  // first host of leaf 0
+  const NodeId dst_host = topo.num_switches + cfg_.hosts_per_leaf;  // leaf 1
+  const std::uint32_t src_addr = fabric_->host_at(src_host).address();
+  const std::uint32_t dst_addr = fabric_->host_at(dst_host).address();
+
+  // The fault hits the link the sender's traffic actually crosses: leaf 0's
+  // initial first hop toward the destination.
+  const auto initial_routes = topo.compute_routes_from(0, {});
+  const int faulted_port = initial_routes.at(dst_addr);
+  expects(faulted_port >= 0, "GrayFabricScenario: destination unreachable");
+  const int fault_link = topo.link_at(0, faulted_port);
+  expects(fault_link >= 0, "GrayFabricScenario: no link on faulted port");
+
+  if (cfg_.inject_fault) {
+    FaultSpec fault;
+    fault.kind = FaultSpec::Kind::kGrayLoss;
+    fault.link = static_cast<std::size_t>(fault_link);
+    fault.direction = -1;  // symmetric gray failure
+    fault.at = cfg_.fault_at;
+    fault.duration = 0;  // permanent; the reroute is the recovery
+    fault.loss = cfg_.fault_loss;
+    injector_->schedule(fault);
+  }
+
+  // Link-local heartbeats (proto 253) in both directions of every
+  // switch-switch link, flowing from t=0 so the detectors' very first poll
+  // window is already fed. They traverse the real (faultable) links.
+  for (std::size_t i = 0; i < fabric_->num_links(); ++i) {
+    const auto& l = topo.links[i];
+    if (!topo.is_switch(l.a) || !topo.is_switch(l.b)) continue;
+    auto make_hb = [this]() {
+      auto pkt = fabric_->factory().make(64);
+      fabric_->factory().set(pkt, "ipv4.protocol", 253);
+      return pkt;
+    };
+    fabric_->start_periodic(l.a, l.b, cfg_.hb_period, cfg_.run_until, make_hb);
+    fabric_->start_periodic(l.b, l.a, cfg_.hb_period, cfg_.run_until, make_hb);
+  }
+
+  // Prologues install each switch's initial routes + heartbeat tally entry.
+  harness_->run_prologue([this](NodeId node, agent::ReactionContext& ctx) {
+    states_[static_cast<std::size_t>(node)]->install_initial_routes(ctx);
+  });
+  expects(loop_.now() < cfg_.fault_at,
+          "GrayFabricScenario: prologues overran fault_at; raise fault_at");
+
+  // Sequenced end-to-end traffic; the receiver decides restoration.
+  auto tracker = std::make_shared<GrayDeliveryTracker>();
+  tracker->fault_at = cfg_.fault_at;
+  tracker->k = static_cast<std::size_t>(cfg_.restore_consecutive);
+  start_host_traffic(
+      loop_, *fabric_, src_host, cfg_.traffic_period, cfg_.run_until,
+      [this, tracker, src_addr, dst_addr]() {
+        auto pkt = fabric_->factory().make(cfg_.traffic_bytes);
+        fabric_->factory().set(pkt, "ipv4.srcAddr", src_addr);
+        fabric_->factory().set(pkt, "ipv4.dstAddr", dst_addr);
+        fabric_->factory().set(pkt, "ipv4.protocol", 6);
+        fabric_->factory().set(pkt, "ipv4.totalLen", tracker->sent_at.size());
+        tracker->sent_at.push_back(loop_.now());
+        return pkt;
+      });
+  fabric_->host_at(dst_host).set_on_receive(
+      [this, tracker](const sim::Packet& pkt, Time t) {
+        const Time before = tracker->restored_at;
+        tracker->on_receive(fabric_->factory().get(pkt, "ipv4.totalLen"), t);
+        if (before < 0 && tracker->restored_at >= 0) {
+          events_.push_back(std::to_string(tracker->restored_at) +
+                            " delivery restored");
+        }
+      });
+
+  start_telemetry_sampling(loop_, *fabric_, cfg_.telemetry_window,
+                           cfg_.run_until);
+  harness_->run_until(cfg_.run_until);
+  fabric_->sample_telemetry();
+
+  GrayScenarioResult res;
+  res.fault_at = cfg_.fault_at;
+  res.fault_link_name = fabric_->link(static_cast<std::size_t>(fault_link)).name();
+  res.faulted_port = faulted_port;
+  res.detected_at = detected_at_;
+  res.rerouted_at = rerouted_at_;
+  res.restored_at = tracker->restored_at;
+  res.sent = tracker->sent_at.size();
+  res.delivered = tracker->delivered;
+  res.delivered_before_fault = tracker->delivered_before_fault;
+  res.events = merge_events(injector_->log(), events_);
+
+  auto& metrics = loop_.telemetry().metrics();
+  auto us = [](Time from, Time to) {
+    return to < 0 ? -1.0 : static_cast<double>(to - from) / kMicrosecond;
+  };
+  metrics.gauge("net.scenario.gray.detected_us").set(us(res.fault_at, res.detected_at));
+  metrics.gauge("net.scenario.gray.rerouted_us").set(us(res.fault_at, res.rerouted_at));
+  metrics.gauge("net.scenario.gray.restored_us").set(us(res.fault_at, res.restored_at));
+  metrics.gauge("net.scenario.gray.delivered_pkts").set(static_cast<double>(res.delivered));
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// EcmpFabricScenario
+// ---------------------------------------------------------------------------
+
+EcmpFabricScenario::EcmpFabricScenario(EcmpScenarioConfig cfg)
+    : cfg_(std::move(cfg)) {
+  expects(cfg_.leaves >= 2 && cfg_.spines >= 2,
+          "EcmpFabricScenario: need >=2 leaves and >=2 spines");
+  expects(cfg_.hosts_per_leaf >= 1, "EcmpFabricScenario: need hosts");
+  expects(cfg_.flows >= 2, "EcmpFabricScenario: need >=2 flows");
+  artifacts_ = compile::compile_source(
+      apps::hash_polarization_fabric_p4r_source(cfg_.spines));
+
+  Topology topo =
+      Topology::leaf_spine(cfg_.leaves, cfg_.spines, cfg_.hosts_per_leaf);
+  FabricConfig fc;
+  fc.default_link = cfg_.link;
+  fc.base_seed = cfg_.seed;
+  fabric_ = std::make_unique<Fabric>(loop_, artifacts_.prog, std::move(topo), fc);
+
+  HarnessOptions hopts;
+  hopts.agent.pacing_sleep = cfg_.pacing;
+  harness_ = std::make_unique<FabricAgentHarness>(*fabric_, artifacts_, hopts);
+  harness_->add_all_switches();
+
+  for (NodeId n = 0; n < fabric_->num_switches(); ++n) {
+    auto st = std::make_shared<apps::HashPolState>();
+    st->cfg = cfg_.hp;
+    st->cfg.num_ports = static_cast<int>(
+        fabric_->topo().switch_facing_ports(n).size());
+    st->on_shift = [this, n](std::size_t config, Time t) {
+      events_.push_back(std::to_string(t) + " n" + std::to_string(n) +
+                        " shift config" + std::to_string(config));
+      ++shifts_total_;
+      if (n == 0) shift_snaps_.push_back({t, uplink_tx()});
+    };
+    harness_->agent_at(n).set_native_reaction(
+        "hp_react", apps::make_hash_pol_reaction(st));
+    states_.push_back(std::move(st));
+  }
+}
+
+EcmpFabricScenario::~EcmpFabricScenario() = default;
+
+std::vector<std::uint64_t> EcmpFabricScenario::uplink_tx() const {
+  std::vector<std::uint64_t> tx;
+  for (int s = 0; s < cfg_.spines; ++s) {
+    auto& l = const_cast<Fabric&>(*fabric_).link_between(0, cfg_.leaves + s);
+    tx.push_back(l.dir_stats(l.direction_from(0)).tx_pkts);
+  }
+  return tx;
+}
+
+namespace {
+
+/// Max share of any entry in (end - start), or 0 when nothing flowed.
+double max_share(const std::vector<std::uint64_t>& start,
+                 const std::vector<std::uint64_t>& end) {
+  std::uint64_t total = 0, max_delta = 0;
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    const std::uint64_t d = end[i] - start[i];
+    total += d;
+    max_delta = std::max(max_delta, d);
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(max_delta) / static_cast<double>(total);
+}
+
+}  // namespace
+
+EcmpScenarioResult EcmpFabricScenario::run() {
+  expects(!ran_, "EcmpFabricScenario::run: single-shot");
+  ran_ = true;
+
+  const auto& topo = fabric_->topo();
+  const NodeId src_host = topo.num_switches;  // first host of leaf 0
+  const NodeId dst_host = topo.num_switches + cfg_.hosts_per_leaf;  // leaf 1
+  const std::uint32_t src_addr = fabric_->host_at(src_host).address();
+  const std::uint32_t dst_addr = fabric_->host_at(dst_host).address();
+
+  // Prologue: leaves install route entries for their *local* hosts only
+  // (remote traffic falls through to ECMP); spines for every destination.
+  harness_->run_prologue([this, &topo](NodeId node, agent::ReactionContext& ctx) {
+    for (const auto& [addr, host] : topo.dst_node) {
+      const NodeId leaf = leaf_of(topo, host);
+      int port = -1;
+      if (node < cfg_.leaves) {
+        if (leaf != node) continue;
+        port = port_toward(topo, node, host);
+      } else {
+        port = port_toward(topo, node, leaf);
+      }
+      p4::EntrySpec spec;
+      spec.key.push_back(p4::MatchValue{addr, ~std::uint64_t{0}});
+      spec.action = "set_egress";
+      spec.action_args = {static_cast<std::uint64_t>(port)};
+      ctx.add_entry("route", spec);
+    }
+  });
+
+  // NAT'd flows: identical srcAddr/dstAddr/srcPort, distinct dstPort — the
+  // initial (src, dst, srcPort) hash inputs polarize them all onto one
+  // uplink; any shifted configuration includes dstPort and spreads them.
+  auto sent = std::make_shared<std::uint64_t>(0);
+  start_host_traffic(
+      loop_, *fabric_, src_host, cfg_.send_period, cfg_.run_until,
+      [this, sent, src_addr, dst_addr]() {
+        auto pkt = fabric_->factory().make(cfg_.traffic_bytes);
+        fabric_->factory().set(pkt, "ipv4.srcAddr", src_addr);
+        fabric_->factory().set(pkt, "ipv4.dstAddr", dst_addr);
+        fabric_->factory().set(pkt, "ipv4.protocol", 6);
+        fabric_->factory().set(pkt, "l4.srcPort", 5555);
+        fabric_->factory().set(
+            pkt, "l4.dstPort",
+            1000 + *sent % static_cast<std::uint64_t>(cfg_.flows));
+        ++*sent;
+        return pkt;
+      });
+  auto delivered = std::make_shared<std::uint64_t>(0);
+  fabric_->host_at(dst_host).set_on_receive(
+      [delivered](const sim::Packet&, Time) { ++*delivered; });
+
+  const auto tx_start = uplink_tx();
+  start_telemetry_sampling(loop_, *fabric_, cfg_.telemetry_window,
+                           cfg_.run_until);
+  harness_->run_until(cfg_.run_until);
+  fabric_->sample_telemetry();
+  const auto tx_end = uplink_tx();
+
+  EcmpScenarioResult res;
+  res.shifts = shifts_total_;
+  res.sent = *sent;
+  res.delivered = *delivered;
+  res.events = events_;
+  if (shift_snaps_.empty()) {
+    res.share_before = max_share(tx_start, tx_end);
+    res.share_after = res.share_before;
+  } else {
+    res.first_shift_at = shift_snaps_.front().t;
+    res.share_before = max_share(tx_start, shift_snaps_.front().tx);
+    res.share_after = max_share(shift_snaps_.back().tx, tx_end);
+  }
+
+  auto& metrics = loop_.telemetry().metrics();
+  metrics.gauge("net.scenario.ecmp.share_before").set(res.share_before);
+  metrics.gauge("net.scenario.ecmp.share_after").set(res.share_after);
+  metrics.gauge("net.scenario.ecmp.first_shift_us")
+      .set(res.first_shift_at < 0
+               ? -1.0
+               : static_cast<double>(res.first_shift_at) / kMicrosecond);
+  metrics.gauge("net.scenario.ecmp.shifts").set(static_cast<double>(res.shifts));
+  return res;
+}
+
+}  // namespace mantis::net

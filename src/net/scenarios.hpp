@@ -1,0 +1,216 @@
+// Fabric-level Mantis end-to-end scenarios (the multi-switch ports of the
+// paper's §8.3.2 / §8.3.3 use cases).
+//
+// GrayFabricScenario: a leaf-spine fabric where every switch runs the
+// gray-failure program under its own agent; a FaultInjector degrades the
+// link the sender's traffic actually crosses, detection happens from real
+// missing heartbeats, the reroute rewrites a real route table, and
+// restoration is *measured from observed end-to-end delivery* — the
+// receiving host seeing K consecutive post-fault sequence numbers — not
+// from the reaction's own bookkeeping.
+//
+// EcmpFabricScenario: a 2-leaf/2-spine ECMP fabric carrying NAT'd flows that
+// are identical in every hash input except dstPort. Under the initial hash
+// configuration (src, dst, srcPort) all flows polarize onto one uplink; the
+// hash-polarization reaction detects the imbalance from real per-egress
+// counters and shifts the malleable hash inputs, measurably rebalancing the
+// *link-level* loads.
+//
+// Both scenarios are deterministic: same config + same seed => identical
+// event logs and metric snapshots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/gray_failure.hpp"
+#include "apps/hash_polarization.hpp"
+#include "compile/compiler.hpp"
+#include "net/fabric.hpp"
+#include "net/fault.hpp"
+#include "net/harness.hpp"
+
+namespace mantis::net {
+
+// ---------------------------------------------------------------------------
+// Gray failure
+// ---------------------------------------------------------------------------
+
+struct GrayScenarioConfig {
+  int leaves = 2;
+  int spines = 2;
+  int hosts_per_leaf = 1;
+  LinkModel link;              ///< fabric-wide link model (ambient loss etc.)
+  std::uint64_t seed = 1;      ///< fabric base seed (drop processes)
+
+  Duration hb_period = 1 * kMicrosecond;       ///< heartbeat period T_s
+  Duration traffic_period = 1 * kMicrosecond;  ///< data packet send period
+  std::uint32_t traffic_bytes = 1000;
+
+  /// Injection instant (absolute virtual time; must land after the agent
+  /// prologues, which take a few tens of microseconds for 4 switches).
+  Time fault_at = 100 * kMicrosecond;
+  /// Gray loss rate on the degraded link (1.0 = silent hard failure).
+  double fault_loss = 1.0;
+  /// False-positive studies: run the full scenario (ambient link loss,
+  /// heartbeats, detectors) without injecting any fault.
+  bool inject_fault = true;
+
+  Duration pacing = 0;  ///< harness pacing sleep (0 = busy-loop agents)
+  Time run_until = 400 * kMicrosecond;
+  /// Utilization-gauge sampling window: the final sample then reflects the
+  /// post-reroute steady state (degraded link ~0) rather than the whole run.
+  Duration telemetry_window = 50 * kMicrosecond;
+
+  /// Detector knobs (num_ports is derived per switch from the topology).
+  apps::GrayFailureConfig gf;
+
+  /// Delivery counts as restored after this many consecutive post-fault
+  /// sequence numbers arrive (robust to gray-loss survivors).
+  int restore_consecutive = 4;
+};
+
+struct GrayScenarioResult {
+  Time fault_at = -1;
+  std::string fault_link_name;  ///< the link the fault actually hit
+  int faulted_port = -1;        ///< sending leaf's port on that link
+
+  Time detected_at = -1;   ///< sending leaf's reaction flags the port
+  Time rerouted_at = -1;   ///< sending leaf's new routes installed
+  Time restored_at = -1;   ///< first packet of the K-consecutive run
+
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_before_fault = 0;
+
+  /// Merged, time-ordered event log ("<t_ns> ..."): fault transitions,
+  /// per-switch detections, reroutes, restoration. Byte-identical across
+  /// same-seed runs.
+  std::vector<std::string> events;
+
+  bool restored() const { return restored_at >= 0; }
+  Duration detection_latency() const {
+    return detected_at < 0 ? -1 : detected_at - fault_at;
+  }
+  Duration restoration_latency() const {
+    return restored_at < 0 ? -1 : restored_at - fault_at;
+  }
+};
+
+class GrayFabricScenario {
+ public:
+  explicit GrayFabricScenario(GrayScenarioConfig cfg = {});
+  ~GrayFabricScenario();
+
+  /// Builds traffic + faults and runs to cfg.run_until. Single-shot.
+  /// Publishes net.scenario.gray.{detected_us,rerouted_us,restored_us,
+  /// delivered_pkts} gauges on the loop's registry.
+  GrayScenarioResult run();
+
+  sim::EventLoop& loop() { return loop_; }
+  Fabric& fabric() { return *fabric_; }
+  FaultInjector& injector() { return *injector_; }
+  FabricAgentHarness& harness() { return *harness_; }
+
+ private:
+  GrayScenarioConfig cfg_;
+  sim::EventLoop loop_;
+  compile::Artifacts artifacts_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<FabricAgentHarness> harness_;
+  std::vector<std::shared_ptr<apps::GrayFailureState>> states_;
+  std::vector<std::string> events_;
+  Time detected_at_ = -1;
+  Time rerouted_at_ = -1;
+  bool ran_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// ECMP hash polarization
+// ---------------------------------------------------------------------------
+
+struct EcmpScenarioConfig {
+  int leaves = 2;
+  int spines = 2;
+  int hosts_per_leaf = 2;
+  LinkModel link;
+  std::uint64_t seed = 1;
+
+  int flows = 32;               ///< NAT'd flows, distinct only in dstPort
+  Duration send_period = 250;   ///< ns between packets (round-robin flows)
+  std::uint32_t traffic_bytes = 500;
+
+  Duration pacing = 0;
+  Time run_until = 500 * kMicrosecond;
+  Duration telemetry_window = 50 * kMicrosecond;
+
+  /// Detector knobs (num_ports derived per switch). The default config
+  /// cycle is trimmed to spreading configurations: every non-initial triple
+  /// includes dstPort, the one field the flows differ in.
+  apps::HashPolConfig hp = default_hp();
+
+  static apps::HashPolConfig default_hp() {
+    apps::HashPolConfig h;
+    h.configs = {{0, 0, 0}, {1, 0, 1}, {0, 1, 1}};
+    return h;
+  }
+};
+
+struct EcmpScenarioResult {
+  Time first_shift_at = -1;  ///< sending leaf's first hash-input shift
+  std::uint64_t shifts = 0;  ///< total shifts across all switches
+
+  /// Max uplink share of the sending leaf (1.0 = total polarization),
+  /// measured from real link tx counters: before the first shift and over
+  /// the settled window after the last shift.
+  double share_before = 0.0;
+  double share_after = 0.0;
+
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+
+  std::vector<std::string> events;
+
+  bool rebalanced(double threshold = 0.8) const {
+    return first_shift_at >= 0 && share_after < threshold;
+  }
+};
+
+class EcmpFabricScenario {
+ public:
+  explicit EcmpFabricScenario(EcmpScenarioConfig cfg = {});
+  ~EcmpFabricScenario();
+
+  /// Publishes net.scenario.ecmp.{share_before,share_after,first_shift_us,
+  /// shifts} gauges on the loop's registry. Single-shot.
+  EcmpScenarioResult run();
+
+  sim::EventLoop& loop() { return loop_; }
+  Fabric& fabric() { return *fabric_; }
+  FabricAgentHarness& harness() { return *harness_; }
+
+ private:
+  EcmpScenarioConfig cfg_;
+  sim::EventLoop loop_;
+  compile::Artifacts artifacts_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<FabricAgentHarness> harness_;
+  std::vector<std::shared_ptr<apps::HashPolState>> states_;
+
+  /// Uplink tx counters of the sending leaf (one per spine), snapshotted at
+  /// traffic start and at each of its hash shifts.
+  std::vector<std::uint64_t> uplink_tx() const;
+  struct Snap {
+    Time t;
+    std::vector<std::uint64_t> tx;
+  };
+  std::vector<Snap> shift_snaps_;
+  std::vector<std::string> events_;
+  std::uint64_t shifts_total_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace mantis::net

@@ -1,0 +1,164 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mantis::net {
+
+std::map<std::uint32_t, int> Topology::compute_routes_from(
+    NodeId src, const std::vector<bool>& port_down) const {
+  expects(src >= 0 && src < num_nodes, "compute_routes_from: bad source node");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(num_nodes), kInf);
+  std::vector<int> first_hop(static_cast<std::size_t>(num_nodes), -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0;
+  pq.emplace(0.0, src);
+
+  auto relax = [&](int from, int to, int via_port_of_src, double cost) {
+    if (dist[static_cast<std::size_t>(from)] + cost <
+        dist[static_cast<std::size_t>(to)]) {
+      dist[static_cast<std::size_t>(to)] =
+          dist[static_cast<std::size_t>(from)] + cost;
+      first_hop[static_cast<std::size_t>(to)] =
+          from == src ? via_port_of_src
+                      : first_hop[static_cast<std::size_t>(from)];
+      pq.emplace(dist[static_cast<std::size_t>(to)], to);
+    }
+  };
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& link : links) {
+      // A down port of `src` disables the link in both directions (the
+      // detector only has local knowledge; remote faults surface as their
+      // own ports' heartbeat deltas on the remote switch).
+      const bool usable =
+          !((link.a == src &&
+             static_cast<std::size_t>(link.port_a) < port_down.size() &&
+             port_down[static_cast<std::size_t>(link.port_a)]) ||
+            (link.b == src &&
+             static_cast<std::size_t>(link.port_b) < port_down.size() &&
+             port_down[static_cast<std::size_t>(link.port_b)]));
+      if (!usable) continue;
+      if (link.a == u) relax(u, link.b, link.port_a, link.cost);
+      if (link.b == u) relax(u, link.a, link.port_b, link.cost);
+    }
+  }
+
+  std::map<std::uint32_t, int> routes;
+  for (const auto& [addr, node] : dst_node) {
+    routes[addr] = dist[static_cast<std::size_t>(node)] == kInf
+                       ? -1
+                       : first_hop[static_cast<std::size_t>(node)];
+  }
+  return routes;
+}
+
+int Topology::link_at(NodeId node, int port) const {
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if ((links[i].a == node && links[i].port_a == port) ||
+        (links[i].b == node && links[i].port_b == port)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int Topology::link_between(NodeId a, NodeId b) const {
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if ((links[i].a == a && links[i].b == b) ||
+        (links[i].a == b && links[i].b == a)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> Topology::switch_facing_ports(NodeId node) const {
+  std::vector<int> ports;
+  for (const auto& link : links) {
+    if (link.a == node && is_switch(link.b)) ports.push_back(link.port_a);
+    if (link.b == node && is_switch(link.a)) ports.push_back(link.port_b);
+  }
+  std::sort(ports.begin(), ports.end());
+  return ports;
+}
+
+Topology Topology::fat_tree_slice(int fanout, int num_dsts) {
+  expects(fanout >= 2, "fat_tree_slice: need >= 2 uplinks");
+  Topology topo;
+  // node 0: this switch; nodes 1..fanout: aggregation neighbours;
+  // nodes fanout+1..fanout+num_dsts: destinations, each dual-homed to two
+  // consecutive aggregation nodes.
+  topo.num_nodes = 1 + fanout + num_dsts;
+  for (int a = 0; a < fanout; ++a) {
+    topo.links.push_back(Link{0, 1 + a, a, 0, 1.0});
+  }
+  for (int d = 0; d < num_dsts; ++d) {
+    const int node = 1 + fanout + d;
+    const int agg1 = 1 + (d % fanout);
+    const int agg2 = 1 + ((d + 1) % fanout);
+    topo.links.push_back(Link{agg1, node, 1 + d, 0, 1.0});
+    topo.links.push_back(Link{agg2, node, 1 + d, 0, 1.1});
+    topo.dst_node.emplace(0xc0a80000u + static_cast<std::uint32_t>(d), node);
+  }
+  return topo;
+}
+
+Topology Topology::leaf_spine(int leaves, int spines, int hosts_per_leaf) {
+  expects(leaves >= 1 && spines >= 1, "leaf_spine: need leaves and spines");
+  expects(hosts_per_leaf >= 0, "leaf_spine: bad hosts_per_leaf");
+  Topology topo;
+  topo.num_switches = leaves + spines;
+  topo.num_nodes = leaves + spines + leaves * hosts_per_leaf;
+  for (int l = 0; l < leaves; ++l) {
+    for (int s = 0; s < spines; ++s) {
+      // leaf l port s <-> spine (leaves+s) port l
+      topo.links.push_back(Link{l, leaves + s, s, l, 1.0});
+    }
+  }
+  for (int l = 0; l < leaves; ++l) {
+    for (int h = 0; h < hosts_per_leaf; ++h) {
+      const NodeId host = leaves + spines + l * hosts_per_leaf + h;
+      topo.links.push_back(Link{l, host, spines + h, 0, 1.0});
+      topo.dst_node.emplace(
+          0x0a000000u + (static_cast<std::uint32_t>(l) << 8) +
+              static_cast<std::uint32_t>(h),
+          host);
+    }
+  }
+  return topo;
+}
+
+Topology Topology::ring(int switches, int hosts_per_switch) {
+  expects(switches >= 3, "ring: need >= 3 switches");
+  expects(hosts_per_switch >= 0, "ring: bad hosts_per_switch");
+  Topology topo;
+  topo.num_switches = switches;
+  topo.num_nodes = switches + switches * hosts_per_switch;
+  for (int i = 0; i < switches; ++i) {
+    // switch i port 0 -> next ring member's port 1.
+    topo.links.push_back(Link{i, (i + 1) % switches, 0, 1, 1.0});
+  }
+  for (int i = 0; i < switches; ++i) {
+    for (int h = 0; h < hosts_per_switch; ++h) {
+      const NodeId host = switches + i * hosts_per_switch + h;
+      topo.links.push_back(Link{i, host, 2 + h, 0, 1.0});
+      topo.dst_node.emplace(
+          0x0a000000u + (static_cast<std::uint32_t>(i) << 8) +
+              static_cast<std::uint32_t>(h),
+          host);
+    }
+  }
+  return topo;
+}
+
+}  // namespace mantis::net

@@ -1,0 +1,84 @@
+// Shared network topology: the graph the fabric simulator instantiates and
+// the routing apps compute over. Grown out of the private apps::Topology
+// (which is now an alias of this type): same Dijkstra semantics, generalized
+// from "routes from node 0" to "routes from any switch", plus canned
+// builders for the fabric experiments (leaf-spine, ring) alongside the
+// original fat-tree slice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mantis::net {
+
+/// Node index within a Topology (and within the Fabric built from it).
+using NodeId = int;
+
+struct Topology {
+  struct Link {
+    NodeId a = 0;
+    NodeId b = 0;
+    int port_a = 0;  ///< egress port on `a` toward `b`
+    int port_b = 0;  ///< egress port on `b` toward `a`
+    double cost = 1.0;
+  };
+
+  int num_nodes = 0;
+  /// Nodes [0, num_switches) are programmable switches; the rest are hosts.
+  /// -1 = unspecified (pure routing-graph use, e.g. the gray-failure app's
+  /// modeled neighbourhood where only node 0 is simulated).
+  int num_switches = -1;
+  std::vector<Link> links;
+  std::map<std::uint32_t, NodeId> dst_node;  ///< destination address -> node
+
+  int num_hosts() const {
+    return num_switches < 0 ? 0 : num_nodes - num_switches;
+  }
+  bool is_switch(NodeId n) const { return num_switches >= 0 && n < num_switches; }
+
+  /// First-hop port from `src` per destination address, avoiding `src`'s
+  /// down ports (indexes into `port_down`; ports beyond its size are up).
+  /// Unreachable destinations map to -1. Deterministic: ties resolve by
+  /// link declaration order.
+  std::map<std::uint32_t, int> compute_routes_from(
+      NodeId src, const std::vector<bool>& port_down) const;
+
+  /// Back-compat shorthand (the original apps::Topology surface): routes
+  /// from node 0.
+  std::map<std::uint32_t, int> compute_routes(
+      const std::vector<bool>& port_down) const {
+    return compute_routes_from(0, port_down);
+  }
+
+  /// The link (index into `links`) attached to (`node`, `port`), or -1.
+  int link_at(NodeId node, int port) const;
+  /// The link connecting `a` and `b` (either orientation), or -1.
+  int link_between(NodeId a, NodeId b) const;
+  /// Ports of `node` that face other *switches* (sorted). These are the
+  /// ports a per-switch failure detector monitors.
+  std::vector<int> switch_facing_ports(NodeId node) const;
+
+  /// A two-tier test topology: `fanout` aggregation neighbours of node 0,
+  /// each destination dual-homed to two consecutive aggregation nodes.
+  /// (The original gray-failure app topology; only node 0 is a switch.)
+  static Topology fat_tree_slice(int fanout, int num_dsts);
+
+  /// A leaf-spine fabric: `leaves` leaf switches each wired to every one of
+  /// `spines` spine switches, plus `hosts_per_leaf` hosts per leaf.
+  /// Node ids: leaves [0, leaves), spines [leaves, leaves+spines), hosts
+  /// after that. Leaf ports: port s -> spine s, port spines+h -> local host
+  /// h. Spine ports: port l -> leaf l. Host addresses: 0x0a000000 +
+  /// (leaf << 8) + host_index, registered in dst_node.
+  static Topology leaf_spine(int leaves, int spines, int hosts_per_leaf);
+
+  /// A ring of `switches` switches (port 0 -> next, port 1 -> previous)
+  /// with `hosts_per_switch` hosts on ports 2.. of each switch. Host
+  /// addresses as in leaf_spine (0x0a000000 + (switch << 8) + index).
+  static Topology ring(int switches, int hosts_per_switch);
+};
+
+}  // namespace mantis::net

@@ -50,12 +50,19 @@ class Packet {
   Time enqueue_time() const { return enqueue_time_; }
   void set_enqueue_time(Time t) { enqueue_time_ = t; }
 
+  /// Fabric-level origin stamp, set once when a Host transmits and carried
+  /// across every hop (arrival/enqueue times are per-switch and reset at
+  /// each fabric hop). -1 = not host-originated.
+  Time origin_time() const { return origin_time_; }
+  void set_origin_time(Time t) { origin_time_ = t; }
+
  private:
   std::vector<std::uint64_t> values_;
   std::uint32_t length_bytes_;
   bool dropped_ = false;
   Time arrival_time_ = -1;
   Time enqueue_time_ = -1;
+  Time origin_time_ = -1;
 };
 
 /// Convenience: packet factory bound to a program, with named-field setters.
