@@ -1,0 +1,432 @@
+#include "check/diff.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "agent/agent.hpp"
+#include "check/ref_model.hpp"
+#include "compile/compiler.hpp"
+#include "driver/driver.hpp"
+#include "p4r/sema.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/switch.hpp"
+#include "util/check.hpp"
+
+namespace mantis::check {
+
+std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kAgreed: return "agreed";
+    case Outcome::kAgreedError: return "agreed_error";
+    case Outcome::kDiverged: return "diverged";
+    case Outcome::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+namespace {
+
+using LogVec = std::vector<std::pair<std::string, std::int64_t>>;
+
+p4::EntrySpec to_spec(const InitialEntry& e) {
+  p4::EntrySpec spec;
+  spec.action = e.action;
+  spec.action_args = e.args;
+  spec.priority = e.priority;
+  for (std::size_t i = 0; i < e.key.size(); ++i) {
+    const std::uint64_t mask =
+        i < e.masks.size() ? e.masks[i] : ~std::uint64_t{0};
+    spec.key.push_back(p4::MatchValue{e.key[i], mask});
+  }
+  return spec;
+}
+
+std::string verdict_str(const RefVerdict& v) {
+  std::ostringstream o;
+  o << "pid=" << v.pid;
+  if (!v.forwarded) {
+    o << " dropped";
+    return o.str();
+  }
+  o << " port=" << v.port;
+  for (const auto& [name, value] : v.fields) o << " " << name << "=" << value;
+  return o.str();
+}
+
+/// Everything the compiled path exposes for comparison, collected per epoch.
+struct DutState {
+  sim::EventLoop loop;
+  std::unique_ptr<sim::Switch> sw;
+  std::unique_ptr<driver::Driver> drv;
+  std::unique_ptr<agent::Agent> ag;
+  LogVec log;
+  std::vector<RefVerdict> transmitted;  ///< epoch-local, in tx order
+  p4::FieldId f_pid = p4::kInvalidField;
+
+  explicit DutState(const compile::Artifacts& art) {
+    sw = std::make_unique<sim::Switch>(loop, art.prog);
+    drv = std::make_unique<driver::Driver>(*sw);
+    ag = std::make_unique<agent::Agent>(*drv, art);
+    f_pid = art.prog.fields.find("pm.pid");
+    ag->set_log_hook([this](const std::string& rx, std::int64_t v) {
+      log.emplace_back(rx, v);
+    });
+    sw->set_on_transmit([this](const sim::Packet& pkt, int port, Time) {
+      RefVerdict v;
+      v.pid = f_pid != p4::kInvalidField ? pkt.get(f_pid)
+                                         : transmitted.size();
+      v.forwarded = true;
+      v.port = port;
+      const auto& cat = sw->program().fields;
+      for (p4::FieldId f = 0; f < cat.size(); ++f) {
+        if (cat.instance(f) == p4::intrinsics::kInstance) continue;
+        v.fields.emplace_back(cat.full_name(f), pkt.get(f));
+      }
+      transmitted.push_back(std::move(v));
+    });
+  }
+};
+
+/// Restricts a DUT verdict to the fields the reference program declares (the
+/// compiled catalog adds p4r_meta_ / measurement metadata the reference
+/// never sees).
+RefVerdict project(const RefVerdict& dut, const RefVerdict& ref_shape) {
+  RefVerdict out;
+  out.pid = dut.pid;
+  out.forwarded = dut.forwarded;
+  out.port = dut.port;
+  for (const auto& [name, want] : ref_shape.fields) {
+    (void)want;
+    bool found = false;
+    for (const auto& [dn, dv] : dut.fields) {
+      if (dn == name) {
+        out.fields.emplace_back(dn, dv);
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.fields.emplace_back(name, ~std::uint64_t{0});
+  }
+  return out;
+}
+
+class DiffRun {
+ public:
+  DiffRun(const Scenario& s, DiffResult& out) : s_(s), out_(out) {}
+
+  void run() {
+    // ---- build both paths ----
+    // UserError is the designed rejection path; logic_error (Invariant /
+    // Precondition) additionally surfaces from Program::validate() when the
+    // minimizer hands us debris like an action referencing a deleted
+    // register. Both mean "not a valid scenario", never a divergence.
+    p4r::P4RProgram fp;
+    try {
+      fp = p4r::frontend(s_.program.render());
+    } catch (const UserError& e) {
+      return skip(std::string("frontend: ") + e.what());
+    } catch (const std::logic_error& e) {
+      return skip(std::string("frontend: ") + e.what());
+    }
+    compile::Artifacts art;
+    try {
+      art = compile::compile(fp);
+    } catch (const UserError& e) {
+      return skip(std::string("compile: ") + e.what());
+    } catch (const std::logic_error& e) {
+      return skip(std::string("compile: ") + e.what());
+    }
+    std::unique_ptr<RefModel> ref;
+    try {
+      ref = std::make_unique<RefModel>(std::move(fp));
+    } catch (const RefUnsupported& e) {
+      return skip(std::string("ref: ") + e.what());
+    } catch (const UserError& e) {
+      return skip(std::string("ref: ") + e.what());
+    } catch (const std::logic_error& e) {
+      return skip(std::string("ref: ") + e.what());
+    }
+
+    // Packets must reference declared fields and in-range ports; anything
+    // else is a malformed scenario (minimizer debris), not a divergence.
+    for (const auto& p : s_.packets) {
+      if (p.port < 0 || p.port >= 32) return skip("packet: port out of range");
+      for (const auto& [name, v] : p.fields) {
+        (void)v;
+        if (ref->program().prog.fields.find(name) == p4::kInvalidField) {
+          return skip("packet: unknown field " + name);
+        }
+      }
+    }
+
+    DutState dut(art);
+    dut.ag->run_prologue();
+
+    // ---- initial entries (management plane, both paths) ----
+    for (const auto& e : s_.entries) {
+      bool ref_ok = true, dut_ok = true;
+      std::string ref_err, dut_err;
+      try {
+        ref->add_entry(e.table, to_spec(e));
+      } catch (const UserError& err) {
+        ref_ok = false;
+        ref_err = err.what();
+      }
+      try {
+        dut.ag->management_context().add_entry(e.table, to_spec(e));
+      } catch (const UserError& err) {
+        dut_ok = false;
+        dut_err = err.what();
+      }
+      if (ref_ok != dut_ok) {
+        diverge(0, "setup",
+                "initial entry on " + e.table + ": ref " +
+                    (ref_ok ? "accepted" : "rejected (" + ref_err + ")") +
+                    ", compiled " +
+                    (dut_ok ? "accepted" : "rejected (" + dut_err + ")"));
+        return;
+      }
+      if (!ref_ok) {
+        out_.outcome = Outcome::kAgreedError;
+        out_.skip_reason = "initial entry rejected by both: " + ref_err;
+        return;
+      }
+    }
+
+    // ---- epochs ----
+    std::uint64_t pid = 0;
+    std::size_t next_pkt = 0;
+    for (std::uint32_t epoch = 0; epoch < s_.epochs; ++epoch) {
+      dut.transmitted.clear();
+      std::vector<RefVerdict> ref_fwd;
+
+      while (next_pkt < s_.packets.size() &&
+             s_.packets[next_pkt].epoch <= epoch) {
+        const auto& p = s_.packets[next_pkt++];
+        try {
+          RefVerdict v = ref->process_packet(p, pid);
+          if (v.forwarded) ref_fwd.push_back(std::move(v));
+        } catch (const RefUnsupported& e) {
+          return skip(std::string("ref: ") + e.what());
+        }
+        sim::PacketFactory fac(dut.sw->program());
+        sim::Packet pkt = fac.make(p.length);
+        for (const auto& [name, v] : p.fields) fac.set(pkt, name, v);
+        if (dut.f_pid != p4::kInvalidField) fac.set(pkt, "pm.pid", pid);
+        dut.sw->inject(std::move(pkt), p.port);
+        dut.loop.run();  // drain: transmit order == injection order
+        ++pid;
+      }
+
+      if (!compare_verdicts(epoch, ref_fwd, dut)) return;
+
+      bool ref_ok = true, dut_ok = true;
+      std::string ref_err, dut_err;
+      try {
+        ref->dialogue_iteration();
+      } catch (const UserError& e) {
+        ref_ok = false;
+        ref_err = e.what();
+      }
+      try {
+        dut.ag->dialogue_iteration();
+      } catch (const UserError& e) {
+        dut_ok = false;
+        dut_err = e.what();
+      }
+      if (ref_ok != dut_ok) {
+        diverge(epoch, "exception",
+                std::string("dialogue: ref ") +
+                    (ref_ok ? "succeeded" : "threw (" + ref_err + ")") +
+                    ", compiled " +
+                    (dut_ok ? "succeeded" : "threw (" + dut_err + ")"));
+        return;
+      }
+      if (!ref_ok) {
+        // Both rejected the same epoch. Agent state after a thrown iteration
+        // is unspecified, so the run ends here with agreeing errors.
+        out_.outcome = Outcome::kAgreedError;
+        out_.skip_reason = "epoch " + std::to_string(epoch) +
+                           " rejected by both: " + ref_err;
+        out_.epochs_run = epoch;
+        return;
+      }
+
+      if (!compare_state(epoch, *ref, dut)) return;
+      out_.epochs_run = epoch + 1;
+    }
+
+    out_.outcome = Outcome::kAgreed;
+    out_.digest = make_digest(*ref, dut);
+  }
+
+ private:
+  void skip(std::string reason) {
+    out_.outcome = Outcome::kSkipped;
+    out_.skip_reason = std::move(reason);
+  }
+
+  void diverge(std::uint32_t epoch, std::string surface, std::string detail) {
+    out_.outcome = Outcome::kDiverged;
+    out_.divergences.push_back(
+        Divergence{epoch, std::move(surface), std::move(detail)});
+  }
+
+  bool compare_verdicts(std::uint32_t epoch,
+                        const std::vector<RefVerdict>& ref_fwd,
+                        const DutState& dut) {
+    if (ref_fwd.size() != dut.transmitted.size()) {
+      diverge(epoch, "verdict",
+              "forwarded packet count: ref " + std::to_string(ref_fwd.size()) +
+                  ", compiled " + std::to_string(dut.transmitted.size()));
+      return false;
+    }
+    for (std::size_t i = 0; i < ref_fwd.size(); ++i) {
+      RefVerdict got = project(dut.transmitted[i], ref_fwd[i]);
+      // Without a pm.pid metadata field the compiled path has no carrier for
+      // the injection pid; ordering is still checked positionally above.
+      if (dut.f_pid == p4::kInvalidField) got.pid = ref_fwd[i].pid;
+      if (!(got == ref_fwd[i])) {
+        diverge(epoch, "verdict",
+                "ref [" + verdict_str(ref_fwd[i]) + "] vs compiled [" +
+                    verdict_str(got) + "]");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool compare_state(std::uint32_t epoch, const RefModel& ref, DutState& dut) {
+    // Reaction log: cumulative on both sides; compare in full.
+    if (ref.log() != dut.log) {
+      std::ostringstream o;
+      o << "log length ref=" << ref.log().size()
+        << " compiled=" << dut.log.size();
+      const std::size_t n = std::min(ref.log().size(), dut.log.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ref.log()[i] != dut.log[i]) {
+          o << "; first mismatch at " << i << ": ref " << ref.log()[i].first
+            << "=" << ref.log()[i].second << " vs " << dut.log[i].first << "="
+            << dut.log[i].second;
+          break;
+        }
+      }
+      diverge(epoch, "log", o.str());
+      return false;
+    }
+
+    for (const auto& name : ref.scalar_names()) {
+      const std::uint64_t want = ref.scalar(name);
+      const std::uint64_t got = dut.ag->scalar(name);
+      if (want != got) {
+        diverge(epoch, "scalar",
+                name + ": ref " + std::to_string(want) + ", compiled " +
+                    std::to_string(got));
+        return false;
+      }
+    }
+
+    const auto& rf = dut.sw->registers();
+    for (const auto& [name, cells] : ref.registers()) {
+      if (!rf.has(name)) continue;  // write-only elimination pass removed it
+      const auto got = rf.read_range(
+          name, 0, static_cast<std::uint32_t>(cells.size() - 1));
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i] != got[i]) {
+          diverge(epoch, "register",
+                  name + "[" + std::to_string(i) + "]: ref " +
+                      std::to_string(cells[i]) + ", compiled " +
+                      std::to_string(got[i]));
+          return false;
+        }
+      }
+    }
+
+    for (const auto& name : ref.counter_names()) {
+      for (std::uint32_t i = 0; i < ref.counter_count(name); ++i) {
+        const std::uint64_t want = ref.counter_value(name, i);
+        const std::uint64_t got = rf.counter_value(name, i);
+        if (want != got) {
+          diverge(epoch, "counter",
+                  name + "[" + std::to_string(i) + "]: ref " +
+                      std::to_string(want) + ", compiled " +
+                      std::to_string(got));
+          return false;
+        }
+      }
+    }
+
+    auto mgmt = dut.ag->management_context();
+    for (const auto& table : ref.table_names()) {
+      std::size_t got_count = 0;
+      try {
+        got_count = mgmt.entry_count(table);
+      } catch (const UserError&) {
+        continue;  // table exists only pre-compilation (not expected today)
+      }
+      if (ref.entry_count(table) != got_count) {
+        diverge(epoch, "table",
+                table + ": entry count ref " +
+                    std::to_string(ref.entry_count(table)) + ", compiled " +
+                    std::to_string(got_count));
+        return false;
+      }
+      for (const auto& e : ref.entries(table)) {
+        if (!mgmt.find_entry(table, e.key).has_value()) {
+          std::ostringstream o;
+          o << table << ": ref entry {";
+          for (const auto& k : e.key) o << " " << k.value << "/" << k.mask;
+          o << " } -> " << e.action << " missing from compiled table";
+          diverge(epoch, "table", o.str());
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  std::string make_digest(const RefModel& ref, DutState& dut) {
+    std::ostringstream o;
+    o << "epochs=" << out_.epochs_run << "\n";
+    for (const auto& name : ref.scalar_names()) {
+      o << "scalar " << name << "=" << ref.scalar(name) << "\n";
+    }
+    for (const auto& [name, cells] : ref.registers()) {
+      o << "register " << name << " =";
+      for (const auto c : cells) o << " " << c;
+      o << "\n";
+    }
+    for (const auto& name : ref.counter_names()) {
+      o << "counter " << name << " =";
+      for (std::uint32_t i = 0; i < ref.counter_count(name); ++i) {
+        o << " " << ref.counter_value(name, i);
+      }
+      o << "\n";
+    }
+    for (const auto& table : ref.table_names()) {
+      o << "table " << table << " count=" << ref.entry_count(table) << "\n";
+    }
+    for (const auto& [rx, v] : ref.log()) o << "log " << rx << " " << v << "\n";
+    o << "dut_iterations=" << dut.ag->iterations() << "\n";
+    return o.str();
+  }
+
+  const Scenario& s_;
+  DiffResult& out_;
+};
+
+}  // namespace
+
+DiffResult run_diff(const Scenario& s, telemetry::MetricsRegistry* metrics) {
+  DiffResult out;
+  DiffRun(s, out).run();
+  if (metrics != nullptr) {
+    metrics->counter("check.diff.runs").add();
+    metrics->counter(std::string("check.diff.") +
+                     std::string(outcome_name(out.outcome)))
+        .add();
+  }
+  return out;
+}
+
+}  // namespace mantis::check

@@ -1,0 +1,62 @@
+// The differential executor (the fuzzer's back half): runs one Scenario
+// through two independent implementations of the P4R semantics —
+//
+//   reference:  p4r::frontend -> check::RefModel (direct interpretation of
+//               the frontend IR, no compiler passes, no update protocol)
+//   compiled:   p4r::frontend -> compile::compile -> sim::Switch ->
+//               driver::Driver -> agent::Agent (the real production stack)
+//
+// — and compares their observable state after every dialogue epoch:
+// per-packet forwarding verdicts, reaction log output, malleable scalars,
+// register arrays, counters, and user-level table contents. A disagreement on
+// any surface is a real implementation bug in one of the paths (the program
+// generator only emits programs whose semantics both paths define).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace mantis::check {
+
+enum class Outcome {
+  kAgreed,       ///< all epochs ran, every surface matched
+  kAgreedError,  ///< both paths rejected the same epoch (errors agree)
+  kDiverged,     ///< at least one surface mismatched
+  kSkipped,      ///< scenario outside the comparable domain (compile failure
+                 ///< or a RefModel-unsupported feature)
+};
+
+std::string_view outcome_name(Outcome o);
+
+struct Divergence {
+  std::uint32_t epoch = 0;   ///< 0-based epoch the mismatch was seen after
+  std::string surface;       ///< "verdict", "log", "scalar", "register",
+                             ///< "counter", "table", "exception", "setup"
+  std::string detail;        ///< human-readable mismatch description
+};
+
+struct DiffResult {
+  Outcome outcome = Outcome::kSkipped;
+  std::string skip_reason;   ///< set when outcome == kSkipped / kAgreedError
+  std::vector<Divergence> divergences;
+  std::uint32_t epochs_run = 0;
+  /// Deterministic dump of the final comparison surfaces (both paths agree on
+  /// it whenever outcome == kAgreed); replaying a scenario twice must yield
+  /// byte-identical digests.
+  std::string digest;
+
+  bool diverged() const { return outcome == Outcome::kDiverged; }
+};
+
+/// Runs the scenario through both paths. Never throws on program-level
+/// errors (they become outcomes); propagates only harness bugs
+/// (InvariantError etc.). When `metrics` is given, bumps the
+/// check.diff.{runs,agreed,agreed_error,diverged,skipped} counters.
+DiffResult run_diff(const Scenario& s,
+                    telemetry::MetricsRegistry* metrics = nullptr);
+
+}  // namespace mantis::check

@@ -1,0 +1,39 @@
+// Seeded P4R program + trace generator (the fuzzer's front half).
+//
+// ProgramGen emits randomized-but-valid P4R sources drawn from the dialect in
+// docs/LANGUAGE.md: malleable values/fields/tables, plain match tables,
+// register arrays written from the data plane and polled by a reaction over a
+// random measurement window, counters, and a reaction body built from safe
+// statement templates (argmax/sum scans, threshold-guarded table calls,
+// static accumulators, selector shifts, log probes). "Safe" means the
+// generated program cannot fault at runtime by construction — register
+// indices are const or masked into range, malleable writes are masked to the
+// declared width, table calls are guarded by hasEntry — so every divergence
+// the differential runner reports is a real implementation disagreement, not
+// a generated crash.
+#pragma once
+
+#include <cstdint>
+
+#include "check/scenario.hpp"
+
+namespace mantis::check {
+
+struct GenOptions {
+  std::uint32_t min_epochs = 2;
+  std::uint32_t max_epochs = 5;
+  std::uint32_t max_packets_per_epoch = 6;
+  std::uint32_t max_initial_entries = 4;
+  /// Small value domain for match-relevant fields so table hits happen.
+  std::uint64_t match_domain = 8;
+};
+
+/// Generates the scenario for one fuzz iteration. Deterministic in (seed,
+/// opts): the same inputs always yield the same scenario.
+Scenario generate_scenario(std::uint64_t seed, const GenOptions& opts = {});
+
+/// Derives the per-iteration seed from a base seed (splitmix64 step), so
+/// `--seed S --iters N` explores N independent scenarios reproducibly.
+std::uint64_t iteration_seed(std::uint64_t base, std::uint64_t iteration);
+
+}  // namespace mantis::check

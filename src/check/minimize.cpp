@@ -1,0 +1,134 @@
+#include "check/minimize.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace mantis::check {
+
+namespace {
+
+using Edit = std::function<bool(Scenario&)>;  ///< false = not applicable
+
+/// All single-step reductions of `s`, coarsest first (dropping a whole epoch
+/// or table prunes more than dropping one field assignment).
+std::vector<Edit> edits_of(const Scenario& s) {
+  std::vector<Edit> out;
+
+  if (s.epochs > 1) {
+    out.push_back([](Scenario& c) {
+      c.epochs -= 1;
+      std::erase_if(c.packets,
+                    [&](const PacketSpec& p) { return p.epoch >= c.epochs; });
+      return true;
+    });
+  }
+
+  auto chunk_removals = [&out](std::vector<std::string> GenSpec::* member,
+                               std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back([member, i](Scenario& c) {
+        auto& v = c.program.*member;
+        if (i >= v.size()) return false;
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      });
+    }
+  };
+  chunk_removals(&GenSpec::tables, s.program.tables.size());
+  chunk_removals(&GenSpec::actions, s.program.actions.size());
+  chunk_removals(&GenSpec::decls, s.program.decls.size());
+  chunk_removals(&GenSpec::ingress, s.program.ingress.size());
+  chunk_removals(&GenSpec::egress, s.program.egress.size());
+  chunk_removals(&GenSpec::reaction_stmts, s.program.reaction_stmts.size());
+
+  if (!s.program.reaction_sig.empty()) {
+    out.push_back([](Scenario& c) {
+      if (c.program.reaction_sig.empty()) return false;
+      c.program.reaction_sig.clear();
+      c.program.reaction_stmts.clear();
+      return true;
+    });
+  }
+
+  for (std::size_t i = 0; i < s.packets.size(); ++i) {
+    out.push_back([i](Scenario& c) {
+      if (i >= c.packets.size()) return false;
+      c.packets.erase(c.packets.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    });
+  }
+  for (std::size_t i = 0; i < s.entries.size(); ++i) {
+    out.push_back([i](Scenario& c) {
+      if (i >= c.entries.size()) return false;
+      c.entries.erase(c.entries.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    });
+  }
+  for (std::size_t p = 0; p < s.packets.size(); ++p) {
+    for (std::size_t f = 0; f < s.packets[p].fields.size(); ++f) {
+      out.push_back([p, f](Scenario& c) {
+        if (p >= c.packets.size()) return false;
+        auto& fields = c.packets[p].fields;
+        if (f >= fields.size()) return false;
+        fields.erase(fields.begin() + static_cast<std::ptrdiff_t>(f));
+        return true;
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Scenario minimize_scenario(const Scenario& s, const MinimizeOptions& opts,
+                           MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+
+  auto diverges = [&](const Scenario& c) {
+    ++st.runs;
+    return run_diff(c).diverged();
+  };
+
+  Scenario cur = s;
+  if (!diverges(cur)) return cur;
+
+  // Truncating to just past the first divergent epoch is almost always the
+  // single biggest reduction, so do it before the greedy pass.
+  {
+    Scenario cand = cur;
+    DiffResult r = run_diff(cand);
+    ++st.runs;
+    if (r.diverged() && !r.divergences.empty()) {
+      const std::uint32_t keep = r.divergences.front().epoch + 1;
+      if (keep < cand.epochs) {
+        cand.epochs = keep;
+        std::erase_if(cand.packets,
+                      [&](const PacketSpec& p) { return p.epoch >= keep; });
+        if (diverges(cand)) {
+          cur = std::move(cand);
+          ++st.accepted;
+        }
+      }
+    }
+  }
+
+  bool changed = true;
+  while (changed && st.runs < opts.max_runs) {
+    changed = false;
+    for (const auto& edit : edits_of(cur)) {
+      if (st.runs >= opts.max_runs) break;
+      Scenario cand = cur;
+      if (!edit(cand)) continue;
+      if (diverges(cand)) {
+        cur = std::move(cand);
+        ++st.accepted;
+        changed = true;
+        break;  // chunk indices shifted; rebuild the edit list
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace mantis::check

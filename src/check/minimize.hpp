@@ -1,0 +1,35 @@
+// Greedy scenario minimizer: shrinks a diverging Scenario while preserving
+// the divergence, so tests/corpus/ repros stay small enough to debug by hand.
+//
+// The reduction space is the chunk structure GenSpec already exposes —
+// whole declarations, actions, tables, control statements, reaction
+// statements — plus trace-level elements (epochs, packets, packet field
+// assignments, initial entries). A candidate is accepted only when the
+// differential runner still reports kDiverged on it; candidates that stop
+// compiling (or fall out of the comparable domain) are rejected by the same
+// oracle, so the minimizer needs no grammar knowledge of its own.
+#pragma once
+
+#include <cstdint>
+
+#include "check/diff.hpp"
+#include "check/scenario.hpp"
+
+namespace mantis::check {
+
+struct MinimizeOptions {
+  /// Upper bound on differential runs spent minimizing one scenario.
+  std::size_t max_runs = 400;
+};
+
+struct MinimizeStats {
+  std::size_t runs = 0;      ///< differential runs spent
+  std::size_t accepted = 0;  ///< reductions that kept the divergence
+};
+
+/// Shrinks `s` (which must currently diverge; returns `s` unchanged if it
+/// does not). The result is guaranteed to still diverge.
+Scenario minimize_scenario(const Scenario& s, const MinimizeOptions& opts = {},
+                           MinimizeStats* stats = nullptr);
+
+}  // namespace mantis::check

@@ -1,0 +1,842 @@
+#include "check/ref_model.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace mantis::check {
+
+namespace {
+
+constexpr std::uint64_t kFullMask = ~std::uint64_t{0};
+
+/// Prefix length of an LPM mask (leading set bits within width); mirrors the
+/// sim's tie-break exactly.
+unsigned prefix_length(std::uint64_t mask, unsigned width) {
+  unsigned len = 0;
+  for (unsigned bit = width; bit-- > 0;) {
+    if ((mask >> bit) & 1) {
+      ++len;
+    } else {
+      break;
+    }
+  }
+  return len;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RefEnv: the creact environment over RefModel state. Mirrors the agent's
+// InterpEnv byte-for-byte where the generated programs can observe it.
+// ---------------------------------------------------------------------------
+
+class RefEnv : public p4r::creact::ReactionEnv {
+ public:
+  RefEnv(RefModel& m, std::string reaction)
+      : m_(&m), reaction_(std::move(reaction)) {}
+
+  void log_value(p4r::creact::CValue v) override {
+    m_->log_.emplace_back(reaction_, v);
+  }
+
+  p4r::creact::CValue mbl_get(const std::string& name) override {
+    return static_cast<p4r::creact::CValue>(m_->ctx_get_scalar(name));
+  }
+  void mbl_set(const std::string& name, p4r::creact::CValue value) override {
+    m_->ctx_set_scalar(name, static_cast<std::uint64_t>(value));
+  }
+
+  p4r::creact::CValue table_call(
+      const std::string& table, const std::string& method,
+      const std::vector<p4r::creact::TableCallArg>& args) override {
+    const auto& t = m_->table_rt(table);
+    const std::size_t keys = t.decl->reads.size();
+
+    auto key_from = [&](std::size_t first) {
+      std::vector<p4::MatchValue> key;
+      for (std::size_t i = 0; i < keys; ++i) {
+        const auto& a = args.at(first + i);
+        if (a.is_string) {
+          throw UserError(table + "." + method + ": key must be numeric");
+        }
+        key.push_back(
+            p4::MatchValue{static_cast<std::uint64_t>(a.num), kFullMask});
+      }
+      return key;
+    };
+    auto action_args_from = [&](std::size_t first) {
+      std::vector<std::uint64_t> out;
+      for (std::size_t i = first; i < args.size(); ++i) {
+        if (args[i].is_string) {
+          throw UserError(table + "." + method + ": unexpected string argument");
+        }
+        out.push_back(static_cast<std::uint64_t>(args[i].num));
+      }
+      return out;
+    };
+    auto action_name = [&](std::size_t idx) {
+      if (idx >= args.size() || !args[idx].is_string) {
+        throw UserError(table + "." + method + ": expected action name string");
+      }
+      return args[idx].str;
+    };
+
+    if (method == "addEntry") {
+      p4::EntrySpec spec;
+      spec.action = action_name(0);
+      spec.key = key_from(1);
+      spec.action_args = action_args_from(1 + keys);
+      return static_cast<p4r::creact::CValue>(m_->ctx_add_entry(table, spec));
+    }
+    if (method == "modEntry") {
+      const std::string action = action_name(0);
+      const auto key = key_from(1);
+      const auto id = m_->ctx_find_entry(table, key);
+      if (!id.has_value()) throw UserError(table + ".modEntry: no such entry");
+      m_->ctx_mod_entry(table, *id, action, action_args_from(1 + keys));
+      return 0;
+    }
+    if (method == "delEntry") {
+      const auto key = key_from(0);
+      const auto id = m_->ctx_find_entry(table, key);
+      if (!id.has_value()) throw UserError(table + ".delEntry: no such entry");
+      m_->ctx_del_entry(table, *id);
+      return 0;
+    }
+    if (method == "hasEntry") {
+      return m_->ctx_find_entry(table, key_from(0)).has_value() ? 1 : 0;
+    }
+    if (method == "entryCount") {
+      return static_cast<p4r::creact::CValue>(m_->ctx_entry_count(table));
+    }
+    if (method == "setDefault") {
+      const std::string action = action_name(0);
+      const bool bound =
+          std::find(t.decl->actions.begin(), t.decl->actions.end(), action) !=
+          t.decl->actions.end();
+      auto it = m_->action_uses_mbl_field_.find(action);
+      const bool specialized = it != m_->action_uses_mbl_field_.end() && it->second;
+      if (!bound || specialized) {
+        throw UserError(table + ".setDefault: action must exist and be "
+                        "specialization-free");
+      }
+      auto& rt = m_->table_rt(table);
+      rt.default_action = action;
+      rt.default_args = action_args_from(1);
+      return 0;
+    }
+    throw UserError("unknown table method: " + table + "." + method);
+  }
+
+  p4r::creact::CValue now_us() override { return 0; }
+
+ private:
+  RefModel* m_;
+  std::string reaction_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+RefModel::RefModel(p4r::P4RProgram fp) : fp_(std::move(fp)) {
+  p4::add_standard_metadata(fp_.prog);
+  const auto& cat = fp_.prog.fields;
+  f_ingress_port_ = cat.require(p4::intrinsics::kIngressPort);
+  f_egress_spec_ = cat.require(p4::intrinsics::kEgressSpec);
+  f_egress_port_ = cat.require(p4::intrinsics::kEgressPort);
+  f_packet_length_ = cat.require(p4::intrinsics::kPacketLength);
+  f_pid_ = cat.find("pm.pid");
+
+  for (const auto& v : fp_.values) {
+    scalar_meta_[v.name] = ScalarMeta{v.width, false, 0};
+    staged_[v.name] = v.init;
+  }
+  for (const auto& f : fp_.fields) {
+    scalar_meta_[f.name] = ScalarMeta{
+        static_cast<p4::Width>(ceil_log2(f.alts.size())), true, f.alts.size()};
+    staged_[f.name] = f.init_alt;
+  }
+  committed_ = staged_;
+
+  for (const auto& t : fp_.prog.tables) {
+    TableMeta meta;
+    meta.decl = &t;
+    meta.malleable = fp_.is_malleable_table(t.name);
+    meta.default_action = t.default_action;
+    meta.default_args = t.default_action_args;
+    for (const auto& r : t.reads) {
+      if (r.kind == p4::MatchKind::kValid) {
+        throw RefUnsupported("ref: valid match kind unsupported");
+      }
+      if (r.is_malleable() && fp_.find_field(r.mbl) == nullptr) {
+        throw RefUnsupported("ref: malleable value table reads unsupported");
+      }
+    }
+    tables_.emplace(t.name, std::move(meta));
+  }
+
+  for (const auto& r : fp_.prog.registers) {
+    regs_[r.name].assign(r.instance_count, 0);
+    reg_width_[r.name] = r.width;
+  }
+  for (const auto& c : fp_.prog.counters) {
+    counters_[c.name].assign(c.instance_count, 0);
+  }
+
+  for (const auto& a : fp_.prog.actions) {
+    bool uses = false;
+    for (const auto& ins : a.body) {
+      for (const auto& arg : ins.args) {
+        if (arg.kind == p4::OperandKind::kMbl &&
+            fp_.find_field(arg.mbl) != nullptr) {
+          uses = true;
+        }
+      }
+    }
+    action_uses_mbl_field_[a.name] = uses;
+  }
+
+  for (const auto& rx : fp_.reactions) {
+    ReactionRt rt;
+    rt.decl = &rx;
+    for (const auto& p : rx.params) {
+      switch (p.kind) {
+        case p4r::ReactionParam::Kind::kField: {
+          rt.caps.push_back(FieldCap{p.c_name, p.gress, p.field});
+          rt.meas[0][p.c_name] = 0;
+          rt.meas[1][p.c_name] = 0;
+          break;
+        }
+        case p4r::ReactionParam::Kind::kRegister:
+          if (regs_.count(p.reg) == 0) {
+            throw UserError("reaction " + rx.name + ": unknown register " +
+                            p.reg);
+          }
+          rt.windows.push_back(Window{p.c_name, p.reg, p.lo, p.hi});
+          break;
+        case p4r::ReactionParam::Kind::kMalleable:
+          break;  // readable through mbl_get; nothing to poll
+      }
+    }
+    rt.body = std::make_unique<p4r::creact::CBody>(
+        p4r::creact::parse_body(rx.body));
+    rt.interp = std::make_unique<p4r::creact::Interp>(*rt.body);
+    reactions_.push_back(std::move(rt));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table runtime helpers
+// ---------------------------------------------------------------------------
+
+RefModel::TableMeta& RefModel::table_rt(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw UserError("unknown user table: " + name);
+  return it->second;
+}
+
+const RefModel::TableMeta& RefModel::table_rt(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw UserError("unknown user table: " + name);
+  return it->second;
+}
+
+void RefModel::validate_user_spec(const std::string& table, const TableMeta& t,
+                                  const p4::EntrySpec& spec) const {
+  const auto& decl = *t.decl;
+  if (spec.key.size() != decl.reads.size()) {
+    throw UserError("table " + table + ": key arity " +
+                    std::to_string(spec.key.size()) + " != " +
+                    std::to_string(decl.reads.size()));
+  }
+  if (std::find(decl.actions.begin(), decl.actions.end(), spec.action) ==
+      decl.actions.end()) {
+    throw UserError("table " + table + ": action " + spec.action +
+                    " not bound to table");
+  }
+  const auto* act = fp_.prog.find_action(spec.action);
+  if (act == nullptr) {
+    throw UserError("table " + table + ": action " + spec.action + " unknown");
+  }
+  if (act->params.size() != spec.action_args.size()) {
+    throw UserError("table " + table + ": action " + spec.action + " expects " +
+                    std::to_string(act->params.size()) + " args, got " +
+                    std::to_string(spec.action_args.size()));
+  }
+  for (std::size_t i = 0; i < spec.key.size(); ++i) {
+    const auto& read = decl.reads[i];
+    if (read.is_malleable()) {
+      // The compiled path stores {v & premask, m & premask} in a ternary (or
+      // lpm) alternative column of the malleable field's width.
+      const auto* mf = fp_.find_field(read.mbl);
+      ensures(mf != nullptr, "validate: unchecked malleable read");
+      if (((spec.key[i].value & read.premask) & ~mask_for_width(mf->width)) !=
+          0) {
+        throw UserError("table " + table + ": key component " +
+                        std::to_string(i) + " wider than field");
+      }
+      continue;
+    }
+    const auto width = fp_.prog.fields.width(read.field);
+    const auto m = mask_for_width(width);
+    if ((spec.key[i].value & ~m) != 0) {
+      throw UserError("table " + table + ": key component " +
+                      std::to_string(i) + " wider than field");
+    }
+    if (read.kind == p4::MatchKind::kExact && (spec.key[i].mask & m) != m) {
+      throw UserError("table " + table + ": exact key component " +
+                      std::to_string(i) + " must use a full mask");
+    }
+  }
+}
+
+std::uint64_t RefModel::ctx_add_entry(const std::string& table,
+                                      const p4::EntrySpec& user) {
+  auto& t = table_rt(table);
+  if (!in_reaction_ || !t.malleable) {
+    validate_user_spec(table, t, user);
+    if (t.entries.size() >= t.decl->size) {
+      throw UserError("table " + table + ": full (" +
+                      std::to_string(t.decl->size) + " entries)");
+    }
+    const std::uint64_t id = t.next_id++;
+    TableMeta::Entry e;
+    e.staged = user;
+    e.committed = user;
+    t.entries.emplace(id, std::move(e));
+    return id;
+  }
+  // Buffered: visible to user-level reads now, to packets after apply.
+  // Validation is deferred to apply, matching the compiled path (the driver
+  // only sees buffered entries at prepare time).
+  const std::uint64_t id = t.next_id++;
+  TableMeta::Entry e;
+  e.staged = user;
+  t.entries.emplace(id, std::move(e));
+  return id;
+}
+
+void RefModel::ctx_mod_entry(const std::string& table, std::uint64_t id,
+                             const std::string& action,
+                             std::vector<std::uint64_t> args) {
+  auto& t = table_rt(table);
+  auto it = t.entries.find(id);
+  if (it == t.entries.end()) throw UserError("mod_entry: bad entry id");
+  if (!in_reaction_ || !t.malleable) {
+    p4::EntrySpec updated = it->second.staged;
+    updated.action = action;
+    updated.action_args = std::move(args);
+    validate_user_spec(table, t, updated);
+    it->second.staged = updated;
+    it->second.committed = updated;
+    return;
+  }
+  if (it->second.pending_delete) {
+    throw UserError("mod_entry: entry deleted this iteration");
+  }
+  it->second.staged.action = action;
+  it->second.staged.action_args = std::move(args);
+}
+
+void RefModel::ctx_del_entry(const std::string& table, std::uint64_t id) {
+  auto& t = table_rt(table);
+  auto it = t.entries.find(id);
+  if (it == t.entries.end()) throw UserError("del_entry: bad entry id");
+  if (!in_reaction_ || !t.malleable) {
+    t.entries.erase(it);
+    return;
+  }
+  if (it->second.pending_delete) {
+    throw UserError("del_entry: entry already deleted this iteration");
+  }
+  it->second.pending_delete = true;
+}
+
+std::optional<std::uint64_t> RefModel::ctx_find_entry(
+    const std::string& table, const std::vector<p4::MatchValue>& key) const {
+  const auto& t = table_rt(table);
+  for (const auto& [id, e] : t.entries) {
+    if (!e.pending_delete && e.staged.key == key) return id;
+  }
+  return std::nullopt;
+}
+
+std::size_t RefModel::ctx_entry_count(const std::string& table) const {
+  const auto& t = table_rt(table);
+  std::size_t n = 0;
+  for (const auto& [id, e] : t.entries) {
+    if (!e.pending_delete) ++n;
+  }
+  return n;
+}
+
+std::uint64_t RefModel::ctx_get_scalar(const std::string& name) const {
+  auto it = staged_.find(name);
+  if (it == staged_.end()) throw UserError("no malleable scalar: " + name);
+  return it->second;
+}
+
+void RefModel::ctx_set_scalar(const std::string& name, std::uint64_t value) {
+  auto it = staged_.find(name);
+  if (it == staged_.end()) throw UserError("no malleable scalar: " + name);
+  const auto& slot = scalar_meta_.at(name);
+  if (slot.is_selector && value >= slot.alt_count) {
+    throw UserError("malleable field " + name + ": alt index " +
+                    std::to_string(value) + " out of range");
+  }
+  if ((value & mask_for_width(slot.width)) != value) {
+    throw UserError("malleable " + name + ": value wider than " +
+                    std::to_string(slot.width) + " bits");
+  }
+  it->second = value;
+  if (!in_reaction_) committed_ = staged_;
+}
+
+std::uint64_t RefModel::add_entry(const std::string& table,
+                                  const p4::EntrySpec& user) {
+  expects(!in_reaction_, "RefModel::add_entry is management-plane only");
+  return ctx_add_entry(table, user);
+}
+
+void RefModel::apply_updates() {
+  for (auto& [name, t] : tables_) {
+    for (auto it = t.entries.begin(); it != t.entries.end();) {
+      if (it->second.pending_delete) {
+        it = t.entries.erase(it);
+        continue;
+      }
+      // Re-validating unchanged entries is harmless (validation depends only
+      // on static decl info) and matches the dirty-op check at prepare time.
+      validate_user_spec(name, t, it->second.staged);
+      it->second.committed = it->second.staged;
+      ++it;
+    }
+    if (t.entries.size() > t.decl->size) {
+      throw UserError("table " + name + ": full (" +
+                      std::to_string(t.decl->size) + " entries)");
+    }
+  }
+  committed_ = staged_;
+}
+
+// ---------------------------------------------------------------------------
+// Dialogue
+// ---------------------------------------------------------------------------
+
+void RefModel::dialogue_iteration() {
+  mv_ ^= 1;
+  const int checkpoint = mv_ ^ 1;
+
+  in_reaction_ = true;
+  for (auto& rx : reactions_) {
+    p4r::creact::PolledParams params;
+    for (const auto& [c_name, v] : rx.meas[checkpoint]) {
+      params.scalars[c_name] = static_cast<p4r::creact::CValue>(v);
+    }
+    for (const auto& w : rx.windows) {
+      p4r::creact::PolledParams::Array arr;
+      arr.lo = w.lo;
+      const auto& cells = regs_.at(w.reg);
+      for (std::uint32_t i = w.lo; i <= w.hi; ++i) {
+        if (i >= cells.size()) {
+          throw UserError("reaction " + rx.decl->name + ": register window [" +
+                          std::to_string(w.lo) + ":" + std::to_string(w.hi) +
+                          "] out of range for " + w.reg);
+        }
+        arr.values.push_back(static_cast<p4r::creact::CValue>(cells[i]));
+      }
+      params.arrays.emplace(w.c_name, std::move(arr));
+    }
+    RefEnv env(*this, rx.decl->name);
+    rx.interp->run(params, env);
+  }
+  in_reaction_ = false;
+
+  apply_updates();
+}
+
+// ---------------------------------------------------------------------------
+// Packet-time execution
+// ---------------------------------------------------------------------------
+
+std::size_t RefModel::selector_of(const p4r::MalleableField& mf) const {
+  return static_cast<std::size_t>(committed_.at(mf.name));
+}
+
+std::uint64_t RefModel::eval_operand(const p4::Operand& o,
+                                     const std::vector<std::uint64_t>& args,
+                                     const PacketState& st) const {
+  switch (o.kind) {
+    case p4::OperandKind::kField:
+      return st.vals[o.field];
+    case p4::OperandKind::kConst:
+      return o.value;
+    case p4::OperandKind::kParam:
+      if (o.param >= args.size()) {
+        throw UserError("ref: missing runtime arg " + std::to_string(o.param));
+      }
+      return args[o.param];
+    case p4::OperandKind::kMbl: {
+      auto it = st.value_shadow.find(o.mbl);
+      if (it != st.value_shadow.end()) return it->second;
+      const auto* mf = fp_.find_field(o.mbl);
+      if (mf == nullptr) throw UserError("ref: unknown malleable ${" + o.mbl + "}");
+      return st.vals[mf->alts[selector_of(*mf)]];
+    }
+  }
+  return 0;
+}
+
+bool RefModel::eval_cond(const p4::CondExpr& cond, const PacketState& st) const {
+  auto value_of = [&](const p4::Operand& o) -> std::uint64_t {
+    if (o.kind == p4::OperandKind::kParam) {
+      throw UserError("ref: action param in control condition");
+    }
+    return eval_operand(o, {}, st);
+  };
+  const std::uint64_t a = value_of(cond.lhs);
+  const std::uint64_t b = value_of(cond.rhs);
+  switch (cond.op) {
+    case p4::RelOp::kEq: return a == b;
+    case p4::RelOp::kNe: return a != b;
+    case p4::RelOp::kLt: return a < b;
+    case p4::RelOp::kLe: return a <= b;
+    case p4::RelOp::kGt: return a > b;
+    case p4::RelOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+void RefModel::exec_action(const p4::ActionDecl& act,
+                           const std::vector<std::uint64_t>& args,
+                           PacketState& st) {
+  if (args.size() != act.params.size()) {
+    throw UserError("ref: arg count mismatch for action " + act.name);
+  }
+  // A destination is a concrete field or a malleable: a malleable field
+  // writes the committed alternative (the compiled path's specialization
+  // does a fresh write at instruction time); a malleable value writes the
+  // packet's metadata copy.
+  auto store = [&](const p4::Operand& dst, std::uint64_t v) {
+    if (dst.kind == p4::OperandKind::kField) {
+      st.vals[dst.field] =
+          truncate_to_width(v, fp_.prog.fields.width(dst.field));
+      return;
+    }
+    if (dst.kind == p4::OperandKind::kMbl) {
+      auto it = st.value_shadow.find(dst.mbl);
+      if (it != st.value_shadow.end()) {
+        const auto* mv = fp_.find_value(dst.mbl);
+        ensures(mv != nullptr, "ref: shadow without declaration");
+        it->second = truncate_to_width(v, mv->width);
+        return;
+      }
+      const auto* mf = fp_.find_field(dst.mbl);
+      if (mf != nullptr) {
+        const p4::FieldId f = mf->alts[selector_of(*mf)];
+        st.vals[f] = truncate_to_width(v, fp_.prog.fields.width(f));
+        return;
+      }
+    }
+    throw UserError("ref: bad destination operand in " + act.name);
+  };
+  for (const auto& ins : act.body) {
+    auto arg = [&](std::size_t i) { return eval_operand(ins.args[i], args, st); };
+    switch (ins.op) {
+      case p4::PrimOp::kModifyField:
+        store(ins.args[0], arg(1));
+        break;
+      case p4::PrimOp::kAdd:
+        store(ins.args[0], arg(1) + arg(2));
+        break;
+      case p4::PrimOp::kSubtract:
+        store(ins.args[0], arg(1) - arg(2));
+        break;
+      case p4::PrimOp::kAddToField:
+        store(ins.args[0], eval_operand(ins.args[0], args, st) + arg(1));
+        break;
+      case p4::PrimOp::kSubtractFromField:
+        store(ins.args[0], eval_operand(ins.args[0], args, st) - arg(1));
+        break;
+      case p4::PrimOp::kBitAnd:
+        store(ins.args[0], arg(1) & arg(2));
+        break;
+      case p4::PrimOp::kBitOr:
+        store(ins.args[0], arg(1) | arg(2));
+        break;
+      case p4::PrimOp::kBitXor:
+        store(ins.args[0], arg(1) ^ arg(2));
+        break;
+      case p4::PrimOp::kShiftLeft:
+        store(ins.args[0], arg(1) << (arg(2) & 63));
+        break;
+      case p4::PrimOp::kShiftRight:
+        store(ins.args[0], arg(1) >> (arg(2) & 63));
+        break;
+      case p4::PrimOp::kRegisterRead: {
+        auto rit = regs_.find(ins.object);
+        if (rit == regs_.end()) {
+          throw UserError("ref: unknown register " + ins.object);
+        }
+        const auto index = static_cast<std::uint32_t>(arg(1));
+        if (index >= rit->second.size()) {
+          throw UserError("register " + ins.object + ": index out of range");
+        }
+        store(ins.args[0], rit->second[index]);
+        break;
+      }
+      case p4::PrimOp::kRegisterWrite: {
+        auto rit = regs_.find(ins.object);
+        if (rit == regs_.end()) {
+          throw UserError("ref: unknown register " + ins.object);
+        }
+        const auto index = static_cast<std::uint32_t>(arg(0));
+        if (index >= rit->second.size()) {
+          throw UserError("register " + ins.object + ": index out of range");
+        }
+        rit->second[index] =
+            truncate_to_width(arg(1), reg_width_.at(ins.object));
+        break;
+      }
+      case p4::PrimOp::kCount: {
+        auto cit = counters_.find(ins.object);
+        if (cit == counters_.end()) {
+          throw UserError("ref: unknown counter " + ins.object);
+        }
+        const auto index = static_cast<std::uint32_t>(arg(0));
+        if (index >= cit->second.size()) {
+          throw UserError("counter " + ins.object + ": index out of range");
+        }
+        ++cit->second[index];
+        break;
+      }
+      case p4::PrimOp::kModifyFieldWithHash:
+        throw RefUnsupported("ref: hash calculations unsupported");
+      case p4::PrimOp::kDrop:
+        st.dropped = true;
+        break;
+      case p4::PrimOp::kNoOp:
+        break;
+    }
+  }
+}
+
+bool RefModel::entry_matches(const TableMeta& t, const p4::EntrySpec& spec,
+                             const PacketState& st) const {
+  const auto& reads = t.decl->reads;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const auto& read = reads[i];
+    const auto& k = spec.key[i];
+    if (read.is_malleable()) {
+      const auto* mf = fp_.find_field(read.mbl);
+      ensures(mf != nullptr, "ref: unchecked malleable read");
+      const std::uint64_t fval = st.vals[mf->alts[selector_of(*mf)]];
+      // The compiled alternative column holds {v & premask, m & premask} and
+      // matches ternary-style regardless of the user-facing kind.
+      const std::uint64_t eff = k.mask & read.premask;
+      if ((fval & eff) != (k.value & eff)) return false;
+      continue;
+    }
+    const std::uint64_t fval = st.vals[read.field];
+    switch (read.kind) {
+      case p4::MatchKind::kExact:
+        if (fval != k.value) return false;
+        break;
+      case p4::MatchKind::kTernary:
+      case p4::MatchKind::kLpm:
+        if ((fval & k.mask) != (k.value & k.mask)) return false;
+        break;
+      case p4::MatchKind::kValid:
+        throw RefUnsupported("ref: valid match kind unsupported");
+    }
+  }
+  return true;
+}
+
+unsigned RefModel::entry_prefix(const TableMeta& t,
+                                const p4::EntrySpec& spec) const {
+  unsigned prefix = 0;
+  const auto& reads = t.decl->reads;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (reads[i].kind != p4::MatchKind::kLpm) continue;
+    if (reads[i].is_malleable()) {
+      const auto* mf = fp_.find_field(reads[i].mbl);
+      prefix += prefix_length(spec.key[i].mask & reads[i].premask, mf->width);
+    } else {
+      prefix += prefix_length(spec.key[i].mask,
+                              fp_.prog.fields.width(reads[i].field));
+    }
+  }
+  return prefix;
+}
+
+void RefModel::apply_table(const TableMeta& t, PacketState& st) {
+  const p4::EntrySpec* best = nullptr;
+  unsigned best_prefix = 0;
+  if (!t.decl->reads.empty()) {
+    // Ascending id order mirrors the concrete table's insert_seq tie-break:
+    // user entries reach every vv copy in add order.
+    for (const auto& [id, e] : t.entries) {
+      if (!e.committed.has_value()) continue;
+      if (!entry_matches(t, *e.committed, st)) continue;
+      const unsigned prefix = entry_prefix(t, *e.committed);
+      const bool better =
+          best == nullptr || e.committed->priority > best->priority ||
+          (e.committed->priority == best->priority && prefix > best_prefix);
+      if (better) {
+        best = &*e.committed;
+        best_prefix = prefix;
+      }
+    }
+  }
+  if (best != nullptr) {
+    const auto* act = fp_.prog.find_action(best->action);
+    if (act == nullptr) throw UserError("ref: unknown action " + best->action);
+    exec_action(*act, best->action_args, st);
+    return;
+  }
+  if (t.default_action.empty()) return;  // miss + no default = no-op
+  const auto* act = fp_.prog.find_action(t.default_action);
+  if (act == nullptr) {
+    throw UserError("ref: unknown default action " + t.default_action);
+  }
+  exec_action(*act, t.default_args, st);
+}
+
+void RefModel::run_control(const std::vector<p4::ControlNode>& nodes,
+                           PacketState& st) {
+  for (const auto& node : nodes) {
+    if (const auto* ap = std::get_if<p4::ApplyNode>(&node.node)) {
+      apply_table(table_rt(ap->table), st);
+    } else {
+      const auto& iff = std::get<p4::IfNode>(node.node);
+      if (eval_cond(iff.cond, st)) {
+        run_control(iff.then_branch, st);
+      } else {
+        run_control(iff.else_branch, st);
+      }
+    }
+  }
+}
+
+void RefModel::capture(PacketState& st, p4::Gress gress) {
+  for (auto& rx : reactions_) {
+    for (const auto& cap : rx.caps) {
+      if (cap.gress != gress) continue;
+      rx.meas[mv_][cap.c_name] = st.vals[cap.field];
+    }
+  }
+}
+
+RefVerdict RefModel::process_packet(const PacketSpec& ps, std::uint64_t pid) {
+  RefVerdict v;
+  v.pid = pid;
+
+  PacketState st;
+  st.vals.assign(fp_.prog.fields.size(), 0);
+  for (const auto& mval : fp_.values) {
+    st.value_shadow[mval.name] = committed_.at(mval.name);
+  }
+  const auto& cat = fp_.prog.fields;
+  auto set_field = [&](p4::FieldId f, std::uint64_t value) {
+    st.vals[f] = truncate_to_width(value, cat.width(f));
+  };
+  set_field(f_ingress_port_, static_cast<std::uint64_t>(ps.port));
+  set_field(f_packet_length_, ps.length);
+  if (f_pid_ != p4::kInvalidField) set_field(f_pid_, pid);
+  for (const auto& [name, value] : ps.fields) {
+    const p4::FieldId f = cat.find(name);
+    if (f == p4::kInvalidField) {
+      throw UserError("packet spec: unknown field " + name);
+    }
+    set_field(f, value);
+  }
+
+  run_control(fp_.prog.ingress.nodes, st);
+  capture(st, p4::Gress::kIngress);
+  if (st.dropped) return v;
+
+  const std::uint64_t port_out = st.vals[f_egress_spec_];
+  if (port_out == static_cast<std::uint64_t>(recirc_port_)) {
+    throw RefUnsupported("ref: recirculation unsupported");
+  }
+  if (port_out >= static_cast<std::uint64_t>(num_ports_)) return v;
+
+  set_field(f_egress_port_, port_out);
+  run_control(fp_.prog.egress.nodes, st);
+  capture(st, p4::Gress::kEgress);
+  if (st.dropped) return v;
+
+  v.forwarded = true;
+  v.port = static_cast<int>(port_out);
+  for (p4::FieldId f = 0; f < cat.size(); ++f) {
+    if (cat.instance(f) == p4::intrinsics::kInstance) continue;
+    v.fields.emplace_back(cat.full_name(f), st.vals[f]);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot surface
+// ---------------------------------------------------------------------------
+
+std::uint64_t RefModel::scalar(const std::string& name) const {
+  auto it = staged_.find(name);
+  if (it == staged_.end()) throw UserError("no malleable scalar: " + name);
+  return it->second;
+}
+
+std::vector<std::string> RefModel::scalar_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, v] : staged_) out.push_back(name);
+  return out;
+}
+
+std::uint32_t RefModel::counter_count(const std::string& name) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) throw UserError("unknown counter: " + name);
+  return static_cast<std::uint32_t>(it->second.size());
+}
+
+std::uint64_t RefModel::counter_value(const std::string& name,
+                                      std::uint32_t idx) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) throw UserError("unknown counter: " + name);
+  if (idx >= it->second.size()) {
+    throw UserError("counter " + name + ": index out of range");
+  }
+  return it->second[idx];
+}
+
+std::vector<std::string> RefModel::counter_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, cells] : counters_) out.push_back(name);
+  return out;
+}
+
+std::size_t RefModel::entry_count(const std::string& table) const {
+  return ctx_entry_count(table);
+}
+
+std::vector<RefModel::EntryView> RefModel::entries(
+    const std::string& table) const {
+  const auto& t = table_rt(table);
+  std::vector<EntryView> out;
+  for (const auto& [id, e] : t.entries) {
+    if (e.pending_delete) continue;
+    out.push_back(EntryView{e.staged.key, e.staged.action,
+                            e.staged.action_args});
+  }
+  return out;
+}
+
+std::vector<std::string> RefModel::table_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, t] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mantis::check

@@ -1,0 +1,214 @@
+// Reference executor for the differential harness.
+//
+// RefModel executes the *frontend* output (p4r::P4RProgram, whose p4::Program
+// still carries `${...}` kMbl operands) directly, with none of the compiler's
+// machinery: malleable values read the committed scalar, malleable fields
+// resolve through the committed selector at each instruction, malleable table
+// reads compare against the selected alternative under `user_mask & premask`,
+// and measurement is a plain per-mv-copy snapshot of field values at the end
+// of each pipeline. Reactions run through the real creact::Interp against a
+// RefEnv that replicates the agent's buffered-update semantics (read-your-
+// writes inside an iteration, commit at iteration end).
+//
+// Because the reference path shares no code with the compiler passes, the
+// update protocol, or the RMT table expansion, any state it agrees on with
+// the compiled path was computed two independent ways.
+//
+// Deliberately out of scope (throws RefUnsupported, which the DiffRunner
+// reports as a skip, not a divergence): recirculation, hash calculations,
+// `valid` match kinds, and timing-derived values (now_us() returns 0; the
+// intrinsic timestamp/queue-depth fields stay 0 and are excluded from
+// verdict comparison).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "p4/ir.hpp"
+#include "p4r/creact/cparser.hpp"
+#include "p4r/creact/interp.hpp"
+#include "p4r/sema.hpp"
+
+namespace mantis::check {
+
+/// Thrown when a program uses a feature the reference model deliberately
+/// does not implement. DiffRunner maps this to Outcome::kSkipped.
+class RefUnsupported : public UserError {
+ public:
+  using UserError::UserError;
+};
+
+/// Per-packet forwarding outcome, comparable across the two paths.
+struct RefVerdict {
+  std::uint64_t pid = 0;
+  bool forwarded = false;
+  int port = -1;
+  /// Final values of every non-intrinsic catalog field, in catalog order.
+  std::vector<std::pair<std::string, std::uint64_t>> fields;
+
+  bool operator==(const RefVerdict&) const = default;
+};
+
+class RefModel {
+ public:
+  /// Takes the frontend program by value (standard metadata is registered if
+  /// the source never touched it). Throws UserError on declarations the
+  /// model cannot host.
+  explicit RefModel(p4r::P4RProgram fp);
+
+  /// Management-plane entry install (immediate, like the agent outside a
+  /// reaction). Validates the spec the way the sim's check_spec would.
+  std::uint64_t add_entry(const std::string& table, const p4::EntrySpec& user);
+
+  /// Runs one packet through ingress -> (traffic manager) -> egress and
+  /// records the measurement snapshots. `pid` lands in "pm.pid" when that
+  /// field exists.
+  RefVerdict process_packet(const PacketSpec& ps, std::uint64_t pid);
+
+  /// One dialogue iteration: flip mv, poll the vacated copy, run every
+  /// reaction body, commit buffered updates.
+  void dialogue_iteration();
+
+  // ---- snapshot surface (compared by DiffRunner after each epoch) ----
+  std::uint64_t scalar(const std::string& name) const;
+  std::vector<std::string> scalar_names() const;
+  const std::map<std::string, std::vector<std::uint64_t>>& registers() const {
+    return regs_;
+  }
+  std::uint32_t counter_count(const std::string& name) const;
+  std::uint64_t counter_value(const std::string& name, std::uint32_t idx) const;
+  std::vector<std::string> counter_names() const;
+
+  std::size_t entry_count(const std::string& table) const;
+  /// All live user entries of `table` as (key, action, args), in id order.
+  struct EntryView {
+    std::vector<p4::MatchValue> key;
+    std::string action;
+    std::vector<std::uint64_t> args;
+  };
+  std::vector<EntryView> entries(const std::string& table) const;
+  std::vector<std::string> table_names() const;
+
+  /// Values passed to `log(v)` since construction, with the reaction name.
+  const std::vector<std::pair<std::string, std::int64_t>>& log() const {
+    return log_;
+  }
+
+  const p4r::P4RProgram& program() const { return fp_; }
+
+ private:
+  friend class RefEnv;
+
+  // ---- static program info ----
+  struct ScalarMeta {
+    p4::Width width = 0;
+    bool is_selector = false;
+    std::size_t alt_count = 0;
+  };
+  struct TableMeta {
+    const p4::TableDecl* decl = nullptr;
+    bool malleable = false;
+    struct Entry {
+      p4::EntrySpec staged;                 ///< user (read-your-writes) view
+      std::optional<p4::EntrySpec> committed;  ///< what packets match
+      bool pending_delete = false;
+    };
+    std::map<std::uint64_t, Entry> entries;
+    std::uint64_t next_id = 1;
+    std::string default_action;  ///< empty = no-op on miss
+    std::vector<std::uint64_t> default_args;
+  };
+  struct FieldCap {
+    std::string c_name;
+    p4::Gress gress = p4::Gress::kIngress;
+    p4::FieldId field = p4::kInvalidField;
+  };
+  struct Window {
+    std::string c_name;
+    std::string reg;
+    std::uint32_t lo = 0, hi = 0;
+  };
+  struct ReactionRt {
+    const p4r::Reaction* decl = nullptr;
+    std::vector<FieldCap> caps;
+    std::vector<Window> windows;
+    /// Measurement copies: meas[mv][c_name], persisted across epochs like
+    /// the packed measurement registers.
+    std::map<std::string, std::uint64_t> meas[2];
+    std::unique_ptr<p4r::creact::CBody> body;
+    std::unique_ptr<p4r::creact::Interp> interp;
+  };
+
+  p4r::P4RProgram fp_;
+  int num_ports_ = 32;
+  int recirc_port_ = 63;
+  p4::FieldId f_ingress_port_ = p4::kInvalidField;
+  p4::FieldId f_egress_spec_ = p4::kInvalidField;
+  p4::FieldId f_egress_port_ = p4::kInvalidField;
+  p4::FieldId f_packet_length_ = p4::kInvalidField;
+  p4::FieldId f_pid_ = p4::kInvalidField;
+
+  std::map<std::string, ScalarMeta> scalar_meta_;
+  std::map<std::string, std::uint64_t> staged_;
+  std::map<std::string, std::uint64_t> committed_;
+  std::map<std::string, TableMeta> tables_;
+  std::map<std::string, std::vector<std::uint64_t>> regs_;
+  std::map<std::string, p4::Width> reg_width_;
+  std::map<std::string, std::vector<std::uint64_t>> counters_;
+  std::vector<ReactionRt> reactions_;
+  /// Actions that touch a malleable *field* (cannot be defaults).
+  std::map<std::string, bool> action_uses_mbl_field_;
+
+  int mv_ = 0;
+  bool in_reaction_ = false;
+  std::vector<std::pair<std::string, std::int64_t>> log_;
+
+  // ---- packet-time execution ----
+  struct PacketState {
+    std::vector<std::uint64_t> vals;
+    /// Per-packet malleable-value shadow, modeling the compiled path's
+    /// p4r_meta_ metadata copy (writable by actions, seeded from the
+    /// committed scalar at ingress start).
+    std::map<std::string, std::uint64_t> value_shadow;
+    bool dropped = false;
+  };
+  void run_control(const std::vector<p4::ControlNode>& nodes, PacketState& st);
+  void apply_table(const TableMeta& t, PacketState& st);
+  bool entry_matches(const TableMeta& t, const p4::EntrySpec& spec,
+                     const PacketState& st) const;
+  unsigned entry_prefix(const TableMeta& t, const p4::EntrySpec& spec) const;
+  void exec_action(const p4::ActionDecl& act,
+                   const std::vector<std::uint64_t>& args, PacketState& st);
+  std::uint64_t eval_operand(const p4::Operand& o,
+                             const std::vector<std::uint64_t>& args,
+                             const PacketState& st) const;
+  bool eval_cond(const p4::CondExpr& cond, const PacketState& st) const;
+  /// Committed selector index of a malleable field.
+  std::size_t selector_of(const p4r::MalleableField& mf) const;
+  void capture(PacketState& st, p4::Gress gress);
+
+  // ---- reaction-time state transitions (shared with RefEnv) ----
+  void validate_user_spec(const std::string& table, const TableMeta& t,
+                          const p4::EntrySpec& spec) const;
+  std::uint64_t ctx_add_entry(const std::string& table,
+                              const p4::EntrySpec& user);
+  void ctx_mod_entry(const std::string& table, std::uint64_t id,
+                     const std::string& action,
+                     std::vector<std::uint64_t> args);
+  void ctx_del_entry(const std::string& table, std::uint64_t id);
+  std::optional<std::uint64_t> ctx_find_entry(
+      const std::string& table, const std::vector<p4::MatchValue>& key) const;
+  std::size_t ctx_entry_count(const std::string& table) const;
+  void ctx_set_scalar(const std::string& name, std::uint64_t value);
+  std::uint64_t ctx_get_scalar(const std::string& name) const;
+  TableMeta& table_rt(const std::string& name);
+  const TableMeta& table_rt(const std::string& name) const;
+  void apply_updates();
+};
+
+}  // namespace mantis::check

@@ -1,0 +1,177 @@
+#include "check/scenario.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mantis::check {
+
+namespace {
+
+constexpr const char* kHeader = "# p4r_fuzz repro v1";
+constexpr const char* kChunkSep = "%%";
+
+void put_list(std::ostringstream& out, const std::string& name,
+              const std::vector<std::string>& items) {
+  out << "--- " << name << " ---\n";
+  for (const auto& item : items) {
+    out << item;
+    if (item.empty() || item.back() != '\n') out << "\n";
+    out << kChunkSep << "\n";
+  }
+}
+
+}  // namespace
+
+std::string GenSpec::render() const {
+  std::string out;
+  auto cat = [&](const std::vector<std::string>& items) {
+    for (const auto& item : items) {
+      out += item;
+      if (item.empty() || item.back() != '\n') out += "\n";
+    }
+  };
+  cat(decls);
+  cat(actions);
+  cat(tables);
+  out += "control ingress {\n";
+  cat(ingress);
+  out += "}\ncontrol egress {\n";
+  cat(egress);
+  out += "}\n";
+  if (!reaction_sig.empty()) {
+    out += reaction_sig + " {\n";
+    cat(reaction_stmts);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string serialize_scenario(const Scenario& s) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "seed " << s.seed << "\n";
+  out << "epochs " << s.epochs << "\n";
+  for (const auto& e : s.entries) {
+    out << "entry " << e.table << " " << e.action << " " << e.priority
+        << " key";
+    for (const auto v : e.key) out << " " << v;
+    out << " masks";
+    for (const auto v : e.masks) out << " " << v;
+    out << " args";
+    for (const auto v : e.args) out << " " << v;
+    out << "\n";
+  }
+  for (const auto& p : s.packets) {
+    out << "packet " << p.epoch << " " << p.port << " " << p.length;
+    for (const auto& [name, value] : p.fields) {
+      out << " " << name << "=" << value;
+    }
+    out << "\n";
+  }
+  put_list(out, "decls", s.program.decls);
+  put_list(out, "actions", s.program.actions);
+  put_list(out, "tables", s.program.tables);
+  put_list(out, "ingress", s.program.ingress);
+  put_list(out, "egress", s.program.egress);
+  put_list(out, "reaction_sig", {s.program.reaction_sig});
+  put_list(out, "reaction_stmts", s.program.reaction_stmts);
+  return out.str();
+}
+
+Scenario parse_scenario(const std::string& text) {
+  Scenario s;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw UserError("repro: missing '" + std::string(kHeader) + "' header");
+  }
+
+  std::vector<std::string>* section = nullptr;
+  std::vector<std::string> sig_holder;
+  std::string chunk;
+  bool in_sections = false;
+
+  auto flush_chunk = [&]() {
+    // Chunks are closed by the %% separator; a trailing unterminated chunk
+    // (no separator) is accepted too.
+    if (section != nullptr && !chunk.empty()) {
+      if (chunk.back() == '\n') chunk.pop_back();
+      section->push_back(chunk);
+    }
+    chunk.clear();
+  };
+
+  while (std::getline(in, line)) {
+    if (line.rfind("--- ", 0) == 0 && line.size() > 8 &&
+        line.substr(line.size() - 4) == " ---") {
+      flush_chunk();
+      in_sections = true;
+      const std::string name = line.substr(4, line.size() - 8);
+      if (name == "decls") section = &s.program.decls;
+      else if (name == "actions") section = &s.program.actions;
+      else if (name == "tables") section = &s.program.tables;
+      else if (name == "ingress") section = &s.program.ingress;
+      else if (name == "egress") section = &s.program.egress;
+      else if (name == "reaction_sig") section = &sig_holder;
+      else if (name == "reaction_stmts") section = &s.program.reaction_stmts;
+      else throw UserError("repro: unknown section '" + name + "'");
+      continue;
+    }
+    if (in_sections) {
+      if (line == kChunkSep) {
+        flush_chunk();
+      } else {
+        chunk += line;
+        chunk += "\n";
+      }
+      continue;
+    }
+
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+    if (kw == "seed") {
+      ls >> s.seed;
+    } else if (kw == "epochs") {
+      ls >> s.epochs;
+    } else if (kw == "entry") {
+      InitialEntry e;
+      std::string marker;
+      if (!(ls >> e.table >> e.action >> e.priority >> marker) ||
+          marker != "key") {
+        throw UserError("repro: malformed entry line: " + line);
+      }
+      std::string tok;
+      std::vector<std::uint64_t>* dst = &e.key;
+      while (ls >> tok) {
+        if (tok == "masks") { dst = &e.masks; continue; }
+        if (tok == "args") { dst = &e.args; continue; }
+        dst->push_back(std::stoull(tok));
+      }
+      s.entries.push_back(std::move(e));
+    } else if (kw == "packet") {
+      PacketSpec p;
+      if (!(ls >> p.epoch >> p.port >> p.length)) {
+        throw UserError("repro: malformed packet line: " + line);
+      }
+      std::string tok;
+      while (ls >> tok) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos) {
+          throw UserError("repro: malformed field assignment: " + tok);
+        }
+        p.fields.emplace_back(tok.substr(0, eq),
+                              std::stoull(tok.substr(eq + 1)));
+      }
+      s.packets.push_back(std::move(p));
+    } else {
+      throw UserError("repro: unknown directive '" + kw + "'");
+    }
+  }
+  flush_chunk();
+  if (!sig_holder.empty()) s.program.reaction_sig = sig_holder.front();
+  return s;
+}
+
+}  // namespace mantis::check

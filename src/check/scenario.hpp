@@ -1,0 +1,76 @@
+// Shared types for the differential fuzzing harness (src/check): a Scenario
+// bundles everything one differential run needs — a generated (or hand-
+// written) P4R program, the initial table entries, and a seeded packet trace
+// partitioned into dialogue epochs. Scenarios are plain data: the same
+// Scenario always produces the same execution on both the reference
+// interpreter path and the compiled sim path, which is what makes minimized
+// repros replayable byte-for-byte from tests/corpus/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mantis::check {
+
+/// A P4R program as a list of independently removable source chunks. The
+/// renderer concatenates the sections in declaration order; the minimizer
+/// deletes chunks and lets the compile oracle reject invalid candidates.
+struct GenSpec {
+  std::vector<std::string> decls;    ///< headers, malleables, registers, ...
+  std::vector<std::string> actions;  ///< one complete action block each
+  std::vector<std::string> tables;   ///< one complete table block each
+  std::vector<std::string> ingress;  ///< one control statement each
+  std::vector<std::string> egress;
+  std::string reaction_sig;          ///< e.g. "reaction rx(reg q[0:7])"
+  std::vector<std::string> reaction_stmts;  ///< self-contained C statements
+
+  /// Renders the spec as P4R source text.
+  std::string render() const;
+
+  bool operator==(const GenSpec&) const = default;
+};
+
+/// One management-plane entry installed before the first epoch (on both the
+/// reference model and the compiled stack, in scenario order).
+struct InitialEntry {
+  std::string table;
+  std::string action;
+  std::vector<std::uint64_t> key;    ///< one value per original read
+  std::vector<std::uint64_t> masks;  ///< parallel masks (all-ones for exact)
+  std::vector<std::uint64_t> args;   ///< runtime action parameters
+  std::int32_t priority = 0;
+
+  bool operator==(const InitialEntry&) const = default;
+};
+
+/// One injected packet. Packets are replayed in vector order; each epoch's
+/// packets are injected (spaced so the switch fully drains between arrivals)
+/// and the event loop drained before the dialogue iteration runs.
+struct PacketSpec {
+  std::uint32_t epoch = 0;
+  int port = 0;
+  std::uint32_t length = 64;
+  /// Field assignments by full name ("hdr.f0"); unset fields stay zero.
+  std::vector<std::pair<std::string, std::uint64_t>> fields;
+
+  bool operator==(const PacketSpec&) const = default;
+};
+
+struct Scenario {
+  std::uint64_t seed = 0;    ///< generator seed (bookkeeping only)
+  std::uint32_t epochs = 1;  ///< dialogue iterations to run
+  GenSpec program;
+  std::vector<InitialEntry> entries;
+  std::vector<PacketSpec> packets;  ///< sorted by epoch at generation time
+
+  bool operator==(const Scenario&) const = default;
+};
+
+/// Serializes a scenario as a standalone text repro (the tests/corpus/
+/// format) and parses it back. parse throws UserError on malformed input.
+std::string serialize_scenario(const Scenario& s);
+Scenario parse_scenario(const std::string& text);
+
+}  // namespace mantis::check

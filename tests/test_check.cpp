@@ -1,0 +1,227 @@
+// Tests for the differential fuzzing harness itself (src/check): generator
+// determinism and validity, repro round-trips, differential agreement on
+// generated scenarios, the minimizer's contract, and deterministic replay of
+// the pinned corpus under tests/corpus/.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "check/diff.hpp"
+#include "check/gen.hpp"
+#include "check/minimize.hpp"
+#include "check/ref_model.hpp"
+#include "compile/compiler.hpp"
+#include "p4r/sema.hpp"
+
+namespace mantis::check {
+namespace {
+
+#ifndef MANTIS_TEST_DATA_DIR
+#define MANTIS_TEST_DATA_DIR "."
+#endif
+
+/// A small hand-written scenario both paths fully support: one malleable
+/// value driven by an ingress field param, one malleable table.
+Scenario hand_scenario() {
+  Scenario s;
+  s.epochs = 3;
+  s.program.decls = {
+      "header_type h_t { fields { f0 : 16; f1 : 16; } }\nheader h_t hdr;",
+      "malleable value mv0 { width : 16; init : 3; }",
+      "register r0 { width : 32; instance_count : 4; }",
+  };
+  s.program.actions = {
+      "action seta() {\n"
+      "  modify_field(hdr.f1, ${mv0});\n"
+      "  register_write(r0, 1, hdr.f0);\n}",
+      "action fwd(port) {\n"
+      "  modify_field(standard_metadata.egress_spec, port);\n}",
+  };
+  s.program.tables = {
+      "malleable table mtbl {\n  reads { hdr.f0 : exact; }\n"
+      "  actions { seta; }\n  size : 8;\n}",
+      "table forward {\n  actions { fwd; }\n  default_action : fwd(2);\n"
+      "  size : 1;\n}",
+  };
+  s.program.ingress = {"  apply(mtbl);", "  apply(forward);"};
+  s.program.reaction_sig = "reaction rx(ing hdr.f0)";
+  s.program.reaction_stmts = {
+      "  ${mv0} = (hdr_f0 + 1) & 0xffff;",
+      "  log(hdr_f0);",
+  };
+  InitialEntry e;
+  e.table = "mtbl";
+  e.action = "seta";
+  e.key = {5};
+  e.masks = {~std::uint64_t{0}};
+  s.entries.push_back(e);
+  for (std::uint32_t ep = 0; ep < s.epochs; ++ep) {
+    PacketSpec p;
+    p.epoch = ep;
+    p.port = 0;
+    p.fields = {{"hdr.f0", 5}, {"hdr.f1", 0}};
+    s.packets.push_back(p);
+  }
+  return s;
+}
+
+TEST(CheckGen, DeterministicInSeed) {
+  for (std::uint64_t seed : {1ull, 42ull, 999ull}) {
+    EXPECT_EQ(generate_scenario(seed), generate_scenario(seed));
+  }
+  EXPECT_NE(generate_scenario(1).program.render(),
+            generate_scenario(2).program.render());
+}
+
+TEST(CheckGen, IterationSeedsDecorrelate) {
+  EXPECT_NE(iteration_seed(1, 0), iteration_seed(1, 1));
+  EXPECT_NE(iteration_seed(1, 0), iteration_seed(2, 0));
+}
+
+TEST(CheckGen, GeneratedScenariosCompileOnBothPaths) {
+  for (std::uint64_t it = 0; it < 40; ++it) {
+    const std::uint64_t seed = iteration_seed(7, it);
+    const Scenario s = generate_scenario(seed);
+    ASSERT_NO_THROW({
+      auto fp = p4r::frontend(s.program.render());
+      compile::compile(fp);
+      RefModel ref(std::move(fp));
+    }) << "seed " << seed;
+  }
+}
+
+TEST(CheckGen, SerializeParseRoundtrip) {
+  for (std::uint64_t it = 0; it < 10; ++it) {
+    const Scenario s = generate_scenario(iteration_seed(3, it));
+    EXPECT_EQ(parse_scenario(serialize_scenario(s)), s);
+  }
+  const Scenario h = hand_scenario();
+  EXPECT_EQ(parse_scenario(serialize_scenario(h)), h);
+}
+
+TEST(CheckDiff, GeneratedScenariosAgree) {
+  for (std::uint64_t it = 0; it < 15; ++it) {
+    const std::uint64_t seed = iteration_seed(11, it);
+    const DiffResult r = run_diff(generate_scenario(seed));
+    EXPECT_EQ(r.outcome, Outcome::kAgreed)
+        << "seed " << seed << ": " << outcome_name(r.outcome) << " "
+        << r.skip_reason
+        << (r.divergences.empty() ? "" : " / " + r.divergences[0].detail);
+  }
+}
+
+TEST(CheckDiff, HandScenarioAgreesWithExactDigest) {
+  const DiffResult r = run_diff(hand_scenario());
+  ASSERT_EQ(r.outcome, Outcome::kAgreed) << r.skip_reason;
+  EXPECT_EQ(r.epochs_run, 3u);
+  // The reaction sets mv0 = f0 + 1 = 6 every epoch; the packets all hit the
+  // mtbl entry, r0[1] ends at 5, and the log carries one probe per epoch.
+  EXPECT_NE(r.digest.find("scalar mv0=6"), std::string::npos) << r.digest;
+  EXPECT_NE(r.digest.find("register r0 = 0 5 0 0"), std::string::npos)
+      << r.digest;
+  EXPECT_NE(r.digest.find("log rx 5"), std::string::npos) << r.digest;
+}
+
+TEST(CheckDiff, ReplayIsDeterministic) {
+  const Scenario s = generate_scenario(iteration_seed(13, 4));
+  const DiffResult a = run_diff(s);
+  const DiffResult b = run_diff(s);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_FALSE(a.digest.empty());
+}
+
+TEST(CheckDiff, FlagsTimingDivergence) {
+  // now_us() is deliberately outside the comparable domain: the reference
+  // model pins it to 0 while the compiled stack reports virtual time. A
+  // reaction that logs it MUST be reported as a log divergence — this is the
+  // harness's own end-to-end detection test.
+  Scenario s = hand_scenario();
+  s.program.reaction_stmts = {"  log(now_us());"};
+  const DiffResult r = run_diff(s);
+  ASSERT_EQ(r.outcome, Outcome::kDiverged) << r.skip_reason;
+  ASSERT_FALSE(r.divergences.empty());
+  EXPECT_EQ(r.divergences[0].surface, "log");
+}
+
+TEST(CheckDiff, SkipsRecirculation) {
+  Scenario s = hand_scenario();
+  s.program.tables[1] =
+      "table forward {\n  actions { fwd; }\n  default_action : fwd(63);\n"
+      "  size : 1;\n}";
+  const DiffResult r = run_diff(s);
+  EXPECT_EQ(r.outcome, Outcome::kSkipped);
+  EXPECT_NE(r.skip_reason.find("recirculation"), std::string::npos)
+      << r.skip_reason;
+}
+
+TEST(CheckDiff, AgreedErrorWhenBothRejectAnEpoch) {
+  // Unguarded delEntry of a missing key: both interpreters must throw
+  // ".delEntry: no such entry" during the first dialogue epoch.
+  Scenario s = hand_scenario();
+  s.program.reaction_stmts = {"  mtbl.delEntry(1234);"};
+  const DiffResult r = run_diff(s);
+  EXPECT_EQ(r.outcome, Outcome::kAgreedError) << r.skip_reason;
+  EXPECT_NE(r.skip_reason.find("delEntry"), std::string::npos)
+      << r.skip_reason;
+}
+
+TEST(CheckMinimize, PreservesDivergenceAndShrinks) {
+  Scenario s = hand_scenario();
+  s.program.reaction_stmts = {
+      "  log(hdr_f0);",
+      "  log(now_us());",
+      "  ${mv0} = (hdr_f0 + 1) & 0xffff;",
+  };
+  MinimizeStats st;
+  const Scenario m = minimize_scenario(s, {}, &st);
+  EXPECT_TRUE(run_diff(m).diverged());
+  EXPECT_GT(st.accepted, 0u);
+  // The two statements that agree on both paths must have been removed.
+  ASSERT_EQ(m.program.reaction_stmts.size(), 1u);
+  EXPECT_NE(m.program.reaction_stmts[0].find("now_us"), std::string::npos);
+  // Epoch truncation: one epoch suffices to show a log divergence.
+  EXPECT_EQ(m.epochs, 1u);
+}
+
+TEST(CheckMinimize, ReturnsNonDivergentInputUnchanged) {
+  const Scenario s = hand_scenario();
+  MinimizeStats st;
+  EXPECT_EQ(minimize_scenario(s, {}, &st), s);
+  EXPECT_EQ(st.accepted, 0u);
+}
+
+TEST(CheckCorpus, ReprosReplayDeterministically) {
+  const std::filesystem::path dir =
+      std::filesystem::path(MANTIS_TEST_DATA_DIR) / "corpus";
+  ASSERT_TRUE(std::filesystem::exists(dir)) << dir;
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".repro") continue;
+    ++seen;
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const Scenario s = parse_scenario(buf.str());
+    const DiffResult a = run_diff(s);
+    const DiffResult b = run_diff(s);
+    EXPECT_EQ(a.outcome, b.outcome) << entry.path();
+    EXPECT_EQ(a.digest, b.digest) << entry.path();
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("agreed_", 0) == 0) {
+      EXPECT_EQ(a.outcome, Outcome::kAgreed)
+          << entry.path() << ": " << a.skip_reason
+          << (a.divergences.empty() ? "" : " / " + a.divergences[0].detail);
+    } else if (name.rfind("diverge_", 0) == 0) {
+      // A fixed bug's repro must keep replaying as agreed after the fix is
+      // merged; a still-open divergence stays prefixed diverge_.
+      EXPECT_EQ(a.outcome, Outcome::kDiverged) << entry.path();
+    }
+  }
+  EXPECT_GE(seen, 3u) << "corpus should hold pinned regression repros";
+}
+
+}  // namespace
+}  // namespace mantis::check

@@ -1,0 +1,299 @@
+// Conformance suite: five hand-written P4R programs with fixed packet
+// traces, each pinned to a byte-exact post-run state digest. Unlike the
+// fuzz harness (which only checks that the two paths agree with each
+// other), these tests anchor BOTH paths to externally stated expected
+// behavior — a bug that breaks reference model and compiled stack the same
+// way still fails here.
+//
+// Each digest is the differential runner's canonical snapshot: scalars,
+// register files, counters, table entry counts, the cumulative reaction
+// log, and the agent iteration count (see DiffRun::make_digest).
+#include <gtest/gtest.h>
+
+#include "check/diff.hpp"
+#include "check/scenario.hpp"
+
+namespace mantis::check {
+namespace {
+
+void expect_conformance(const Scenario& s, const std::string& golden) {
+  const DiffResult r = run_diff(s);
+  ASSERT_EQ(r.outcome, Outcome::kAgreed)
+      << outcome_name(r.outcome) << " " << r.skip_reason
+      << (r.divergences.empty() ? "" : " / " + r.divergences[0].detail);
+  EXPECT_EQ(r.digest, golden);
+}
+
+PacketSpec packet(std::uint32_t epoch, std::uint64_t f0, std::uint64_t f1) {
+  PacketSpec p;
+  p.epoch = epoch;
+  p.port = 0;
+  p.fields = {{"hdr.f0", f0}, {"hdr.f1", f1}};
+  return p;
+}
+
+// C1: a malleable value drives a header rewrite; the reaction recomputes it
+// from the measured ingress field each epoch with 8-bit wraparound.
+//   epoch 0: mv0 = init = 0x7f (packets rewritten with 0x7f)
+//   after each dialogue: mv0 = (f0 + 0x90) & 0xff = (0x75 + 0x90) & 0xff = 5
+TEST(Conformance, MalleableValueRewrite) {
+  Scenario s;
+  s.epochs = 3;
+  s.program.decls = {
+      "header_type h_t { fields { f0 : 16; f1 : 16; } }\nheader h_t hdr;",
+      "malleable value mv0 { width : 8; init : 127; }",
+  };
+  s.program.actions = {
+      "action seta() {\n  modify_field(hdr.f1, ${mv0});\n}",
+      "action fwd(port) {\n"
+      "  modify_field(standard_metadata.egress_spec, port);\n}",
+  };
+  s.program.tables = {
+      "malleable table mtbl {\n  reads { hdr.f0 : exact; }\n"
+      "  actions { seta; }\n  size : 8;\n}",
+      "table forward {\n  actions { fwd; }\n  default_action : fwd(2);\n"
+      "  size : 1;\n}",
+  };
+  s.program.ingress = {"  apply(mtbl);", "  apply(forward);"};
+  s.program.reaction_sig = "reaction rx(ing hdr.f0)";
+  s.program.reaction_stmts = {
+      "  ${mv0} = (hdr_f0 + 0x90) & 0xff;",
+      "  log(hdr_f0);",
+  };
+  InitialEntry e;
+  e.table = "mtbl";
+  e.action = "seta";
+  e.key = {0x75};
+  e.masks = {~std::uint64_t{0}};
+  s.entries.push_back(e);
+  for (std::uint32_t ep = 0; ep < s.epochs; ++ep) {
+    s.packets.push_back(packet(ep, 0x75, 0));
+  }
+  expect_conformance(s,
+                     "epochs=3\n"
+                     "scalar mv0=5\n"
+                     "table forward count=0\n"
+                     "table mtbl count=1\n"
+                     "log rx 117\n"
+                     "log rx 117\n"
+                     "log rx 117\n"
+                     "dut_iterations=3\n");
+}
+
+// C2: a malleable field selector with a premasked exact read. The committed
+// selector starts at alt 0 (hdr.f0); the reaction flips it to alt 1
+// (hdr.f1) after epoch 0, after which the same packet misses the entry
+// (its f1 high byte differs from the key's).
+TEST(Conformance, SelectorWithPremask) {
+  Scenario s;
+  s.epochs = 2;
+  s.program.decls = {
+      "header_type h_t { fields { f0 : 16; f1 : 16; } }\nheader h_t hdr;",
+      "malleable field msel {\n  width : 16;\n  init : hdr.f0;\n"
+      "  alts { hdr.f0, hdr.f1 }\n}",
+      "register r0 { width : 32; instance_count : 2; }",
+  };
+  s.program.actions = {
+      "action hit() {\n  register_write(r0, 0, 1);\n"
+      "  modify_field(hdr.f1, 0xbeef);\n}",
+      "action fwd(port) {\n"
+      "  modify_field(standard_metadata.egress_spec, port);\n}",
+  };
+  s.program.tables = {
+      // Premask 0xff00: only the high byte of the selected field matters.
+      "malleable table mtbl {\n  reads { ${msel} mask 65280 : exact; }\n"
+      "  actions { hit; }\n  size : 8;\n}",
+      "table forward {\n  actions { fwd; }\n  default_action : fwd(2);\n"
+      "  size : 1;\n}",
+  };
+  s.program.ingress = {"  apply(mtbl);", "  apply(forward);"};
+  s.program.reaction_sig = "reaction rx(ing hdr.f0)";
+  s.program.reaction_stmts = {
+      "  ${msel} = (hdr_f0 & 0xff) % 2;",
+      "  log(hdr_f0);",
+  };
+  InitialEntry e;
+  e.table = "mtbl";
+  e.action = "hit";
+  e.key = {0x1200};
+  e.masks = {~std::uint64_t{0}};
+  s.entries.push_back(e);
+  // f0 = 0x1201: matches via alt 0 (0x1201 & 0xff00 == 0x1200), selects
+  // alt 1 for the next epoch ((0x01) % 2 == 1). f1 = 0x3400 never matches.
+  s.packets.push_back(packet(0, 0x1201, 0x3400));
+  s.packets.push_back(packet(1, 0x1201, 0x3400));
+  expect_conformance(s,
+                     "epochs=2\n"
+                     "scalar msel=1\n"
+                     "register r0 = 1 0\n"
+                     "table forward count=0\n"
+                     "table mtbl count=1\n"
+                     "log rx 4609\n"
+                     "log rx 4609\n"
+                     "dut_iterations=2\n");
+}
+
+// C3: the reaction polls a register window and computes an argmax into a
+// malleable value. Packets scatter values into r0 via a field-indexed
+// write; the winning index after the final epoch is pinned.
+TEST(Conformance, RegisterWindowArgmax) {
+  Scenario s;
+  s.epochs = 2;
+  s.program.decls = {
+      "header_type h_t { fields { f0 : 16; f1 : 16; } }\nheader h_t hdr;",
+      "malleable value mv0 { width : 16; init : 0; }",
+      "register r0 { width : 32; instance_count : 4; }",
+  };
+  s.program.actions = {
+      "action wreg() {\n  register_write(r0, hdr.f1, hdr.f0);\n}",
+      "action fwd(port) {\n"
+      "  modify_field(standard_metadata.egress_spec, port);\n}",
+  };
+  s.program.tables = {
+      "table wtbl {\n  actions { wreg; }\n  default_action : wreg;\n"
+      "  size : 1;\n}",
+      "table forward {\n  actions { fwd; }\n  default_action : fwd(3);\n"
+      "  size : 1;\n}",
+  };
+  s.program.ingress = {"  apply(wtbl);", "  apply(forward);"};
+  s.program.reaction_sig = "reaction rx(reg r0[0:3], ing hdr.f0)";
+  s.program.reaction_stmts = {
+      "  {\n    long mx = -1; long mi = 0;\n"
+      "    for (int i = 0; i <= 3; ++i) {\n"
+      "      if (r0[i] > mx) { mx = r0[i]; mi = i; }\n    }\n"
+      "    ${mv0} = (mi) & 0xffff;\n  }",
+      "  for (int j = 0; j <= 3; ++j) { log(r0[j]); }",
+  };
+  // epoch 0: r0 = [5, 0, 9, 7]  -> argmax 2
+  s.packets.push_back(packet(0, 5, 0));
+  s.packets.push_back(packet(0, 9, 2));
+  s.packets.push_back(packet(0, 7, 3));
+  // epoch 1: r0[1] = 11         -> argmax 1
+  s.packets.push_back(packet(1, 11, 1));
+  expect_conformance(s,
+                     "epochs=2\n"
+                     "scalar mv0=1\n"
+                     "register r0 = 5 11 9 7\n"
+                     "table forward count=0\n"
+                     "table wtbl count=0\n"
+                     "log rx 5\nlog rx 0\nlog rx 9\nlog rx 7\n"
+                     "log rx 5\nlog rx 11\nlog rx 9\nlog rx 7\n"
+                     "dut_iterations=2\n");
+}
+
+// C4: threshold-driven table lifecycle. The reaction sums a register
+// window and adds/deletes an entry in the malleable table accordingly,
+// logging entryCount() after each decision (staged entries included).
+TEST(Conformance, TableEntryLifecycle) {
+  Scenario s;
+  s.epochs = 3;
+  s.program.decls = {
+      "header_type h_t { fields { f0 : 16; f1 : 16; } }\nheader h_t hdr;",
+      "malleable value mv0 { width : 8; init : 0; }",
+      "register r0 { width : 32; instance_count : 4; }",
+  };
+  s.program.actions = {
+      "action seta() {\n  modify_field(hdr.f1, ${mv0});\n}",
+      "action wreg() {\n  register_write(r0, 1, hdr.f0);\n}",
+      "action fwd(port) {\n"
+      "  modify_field(standard_metadata.egress_spec, port);\n}",
+  };
+  s.program.tables = {
+      "malleable table mtbl {\n  reads { hdr.f0 : exact; }\n"
+      "  actions { seta; }\n  size : 8;\n}",
+      "table wtbl {\n  actions { wreg; }\n  default_action : wreg;\n"
+      "  size : 1;\n}",
+      "table forward {\n  actions { fwd; }\n  default_action : fwd(1);\n"
+      "  size : 1;\n}",
+  };
+  s.program.ingress = {"  apply(mtbl);", "  apply(wtbl);",
+                       "  apply(forward);"};
+  s.program.reaction_sig = "reaction rx(reg r0[0:3], ing hdr.f0)";
+  s.program.reaction_stmts = {
+      "  {\n    long s = 0;\n"
+      "    for (int i = 0; i <= 3; ++i) { s += r0[i]; }\n"
+      "    if (s > 10) {\n"
+      "      if (!mtbl.hasEntry(9)) { mtbl.addEntry(\"seta\", 9); }\n"
+      "    } else {\n"
+      "      if (mtbl.hasEntry(9)) { mtbl.delEntry(9); }\n    }\n"
+      "    log(mtbl.entryCount());\n  }",
+  };
+  // epoch 0: f0 = 20 -> r0[1] = 20, sum 20 > 10 -> add (count 1)
+  // epoch 1: f0 =  2 -> r0[1] =  2, sum  2      -> del (count 0)
+  // epoch 2: f0 = 64 -> r0[1] = 64, sum 64 > 10 -> add (count 1)
+  s.packets.push_back(packet(0, 20, 0));
+  s.packets.push_back(packet(1, 2, 0));
+  s.packets.push_back(packet(2, 64, 0));
+  expect_conformance(s,
+                     "epochs=3\n"
+                     "scalar mv0=0\n"
+                     "register r0 = 0 64 0 0\n"
+                     "table forward count=0\n"
+                     "table mtbl count=1\n"
+                     "table wtbl count=0\n"
+                     "log rx 1\nlog rx 0\nlog rx 1\n"
+                     "dut_iterations=3\n");
+}
+
+// C5: counters, an explicit drop entry, and a default-only egress table.
+// Dropped packets still hit the ingress counter but never reach egress, so
+// the egress-side register write only sees forwarded packets.
+TEST(Conformance, CountersDropAndEgress) {
+  Scenario s;
+  s.epochs = 2;
+  s.program.decls = {
+      "header_type h_t { fields { f0 : 16; f1 : 16; } }\nheader h_t hdr;",
+      "malleable value mv0 { width : 8; init : 0; }",
+      "register r0 { width : 32; instance_count : 2; }",
+      "counter c0 { type : packets; instance_count : 8; }",
+  };
+  s.program.actions = {
+      "action cnt() {\n  count(c0, 3);\n}",
+      "action seta() {\n  modify_field(hdr.f1, ${mv0});\n}",
+      "action eact() {\n  register_write(r0, 1, hdr.f0);\n}",
+      "action fwd(port) {\n"
+      "  modify_field(standard_metadata.egress_spec, port);\n}",
+  };
+  s.program.tables = {
+      "table ctbl {\n  actions { cnt; }\n  default_action : cnt;\n"
+      "  size : 1;\n}",
+      "malleable table mtbl {\n  reads { hdr.f0 : exact; }\n"
+      "  actions { seta; _drop; }\n  size : 8;\n}",
+      "table etbl {\n  actions { eact; }\n  default_action : eact;\n"
+      "  size : 1;\n}",
+      "table forward {\n  actions { fwd; }\n  default_action : fwd(2);\n"
+      "  size : 1;\n}",
+  };
+  s.program.ingress = {"  apply(ctbl);", "  apply(mtbl);",
+                       "  apply(forward);"};
+  s.program.egress = {"  apply(etbl);"};
+  s.program.reaction_sig = "reaction rx(ing hdr.f0)";
+  s.program.reaction_stmts = {"  log(hdr_f0);"};
+  InitialEntry e;
+  e.table = "mtbl";
+  e.action = "_drop";
+  e.key = {7};
+  e.masks = {~std::uint64_t{0}};
+  s.entries.push_back(e);
+  // epoch 0: f0 = 7 dropped at ingress; f0 = 12 forwarded -> r0[1] = 12.
+  // epoch 1: f0 = 7 dropped again. All three bump c0[3]. The ingress
+  // measurement captures every packet (dropped included), last writer
+  // wins, so the reaction logs 12 after epoch 0 and 7 after epoch 1.
+  s.packets.push_back(packet(0, 7, 0));
+  s.packets.push_back(packet(0, 12, 0));
+  s.packets.push_back(packet(1, 7, 0));
+  expect_conformance(s,
+                     "epochs=2\n"
+                     "scalar mv0=0\n"
+                     "register r0 = 0 12\n"
+                     "counter c0 = 0 0 0 3 0 0 0 0\n"
+                     "table ctbl count=0\n"
+                     "table etbl count=0\n"
+                     "table forward count=0\n"
+                     "table mtbl count=1\n"
+                     "log rx 12\nlog rx 7\n"
+                     "dut_iterations=2\n");
+}
+
+}  // namespace
+}  // namespace mantis::check

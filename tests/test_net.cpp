@@ -264,6 +264,58 @@ TEST(FaultInjector, FlapEndsUp) {
   EXPECT_FALSE(fabric.link(0).down(1));
 }
 
+TEST(FaultInjector, FlapTransitionsOnSerializationBoundary) {
+  // Pins the boundary semantics of kFlap against frames whose serialization
+  // lands exactly on the toggle instants. Link rate is chosen so a 1000B
+  // frame serializes in exactly one flap period (1000ns):
+  //   flap at=1000 period=1000 duration=3000
+  //   -> down@1000, up@2000, down@3000, forced up@4000 (duration end).
+  // Rules pinned:
+  //   * down gates transmit ENTRY only — a frame accepted before a down
+  //     transition still delivers even if its wire time spans the outage;
+  //   * a transition takes effect at its own timestamp: a transmit at
+  //     exactly t=at is dropped, a transmit at exactly t=at+period (up
+  //     edge) and at t=at+duration (forced-up edge) both deliver.
+  sim::EventLoop loop;
+  auto artifacts = compile::compile_source(apps::gray_failure_p4r_source());
+  net::FabricConfig fc;
+  fc.default_link.gbps = 8.0;  // 1000B -> exactly 1000ns
+  fc.default_link.propagation = 100;
+  net::Fabric fabric(loop, artifacts.prog, net::Topology::leaf_spine(2, 2, 1),
+                     fc);
+  net::FaultInjector inj(fabric);
+
+  net::FaultSpec flap;
+  flap.kind = net::FaultSpec::Kind::kFlap;
+  flap.link = 0;
+  flap.at = 1000;
+  flap.duration = 3000;  // exact multiple of the period: ends on a toggle
+  flap.flap_period = 1000;
+  inj.schedule(flap);  // scheduled first: transitions win same-instant ties
+
+  net::Link& link = fabric.link(0);
+  ASSERT_EQ(link.serialization_time(1000), 1000);
+  const net::NodeId from = link.end_a().node;
+  sim::PacketFactory fac(artifacts.prog);
+  auto send_at = [&](Time t) {
+    loop.schedule_at(t, [&] { link.transmit(from, fac.make(1000)); });
+  };
+  send_at(500);   // up; serialization 500..1500 spans down@1000 -> delivers
+  send_at(1000);  // exactly at the down edge -> dropped at TX
+  send_at(2000);  // exactly at the up edge; wire time ends at down@3000
+  send_at(3500);  // inside the final down interval -> dropped
+  send_at(4000);  // exactly at the forced-up edge -> delivers
+  loop.run();
+
+  EXPECT_FALSE(link.down(0));
+  EXPECT_EQ(link.dir_stats(0).tx_pkts, 3u);
+  EXPECT_EQ(link.dir_stats(0).delivered_pkts, 3u);
+  EXPECT_EQ(link.dir_stats(0).dropped_pkts, 2u);
+  // down/up/down + the forced final up.
+  EXPECT_EQ(inj.log().size(), 4u);
+  EXPECT_EQ(inj.log().back(), "4000 " + link.name() + " up");
+}
+
 // ---------------------------------------------------------------------------
 // Fabric: two-switch ping-pong with exact transit accounting
 // ---------------------------------------------------------------------------

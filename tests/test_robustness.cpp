@@ -3,6 +3,8 @@
 // frontend, the compiler, and the reaction interpreter.
 #include <gtest/gtest.h>
 
+#include "check/diff.hpp"
+#include "check/scenario.hpp"
 #include "compile/compiler.hpp"
 #include "helpers.hpp"
 #include "p4r/sema.hpp"
@@ -108,6 +110,113 @@ reaction rx(ing h.a) {
     stack.agent->run_prologue();
     // h_a polls as 0 (no packets) -> each body faults.
     EXPECT_THROW(stack.agent->dialogue_iteration(), UserError) << body;
+  }
+}
+
+TEST(Robustness, DegenerateRegisterWindowsAreDiagnosed) {
+  // Inverted ([5:2]) and off-the-end ([8:8] on an 8-cell register)
+  // measurement windows must be rejected by the frontend with a diagnostic,
+  // not accepted into a zero-length or out-of-bounds poll loop.
+  const char* windows[] = {"[5:2]", "[8:8]", "[0:8]"};
+  for (const char* w : windows) {
+    const std::string src = std::string(R"(
+header_type h_t { fields { a : 32; } }
+header h_t h;
+register r0 { width : 32; instance_count : 8; }
+action w() { register_write(r0, 0, h.a); }
+table t { actions { w; } default_action : w; size : 1; }
+control ingress { apply(t); }
+control egress { }
+reaction rx(reg r0)") + w + R"(, ing h.a) { log(r0[2]); }
+)";
+    try {
+      compile::compile_source(src);
+      FAIL() << "window " << w << " accepted";
+    } catch (const UserError& e) {
+      EXPECT_NE(std::string(e.what()).find("out of bounds"),
+                std::string::npos)
+          << w << ": " << e.what();
+    }
+  }
+  // The one-cell window [7:7] is legal and must still compile.
+  EXPECT_NO_THROW(compile::compile_source(R"(
+header_type h_t { fields { a : 32; } }
+header h_t h;
+register r0 { width : 32; instance_count : 8; }
+action w() { register_write(r0, 0, h.a); }
+table t { actions { w; } default_action : w; size : 1; }
+control ingress { apply(t); }
+control egress { }
+reaction rx(reg r0[7:7], ing h.a) { log(r0[7]); }
+)"));
+}
+
+TEST(Robustness, MaxWidthRegistersAndFieldsSurviveTheFullStack) {
+  // 64-bit fields measured into the reaction and 64-bit register cells
+  // polled through a window: values near 2^64 must round-trip without
+  // truncation on either the compiled path or the reference interpreter.
+  check::Scenario s;
+  s.epochs = 1;
+  s.program.decls = {
+      "header_type h_t { fields { a : 64; b : 64; } }\nheader h_t hdr;",
+      "register r0 { width : 64; instance_count : 2; }",
+  };
+  s.program.actions = {
+      "action w() {\n  register_write(r0, 0, hdr.a);\n}",
+      "action fwd(port) {\n"
+      "  modify_field(standard_metadata.egress_spec, port);\n}",
+  };
+  s.program.tables = {
+      "table t {\n  actions { w; }\n  default_action : w;\n  size : 1;\n}",
+      "table forward {\n  actions { fwd; }\n  default_action : fwd(1);\n"
+      "  size : 1;\n}",
+  };
+  s.program.ingress = {"  apply(t);", "  apply(forward);"};
+  s.program.reaction_sig = "reaction rx(reg r0[0:1], ing hdr.a)";
+  s.program.reaction_stmts = {"  log(r0[0]);"};
+  check::PacketSpec p;
+  p.epoch = 0;
+  p.port = 0;
+  p.fields = {{"hdr.a", 0xfedcba9876543210ull}, {"hdr.b", 0}};
+  s.packets.push_back(p);
+  const check::DiffResult r = run_diff(s);
+  ASSERT_EQ(r.outcome, check::Outcome::kAgreed) << r.skip_reason;
+  EXPECT_NE(r.digest.find("register r0 = 18364758544493064720 0"),
+            std::string::npos)
+      << r.digest;
+  // The reaction log is int64-typed, so the digest renders the same 64-bit
+  // pattern signed.
+  EXPECT_NE(r.digest.find("log rx -81985529216486896"), std::string::npos)
+      << r.digest;
+}
+
+TEST(Robustness, TableCapacityExhaustionDuringDialogue) {
+  // A reaction that adds one entry per epoch to a size-2 table: the add
+  // that overflows the capacity must surface as a UserError from
+  // dialogue_iteration, not corrupt the update protocol or crash.
+  Stack stack(R"(
+header_type h_t { fields { a : 32; } }
+header h_t h;
+malleable value mv { width : 8; init : 0; }
+action seta() { add(h.a, h.a, ${mv}); }
+malleable table mtbl { reads { h.a : exact; } actions { seta; } size : 2; }
+control ingress { apply(mtbl); }
+control egress { }
+reaction rx(ing h.a) {
+  static long k;
+  k += 1;
+  mtbl.addEntry("seta", k);
+}
+)");
+  stack.agent->run_prologue();
+  EXPECT_NO_THROW(stack.agent->dialogue_iteration());
+  EXPECT_NO_THROW(stack.agent->dialogue_iteration());
+  try {
+    stack.agent->dialogue_iteration();
+    FAIL() << "third add exceeded size : 2 but was accepted";
+  } catch (const UserError& e) {
+    EXPECT_NE(std::string(e.what()).find("mtbl: full"), std::string::npos)
+        << e.what();
   }
 }
 

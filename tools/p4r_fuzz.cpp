@@ -1,0 +1,215 @@
+// p4r_fuzz: differential fuzzing driver for the P4R stack.
+//
+// Each iteration generates a seeded random P4R program + packet trace
+// (check::generate_scenario), runs it through the reference interpreter and
+// the full compiled stack (check::run_diff), and reports any disagreement.
+// Diverging scenarios are greedily minimized and written as standalone text
+// repros; `p4r_fuzz --replay <file>` re-runs one.
+//
+// Usage:
+//   p4r_fuzz [--seed S] [--iters N] [--minimize] [--corpus-dir DIR]
+//            [--metrics FILE] [--replay FILE] [--dump SEED] [--quiet]
+//
+// Exit status: 0 when every iteration agreed (or was skipped), 1 on any
+// divergence, 2 on usage errors.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/diff.hpp"
+#include "check/gen.hpp"
+#include "check/minimize.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+struct Args {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 100;
+  bool minimize = false;
+  bool quiet = false;
+  std::string corpus_dir;
+  std::string metrics_path;
+  std::string replay_path;
+  std::uint64_t dump_seed = 0;
+  bool dump = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed S] [--iters N] [--minimize] "
+               "[--corpus-dir DIR] [--metrics FILE] [--replay FILE] "
+               "[--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string opt = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (opt == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.seed = std::strtoull(v, nullptr, 0);
+    } else if (opt == "--iters") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.iters = std::strtoull(v, nullptr, 0);
+    } else if (opt == "--minimize") {
+      a.minimize = true;
+    } else if (opt == "--quiet") {
+      a.quiet = true;
+    } else if (opt == "--corpus-dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.corpus_dir = v;
+    } else if (opt == "--metrics") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.metrics_path = v;
+    } else if (opt == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.replay_path = v;
+    } else if (opt == "--dump") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.dump = true;
+      a.dump_seed = std::strtoull(v, nullptr, 0);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw mantis::UserError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void report_divergences(const mantis::check::DiffResult& r) {
+  for (const auto& d : r.divergences) {
+    std::fprintf(stderr, "  epoch %u [%s] %s\n", d.epoch, d.surface.c_str(),
+                 d.detail.c_str());
+  }
+}
+
+int replay(const Args& args) {
+  const mantis::check::Scenario s =
+      mantis::check::parse_scenario(read_file(args.replay_path));
+  const auto r = mantis::check::run_diff(s);
+  std::printf("%s: %s", args.replay_path.c_str(),
+              std::string(mantis::check::outcome_name(r.outcome)).c_str());
+  if (!r.skip_reason.empty()) std::printf(" (%s)", r.skip_reason.c_str());
+  std::printf("\n");
+  report_divergences(r);
+  return r.diverged() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+
+  try {
+    if (args.dump) {
+      std::printf("%s", mantis::check::serialize_scenario(
+                            mantis::check::generate_scenario(args.dump_seed))
+                            .c_str());
+      return 0;
+    }
+    if (!args.replay_path.empty()) return replay(args);
+
+    mantis::telemetry::MetricsRegistry metrics;
+    std::uint64_t diverged = 0, agreed = 0, agreed_error = 0, skipped = 0;
+
+    for (std::uint64_t it = 0; it < args.iters; ++it) {
+      const std::uint64_t seed = mantis::check::iteration_seed(args.seed, it);
+      mantis::check::Scenario s = mantis::check::generate_scenario(seed);
+      metrics.counter("check.fuzz.iterations").add();
+      const auto r = mantis::check::run_diff(s, &metrics);
+      switch (r.outcome) {
+        case mantis::check::Outcome::kAgreed: ++agreed; break;
+        case mantis::check::Outcome::kAgreedError: ++agreed_error; break;
+        case mantis::check::Outcome::kSkipped:
+          ++skipped;
+          if (!args.quiet) {
+            std::fprintf(stderr, "iter %llu (seed %llu): skipped: %s\n",
+                         static_cast<unsigned long long>(it),
+                         static_cast<unsigned long long>(seed),
+                         r.skip_reason.c_str());
+          }
+          break;
+        case mantis::check::Outcome::kDiverged: {
+          ++diverged;
+          metrics.counter("check.fuzz.divergences").add();
+          std::fprintf(stderr, "iter %llu (seed %llu): DIVERGED\n",
+                       static_cast<unsigned long long>(it),
+                       static_cast<unsigned long long>(seed));
+          report_divergences(r);
+          mantis::check::Scenario repro = s;
+          if (args.minimize) {
+            mantis::check::MinimizeStats st;
+            repro = mantis::check::minimize_scenario(s, {}, &st);
+            std::fprintf(stderr,
+                         "  minimized: %zu reductions in %zu runs\n",
+                         st.accepted, st.runs);
+          }
+          const std::string text = mantis::check::serialize_scenario(repro);
+          if (!args.corpus_dir.empty()) {
+            const std::string path = args.corpus_dir + "/diverge_seed_" +
+                                     std::to_string(seed) + ".repro";
+            std::ofstream out(path);
+            out << text;
+            std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+          } else {
+            std::fprintf(stderr, "---- repro ----\n%s---- end ----\n",
+                         text.c_str());
+          }
+          break;
+        }
+      }
+      if (!args.quiet && (it + 1) % 50 == 0) {
+        std::fprintf(stderr,
+                     "progress: %llu/%llu (agreed %llu, skipped %llu, "
+                     "agreed-error %llu, diverged %llu)\n",
+                     static_cast<unsigned long long>(it + 1),
+                     static_cast<unsigned long long>(args.iters),
+                     static_cast<unsigned long long>(agreed),
+                     static_cast<unsigned long long>(skipped),
+                     static_cast<unsigned long long>(agreed_error),
+                     static_cast<unsigned long long>(diverged));
+      }
+    }
+
+    if (!args.metrics_path.empty()) {
+      mantis::telemetry::write_text_file(
+          args.metrics_path,
+          mantis::telemetry::report_json("p4r_fuzz", {}, metrics));
+    }
+    std::printf(
+        "p4r_fuzz: %llu iterations: %llu agreed, %llu skipped, "
+        "%llu agreed-error, %llu diverged\n",
+        static_cast<unsigned long long>(args.iters),
+        static_cast<unsigned long long>(agreed),
+        static_cast<unsigned long long>(skipped),
+        static_cast<unsigned long long>(agreed_error),
+        static_cast<unsigned long long>(diverged));
+    return diverged != 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "p4r_fuzz: %s\n", e.what());
+    return 2;
+  }
+}
