@@ -5,6 +5,8 @@
 // hundreds of thousands of packets).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bench_util.hpp"
 #include "p4r/creact/cparser.hpp"
 #include "p4r/creact/interp.hpp"
@@ -162,9 +164,65 @@ void BM_DialogueIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_DialogueIteration);
 
+// --breakdown: the reaction-provenance latency decomposition. Runs the
+// dialogue workload in virtual time with packets arriving between
+// iterations so first-effect detection fires, then reports the
+// poll/compute/push/take-effect histograms from the stack registry
+// (reaction.*_ns, populated by telemetry::ProvenanceContext).
+int run_breakdown(int argc, char** argv) {
+  constexpr std::size_t kIterations = 200;
+  bench::Stack stack(kDialogueSrc);
+  stack.agent->run_prologue();
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    stack.agent->dialogue_iteration();
+    // A packet shortly after the iteration hits the freshly committed master
+    // default (stamped with this reaction's id) => take_effect sample.
+    stack.loop.schedule_in(500, [&] {
+      auto pkt = stack.sw->factory().make();
+      stack.sw->inject(std::move(pkt), 0);
+    });
+    stack.loop.run();
+  }
+
+  const auto& metrics = stack.loop.telemetry().metrics();
+  bench::print_header("reaction latency breakdown (virtual ns)");
+  bench::print_row({"phase", "count", "mean", "p50", "p99"}, 26);
+  for (const char* name :
+       {"reaction.poll_ns", "reaction.compute_ns", "reaction.push_ns",
+        "reaction.take_effect_ns"}) {
+    const auto* h = metrics.find_histogram(name);
+    if (h == nullptr || h->count() == 0) {
+      bench::print_row({name, "0", "-", "-", "-"}, 26);
+      continue;
+    }
+    bench::print_row({name, std::to_string(h->count()),
+                      bench::fmt(h->stats().mean(), 1),
+                      bench::fmt(h->quantile(0.50), 1),
+                      bench::fmt(h->quantile(0.99), 1)},
+                     26);
+  }
+
+  std::string out_path = "BENCH_microperf_breakdown.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+  telemetry::ReportParams params;
+  params.set("mode", "breakdown");
+  params.set("iterations", static_cast<std::int64_t>(kIterations));
+  stack.loop.telemetry().write_metrics_json(out_path, "microperf_breakdown",
+                                            params);
+  std::printf("\nresults: %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--breakdown") == 0) {
+      return run_breakdown(argc, argv);
+    }
+  }
   mantis::bench::Report report("microperf", argc, argv);
   mantis::bench::run_benchmarks(argc, argv, report);
   report.write();

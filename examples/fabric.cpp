@@ -6,7 +6,7 @@
 // packet delivery resuming over the alternate spine.
 //
 //   $ ./example_fabric
-//   $ ./example_fabric --seed 7 --metrics m.json
+//   $ ./example_fabric --seed 7 --metrics m.json --trace t.json --mfr f.mfr
 //
 // Deterministic: the same seed reproduces the event log and metrics
 // byte-for-byte. Exits nonzero if delivery never restores (smoke check).
@@ -21,13 +21,15 @@
 int main(int argc, char** argv) {
   using namespace mantis;
 
-  std::string metrics_path;
+  std::string metrics_path, trace_path, mfr_path;
   net::GrayScenarioConfig cfg;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0) {
       cfg.seed = std::strtoull(argv[i + 1], nullptr, 10);
     }
     if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--mfr") == 0) mfr_path = argv[i + 1];
     if (std::strcmp(argv[i], "--loss") == 0) {
       cfg.fault_loss = std::strtod(argv[i + 1], nullptr);
     }
@@ -37,6 +39,13 @@ int main(int argc, char** argv) {
   }
 
   net::GrayFabricScenario scenario(cfg);
+  if (!trace_path.empty()) scenario.loop().telemetry().tracer().set_enabled(true);
+  // With --mfr, every fault transition (an anomaly class) dumps the flight
+  // recorder; the file left behind reflects the final transition and is
+  // byte-identical across same-seed runs.
+  if (!mfr_path.empty()) {
+    scenario.loop().telemetry().recorder().set_dump_path(mfr_path);
+  }
   auto res = scenario.run();
 
   std::printf("leaf-spine 2x2, seed %llu: gray loss %.2f on %s (leaf0 port %d) "
@@ -76,6 +85,16 @@ int main(int argc, char** argv) {
     scenario.loop().telemetry().write_metrics_json(metrics_path, "fabric_gray",
                                                    params);
     std::printf("metrics: %s\n", metrics_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    scenario.loop().telemetry().write_trace_json(trace_path);
+    std::printf("trace: %s (open in chrome://tracing or Perfetto)\n",
+                trace_path.c_str());
+  }
+  if (!mfr_path.empty()) {
+    std::printf("flight recorder: %s (inspect with p4r_inspect show)\n",
+                mfr_path.c_str());
   }
 
   if (!res.restored()) {

@@ -287,6 +287,8 @@ Agent::Agent(driver::Driver& drv, const compile::Artifacts& artifacts,
   expects(!bind.init_tables.empty(), "Agent: artifacts have no init tables");
 
   tel_ = &drv.target().loop().telemetry();
+  prov_ = &tel_->provenance();
+  rec_ = &tel_->recorder();
   // Agents sharing one loop (multi-pipeline stacks) each get their own
   // metric names; the first keeps the plain "agent." prefix so the common
   // single-agent case reads naturally.
@@ -452,6 +454,7 @@ void Agent::run_one_reaction(ReactionRt& rt) {
   const Time t0 = loop().now();
   const auto params = measure_.poll(*drv_, *rt.info, checkpoint);
   const Time after_poll = loop().now();
+  iter_poll_ += after_poll - t0;
   phase_measure_->record(static_cast<double>(after_poll - t0));
   MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.measure", "dialogue",
                      telemetry::Track::kAgent, t0, after_poll);
@@ -468,6 +471,7 @@ void Agent::run_one_reaction(ReactionRt& rt) {
   }
   // Charge the reaction's CPU time; the data plane keeps running meanwhile.
   loop().run_until(loop().now() + cost);
+  iter_compute_ += loop().now() - after_poll;
   phase_react_->record(static_cast<double>(loop().now() - after_poll));
   MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.react", "dialogue",
                      telemetry::Track::kAgent, after_poll, loop().now());
@@ -576,10 +580,24 @@ void Agent::apply_updates() {
     }
     drv_->run_batch(std::move(batch));
   }
+  record_scalar_commits();
   committed_scalars_ = scalars_;
   MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.shadow_fill", "dialogue",
                      telemetry::Track::kAgent, after_commit, loop().now(),
                      "ops", static_cast<std::int64_t>(ops.size()));
+}
+
+void Agent::record_scalar_commits() {
+  if (!rec_->enabled()) return;
+  for (const auto& [name, value] : scalars_) {
+    auto it = committed_scalars_.find(name);
+    if (it != committed_scalars_.end() && it->second == value) continue;
+    rec_->record(loop().now(), telemetry::FlightEvent::Kind::kMalleable,
+                 prov_->current_reaction(), name,
+                 "prev=" + std::to_string(
+                               it == committed_scalars_.end() ? 0 : it->second),
+                 static_cast<std::int64_t>(value));
+  }
 }
 
 void Agent::commit_scalars_immediate() {
@@ -598,6 +616,7 @@ void Agent::commit_scalars_immediate() {
   if (!batch.empty()) drv_->run_batch(std::move(batch));
   const auto& master = bind.init_tables.front();
   drv_->set_default(master.table, master.action, master_args(vv_, mv_));
+  record_scalar_commits();
   committed_scalars_ = scalars_;
 }
 
@@ -616,6 +635,9 @@ void Agent::dialogue_iteration() {
   expects(prologue_done_, "dialogue requires the prologue");
   const Time t0 = loop().now();
   const auto& master = art_->bindings.init_tables.front();
+  const std::uint64_t rid = prov_->begin_reaction(t0);
+  iter_poll_ = 0;
+  iter_compute_ = 0;
 
   // (1) flip the measurement version: data plane starts writing the other
   // copy; the vacated copy becomes this iteration's checkpoint.
@@ -648,6 +670,20 @@ void Agent::dialogue_iteration() {
   MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.iteration", "dialogue",
                      telemetry::Track::kAgent, t0, loop().now(), "iteration",
                      static_cast<std::int64_t>(iters_ctr_->value()));
+
+  // Provenance: poll = mv flip + measurement reads, compute = reaction
+  // bodies, push = prepare/commit/mirror. Closing the frame arms
+  // first-effect detection when this iteration mutated dataplane state.
+  prov_->end_reaction(rid, loop().now(),
+                      last_breakdown_.mv_flip + iter_poll_, iter_compute_,
+                      last_breakdown_.update);
+
+  if (opts_.reaction_slo > 0 && busy > opts_.reaction_slo) {
+    rec_->trigger(loop().now(),
+                  "slo_breach reaction=" + std::to_string(rid) +
+                      " busy_ns=" + std::to_string(busy) +
+                      " slo_ns=" + std::to_string(opts_.reaction_slo));
+  }
 
   if (opts_.pacing_sleep > 0) {
     loop().run_until(loop().now() + opts_.pacing_sleep);

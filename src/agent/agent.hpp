@@ -49,6 +49,9 @@ struct AgentOptions {
   /// pseudocode, even when the reaction changed nothing. Setting this false
   /// skips commit+mirror on clean iterations (latency ablation).
   bool commit_every_iteration = true;
+  /// Reaction-latency SLO (virtual ns of busy time per dialogue iteration);
+  /// exceeding it triggers a flight-recorder dump. 0 = disabled.
+  Duration reaction_slo = 0;
 };
 
 class Agent;
@@ -191,6 +194,12 @@ class Agent {
   // Cached telemetry sinks (owned by the loop's registry; see
   // docs/TELEMETRY.md for the naming scheme).
   telemetry::Telemetry* tel_;
+  telemetry::ProvenanceContext* prov_;
+  telemetry::FlightRecorder* rec_;
+  /// Poll/compute accumulators for the current iteration's provenance
+  /// breakdown (summed across reactions by run_one_reaction).
+  Duration iter_poll_ = 0;
+  Duration iter_compute_ = 0;
   telemetry::Counter* iters_ctr_;
   telemetry::Counter* busy_ctr_;
   telemetry::Histogram* iter_hist_;  ///< keep_raw: iteration_latencies() view
@@ -209,6 +218,9 @@ class Agent {
                                        const std::map<std::string, std::uint64_t>&
                                            scalars) const;
   ReactionRt* find_reaction(const std::string& name);
+  /// Logs kMalleable flight events for scalars whose value differs from the
+  /// last committed state (call just before committed_scalars_ = scalars_).
+  void record_scalar_commits();
   void commit_scalars_immediate();
   void run_one_reaction(ReactionRt& rt);
   void apply_updates();  ///< prepare + commit + mirror for buffered state

@@ -160,6 +160,7 @@ class DiffRun {
     }
 
     DutState dut(art);
+    dut_ = &dut;
     dut.ag->run_prologue();
 
     // ---- initial entries (management plane, both paths) ----
@@ -268,6 +269,13 @@ class DiffRun {
 
   void diverge(std::uint32_t epoch, std::string surface, std::string detail) {
     out_.outcome = Outcome::kDiverged;
+    // First divergence: freeze the DUT's flight-recorder state (driver op
+    // log, reaction records, live switch snapshot) for offline inspection.
+    if (out_.flight_dump.empty() && dut_ != nullptr) {
+      out_.flight_dump = dut_->loop.telemetry().recorder().trigger(
+          dut_->loop.now(), "divergence epoch=" + std::to_string(epoch) + " [" +
+                                surface + "] " + detail);
+    }
     out_.divergences.push_back(
         Divergence{epoch, std::move(surface), std::move(detail)});
   }
@@ -413,6 +421,7 @@ class DiffRun {
 
   const Scenario& s_;
   DiffResult& out_;
+  DutState* dut_ = nullptr;  ///< set once the DUT stack is built
 };
 
 }  // namespace

@@ -48,6 +48,10 @@ struct DiffResult {
   /// it whenever outcome == kAgreed); replaying a scenario twice must yield
   /// byte-identical digests.
   std::string digest;
+  /// Flight-recorder .mfr dump of the DUT stack, captured at the first
+  /// divergence (empty otherwise). Deterministic: replaying the same
+  /// scenario yields a byte-identical dump.
+  std::string flight_dump;
 
   bool diverged() const { return outcome == Outcome::kDiverged; }
 };

@@ -6,6 +6,7 @@ Driver::Driver(sim::Switch& sw, DriverOptions opts)
     : sw_(&sw), opts_(opts), channel_(sw.loop()) {
   auto& tel = sw.loop().telemetry();
   sync_ops_ctr_ = &tel.metrics().counter("driver.sync_ops");
+  prov_ = &tel.provenance();
   telemetry::HistogramOptions lat;
   lat.first_bucket = 256;  // ns; legacy op latencies are ~1..50us
   legacy_latency_hist_ =
@@ -25,20 +26,27 @@ void Driver::memoize(const std::string& table, const std::string& action) {
   memo_.insert(table + "\x1f" + action);
 }
 
-void Driver::sync_submit(Duration cost, const std::function<void()>& effect) {
+void Driver::sync_submit(Duration cost, const char* op,
+                         const std::string& detail,
+                         const std::function<void()>& effect) {
   ++sync_ops_;
   sync_ops_ctr_->add();
+  const Time submitted = sw_->loop().now();
   const Time completion =
       channel_.submit(cost, nullptr, opts_.costs.critical(cost));
   sw_->loop().run_until(completion);
   effect();
+  // After the effect so table mutations performed inside it are already
+  // stamped with this reaction's id when the op is logged.
+  prov_->on_driver_op(op, detail, submitted, completion);
 }
 
 sim::EntryHandle Driver::add_entry(const std::string& table,
                                    const p4::EntrySpec& spec) {
   const Duration cost = opts_.costs.table_add(memoized(table, spec.action));
   sim::EntryHandle h = 0;
-  sync_submit(cost, [&] { h = sw_->table(table).add_entry(spec); });
+  sync_submit(cost, "driver.add_entry", table,
+              [&] { h = sw_->table(table).add_entry(spec); });
   return h;
 }
 
@@ -46,23 +54,26 @@ void Driver::modify_entry(const std::string& table, sim::EntryHandle h,
                           const std::string& action,
                           std::vector<std::uint64_t> args) {
   const Duration cost = opts_.costs.table_mod(memoized(table, action));
-  sync_submit(cost, [&] { sw_->table(table).modify_entry(h, action, std::move(args)); });
+  sync_submit(cost, "driver.modify_entry", table, [&] {
+    sw_->table(table).modify_entry(h, action, std::move(args));
+  });
 }
 
 void Driver::delete_entry(const std::string& table, sim::EntryHandle h) {
   const Duration cost = opts_.costs.table_del(memoized(table, "\x1f""del"));
-  sync_submit(cost, [&] { sw_->table(table).delete_entry(h); });
+  sync_submit(cost, "driver.delete_entry", table,
+              [&] { sw_->table(table).delete_entry(h); });
 }
 
 void Driver::set_default(const std::string& table, const std::string& action,
                          std::vector<std::uint64_t> args) {
-  sync_submit(opts_.costs.set_default(),
+  sync_submit(opts_.costs.set_default(), "driver.set_default", table,
               [&] { sw_->table(table).set_default(action, std::move(args)); });
 }
 
 std::uint64_t Driver::read_register(const std::string& reg, std::uint32_t index) {
   std::uint64_t value = 0;
-  sync_submit(opts_.costs.packed_words_read(1),
+  sync_submit(opts_.costs.packed_words_read(1), "driver.read_register", reg,
               [&] { value = sw_->registers().read(reg, index); });
   return value;
 }
@@ -74,7 +85,8 @@ std::vector<std::uint64_t> Driver::read_register_range(const std::string& reg,
   const auto width_bytes = bits_to_bytes(sw_->registers().width(reg));
   const std::size_t bytes = static_cast<std::size_t>(last - first + 1) * width_bytes;
   std::vector<std::uint64_t> values;
-  sync_submit(opts_.costs.range_read(bytes),
+  sync_submit(opts_.costs.range_read(bytes), "driver.read_register_range",
+              reg,
               [&] { values = sw_->registers().read_range(reg, first, last); });
   return values;
 }
@@ -82,7 +94,9 @@ std::vector<std::uint64_t> Driver::read_register_range(const std::string& reg,
 std::vector<std::uint64_t> Driver::read_packed_words(
     const std::vector<WordRef>& words) {
   std::vector<std::uint64_t> values;
-  sync_submit(opts_.costs.packed_words_read(words.size()), [&] {
+  sync_submit(opts_.costs.packed_words_read(words.size()),
+              "driver.read_packed_words",
+              words.empty() ? std::string() : words.front().reg, [&] {
     values.reserve(words.size());
     for (const auto& w : words) {
       values.push_back(sw_->registers().read(w.reg, w.index));
@@ -93,14 +107,15 @@ std::vector<std::uint64_t> Driver::read_packed_words(
 
 void Driver::write_register(const std::string& reg, std::uint32_t index,
                             std::uint64_t value) {
-  sync_submit(opts_.costs.register_write(),
+  sync_submit(opts_.costs.register_write(), "driver.write_register", reg,
               [&] { sw_->registers().write(reg, index, value); });
 }
 
 std::uint64_t Driver::read_counter(const std::string& counter,
                                    std::uint32_t index) {
   std::uint64_t value = 0;
-  sync_submit(opts_.costs.packed_words_read(1),
+  sync_submit(opts_.costs.packed_words_read(1), "driver.read_counter",
+              counter,
               [&] { value = sw_->registers().counter_value(counter, index); });
   return value;
 }
@@ -178,7 +193,8 @@ std::vector<sim::EntryHandle> Driver::run_batch(Batch batch) {
   cost += opts_.costs.pcie_rtt;  // the batch pays one shared round trip
 
   std::vector<sim::EntryHandle> handles;
-  sync_submit(cost, [&] {
+  sync_submit(cost, "driver.batch", "ops=" + std::to_string(batch.size()),
+              [&] {
     for (auto& op : batch.ops_) {
       switch (op.kind) {
         case Batch::Op::Kind::kAdd:
@@ -214,6 +230,14 @@ void Driver::async_modify_entry(const std::string& table, sim::EntryHandle h,
         sw_->table(table).modify_entry(h, action, std::move(args));
         const Duration latency = sw_->loop().now() - submitted;
         legacy_latency_hist_->record(static_cast<double>(latency));
+        // Async completions can land inside another agent's run_until wait;
+        // attributing them to that reaction would be wrong, so log with
+        // reaction_id 0 instead of prov_->on_driver_op.
+        auto& rec = sw_->loop().telemetry().recorder();
+        if (rec.enabled()) {
+          rec.record(sw_->loop().now(), telemetry::FlightEvent::Kind::kDriverOp,
+                     0, "legacy.modify_entry", table, latency);
+        }
 #if MANTIS_TELEMETRY_ENABLED
         sw_->loop().telemetry().tracer().complete(
             "legacy.modify_entry", "driver", telemetry::Track::kLegacy,
@@ -236,6 +260,12 @@ void Driver::async_read_register_range(
       cost,
       [this, reg, first, last, submitted, done = std::move(done)] {
         auto values = sw_->registers().read_range(reg, first, last);
+        auto& rec = sw_->loop().telemetry().recorder();
+        if (rec.enabled()) {
+          rec.record(sw_->loop().now(), telemetry::FlightEvent::Kind::kDriverOp,
+                     0, "legacy.read_register_range", reg,
+                     sw_->loop().now() - submitted);
+        }
         if (done) {
           done(std::move(values), sw_->loop().now() - submitted);
         }

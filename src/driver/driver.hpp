@@ -134,14 +134,17 @@ class Driver {
   std::unordered_set<std::string> memo_;
   std::uint64_t sync_ops_ = 0;
 
-  // Cached telemetry sinks (owned by the loop's registry).
+  // Cached telemetry sinks (owned by the loop's registry / bundle).
   telemetry::Counter* sync_ops_ctr_;
   telemetry::Histogram* legacy_latency_hist_;
+  telemetry::ProvenanceContext* prov_;
 
   bool memoized(const std::string& table, const std::string& action);
   /// Submits a synchronous op: occupies the channel, runs the loop to the
-  /// completion instant, performs `effect` there, and returns.
-  void sync_submit(Duration cost, const std::function<void()>& effect);
+  /// completion instant, performs `effect` there, and returns. `op` (a
+  /// static string literal) and `detail` feed the provenance layer.
+  void sync_submit(Duration cost, const char* op, const std::string& detail,
+                   const std::function<void()>& effect);
 };
 
 }  // namespace mantis::driver

@@ -10,9 +10,19 @@ FaultInjector::FaultInjector(Fabric& fabric) : fabric_(&fabric) {
 }
 
 void FaultInjector::note(const Link& link, const std::string& change) {
-  log_.push_back(std::to_string(fabric_->loop().now()) + " " + link.name() +
-                 " " + change);
+  const Time now = fabric_->loop().now();
+  log_.push_back(std::to_string(now) + " " + link.name() + " " + change);
   transitions_ctr_->add();
+  auto& rec = fabric_->loop().telemetry().recorder();
+  if (rec.enabled()) {
+    rec.record(now, telemetry::FlightEvent::Kind::kFault, 0, link.name(),
+               change);
+  }
+  // A fault is one of the anomaly classes: with a dump path configured, each
+  // transition overwrites the file, leaving the final (deterministic) state.
+  if (!rec.dump_path().empty()) {
+    rec.trigger(now, "fault " + link.name() + " " + change);
+  }
 }
 
 void FaultInjector::apply_down(Link& link, int dir, bool down) {

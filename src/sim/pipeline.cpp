@@ -1,11 +1,14 @@
 #include "sim/pipeline.hpp"
 
+#include "telemetry/provenance.hpp"
+
 namespace mantis::sim {
 
 Pipeline::Pipeline(const p4::Program& prog, const p4::ControlBlock& block,
                    std::unordered_map<std::string, TableState>& tables,
-                   RegisterFile& regs)
-    : prog_(&prog), block_(&block), tables_(&tables), exec_(prog, regs) {
+                   RegisterFile& regs, telemetry::ProvenanceContext* prov)
+    : prog_(&prog), block_(&block), tables_(&tables), exec_(prog, regs),
+      prov_(prov) {
   for (const auto& name : prog.tables_in(block)) {
     ensures(tables.count(name) != 0, "Pipeline: missing table state for " + name);
   }
@@ -16,6 +19,7 @@ void Pipeline::run_nodes(const std::vector<p4::ControlNode>& nodes, Packet& pkt)
     if (const auto* apply = std::get_if<p4::ApplyNode>(&node.node)) {
       auto& table = tables_->at(apply->table);
       const auto result = table.lookup(pkt);
+      if (prov_ != nullptr) prov_->note_hit(result.provenance);
       if (result.hit) {
         ++stats_.table_hits;
       } else {

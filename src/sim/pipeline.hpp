@@ -10,6 +10,10 @@
 #include "sim/action_exec.hpp"
 #include "sim/table_state.hpp"
 
+namespace mantis::telemetry {
+class ProvenanceContext;
+}
+
 namespace mantis::sim {
 
 class Pipeline {
@@ -21,10 +25,11 @@ class Pipeline {
   };
 
   /// `tables` must outlive the pipeline and contain every table the control
-  /// block applies.
+  /// block applies. `prov`, when set, gets the provenance stamp of every
+  /// winning rule (first-effect detection).
   Pipeline(const p4::Program& prog, const p4::ControlBlock& block,
            std::unordered_map<std::string, TableState>& tables,
-           RegisterFile& regs);
+           RegisterFile& regs, telemetry::ProvenanceContext* prov = nullptr);
 
   /// Runs the control block over the packet. Matches RMT semantics: a drop
   /// marks the packet but the remaining stages still execute.
@@ -37,6 +42,7 @@ class Pipeline {
   const p4::ControlBlock* block_;
   std::unordered_map<std::string, TableState>* tables_;
   ActionExecutor exec_;
+  telemetry::ProvenanceContext* prov_;
   Stats stats_;
 
   void run_nodes(const std::vector<p4::ControlNode>& nodes, Packet& pkt);

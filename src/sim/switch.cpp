@@ -1,5 +1,9 @@
 #include "sim/switch.hpp"
 
+#include <sstream>
+
+#include "telemetry/provenance.hpp"
+
 namespace mantis::sim {
 
 namespace {
@@ -25,11 +29,15 @@ Switch::Switch(EventLoop& loop, const p4::Program& prog, SwitchConfig cfg)
       regs_(prog_),
       port_stats_(static_cast<std::size_t>(cfg.num_ports)),
       rx_up_(static_cast<std::size_t>(cfg.num_ports), true) {
+  prov_ = &loop.telemetry().provenance();
   for (const auto& tbl : prog_.tables) {
-    tables_.emplace(tbl.name, TableState(prog_, tbl));
+    auto [it, inserted] = tables_.emplace(tbl.name, TableState(prog_, tbl));
+    if (inserted) it->second.set_provenance(prov_);
   }
-  ingress_ = std::make_unique<Pipeline>(prog_, prog_.ingress, tables_, regs_);
-  egress_ = std::make_unique<Pipeline>(prog_, prog_.egress, tables_, regs_);
+  ingress_ =
+      std::make_unique<Pipeline>(prog_, prog_.ingress, tables_, regs_, prov_);
+  egress_ =
+      std::make_unique<Pipeline>(prog_, prog_.egress, tables_, regs_, prov_);
   tm_ = std::make_unique<TrafficManager>(
       loop, cfg.num_ports, cfg.port_gbps, cfg.queue_capacity_bytes,
       [this](Packet pkt, int port) { on_dequeue(std::move(pkt), port); });
@@ -56,6 +64,20 @@ Switch::Switch(EventLoop& loop, const p4::Program& prog, SwitchConfig cfg)
   f_deq_qdepth_ = prog_.fields.require(p4::intrinsics::kDeqQdepth);
   f_ing_ts_ = prog_.fields.require(p4::intrinsics::kIngressTimestamp);
   f_egr_ts_ = prog_.fields.require(p4::intrinsics::kEgressTimestamp);
+
+  // Register live state with the flight recorder; the ordinal keeps multi-
+  // switch (fabric) snapshot labels distinct and deterministic.
+  auto& instances = tel.metrics().counter("sim.switch.instances");
+  const std::string label = "switch" + std::to_string(instances.value());
+  instances.add();
+  snapshot_provider_ = tel.recorder().add_snapshot_provider(
+      label, [this](std::string& out) { write_snapshot(out); });
+}
+
+Switch::~Switch() {
+  // The loop (and its recorder) outlives stack-local switches in tests and
+  // the check harness; dropping the provider prevents a dangling callback.
+  loop_->telemetry().recorder().remove_snapshot_provider(snapshot_provider_);
 }
 
 const Switch::PortStats& Switch::port_stats(int port) const {
@@ -136,6 +158,9 @@ void Switch::inject_internal(Packet pkt, int port, bool recirculated) {
 #endif
   ingress_stage_hist_->record(static_cast<double>(cfg_.ingress_latency));
   ingress_->process(pkt);
+  if (prov_->consume_flagged_hit()) {
+    prov_->on_first_effect(loop_->now(), cfg_.ingress_latency);
+  }
   if (pkt.dropped()) {
     ++stats.rx_drops;
     rx_drop_ctr_->add();
@@ -182,6 +207,9 @@ void Switch::on_dequeue(Packet pkt, int port) {
 #endif
 
   egress_->process(pkt);
+  if (prov_->consume_flagged_hit()) {
+    prov_->on_first_effect(loop_->now(), cfg_.egress_latency);
+  }
   if (pkt.dropped()) return;
 
   auto& stats = port_stats_[static_cast<std::size_t>(port)];
@@ -198,6 +226,46 @@ void Switch::on_dequeue(Packet pkt, int port) {
                          on_transmit_(p, port, loop_->now());
                        });
   }
+}
+
+void Switch::write_snapshot(std::string& out) const {
+  std::ostringstream s;
+  constexpr std::uint32_t kMaxCells = 64;
+  // Declaration order (not unordered_map order) keeps snapshots byte-stable.
+  for (const auto& reg : prog_.registers) {
+    const std::uint32_t n = std::min(reg.instance_count, kMaxCells);
+    s << "register " << reg.name << "[" << reg.instance_count << "]";
+    if (n > 0) {
+      const auto values = regs_.read_range(reg.name, 0, n - 1);
+      for (auto v : values) s << " " << v;
+    }
+    if (n < reg.instance_count) s << " ...";
+    s << "\n";
+  }
+  for (const auto& ctr : prog_.counters) {
+    const std::uint32_t n = std::min(ctr.instance_count, kMaxCells);
+    s << "counter " << ctr.name << "[" << ctr.instance_count << "]";
+    for (std::uint32_t i = 0; i < n; ++i) {
+      s << " " << regs_.counter_value(ctr.name, i);
+    }
+    if (n < ctr.instance_count) s << " ...";
+    s << "\n";
+  }
+  out += s.str();
+  for (const auto& tbl : prog_.tables) {
+    tables_.at(tbl.name).write_snapshot(out);
+  }
+  std::ostringstream q;
+  std::uint64_t total = 0;
+  for (int port = 0; port < cfg_.num_ports; ++port) {
+    const auto depth = tm_->queue_depth_pkts(port);
+    if (depth == 0) continue;
+    total += depth;
+    q << "queue port=" << port << " pkts=" << depth
+      << " bytes=" << tm_->queue_depth_bytes(port) << "\n";
+  }
+  q << "queued_total_pkts " << total << "\n";
+  out += q.str();
 }
 
 }  // namespace mantis::sim

@@ -90,6 +90,14 @@ class Switch {
   const Pipeline::Stats& ingress_stats() const { return ingress_->stats(); }
   const Pipeline::Stats& egress_stats() const { return egress_->stats(); }
 
+  /// Appends a deterministic description of live state (registers, counters,
+  /// tables, queue depths) — the flight recorder embeds this in .mfr dumps.
+  void write_snapshot(std::string& out) const;
+
+  ~Switch();
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
  private:
   EventLoop* loop_;
   p4::Program prog_;
@@ -105,6 +113,9 @@ class Switch {
   TransmitHook on_transmit_;
 
   Time pipeline_free_at_ = 0;  ///< pipeline_pps admission bookkeeping
+
+  telemetry::ProvenanceContext* prov_;
+  int snapshot_provider_ = 0;  ///< flight-recorder registration id
 
   // Cached telemetry sinks (owned by the loop's registry): per-stage packet
   // latency (ingress pipeline, TM residency, egress pipeline) plus the

@@ -1,7 +1,9 @@
 #include "sim/table_state.hpp"
 
 #include <algorithm>
+#include <sstream>
 
+#include "telemetry/provenance.hpp"
 #include "util/bits.hpp"
 
 namespace mantis::sim {
@@ -87,11 +89,11 @@ EntryHandle TableState::add_entry(const p4::EntrySpec& spec) {
     }
     const EntryHandle h = next_handle_++;
     exact_index_.emplace(std::move(packed), h);
-    entries_.emplace(h, StoredEntry{spec, next_seq_++});
+    entries_.emplace(h, StoredEntry{spec, next_seq_++, stamp_mutation()});
     return h;
   }
   const EntryHandle h = next_handle_++;
-  entries_.emplace(h, StoredEntry{spec, next_seq_++});
+  entries_.emplace(h, StoredEntry{spec, next_seq_++, stamp_mutation()});
   return h;
 }
 
@@ -104,6 +106,7 @@ void TableState::modify_entry(EntryHandle h, const std::string& action,
   updated.action_args = std::move(args);
   check_spec(updated);
   it->second.spec = std::move(updated);
+  it->second.provenance = stamp_mutation();
 }
 
 void TableState::delete_entry(EntryHandle h) {
@@ -115,6 +118,7 @@ void TableState::delete_entry(EntryHandle h) {
     exact_index_.erase(packed);
   }
   entries_.erase(it);
+  stamp_mutation();  // marks the live reaction as having mutated state
 }
 
 void TableState::set_default(const std::string& action,
@@ -126,6 +130,7 @@ void TableState::set_default(const std::string& action,
   }
   default_action_ = action;
   default_args_ = std::move(args);
+  default_provenance_ = stamp_mutation();
 }
 
 std::optional<EntryHandle> TableState::find_entry(
@@ -164,6 +169,7 @@ TableState::LookupResult TableState::lookup(const Packet& pkt) const {
   miss.hit = false;
   miss.action = &default_action_;
   miss.args = &default_args_;
+  miss.provenance = default_provenance_;
 
   if (decl_->reads.empty()) return miss;  // default-action-only table
 
@@ -174,7 +180,8 @@ TableState::LookupResult TableState::lookup(const Packet& pkt) const {
     auto it = exact_index_.find(packed);
     if (it == exact_index_.end()) return miss;
     const auto& e = entries_.at(it->second);
-    return LookupResult{true, &e.spec.action, &e.spec.action_args, it->second};
+    return LookupResult{true, &e.spec.action, &e.spec.action_args, it->second,
+                        e.provenance};
   }
 
   // Ternary / LPM / mixed: scan all entries, pick by (priority, then longest
@@ -203,7 +210,8 @@ TableState::LookupResult TableState::lookup(const Packet& pkt) const {
     }
   }
   if (best == nullptr) return miss;
-  return LookupResult{true, &best->spec.action, &best->spec.action_args, best_h};
+  return LookupResult{true, &best->spec.action, &best->spec.action_args, best_h,
+                      best->provenance};
 }
 
 const p4::EntrySpec& TableState::entry(EntryHandle h) const {
@@ -217,6 +225,37 @@ std::vector<EntryHandle> TableState::handles() const {
   out.reserve(entries_.size());
   for (const auto& [h, e] : entries_) out.push_back(h);
   return out;
+}
+
+std::uint64_t TableState::stamp_mutation() {
+  return prov_ != nullptr ? prov_->on_table_mutation() : 0;
+}
+
+void TableState::write_snapshot(std::string& out) const {
+  std::ostringstream s;
+  s << "table " << name() << " entries=" << entries_.size() << "/"
+    << decl_->size << "\n";
+  s << "  default " << default_action_;
+  for (auto a : default_args_) s << " " << a;
+  if (default_provenance_ != 0) s << " rid=" << default_provenance_;
+  s << "\n";
+  // entries_ is a std::map keyed by handle, so iteration is deterministic.
+  constexpr std::size_t kMaxEntries = 64;
+  std::size_t shown = 0;
+  for (const auto& [h, e] : entries_) {
+    if (shown++ >= kMaxEntries) {
+      s << "  ... " << (entries_.size() - kMaxEntries) << " more\n";
+      break;
+    }
+    s << "  entry " << h << " key";
+    for (const auto& k : e.spec.key) s << " " << k.value << "/" << k.mask;
+    s << " -> " << e.spec.action;
+    for (auto a : e.spec.action_args) s << " " << a;
+    if (e.spec.priority != 0) s << " prio=" << e.spec.priority;
+    if (e.provenance != 0) s << " rid=" << e.provenance;
+    s << "\n";
+  }
+  out += s.str();
 }
 
 }  // namespace mantis::sim

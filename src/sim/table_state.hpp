@@ -16,6 +16,10 @@
 #include "p4/ir.hpp"
 #include "sim/packet.hpp"
 
+namespace mantis::telemetry {
+class ProvenanceContext;
+}
+
 namespace mantis::sim {
 
 /// Opaque handle for a installed entry; stable until delete.
@@ -27,6 +31,10 @@ class TableState {
 
   const p4::TableDecl& decl() const { return *decl_; }
   const std::string& name() const { return decl_->name; }
+
+  /// Mutations stamp entries with the live reaction id (0 = none); the
+  /// switch wires this to its loop's provenance context.
+  void set_provenance(telemetry::ProvenanceContext* prov) { prov_ = prov; }
 
   /// Installs an entry. Throws UserError when the table is full, the key
   /// arity is wrong, or the action is not bound to this table.
@@ -49,6 +57,9 @@ class TableState {
     const std::string* action = nullptr;            ///< never null
     const std::vector<std::uint64_t>* args = nullptr;  ///< never null
     EntryHandle handle = 0;                         ///< valid when hit
+    /// Reaction id of the mutation that installed the winning rule (entry
+    /// or default), 0 when it predates any reaction.
+    std::uint64_t provenance = 0;
   };
 
   /// Matches `pkt` against the table; returns the winning entry's action or
@@ -63,10 +74,15 @@ class TableState {
   /// All live handles (stable iteration order: ascending handle).
   std::vector<EntryHandle> handles() const;
 
+  /// Appends a deterministic description of the table (default action,
+  /// entries sorted by handle) for flight-recorder snapshots.
+  void write_snapshot(std::string& out) const;
+
  private:
   struct StoredEntry {
     p4::EntrySpec spec;
     std::uint64_t insert_seq = 0;  ///< tie-break: earlier insert wins
+    std::uint64_t provenance = 0;  ///< reaction id that last wrote the entry
   };
 
   const p4::Program* prog_;
@@ -77,6 +93,8 @@ class TableState {
 
   std::string default_action_;
   std::vector<std::uint64_t> default_args_;
+  std::uint64_t default_provenance_ = 0;
+  telemetry::ProvenanceContext* prov_ = nullptr;
 
   bool all_exact_ = false;
   /// Exact-match index: packed key -> handle (only when all reads exact).
@@ -84,6 +102,8 @@ class TableState {
 
   void check_spec(const p4::EntrySpec& spec) const;
   bool entry_matches(const StoredEntry& e, const Packet& pkt) const;
+  /// Reports this mutation to the provenance layer; returns the entry stamp.
+  std::uint64_t stamp_mutation();
 };
 
 }  // namespace mantis::sim

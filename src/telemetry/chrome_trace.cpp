@@ -41,15 +41,28 @@ std::string chrome_trace_json(const Tracer& tracer) {
 
   for (const auto& ev : tracer.events()) {
     emit_sep();
+    const char* ph = "X";
+    switch (ev.phase) {
+      case TraceEvent::Phase::kComplete: ph = "X"; break;
+      case TraceEvent::Phase::kInstant: ph = "i"; break;
+      case TraceEvent::Phase::kFlowStart: ph = "s"; break;
+      case TraceEvent::Phase::kFlowStep: ph = "t"; break;
+      case TraceEvent::Phase::kFlowEnd: ph = "f"; break;
+    }
     out << "{\"name\": \"" << json_escape(ev.name) << "\", \"cat\": \""
-        << json_escape(ev.category) << "\", \"ph\": \""
-        << (ev.phase == TraceEvent::Phase::kComplete ? "X" : "i")
+        << json_escape(ev.category) << "\", \"ph\": \"" << ph
         << "\", \"pid\": 0, \"tid\": " << static_cast<unsigned>(ev.track)
         << ", \"ts\": " << us_from_ns(ev.vt_begin);
     if (ev.phase == TraceEvent::Phase::kComplete) {
       out << ", \"dur\": " << us_from_ns(ev.vt_dur);
-    } else {
+    } else if (ev.phase == TraceEvent::Phase::kInstant) {
       out << ", \"s\": \"t\"";
+    } else {
+      // Flow events carry the correlation id; the end event binds to the
+      // enclosing slice ("bp": "e") so a dangling start stays valid JSON and
+      // simply renders as an unterminated arrow.
+      out << ", \"id\": " << ev.flow_id;
+      if (ev.phase == TraceEvent::Phase::kFlowEnd) out << ", \"bp\": \"e\"";
     }
     out << ", \"args\": {\"wall_ns\": " << ev.wall_ns;
     if (ev.arg_name != nullptr) {

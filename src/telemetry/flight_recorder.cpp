@@ -1,0 +1,274 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "telemetry/metrics.hpp"  // write_text_file
+#include "util/check.hpp"
+
+namespace mantis::telemetry {
+
+namespace {
+
+/// Event fields are tab-separated, one per line; keep payloads single-line.
+void sanitize(std::string& s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+}
+
+/// Malformed .mfr input is a user-data problem, not a caller bug.
+void require(bool cond, const std::string& msg) {
+  if (!cond) throw UserError(msg);
+}
+
+std::int64_t parse_i64(std::string_view s, const char* what) {
+  std::int64_t v = 0;
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  require(ec == std::errc() && ptr == end,
+          std::string("parse_mfr: bad integer in ") + what);
+  return v;
+}
+
+std::uint64_t parse_u64(std::string_view s, const char* what) {
+  std::uint64_t v = 0;
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  require(ec == std::errc() && ptr == end,
+          std::string("parse_mfr: bad integer in ") + what);
+  return v;
+}
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+}  // namespace
+
+const char* flight_kind_name(FlightEvent::Kind kind) {
+  switch (kind) {
+    case FlightEvent::Kind::kReaction: return "reaction";
+    case FlightEvent::Kind::kMalleable: return "malleable";
+    case FlightEvent::Kind::kDriverOp: return "driver_op";
+    case FlightEvent::Kind::kFault: return "fault";
+    case FlightEvent::Kind::kAnomaly: return "anomaly";
+  }
+  return "?";
+}
+
+std::optional<FlightEvent::Kind> flight_kind_from(std::string_view name) {
+  if (name == "reaction") return FlightEvent::Kind::kReaction;
+  if (name == "malleable") return FlightEvent::Kind::kMalleable;
+  if (name == "driver_op") return FlightEvent::Kind::kDriverOp;
+  if (name == "fault") return FlightEvent::Kind::kFault;
+  if (name == "anomaly") return FlightEvent::Kind::kAnomaly;
+  return std::nullopt;
+}
+
+std::string render_mfr(const MfrDump& dump) {
+  std::ostringstream out;
+  out << "MFR/1\n";
+  out << "reason " << dump.reason << "\n";
+  out << "vt " << dump.vt << "\n";
+  out << "recorded " << dump.recorded << " dropped " << dump.dropped << "\n";
+  out << "events " << dump.events.size() << "\n";
+  for (const auto& ev : dump.events) {
+    out << ev.seq << '\t' << ev.t << '\t' << flight_kind_name(ev.kind) << '\t'
+        << ev.reaction_id << '\t' << ev.value << '\t' << ev.name << '\t'
+        << ev.detail << "\n";
+  }
+  for (const auto& snap : dump.snapshots) {
+    out << "snapshot " << snap.label << " " << snap.lines.size() << "\n";
+    for (const auto& line : snap.lines) out << line << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+MfrDump parse_mfr(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  auto next_line = [&](const char* what) {
+    require(static_cast<bool>(std::getline(in, line)),
+            std::string("parse_mfr: truncated file, expected ") + what);
+    return std::string_view(line);
+  };
+
+  require(next_line("header") == "MFR/1", "parse_mfr: not an MFR/1 file");
+
+  MfrDump dump;
+  {
+    auto l = next_line("reason");
+    require(l.substr(0, 7) == "reason ", "parse_mfr: expected reason line");
+    dump.reason = std::string(l.substr(7));
+  }
+  {
+    auto l = next_line("vt");
+    require(l.substr(0, 3) == "vt ", "parse_mfr: expected vt line");
+    dump.vt = parse_i64(l.substr(3), "vt");
+  }
+  {
+    auto l = next_line("recorded");
+    require(l.substr(0, 9) == "recorded ", "parse_mfr: expected recorded line");
+    const auto rest = l.substr(9);
+    const auto sep = rest.find(" dropped ");
+    require(sep != std::string_view::npos, "parse_mfr: expected dropped count");
+    dump.recorded = parse_u64(rest.substr(0, sep), "recorded");
+    dump.dropped = parse_u64(rest.substr(sep + 9), "dropped");
+  }
+  std::uint64_t count = 0;
+  {
+    auto l = next_line("events");
+    require(l.substr(0, 7) == "events ", "parse_mfr: expected events line");
+    count = parse_u64(l.substr(7), "events");
+  }
+  dump.events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto fields = split_tabs(next_line("event row"));
+    require(fields.size() == 7, "parse_mfr: event row needs 7 fields");
+    FlightEvent ev;
+    ev.seq = parse_u64(fields[0], "seq");
+    ev.t = parse_i64(fields[1], "t");
+    auto kind = flight_kind_from(fields[2]);
+    require(kind.has_value(), "parse_mfr: unknown event kind");
+    ev.kind = *kind;
+    ev.reaction_id = parse_u64(fields[3], "reaction_id");
+    ev.value = parse_i64(fields[4], "value");
+    ev.name = std::string(fields[5]);
+    ev.detail = std::string(fields[6]);
+    dump.events.push_back(std::move(ev));
+  }
+  while (true) {
+    auto l = next_line("snapshot or end");
+    if (l == "end") break;
+    require(l.substr(0, 9) == "snapshot ", "parse_mfr: expected snapshot/end");
+    const auto rest = l.substr(9);
+    const auto sep = rest.rfind(' ');
+    require(sep != std::string_view::npos, "parse_mfr: bad snapshot header");
+    MfrDump::Snapshot snap;
+    snap.label = std::string(rest.substr(0, sep));
+    const std::uint64_t lines = parse_u64(rest.substr(sep + 1), "snapshot");
+    snap.lines.reserve(lines);
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      snap.lines.emplace_back(next_line("snapshot line"));
+    }
+    dump.snapshots.push_back(std::move(snap));
+  }
+  return dump;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  expects(capacity > 0, "FlightRecorder: capacity must be positive");
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  expects(capacity > 0, "FlightRecorder: capacity must be positive");
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  recorded_ = 0;
+}
+
+void FlightRecorder::record(Time t, FlightEvent::Kind kind,
+                            std::uint64_t reaction_id, std::string name,
+                            std::string detail, std::int64_t value) {
+  if (!enabled_) return;
+  FlightEvent ev;
+  ev.t = t;
+  ev.seq = recorded_;
+  ev.kind = kind;
+  ev.reaction_id = reaction_id;
+  ev.value = value;
+  ev.name = std::move(name);
+  ev.detail = std::move(detail);
+  sanitize(ev.name);
+  sanitize(ev.detail);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[recorded_ % capacity_] = std::move(ev);
+  }
+  ++recorded_;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t head = recorded_ % capacity_;
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  recorded_ = 0;
+}
+
+int FlightRecorder::add_snapshot_provider(std::string label, SnapshotFn fn) {
+  const int id = next_provider_id_++;
+  providers_.push_back(Provider{id, std::move(label), std::move(fn)});
+  return id;
+}
+
+void FlightRecorder::remove_snapshot_provider(int id) {
+  providers_.erase(
+      std::remove_if(providers_.begin(), providers_.end(),
+                     [id](const Provider& p) { return p.id == id; }),
+      providers_.end());
+}
+
+std::string FlightRecorder::dump_text(Time t, const std::string& reason) const {
+  MfrDump dump;
+  dump.reason = reason;
+  sanitize(dump.reason);
+  dump.vt = t;
+  dump.recorded = recorded_;
+  dump.dropped = dropped();
+  dump.events = events();
+  for (const auto& p : providers_) {
+    MfrDump::Snapshot snap;
+    snap.label = p.label;
+    std::string text;
+    p.fn(text);
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t nl = text.find('\n', start);
+      if (nl == std::string::npos) nl = text.size();
+      snap.lines.push_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+    dump.snapshots.push_back(std::move(snap));
+  }
+  return render_mfr(dump);
+}
+
+std::string FlightRecorder::trigger(Time t, const std::string& reason) {
+  record(t, FlightEvent::Kind::kAnomaly, 0, "anomaly", reason);
+  const std::string text = dump_text(t, reason);
+  ++triggers_;
+  last_reason_ = reason;
+  sanitize(last_reason_);
+  if (!dump_path_.empty()) write_text_file(dump_path_, text);
+  return text;
+}
+
+}  // namespace mantis::telemetry

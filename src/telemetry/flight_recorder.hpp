@@ -1,0 +1,136 @@
+// Bounded flight recorder: a ring of structured virtual-time control-plane
+// events (dialogue snapshots, malleable commits, driver ops, net fault
+// transitions) that can be dumped as a deterministic `.mfr` text file when
+// an anomaly fires — a check-harness divergence, a fabric fault injection,
+// or a reaction-latency SLO breach.
+//
+// Determinism contract: events carry ONLY virtual time plus a monotonic
+// sequence number (never wall clock), and snapshot providers must render
+// from simulation state alone, so two same-seed runs dump byte-identical
+// files. tools/p4r_inspect loads and queries the dumps; the format is
+// documented in docs/TELEMETRY.md.
+//
+// The recorder is always compiled (like metrics, unlike trace spans): it
+// records only at control-plane rate — driver ops, dialogue iterations,
+// fault transitions — never per packet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mantis::telemetry {
+
+struct FlightEvent {
+  enum class Kind : std::uint8_t {
+    kReaction,   ///< dialogue-iteration snapshot / first-effect observation
+    kMalleable,  ///< a malleable scalar committed a new value
+    kDriverOp,   ///< one PCIe-model driver operation
+    kFault,      ///< a net fault-injector transition
+    kAnomaly,    ///< the trigger itself (divergence / SLO breach / ...)
+  };
+
+  Time t = 0;                     ///< virtual ns
+  std::uint64_t seq = 0;          ///< monotonic across the recorder's life
+  Kind kind = Kind::kDriverOp;
+  std::uint64_t reaction_id = 0;  ///< provenance correlation id (0 = none)
+  std::int64_t value = 0;         ///< kind-specific scalar payload
+  std::string name;               ///< op / scalar / link name
+  std::string detail;             ///< free-form, single line
+};
+
+const char* flight_kind_name(FlightEvent::Kind kind);
+std::optional<FlightEvent::Kind> flight_kind_from(std::string_view name);
+
+/// Parsed form of one `.mfr` dump (see render_mfr for the exact format).
+struct MfrDump {
+  std::string reason;
+  Time vt = 0;                 ///< virtual time of the trigger
+  std::uint64_t recorded = 0;  ///< events ever recorded
+  std::uint64_t dropped = 0;   ///< of those, overwritten before the dump
+  std::vector<FlightEvent> events;
+  struct Snapshot {
+    std::string label;
+    std::vector<std::string> lines;
+  };
+  std::vector<Snapshot> snapshots;
+};
+
+/// Serializes a dump as deterministic `.mfr` text (tab-separated event rows,
+/// newline-terminated; no wall-clock content).
+std::string render_mfr(const MfrDump& dump);
+
+/// Parses `.mfr` text back; throws UserError on malformed input.
+MfrDump parse_mfr(const std::string& text);
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// On by default (control-plane-rate cost only); disabling drops new
+  /// events but keeps recorded ones.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  void record(Time t, FlightEvent::Kind kind, std::uint64_t reaction_id,
+              std::string name, std::string detail = {},
+              std::int64_t value = 0);
+
+  /// Retained events, oldest first (ring order resolved).
+  std::vector<FlightEvent> events() const;
+  std::size_t size() const { return ring_.size(); }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return recorded_ - ring_.size(); }
+  void clear();
+
+  // ---- snapshots of live state ----
+  /// Providers append deterministic description lines of live switch state
+  /// (registers, table entries, queue depths); every dump embeds each
+  /// provider's output. Returns an id for remove_snapshot_provider (owners
+  /// deregister in their destructor).
+  using SnapshotFn = std::function<void(std::string& out)>;
+  int add_snapshot_provider(std::string label, SnapshotFn fn);
+  void remove_snapshot_provider(int id);
+
+  // ---- anomaly dumps ----
+  /// When set, trigger() also writes the rendered dump to this path.
+  void set_dump_path(std::string path) { dump_path_ = std::move(path); }
+  const std::string& dump_path() const { return dump_path_; }
+
+  /// Records a kAnomaly event, renders the dump (events + snapshots), writes
+  /// it to dump_path() when set, and returns the text.
+  std::string trigger(Time t, const std::string& reason);
+  /// Renders the current dump without recording or writing anything.
+  std::string dump_text(Time t, const std::string& reason) const;
+
+  std::uint64_t triggers() const { return triggers_; }
+  const std::string& last_trigger_reason() const { return last_reason_; }
+
+ private:
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t triggers_ = 0;
+  std::string dump_path_;
+  std::string last_reason_;
+
+  struct Provider {
+    int id = 0;
+    std::string label;
+    SnapshotFn fn;
+  };
+  std::vector<Provider> providers_;
+  int next_provider_id_ = 1;
+};
+
+}  // namespace mantis::telemetry

@@ -1,0 +1,160 @@
+#include "telemetry/inspect.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "telemetry/metrics.hpp"  // json_escape
+
+namespace mantis::telemetry {
+
+namespace {
+
+void render_event_line(std::ostringstream& out, const FlightEvent& ev) {
+  out << "  #" << ev.seq << " t=" << ev.t << "ns " << flight_kind_name(ev.kind);
+  if (ev.reaction_id != 0) out << " reaction=" << ev.reaction_id;
+  out << " " << ev.name;
+  if (ev.value != 0) out << " value=" << ev.value;
+  if (!ev.detail.empty()) out << " (" << ev.detail << ")";
+  out << "\n";
+}
+
+void render_header(std::ostringstream& out, const MfrDump& dump) {
+  out << "mfr dump: reason=\"" << dump.reason << "\" vt=" << dump.vt
+      << "ns events=" << dump.events.size() << " (recorded=" << dump.recorded
+      << " dropped=" << dump.dropped << ") snapshots=" << dump.snapshots.size()
+      << "\n";
+}
+
+}  // namespace
+
+std::string mfr_show_text(const MfrDump& dump) {
+  std::ostringstream out;
+  render_header(out, dump);
+  out << "events:\n";
+  for (const auto& ev : dump.events) render_event_line(out, ev);
+  for (const auto& snap : dump.snapshots) {
+    out << "snapshot " << snap.label << ":\n";
+    for (const auto& line : snap.lines) out << "  " << line << "\n";
+  }
+  return out.str();
+}
+
+std::string mfr_diff_text(const MfrDump& dump, Time t1, Time t2) {
+  if (t2 < t1) std::swap(t1, t2);
+  std::ostringstream out;
+  render_header(out, dump);
+  out << "window [" << t1 << "ns, " << t2 << "ns]:\n";
+  std::set<std::uint64_t> ended, affected;
+  std::size_t in_window = 0;
+  for (const auto& ev : dump.events) {
+    if (ev.t < t1 || ev.t > t2) continue;
+    ++in_window;
+    render_event_line(out, ev);
+    if (ev.reaction_id != 0) {
+      affected.insert(ev.reaction_id);
+      if (ev.kind == FlightEvent::Kind::kReaction && ev.name == "iteration") {
+        ended.insert(ev.reaction_id);
+      }
+    }
+  }
+  out << in_window << " events in window";
+  if (!affected.empty()) {
+    out << "; reactions touched:";
+    for (auto rid : affected) {
+      out << " " << rid << (ended.count(rid) != 0 ? "(ended)" : "");
+    }
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string mfr_reaction_text(const MfrDump& dump, std::uint64_t reaction_id) {
+  std::ostringstream out;
+  render_header(out, dump);
+  out << "reaction " << reaction_id << ":\n";
+  std::size_t n = 0;
+  for (const auto& ev : dump.events) {
+    if (ev.reaction_id != reaction_id) continue;
+    ++n;
+    render_event_line(out, ev);
+  }
+  if (n == 0) out << "  (no events for this reaction id)\n";
+  return out.str();
+}
+
+std::string mfr_chrome_json(const MfrDump& dump) {
+  // Bespoke emitter: chrome_trace_json renders a live Tracer whose event
+  // names are static strings; dump events own std::strings, so we serialize
+  // directly here rather than round-tripping through TraceEvent.
+  std::ostringstream out;
+  out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
+  bool first = true;
+  auto emit_sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // One lane per event kind.
+  const FlightEvent::Kind kinds[] = {
+      FlightEvent::Kind::kReaction, FlightEvent::Kind::kMalleable,
+      FlightEvent::Kind::kDriverOp, FlightEvent::Kind::kFault,
+      FlightEvent::Kind::kAnomaly};
+  for (const auto kind : kinds) {
+    emit_sep();
+    out << R"({"ph": "M", "pid": 0, "tid": )"
+        << static_cast<unsigned>(static_cast<std::uint8_t>(kind))
+        << R"(, "name": "thread_name", "args": {"name": ")"
+        << flight_kind_name(kind) << "\"}}";
+  }
+
+  auto ts_us = [](Time t) {
+    std::ostringstream s;
+    s << (t / 1000) << "." << (t % 1000 < 0 ? -(t % 1000) : t % 1000);
+    return s.str();
+  };
+
+  // Track flow endpoints so each reaction renders as one arc: flow start at
+  // its first event, flow end at its last (single-event reactions get none).
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> flow_span;
+  for (std::size_t i = 0; i < dump.events.size(); ++i) {
+    const auto rid = dump.events[i].reaction_id;
+    if (rid == 0) continue;
+    auto [it, fresh] = flow_span.emplace(rid, std::make_pair(i, i));
+    if (!fresh) it->second.second = i;
+  }
+
+  for (std::size_t i = 0; i < dump.events.size(); ++i) {
+    const auto& ev = dump.events[i];
+    const unsigned tid =
+        static_cast<unsigned>(static_cast<std::uint8_t>(ev.kind));
+    emit_sep();
+    out << "{\"name\": \"" << json_escape(ev.name)
+        << "\", \"cat\": \"mfr\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, "
+        << "\"tid\": " << tid << ", \"ts\": " << ts_us(ev.t)
+        << ", \"args\": {\"seq\": " << ev.seq
+        << ", \"reaction_id\": " << ev.reaction_id
+        << ", \"value\": " << ev.value << ", \"detail\": \""
+        << json_escape(ev.detail) << "\"}}";
+    if (ev.reaction_id != 0) {
+      const auto span = flow_span.at(ev.reaction_id);
+      if (span.first != span.second) {
+        const char* ph =
+            i == span.first ? "s" : (i == span.second ? "f" : "t");
+        emit_sep();
+        out << "{\"name\": \"reaction\", \"cat\": \"mfr\", \"ph\": \"" << ph
+            << "\", \"pid\": 0, \"tid\": " << tid << ", \"ts\": " << ts_us(ev.t)
+            << ", \"id\": " << ev.reaction_id;
+        if (*ph == 'f') out << ", \"bp\": \"e\"";
+        out << "}";
+      }
+    }
+  }
+
+  out << "\n]\n}\n";
+  return out.str();
+}
+
+}  // namespace mantis::telemetry

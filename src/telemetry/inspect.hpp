@@ -1,0 +1,28 @@
+// Query/rendering helpers over parsed .mfr flight-recorder dumps, shared by
+// the tools/p4r_inspect CLI and the tests. All output is deterministic
+// (derived from the dump content only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/flight_recorder.hpp"
+
+namespace mantis::telemetry {
+
+/// Human-readable overview: header, event table, snapshot sections.
+std::string mfr_show_text(const MfrDump& dump);
+
+/// Events in the virtual-time window [t1, t2] (inclusive), plus which
+/// reactions opened/closed inside it.
+std::string mfr_diff_text(const MfrDump& dump, Time t1, Time t2);
+
+/// Everything attributed to one reaction id: its driver ops, iteration
+/// record, malleable commits, and first-effect observation, in order.
+std::string mfr_reaction_text(const MfrDump& dump, std::uint64_t reaction_id);
+
+/// Chrome-trace JSON rendering of the dump's events (instants on per-kind
+/// lanes, flow arcs per reaction id) for chrome://tracing / Perfetto.
+std::string mfr_chrome_json(const MfrDump& dump);
+
+}  // namespace mantis::telemetry

@@ -1,0 +1,108 @@
+// Reaction provenance: a monotonically increasing reaction_id minted per
+// dialogue iteration and threaded agent -> driver -> sim so one reaction
+// renders as a connected Chrome-trace flow arc (agent iteration span ->
+// driver op spans -> sim table-commit span -> first-effect packet span) and
+// its poll/compute/push/take-effect latency breakdown lands in registry
+// histograms.
+//
+// Iterations can nest: with multiple agents on one event loop, agent B's
+// dialogue iteration may run inside agent A's driver wait (run_until), so
+// the live reaction is a stack of frames, not a scalar. Driver ops and table
+// mutations attribute to the innermost open frame.
+//
+// First-effect detection: table entries/defaults are stamped with the
+// mutating reaction's id; when that reaction's iteration *ends* with at
+// least one mutation, the context arms effect_pending_. The pipeline flags
+// the first packet whose lookup hits a stamped rule (one branch per lookup),
+// and the switch converts the flag into a take-effect histogram sample plus
+// the flow-ending span. Arming at end_reaction — not at mutation time —
+// avoids false positives from packets arriving mid-reaction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace.hpp"
+#include "util/time.hpp"
+
+namespace mantis::telemetry {
+
+class Histogram;
+class Counter;
+class MetricsRegistry;
+
+class ProvenanceContext {
+ public:
+  ProvenanceContext(MetricsRegistry& metrics, Tracer& tracer,
+                    FlightRecorder& recorder);
+
+  // ---- agent side ----
+  /// Opens a new reaction frame and returns its id (ids start at 1; 0 means
+  /// "no reaction in flight"). Emits the flow-start event on the agent track.
+  std::uint64_t begin_reaction(Time now);
+  /// Closes the frame `rid` (must be the innermost open frame), records the
+  /// poll/compute/push breakdown, and — if the reaction mutated dataplane
+  /// state — arms first-effect detection.
+  void end_reaction(std::uint64_t rid, Time now, Duration poll,
+                    Duration compute, Duration push);
+  /// Innermost open reaction id, or 0.
+  std::uint64_t current_reaction() const {
+    return frames_.empty() ? 0 : frames_.back().id;
+  }
+
+  // ---- driver side ----
+  /// One completed PCIe-model op: span on the driver-channel track with the
+  /// reaction id as argument, flow step, and a flight-recorder entry. `op`
+  /// must be a static string literal (trace events don't copy).
+  void on_driver_op(const char* op, const std::string& detail, Time submitted,
+                    Time completion);
+
+  // ---- sim side ----
+  /// Called by TableState on add/modify/delete/set_default. Marks the
+  /// innermost frame as having mutated dataplane state and returns its id
+  /// (the stamp for the entry). Returns 0 outside any reaction (management
+  /// plane, test setup).
+  std::uint64_t on_table_mutation();
+  /// Hot path (one compare per table lookup): the pipeline reports the
+  /// provenance stamp of the rule a packet hit.
+  void note_hit(std::uint64_t stamp) {
+    if (stamp != 0 && stamp == effect_pending_) hit_flagged_ = true;
+  }
+  /// The switch polls this after each pipeline pass; true at most once per
+  /// armed reaction.
+  bool consume_flagged_hit() {
+    if (!hit_flagged_) return false;
+    hit_flagged_ = false;
+    return true;
+  }
+  /// Converts a consumed hit into the take-effect sample, the first-effect
+  /// span [arrival, arrival + pass_latency), and the flow end.
+  void on_first_effect(Time arrival, Duration pass_latency);
+
+  std::uint64_t last_reaction() const { return next_id_; }
+  std::uint64_t pending_effect_reaction() const { return effect_pending_; }
+
+ private:
+  struct Frame {
+    std::uint64_t id = 0;
+    bool mutated = false;
+  };
+
+  Tracer& tracer_;
+  FlightRecorder& recorder_;
+  Histogram* poll_hist_;
+  Histogram* compute_hist_;
+  Histogram* push_hist_;
+  Histogram* take_effect_hist_;
+  Counter* reactions_;
+  Counter* first_effects_;
+
+  std::uint64_t next_id_ = 0;
+  std::vector<Frame> frames_;
+  std::uint64_t effect_pending_ = 0;  ///< reaction awaiting its first effect
+  Time committed_at_ = 0;             ///< end_reaction time of that reaction
+  bool hit_flagged_ = false;
+};
+
+}  // namespace mantis::telemetry

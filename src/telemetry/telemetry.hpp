@@ -1,12 +1,15 @@
-// The per-stack telemetry bundle: one MetricsRegistry + one Tracer, owned by
-// the sim::EventLoop so every actor sharing a virtual clock also shares one
-// observability sink (agent, driver channel, switch, traffic manager, legacy
-// clients). Standalone tools (mantisc) can own a bundle directly; the tracer
-// then times against wall clock.
+// The per-stack telemetry bundle: one MetricsRegistry + one Tracer + one
+// FlightRecorder + one ProvenanceContext, owned by the sim::EventLoop so
+// every actor sharing a virtual clock also shares one observability sink
+// (agent, driver channel, switch, traffic manager, legacy clients).
+// Standalone tools (mantisc) can own a bundle directly; the tracer then
+// times against wall clock.
 #pragma once
 
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/provenance.hpp"
 #include "telemetry/trace.hpp"
 
 namespace mantis::telemetry {
@@ -17,6 +20,10 @@ class Telemetry {
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+  ProvenanceContext& provenance() { return provenance_; }
+  const ProvenanceContext& provenance() const { return provenance_; }
 
   /// Convenience for the --metrics flag: a bare registry snapshot wrapped in
   /// the {bench, params, metrics} report schema.
@@ -31,6 +38,9 @@ class Telemetry {
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
+  FlightRecorder recorder_;
+  // Last: constructed from references to the members above.
+  ProvenanceContext provenance_{metrics_, tracer_, recorder_};
 };
 
 }  // namespace mantis::telemetry

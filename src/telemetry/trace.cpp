@@ -99,6 +99,25 @@ void Tracer::instant(const char* name, const char* category, Track track,
   push(ev);
 }
 
+void Tracer::flow(TraceEvent::Phase phase, const char* name,
+                  const char* category, Track track, Time at,
+                  std::uint64_t flow_id) {
+  if (!enabled_) return;
+  expects(phase == TraceEvent::Phase::kFlowStart ||
+              phase == TraceEvent::Phase::kFlowStep ||
+              phase == TraceEvent::Phase::kFlowEnd,
+          "Tracer::flow: not a flow phase");
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = phase;
+  ev.track = track;
+  ev.vt_begin = at;
+  ev.vt_dur = 0;
+  ev.flow_id = flow_id;
+  push(ev);
+}
+
 std::size_t Tracer::size() const { return ring_.size(); }
 
 std::vector<TraceEvent> Tracer::events() const {

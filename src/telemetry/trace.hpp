@@ -38,7 +38,17 @@ constexpr std::size_t kNumTracks = 6;
 const char* track_name(Track t);
 
 struct TraceEvent {
-  enum class Phase : std::uint8_t { kComplete, kInstant };
+  /// kFlow* are Chrome flow events (ph "s"/"t"/"f"): same-id events render
+  /// as one connected arc across tracks, binding to the enclosing slice at
+  /// their timestamp. The provenance layer uses them to draw one reaction as
+  /// agent span -> driver op spans -> sim commit -> first-effect packet.
+  enum class Phase : std::uint8_t {
+    kComplete,
+    kInstant,
+    kFlowStart,
+    kFlowStep,
+    kFlowEnd,
+  };
 
   const char* name = "";      ///< static/interned strings only (no copy)
   const char* category = "";
@@ -49,6 +59,12 @@ struct TraceEvent {
   std::int64_t wall_ns = 0;   ///< host wall clock at record time
   const char* arg_name = nullptr;  ///< optional single numeric argument
   std::int64_t arg = 0;
+  std::uint64_t flow_id = 0;  ///< correlation id (kFlow* phases only)
+
+  bool is_flow() const {
+    return phase == Phase::kFlowStart || phase == Phase::kFlowStep ||
+           phase == Phase::kFlowEnd;
+  }
 };
 
 class Tracer {
@@ -76,6 +92,11 @@ class Tracer {
                 std::int64_t arg = 0);
   void instant(const char* name, const char* category, Track track, Time at,
                const char* arg_name = nullptr, std::int64_t arg = 0);
+  /// Records one flow event (`phase` must be a kFlow* phase). All events of
+  /// one flow share `flow_id` and, per the Chrome trace format, should share
+  /// `name` and `category` too.
+  void flow(TraceEvent::Phase phase, const char* name, const char* category,
+            Track track, Time at, std::uint64_t flow_id);
 
   // ---- inspection ----
   /// Events currently retained (<= capacity).
@@ -159,6 +180,17 @@ class ScopedSpan {
                            ...)                                             \
   (tracer).complete((name), (category), (track), (vt_begin), (vt_end),      \
                     ##__VA_ARGS__)
+// Flow-event trio: connect spans across tracks under one correlation id
+// (chrome ph "s"/"t"/"f"). Same name/category/id for all three.
+#define MANTIS_FLOW_START(tracer, name, category, track, at, id)            \
+  (tracer).flow(::mantis::telemetry::TraceEvent::Phase::kFlowStart, (name), \
+                (category), (track), (at), (id))
+#define MANTIS_FLOW_STEP(tracer, name, category, track, at, id)            \
+  (tracer).flow(::mantis::telemetry::TraceEvent::Phase::kFlowStep, (name), \
+                (category), (track), (at), (id))
+#define MANTIS_FLOW_END(tracer, name, category, track, at, id)            \
+  (tracer).flow(::mantis::telemetry::TraceEvent::Phase::kFlowEnd, (name), \
+                (category), (track), (at), (id))
 #else
 #define MANTIS_SPAN(tracer, name, category, track, ...) \
   do {                                                  \
@@ -169,5 +201,14 @@ class ScopedSpan {
 #define MANTIS_SPAN_RECORD(tracer, name, category, track, vt_begin, vt_end, \
                            ...)                                             \
   do {                                                                      \
+  } while (false)
+#define MANTIS_FLOW_START(tracer, name, category, track, at, id) \
+  do {                                                           \
+  } while (false)
+#define MANTIS_FLOW_STEP(tracer, name, category, track, at, id) \
+  do {                                                          \
+  } while (false)
+#define MANTIS_FLOW_END(tracer, name, category, track, at, id) \
+  do {                                                         \
   } while (false)
 #endif

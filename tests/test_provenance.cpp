@@ -1,0 +1,380 @@
+// Tests for the reaction provenance layer: flight recorder ring + .mfr
+// round-trip, connected flow events across tracks (agent -> driver -> switch
+// commit -> first-effect packet), the poll/compute/push/take-effect latency
+// breakdown, and deterministic anomaly dumps (SLO breach, check divergence,
+// fabric fault).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/diff.hpp"
+#include "check/gen.hpp"
+#include "helpers.hpp"
+#include "net/scenarios.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/inspect.hpp"
+#include "telemetry/provenance.hpp"
+#include "telemetry/trace.hpp"
+#include "util/check.hpp"
+
+namespace mantis {
+namespace {
+
+using telemetry::FlightEvent;
+using telemetry::FlightRecorder;
+using telemetry::TraceEvent;
+using telemetry::Track;
+
+/// One malleable knob committed every iteration via the master-table default,
+/// so each dialogue iteration mutates switch state and a later packet can be
+/// attributed back to it (first effect).
+const char* kKnobSrc = R"P4R(
+header_type h_t { fields { f0 : 32; f1 : 32; } }
+header h_t h;
+malleable value knob { width : 32; init : 0; }
+action use() { add(h.f1, h.f1, ${knob}); }
+table t { actions { use; } default_action : use; size : 1; }
+control ingress { apply(t); }
+control egress { }
+reaction rx(ing h.f0, ing h.f1) {
+  ${knob} = ${knob} + 1;
+}
+)P4R";
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder ring + .mfr format
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, RingWrapsOldestFirstAndCountsDrops) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(i * 100, FlightEvent::Kind::kDriverOp, 7, "op",
+               "n=" + std::to_string(i), i);
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::size_t k = 0; k < evs.size(); ++k) {
+    EXPECT_EQ(evs[k].seq, 6 + k);
+    EXPECT_EQ(evs[k].value, static_cast<std::int64_t>(6 + k));
+    EXPECT_EQ(evs[k].t, static_cast<Time>((6 + k) * 100));
+  }
+}
+
+TEST(FlightRecorder, DumpRoundTripsThroughParse) {
+  FlightRecorder rec(16);
+  rec.record(100, FlightEvent::Kind::kReaction, 1, "iteration",
+             "poll=10ns compute=20ns push=30ns", 60);
+  rec.record(250, FlightEvent::Kind::kMalleable, 1, "knob", "prev=0", 1);
+  rec.add_snapshot_provider("switch0", [](std::string& out) {
+    out += "register r = 1 2 3\n";
+    out += "table t entries=0/1\n";
+  });
+  const std::string text = rec.dump_text(300, "unit test");
+  const auto dump = telemetry::parse_mfr(text);
+  EXPECT_EQ(dump.reason, "unit test");
+  EXPECT_EQ(dump.vt, 300);
+  EXPECT_EQ(dump.recorded, 2u);
+  ASSERT_EQ(dump.events.size(), 2u);
+  EXPECT_EQ(dump.events[0].kind, FlightEvent::Kind::kReaction);
+  EXPECT_EQ(dump.events[1].name, "knob");
+  EXPECT_EQ(dump.events[1].detail, "prev=0");
+  ASSERT_EQ(dump.snapshots.size(), 1u);
+  EXPECT_EQ(dump.snapshots[0].label, "switch0");
+  ASSERT_EQ(dump.snapshots[0].lines.size(), 2u);
+  // Re-render is byte-identical: parse is lossless.
+  EXPECT_EQ(telemetry::render_mfr(dump), text);
+}
+
+TEST(FlightRecorder, RecordSanitizesSeparators) {
+  FlightRecorder rec(4);
+  rec.record(1, FlightEvent::Kind::kFault, 0, "a\tb", "c\nd\re");
+  const auto evs = rec.events();
+  EXPECT_EQ(evs[0].name, "a b");
+  EXPECT_EQ(evs[0].detail, "c d e");
+}
+
+TEST(FlightRecorder, ParseRejectsMalformedInput) {
+  EXPECT_THROW(telemetry::parse_mfr("not an mfr"), UserError);
+  EXPECT_THROW(telemetry::parse_mfr("MFR/1\nreason x\n"), UserError);
+  FlightRecorder rec(4);
+  std::string text = rec.dump_text(0, "r");
+  text.resize(text.size() / 2);  // truncate
+  EXPECT_THROW(telemetry::parse_mfr(text), UserError);
+}
+
+TEST(FlightRecorder, TriggerRecordsAnomalyAndWritesDumpPath) {
+  const std::string path = "/tmp/mantis_test_trigger.mfr";
+  std::remove(path.c_str());
+  FlightRecorder rec(8);
+  rec.set_dump_path(path);
+  rec.record(10, FlightEvent::Kind::kDriverOp, 1, "driver.set_default", "t");
+  const std::string text = rec.trigger(20, "unit anomaly");
+  EXPECT_EQ(rec.triggers(), 1u);
+  EXPECT_EQ(rec.last_trigger_reason(), "unit anomaly");
+  EXPECT_EQ(slurp(path), text);
+  const auto dump = telemetry::parse_mfr(text);
+  // The trigger itself lands in the ring as a kAnomaly event.
+  ASSERT_EQ(dump.events.size(), 2u);
+  EXPECT_EQ(dump.events[1].kind, FlightEvent::Kind::kAnomaly);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, InspectViewsCoverDump) {
+  FlightRecorder rec(16);
+  rec.record(100, FlightEvent::Kind::kReaction, 1, "iteration", "poll=1ns");
+  rec.record(200, FlightEvent::Kind::kDriverOp, 2, "driver.add_entry", "t");
+  rec.record(900, FlightEvent::Kind::kReaction, 2, "iteration", "poll=2ns");
+  const auto dump = telemetry::parse_mfr(rec.dump_text(1000, "views"));
+
+  const auto show = telemetry::mfr_show_text(dump);
+  EXPECT_NE(show.find("views"), std::string::npos);
+  EXPECT_NE(show.find("driver.add_entry"), std::string::npos);
+
+  // Window [150, 500] holds only the driver op; reaction 2 is still open.
+  const auto diff = telemetry::mfr_diff_text(dump, 150, 500);
+  EXPECT_NE(diff.find("driver.add_entry"), std::string::npos);
+  EXPECT_EQ(diff.find("poll=1ns"), std::string::npos);
+
+  const auto rx = telemetry::mfr_reaction_text(dump, 2);
+  EXPECT_NE(rx.find("driver.add_entry"), std::string::npos);
+  EXPECT_EQ(rx.find("poll=1ns"), std::string::npos);
+
+  const auto json = telemetry::mfr_chrome_json(dump);
+  EXPECT_NE(json.find("\"ph\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Provenance across the full stack
+// ---------------------------------------------------------------------------
+
+#if MANTIS_TELEMETRY_ENABLED
+TEST(Provenance, ReactionRendersAsOneConnectedFlow) {
+  test::Stack stack(kKnobSrc);
+  auto& tel = stack.loop.telemetry();
+  tel.tracer().set_enabled(true);
+  stack.agent->run_prologue();
+  tel.tracer().clear();  // isolate one reaction
+
+  stack.agent->dialogue_iteration();
+  // A packet after the commit hits the freshly stamped master default.
+  auto pkt = stack.sw->factory().make();
+  stack.sw->inject(std::move(pkt), 0);
+  stack.loop.run();
+
+  const auto evs = tel.tracer().events();
+  std::uint64_t rid = 0;
+  bool saw_driver_step = false, saw_switch_step = false, saw_end = false;
+  for (const auto& e : evs) {
+    if (!e.is_flow()) continue;
+    EXPECT_STREQ(e.name, "reaction");
+    if (e.phase == TraceEvent::Phase::kFlowStart) {
+      EXPECT_EQ(e.track, Track::kAgent);
+      EXPECT_EQ(rid, 0u) << "one reaction => one flow start";
+      rid = e.flow_id;
+    } else {
+      // Steps and the end all share the start's correlation id.
+      EXPECT_EQ(e.flow_id, rid);
+      if (e.phase == TraceEvent::Phase::kFlowStep) {
+        saw_driver_step |= e.track == Track::kDriverChannel;
+        saw_switch_step |= e.track == Track::kSwitch;
+      } else {
+        EXPECT_EQ(e.track, Track::kSwitch);
+        saw_end = true;
+      }
+    }
+  }
+  EXPECT_NE(rid, 0u);
+  EXPECT_TRUE(saw_driver_step) << "driver ops must join the reaction flow";
+  EXPECT_TRUE(saw_switch_step) << "table commit must join the reaction flow";
+  EXPECT_TRUE(saw_end) << "first matching packet must terminate the flow";
+
+  // The flow arc survives export as chrome s/t/f records with one id.
+  const auto json = telemetry::chrome_trace_json(tel.tracer());
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+}
+#endif  // MANTIS_TELEMETRY_ENABLED
+
+TEST(Provenance, BreakdownHistogramsCoverEveryIteration) {
+  test::Stack stack(kKnobSrc);
+  stack.agent->run_prologue();
+  constexpr int kIters = 5;
+  for (int i = 0; i < kIters; ++i) {
+    stack.agent->dialogue_iteration();
+    // 500ns after the commit, so take_effect is strictly positive.
+    stack.loop.schedule_in(500, [&] {
+      auto pkt = stack.sw->factory().make();
+      stack.sw->inject(std::move(pkt), 0);
+    });
+    stack.loop.run();
+  }
+
+  const auto& m = stack.loop.telemetry().metrics();
+  EXPECT_EQ(m.find_counter("reaction.count")->value(),
+            static_cast<std::uint64_t>(kIters));
+  for (const char* name :
+       {"reaction.poll_ns", "reaction.compute_ns", "reaction.push_ns"}) {
+    const auto* h = m.find_histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->count(), static_cast<std::uint64_t>(kIters)) << name;
+  }
+  // Every iteration commits the knob, and a packet lands before the next
+  // iteration starts: each reaction's first effect is observed.
+  const auto* te = m.find_histogram("reaction.take_effect_ns");
+  ASSERT_NE(te, nullptr);
+  EXPECT_EQ(te->count(), static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(m.find_counter("reaction.first_effects")->value(),
+            static_cast<std::uint64_t>(kIters));
+  EXPECT_GT(te->stats().min(), 0.0);
+
+  // Scalar commits are logged with their owning reaction.
+  bool saw_knob = false;
+  for (const auto& e : stack.loop.telemetry().recorder().events()) {
+    if (e.kind == telemetry::FlightEvent::Kind::kMalleable &&
+        e.name == "knob") {
+      EXPECT_NE(e.reaction_id, 0u);
+      saw_knob = true;
+    }
+  }
+  EXPECT_TRUE(saw_knob);
+}
+
+TEST(Provenance, FlightDumpIsDeterministicAcrossRuns) {
+  auto run_once = [] {
+    test::Stack stack(kKnobSrc);
+    stack.agent->run_prologue();
+    for (int i = 0; i < 3; ++i) {
+      stack.agent->dialogue_iteration();
+      auto pkt = stack.sw->factory().make();
+      stack.sw->inject(std::move(pkt), 0);
+      stack.loop.run();
+    }
+    return stack.loop.telemetry().recorder().dump_text(stack.loop.now(),
+                                                       "determinism");
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The dump embeds live switch state via the snapshot provider.
+  EXPECT_NE(a.find("snapshot switch0"), std::string::npos);
+  EXPECT_NE(a.find("table t"), std::string::npos);
+}
+
+TEST(Provenance, SloBreachTriggersFlightDump) {
+  const std::string path = "/tmp/mantis_test_slo.mfr";
+  std::remove(path.c_str());
+  agent::AgentOptions opts;
+  opts.reaction_slo = 1;  // 1 virtual ns: any real iteration breaches
+  test::Stack stack(kKnobSrc, {}, opts);
+  stack.loop.telemetry().recorder().set_dump_path(path);
+  stack.agent->run_prologue();
+  stack.agent->dialogue_iteration();
+
+  const auto& rec = stack.loop.telemetry().recorder();
+  EXPECT_GE(rec.triggers(), 1u);
+  EXPECT_NE(rec.last_trigger_reason().find("slo_breach"), std::string::npos);
+  const auto dump = telemetry::parse_mfr(slurp(path));
+  EXPECT_NE(dump.reason.find("slo_breach"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly dumps from the check harness and the fabric
+// ---------------------------------------------------------------------------
+
+check::Scenario divergent_scenario() {
+  // now_us() is outside the comparable domain (reference pins it to 0, the
+  // compiled stack reports virtual time): logging it always diverges.
+  check::Scenario s;
+  s.epochs = 2;
+  s.program.decls = {
+      "header_type h_t { fields { f0 : 16; f1 : 16; } }\nheader h_t hdr;",
+      "malleable value mv0 { width : 16; init : 3; }",
+  };
+  s.program.actions = {
+      "action seta() {\n  modify_field(hdr.f1, ${mv0});\n}",
+      "action fwd(port) {\n"
+      "  modify_field(standard_metadata.egress_spec, port);\n}",
+  };
+  s.program.tables = {
+      "malleable table mtbl {\n  reads { hdr.f0 : exact; }\n"
+      "  actions { seta; }\n  size : 8;\n}",
+      "table forward {\n  actions { fwd; }\n  default_action : fwd(2);\n"
+      "  size : 1;\n}",
+  };
+  s.program.ingress = {"  apply(mtbl);", "  apply(forward);"};
+  s.program.reaction_sig = "reaction rx(ing hdr.f0)";
+  s.program.reaction_stmts = {"  log(now_us());"};
+  check::PacketSpec p;
+  p.epoch = 0;
+  p.port = 0;
+  p.fields = {{"hdr.f0", 5}, {"hdr.f1", 0}};
+  s.packets.push_back(p);
+  return s;
+}
+
+TEST(Provenance, CheckDivergenceCapturesDeterministicFlightDump) {
+  const check::Scenario s = divergent_scenario();
+  const check::DiffResult a = check::run_diff(s);
+  const check::DiffResult b = check::run_diff(s);
+  ASSERT_EQ(a.outcome, check::Outcome::kDiverged) << a.skip_reason;
+  ASSERT_FALSE(a.flight_dump.empty());
+  EXPECT_EQ(a.flight_dump, b.flight_dump);
+
+  const auto dump = telemetry::parse_mfr(a.flight_dump);
+  EXPECT_NE(dump.reason.find("divergence"), std::string::npos);
+  // The dump carries the dialogue history that led to the divergence.
+  bool saw_reaction = false;
+  for (const auto& e : dump.events) {
+    saw_reaction |= e.kind == FlightEvent::Kind::kReaction;
+  }
+  EXPECT_TRUE(saw_reaction);
+}
+
+TEST(Provenance, FabricFaultDumpsDeterministicMfr) {
+  auto run_once = [](const std::string& path) {
+    net::GrayScenarioConfig cfg;
+    cfg.seed = 7;
+    net::GrayFabricScenario scenario(cfg);
+    scenario.loop().telemetry().recorder().set_dump_path(path);
+    const auto res = scenario.run();
+    EXPECT_TRUE(res.restored());
+    return slurp(path);
+  };
+  const std::string p1 = "/tmp/mantis_test_fault1.mfr";
+  const std::string p2 = "/tmp/mantis_test_fault2.mfr";
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+  const std::string a = run_once(p1);
+  const std::string b = run_once(p2);
+  ASSERT_FALSE(a.empty()) << "fault injection must trigger a dump";
+  EXPECT_EQ(a, b);
+  const auto dump = telemetry::parse_mfr(a);
+  EXPECT_NE(dump.reason.find("fault"), std::string::npos);
+  bool saw_fault = false;
+  for (const auto& e : dump.events) {
+    saw_fault |= e.kind == FlightEvent::Kind::kFault;
+  }
+  EXPECT_TRUE(saw_fault);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+}  // namespace
+}  // namespace mantis

@@ -55,6 +55,24 @@ TEST(P2Quantile, SmallSampleIsExact) {
   EXPECT_DOUBLE_EQ(q.value(), 3.0);  // exact median of {1,3,5}
 }
 
+TEST(P2Quantile, BootstrapMatchesExactOrderStatistics) {
+  // Below 5 samples P² has no markers yet; value() must fall back to the
+  // exact interpolated order statistic — pinned here against Samples, the
+  // batch implementation benches report from.
+  for (const double q : {0.25, 0.5, 0.9, 0.99}) {
+    const std::vector<double> stream = {40.0, 10.0, 30.0, 20.0};
+    P2Quantile est(q);
+    Samples exact;
+    for (std::size_t n = 0; n < stream.size(); ++n) {
+      est.add(stream[n]);
+      exact.add(stream[n]);
+      EXPECT_DOUBLE_EQ(est.value(), exact.percentile(q * 100.0))
+          << "q=" << q << " n=" << n + 1;
+    }
+  }
+  EXPECT_THROW(P2Quantile(0.5).value(), PreconditionError);
+}
+
 TEST(P2Quantile, TracksUniformMedianClosely) {
   Rng rng(42);
   P2Quantile p50(0.5), p90(0.9), p99(0.99);
@@ -211,6 +229,29 @@ TEST(Tracer, ScopedSpanUsesInstalledClock) {
   EXPECT_EQ(evs[0].phase, TraceEvent::Phase::kComplete);
 }
 
+TEST(Tracer, FlowEventsSurviveRingWraparound) {
+  Tracer t(4);
+  t.set_enabled(true);
+  // 3 complete flows + 1 dangling start = 10 events through a 4-slot ring.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    t.flow(TraceEvent::Phase::kFlowStart, "rx", "prov", Track::kAgent,
+           id * 100, id);
+    t.flow(TraceEvent::Phase::kFlowStep, "rx", "prov", Track::kDriverChannel,
+           id * 100 + 10, id);
+    t.flow(TraceEvent::Phase::kFlowEnd, "rx", "prov", Track::kSwitch,
+           id * 100 + 20, id);
+  }
+  t.flow(TraceEvent::Phase::kFlowStart, "rx", "prov", Track::kAgent, 999, 4);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.size(), 4u);
+  const auto evs = t.events();
+  // Oldest retained is flow 3's start; order stays oldest -> newest.
+  EXPECT_EQ(evs.front().flow_id, 3u);
+  EXPECT_EQ(evs.front().phase, TraceEvent::Phase::kFlowStart);
+  EXPECT_EQ(evs.back().flow_id, 4u);
+  for (const auto& e : evs) EXPECT_TRUE(e.is_flow());
+}
+
 TEST(Tracer, ClearAndCapacityReset) {
   Tracer t(4);
   t.set_enabled(true);
@@ -246,6 +287,43 @@ TEST(ChromeTrace, EmitsWellFormedJsonWithTrackNames) {
   EXPECT_NE(json.find("\"ts\": 1.000"), std::string::npos);
   EXPECT_NE(json.find("\"dur\": 2.500"), std::string::npos);
   EXPECT_NE(json.find("span \\\"a\\\""), std::string::npos);
+}
+
+TEST(ChromeTrace, FlowEventsExportWithSharedIdAndBindingPoint) {
+  Tracer t;
+  t.set_enabled(true);
+  t.flow(TraceEvent::Phase::kFlowStart, "rx", "prov", Track::kAgent, 1000, 42);
+  t.flow(TraceEvent::Phase::kFlowStep, "rx", "prov", Track::kDriverChannel,
+         2000, 42);
+  t.flow(TraceEvent::Phase::kFlowEnd, "rx", "prov", Track::kSwitch, 3000, 42);
+  const auto json = telemetry::chrome_trace_json(t);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 42"), std::string::npos);
+  // The flow end binds to the enclosing slice ("bp":"e") per the trace spec.
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+}
+
+TEST(ChromeTrace, DanglingFlowStartStaysWellFormed) {
+  // A flow whose end was overwritten by ring wraparound (or never recorded —
+  // e.g. no packet matched before the dump) must still export as valid JSON.
+  Tracer t;
+  t.set_enabled(true);
+  t.flow(TraceEvent::Phase::kFlowStart, "rx", "prov", Track::kAgent, 100, 7);
+  t.flow(TraceEvent::Phase::kFlowStep, "rx", "prov", Track::kDriverChannel,
+         200, 7);
+  const auto json = telemetry::chrome_trace_json(t);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"f\""), std::string::npos);
+
+  // The converse — an end whose start fell out of the ring — as well.
+  Tracer t2;
+  t2.set_enabled(true);
+  t2.flow(TraceEvent::Phase::kFlowEnd, "rx", "prov", Track::kSwitch, 300, 8);
+  expect_balanced_json(telemetry::chrome_trace_json(t2));
 }
 
 // ---------------------------------------------------------------------------

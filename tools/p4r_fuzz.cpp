@@ -174,6 +174,23 @@ int main(int argc, char** argv) {
             std::ofstream out(path);
             out << text;
             std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+            if (args.minimize) {
+              // The minimizer guarantees the final repro still diverges;
+              // rerun it to capture its flight-recorder state (driver ops,
+              // reaction records, switch snapshot at the divergence).
+              const auto rr = mantis::check::run_diff(repro);
+              const std::string& mfr =
+                  rr.flight_dump.empty() ? r.flight_dump : rr.flight_dump;
+              if (!mfr.empty()) {
+                const std::string mfr_path = args.corpus_dir +
+                                             "/diverge_seed_" +
+                                             std::to_string(seed) + ".mfr";
+                std::ofstream mout(mfr_path);
+                mout << mfr;
+                std::fprintf(stderr, "  flight recorder written to %s\n",
+                             mfr_path.c_str());
+              }
+            }
           } else {
             std::fprintf(stderr, "---- repro ----\n%s---- end ----\n",
                          text.c_str());
