@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--pacing-us") == 0) {
       cfg.pacing = std::strtoll(argv[i + 1], nullptr, 10) * kMicrosecond;
     }
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      cfg.threads = static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
+    }
   }
 
   net::GrayFabricScenario scenario(cfg);

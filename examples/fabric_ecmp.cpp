@@ -31,6 +31,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--flows") == 0) {
       cfg.flows = std::atoi(argv[i + 1]);
     }
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      cfg.threads = std::atoi(argv[i + 1]);
+    }
   }
 
   net::EcmpFabricScenario scenario(cfg);

@@ -1,10 +1,20 @@
 #include "apps/gray_failure.hpp"
 
+#include <string>
+
 #include "util/check.hpp"
 
 namespace mantis::apps {
 
-std::string gray_failure_p4r_source() {
+std::string gray_failure_p4r_source(int monitored_ports) {
+  expects(monitored_ports >= 1, "gray_failure_p4r_source: bad port count");
+  // The register must cover every monitored ingress port; the classic
+  // single-switch app keeps the historical 32-entry register with an
+  // 8-port reaction window, wider fabrics size both to the port count.
+  const std::string ports = std::to_string(monitored_ports);
+  const std::string reg_size =
+      std::to_string(monitored_ports < 32 ? 32 : monitored_ports);
+  const std::string window_hi = std::to_string(monitored_ports - 1);
   return R"P4R(
 // Use case #2: gray-failure detection and route recomputation (paper 8.3.2).
 header_type ipv4_t {
@@ -24,7 +34,7 @@ header_type gf_meta_t {
 metadata gf_meta_t gf_meta;
 
 // Per-ingress-port heartbeat counter (polled by the reaction).
-register hb_count_r { width : 32; instance_count : 32; }
+register hb_count_r { width : 32; instance_count : )P4R" + reg_size + R"P4R(; }
 
 action count_hb() {
   register_read(gf_meta.c, hb_count_r, standard_metadata.ingress_port);
@@ -57,18 +67,18 @@ control egress { }
 // Interpreted detector (the native version adds full Dijkstra rerouting):
 // flags ports whose heartbeat delta falls below eta * T_d / T_s twice in a
 // row. eta = 1/2, T_s = 1us.
-reaction gf_react(reg hb_count_r[0:7], ing standard_metadata.ingress_global_timestamp) {
-  static uint64_t last_counts[8];
+reaction gf_react(reg hb_count_r[0:)P4R" + window_hi + R"P4R(], ing standard_metadata.ingress_global_timestamp) {
+  static uint64_t last_counts[)P4R" + ports + R"P4R(];
   static uint64_t last_ts = 0;
-  static int below[8];
-  static uint8_t down[8];
+  static int below[)P4R" + ports + R"P4R(];
+  static uint8_t down[)P4R" + ports + R"P4R(];
 
   uint64_t ts = standard_metadata_ingress_global_timestamp;
   uint64_t td = ts - last_ts;
   last_ts = ts;
   if (td == 0) return;
 
-  for (int p = 0; p < 8; ++p) {
+  for (int p = 0; p < )P4R" + ports + R"P4R(; ++p) {
     uint64_t delta = hb_count_r[p] - last_counts[p];
     last_counts[p] = hb_count_r[p];
     uint64_t threshold = td / 2;  // eta=1/2, T_s=1us, td in us

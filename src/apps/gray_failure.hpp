@@ -19,7 +19,11 @@
 
 namespace mantis::apps {
 
-std::string gray_failure_p4r_source();
+/// The gray-failure P4R program. `monitored_ports` sizes the heartbeat
+/// register and the reaction's register window; the default reproduces the
+/// classic single-switch app (8-port window over a 32-entry register).
+/// Fabric scenarios pass their widest switch's port count.
+std::string gray_failure_p4r_source(int monitored_ports = 8);
 
 /// The modeled network around the monitored switch. Formerly a private
 /// struct here; now the shared fabric topology type (same `compute_routes`

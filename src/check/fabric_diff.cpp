@@ -1,0 +1,217 @@
+#include "check/fabric_diff.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "apps/gray_failure.hpp"
+#include "compile/compiler.hpp"
+#include "net/engine.hpp"
+#include "net/fabric.hpp"
+#include "net/fault.hpp"
+#include "sim/event_loop.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace mantis::check {
+namespace {
+
+/// Everything the determinism contract promises is engine-independent.
+struct Signature {
+  std::string metrics;
+  std::string fault_log;
+  std::string link_stats;
+  std::string mfr;
+};
+
+std::string link_stats_text(net::Fabric& fabric) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < fabric.num_links(); ++i) {
+    net::Link& l = fabric.link(i);
+    for (int dir = 0; dir < 2; ++dir) {
+      const auto& s = l.dir_stats(dir);
+      os << l.name() << (dir == 0 ? " ab " : " ba ") << s.tx_pkts << ' '
+         << s.tx_bytes << ' ' << s.delivered_pkts << ' ' << s.dropped_pkts
+         << ' ' << s.busy_ns << '\n';
+    }
+  }
+  os << "host_tx=" << fabric.stats().host_tx_pkts.load()
+     << " host_rx=" << fabric.stats().host_rx_pkts.load()
+     << " unwired=" << fabric.stats().unwired_tx_pkts.load() << '\n';
+  return os.str();
+}
+
+Signature run_one(const FabricScenarioSpec& spec, const p4::Program& prog,
+                  int threads) {
+  sim::EventLoop loop;
+
+  net::FabricConfig fc;
+  fc.base_seed = spec.seed;
+  fc.default_link.loss = spec.ambient_loss;
+  fc.default_link.propagation = spec.propagation;
+  net::Topology topo = spec.topo == FabricScenarioSpec::Topo::kLeafSpine
+                           ? net::Topology::leaf_spine(spec.leaves,
+                                                       spec.spines, 1)
+                           : net::Topology::ring(spec.switches, 1);
+  net::Fabric fabric(loop, prog, std::move(topo), fc);
+
+  for (std::size_t i = 0; i < fabric.num_links(); ++i) {
+    const auto& l = fabric.topo().links[i];
+    if (!fabric.topo().is_switch(l.a) || !fabric.topo().is_switch(l.b))
+      continue;
+    auto make = [&fabric] {
+      auto pkt = fabric.factory().make(64);
+      fabric.factory().set(pkt, "ipv4.protocol", 253);
+      return pkt;
+    };
+    fabric.start_periodic(l.a, l.b, spec.period_ab, spec.horizon, make);
+    fabric.start_periodic(l.b, l.a, spec.period_ba, spec.horizon, make);
+  }
+
+  net::FaultInjector inj(fabric);
+  for (const auto& f : spec.faults) {
+    net::FaultSpec fs;
+    fs.kind = static_cast<net::FaultSpec::Kind>(f.kind);
+    fs.link = f.link;
+    fs.direction = f.direction;
+    fs.at = f.at;
+    fs.duration = f.duration;
+    fs.loss = f.loss;
+    fs.extra_latency = f.extra_latency;
+    fs.flap_period = f.flap_period;
+    inj.schedule(fs);
+  }
+
+  if (threads > 1) {
+    net::ParallelFabricEngine engine(fabric, threads);
+    engine.run_until(spec.horizon);
+  } else {
+    loop.run_until(spec.horizon);
+  }
+  fabric.sample_telemetry();
+
+  Signature sig;
+  sig.metrics = loop.telemetry().metrics().snapshot_json();
+  std::string log;
+  for (const auto& line : inj.log()) {
+    log += line;
+    log += '\n';
+  }
+  sig.fault_log = std::move(log);
+  sig.link_stats = link_stats_text(fabric);
+  sig.mfr = loop.telemetry().recorder().dump_text(loop.now(), "fabric-diff");
+  return sig;
+}
+
+/// First differing line of two newline-joined blobs, for the report.
+std::string first_diff(const std::string& a, const std::string& b) {
+  std::istringstream sa(a), sb(b);
+  std::string la, lb;
+  std::size_t line = 0;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    ++line;
+    if (!ga && !gb) return "identical";
+    if (la != lb || ga != gb) {
+      return "line " + std::to_string(line) + ": seq=\"" +
+             (ga ? la : "<eof>") + "\" par=\"" + (gb ? lb : "<eof>") + "\"";
+    }
+  }
+}
+
+}  // namespace
+
+std::string FabricScenarioSpec::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " topo=";
+  if (topo == Topo::kLeafSpine) {
+    os << "leaf_spine(" << leaves << "," << spines << ")";
+  } else {
+    os << "ring(" << switches << ")";
+  }
+  os << " loss=" << ambient_loss << " prop=" << propagation
+     << " periods=" << period_ab << "/" << period_ba
+     << " faults=" << faults.size() << " horizon=" << horizon
+     << " threads=" << threads;
+  return os.str();
+}
+
+FabricScenarioSpec generate_fabric_scenario(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  FabricScenarioSpec spec;
+  spec.seed = seed;
+
+  if (rng.chance(0.5)) {
+    spec.topo = FabricScenarioSpec::Topo::kLeafSpine;
+    spec.leaves = static_cast<int>(rng.uniform_range(2, 4));
+    spec.spines = static_cast<int>(rng.uniform_range(2, 4));
+  } else {
+    spec.topo = FabricScenarioSpec::Topo::kRing;
+    spec.switches = static_cast<int>(rng.uniform_range(3, 8));
+  }
+  spec.ambient_loss = rng.chance(0.5) ? rng.uniform01() * 0.1 : 0.0;
+  spec.propagation = static_cast<Duration>(rng.uniform_range(100, 2000));
+  spec.period_ab = static_cast<Duration>(rng.uniform_range(200, 1500));
+  spec.period_ba = static_cast<Duration>(rng.uniform_range(200, 1500));
+  spec.horizon =
+      static_cast<Time>(rng.uniform_range(20, 60)) * kMicrosecond;
+  spec.threads = static_cast<int>(std::uint64_t{2}
+                                  << rng.uniform_range(0, 2));  // 2/4/8
+
+  const int num_links =
+      spec.topo == FabricScenarioSpec::Topo::kLeafSpine
+          ? spec.leaves * spec.spines + spec.leaves  // + host uplinks
+          : 2 * spec.switches;
+  const std::uint64_t num_faults = rng.uniform_range(0, 3);
+  for (std::uint64_t i = 0; i < num_faults; ++i) {
+    FabricScenarioSpec::Fault f;
+    f.kind = static_cast<int>(rng.uniform(4));
+    f.link = rng.uniform(static_cast<std::uint64_t>(num_links));
+    f.direction = static_cast<int>(rng.uniform(3)) - 1;  // -1/0/1
+    f.at = static_cast<Time>(
+        rng.uniform_range(1, static_cast<std::uint64_t>(
+                                 spec.horizon / kMicrosecond - 5))) *
+           kMicrosecond;
+    f.duration = static_cast<Duration>(rng.uniform_range(5, 20)) *
+                 kMicrosecond;
+    f.loss = 0.2 + rng.uniform01() * 0.8;
+    f.extra_latency =
+        static_cast<Duration>(rng.uniform_range(1, 5)) * kMicrosecond;
+    f.flap_period =
+        static_cast<Duration>(rng.uniform_range(2, 6)) * kMicrosecond;
+    spec.faults.push_back(f);
+  }
+  return spec;
+}
+
+FabricDiffResult run_fabric_diff(const FabricScenarioSpec& spec,
+                                 telemetry::MetricsRegistry* metrics) {
+  // One shared program for both runs (compilation is deterministic, but
+  // sharing removes it from the comparison entirely).
+  const auto artifacts =
+      compile::compile_source(apps::gray_failure_p4r_source());
+
+  const Signature seq = run_one(spec, artifacts.prog, 1);
+  const Signature par = run_one(spec, artifacts.prog, spec.threads);
+
+  FabricDiffResult r;
+  const auto check = [&](const char* surface, const std::string& a,
+                         const std::string& b) {
+    if (a == b) return;
+    r.diverged = true;
+    r.divergences.push_back(std::string(surface) + ": " + first_diff(a, b));
+  };
+  check("metrics", seq.metrics, par.metrics);
+  check("fault-log", seq.fault_log, par.fault_log);
+  check("link-stats", seq.link_stats, par.link_stats);
+  check("flight-recorder", seq.mfr, par.mfr);
+
+  if (metrics != nullptr) {
+    metrics->counter("check.fabric.runs").add();
+    if (r.diverged) metrics->counter("check.fabric.divergences").add();
+  }
+  return r;
+}
+
+}  // namespace mantis::check

@@ -1,0 +1,76 @@
+// Multi-switch differential mode for the fuzzing harness: each generated
+// fabric scenario (seeded topology + traffic schedule + fault schedule) is
+// run twice — once on the sequential event loop and once on the parallel
+// engine — and every determinism surface is diffed byte-for-byte
+// afterwards: metrics JSON, per-link-direction delivery/drop/occupancy
+// stats, the fault injector's transition log, and the flight-recorder dump.
+// Any mismatch is an equivalence bug in net::ParallelFabricEngine (or a
+// missed shared-state race), the exact class of defect the tentpole's
+// byte-identical contract exists to catch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mantis::telemetry {
+class MetricsRegistry;
+}
+
+namespace mantis::check {
+
+/// A generated multi-switch scenario. Plain data; the same spec always
+/// produces the same pair of executions.
+struct FabricScenarioSpec {
+  std::uint64_t seed = 1;  ///< fabric base seed (link drop processes)
+
+  enum class Topo { kLeafSpine, kRing };
+  Topo topo = Topo::kLeafSpine;
+  int leaves = 2;    ///< leaf-spine only
+  int spines = 2;    ///< leaf-spine only
+  int switches = 4;  ///< ring only
+
+  double ambient_loss = 0.0;
+  Duration propagation = 200;
+
+  /// Periodic link-local traffic: one period per direction class.
+  Duration period_ab = 500;
+  Duration period_ba = 700;
+
+  struct Fault {
+    int kind = 0;  ///< FaultSpec::Kind as int (0 down, 1 gray, 2 lat, 3 flap)
+    std::size_t link = 0;
+    int direction = -1;
+    Time at = 0;
+    Duration duration = 0;
+    double loss = 1.0;
+    Duration extra_latency = 0;
+    Duration flap_period = 0;
+  };
+  std::vector<Fault> faults;
+
+  Time horizon = 50 * kMicrosecond;
+  int threads = 4;  ///< parallel run's worker count
+
+  /// One-line reproducible description ("topo=... seed=... faults=N ...").
+  std::string summary() const;
+};
+
+/// Deterministically derives a scenario from `seed`.
+FabricScenarioSpec generate_fabric_scenario(std::uint64_t seed);
+
+struct FabricDiffResult {
+  bool diverged = false;
+  /// "<surface>: <first differing line pair>" entries, one per mismatched
+  /// determinism surface.
+  std::vector<std::string> divergences;
+};
+
+/// Runs `spec` on both engines and diffs the determinism surfaces.
+/// `metrics`, when given, receives check.fabric.{runs,divergences} counters.
+FabricDiffResult run_fabric_diff(const FabricScenarioSpec& spec,
+                                 telemetry::MetricsRegistry* metrics = nullptr);
+
+}  // namespace mantis::check

@@ -1,0 +1,173 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mantis::net {
+
+namespace {
+/// Spin iterations before a waiter parks on the condition variable. Rounds
+/// are microseconds of host work, so the common case stays in user space.
+constexpr int kSpinIterations = 4096;
+}  // namespace
+
+Duration ParallelFabricEngine::compute_lookahead(Fabric& fabric) {
+  Duration min_delay = -1;
+  for (std::size_t i = 0; i < fabric.num_links(); ++i) {
+    const auto& model = fabric.link(i).model();
+    // +1: serialization_time() floors at 1 ns, so an arrival is always at
+    // least propagation + 1 after the transmit instant.
+    const Duration d = model.propagation + 1;
+    if (min_delay < 0 || d < min_delay) min_delay = d;
+  }
+  return min_delay < 0 ? 1 : min_delay;
+}
+
+ParallelFabricEngine::ParallelFabricEngine(Fabric& fabric, int threads)
+    : loop_(&fabric.loop()),
+      fabric_(&fabric),
+      threads_(std::max(1, threads)),
+      lookahead_(compute_lookahead(fabric)) {
+  expects(lookahead_ > 0, "ParallelFabricEngine: non-positive lookahead");
+  if (threads_ <= 1) return;  // sequential: no machinery at all
+  // Never more threads than shards; the remainder would only spin.
+  threads_ = std::min(threads_, std::max(1, fabric.num_shards()));
+  if (threads_ <= 1) return;
+
+  loop_->ensure_tags(fabric.num_shards());
+  shards_.reserve(static_cast<std::size_t>(fabric.num_shards()));
+  for (int s = 0; s < fabric.num_shards(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->tag = s;
+    // Stable after ensure_tags: shard tags can never grow the table again.
+    shard->seq = loop_->seq_counter(s);
+    lanes_.push_back(&shard->lane);
+    shards_.push_back(std::move(shard));
+  }
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ParallelFabricEngine::~ParallelFabricEngine() {
+  if (workers_.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    stop_flag_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::uint64_t ParallelFabricEngine::wait_for_round(std::uint64_t seen) {
+  for (int spin = 0; spin < kSpinIterations; ++spin) {
+    const std::uint64_t cur = round_seq_.load(std::memory_order_acquire);
+    if (cur != seen) return cur;
+    if (stop_flag_.load(std::memory_order_acquire)) return seen;
+    std::this_thread::yield();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return round_guard_ != seen || stop_; });
+  return round_guard_ != seen ? round_guard_ : seen;
+}
+
+void ParallelFabricEngine::worker_main(int worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::uint64_t cur = wait_for_round(seen);
+    if (cur == seen) return;  // stop requested, no newer round
+    seen = cur;
+    run_shard_range(worker, round_end_);
+    done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ParallelFabricEngine::run_shard_range(int worker, Time round_end) {
+  for (int s = worker; s < static_cast<int>(shards_.size()); s += threads_) {
+    run_shard(*shards_[static_cast<std::size_t>(s)], round_end);
+  }
+}
+
+void ParallelFabricEngine::run_shard(Shard& shard, Time round_end) {
+  if (shard.local.empty()) return;
+  sim::EventLoop::ShardFrame frame;
+  frame.loop = loop_;
+  frame.shard = shard.tag;
+  frame.round_end = round_end;
+  frame.next_seq = shard.seq;
+  frame.local = &shard.local;
+  frame.outbox = &shard.outbox;
+  sim::EventLoop::set_shard_frame(&frame);
+  telemetry::ShardLane::set_current(&shard.lane);
+  while (!shard.local.empty()) {
+    sim::EventLoop::Event ev = shard.local.top();
+    shard.local.pop();
+    frame.now = ev.t;
+    // Deferred telemetry from this callback carries the event's own key.
+    shard.lane.begin_event(ev.t, ev.src, ev.seq);
+    ev.cb();
+  }
+  telemetry::ShardLane::set_current(nullptr);
+  sim::EventLoop::set_shard_frame(nullptr);
+}
+
+void ParallelFabricEngine::run_until(Time t) {
+  auto& loop = *loop_;
+  if (threads_ <= 1 || shards_.empty()) {
+    loop.run_until(t);
+    return;
+  }
+  while (!loop.queue_empty() && loop.next_time() <= t) {
+    const Time start = loop.next_time();
+    const Time cap = std::min(t, start + lookahead_);
+    // Control events run inline (they may mutate shard state — table
+    // commits, fault transitions — which is safe exactly because no round
+    // is in flight). Events at t == cap <= start also run inline rather
+    // than opening a zero-width round.
+    if (cap <= start || loop.next_dst() == sim::EventLoop::kControlShard) {
+      loop.step();
+      continue;
+    }
+    extract_buf_.clear();
+    const Time end = loop.extract_until(cap, extract_buf_);
+    if (extract_buf_.empty()) {
+      loop.step();
+      continue;
+    }
+    for (auto& ev : extract_buf_) {
+      shards_[static_cast<std::size_t>(ev.dst)]->local.push(std::move(ev));
+    }
+    extract_buf_.clear();
+
+    // Publish the round: shard heaps and round_end_ are written before the
+    // release store on round_seq_, acquired by each worker's spin/wait.
+    round_end_ = end;
+    done_.store(0, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++round_guard_;
+      round_seq_.store(round_guard_, std::memory_order_release);
+    }
+    cv_.notify_all();
+    // The calling thread takes worker slot 0.
+    run_shard_range(0, end);
+    while (done_.load(std::memory_order_acquire) < threads_ - 1) {
+      std::this_thread::yield();
+    }
+    ++rounds_;
+
+    // Barrier: outbox reinsertion (keys pre-assigned, insertion order
+    // irrelevant) and canonical-order telemetry replay.
+    for (auto& shard : shards_) {
+      for (auto& ev : shard->outbox) loop.reinsert(std::move(ev));
+      shard->outbox.clear();
+    }
+    telemetry::ShardLane::merge_apply(lanes_);
+  }
+  loop.run_until(t);
+}
+
+}  // namespace mantis::net

@@ -1,0 +1,108 @@
+// Deterministic parallel discrete-event engine for the net::Fabric.
+//
+// Conservative (lookahead-based) parallel DES: per-switch shards execute
+// concurrently inside synchronization rounds bounded by the fabric's
+// minimum cross-shard delay — the smallest link propagation plus the 1 ns
+// minimum serialization time. Any event one shard schedules onto another
+// lands at least that far in the future, so a round of width `lookahead`
+// can run every shard's events with no cross-shard communication at all;
+// cross-shard deliveries park in per-shard outboxes and re-enter the global
+// queue at the round barrier.
+//
+// Determinism contract (docs/NETWORK.md): for any seed, topology and fault
+// schedule, a run with N worker threads is byte-identical to the sequential
+// engine — same packet orders, same metrics snapshot, same trace ring, same
+// .mfr flight-recorder dumps. Three mechanisms compose to guarantee it:
+//   1. canonical event keys (t, src shard, per-src seq) assigned identically
+//      by both engines (sim/event_loop.hpp),
+//   2. per-shard heaps popping in canonical-key order, with control events
+//      executing inline at barriers (they sort first among same-t ties, so
+//      lowering the round horizon to the first control event keeps every
+//      extracted event strictly earlier),
+//   3. order-dependent telemetry sinks deferring into per-shard lanes that
+//      merge in canonical order at each barrier (telemetry/shard_lane.hpp).
+//
+// threads <= 1 is the sequential engine, verbatim: run_until delegates to
+// EventLoop::run_until and no worker, lane, or frame machinery exists.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "telemetry/shard_lane.hpp"
+
+namespace mantis::net {
+
+class ParallelFabricEngine {
+ public:
+  /// `fabric` must outlive the engine. `threads` is the total worker count
+  /// (the calling thread participates, so threads == 2 spawns one helper).
+  ParallelFabricEngine(Fabric& fabric, int threads);
+  ~ParallelFabricEngine();
+
+  ParallelFabricEngine(const ParallelFabricEngine&) = delete;
+  ParallelFabricEngine& operator=(const ParallelFabricEngine&) = delete;
+
+  /// Runs fabric events up to and including `t`, then advances the clock to
+  /// exactly `t`. Must be called from the thread that owns the EventLoop
+  /// (the same thread every time); nests freely with sequential
+  /// EventLoop::run_until calls (driver waits) between invocations.
+  void run_until(Time t);
+
+  int threads() const { return threads_; }
+  Duration lookahead() const { return lookahead_; }
+  std::uint64_t rounds() const { return rounds_; }
+
+  /// min over links of (propagation + 1 ns minimum serialization): the
+  /// tightest provably-safe synchronization horizon for this fabric.
+  static Duration compute_lookahead(Fabric& fabric);
+
+ private:
+  struct Shard {
+    int tag = 0;
+    sim::EventLoop::LocalQueue local;
+    std::vector<sim::EventLoop::Event> outbox;
+    std::uint64_t* seq = nullptr;  ///< per-src counter in the loop
+    telemetry::ShardLane lane;
+  };
+
+  void worker_main(int worker);
+  /// Blocks until a round newer than `seen` is published (returns its
+  /// number) or stop is requested (returns `seen`). Spins briefly, then
+  /// parks on the condition variable.
+  std::uint64_t wait_for_round(std::uint64_t seen);
+  /// Drains one shard's local heap with its ShardFrame + ShardLane
+  /// installed. Runs on whichever thread owns the shard this round.
+  void run_shard(Shard& shard, Time round_end);
+  void run_shard_range(int worker, Time round_end);
+
+  sim::EventLoop* loop_;
+  Fabric* fabric_;
+  int threads_;
+  Duration lookahead_;
+  std::uint64_t rounds_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<telemetry::ShardLane*> lanes_;
+  std::vector<sim::EventLoop::Event> extract_buf_;
+
+  // Round handoff: main publishes round_end_ + filled shard heaps, bumps
+  // round_seq_ (mutex-guarded counter with an atomic mirror for the spin
+  // path), and workers ack through done_.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t round_guard_ = 0;  ///< guarded by mu_
+  bool stop_ = false;              ///< guarded by mu_
+  std::atomic<std::uint64_t> round_seq_{0};
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<int> done_{0};
+  Time round_end_ = 0;  ///< published before round_seq_ (release) store
+};
+
+}  // namespace mantis::net

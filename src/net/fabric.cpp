@@ -16,7 +16,7 @@ void Host::send(sim::Packet pkt) {
     pkt.set_origin_time(fabric_->loop().now());
   }
   ++tx_pkts_;
-  ++fabric_->stats_.host_tx_pkts;
+  fabric_->stats_.host_tx_pkts.fetch_add(1, std::memory_order_relaxed);
   fabric_->host_tx_ctr_->add();
   const int li = fabric_->topo_.link_at(node_, 0);
   expects(li >= 0, "Host::send: host has no uplink");
@@ -27,7 +27,7 @@ void Host::receive(sim::Packet pkt) {
   const Time now = fabric_->loop().now();
   ++rx_pkts_;
   last_rx_time_ = now;
-  ++fabric_->stats_.host_rx_pkts;
+  fabric_->stats_.host_rx_pkts.fetch_add(1, std::memory_order_relaxed);
   fabric_->host_rx_ctr_->add();
   if (pkt.origin_time() >= 0) {
     fabric_->transit_hist_->record(static_cast<double>(now - pkt.origin_time()));
@@ -96,6 +96,30 @@ Fabric::Fabric(sim::EventLoop& loop, const p4::Program& prog, Topology topo,
     port_link_.emplace(std::make_pair(spec.b, spec.port_b), i);
   }
   last_busy_ns_.assign(links_.size(), {0, 0});
+
+  // Shard tagging: deliveries target the receiver's shard. The same tags
+  // are stamped under the sequential engine, so canonical keys — and
+  // therefore telemetry — are engine-independent.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const auto& spec = topo_.links[i];
+    links_[i]->set_shards(shard_of(spec.a), shard_of(spec.b));
+  }
+}
+
+int Fabric::shard_of(NodeId node) const {
+  expects(node >= 0 && node < topo_.num_nodes, "Fabric::shard_of: bad node");
+  if (topo_.is_switch(node)) return node;
+  const int li = topo_.link_at(node, 0);
+  expects(li >= 0, "Fabric::shard_of: host has no uplink");
+  const auto& spec = topo_.links[static_cast<std::size_t>(li)];
+  const NodeId peer = spec.a == node ? spec.b : spec.a;
+  expects(topo_.is_switch(peer), "Fabric::shard_of: host uplink peer not a switch");
+  return peer;
+}
+
+void Fabric::schedule_for_node(NodeId node, Time t,
+                               sim::EventLoop::Callback cb) {
+  loop_->schedule_for(shard_of(node), t, std::move(cb));
 }
 
 sim::Switch& Fabric::switch_at(NodeId n) {
@@ -169,13 +193,16 @@ void Fabric::start_periodic(NodeId from, NodeId to, Duration period,
   expects(period > 0, "Fabric::start_periodic: period must be positive");
   PeriodicTick tick{loop_, &link_between(from, to), from, period, until,
                     std::make_shared<std::function<sim::Packet()>>(std::move(make))};
-  loop_->schedule_in(period, tick);
+  // Pinned to the sender's shard: the tick mutates the sender direction of
+  // the link (busy_until, Rng), which that shard owns. Reschedules inherit
+  // the tag via schedule_in.
+  schedule_for_node(from, loop_->now() + period, tick);
 }
 
 void Fabric::deliver_from(NodeId node, int port, sim::Packet pkt) {
   const auto it = port_link_.find({node, port});
   if (it == port_link_.end()) {
-    ++stats_.unwired_tx_pkts;
+    stats_.unwired_tx_pkts.fetch_add(1, std::memory_order_relaxed);
     unwired_ctr_->add();
     return;
   }

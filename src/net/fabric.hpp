@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -111,10 +112,24 @@ class Fabric {
   /// still drains.
   void sample_telemetry();
 
+  // ---- shard mapping (parallel engine) ----
+  /// The shard owning `node`'s state: a switch owns its own shard (tag ==
+  /// NodeId), a host belongs to its uplink switch's shard (host events are
+  /// rare; co-locating them avoids a near-empty shard per host).
+  int shard_of(NodeId node) const;
+  /// Number of shards == number of switches.
+  int num_shards() const { return topo_.num_switches; }
+  /// Schedules `cb` at `t` on the shard owning `node` — for traffic ticks
+  /// and other per-node drivers that mutate node state, so they run (and
+  /// stamp canonical keys) on the owning shard in both engines.
+  void schedule_for_node(NodeId node, Time t, sim::EventLoop::Callback cb);
+
+  /// Counters crossing shard boundaries (tx on sender shards, rx on
+  /// receiver shards) — relaxed atomics, order-independent sums.
   struct FabricStats {
-    std::uint64_t host_tx_pkts = 0;
-    std::uint64_t host_rx_pkts = 0;
-    std::uint64_t unwired_tx_pkts = 0;  ///< switch tx on a port with no link
+    std::atomic<std::uint64_t> host_tx_pkts{0};
+    std::atomic<std::uint64_t> host_rx_pkts{0};
+    std::atomic<std::uint64_t> unwired_tx_pkts{0};  ///< tx on unwired port
   };
   const FabricStats& stats() const { return stats_; }
 

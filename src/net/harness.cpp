@@ -81,19 +81,26 @@ void FabricAgentHarness::run_prologue(
 
 void FabricAgentHarness::run_until(Time t) {
   auto& loop = fabric_->loop();
+  const auto drain = [&](Time until) {
+    if (engine_run_until_) {
+      engine_run_until_(until);
+    } else {
+      loop.run_until(until);
+    }
+  };
   while (!members_.empty()) {
     Member* next = nullptr;
     for (auto& m : members_) {
       if (next == nullptr || m.next_due < next->next_due) next = &m;
     }
     if (next->next_due >= t) break;
-    if (next->next_due > loop.now()) loop.run_until(next->next_due);
+    if (next->next_due > loop.now()) drain(next->next_due);
     next->agent->dialogue_iteration();
     ++next->iterations;
     next->next_due = loop.now() + pacing_;
   }
   // The last iteration may already have overrun `t`.
-  if (t > loop.now()) loop.run_until(t);
+  if (t > loop.now()) drain(t);
 }
 
 std::uint64_t FabricAgentHarness::iterations(NodeId node) const {

@@ -59,6 +59,14 @@ class FabricAgentHarness {
   /// up to `t`.
   void run_until(Time t);
 
+  /// Replaces the event-draining step of run_until (EventLoop::run_until by
+  /// default) — the hook the parallel fabric engine installs. Dialogue
+  /// iterations themselves always run inline on the calling thread, between
+  /// engine rounds; driver waits inside an iteration drain sequentially.
+  void set_engine(std::function<void(Time)> run_events_until) {
+    engine_run_until_ = std::move(run_events_until);
+  }
+
   std::uint64_t iterations(NodeId node) const;
   std::uint64_t total_iterations() const;
 
@@ -80,6 +88,7 @@ class FabricAgentHarness {
   Duration pacing_ = 0;
   std::vector<Member> members_;
   std::vector<NodeId> nodes_;
+  std::function<void(Time)> engine_run_until_;
 };
 
 }  // namespace mantis::net

@@ -79,10 +79,16 @@ void Link::transmit(NodeId from, sim::Packet pkt) {
   const Time arrival = dir.busy_until + model_.propagation + dir.extra_latency;
   const End to = receiver(direction_from(from));
   auto& d = dir;
-  loop_->schedule_at(arrival, [this, to, &d, p = std::move(pkt)]() mutable {
+  auto cb = [this, to, &d, p = std::move(pkt)]() mutable {
     ++d.stats.delivered_pkts;
     deliver_(std::move(p), to.node, to.port);
-  });
+  };
+  if (d.rx_shard != sim::EventLoop::kControlShard) {
+    // Shard-tagged fabric: delivery executes on the receiver's shard.
+    loop_->schedule_for(d.rx_shard, arrival, std::move(cb));
+  } else {
+    loop_->schedule_at(arrival, std::move(cb));
+  }
 }
 
 void Link::set_down(bool down, int dir) {

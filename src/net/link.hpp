@@ -59,6 +59,18 @@ class Link {
   /// serialization + propagation + any fault-injected extra latency.
   void transmit(NodeId from, sim::Packet pkt);
 
+  /// Tags each end with the shard that owns it (the fabric assigns one
+  /// shard per switch; hosts map to their uplink switch's shard). Delivery
+  /// events are then scheduled *for the receiver's shard*, which is what
+  /// lets the parallel engine run receivers concurrently — and what makes
+  /// min(propagation) the safe lookahead. Direction state (busy_until, Rng,
+  /// tx stats) is owned by the sender's shard; only delivered_pkts is
+  /// written on the receiver's, a disjoint field.
+  void set_shards(int shard_a, int shard_b) {
+    dirs_[0].rx_shard = shard_b;  // a->b delivers at b
+    dirs_[1].rx_shard = shard_a;
+  }
+
   // ---- fault surface (dir: 0 = a->b, 1 = b->a, -1 = both) ----
   void set_down(bool down, int dir = -1);
   void set_loss(double p, int dir = -1);
@@ -92,6 +104,7 @@ class Link {
     double loss = 0.0;
     Duration extra_latency = 0;
     Time busy_until = 0;
+    int rx_shard = sim::EventLoop::kControlShard;  ///< receiver's shard tag
     Rng rng{1};
     telemetry::Counter* tx_ctr = nullptr;
     telemetry::Counter* drop_ctr = nullptr;

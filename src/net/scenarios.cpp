@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <deque>
+#include <memory>
 #include <utility>
 
+#include "net/engine.hpp"
 #include "util/check.hpp"
 
 namespace mantis::net {
@@ -33,7 +35,10 @@ void start_host_traffic(sim::EventLoop& loop, Fabric& fabric, NodeId host,
                         std::function<sim::Packet()> make) {
   HostSendTick tick{&loop, &fabric, host, period, until,
                     std::make_shared<std::function<sim::Packet()>>(std::move(make))};
-  loop.schedule_in(period, tick);
+  // Pinned to the host's shard: the tick mutates host tx state and the
+  // uplink's sender direction, both owned by the uplink switch's shard.
+  // Reschedules inherit the tag via schedule_in.
+  fabric.schedule_for_node(host, loop.now() + period, tick);
 }
 
 /// Periodic windowed-utilization sampling (scenario-driven; the Fabric never
@@ -95,15 +100,19 @@ NodeId leaf_of(const Topology& topo, NodeId host) {
 struct GrayDeliveryTracker {
   Time fault_at = 0;
   std::size_t k = 4;
-  std::vector<Time> sent_at;  ///< seq -> virtual send time
+  /// seq -> virtual send time. Written only on the *sending* host's shard
+  /// (and read back after the run); the receive path classifies packets by
+  /// their origin-time stamp instead of indexing here, so the two hosts'
+  /// shards never touch the same field concurrently.
+  std::vector<Time> sent_at;
   std::uint64_t delivered = 0;
   std::uint64_t delivered_before_fault = 0;
   Time restored_at = -1;
   std::deque<std::pair<std::uint64_t, Time>> recent;  ///< (seq, rx time)
 
-  void on_receive(std::uint64_t seq, Time rx_time) {
+  void on_receive(std::uint64_t seq, Time sent_time, Time rx_time) {
     ++delivered;
-    if (seq < sent_at.size() && sent_at[seq] < fault_at) {
+    if (sent_time >= 0 && sent_time < fault_at) {
       ++delivered_before_fault;
       recent.clear();  // a pre-fault straggler breaks any post-fault run
       return;
@@ -123,11 +132,22 @@ GrayFabricScenario::GrayFabricScenario(GrayScenarioConfig cfg)
   expects(cfg_.leaves >= 2 && cfg_.spines >= 2,
           "GrayFabricScenario: need an alternate path (>=2 leaves, >=2 spines)");
   expects(cfg_.hosts_per_leaf >= 1, "GrayFabricScenario: need hosts");
-  artifacts_ = compile::compile_source(apps::gray_failure_p4r_source());
-
   Topology topo =
       Topology::leaf_spine(cfg_.leaves, cfg_.spines, cfg_.hosts_per_leaf);
+
+  // The shared program's heartbeat register must cover the widest switch's
+  // monitored (switch-facing) port range; small fabrics keep the classic
+  // 8-port reaction window.
+  int monitored = 8;
+  for (NodeId n = 0; n < topo.num_switches; ++n) {
+    const auto ports = topo.switch_facing_ports(n);
+    for (const int p : ports) {
+      if (p + 1 > monitored) monitored = p + 1;
+    }
+  }
+  artifacts_ = compile::compile_source(apps::gray_failure_p4r_source(monitored));
   FabricConfig fc;
+  fc.switch_cfg = cfg_.switch_cfg;
   fc.default_link = cfg_.link;
   fc.base_seed = cfg_.seed;
   fabric_ = std::make_unique<Fabric>(loop_, artifacts_.prog, std::move(topo), fc);
@@ -232,7 +252,8 @@ GrayScenarioResult GrayFabricScenario::run() {
   fabric_->host_at(dst_host).set_on_receive(
       [this, tracker](const sim::Packet& pkt, Time t) {
         const Time before = tracker->restored_at;
-        tracker->on_receive(fabric_->factory().get(pkt, "ipv4.totalLen"), t);
+        tracker->on_receive(fabric_->factory().get(pkt, "ipv4.totalLen"),
+                            pkt.origin_time(), t);
         if (before < 0 && tracker->restored_at >= 0) {
           events_.push_back(std::to_string(tracker->restored_at) +
                             " delivery restored");
@@ -241,7 +262,13 @@ GrayScenarioResult GrayFabricScenario::run() {
 
   start_telemetry_sampling(loop_, *fabric_, cfg_.telemetry_window,
                            cfg_.run_until);
+  std::unique_ptr<ParallelFabricEngine> engine;
+  if (cfg_.threads > 1) {
+    engine = std::make_unique<ParallelFabricEngine>(*fabric_, cfg_.threads);
+    harness_->set_engine([&e = *engine](Time t) { e.run_until(t); });
+  }
   harness_->run_until(cfg_.run_until);
+  harness_->set_engine({});
   fabric_->sample_telemetry();
 
   GrayScenarioResult res;
@@ -283,6 +310,7 @@ EcmpFabricScenario::EcmpFabricScenario(EcmpScenarioConfig cfg)
   Topology topo =
       Topology::leaf_spine(cfg_.leaves, cfg_.spines, cfg_.hosts_per_leaf);
   FabricConfig fc;
+  fc.switch_cfg = cfg_.switch_cfg;
   fc.default_link = cfg_.link;
   fc.base_seed = cfg_.seed;
   fabric_ = std::make_unique<Fabric>(loop_, artifacts_.prog, std::move(topo), fc);
@@ -392,7 +420,13 @@ EcmpScenarioResult EcmpFabricScenario::run() {
   const auto tx_start = uplink_tx();
   start_telemetry_sampling(loop_, *fabric_, cfg_.telemetry_window,
                            cfg_.run_until);
+  std::unique_ptr<ParallelFabricEngine> engine;
+  if (cfg_.threads > 1) {
+    engine = std::make_unique<ParallelFabricEngine>(*fabric_, cfg_.threads);
+    harness_->set_engine([&e = *engine](Time t) { e.run_until(t); });
+  }
   harness_->run_until(cfg_.run_until);
+  harness_->set_engine({});
   fabric_->sample_telemetry();
   const auto tx_end = uplink_tx();
 

@@ -43,6 +43,8 @@ struct GrayScenarioConfig {
   int spines = 2;
   int hosts_per_leaf = 1;
   LinkModel link;              ///< fabric-wide link model (ambient loss etc.)
+  /// Per-switch model; wide fabrics need num_ports > the 32-port default.
+  sim::SwitchConfig switch_cfg;
   std::uint64_t seed = 1;      ///< fabric base seed (drop processes)
 
   Duration hb_period = 1 * kMicrosecond;       ///< heartbeat period T_s
@@ -59,6 +61,9 @@ struct GrayScenarioConfig {
   bool inject_fault = true;
 
   Duration pacing = 0;  ///< harness pacing sleep (0 = busy-loop agents)
+  /// Worker threads for the fabric engine; 1 = sequential (identical
+  /// results by the determinism contract, so this is purely a speed knob).
+  int threads = 1;
   Time run_until = 400 * kMicrosecond;
   /// Utilization-gauge sampling window: the final sample then reflects the
   /// post-reroute steady state (degraded link ~0) rather than the whole run.
@@ -137,6 +142,7 @@ struct EcmpScenarioConfig {
   int spines = 2;
   int hosts_per_leaf = 2;
   LinkModel link;
+  sim::SwitchConfig switch_cfg;
   std::uint64_t seed = 1;
 
   int flows = 32;               ///< NAT'd flows, distinct only in dstPort
@@ -144,6 +150,7 @@ struct EcmpScenarioConfig {
   std::uint32_t traffic_bytes = 500;
 
   Duration pacing = 0;
+  int threads = 1;  ///< fabric-engine workers (1 = sequential, same results)
   Time run_until = 500 * kMicrosecond;
   Duration telemetry_window = 50 * kMicrosecond;
 

@@ -5,6 +5,18 @@
 // events on one loop, so the interleaving of the Mantis agent with packet
 // processing is deterministic and serializability becomes a testable
 // property rather than a hope.
+//
+// Canonical event order (the parallel-engine determinism contract): every
+// event carries a destination tag `dst` (the shard — fabric switch — whose
+// state it touches; kControlShard for control-plane/main-thread work), the
+// tag `src` of the context that scheduled it, and a per-src sequence number
+// `seq`. Events execute in (t, src, seq) order, with control first among
+// ties. That key is a pure function of scheduling history — independent of
+// which engine runs the events — so the sequential engine and the
+// conservative parallel engine (net::ParallelFabricEngine) produce
+// byte-identical executions. Code that never tags anything sees the old
+// behavior exactly: all events are control-tagged and the per-tag sequence
+// degenerates to the global FIFO tie-break.
 #pragma once
 
 #include <cstdint>
@@ -23,20 +35,77 @@ class EventLoop {
  public:
   using Callback = std::function<void()>;
 
+  /// Destination tag for control-plane work (agents, drivers, fault
+  /// transitions, periodic samplers): always executed on the main thread,
+  /// sorted before shard events at the same instant.
+  static constexpr int kControlShard = -1;
+
+  struct Event {
+    Time t = 0;
+    int dst = kControlShard;  ///< shard whose state the callback touches
+    int src = kControlShard;  ///< tag of the scheduling context
+    std::uint64_t seq = 0;    ///< per-src sequence number
+    Callback cb;
+  };
+
+  /// Min-heap comparator for the canonical (t, src, seq) order
+  /// (kControlShard = -1 sorts first among same-t ties).
+  struct RunsAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.src != b.src) return a.src > b.src;
+      return a.seq > b.seq;
+    }
+  };
+  using LocalQueue = std::priority_queue<Event, std::vector<Event>, RunsAfter>;
+
+  /// Execution context a parallel-engine worker installs (thread-local)
+  /// while running one shard's events for one round. While installed:
+  ///  * now() returns the running event's time,
+  ///  * schedule_* stamps src = shard and draws seq from `next_seq`,
+  ///  * same-shard events inside the horizon go to `local`, everything
+  ///    else to `outbox` (cross-shard targets must land >= round_end —
+  ///    that is exactly the conservative-lookahead guarantee).
+  struct ShardFrame {
+    const EventLoop* loop = nullptr;
+    int shard = kControlShard;
+    Time now = 0;
+    Time round_end = 0;
+    std::uint64_t* next_seq = nullptr;
+    LocalQueue* local = nullptr;
+    std::vector<Event>* outbox = nullptr;
+  };
+  static void set_shard_frame(ShardFrame* frame) { tls_frame_ = frame; }
+  static ShardFrame* shard_frame() { return tls_frame_; }
+
   /// The stack-wide telemetry bundle (metrics + tracer). Lazily created;
   /// the tracer's clock is this loop's virtual clock. Everything attached
   /// to this loop (switch, driver, agent, legacy clients) records here.
   telemetry::Telemetry& telemetry();
 
-  /// Current virtual time.
-  Time now() const { return now_; }
+  /// Current virtual time — shard-local while a ShardFrame is installed on
+  /// the calling thread, the global clock otherwise.
+  Time now() const {
+    const ShardFrame* f = tls_frame_;
+    if (f != nullptr && f->loop == this) return f->now;
+    return now_;
+  }
 
-  /// Schedules `cb` at absolute time `t` (>= now). Ties run in scheduling
-  /// order (FIFO), which the update-protocol proofs rely on.
+  /// Schedules `cb` at absolute time `t` (>= now). The event inherits the
+  /// scheduling context's tag as both src and dst, so shard-internal work
+  /// (pipeline latencies, queue service) stays on its shard and untagged
+  /// code stays control. Ties run in canonical (t, src, seq) order.
   void schedule_at(Time t, Callback cb);
 
   /// Schedules `cb` `d` nanoseconds from now.
-  void schedule_in(Duration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
+  void schedule_in(Duration d, Callback cb) {
+    schedule_at(now() + d, std::move(cb));
+  }
+
+  /// Schedules `cb` at `t` for shard `dst` (kControlShard for control).
+  /// From a shard context, a cross-shard target must satisfy the lookahead
+  /// horizon (t >= round_end) and dst must not be control.
+  void schedule_for(int dst, Time t, Callback cb);
 
   /// Runs the next event; returns false when the queue is empty.
   bool step();
@@ -56,21 +125,42 @@ class EventLoop {
 
   std::size_t pending() const { return queue_.size(); }
 
+  // ---- parallel-engine plumbing (net::ParallelFabricEngine) ----
+
+  /// Pre-registers shard tags [0, count) so per-src sequence counters never
+  /// reallocate under worker threads. Call before the first parallel round.
+  void ensure_tags(int count);
+  /// Pointer into the per-src counter for `tag`; stable until ensure_tags /
+  /// an untagged schedule grows the table, so re-fetch each round.
+  std::uint64_t* seq_counter(int tag);
+
+  bool queue_empty() const { return queue_.empty(); }
+  /// Head-of-queue time / destination; queue must be non-empty.
+  Time next_time() const;
+  int next_dst() const;
+
+  /// Pops every event with t < limit (in canonical order) into `out`,
+  /// stopping early at the first control-destined event — control events
+  /// run inline at round barriers, never inside a parallel round. Returns
+  /// the (possibly lowered) horizon; every extracted event has t strictly
+  /// below it.
+  Time extract_until(Time limit, std::vector<Event>& out);
+
+  /// Re-queues an event preserving its tags and sequence number (round
+  /// outbox reinsertion; order of reinsertion is irrelevant because the
+  /// canonical key is already assigned).
+  void reinsert(Event ev);
+
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq(int src);
+
+  static thread_local ShardFrame* tls_frame_;
+
+  std::priority_queue<Event, std::vector<Event>, RunsAfter> queue_;
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  int exec_tag_ = kControlShard;  ///< dst of the event step() is running
+  /// Per-src sequence counters, index src + 1 (slot 0 = control).
+  std::vector<std::uint64_t> seq_by_src_ = std::vector<std::uint64_t>(1, 0);
   std::unique_ptr<telemetry::Telemetry> telemetry_;
 };
 

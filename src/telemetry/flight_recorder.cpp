@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "telemetry/metrics.hpp"  // write_text_file
+#include "telemetry/shard_lane.hpp"
 #include "util/check.hpp"
 
 namespace mantis::telemetry {
@@ -185,6 +186,16 @@ void FlightRecorder::record(Time t, FlightEvent::Kind kind,
                             std::uint64_t reaction_id, std::string name,
                             std::string detail, std::int64_t value) {
   if (!enabled_) return;
+  // Shard context (parallel fabric round): defer through the lane so ring
+  // insertion — and therefore every seq number and .mfr dump — lands in
+  // canonical event order, byte-identical to a sequential run.
+  if (ShardLane* lane = ShardLane::current()) {
+    lane->defer([this, t, kind, reaction_id, name = std::move(name),
+                 detail = std::move(detail), value] {
+      record(t, kind, reaction_id, name, detail, value);
+    });
+    return;
+  }
   FlightEvent ev;
   ev.t = t;
   ev.seq = recorded_;

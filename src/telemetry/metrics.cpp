@@ -66,6 +66,14 @@ Histogram::Histogram(HistogramOptions opts) : opts_(std::move(opts)) {
 }
 
 void Histogram::record(double v) {
+  if (ShardLane* lane = ShardLane::current()) {
+    lane->defer([this, v] { record_direct(v); });
+    return;
+  }
+  record_direct(v);
+}
+
+void Histogram::record_direct(double v) {
   ++total_;
   stats_.add(v);
   for (auto& est : quantiles_) est.add(v);
@@ -95,6 +103,7 @@ const Samples& Histogram::raw() const {
 // ---------------------------------------------------------------------------
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto& e = metrics_[name];
   if (!e.counter) {
     expects(!e.gauge && !e.histogram,
@@ -105,6 +114,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto& e = metrics_[name];
   if (!e.gauge) {
     expects(!e.counter && !e.histogram,
@@ -116,6 +126,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       HistogramOptions opts) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto& e = metrics_[name];
   if (!e.histogram) {
     expects(!e.counter && !e.gauge,
@@ -126,21 +137,25 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = metrics_.find(name);
   return it == metrics_.end() ? nullptr : it->second.counter.get();
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = metrics_.find(name);
   return it == metrics_.end() ? nullptr : it->second.gauge.get();
 }
 
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = metrics_.find(name);
   return it == metrics_.end() ? nullptr : it->second.histogram.get();
 }
 
 std::string MetricsRegistry::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   out << "{";
   bool first = true;

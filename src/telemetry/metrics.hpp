@@ -11,31 +11,52 @@
 //  * snapshots are deterministic (name-sorted) so runs diff cleanly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "telemetry/shard_lane.hpp"
 #include "util/stats.hpp"
 
 namespace mantis::telemetry {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Additions are relaxed atomics:
+/// sums are order-independent, so counters need no lane deferral to stay
+/// deterministic under the parallel fabric engine.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-write-wins instantaneous value (queue depth, utilization, ...).
+/// Order-dependent, so writes from shard contexts defer through the
+/// thread's ShardLane and merge in canonical event order at round barriers.
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
+  void set(double v) {
+    if (ShardLane* lane = ShardLane::current()) {
+      lane->defer([this, v] { value_ = v; });
+      return;
+    }
+    value_ = v;
+  }
+  void add(double d) {
+    if (ShardLane* lane = ShardLane::current()) {
+      lane->defer([this, d] { value_ += d; });
+      return;
+    }
+    value_ += d;
+  }
   double value() const { return value_; }
 
  private:
@@ -62,6 +83,9 @@ class Histogram {
  public:
   explicit Histogram(HistogramOptions opts = {});
 
+  /// Records one sample. P² quantile markers make this insertion-order
+  /// dependent, so calls from shard contexts defer through the ShardLane
+  /// (replayed in canonical event order at round barriers).
   void record(double v);
 
   std::uint64_t count() const { return total_; }
@@ -83,6 +107,8 @@ class Histogram {
   const Samples& raw() const;
 
  private:
+  void record_direct(double v);
+
   HistogramOptions opts_;
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (overflow)
@@ -124,6 +150,10 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
+  /// Guards map mutation/lookup only (lazy creation can race from shard
+  /// workers — e.g. a TrafficManager's first per-port depth gauge). The
+  /// metric objects themselves are not guarded; see each sink's contract.
+  mutable std::mutex mu_;
   std::map<std::string, Entry> metrics_;
 };
 

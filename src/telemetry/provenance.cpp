@@ -7,6 +7,8 @@
 
 namespace mantis::telemetry {
 
+thread_local const ProvenanceContext* ProvenanceContext::hit_owner_ = nullptr;
+
 namespace {
 
 /// Latency histograms in virtual ns: first bucket 1us, ~16s overflow.
@@ -64,9 +66,9 @@ void ProvenanceContext::end_reaction(std::uint64_t rid, Time now, Duration poll,
   if (frame.mutated) {
     // Arm first-effect detection for this reaction; a later reaction that
     // also mutates simply re-arms (the earlier effect was never observed).
-    effect_pending_ = rid;
     committed_at_ = now;
-    hit_flagged_ = false;
+    effect_pending_.store(rid, std::memory_order_relaxed);
+    hit_owner_ = nullptr;
   }
 }
 
@@ -98,7 +100,7 @@ std::uint64_t ProvenanceContext::on_table_mutation() {
 }
 
 void ProvenanceContext::on_first_effect(Time arrival, Duration pass_latency) {
-  const std::uint64_t rid = effect_pending_;
+  const std::uint64_t rid = effect_pending_.load(std::memory_order_relaxed);
   if (rid == 0) return;
   const Duration take_effect = arrival - committed_at_;
   first_effects_->add();
@@ -113,8 +115,7 @@ void ProvenanceContext::on_first_effect(Time arrival, Duration pass_latency) {
                      "take_effect_ns=" + std::to_string(take_effect),
                      take_effect);
   }
-  effect_pending_ = 0;
-  hit_flagged_ = false;
+  effect_pending_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mantis::telemetry

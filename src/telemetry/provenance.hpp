@@ -19,6 +19,7 @@
 // avoids false positives from packets arriving mid-reaction.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -65,15 +66,23 @@ class ProvenanceContext {
   /// plane, test setup).
   std::uint64_t on_table_mutation();
   /// Hot path (one compare per table lookup): the pipeline reports the
-  /// provenance stamp of the rule a packet hit.
+  /// provenance stamp of the rule a packet hit. Safe from shard workers:
+  /// effect_pending_ is a relaxed atomic (armed on the control thread
+  /// strictly before any round that can observe the stamped rule), and the
+  /// flag itself is thread-local — it is set and consumed within one event
+  /// on one thread, so shards never contend on it.
   void note_hit(std::uint64_t stamp) {
-    if (stamp != 0 && stamp == effect_pending_) hit_flagged_ = true;
+    if (stamp != 0 &&
+        stamp == effect_pending_.load(std::memory_order_relaxed)) {
+      hit_owner_ = this;
+    }
   }
   /// The switch polls this after each pipeline pass; true at most once per
-  /// armed reaction.
+  /// armed reaction. The owner check keeps stacks with several contexts
+  /// (multi-fabric tests) from consuming each other's hits.
   bool consume_flagged_hit() {
-    if (!hit_flagged_) return false;
-    hit_flagged_ = false;
+    if (hit_owner_ != this) return false;
+    hit_owner_ = nullptr;
     return true;
   }
   /// Converts a consumed hit into the take-effect sample, the first-effect
@@ -81,7 +90,9 @@ class ProvenanceContext {
   void on_first_effect(Time arrival, Duration pass_latency);
 
   std::uint64_t last_reaction() const { return next_id_; }
-  std::uint64_t pending_effect_reaction() const { return effect_pending_; }
+  std::uint64_t pending_effect_reaction() const {
+    return effect_pending_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Frame {
@@ -100,9 +111,16 @@ class ProvenanceContext {
 
   std::uint64_t next_id_ = 0;
   std::vector<Frame> frames_;
-  std::uint64_t effect_pending_ = 0;  ///< reaction awaiting its first effect
-  Time committed_at_ = 0;             ///< end_reaction time of that reaction
-  bool hit_flagged_ = false;
+  /// Reaction awaiting its first effect. Relaxed atomic: armed on the
+  /// control thread between rounds, read by shard pipelines during rounds.
+  std::atomic<std::uint64_t> effect_pending_{0};
+  /// end_reaction time of that reaction. Plain: written on the control
+  /// thread, read by the shard that consumes the hit; the round dispatch
+  /// barrier (release/acquire) orders the write before the read.
+  Time committed_at_ = 0;
+  /// Set by note_hit, consumed by consume_flagged_hit within the same
+  /// pipeline pass on the same thread. Thread-local so shards don't race.
+  static thread_local const ProvenanceContext* hit_owner_;
 };
 
 }  // namespace mantis::telemetry

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "telemetry/shard_lane.hpp"
 #include "util/check.hpp"
 
 namespace mantis::telemetry {
@@ -57,6 +58,14 @@ std::int64_t Tracer::wall_now_ns() const {
 }
 
 void Tracer::push(TraceEvent ev) {
+  if (ShardLane* lane = ShardLane::current()) {
+    lane->defer([this, ev] { push_direct(ev); });
+    return;
+  }
+  push_direct(ev);
+}
+
+void Tracer::push_direct(TraceEvent ev) {
   ev.wall_ns = wall_now_ns();
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);

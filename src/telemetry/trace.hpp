@@ -117,7 +117,10 @@ class Tracer {
   std::function<Time()> clock_;
   std::int64_t wall_epoch_ns_;
 
+  /// Defers through the thread's ShardLane when one is installed (parallel
+  /// fabric rounds) so ring insertion order stays canonical.
   void push(TraceEvent ev);
+  void push_direct(TraceEvent ev);
   std::int64_t wall_now_ns() const;
 };
 

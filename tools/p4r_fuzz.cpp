@@ -9,6 +9,14 @@
 // Usage:
 //   p4r_fuzz [--seed S] [--iters N] [--minimize] [--corpus-dir DIR]
 //            [--metrics FILE] [--replay FILE] [--dump SEED] [--quiet]
+//            [--fabric]
+//
+// --fabric switches to the multi-switch differential mode: each iteration
+// generates a seeded fabric scenario (topology + traffic + fault schedule),
+// runs it on the sequential event loop and on the parallel fabric engine,
+// and diffs every determinism surface (metrics JSON, link stats, fault log,
+// flight-recorder dump). A divergence is an equivalence bug; the scenario
+// is reproducible from its seed alone.
 //
 // Exit status: 0 when every iteration agreed (or was skipped), 1 on any
 // divergence, 2 on usage errors.
@@ -20,6 +28,7 @@
 #include <string>
 
 #include "check/diff.hpp"
+#include "check/fabric_diff.hpp"
 #include "check/gen.hpp"
 #include "check/minimize.hpp"
 #include "telemetry/metrics.hpp"
@@ -37,13 +46,14 @@ struct Args {
   std::string replay_path;
   std::uint64_t dump_seed = 0;
   bool dump = false;
+  bool fabric = false;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed S] [--iters N] [--minimize] "
                "[--corpus-dir DIR] [--metrics FILE] [--replay FILE] "
-               "[--quiet]\n",
+               "[--quiet] [--fabric]\n",
                argv0);
   return 2;
 }
@@ -64,6 +74,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.iters = std::strtoull(v, nullptr, 0);
     } else if (opt == "--minimize") {
       a.minimize = true;
+    } else if (opt == "--fabric") {
+      a.fabric = true;
     } else if (opt == "--quiet") {
       a.quiet = true;
     } else if (opt == "--corpus-dir") {
@@ -117,6 +129,40 @@ int replay(const Args& args) {
   return r.diverged() ? 1 : 0;
 }
 
+int fabric_campaign(const Args& args) {
+  mantis::telemetry::MetricsRegistry metrics;
+  std::uint64_t diverged = 0;
+  for (std::uint64_t it = 0; it < args.iters; ++it) {
+    const std::uint64_t seed = mantis::check::iteration_seed(args.seed, it);
+    const auto spec = mantis::check::generate_fabric_scenario(seed);
+    const auto r = mantis::check::run_fabric_diff(spec, &metrics);
+    if (r.diverged) {
+      ++diverged;
+      std::fprintf(stderr, "iter %llu (seed %llu): DIVERGED  %s\n",
+                   static_cast<unsigned long long>(it),
+                   static_cast<unsigned long long>(seed),
+                   spec.summary().c_str());
+      for (const auto& d : r.divergences) {
+        std::fprintf(stderr, "  %s\n", d.c_str());
+      }
+    } else if (!args.quiet && (it + 1) % 50 == 0) {
+      std::fprintf(stderr, "progress: %llu/%llu (%llu diverged)\n",
+                   static_cast<unsigned long long>(it + 1),
+                   static_cast<unsigned long long>(args.iters),
+                   static_cast<unsigned long long>(diverged));
+    }
+  }
+  if (!args.metrics_path.empty()) {
+    mantis::telemetry::write_text_file(
+        args.metrics_path,
+        mantis::telemetry::report_json("p4r_fuzz_fabric", {}, metrics));
+  }
+  std::printf("p4r_fuzz --fabric: %llu scenarios, %llu diverged\n",
+              static_cast<unsigned long long>(args.iters),
+              static_cast<unsigned long long>(diverged));
+  return diverged != 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,6 +177,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!args.replay_path.empty()) return replay(args);
+    if (args.fabric) return fabric_campaign(args);
 
     mantis::telemetry::MetricsRegistry metrics;
     std::uint64_t diverged = 0, agreed = 0, agreed_error = 0, skipped = 0;
