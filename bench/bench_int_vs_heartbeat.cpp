@@ -1,0 +1,212 @@
+// INT vs heartbeat head-to-head: the same 3-leaf/2-spine fabric, the same
+// injected gray loss on the sender's first-hop link, two detection schemes:
+//
+//   heartbeat — every switch counts link-local heartbeats per port
+//               (net::GrayFabricScenario); detection names a *port*, and a
+//               sub-threshold loss rate never trips the eta detector,
+//   INT       — an injected probe mesh + per-flow INT stacks feed one
+//               analyzer running pooled per-link loss tomography
+//               (int_tel::IntGrayFabricScenario); detection names the
+//               *link*, at any loss rate the pooled estimate resolves.
+//
+// Compared per loss rate: detection/localization latency, end-to-end
+// delivery restoration, localization accuracy (INT must name the injected
+// link; heartbeats cannot name a link at all), and detection-plane byte
+// overhead — heartbeat frames vs probe frames + INT stack bytes, absolute
+// and per delivered data packet. A final same-seed sequential-vs-parallel
+// run asserts the INT scenario's determinism contract from inside the
+// bench, so the JSON also records the equivalence bit CI keys on.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "int/scenario.hpp"
+#include "net/scenarios.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mantis;
+
+constexpr int kLeaves = 3;
+constexpr int kSpines = 2;
+constexpr int kTrials = 6;
+
+struct SchemeStats {
+  Samples detect_us;   ///< detect (hb) / localize (int) latency
+  Samples restore_us;
+  int detected = 0;
+  int localized_correct = 0;
+  int restored = 0;
+  std::uint64_t overhead_bytes = 0;  ///< detection-plane wire bytes
+  std::uint64_t probe_bytes = 0;     ///< of those: injected probe frames
+  std::uint64_t stack_bytes = 0;     ///< of those: INT stacks on the wire
+  std::uint64_t delivered = 0;
+};
+
+/// Both schemes see the same fault phase per trial (a shared rng stream),
+/// with prologue headroom for five switches.
+Time trial_fault_at(int trial) {
+  Rng phase(static_cast<std::uint64_t>(trial) * 17 + 5);
+  return 300 * kMicrosecond +
+         static_cast<Duration>(phase.uniform(60 * kMicrosecond));
+}
+
+SchemeStats run_heartbeat(double loss, int restore_consecutive) {
+  SchemeStats out;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    net::GrayScenarioConfig cfg;
+    cfg.leaves = kLeaves;
+    cfg.spines = kSpines;
+    cfg.seed = static_cast<std::uint64_t>(trial) * 101 + 7;
+    cfg.fault_loss = loss;
+    cfg.fault_at = trial_fault_at(trial);
+    cfg.run_until = cfg.fault_at + 400 * kMicrosecond;
+    cfg.restore_consecutive = restore_consecutive;
+    net::GrayFabricScenario scenario(cfg);
+    const auto res = scenario.run();
+    if (res.detected_at >= 0) {
+      ++out.detected;
+      out.detect_us.add(to_us(res.detection_latency()));
+    }
+    if (res.restored()) {
+      ++out.restored;
+      out.restore_us.add(to_us(res.restoration_latency()));
+    }
+    out.overhead_bytes += res.hb_bytes;
+    out.delivered += res.delivered;
+  }
+  return out;
+}
+
+SchemeStats run_int(double loss, int restore_consecutive) {
+  SchemeStats out;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int_tel::IntGrayScenarioConfig cfg;
+    cfg.leaves = kLeaves;
+    cfg.spines = kSpines;
+    cfg.seed = static_cast<std::uint64_t>(trial) * 101 + 7;
+    cfg.fault_loss = loss;
+    cfg.fault_at = trial_fault_at(trial);
+    cfg.run_until = cfg.fault_at + 400 * kMicrosecond;
+    cfg.restore_consecutive = restore_consecutive;
+    int_tel::IntGrayFabricScenario scenario(cfg);
+    const auto res = scenario.run();
+    if (res.localized_at >= 0) {
+      ++out.detected;
+      out.detect_us.add(to_us(res.detection_latency()));
+      if (res.localized_correct) ++out.localized_correct;
+    }
+    if (res.restored()) {
+      ++out.restored;
+      out.restore_us.add(to_us(res.restoration_latency()));
+    }
+    out.probe_bytes += res.probe_wire_bytes;
+    out.stack_bytes += res.stack_wire_bytes;
+    out.overhead_bytes += res.probe_wire_bytes + res.stack_wire_bytes;
+    out.delivered += res.delivered;
+  }
+  return out;
+}
+
+/// Same seed, sequential vs 4-thread parallel engine: the event log and the
+/// rendered report stream must match byte-for-byte.
+bool par_equivalent() {
+  auto run = [](int threads) {
+    int_tel::IntGrayScenarioConfig cfg;
+    cfg.leaves = kLeaves;
+    cfg.spines = kSpines;
+    cfg.seed = 5;
+    cfg.threads = threads;
+    int_tel::IntGrayFabricScenario scenario(cfg);
+    const auto res = scenario.run();
+    std::string sig;
+    for (const auto& e : res.events) {
+      sig += e;
+      sig += '\n';
+    }
+    std::size_t cursor = 0;
+    for (const auto* rep : scenario.int_fabric().collector().poll(cursor)) {
+      sig += rep->render();
+      sig += '\n';
+    }
+    return sig;
+  };
+  return run(1) == run(4);
+}
+
+std::string rate(int n, int of) {
+  return bench::fmt(static_cast<double>(n) / of, 2);
+}
+
+void emit_scheme(bench::Report& report, const std::string& key,
+                 const SchemeStats& s) {
+  report.set(key + ".detect_rate", static_cast<double>(s.detected) / kTrials);
+  report.set(key + ".detect_mean_us",
+             s.detected > 0 ? s.detect_us.mean() : -1.0);
+  report.set(key + ".restore_rate", static_cast<double>(s.restored) / kTrials);
+  report.set(key + ".restore_mean_us",
+             s.restored > 0 ? s.restore_us.mean() : -1.0);
+  report.set(key + ".overhead_bytes", static_cast<double>(s.overhead_bytes));
+  report.set(key + ".overhead_bytes_per_delivered_pkt",
+             s.delivered > 0 ? static_cast<double>(s.overhead_bytes) /
+                                   static_cast<double>(s.delivered)
+                             : -1.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Report report("int_vs_heartbeat", argc, argv);
+  report.params().set("fabric", "leaf_spine_3x2");
+  report.params().set("trials", std::int64_t{kTrials});
+
+  for (const double loss : {1.0, 0.35}) {
+    // Partial loss can fake a short consecutive-delivery run
+    // (0.65^4 ~= 18%), so restoration demands a longer run there.
+    const int restore_k = loss >= 1.0 ? 4 : 12;
+    const auto hb = run_heartbeat(loss, restore_k);
+    const auto in = run_int(loss, restore_k);
+
+    bench::print_header("gray loss " + bench::fmt(loss, 2) +
+                        " on the sender's first-hop link (3x2 fabric, " +
+                        std::to_string(kTrials) + " trials)");
+    bench::print_row({"scheme", "detect", "latency_us", "localized",
+                      "restored", "restore_us", "ovh_B/pkt"},
+                     12);
+    bench::print_row(
+        {"heartbeat", rate(hb.detected, kTrials),
+         hb.detected > 0 ? bench::fmt(hb.detect_us.mean(), 1) : "-",
+         "port-only", rate(hb.restored, kTrials),
+         hb.restored > 0 ? bench::fmt(hb.restore_us.mean(), 1) : "-",
+         bench::fmt(static_cast<double>(hb.overhead_bytes) /
+                        std::max<std::uint64_t>(1, hb.delivered),
+                    1)},
+        12);
+    bench::print_row(
+        {"int", rate(in.detected, kTrials),
+         in.detected > 0 ? bench::fmt(in.detect_us.mean(), 1) : "-",
+         rate(in.localized_correct, kTrials), rate(in.restored, kTrials),
+         in.restored > 0 ? bench::fmt(in.restore_us.mean(), 1) : "-",
+         bench::fmt(static_cast<double>(in.overhead_bytes) /
+                        std::max<std::uint64_t>(1, in.delivered),
+                    1)},
+        12);
+
+    const std::string key = "loss" + bench::fmt(loss, 2);
+    emit_scheme(report, key + ".hb", hb);
+    emit_scheme(report, key + ".int", in);
+    report.set(key + ".int.localized_correct_rate",
+               static_cast<double>(in.localized_correct) / kTrials);
+    report.set(key + ".int.probe_bytes", static_cast<double>(in.probe_bytes));
+    report.set(key + ".int.stack_bytes", static_cast<double>(in.stack_bytes));
+  }
+
+  const bool equiv = par_equivalent();
+  bench::print_header("determinism");
+  std::printf("sequential vs 4-thread parallel, same seed: %s\n",
+              equiv ? "byte-identical" : "DIVERGED");
+  report.set("int.par_equiv_ok", equiv ? 1.0 : 0.0);
+
+  report.write();
+  return equiv ? 0 : 1;
+}

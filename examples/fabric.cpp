@@ -7,14 +7,17 @@
 //
 //   $ ./example_fabric
 //   $ ./example_fabric --seed 7 --metrics m.json --trace t.json --mfr f.mfr
+//   $ ./example_fabric --int 4        # INT on ~1/4 of data flows
 //
 // Deterministic: the same seed reproduces the event log and metrics
 // byte-for-byte. Exits nonzero if delivery never restores (smoke check).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "int/int_fabric.hpp"
 #include "net/scenarios.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -38,6 +41,11 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--threads") == 0) {
       cfg.threads = static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
+    }
+    if (std::strcmp(argv[i], "--int") == 0) {
+      cfg.int_enable = true;
+      cfg.int_sample_every = static_cast<std::uint32_t>(
+          std::max(1L, std::strtol(argv[i + 1], nullptr, 10)));
     }
   }
 
@@ -68,6 +76,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(res.delivered),
               static_cast<unsigned long long>(res.sent),
               static_cast<unsigned long long>(res.delivered_before_fault));
+
+  if (scenario.int_fabric() != nullptr) {
+    std::printf("\n--- INT sink summary (1/%u of flows) ---\n%s",
+                cfg.int_sample_every,
+                scenario.int_fabric()->summary().c_str());
+  }
 
   // The degraded link's data direction drains once the reroute lands (only
   // the residual heartbeats remain on it).

@@ -8,13 +8,16 @@
 //
 //   $ ./example_fabric_ecmp
 //   $ ./example_fabric_ecmp --seed 7 --metrics m.json
+//   $ ./example_fabric_ecmp --int 2   # INT on ~1/2 of the NAT'd flows
 //
 // Exits nonzero if the fabric never rebalances (smoke check).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "int/int_fabric.hpp"
 #include "net/scenarios.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -34,6 +37,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       cfg.threads = std::atoi(argv[i + 1]);
     }
+    if (std::strcmp(argv[i], "--int") == 0) {
+      cfg.int_enable = true;
+      cfg.int_sample_every =
+          static_cast<std::uint32_t>(std::max(1, std::atoi(argv[i + 1])));
+    }
   }
 
   net::EcmpFabricScenario scenario(cfg);
@@ -52,6 +60,12 @@ int main(int argc, char** argv) {
   std::printf("delivered %llu/%llu packets\n",
               static_cast<unsigned long long>(res.delivered),
               static_cast<unsigned long long>(res.sent));
+
+  if (scenario.int_fabric() != nullptr) {
+    std::printf("\n--- INT sink summary (1/%u of flows) ---\n%s",
+                cfg.int_sample_every,
+                scenario.int_fabric()->summary().c_str());
+  }
 
   if (!metrics_path.empty()) {
     telemetry::ReportParams params;

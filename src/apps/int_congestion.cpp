@@ -1,0 +1,78 @@
+#include "apps/int_congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mantis::apps {
+
+void int_congestion_step(IntCongestionState& st, Time now) {
+  expects(st.cfg.target_queue_bytes > 0,
+          "int_congestion_step: target must be positive");
+  if (st.collector == nullptr) return;
+
+  // Per-poll maxima: deepest queue overall and per transit switch.
+  std::uint32_t max_q = 0;
+  std::map<std::uint32_t, std::uint32_t> poll_q;
+  std::size_t fresh = 0;
+  for (const auto* rep : st.collector->poll(st.cursor)) {
+    ++fresh;
+    for (const auto& hop : rep->hops) {
+      if (hop.ingress_port == int_tel::kSyntheticIngress) continue;
+      max_q = std::max(max_q, hop.queue_bytes);
+      auto& q = poll_q[hop.switch_id];
+      q = std::max(q, hop.queue_bytes);
+    }
+  }
+  if (fresh == 0) return;  // no telemetry, no reaction
+  st.switch_queue = poll_q;
+
+  // Pacing: HPCC-style multiplicative decrease proportional to overshoot,
+  // additive increase when all hops are under target.
+  const double target = static_cast<double>(st.cfg.target_queue_bytes);
+  const double before = st.rate;
+  if (max_q > st.cfg.target_queue_bytes) {
+    st.rate = std::max(st.cfg.min_rate,
+                       st.rate * (target / static_cast<double>(max_q)));
+    ++st.decreases;
+  } else if (st.rate < 1.0) {
+    st.rate = std::min(1.0, st.rate + st.cfg.additive_step);
+    ++st.increases;
+  }
+  if (std::abs(st.rate - before) >= st.cfg.publish_delta && st.on_pace) {
+    st.on_pace(st.rate, now);
+  }
+
+  // ECMP weights: inverse-proportional to each transit switch's queue
+  // (1 at empty, 1/2 at target, -> 0 as the queue grows), normalized.
+  if (poll_q.size() < 2) return;
+  std::map<std::uint32_t, double> w;
+  double total = 0.0;
+  for (const auto& [sw, q] : poll_q) {
+    const double v = 1.0 / (1.0 + static_cast<double>(q) / target);
+    w[sw] = v;
+    total += v;
+  }
+  for (auto& [sw, v] : w) v /= total;
+  double moved = 0.0;
+  for (const auto& [sw, v] : w) {
+    const auto old = st.weights.find(sw);
+    moved = std::max(
+        moved, std::abs(v - (old == st.weights.end() ? 0.0 : old->second)));
+  }
+  if (moved >= st.cfg.publish_delta) {
+    st.weights = w;
+    if (st.on_weights) st.on_weights(st.weights, now);
+  }
+}
+
+agent::Agent::NativeFn make_int_congestion_reaction(
+    std::shared_ptr<IntCongestionState> state) {
+  expects(state != nullptr, "make_int_congestion_reaction: null state");
+  return [state](agent::ReactionContext& ctx) {
+    int_congestion_step(*state, ctx.now());
+  };
+}
+
+}  // namespace mantis::apps

@@ -1,0 +1,64 @@
+// INT-driven congestion reaction (HPCC-flavoured, per Li et al. SIGCOMM'19
+// adapted to the Mantis dialogue model): an analyzer agent polls the INT
+// sink report stream and reacts to *per-hop queue depth* — the signal only
+// in-band telemetry can deliver at this granularity.
+//
+//   * pacing: when the deepest queue along any reported path exceeds the
+//     target, the sender rate is multiplicatively decreased in proportion
+//     to the overshoot (HPCC's multiplicative part); when every hop is
+//     under target, the rate recovers by an additive step,
+//   * ECMP weights: per-transit-switch queue maxima become inverse-
+//     proportional path weights, steering load off hot spines.
+//
+// The reaction publishes through callbacks (on_pace / on_weights) because
+// pacing lives at the host in this fabric model; scenarios wire on_pace to
+// the sender's period and on_weights wherever the ECMP selector lives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "int/collector.hpp"
+
+namespace mantis::apps {
+
+struct IntCongestionConfig {
+  std::uint32_t target_queue_bytes = 8 * 1024;  ///< HPCC's T: headroom knob
+  double min_rate = 0.05;       ///< normalized pacing floor
+  double additive_step = 0.05;  ///< recovery per uncongested poll
+  /// on_pace / on_weights fire only when the value moved at least this much
+  /// (hysteresis; keeps the dialogue from thrashing the sender).
+  double publish_delta = 0.01;
+};
+
+struct IntCongestionState {
+  IntCongestionConfig cfg;
+  int_tel::IntCollector* collector = nullptr;
+
+  std::size_t cursor = 0;
+  double rate = 1.0;  ///< normalized sending rate in [min_rate, 1]
+  /// Deepest queue seen per transit switch over the reaction's lifetime
+  /// window (reset each poll), and the derived, published weights.
+  std::map<std::uint32_t, std::uint32_t> switch_queue;
+  std::map<std::uint32_t, double> weights;
+  std::uint64_t decreases = 0;
+  std::uint64_t increases = 0;
+
+  std::function<void(double, Time)> on_pace;
+  std::function<void(const std::map<std::uint32_t, double>&, Time)> on_weights;
+};
+
+/// One control step: drains the collector cursor, updates rate/weights,
+/// fires the callbacks. Exposed separately so the policy is testable
+/// without an agent; the reaction below is a thin wrapper.
+void int_congestion_step(IntCongestionState& st, Time now);
+
+/// The analyzer reaction: install on one agent; other switches need none.
+agent::Agent::NativeFn make_int_congestion_reaction(
+    std::shared_ptr<IntCongestionState> state);
+
+}  // namespace mantis::apps

@@ -1,0 +1,186 @@
+#include "apps/int_gray_localization.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.hpp"
+
+namespace mantis::apps {
+
+namespace {
+
+std::pair<int, int> canonical_link(int a, int b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/// A probe report's path key, or nullopt for non-probe reports.
+std::optional<std::array<int, 3>> probe_path_of(const int_tel::IntReport& r) {
+  if (r.proto != 254 || r.hops.size() < 3) return std::nullopt;
+  if (r.hops.front().ingress_port != int_tel::kSyntheticIngress) {
+    return std::nullopt;
+  }
+  return std::array<int, 3>{static_cast<int>(r.hops[0].switch_id),
+                            static_cast<int>(r.hops[1].switch_id),
+                            static_cast<int>(r.hops.back().switch_id)};
+}
+
+void run_tomography(IntGrayState& st, agent::ReactionContext& ctx) {
+  for (const auto* rep : st.collector->poll(st.cursor)) {
+    const auto key = probe_path_of(*rep);
+    if (!key.has_value()) continue;
+    auto& ps = st.path_stats[*key];
+    if (ps.last_seq >= 0 && static_cast<std::int64_t>(rep->seq) > ps.last_seq) {
+      ps.missed += static_cast<std::uint64_t>(rep->seq) -
+                   static_cast<std::uint64_t>(ps.last_seq) - 1;
+    }
+    ps.last_seq = rep->seq;
+    ++ps.received;
+  }
+
+  if (st.window_start < 0) {
+    st.window_start = ctx.now();
+    return;
+  }
+  const Duration window =
+      static_cast<Duration>(st.cfg.min_probes) * st.cfg.probe_period;
+  const Duration elapsed = ctx.now() - st.window_start;
+  if (elapsed < window) return;
+
+  // Pooled per-link loss: every path's (missed, received) counts toward both
+  // of its links; a silent path (no report all window) is charged its
+  // expected probe count as missed. Pooling beats binary path voting under
+  // *partial* loss, where per-path samples are too noisy to threshold.
+  std::map<std::pair<int, int>, std::pair<std::uint64_t, std::uint64_t>>
+      link_mr;  // link -> (missed, received)
+  for (const auto& path : st.paths) {
+    const auto l1 = canonical_link(path.src, path.via);
+    const auto l2 = canonical_link(path.via, path.dst);
+    const std::array<int, 3> key{path.src, path.via, path.dst};
+    auto& ps = st.path_stats[key];
+    std::uint64_t missed = ps.missed;
+    std::uint64_t received = ps.received;
+    ps.missed = 0;
+    ps.received = 0;
+    // Paths crossing an already-localized link are explained; counting them
+    // would keep indicting the down link's healthy neighbours.
+    if (st.down_links.count(l1) != 0 || st.down_links.count(l2) != 0) {
+      continue;
+    }
+    if (received == 0) {
+      missed = static_cast<std::uint64_t>(elapsed / st.cfg.probe_period);
+    }
+    link_mr[l1].first += missed;
+    link_mr[l1].second += received;
+    link_mr[l2].first += missed;
+    link_mr[l2].second += received;
+  }
+
+  // Single-culprit election (single-fault-at-a-time bias, like binary
+  // tomography): only the lossiest link accrues streak; a fault elsewhere
+  // becomes visible once this one is localized and its paths excluded.
+  std::pair<int, int> worst{-1, -1};
+  double worst_loss = 0.0;
+  for (const auto& [link, mr] : link_mr) {
+    const std::uint64_t total = mr.first + mr.second;
+    if (total == 0) continue;
+    const double loss =
+        static_cast<double>(mr.first) / static_cast<double>(total);
+    if (loss > worst_loss) {
+      worst_loss = loss;
+      worst = link;
+    }
+  }
+  const bool indicted = worst.first >= 0 && worst_loss >= st.cfg.loss_threshold;
+  for (auto& [link, streak] : st.suspect_streak) {
+    if (!indicted || link != worst) streak = 0;
+  }
+  if (indicted) {
+    auto& streak = st.suspect_streak[worst];
+    ++streak;
+    if (streak >= st.cfg.consecutive_required &&
+        st.down_links.count(worst) == 0) {
+      st.down_links.insert(worst);
+      st.suspect_streak.clear();
+      ++st.epoch;
+      if (st.on_localize) st.on_localize(worst.first, worst.second, ctx.now());
+    }
+  }
+  st.window_start = ctx.now();
+}
+
+}  // namespace
+
+std::vector<bool> IntGrayState::port_down_for(net::NodeId self) const {
+  std::vector<bool> down;
+  for (const auto& link : down_links) {
+    net::NodeId peer = -1;
+    if (link.first == self) {
+      peer = link.second;
+    } else if (link.second == self) {
+      peer = link.first;
+    } else {
+      continue;
+    }
+    const int li = topo.link_between(self, peer);
+    if (li < 0) continue;
+    const auto& l = topo.links[static_cast<std::size_t>(li)];
+    const int port = l.a == self ? l.port_a : l.port_b;
+    if (static_cast<std::size_t>(port) >= down.size()) {
+      down.resize(static_cast<std::size_t>(port) + 1, false);
+    }
+    down[static_cast<std::size_t>(port)] = true;
+  }
+  return down;
+}
+
+void IntGrayState::install_initial_routes(net::NodeId self,
+                                          agent::ReactionContext& ctx) {
+  auto& rs = routes[self];
+  const auto computed = topo.compute_routes_from(self, {});
+  for (const auto& [addr, port] : computed) {
+    expects(port >= 0, "IntGrayState: unreachable destination");
+    p4::EntrySpec spec;
+    spec.key.push_back(p4::MatchValue{addr, ~std::uint64_t{0}});
+    spec.action = "set_egress";
+    spec.action_args = {static_cast<std::uint64_t>(port)};
+    rs.ids[addr] = ctx.add_entry("route", spec);
+    rs.current_port[addr] = port;
+  }
+}
+
+agent::Agent::NativeFn make_int_gray_reaction(
+    std::shared_ptr<IntGrayState> state, net::NodeId self) {
+  expects(state != nullptr, "make_int_gray_reaction: null state");
+  return [state, self](agent::ReactionContext& ctx) {
+    auto& st = *state;
+    if (self == st.analyzer_node && st.collector != nullptr) {
+      run_tomography(st, ctx);
+    }
+
+    // Route sync: any instance whose mirror lags the localization epoch
+    // recomputes around the down links (its own attached ports only; every
+    // endpoint switch of a down link steers off it, which reroutes the
+    // fabric hop-by-hop).
+    auto& rs = st.routes[self];
+    if (rs.epoch_seen == st.epoch) return;
+    rs.epoch_seen = st.epoch;
+    const auto computed =
+        st.topo.compute_routes_from(self, st.port_down_for(self));
+    bool changed = false;
+    for (const auto& [addr, port] : computed) {
+      auto cur = rs.current_port.find(addr);
+      if (cur == rs.current_port.end() || cur->second == port) continue;
+      if (port < 0) {
+        ctx.mod_entry("route", rs.ids.at(addr), "_drop", {});
+      } else {
+        ctx.mod_entry("route", rs.ids.at(addr), "set_egress",
+                      {static_cast<std::uint64_t>(port)});
+      }
+      cur->second = port;
+      changed = true;
+    }
+    if (changed && st.on_routes_installed) st.on_routes_installed(self, ctx.now());
+  };
+}
+
+}  // namespace mantis::apps

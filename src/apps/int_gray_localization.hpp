@@ -1,0 +1,88 @@
+// INT-driven gray-failure *localization* (the INT counterpart of the
+// heartbeat detector in apps/gray_failure.hpp).
+//
+// The probe mesh (int/int_fabric.hpp) covers every leaf-spine-leaf path
+// with per-path sequence numbers; an analyzer reaction polls the sink
+// report stream and runs NetBouncer-style loss tomography per window:
+//
+//   * a path's loss is measured exactly from its seq gaps (a silent path —
+//     zero reports over a full window — counts as loss 1.0),
+//   * every link on a lossy path becomes *suspect*; every link on a healthy
+//     path is *exonerated*,
+//   * links suspect and never exonerated for `consecutive_required` windows
+//     are declared down — the *specific link*, not just "some path is bad",
+//     which is what a heartbeat detector cannot give a remote observer.
+//
+// Localized links feed a shared down-link set; every switch's reaction
+// (same state object, per-switch route mirrors) recomputes its routes when
+// the set changes, steering traffic around the faulted link fabric-wide.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "int/collector.hpp"
+#include "int/int_fabric.hpp"
+#include "net/topology.hpp"
+
+namespace mantis::apps {
+
+struct IntGrayConfig {
+  Duration probe_period = 2 * kMicrosecond;  ///< must match the probe mesh
+  int min_probes = 4;            ///< probes per path per evaluation window
+  double loss_threshold = 0.2;   ///< path loss rate declaring it lossy
+  int consecutive_required = 2;  ///< windows a link must stay un-exonerated
+};
+
+/// Shared across every switch's agent: tomography state is only touched by
+/// the analyzer's reaction, route mirrors are per-switch, and dialogue
+/// iterations serialize on the harness thread, so no locking is needed.
+struct IntGrayState {
+  IntGrayConfig cfg;
+  net::Topology topo;
+  int_tel::IntCollector* collector = nullptr;
+  std::vector<int_tel::ProbePath> paths;  ///< from IntFabric::probe_paths()
+  net::NodeId analyzer_node = 0;
+
+  // ---- tomography (analyzer only) ----
+  std::size_t cursor = 0;
+  struct PathStat {
+    std::int64_t last_seq = -1;   ///< persists across windows
+    std::uint64_t received = 0;   ///< this window
+    std::uint64_t missed = 0;     ///< seq gaps observed this window
+  };
+  std::map<std::array<int, 3>, PathStat> path_stats;
+  Time window_start = -1;
+  std::map<std::pair<int, int>, int> suspect_streak;
+  std::set<std::pair<int, int>> down_links;
+  std::uint64_t epoch = 0;  ///< bumped per localization; route sync trigger
+
+  // ---- per-switch route mirrors ----
+  struct RouteState {
+    std::map<std::uint32_t, agent::UserEntryId> ids;
+    std::map<std::uint32_t, int> current_port;
+    std::uint64_t epoch_seen = 0;
+  };
+  std::map<net::NodeId, RouteState> routes;
+
+  std::function<void(int, int, Time)> on_localize;  ///< link (a, b) declared
+  std::function<void(net::NodeId, Time)> on_routes_installed;
+
+  /// Prologue helper for switch `self`: installs its initial routes.
+  void install_initial_routes(net::NodeId self, agent::ReactionContext& ctx);
+  /// `self`'s port-down vector implied by the current down-link set.
+  std::vector<bool> port_down_for(net::NodeId self) const;
+};
+
+/// The reaction for switch `self`: the analyzer's instance runs tomography,
+/// every instance keeps its own routes in sync with the down-link set.
+agent::Agent::NativeFn make_int_gray_reaction(
+    std::shared_ptr<IntGrayState> state, net::NodeId self);
+
+}  // namespace mantis::apps

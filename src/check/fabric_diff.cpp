@@ -1,10 +1,12 @@
 #include "check/fabric_diff.hpp"
 
+#include <memory>
 #include <sstream>
 #include <utility>
 
 #include "apps/gray_failure.hpp"
 #include "compile/compiler.hpp"
+#include "int/int_fabric.hpp"
 #include "net/engine.hpp"
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
@@ -22,6 +24,7 @@ struct Signature {
   std::string fault_log;
   std::string link_stats;
   std::string mfr;
+  std::string int_stream;  ///< rendered sink reports, collector order
 };
 
 std::string link_stats_text(net::Fabric& fabric) {
@@ -32,7 +35,8 @@ std::string link_stats_text(net::Fabric& fabric) {
       const auto& s = l.dir_stats(dir);
       os << l.name() << (dir == 0 ? " ab " : " ba ") << s.tx_pkts << ' '
          << s.tx_bytes << ' ' << s.delivered_pkts << ' ' << s.dropped_pkts
-         << ' ' << s.busy_ns << '\n';
+         << ' ' << s.busy_ns << ' ' << s.int_pkts << ' ' << s.int_bytes
+         << '\n';
     }
   }
   os << "host_tx=" << fabric.stats().host_tx_pkts.load()
@@ -68,6 +72,14 @@ Signature run_one(const FabricScenarioSpec& spec, const p4::Program& prog,
     fabric.start_periodic(l.b, l.a, spec.period_ba, spec.horizon, make);
   }
 
+  std::unique_ptr<int_tel::IntFabric> int_fabric;
+  if (spec.int_enabled) {
+    int_fabric = std::make_unique<int_tel::IntFabric>(fabric);
+    if (spec.int_probe_period > 0) {
+      int_fabric->start_probes(spec.int_probe_period, spec.horizon);
+    }
+  }
+
   net::FaultInjector inj(fabric);
   for (const auto& f : spec.faults) {
     net::FaultSpec fs;
@@ -100,6 +112,13 @@ Signature run_one(const FabricScenarioSpec& spec, const p4::Program& prog,
   sig.fault_log = std::move(log);
   sig.link_stats = link_stats_text(fabric);
   sig.mfr = loop.telemetry().recorder().dump_text(loop.now(), "fabric-diff");
+  if (int_fabric) {
+    std::size_t cursor = 0;
+    for (const auto* rep : int_fabric->collector().poll(cursor)) {
+      sig.int_stream += rep->render();
+      sig.int_stream += '\n';
+    }
+  }
   return sig;
 }
 
@@ -134,6 +153,7 @@ std::string FabricScenarioSpec::summary() const {
      << " periods=" << period_ab << "/" << period_ba
      << " faults=" << faults.size() << " horizon=" << horizon
      << " threads=" << threads;
+  if (int_enabled) os << " int_probe=" << int_probe_period;
   return os.str();
 }
 
@@ -158,6 +178,11 @@ FabricScenarioSpec generate_fabric_scenario(std::uint64_t seed) {
       static_cast<Time>(rng.uniform_range(20, 60)) * kMicrosecond;
   spec.threads = static_cast<int>(std::uint64_t{2}
                                   << rng.uniform_range(0, 2));  // 2/4/8
+  if (rng.chance(0.4)) {
+    spec.int_enabled = true;
+    spec.int_probe_period =
+        static_cast<Duration>(rng.uniform_range(500, 3000));
+  }
 
   const int num_links =
       spec.topo == FabricScenarioSpec::Topo::kLeafSpine
@@ -206,6 +231,7 @@ FabricDiffResult run_fabric_diff(const FabricScenarioSpec& spec,
   check("fault-log", seq.fault_log, par.fault_log);
   check("link-stats", seq.link_stats, par.link_stats);
   check("flight-recorder", seq.mfr, par.mfr);
+  check("int-reports", seq.int_stream, par.int_stream);
 
   if (metrics != nullptr) {
     metrics->counter("check.fabric.runs").add();

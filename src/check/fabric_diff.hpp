@@ -51,6 +51,12 @@ struct FabricScenarioSpec {
   };
   std::vector<Fault> faults;
 
+  /// Attach the INT subsystem (stamp/strip on every switch, sink exports
+  /// into the shared collector) and, when probe_period > 0, the injected
+  /// probe mesh — its report stream joins the diffed surfaces.
+  bool int_enabled = false;
+  Duration int_probe_period = 0;
+
   Time horizon = 50 * kMicrosecond;
   int threads = 4;  ///< parallel run's worker count
 

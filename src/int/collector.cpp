@@ -1,0 +1,130 @@
+#include "int/collector.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "telemetry/shard_lane.hpp"
+
+namespace mantis::int_tel {
+
+namespace {
+
+/// Parses "<key>=" prefixed u64; returns false on mismatch.
+bool take_u64(std::istringstream& in, const char* key, std::uint64_t& out) {
+  std::string tok;
+  if (!(in >> tok)) return false;
+  const std::string prefix = std::string(key) + "=";
+  if (tok.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  out = std::strtoull(tok.c_str() + prefix.size(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::string IntReport::render() const {
+  std::ostringstream out;
+  out << "sink=" << sink << " seq=" << seq
+      << " proto=" << static_cast<unsigned>(proto)
+      << " trunc=" << (truncated ? 1 : 0) << " src=" << flow_src
+      << " dst=" << flow_dst << " hops=";
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const auto& h = hops[i];
+    if (i != 0) out << "/";
+    out << h.switch_id << ":" << h.hop_latency_ns << ":" << h.queue_bytes
+        << ":" << h.egress_port << ":" << h.ingress_port;
+  }
+  return out.str();
+}
+
+bool IntReport::parse(const std::string& line, IntReport& out) {
+  std::istringstream in(line);
+  std::uint64_t v = 0;
+  if (!take_u64(in, "sink", v)) return false;
+  out.sink = static_cast<std::uint32_t>(v);
+  if (!take_u64(in, "seq", v)) return false;
+  out.seq = static_cast<std::uint32_t>(v);
+  if (!take_u64(in, "proto", v)) return false;
+  out.proto = static_cast<std::uint8_t>(v);
+  if (!take_u64(in, "trunc", v)) return false;
+  out.truncated = v != 0;
+  if (!take_u64(in, "src", v)) return false;
+  out.flow_src = static_cast<std::uint32_t>(v);
+  if (!take_u64(in, "dst", v)) return false;
+  out.flow_dst = static_cast<std::uint32_t>(v);
+  std::string tok;
+  if (!(in >> tok) || tok.rfind("hops=", 0) != 0) return false;
+  out.hops.clear();
+  std::string rest = tok.substr(5);
+  std::istringstream hs(rest);
+  std::string rec;
+  while (std::getline(hs, rec, '/')) {
+    IntHop hop;
+    unsigned lat = 0, q = 0, eg = 0, ing = 0, sw = 0;
+    if (std::sscanf(rec.c_str(), "%u:%u:%u:%u:%u", &sw, &lat, &q, &eg,
+                    &ing) != 5) {
+      return false;
+    }
+    hop.switch_id = sw;
+    hop.hop_latency_ns = lat;
+    hop.queue_bytes = q;
+    hop.egress_port = static_cast<std::uint16_t>(eg);
+    hop.ingress_port = static_cast<std::uint16_t>(ing);
+    out.hops.push_back(hop);
+  }
+  return true;
+}
+
+void IntCollector::export_report(IntReport r) {
+  // Shard context: defer so stream order matches the canonical event order
+  // a sequential run would produce (same contract as FlightRecorder).
+  if (telemetry::ShardLane* lane = telemetry::ShardLane::current()) {
+    lane->defer([this, r = std::move(r)]() mutable { append(std::move(r)); });
+    return;
+  }
+  append(std::move(r));
+}
+
+void IntCollector::append(IntReport r) {
+  ++per_sink_[r.sink];
+  ++hop_count_dist_[r.hops.size()];
+  if (r.truncated) ++truncated_;
+  for (const auto& h : r.hops) {
+    max_queue_bytes_ = std::max(max_queue_bytes_, h.queue_bytes);
+    if (h.ingress_port != kSyntheticIngress) {
+      max_hop_latency_ = std::max(max_hop_latency_, h.hop_latency_ns);
+    }
+  }
+  stream_.push_back(std::move(r));
+}
+
+std::vector<const IntReport*> IntCollector::poll(std::size_t& cursor) const {
+  std::vector<const IntReport*> out;
+  for (; cursor < stream_.size(); ++cursor) {
+    out.push_back(&stream_[cursor]);
+  }
+  return out;
+}
+
+std::uint64_t IntCollector::reports_from(std::uint32_t sink) const {
+  const auto it = per_sink_.find(sink);
+  return it == per_sink_.end() ? 0 : it->second;
+}
+
+std::string IntCollector::summary() const {
+  std::ostringstream out;
+  out << "int reports: " << stream_.size() << " (truncated " << truncated_
+      << ")\n";
+  for (const auto& [sink, n] : per_sink_) {
+    out << "  sink n" << sink << ": " << n << " reports\n";
+  }
+  for (const auto& [hops, n] : hop_count_dist_) {
+    out << "  " << hops << "-hop: " << n << "\n";
+  }
+  out << "  max queue_bytes " << max_queue_bytes_ << ", max hop latency "
+      << max_hop_latency_ << "ns\n";
+  return out.str();
+}
+
+}  // namespace mantis::int_tel

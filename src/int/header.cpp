@@ -1,0 +1,112 @@
+#include "int/header.hpp"
+
+#include "util/check.hpp"
+
+namespace mantis::int_tel {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+void append_hop(std::vector<std::uint8_t>& out, const IntHop& hop) {
+  put_u32(out, hop.switch_id);
+  put_u32(out, hop.hop_latency_ns);
+  put_u32(out, hop.queue_bytes);
+  put_u16(out, hop.egress_port);
+  put_u16(out, hop.ingress_port);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const IntHeader& h) {
+  expects(h.hop_count == h.hops.size(), "int_tel::encode: hop_count mismatch");
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + h.hops.size() * kHopBytes);
+  out.push_back(kMagic);
+  out.push_back(static_cast<std::uint8_t>((h.version << 4) |
+                                          (h.truncated ? 1 : 0)));
+  out.push_back(h.max_hops);
+  out.push_back(h.hop_count);
+  put_u32(out, h.seq);
+  for (const auto& hop : h.hops) append_hop(out, hop);
+  return out;
+}
+
+std::optional<IntHeader> decode(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kHeaderBytes || bytes[0] != kMagic) return std::nullopt;
+  IntHeader h;
+  h.version = static_cast<std::uint8_t>(bytes[1] >> 4);
+  h.truncated = (bytes[1] & 1) != 0;
+  if (h.version != kVersion) return std::nullopt;
+  h.max_hops = bytes[2];
+  h.hop_count = bytes[3];
+  h.seq = get_u32(bytes.data() + 4);
+  if (bytes.size() != kHeaderBytes + h.hop_count * kHopBytes) {
+    return std::nullopt;
+  }
+  h.hops.reserve(h.hop_count);
+  for (std::size_t i = 0; i < h.hop_count; ++i) {
+    const std::uint8_t* p = bytes.data() + kHeaderBytes + i * kHopBytes;
+    IntHop hop;
+    hop.switch_id = get_u32(p);
+    hop.hop_latency_ns = get_u32(p + 4);
+    hop.queue_bytes = get_u32(p + 8);
+    hop.egress_port = get_u16(p + 12);
+    hop.ingress_port = get_u16(p + 14);
+    h.hops.push_back(hop);
+  }
+  return h;
+}
+
+bool has_int(const sim::Packet& pkt) {
+  const auto& stack = pkt.header_stack();
+  return stack.size() >= kHeaderBytes && stack[0] == kMagic;
+}
+
+void push_int(sim::Packet& pkt, std::uint32_t seq, std::uint8_t max_hops) {
+  expects(!pkt.has_header_stack(), "push_int: packet already carries a stack");
+  IntHeader h;
+  h.max_hops = max_hops;
+  h.seq = seq;
+  const auto bytes = encode(h);
+  pkt.grow_header_stack(bytes.data(), bytes.size());
+}
+
+bool stamp_hop(sim::Packet& pkt, const IntHop& hop) {
+  auto& stack = pkt.mutable_header_stack();
+  expects(stack.size() >= kHeaderBytes && stack[0] == kMagic,
+          "stamp_hop: packet carries no INT shim");
+  const std::uint8_t max_hops = stack[2];
+  if (stack[3] >= max_hops) {
+    stack[1] |= 1;  // truncated: record the budget overrun, stamp nothing
+    return false;
+  }
+  ++stack[3];
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kHopBytes);
+  append_hop(rec, hop);
+  pkt.grow_header_stack(rec.data(), rec.size());
+  return true;
+}
+
+}  // namespace mantis::int_tel

@@ -1,0 +1,86 @@
+// In-band network telemetry (INT) wire format.
+//
+// An INT source pushes a fixed 8-byte shim between the L2/L3 headers and the
+// payload (carried by sim::Packet's header stack, so the bytes occupy real
+// wire/queue capacity); every hop — source, transit, sink — appends one
+// 16-byte hop record at egress; the sink strips the whole stack and exports
+// it as a structured report (int/collector.hpp). All integers big-endian.
+//
+//   header:  [0]   magic        0xB7
+//            [1]   ver_flags    version<<4 | flags (bit0 = truncated)
+//            [2]   max_hops     stamp budget; hops beyond it set `truncated`
+//            [3]   hop_count    records currently on the stack
+//            [4:8] seq          source-assigned sequence number
+//   hop:     [0:4]   switch_id      stamping switch's node id
+//            [4:8]   hop_latency_ns ingress-arrival -> egress-exit, this hop
+//            [8:12]  queue_bytes    TM occupancy of the egress queue
+//            [12:14] egress_port
+//            [14:16] ingress_port   0xFFFF = synthetic (injected probes)
+//
+// Encode/decode are exact inverses on well-formed stacks (tested byte-for-
+// byte across 1-8 hops), which is what makes the sink's report a faithful
+// record of the path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace mantis::int_tel {
+
+constexpr std::uint8_t kMagic = 0xB7;
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kHopBytes = 16;
+/// ingress_port marker for hop records stamped outside a real pipeline
+/// traversal (the probe mesh pre-stamps its source hop at injection).
+constexpr std::uint16_t kSyntheticIngress = 0xFFFF;
+
+struct IntHop {
+  std::uint32_t switch_id = 0;
+  std::uint32_t hop_latency_ns = 0;
+  std::uint32_t queue_bytes = 0;
+  std::uint16_t egress_port = 0;
+  std::uint16_t ingress_port = 0;
+
+  bool operator==(const IntHop& o) const {
+    return switch_id == o.switch_id && hop_latency_ns == o.hop_latency_ns &&
+           queue_bytes == o.queue_bytes && egress_port == o.egress_port &&
+           ingress_port == o.ingress_port;
+  }
+};
+
+struct IntHeader {
+  std::uint8_t version = kVersion;
+  bool truncated = false;
+  std::uint8_t max_hops = 8;
+  std::uint8_t hop_count = 0;  ///< must equal hops.size() when encoding
+  std::uint32_t seq = 0;
+  std::vector<IntHop> hops;
+};
+
+/// Renders a header + hop records as stack bytes (kHeaderBytes +
+/// hop_count * kHopBytes).
+std::vector<std::uint8_t> encode(const IntHeader& h);
+
+/// Parses stack bytes; nullopt on bad magic / version / length mismatch.
+std::optional<IntHeader> decode(const std::vector<std::uint8_t>& bytes);
+
+/// True when the packet carries a well-magic'd INT stack.
+bool has_int(const sim::Packet& pkt);
+
+/// Source role: pushes an empty INT shim (no hop records yet) onto the
+/// packet, growing its wire length by kHeaderBytes. The packet must not
+/// already carry a stack.
+void push_int(sim::Packet& pkt, std::uint32_t seq, std::uint8_t max_hops);
+
+/// Transit/source/sink stamp: appends `hop` to the packet's stack (growing
+/// the wire length by kHopBytes) and bumps hop_count in place. When the
+/// stack is already at max_hops the record is NOT appended; the truncated
+/// flag is set instead and false is returned — the INT spec's way of
+/// bounding telemetry overhead on long paths.
+bool stamp_hop(sim::Packet& pkt, const IntHop& hop);
+
+}  // namespace mantis::int_tel

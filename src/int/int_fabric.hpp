@@ -1,0 +1,88 @@
+// Fabric-wide INT attachment: derives each switch's role from the topology
+// (host-facing ports make a switch source+sink; every switch is transit),
+// installs one IntProcessor per switch feeding a shared IntCollector, and
+// optionally runs an *INT probe mesh* — periodic proto-254 packets injected
+// on each leaf's uplinks so that every leaf-spine-leaf path is covered even
+// when data traffic polarizes onto one path. Probes carry a pre-stamped
+// synthetic source hop (the injection bypasses the source leaf's pipeline)
+// and a per-path sequence number, which is what the gray-localization app's
+// loss tomography keys on.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "int/collector.hpp"
+#include "int/processor.hpp"
+#include "net/fabric.hpp"
+
+namespace mantis::int_tel {
+
+struct IntFabricConfig {
+  std::uint8_t max_hops = 8;
+  std::uint32_t sample_every = 1;  ///< source flow sampling (1 = all flows)
+  std::uint32_t record_every = 4;  ///< flight-recorder report sampling
+  std::uint32_t probe_bytes = 64;  ///< probe frame size before the INT stack
+};
+
+/// One probe mesh path: injected at `src` onto its uplink to `via`, sunk at
+/// `dst` (all switch node ids).
+struct ProbePath {
+  net::NodeId src = -1;
+  net::NodeId via = -1;
+  net::NodeId dst = -1;
+  bool operator<(const ProbePath& o) const {
+    return std::tie(src, via, dst) < std::tie(o.src, o.via, o.dst);
+  }
+};
+
+class IntFabric {
+ public:
+  /// Attaches processors to every switch of `fabric` (replacing any egress
+  /// hooks) — the fabric must outlive this object.
+  IntFabric(net::Fabric& fabric, IntFabricConfig cfg = {});
+
+  IntCollector& collector() { return collector_; }
+  const IntCollector& collector() const { return collector_; }
+  IntProcessor& processor_at(net::NodeId n);
+  const IntFabricConfig& config() const { return cfg_; }
+
+  /// Starts the probe mesh: for every ordered pair of host-bearing switches
+  /// (a, b) and every two-hop path a -> via -> b, emits one probe per
+  /// `period` until `until`. Paths are enumerated deterministically; call
+  /// before the run starts. Returns the number of paths.
+  std::size_t start_probes(Duration period, Time until);
+
+  /// The enumerated probe paths (valid after start_probes).
+  const std::vector<ProbePath>& probe_paths() const { return paths_; }
+  std::uint64_t probes_sent() const {
+    return probes_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// Total INT stack bytes that crossed any link (the wire-level overhead
+  /// the Link layer accounted), plus the packets that carried them.
+  std::uint64_t stack_wire_bytes() const;
+  std::uint64_t stack_wire_pkts() const;
+
+  /// collector().summary() plus probe + wire-overhead lines.
+  std::string summary() const;
+
+ private:
+  net::Fabric* fabric_;
+  IntFabricConfig cfg_;
+  IntCollector collector_;
+  std::vector<std::unique_ptr<IntProcessor>> processors_;
+  std::vector<ProbePath> paths_;
+  /// Per-path probe seq, pre-populated before the run so concurrent shard
+  /// ticks touch disjoint entries; probes_sent_ is an order-independent sum.
+  std::map<ProbePath, std::uint32_t> probe_seq_;
+  std::atomic<std::uint64_t> probes_sent_{0};
+};
+
+}  // namespace mantis::int_tel

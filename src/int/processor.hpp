@@ -1,0 +1,89 @@
+// Per-switch INT roles, attached to a sim::Switch via its egress hook.
+//
+// Role derivation is positional (int/int_fabric.hpp does it from the
+// topology): a switch with host-facing ports is an INT *source* (pushes the
+// shim on sampled host-originated packets egressing into the fabric) and an
+// INT *sink* (stamps its own hop, strips the stack at host-facing egress,
+// exports a report); every switch is a *transit* (stamps each INT packet it
+// forwards). All stamping happens at dequeue time — after the egress
+// pipeline, before tx accounting — so the telemetry bytes occupy real link
+// capacity downstream.
+//
+// Telemetry lane: the processor feeds `net.int.*` counters/histograms and
+// samples every record_every-th sink report into the flight recorder as a
+// kIntReport event (detail = IntReport::render(), so .mfr dumps carry
+// replayable reports for p4r_inspect).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "int/collector.hpp"
+#include "int/header.hpp"
+#include "sim/switch.hpp"
+
+namespace mantis::int_tel {
+
+struct IntProcessorConfig {
+  std::uint32_t switch_id = 0;  ///< stamped into hop records
+  std::uint8_t max_hops = 8;
+  /// Source sampling: a flow (srcAddr, dstAddr, proto) is INT-enabled when
+  /// hash(flow) % sample_every == 0; 1 = every eligible packet.
+  std::uint32_t sample_every = 1;
+  /// Every Nth sink report also lands in the flight recorder (0 = never);
+  /// keeps the recorder at control-plane rate under heavy INT traffic.
+  std::uint32_t record_every = 4;
+  bool source_enabled = true;  ///< push at host->fabric boundary
+  bool sink_enabled = true;    ///< strip+export at fabric->host boundary
+};
+
+class IntProcessor {
+ public:
+  /// Installs itself as `sw`'s egress hook. `host_ports[p]` marks port p as
+  /// host-facing; `collector` receives this sink's reports (may be null for
+  /// pure-transit switches). The processor must outlive the switch's use of
+  /// the hook.
+  IntProcessor(sim::Switch& sw, IntProcessorConfig cfg,
+               std::vector<bool> host_ports, IntCollector* collector);
+
+  IntProcessor(const IntProcessor&) = delete;
+  IntProcessor& operator=(const IntProcessor&) = delete;
+
+  std::uint64_t source_pkts() const { return source_pkts_; }
+  std::uint64_t transit_stamps() const { return transit_stamps_; }
+  std::uint64_t sink_reports() const { return sink_reports_; }
+  const IntProcessorConfig& config() const { return cfg_; }
+
+ private:
+  void on_egress(sim::Packet& pkt, int port);
+  bool host_facing(int port) const {
+    return port >= 0 && static_cast<std::size_t>(port) < host_ports_.size() &&
+           host_ports_[static_cast<std::size_t>(port)];
+  }
+  bool sampled(std::uint64_t src, std::uint64_t dst, std::uint64_t proto) const;
+  IntHop make_hop(const sim::Packet& pkt, int port) const;
+
+  sim::Switch* sw_;
+  IntProcessorConfig cfg_;
+  std::vector<bool> host_ports_;
+  IntCollector* collector_;
+
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t source_pkts_ = 0;
+  std::uint64_t transit_stamps_ = 0;
+  std::uint64_t sink_reports_ = 0;
+
+  p4::FieldId f_ingress_port_ = p4::kInvalidField;
+  p4::FieldId f_src_ = p4::kInvalidField;
+  p4::FieldId f_dst_ = p4::kInvalidField;
+  p4::FieldId f_proto_ = p4::kInvalidField;
+
+  telemetry::Counter* source_ctr_;
+  telemetry::Counter* transit_ctr_;
+  telemetry::Counter* sink_ctr_;
+  telemetry::Counter* truncated_ctr_;
+  telemetry::Histogram* hop_latency_hist_;
+  telemetry::Histogram* report_hops_hist_;
+};
+
+}  // namespace mantis::int_tel

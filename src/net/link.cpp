@@ -66,6 +66,10 @@ void Link::transmit(NodeId from, sim::Packet pkt) {
   ++dir.stats.tx_pkts;
   dir.stats.tx_bytes += pkt.length_bytes();
   dir.tx_ctr->add();
+  if (pkt.has_header_stack()) {
+    ++dir.stats.int_pkts;
+    dir.stats.int_bytes += pkt.header_stack().size();
+  }
 
   // Gray loss corrupts the frame *after* it occupied the wire (so a lossy
   // link still consumes capacity). The draw happens at transmit time to keep

@@ -86,6 +86,10 @@ class Link {
     /// Cumulative serialization occupancy (ns); the fabric's utilization
     /// gauges are windowed deltas of this.
     std::uint64_t busy_ns = 0;
+    /// In-band telemetry accounting: packets carrying an INT stack and the
+    /// stack bytes they added to this direction's wire occupancy.
+    std::uint64_t int_pkts = 0;
+    std::uint64_t int_bytes = 0;
   };
   const DirStats& dir_stats(int dir) const { return dirs_[check_dir(dir)].stats; }
 

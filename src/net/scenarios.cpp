@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "int/int_fabric.hpp"
 #include "net/engine.hpp"
 #include "util/check.hpp"
 
@@ -153,6 +154,12 @@ GrayFabricScenario::GrayFabricScenario(GrayScenarioConfig cfg)
   fabric_ = std::make_unique<Fabric>(loop_, artifacts_.prog, std::move(topo), fc);
   injector_ = std::make_unique<FaultInjector>(*fabric_);
 
+  if (cfg_.int_enable) {
+    int_tel::IntFabricConfig ic;
+    ic.sample_every = cfg_.int_sample_every;
+    int_fabric_ = std::make_unique<int_tel::IntFabric>(*fabric_, ic);
+  }
+
   HarnessOptions hopts;
   hopts.agent.pacing_sleep = cfg_.pacing;
   harness_ = std::make_unique<FabricAgentHarness>(*fabric_, artifacts_, hopts);
@@ -221,6 +228,8 @@ GrayScenarioResult GrayFabricScenario::run() {
     auto make_hb = [this]() {
       auto pkt = fabric_->factory().make(64);
       fabric_->factory().set(pkt, "ipv4.protocol", 253);
+      hb_sent_.fetch_add(1, std::memory_order_relaxed);
+      hb_bytes_.fetch_add(pkt.length_bytes(), std::memory_order_relaxed);
       return pkt;
     };
     fabric_->start_periodic(l.a, l.b, cfg_.hb_period, cfg_.run_until, make_hb);
@@ -281,6 +290,9 @@ GrayScenarioResult GrayFabricScenario::run() {
   res.sent = tracker->sent_at.size();
   res.delivered = tracker->delivered;
   res.delivered_before_fault = tracker->delivered_before_fault;
+  res.hb_sent = hb_sent_.load(std::memory_order_relaxed);
+  res.hb_bytes = hb_bytes_.load(std::memory_order_relaxed);
+  if (int_fabric_) res.int_reports = int_fabric_->collector().size();
   res.events = merge_events(injector_->log(), events_);
 
   auto& metrics = loop_.telemetry().metrics();
@@ -314,6 +326,12 @@ EcmpFabricScenario::EcmpFabricScenario(EcmpScenarioConfig cfg)
   fc.default_link = cfg_.link;
   fc.base_seed = cfg_.seed;
   fabric_ = std::make_unique<Fabric>(loop_, artifacts_.prog, std::move(topo), fc);
+
+  if (cfg_.int_enable) {
+    int_tel::IntFabricConfig ic;
+    ic.sample_every = cfg_.int_sample_every;
+    int_fabric_ = std::make_unique<int_tel::IntFabric>(*fabric_, ic);
+  }
 
   HarnessOptions hopts;
   hopts.agent.pacing_sleep = cfg_.pacing;
@@ -434,6 +452,7 @@ EcmpScenarioResult EcmpFabricScenario::run() {
   res.shifts = shifts_total_;
   res.sent = *sent;
   res.delivered = *delivered;
+  if (int_fabric_) res.int_reports = int_fabric_->collector().size();
   res.events = events_;
   if (shift_snaps_.empty()) {
     res.share_before = max_share(tx_start, tx_end);

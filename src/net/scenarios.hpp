@@ -20,6 +20,7 @@
 // event logs and metric snapshots.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -31,6 +32,10 @@
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
 #include "net/harness.hpp"
+
+namespace mantis::int_tel {
+class IntFabric;
+}
 
 namespace mantis::net {
 
@@ -75,6 +80,12 @@ struct GrayScenarioConfig {
   /// Delivery counts as restored after this many consecutive post-fault
   /// sequence numbers arrive (robust to gray-loss survivors).
   int restore_consecutive = 4;
+
+  /// Attach the INT subsystem (src/int): leaf switches push INT onto a
+  /// sampled fraction of data flows (~1/int_sample_every) and export sink
+  /// reports. Purely observational here — detection stays heartbeat-based.
+  bool int_enable = false;
+  std::uint32_t int_sample_every = 1;
 };
 
 struct GrayScenarioResult {
@@ -89,6 +100,13 @@ struct GrayScenarioResult {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t delivered_before_fault = 0;
+
+  /// Heartbeat frames injected (both directions of every switch link) and
+  /// their on-wire bytes — the detection scheme's overhead, for head-to-
+  /// head comparison with INT probe + stack bytes.
+  std::uint64_t hb_sent = 0;
+  std::uint64_t hb_bytes = 0;
+  std::uint64_t int_reports = 0;  ///< 0 unless cfg.int_enable
 
   /// Merged, time-ordered event log ("<t_ns> ..."): fault transitions,
   /// per-switch detections, reroutes, restoration. Byte-identical across
@@ -118,6 +136,8 @@ class GrayFabricScenario {
   Fabric& fabric() { return *fabric_; }
   FaultInjector& injector() { return *injector_; }
   FabricAgentHarness& harness() { return *harness_; }
+  /// Non-null iff cfg.int_enable.
+  int_tel::IntFabric* int_fabric() { return int_fabric_.get(); }
 
  private:
   GrayScenarioConfig cfg_;
@@ -126,8 +146,13 @@ class GrayFabricScenario {
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<FabricAgentHarness> harness_;
+  std::unique_ptr<int_tel::IntFabric> int_fabric_;
   std::vector<std::shared_ptr<apps::GrayFailureState>> states_;
   std::vector<std::string> events_;
+  /// Heartbeat frames are minted on their sender's shard; relaxed atomics,
+  /// the totals are order-independent sums.
+  std::atomic<std::uint64_t> hb_sent_{0};
+  std::atomic<std::uint64_t> hb_bytes_{0};
   Time detected_at_ = -1;
   Time rerouted_at_ = -1;
   bool ran_ = false;
@@ -154,6 +179,10 @@ struct EcmpScenarioConfig {
   Time run_until = 500 * kMicrosecond;
   Duration telemetry_window = 50 * kMicrosecond;
 
+  /// Attach the INT subsystem on a sampled fraction of the NAT'd flows.
+  bool int_enable = false;
+  std::uint32_t int_sample_every = 1;
+
   /// Detector knobs (num_ports derived per switch). The default config
   /// cycle is trimmed to spreading configurations: every non-initial triple
   /// includes dstPort, the one field the flows differ in.
@@ -178,6 +207,7 @@ struct EcmpScenarioResult {
 
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
+  std::uint64_t int_reports = 0;  ///< 0 unless cfg.int_enable
 
   std::vector<std::string> events;
 
@@ -198,6 +228,8 @@ class EcmpFabricScenario {
   sim::EventLoop& loop() { return loop_; }
   Fabric& fabric() { return *fabric_; }
   FabricAgentHarness& harness() { return *harness_; }
+  /// Non-null iff cfg.int_enable.
+  int_tel::IntFabric* int_fabric() { return int_fabric_.get(); }
 
  private:
   EcmpScenarioConfig cfg_;
@@ -205,6 +237,7 @@ class EcmpFabricScenario {
   compile::Artifacts artifacts_;
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<FabricAgentHarness> harness_;
+  std::unique_ptr<int_tel::IntFabric> int_fabric_;
   std::vector<std::shared_ptr<apps::HashPolState>> states_;
 
   /// Uplink tx counters of the sending leaf (one per spine), snapshotted at

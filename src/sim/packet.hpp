@@ -56,6 +56,34 @@ class Packet {
   Time origin_time() const { return origin_time_; }
   void set_origin_time(Time t) { origin_time_ = t; }
 
+  /// In-band telemetry header stack riding on the wire between the L2/L3
+  /// headers and the payload: raw encoded bytes (format in int/header.hpp),
+  /// pushed by an INT source, grown by each transit hop, stripped by the
+  /// sink. Mutators must keep length_bytes in sync — grow_header_stack /
+  /// shrink-via-strip do this for you; empty for non-INT packets, so the
+  /// copy cost is one empty-vector copy.
+  const std::vector<std::uint8_t>& header_stack() const { return header_stack_; }
+  std::vector<std::uint8_t>& mutable_header_stack() { return header_stack_; }
+  bool has_header_stack() const { return !header_stack_.empty(); }
+
+  /// Appends `bytes` to the header stack and adds their size to the wire
+  /// length (so links and the TM serialize the telemetry overhead).
+  void grow_header_stack(const std::uint8_t* bytes, std::size_t n) {
+    header_stack_.insert(header_stack_.end(), bytes, bytes + n);
+    length_bytes_ += static_cast<std::uint32_t>(n);
+  }
+
+  /// Removes the whole stack, shrinking the wire length back; returns the
+  /// stripped bytes (the INT sink decodes them into a report).
+  std::vector<std::uint8_t> strip_header_stack() {
+    expects(header_stack_.size() <= length_bytes_,
+            "Packet::strip_header_stack: stack larger than packet");
+    length_bytes_ -= static_cast<std::uint32_t>(header_stack_.size());
+    std::vector<std::uint8_t> out;
+    out.swap(header_stack_);
+    return out;
+  }
+
  private:
   std::vector<std::uint64_t> values_;
   std::uint32_t length_bytes_;
@@ -63,6 +91,7 @@ class Packet {
   Time arrival_time_ = -1;
   Time enqueue_time_ = -1;
   Time origin_time_ = -1;
+  std::vector<std::uint8_t> header_stack_;
 };
 
 /// Convenience: packet factory bound to a program, with named-field setters.

@@ -211,6 +211,7 @@ void Switch::on_dequeue(Packet pkt, int port) {
     prov_->on_first_effect(loop_->now(), cfg_.egress_latency);
   }
   if (pkt.dropped()) return;
+  if (egress_hook_) egress_hook_(pkt, port);
 
   auto& stats = port_stats_[static_cast<std::size_t>(port)];
   ++stats.tx_pkts;

@@ -63,6 +63,15 @@ class Switch {
   using TransmitHook = std::function<void(const Packet&, int, Time)>;
   void set_on_transmit(TransmitHook hook) { on_transmit_ = std::move(hook); }
 
+  /// Egress-stage hook, invoked at dequeue time after the egress pipeline
+  /// ran and the packet survived, before tx stats are charged — so a hook
+  /// that grows the packet (e.g. the INT transit stamp) is reflected in
+  /// tx_bytes and downstream serialization. The hook runs on the switch's
+  /// shard with the egress intrinsics (egress_port, deq_qdepth, timestamps)
+  /// already written into the packet.
+  using EgressHook = std::function<void(Packet&, int port)>;
+  void set_egress_hook(EgressHook hook) { egress_hook_ = std::move(hook); }
+
   /// Administrative port control; a down port drops at both RX and TX
   /// (used to emulate link failures in the gray-failure experiments).
   void set_port_up(int port, bool up);
@@ -111,6 +120,7 @@ class Switch {
   std::vector<PortStats> port_stats_;
   std::vector<bool> rx_up_;
   TransmitHook on_transmit_;
+  EgressHook egress_hook_;
 
   Time pipeline_free_at_ = 0;  ///< pipeline_pps admission bookkeeping
 

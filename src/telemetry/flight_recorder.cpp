@@ -65,6 +65,7 @@ const char* flight_kind_name(FlightEvent::Kind kind) {
     case FlightEvent::Kind::kDriverOp: return "driver_op";
     case FlightEvent::Kind::kFault: return "fault";
     case FlightEvent::Kind::kAnomaly: return "anomaly";
+    case FlightEvent::Kind::kIntReport: return "int_report";
   }
   return "?";
 }
@@ -75,6 +76,7 @@ std::optional<FlightEvent::Kind> flight_kind_from(std::string_view name) {
   if (name == "driver_op") return FlightEvent::Kind::kDriverOp;
   if (name == "fault") return FlightEvent::Kind::kFault;
   if (name == "anomaly") return FlightEvent::Kind::kAnomaly;
+  if (name == "int_report") return FlightEvent::Kind::kIntReport;
   return std::nullopt;
 }
 

@@ -33,6 +33,7 @@ struct FlightEvent {
     kDriverOp,   ///< one PCIe-model driver operation
     kFault,      ///< a net fault-injector transition
     kAnomaly,    ///< the trigger itself (divergence / SLO breach / ...)
+    kIntReport,  ///< an INT sink exported a hop-by-hop telemetry report
   };
 
   Time t = 0;                     ///< virtual ns

@@ -99,9 +99,9 @@ std::string mfr_chrome_json(const MfrDump& dump) {
 
   // One lane per event kind.
   const FlightEvent::Kind kinds[] = {
-      FlightEvent::Kind::kReaction, FlightEvent::Kind::kMalleable,
-      FlightEvent::Kind::kDriverOp, FlightEvent::Kind::kFault,
-      FlightEvent::Kind::kAnomaly};
+      FlightEvent::Kind::kReaction,  FlightEvent::Kind::kMalleable,
+      FlightEvent::Kind::kDriverOp,  FlightEvent::Kind::kFault,
+      FlightEvent::Kind::kAnomaly,   FlightEvent::Kind::kIntReport};
   for (const auto kind : kinds) {
     emit_sep();
     out << R"({"ph": "M", "pid": 0, "tid": )"

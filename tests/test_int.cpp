@@ -1,0 +1,462 @@
+// src/int: INT wire format (push/stamp/strip byte-exactness, truncation),
+// report render/parse, sink export over a live leaf-spine fabric, flow
+// sampling, the probe mesh + loss tomography scenario, and the HPCC-style
+// congestion policy step.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/int_congestion.hpp"
+#include "p4r/sema.hpp"
+#include "int/collector.hpp"
+#include "int/header.hpp"
+#include "int/int_fabric.hpp"
+#include "int/scenario.hpp"
+#include "net/fabric.hpp"
+#include "net/scenarios.hpp"
+#include "net/topology.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace mantis {
+namespace {
+
+/// A plain (non-malleable) forwarder so tests can install routes directly
+/// into TableState without an agent (a malleable table's compiled form
+/// carries an extra version key).
+const char* kForwarderSrc = R"P4R(
+header_type ipv4_t {
+  fields { srcAddr : 32; dstAddr : 32; protocol : 8; }
+}
+header ipv4_t ipv4;
+
+action set_egress(port) { modify_field(standard_metadata.egress_spec, port); }
+
+table route {
+  reads { ipv4.dstAddr : exact; }
+  actions { set_egress; _drop; }
+  default_action : _drop;
+  size : 64;
+}
+
+control ingress { apply(route); }
+control egress { }
+)P4R";
+
+using int_tel::IntHeader;
+using int_tel::IntHop;
+using int_tel::IntReport;
+
+IntHop hop_of(std::uint32_t sw, std::uint32_t lat, std::uint32_t q,
+              std::uint16_t eg, std::uint16_t in) {
+  IntHop h;
+  h.switch_id = sw;
+  h.hop_latency_ns = lat;
+  h.queue_bytes = q;
+  h.egress_port = eg;
+  h.ingress_port = in;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+TEST(IntHeader, EncodeDecodeRoundTripAllDepths) {
+  for (std::uint8_t n = 1; n <= 8; ++n) {
+    IntHeader h;
+    h.seq = 0xA1B2C3D4u + n;
+    h.max_hops = 8;
+    for (std::uint8_t i = 0; i < n; ++i) {
+      h.hops.push_back(hop_of(i, 1000u * i + 7, 1u << i, i, i + 1));
+    }
+    h.hop_count = n;
+    const auto bytes = int_tel::encode(h);
+    EXPECT_EQ(bytes.size(),
+              int_tel::kHeaderBytes + n * int_tel::kHopBytes);
+    const auto back = int_tel::decode(bytes);
+    ASSERT_TRUE(back.has_value()) << "depth " << int(n);
+    EXPECT_EQ(back->seq, h.seq);
+    EXPECT_EQ(back->max_hops, 8);
+    EXPECT_FALSE(back->truncated);
+    ASSERT_EQ(back->hops.size(), h.hops.size());
+    for (std::uint8_t i = 0; i < n; ++i) EXPECT_EQ(back->hops[i], h.hops[i]);
+    // Byte-exact: re-encoding the decode reproduces the input.
+    EXPECT_EQ(int_tel::encode(*back), bytes);
+  }
+}
+
+TEST(IntHeader, DecodeRejectsMalformedStacks) {
+  IntHeader h;
+  h.seq = 42;
+  h.hops.push_back(hop_of(1, 2, 3, 4, 5));
+  h.hop_count = 1;
+  auto bytes = int_tel::encode(h);
+
+  auto bad_magic = bytes;
+  bad_magic[0] = 0x00;
+  EXPECT_FALSE(int_tel::decode(bad_magic).has_value());
+
+  auto bad_version = bytes;
+  bad_version[1] = 0xF0;
+  EXPECT_FALSE(int_tel::decode(bad_version).has_value());
+
+  auto short_stack = bytes;
+  short_stack.pop_back();
+  EXPECT_FALSE(int_tel::decode(short_stack).has_value());
+  EXPECT_FALSE(int_tel::decode({}).has_value());
+}
+
+TEST(IntPacket, PushStampStripKeepsLengthExact) {
+  sim::Packet pkt(0, 400);
+  EXPECT_FALSE(int_tel::has_int(pkt));
+  int_tel::push_int(pkt, 7, 8);
+  EXPECT_TRUE(int_tel::has_int(pkt));
+  EXPECT_EQ(pkt.length_bytes(), 400 + int_tel::kHeaderBytes);
+
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(int_tel::stamp_hop(pkt, hop_of(i, 100 + i, 64 * i, i, 9)));
+    EXPECT_EQ(pkt.length_bytes(),
+              400 + int_tel::kHeaderBytes + (i + 1) * int_tel::kHopBytes);
+  }
+
+  const auto bytes = pkt.strip_header_stack();
+  EXPECT_FALSE(int_tel::has_int(pkt));
+  EXPECT_EQ(pkt.length_bytes(), 400u);
+  const auto h = int_tel::decode(bytes);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->seq, 7u);
+  ASSERT_EQ(h->hops.size(), 5u);
+  EXPECT_EQ(h->hops[3], hop_of(3, 103, 192, 3, 9));
+}
+
+TEST(IntPacket, StampTruncatesAtMaxHops) {
+  sim::Packet pkt(0, 100);
+  int_tel::push_int(pkt, 1, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(int_tel::stamp_hop(pkt, hop_of(i, 0, 0, 0, 0)));
+  }
+  const auto len_full = pkt.length_bytes();
+  EXPECT_FALSE(int_tel::stamp_hop(pkt, hop_of(9, 0, 0, 0, 0)));
+  EXPECT_EQ(pkt.length_bytes(), len_full);  // nothing appended past the cap
+
+  const auto h = int_tel::decode(pkt.strip_header_stack());
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(h->truncated);
+  ASSERT_EQ(h->hops.size(), 3u);
+  EXPECT_EQ(h->hops.back().switch_id, 2u);  // the overflow hop is absent
+}
+
+TEST(IntReport, RenderParseRoundTrip) {
+  IntReport r;
+  r.rx_time = 12345;
+  r.sink = 3;
+  r.seq = 99;
+  r.truncated = true;
+  r.flow_src = 0x0a000001;
+  r.flow_dst = 0x0a000102;
+  r.proto = 254;
+  r.hops = {hop_of(0, 1500, 4096, 1, int_tel::kSyntheticIngress),
+            hop_of(2, 900, 0, 3, 0)};
+  const std::string line = r.render();
+
+  IntReport back;
+  ASSERT_TRUE(IntReport::parse(line, back)) << line;
+  EXPECT_EQ(back.sink, r.sink);
+  EXPECT_EQ(back.seq, r.seq);
+  EXPECT_EQ(back.truncated, r.truncated);
+  EXPECT_EQ(back.flow_src, r.flow_src);
+  EXPECT_EQ(back.flow_dst, r.flow_dst);
+  EXPECT_EQ(back.proto, r.proto);
+  ASSERT_EQ(back.hops.size(), r.hops.size());
+  EXPECT_EQ(back.hops[0], r.hops[0]);
+  EXPECT_EQ(back.hops[1], r.hops[1]);
+
+  IntReport junk;
+  EXPECT_FALSE(IntReport::parse("reaction fired table=route", junk));
+}
+
+// ---------------------------------------------------------------------------
+// In-fabric source/transit/sink
+// ---------------------------------------------------------------------------
+
+struct IntTestFabric {
+  sim::EventLoop loop;
+  p4::Program prog;
+  std::unique_ptr<net::Fabric> fabric;
+  std::unique_ptr<int_tel::IntFabric> int_fabric;
+
+  explicit IntTestFabric(int_tel::IntFabricConfig ic = {},
+                         int leaves = 2, int spines = 2) {
+    prog = p4r::frontend(kForwarderSrc).prog;
+    net::FabricConfig fc;
+    fc.base_seed = 7;
+    fabric = std::make_unique<net::Fabric>(
+        loop, prog, net::Topology::leaf_spine(leaves, spines, 1), fc);
+    for (net::NodeId n = 0; n < fabric->num_switches(); ++n) {
+      for (const auto& [addr, port] : fabric->topo().compute_routes_from(n, {})) {
+        p4::EntrySpec spec;
+        spec.key.push_back(p4::MatchValue{addr, ~std::uint64_t{0}});
+        spec.action = "set_egress";
+        spec.action_args = {static_cast<std::uint64_t>(port)};
+        fabric->switch_at(n).table("route").add_entry(spec);
+      }
+    }
+    int_fabric = std::make_unique<int_tel::IntFabric>(*fabric, ic);
+  }
+
+  /// Sends `count` packets host(src)->host(dst), one per microsecond.
+  void send(net::NodeId src_host, net::NodeId dst_host, int count,
+            std::uint32_t src_addr_override = 0) {
+    const std::uint32_t src = src_addr_override != 0
+                                  ? src_addr_override
+                                  : fabric->host_at(src_host).address();
+    const std::uint32_t dst = fabric->host_at(dst_host).address();
+    for (int i = 0; i < count; ++i) {
+      loop.schedule_at((i + 1) * kMicrosecond, [this, src_host, src, dst]() {
+        auto pkt = fabric->factory().make(500);
+        fabric->factory().set(pkt, "ipv4.srcAddr", src);
+        fabric->factory().set(pkt, "ipv4.dstAddr", dst);
+        fabric->factory().set(pkt, "ipv4.protocol", 6);
+        fabric->host_at(src_host).send(pkt);
+      });
+    }
+  }
+};
+
+TEST(IntFabric, SinkExportsFullPathReports) {
+  IntTestFabric tf;
+  const net::NodeId h0 = tf.fabric->topo().num_switches;      // leaf 0's host
+  const net::NodeId h1 = h0 + 1;                              // leaf 1's host
+  std::uint64_t host_rx = 0;
+  std::uint32_t host_rx_bytes = 0;
+  tf.fabric->host_at(h1).set_on_receive(
+      [&](const sim::Packet& pkt, Time) {
+        ++host_rx;
+        host_rx_bytes = pkt.length_bytes();
+        EXPECT_FALSE(pkt.has_header_stack());  // stripped before delivery
+      });
+  tf.send(h0, h1, 5);
+  tf.loop.run();
+
+  const auto& col = tf.int_fabric->collector();
+  ASSERT_EQ(col.size(), 5u);
+  EXPECT_EQ(host_rx, 5u);
+  EXPECT_EQ(host_rx_bytes, 500u);  // INT overhead removed at the sink
+
+  std::size_t cursor = 0;
+  std::uint32_t expect_seq = 0;
+  for (const auto* rep : col.poll(cursor)) {
+    EXPECT_EQ(rep->sink, 1u);
+    EXPECT_EQ(rep->proto, 6u);
+    EXPECT_EQ(rep->seq, expect_seq++);  // one source, gap-free
+    EXPECT_FALSE(rep->truncated);
+    ASSERT_EQ(rep->hops.size(), 3u);  // leaf0 -> spine -> leaf1
+    EXPECT_EQ(rep->hops.front().switch_id, 0u);
+    EXPECT_GE(rep->hops[1].switch_id, 2u);  // some spine
+    EXPECT_EQ(rep->hops.back().switch_id, 1u);
+    for (const auto& hop : rep->hops) {
+      EXPECT_NE(hop.ingress_port, int_tel::kSyntheticIngress);
+    }
+  }
+  EXPECT_EQ(cursor, col.size());
+
+  // The stack occupied real link capacity while in flight.
+  EXPECT_GT(tf.int_fabric->stack_wire_pkts(), 0u);
+  EXPECT_GT(tf.int_fabric->stack_wire_bytes(), 0u);
+}
+
+TEST(IntFabric, SinkRecordsFlightEventsParseableFromDump) {
+  int_tel::IntFabricConfig ic;
+  ic.record_every = 1;
+  IntTestFabric tf(ic);
+  const net::NodeId h0 = tf.fabric->topo().num_switches;
+  tf.send(h0, h0 + 1, 3);
+  tf.loop.run();
+
+  std::size_t int_events = 0;
+  for (const auto& ev : tf.loop.telemetry().recorder().events()) {
+    if (ev.kind != telemetry::FlightEvent::Kind::kIntReport) continue;
+    ++int_events;
+    IntReport rep;
+    EXPECT_TRUE(IntReport::parse(ev.detail, rep)) << ev.detail;
+    EXPECT_EQ(rep.hops.size(), 3u);
+  }
+  EXPECT_EQ(int_events, 3u);
+}
+
+TEST(IntFabric, FlowSamplingIsAllOrNothingPerFlow) {
+  int_tel::IntFabricConfig ic;
+  ic.sample_every = 2;
+  IntTestFabric tf(ic);
+  const net::NodeId h0 = tf.fabric->topo().num_switches;
+  constexpr int kFlows = 8;
+  constexpr int kPerFlow = 3;
+  for (int f = 0; f < kFlows; ++f) {
+    tf.send(h0, h0 + 1, kPerFlow, 0x0b000000u + f);
+  }
+  tf.loop.run();
+
+  std::map<std::uint32_t, int> per_flow;
+  std::size_t cursor = 0;
+  for (const auto* rep : tf.int_fabric->collector().poll(cursor)) {
+    ++per_flow[rep->flow_src];
+  }
+  for (const auto& [flow, n] : per_flow) {
+    EXPECT_EQ(n, kPerFlow) << "flow " << flow << " partially sampled";
+  }
+  const std::size_t selected = per_flow.size();
+  EXPECT_GT(selected, 0u);
+  EXPECT_LT(selected, static_cast<std::size_t>(kFlows));
+
+  // Same inputs, same hash, same selection.
+  IntTestFabric again(ic);
+  for (int f = 0; f < kFlows; ++f) {
+    again.send(h0, h0 + 1, kPerFlow, 0x0b000000u + f);
+  }
+  again.loop.run();
+  EXPECT_EQ(again.int_fabric->collector().size(), selected * kPerFlow);
+}
+
+// ---------------------------------------------------------------------------
+// Probe mesh + tomography scenario
+// ---------------------------------------------------------------------------
+
+TEST(IntGrayScenario, ProbeMeshCoversAllTwoHopPathsNoFalsePositives) {
+  int_tel::IntGrayScenarioConfig cfg;
+  cfg.inject_fault = false;
+  cfg.run_until = 400 * kMicrosecond;
+  int_tel::IntGrayFabricScenario scenario(cfg);
+  const auto res = scenario.run();
+  // 3 leaves, 2 spines: ordered leaf pairs (3*2) per spine. The mesh is
+  // enumerated when probes start, i.e. inside run().
+  EXPECT_EQ(scenario.int_fabric().probe_paths().size(), 12u);
+  EXPECT_GT(res.probes_sent, 0u);
+  EXPECT_GT(res.int_reports, 0u);
+  EXPECT_LT(res.localized_at, 0) << "healthy fabric must not localize";
+  EXPECT_EQ(res.sent, res.delivered);
+}
+
+TEST(IntGrayScenario, LocalizesTotalLossLinkAndReroutes) {
+  int_tel::IntGrayScenarioConfig cfg;
+  int_tel::IntGrayFabricScenario scenario(cfg);
+  const auto res = scenario.run();
+  EXPECT_TRUE(res.localized_correct)
+      << "localized n" << res.localized_a << "-n" << res.localized_b
+      << " vs fault " << res.fault_link_name;
+  EXPECT_GT(res.localized_at, res.fault_at);
+  EXPECT_GE(res.rerouted_at, res.localized_at);
+  EXPECT_TRUE(res.restored()) << "delivery never recovered";
+  EXPECT_GT(res.delivered, res.delivered_before_fault);
+}
+
+TEST(IntGrayScenario, LocalizesPartialLossBelowHeartbeatThreshold) {
+  // 35% loss: most heartbeats still arrive, so the eta=0.5 heartbeat
+  // detector never fires...
+  net::GrayScenarioConfig hb;
+  hb.fault_loss = 0.35;
+  net::GrayFabricScenario hb_scenario(hb);
+  const auto hb_res = hb_scenario.run();
+  EXPECT_LT(hb_res.detected_at, 0)
+      << "heartbeat detector fired on partial loss; threshold comparison moot";
+
+  // ...while pooled per-link loss tomography still localizes the link.
+  int_tel::IntGrayScenarioConfig cfg;
+  cfg.fault_loss = 0.35;
+  cfg.run_until = 700 * kMicrosecond;
+  cfg.restore_consecutive = 12;  // 0.65^4 = 18% chance-run would lie
+  int_tel::IntGrayFabricScenario scenario(cfg);
+  const auto res = scenario.run();
+  EXPECT_TRUE(res.localized_correct)
+      << "localized n" << res.localized_a << "-n" << res.localized_b
+      << " vs fault " << res.fault_link_name;
+  EXPECT_GE(res.rerouted_at, res.localized_at);
+}
+
+TEST(IntGrayScenario, SameSeedReportStreamIsByteIdentical) {
+  auto stream = []() {
+    int_tel::IntGrayScenarioConfig cfg;
+    cfg.run_until = 300 * kMicrosecond;
+    int_tel::IntGrayFabricScenario scenario(cfg);
+    scenario.run();
+    std::string all;
+    std::size_t cursor = 0;
+    for (const auto* rep : scenario.int_fabric().collector().poll(cursor)) {
+      all += rep->render();
+      all += '\n';
+    }
+    return all;
+  };
+  const auto a = stream();
+  const auto b = stream();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Congestion policy step
+// ---------------------------------------------------------------------------
+
+IntReport q_report(std::uint32_t seq, std::uint32_t sw1_q, std::uint32_t sw2_q) {
+  IntReport r;
+  r.seq = seq;
+  r.proto = 6;
+  r.hops = {hop_of(0, 500, sw1_q, 0, 2), hop_of(2, 500, sw2_q, 1, 0)};
+  return r;
+}
+
+TEST(IntCongestion, MultiplicativeDecreaseThenAdditiveRecovery) {
+  int_tel::IntCollector col;
+  apps::IntCongestionState st;
+  st.collector = &col;
+  st.cfg.target_queue_bytes = 8 * 1024;
+  std::vector<double> paced;
+  st.on_pace = [&](double rate, Time) { paced.push_back(rate); };
+
+  col.export_report(q_report(0, 0, 32 * 1024));  // 4x overshoot
+  apps::int_congestion_step(st, 1000);
+  EXPECT_DOUBLE_EQ(st.rate, 0.25);  // rate *= target / max_q
+  EXPECT_EQ(st.decreases, 1u);
+  ASSERT_EQ(paced.size(), 1u);
+  EXPECT_DOUBLE_EQ(paced.back(), 0.25);
+
+  apps::int_congestion_step(st, 2000);  // no fresh reports: hold
+  EXPECT_DOUBLE_EQ(st.rate, 0.25);
+
+  col.export_report(q_report(1, 0, 1024));  // drained below target
+  apps::int_congestion_step(st, 3000);
+  EXPECT_DOUBLE_EQ(st.rate, 0.30);
+  EXPECT_EQ(st.increases, 1u);
+
+  // The floor holds under an absurd overshoot.
+  col.export_report(q_report(2, 0, 80 * 1024 * 1024));
+  apps::int_congestion_step(st, 4000);
+  EXPECT_DOUBLE_EQ(st.rate, st.cfg.min_rate);
+}
+
+TEST(IntCongestion, WeightsShiftAwayFromHotSwitch) {
+  int_tel::IntCollector col;
+  apps::IntCongestionState st;
+  st.collector = &col;
+  st.cfg.target_queue_bytes = 8 * 1024;
+  int published = 0;
+  st.on_weights = [&](const std::map<std::uint32_t, double>&, Time) {
+    ++published;
+  };
+
+  col.export_report(q_report(0, 0, 8 * 1024));  // sw2 exactly at target
+  apps::int_congestion_step(st, 1000);
+  ASSERT_EQ(st.weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(st.weights.at(0), 1.0 / 1.5);  // empty switch favoured
+  EXPECT_DOUBLE_EQ(st.weights.at(2), 0.5 / 1.5);
+  EXPECT_EQ(published, 1);
+
+  // Identical telemetry again: within hysteresis, no re-publish.
+  col.export_report(q_report(1, 0, 8 * 1024));
+  apps::int_congestion_step(st, 2000);
+  EXPECT_EQ(published, 1);
+}
+
+}  // namespace
+}  // namespace mantis

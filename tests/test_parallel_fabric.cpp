@@ -15,6 +15,7 @@
 
 #include "apps/gray_failure.hpp"
 #include "compile/compiler.hpp"
+#include "int/scenario.hpp"
 #include "net/engine.hpp"
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
@@ -54,7 +55,8 @@ std::string link_stats_text(net::Fabric& fabric) {
       const auto& s = l.dir_stats(dir);
       os << l.name() << (dir == 0 ? " ab " : " ba ") << s.tx_pkts << ' '
          << s.tx_bytes << ' ' << s.delivered_pkts << ' ' << s.dropped_pkts
-         << ' ' << s.busy_ns << '\n';
+         << ' ' << s.busy_ns << ' ' << s.int_pkts << ' ' << s.int_bytes
+         << '\n';
     }
   }
   os << "host_tx=" << fabric.stats().host_tx_pkts.load()
@@ -155,6 +157,63 @@ TEST(ParallelFabricEquivalence, EcmpScenario) {
     EXPECT_EQ(par.metrics, base.metrics) << "threads " << threads;
     EXPECT_EQ(par.stats, base.stats) << "threads " << threads;
   }
+}
+
+// ---------------------------------------------------------------------------
+// INT-enabled equivalence: the probe mesh + sink exports + tomography
+// reroute on top of the parallel engine. The signature additionally pins
+// the rendered report stream, so report *ordering* (merged across sink
+// shards via ShardLane) must match byte-for-byte, not just the counters.
+// ---------------------------------------------------------------------------
+
+RunSignature run_int_gray(int threads, std::uint64_t seed,
+                          double fault_loss = 1.0) {
+  int_tel::IntGrayScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.fault_loss = fault_loss;
+  int_tel::IntGrayFabricScenario scenario(cfg);
+  auto res = scenario.run();
+
+  RunSignature sig;
+  sig.events = join(res.events);
+  std::size_t cursor = 0;
+  for (const auto* rep : scenario.int_fabric().collector().poll(cursor)) {
+    sig.events += rep->render();
+    sig.events += '\n';
+  }
+  sig.metrics = scenario.loop().telemetry().metrics().snapshot_json();
+  sig.mfr = scenario.loop().telemetry().recorder().dump_text(
+      scenario.loop().now(), "equivalence");
+  sig.stats = link_stats_text(scenario.fabric());
+  return sig;
+}
+
+TEST(ParallelFabricEquivalence, IntGrayScenario) {
+  for (std::uint64_t seed : {1ull, 7ull}) {
+    const RunSignature base = run_int_gray(1, seed);
+    for (int threads : {2, 4}) {
+      const RunSignature par = run_int_gray(threads, seed);
+      EXPECT_EQ(par.events, base.events)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.metrics, base.metrics)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.mfr, base.mfr) << "seed " << seed << " threads "
+                                   << threads;
+      EXPECT_EQ(par.stats, base.stats)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFabricEquivalence, IntGrayPartialLoss) {
+  // Partial loss exercises the seeded per-link drop streams under INT
+  // stacks of varying length (probes grow in flight).
+  const RunSignature base = run_int_gray(1, 2, 0.35);
+  const RunSignature par = run_int_gray(4, 2, 0.35);
+  EXPECT_EQ(par.events, base.events);
+  EXPECT_EQ(par.metrics, base.metrics);
+  EXPECT_EQ(par.stats, base.stats);
 }
 
 // ---------------------------------------------------------------------------

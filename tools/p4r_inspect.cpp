@@ -4,6 +4,7 @@
 //   p4r_inspect show <dump.mfr>
 //   p4r_inspect diff <dump.mfr> <t1> <t2>      # events in [t1,t2] virtual ns
 //   p4r_inspect reaction <dump.mfr> <id>       # one reaction's provenance
+//   p4r_inspect int <dump.mfr>                 # INT sink reports, per hop
 //   p4r_inspect export --chrome <dump.mfr> [-o out.json]
 //   p4r_inspect snapshot <prog.p4r> [--iters N] [-o out.mfr]
 //
@@ -26,6 +27,7 @@
 #include "agent/agent.hpp"
 #include "compile/compiler.hpp"
 #include "driver/driver.hpp"
+#include "int/collector.hpp"
 #include "sim/switch.hpp"
 #include "telemetry/inspect.hpp"
 #include "telemetry/metrics.hpp"
@@ -38,9 +40,10 @@ int usage(const char* argv0) {
                "usage: %s show <dump.mfr>\n"
                "       %s diff <dump.mfr> <t1> <t2>\n"
                "       %s reaction <dump.mfr> <id>\n"
+               "       %s int <dump.mfr>\n"
                "       %s export --chrome <dump.mfr> [-o out.json]\n"
                "       %s snapshot <prog.p4r> [--iters N] [-o out.mfr]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -59,6 +62,40 @@ void emit(const std::string& out_path, const std::string& text) {
     mantis::telemetry::write_text_file(out_path, text);
     std::fprintf(stderr, "written to %s\n", out_path.c_str());
   }
+}
+
+/// Pretty-prints the dump's sampled INT sink reports (kind int_report),
+/// expanding each hop record onto its own line.
+std::string mfr_int_text(const mantis::telemetry::MfrDump& dump) {
+  using mantis::int_tel::IntReport;
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& ev : dump.events) {
+    if (ev.kind != mantis::telemetry::FlightEvent::Kind::kIntReport) continue;
+    ++shown;
+    IntReport rep;
+    if (!IntReport::parse(ev.detail, rep)) {
+      os << "t=" << ev.t << " <unparseable int_report: " << ev.detail << ">\n";
+      continue;
+    }
+    os << "t=" << ev.t << " sink=n" << rep.sink << " seq=" << rep.seq
+       << " proto=" << static_cast<unsigned>(rep.proto) << " flow "
+       << rep.flow_src << "->" << rep.flow_dst
+       << (rep.truncated ? " TRUNCATED" : "") << "\n";
+    for (const auto& hop : rep.hops) {
+      os << "    n" << hop.switch_id;
+      if (hop.ingress_port == mantis::int_tel::kSyntheticIngress) {
+        os << " in=probe";
+      } else {
+        os << " in=" << hop.ingress_port;
+      }
+      os << " out=" << hop.egress_port << " latency=" << hop.hop_latency_ns
+         << "ns queue=" << hop.queue_bytes << "B\n";
+    }
+  }
+  os << shown << " INT report(s) in dump (recorder samples 1 in N; see "
+        "net.int.sink_reports for the full count)\n";
+  return os.str();
 }
 
 /// Builds the full stack from P4R source, runs prologue + `iters` dialogue
@@ -103,6 +140,11 @@ int main(int argc, char** argv) {
       const auto dump = telemetry::parse_mfr(slurp(argv[2]));
       const std::uint64_t id = std::strtoull(argv[3], nullptr, 0);
       std::fputs(telemetry::mfr_reaction_text(dump, id).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "int") {
+      const auto dump = telemetry::parse_mfr(slurp(argv[2]));
+      std::fputs(mfr_int_text(dump).c_str(), stdout);
       return 0;
     }
     if (cmd == "export") {
