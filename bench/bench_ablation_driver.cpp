@@ -1,5 +1,8 @@
 // Ablation: the driver optimizations the paper calls out in §6-§7 —
-// prologue memoization of device instructions and request batching.
+// prologue memoization of device instructions and request batching — plus
+// the batched async runtime (src/driver/async) swept over batch size x
+// pipeline depth, including the enable_batching=false degrade path (the
+// async runtime falls back to one transfer per op).
 // Measures the dialogue iteration latency of a reaction that updates table
 // entries, with each optimization disabled in turn.
 #include "bench_util.hpp"
@@ -18,11 +21,16 @@ control egress { }
 reaction rx(ing h.k) { }
 )P4R";
 
-double iteration_latency_us(bool memoization, bool batching, int mods) {
+double iteration_latency_us(bool memoization, bool batching, int mods,
+                            bool async_push = false,
+                            std::size_t pipeline_depth = 2) {
   driver::DriverOptions dopts;
   dopts.enable_memoization = memoization;
   dopts.enable_batching = batching;
-  bench::Stack stack(kSrc, {}, {}, dopts);
+  agent::AgentOptions aopts;
+  aopts.async_push = async_push;
+  aopts.async_pipeline_depth = pipeline_depth;
+  bench::Stack stack(kSrc, {}, aopts, dopts);
 
   std::vector<agent::UserEntryId> ids;
   stack.agent->run_prologue([&](agent::ReactionContext& ctx) {
@@ -42,6 +50,7 @@ double iteration_latency_us(bool memoization, bool batching, int mods) {
     }
   });
   stack.agent->run_dialogue(20);
+  stack.agent->drain_pending_pushes();  // no-op in sync mode
   // Skip the first (cold) iterations when judging the steady state.
   Samples steady;
   const auto& all = stack.agent->iteration_latencies().values();
@@ -77,6 +86,39 @@ int main(int argc, char** argv) {
       "repeated op; batching amortizes the PCIe round trip across the\n"
       "prepare and mirror groups. Both are load-bearing for the paper's\n"
       "10s-of-us claim once reactions touch more than a couple of entries.\n");
+
+  // Async-runtime sweep: batch size (entries the reaction touches, i.e. ops
+  // per prepare/mirror batch) x pipeline depth. The last column degrades the
+  // runtime with enable_batching=false — one transfer per op, no coalescing
+  // discount — isolating how much of the win is the batch itself.
+  bench::print_header(
+      "Async push sweep: batch size x pipeline depth (steady-state dialogue "
+      "latency, us)");
+  bench::print_row({"batch", "sync_us", "k1_us", "k2_us", "k4_us",
+                    "k2_degraded_us"});
+  for (const int batch : {1, 4, 16, 64}) {
+    const double sync_us = iteration_latency_us(true, true, batch);
+    const std::string key = "async.batch" + std::to_string(batch);
+    report.set(key + ".sync_us", sync_us);
+    std::vector<std::string> cells = {std::to_string(batch),
+                                      bench::fmt(sync_us, 1)};
+    for (const std::size_t depth : {1u, 2u, 4u}) {
+      const double v = iteration_latency_us(true, true, batch, true, depth);
+      report.set(key + ".k" + std::to_string(depth) + "_us", v);
+      cells.push_back(bench::fmt(v, 1));
+    }
+    const double degraded = iteration_latency_us(true, false, batch, true, 2);
+    report.set(key + ".k2_degraded_us", degraded);
+    cells.push_back(bench::fmt(degraded, 1));
+    bench::print_row(cells);
+  }
+  std::printf(
+      "\nThe async win grows with batch size (the per-op prep/DMA discounts\n"
+      "compound) and saturates quickly in depth: the dialogue submits three\n"
+      "batches per iteration (prepare, commit, mirror) and blocks on the\n"
+      "commit, so depth beyond 2 mostly helps the mirror overlap the next\n"
+      "poll. Degraded (batching off) keeps the overlap but pays a full\n"
+      "round trip per op.\n");
   report.write();
   return 0;
 }

@@ -84,6 +84,9 @@ UserEntryId ReactionContext::add_entry(const std::string& table,
   if (it == agent_->tables_.end()) throw UserError("unknown user table: " + table);
   auto& rt = it->second;
   if (!agent_->in_reaction_ || !rt.info->malleable) {
+    // Immediate mode touches concrete handles; a still-in-flight async
+    // mirror may own some of them, so settle it first.
+    agent_->drain_pending_pushes();
     return agent_->protocol_.immediate_add(table, user);
   }
   // Buffered: materialize the user entry now (so find_entry sees it), defer
@@ -108,6 +111,7 @@ void ReactionContext::mod_entry(const std::string& table, UserEntryId id,
   if (it == agent_->tables_.end()) throw UserError("unknown user table: " + table);
   auto& rt = it->second;
   if (!agent_->in_reaction_ || !rt.info->malleable) {
+    agent_->drain_pending_pushes();
     agent_->protocol_.immediate_mod(table, id, action, std::move(args));
     return;
   }
@@ -132,6 +136,7 @@ void ReactionContext::del_entry(const std::string& table, UserEntryId id) {
   if (it == agent_->tables_.end()) throw UserError("unknown user table: " + table);
   auto& rt = it->second;
   if (!agent_->in_reaction_ || !rt.info->malleable) {
+    agent_->drain_pending_pushes();
     agent_->protocol_.immediate_del(table, id);
     return;
   }
@@ -285,6 +290,12 @@ Agent::Agent(driver::Driver& drv, const compile::Artifacts& artifacts,
       protocol_(drv, tables_) {
   const auto& bind = art_->bindings;
   expects(!bind.init_tables.empty(), "Agent: artifacts have no init tables");
+
+  if (opts_.async_push) {
+    driver::AsyncDriverOptions aopts;
+    aopts.pipeline_depth = opts_.async_pipeline_depth;
+    adrv_ = std::make_unique<driver::AsyncDriver>(drv, aopts);
+  }
 
   tel_ = &drv.target().loop().telemetry();
   prov_ = &tel_->provenance();
@@ -529,10 +540,20 @@ std::vector<PendingOp> coalesce(std::vector<PendingOp> ops,
 }  // namespace
 
 void Agent::apply_updates() {
+  // Settle the previous iteration's in-flight push batches (normally just
+  // the mirror) before staging against those copies again: the mirror's add
+  // handles must be recorded before prepare can modify or delete them.
+  drain_pending_pushes();
+
   auto ops = coalesce(std::move(pending_), tables_);
   pending_.clear();
   const bool scalars_dirty = scalars_ != committed_scalars_;
   if (ops.empty() && !scalars_dirty && !opts_.commit_every_iteration) return;
+
+  if (adrv_) {
+    apply_updates_async(ops);
+    return;
+  }
 
   const auto& bind = art_->bindings;
   const int vv_next = vv_ ^ 1;
@@ -585,6 +606,95 @@ void Agent::apply_updates() {
   MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.shadow_fill", "dialogue",
                      telemetry::Track::kAgent, after_commit, loop().now(),
                      "ops", static_cast<std::int64_t>(ops.size()));
+}
+
+void Agent::apply_updates_async(const std::vector<PendingOp>& ops) {
+  const auto& bind = art_->bindings;
+  const int vv_next = vv_ ^ 1;
+  const int vv_old = vv_;
+  const Time t0 = loop().now();
+  const std::uint64_t rid = prov_->current_reaction();
+
+  // PREPARE: shadow copies of table ops + dirty overflow init entries, one
+  // batch. submit() returns immediately; effects land at DMA completion.
+  driver::BatchBuilder prep;
+  auto prep_staged = protocol_.stage_copy(ops, vv_next, prep);
+  std::vector<std::size_t> dirty_inits;
+  for (std::size_t k = 1; k < bind.init_tables.size(); ++k) {
+    const auto now_args = init_args(k, scalars_);
+    if (now_args != init_args(k, committed_scalars_)) {
+      prep.modify_entry(bind.init_tables[k].table,
+                        init_handles_[k][static_cast<std::size_t>(vv_next)],
+                        bind.init_tables[k].action, now_args);
+      dirty_inits.push_back(k);
+    }
+  }
+  if (!prep.empty()) {
+    driver::SubmitOptions so;
+    so.reaction_id = rid;
+    so.label = "driver.async.prepare";
+    const auto id = adrv_->submit(std::move(prep), so);
+    async_pending_.push_back(PendingAsync{id, std::move(prep_staged)});
+  }
+
+  // COMMIT: the master update that flips vv and carries the new scalars.
+  // The channel is FIFO, so its effects apply strictly after the prepare's.
+  driver::BatchBuilder commit;
+  const auto& master = bind.init_tables.front();
+  commit.set_default(master.table, master.action, master_args(vv_next, mv_));
+  driver::SubmitOptions commit_so;
+  commit_so.reaction_id = rid;
+  commit_so.label = "driver.async.commit";
+  const auto commit_id = adrv_->submit(std::move(commit), commit_so);
+  async_pending_.push_back(PendingAsync{commit_id, {}});
+
+  // MIRROR: staged now so its prep overlaps the commit's DMA, reaped at the
+  // *next* iteration's apply_updates — shadow maintenance runs concurrently
+  // with the upcoming poll + compute instead of on the critical path.
+  driver::BatchBuilder mirror;
+  auto mirror_staged = protocol_.stage_copy(ops, vv_old, mirror);
+  for (const auto k : dirty_inits) {
+    mirror.modify_entry(bind.init_tables[k].table,
+                        init_handles_[k][static_cast<std::size_t>(vv_old)],
+                        bind.init_tables[k].action, init_args(k, scalars_));
+  }
+  if (!mirror.empty()) {
+    driver::SubmitOptions so;
+    so.reaction_id = rid;
+    so.label = "driver.async.mirror";
+    const auto id = adrv_->submit(std::move(mirror), so);
+    async_pending_.push_back(PendingAsync{id, std::move(mirror_staged)});
+  }
+  protocol_.erase_deleted(ops);
+
+  // Block on the commit only — the serializability point. Packets and other
+  // actors keep running while we wait in virtual time.
+  loop().run_until(adrv_->completion_time(commit_id));
+  vv_ = vv_next;
+  // The prepare (and commit) completed no later than the commit instant;
+  // absorb their records without waiting for the mirror.
+  while (auto c = adrv_->try_reap()) absorb_async(*c);
+
+  record_scalar_commits();
+  committed_scalars_ = scalars_;
+  MANTIS_SPAN_RECORD(tel_->tracer(), "dialogue.async_push", "dialogue",
+                     telemetry::Track::kAgent, t0, loop().now(), "ops",
+                     static_cast<std::int64_t>(ops.size()));
+}
+
+void Agent::absorb_async(const driver::BatchCompletion& c) {
+  ensures(!async_pending_.empty() && async_pending_.front().id == c.id,
+          "async push: completion reaped out of submit order");
+  ensures(c.ok, "async push: batch failed — update-protocol invariant broken");
+  const auto staged = std::move(async_pending_.front().staged);
+  async_pending_.erase(async_pending_.begin());
+  if (!staged.adds.empty()) protocol_.absorb_copy(staged, c);
+}
+
+void Agent::drain_pending_pushes() {
+  while (adrv_ && !async_pending_.empty()) {
+    absorb_async(adrv_->reap());
+  }
 }
 
 void Agent::record_scalar_commits() {

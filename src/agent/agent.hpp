@@ -27,6 +27,7 @@
 #include "agent/measurement.hpp"
 #include "agent/update_protocol.hpp"
 #include "compile/compiler.hpp"
+#include "driver/async/async_driver.hpp"
 #include "driver/driver.hpp"
 #include "p4r/creact/cparser.hpp"
 #include "p4r/creact/interp.hpp"
@@ -52,6 +53,14 @@ struct AgentOptions {
   /// Reaction-latency SLO (virtual ns of busy time per dialogue iteration);
   /// exceeding it triggers a flight-recorder dump. 0 = disabled.
   Duration reaction_slo = 0;
+  /// Push via the batched async driver runtime (src/driver/async): the
+  /// prepare, commit, and mirror updates become pipelined batches; the
+  /// agent blocks only on the commit (the serializability point) and reaps
+  /// the mirror at the next iteration's start, so shadow maintenance
+  /// overlaps the next poll + compute.
+  bool async_push = false;
+  /// Transfers in flight on the driver channel when async_push is on.
+  std::size_t async_pipeline_depth = 2;
 };
 
 class Agent;
@@ -156,6 +165,14 @@ class Agent {
   const compile::Artifacts& artifacts() const { return *art_; }
   driver::Driver& drv() { return *drv_; }
 
+  /// The batched async runtime, when AgentOptions::async_push is on
+  /// (nullptr otherwise). Exposed for benches and tests to inspect.
+  driver::AsyncDriver* async_driver() { return adrv_.get(); }
+  /// Reaps every in-flight async push batch (typically the last iteration's
+  /// mirror) and absorbs its handles. No-op in sync mode; call before
+  /// comparing dataplane state or tearing the stack down mid-pipeline.
+  void drain_pending_pushes();
+
  private:
   friend class ReactionContext;
   class InterpEnv;
@@ -166,6 +183,15 @@ class Agent {
   Measurement measure_;
   std::map<std::string, TableRuntime> tables_;
   UpdateProtocol protocol_;
+  std::unique_ptr<driver::AsyncDriver> adrv_;  ///< set when async_push
+
+  /// Async push batches submitted but not yet reaped, submit order. The
+  /// staged slots hold where the batch's add handles go at absorb time.
+  struct PendingAsync {
+    driver::BatchId id = 0;
+    UpdateProtocol::StagedCopy staged;
+  };
+  std::vector<PendingAsync> async_pending_;
 
   std::map<std::string, std::uint64_t> scalars_;
   std::map<std::string, std::uint64_t> committed_scalars_;
@@ -224,6 +250,9 @@ class Agent {
   void commit_scalars_immediate();
   void run_one_reaction(ReactionRt& rt);
   void apply_updates();  ///< prepare + commit + mirror for buffered state
+  void apply_updates_async(const std::vector<PendingOp>& ops);
+  /// Pops one reaped completion's bookkeeping (must be the oldest pending).
+  void absorb_async(const driver::BatchCompletion& c);
 };
 
 }  // namespace mantis::agent

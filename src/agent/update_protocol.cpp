@@ -95,6 +95,77 @@ void UpdateProtocol::prepare(const std::vector<PendingOp>& ops, int vv_next) {
 
 void UpdateProtocol::mirror(const std::vector<PendingOp>& ops, int vv_old) {
   apply_copy(ops, vv_old);
+  erase_deleted(ops);
+}
+
+UpdateProtocol::StagedCopy UpdateProtocol::stage_copy(
+    const std::vector<PendingOp>& ops, int vv, driver::BatchBuilder& out) {
+  StagedCopy staged;
+  staged.vv = vv;
+  for (const auto& op : ops) {
+    auto& rt = runtime(op.table);
+    ensures(rt.info->malleable, "update protocol used on non-malleable table " +
+                                    op.table);
+    ensures(vv == 0 || vv == 1, "stage_copy: bad vv");
+    auto& entry = rt.entries.at(op.id);
+    auto& handles = entry.handles[vv];
+
+    switch (op.kind) {
+      case PendingOp::Kind::kAdd: {
+        const auto specs = expand_user_entry(*rt.info, rt.alts, op.user_spec, vv);
+        for (const auto& spec : specs) out.add_entry(op.table, spec);
+        staged.adds.push_back(StagedCopy::AddSlot{op.table, op.id, specs.size()});
+        break;
+      }
+      case PendingOp::Kind::kMod: {
+        const auto specs = expand_user_entry(*rt.info, rt.alts, op.user_spec, vv);
+        if (same_dims(*rt.info, op.old_action, op.user_spec.action)) {
+          ensures(specs.size() == handles.size(),
+                  "stage_copy: expansion count changed unexpectedly");
+          for (std::size_t i = 0; i < specs.size(); ++i) {
+            out.modify_entry(op.table, handles[i], specs[i].action,
+                             specs[i].action_args);
+          }
+        } else {
+          for (const auto h : handles) out.delete_entry(op.table, h);
+          handles.clear();
+          for (const auto& spec : specs) out.add_entry(op.table, spec);
+          staged.adds.push_back(
+              StagedCopy::AddSlot{op.table, op.id, specs.size()});
+        }
+        break;
+      }
+      case PendingOp::Kind::kDel: {
+        for (const auto h : handles) out.delete_entry(op.table, h);
+        handles.clear();
+        break;
+      }
+    }
+  }
+  return staged;
+}
+
+void UpdateProtocol::absorb_copy(const StagedCopy& staged,
+                                 const driver::BatchCompletion& c) {
+  std::size_t cursor = 0;
+  std::vector<sim::EntryHandle> new_handles;
+  for (const auto& r : c.results) {
+    if (r.kind == driver::AsyncOp::Kind::kAdd) new_handles.push_back(r.handle);
+  }
+  for (const auto& slot : staged.adds) {
+    auto eit = runtime(slot.table).entries.find(slot.id);
+    ensures(eit != runtime(slot.table).entries.end(),
+            "absorb_copy: user entry vanished before its handles arrived");
+    auto& handles = eit->second.handles[static_cast<std::size_t>(staged.vv)];
+    for (std::size_t i = 0; i < slot.count; ++i) {
+      ensures(cursor < new_handles.size(), "absorb_copy: handle underflow");
+      handles.push_back(new_handles[cursor++]);
+    }
+  }
+  ensures(cursor == new_handles.size(), "absorb_copy: handle overflow");
+}
+
+void UpdateProtocol::erase_deleted(const std::vector<PendingOp>& ops) {
   for (const auto& op : ops) {
     if (op.kind == PendingOp::Kind::kDel) {
       runtime(op.table).entries.erase(op.id);

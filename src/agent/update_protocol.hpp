@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "agent/handles.hpp"
+#include "driver/async/batch_builder.hpp"
+#include "driver/async/completion.hpp"
 #include "driver/driver.hpp"
 
 namespace mantis::agent {
@@ -44,6 +46,34 @@ class UpdateProtocol {
   /// MIRROR: replays `ops` onto the vv = `vv_old` copies in one batch and
   /// finalizes bookkeeping (deletes user entries that were removed).
   void mirror(const std::vector<PendingOp>& ops, int vv_old);
+
+  // ---- async staging (the batched driver runtime, src/driver/async) ----
+  //
+  // stage_copy() emits one vv copy's ops into a BatchBuilder instead of
+  // running a sync batch. Agent-side bookkeeping that later staging depends
+  // on (handle-list clears for deletes and shape-changing mods) happens at
+  // stage time; the handles new installs produce exist only when the batch
+  // completes, so stage_copy returns absorb slots and absorb_copy() fills
+  // them from the reaped completion — before anything stages against that
+  // copy again.
+
+  struct StagedCopy {
+    int vv = 0;
+    struct AddSlot {
+      std::string table;
+      UserEntryId id = 0;
+      std::size_t count = 0;  ///< expanded concrete entries for this add
+    };
+    std::vector<AddSlot> adds;  ///< in batch add-op order
+  };
+  StagedCopy stage_copy(const std::vector<PendingOp>& ops, int vv,
+                        driver::BatchBuilder& out);
+  /// Records the handles of `staged`'s adds from the completed batch (which
+  /// may also carry unrelated non-add ops, e.g. init-entry modifies).
+  void absorb_copy(const StagedCopy& staged, const driver::BatchCompletion& c);
+  /// The bookkeeping tail of mirror(): drops user entries whose delete has
+  /// now reached (or been staged against) both copies.
+  void erase_deleted(const std::vector<PendingOp>& ops);
 
   /// IMMEDIATE mode: installs both vv copies (malleable) or the single copy
   /// (plain table) right away. Returns the new user entry id.

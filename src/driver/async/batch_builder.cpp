@@ -1,0 +1,73 @@
+#include "driver/async/batch_builder.hpp"
+
+namespace mantis::driver {
+
+const char* async_op_kind_name(AsyncOp::Kind kind) {
+  switch (kind) {
+    case AsyncOp::Kind::kAdd: return "add";
+    case AsyncOp::Kind::kMod: return "mod";
+    case AsyncOp::Kind::kDel: return "del";
+    case AsyncOp::Kind::kSetDefault: return "set_default";
+    case AsyncOp::Kind::kRegWrite: return "reg_write";
+    case AsyncOp::Kind::kRegRead: return "reg_read";
+  }
+  return "?";
+}
+
+void BatchBuilder::add_entry(std::string table, p4::EntrySpec spec) {
+  AsyncOp op;
+  op.kind = AsyncOp::Kind::kAdd;
+  op.target = std::move(table);
+  op.spec = std::move(spec);
+  ops_.push_back(std::move(op));
+}
+
+void BatchBuilder::modify_entry(std::string table, sim::EntryHandle h,
+                                std::string action,
+                                std::vector<std::uint64_t> args) {
+  AsyncOp op;
+  op.kind = AsyncOp::Kind::kMod;
+  op.target = std::move(table);
+  op.handle = h;
+  op.action = std::move(action);
+  op.args = std::move(args);
+  ops_.push_back(std::move(op));
+}
+
+void BatchBuilder::delete_entry(std::string table, sim::EntryHandle h) {
+  AsyncOp op;
+  op.kind = AsyncOp::Kind::kDel;
+  op.target = std::move(table);
+  op.handle = h;
+  ops_.push_back(std::move(op));
+}
+
+void BatchBuilder::set_default(std::string table, std::string action,
+                               std::vector<std::uint64_t> args) {
+  AsyncOp op;
+  op.kind = AsyncOp::Kind::kSetDefault;
+  op.target = std::move(table);
+  op.action = std::move(action);
+  op.args = std::move(args);
+  ops_.push_back(std::move(op));
+}
+
+void BatchBuilder::write_register(std::string reg, std::uint32_t index,
+                                  std::uint64_t value) {
+  AsyncOp op;
+  op.kind = AsyncOp::Kind::kRegWrite;
+  op.target = std::move(reg);
+  op.index = index;
+  op.value = value;
+  ops_.push_back(std::move(op));
+}
+
+void BatchBuilder::read_register(std::string reg, std::uint32_t index) {
+  AsyncOp op;
+  op.kind = AsyncOp::Kind::kRegRead;
+  op.target = std::move(reg);
+  op.index = index;
+  ops_.push_back(std::move(op));
+}
+
+}  // namespace mantis::driver

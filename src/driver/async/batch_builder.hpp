@@ -1,0 +1,62 @@
+// BatchBuilder: coalesces the control-plane operations a dialogue epoch
+// accumulates — table add/modify/delete, set_default, register writes and
+// reads — into one DMA-modeled transfer for the asynchronous driver runtime
+// (driver/async/async_driver.hpp). Ops apply in builder order at the batch's
+// completion instant; adds return entry handles and reads return values
+// through the typed completion record, in the same order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "p4/ir.hpp"
+#include "sim/table_state.hpp"
+
+namespace mantis::driver {
+
+/// One operation inside an async batch.
+struct AsyncOp {
+  enum class Kind : std::uint8_t {
+    kAdd,         ///< table entry install -> handle in the completion
+    kMod,         ///< table entry modify
+    kDel,         ///< table entry delete
+    kSetDefault,  ///< table default-action update
+    kRegWrite,    ///< register cell write
+    kRegRead,     ///< register cell read -> value in the completion
+  };
+
+  Kind kind = Kind::kAdd;
+  std::string target;            ///< table or register name
+  p4::EntrySpec spec;            ///< kAdd
+  sim::EntryHandle handle = 0;   ///< kMod / kDel
+  std::string action;            ///< kMod / kSetDefault
+  std::vector<std::uint64_t> args;  ///< kMod / kSetDefault
+  std::uint32_t index = 0;       ///< kRegWrite / kRegRead
+  std::uint64_t value = 0;       ///< kRegWrite
+};
+
+const char* async_op_kind_name(AsyncOp::Kind kind);
+
+class BatchBuilder {
+ public:
+  void add_entry(std::string table, p4::EntrySpec spec);
+  void modify_entry(std::string table, sim::EntryHandle h, std::string action,
+                    std::vector<std::uint64_t> args);
+  void delete_entry(std::string table, sim::EntryHandle h);
+  void set_default(std::string table, std::string action,
+                   std::vector<std::uint64_t> args);
+  void write_register(std::string reg, std::uint32_t index,
+                      std::uint64_t value);
+  void read_register(std::string reg, std::uint32_t index);
+
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+  const std::vector<AsyncOp>& ops() const { return ops_; }
+
+ private:
+  friend class AsyncDriver;
+  std::vector<AsyncOp> ops_;
+};
+
+}  // namespace mantis::driver

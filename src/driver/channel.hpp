@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "sim/event_loop.hpp"
 #include "util/time.hpp"
@@ -19,15 +20,29 @@ namespace mantis::driver {
 class Channel {
  public:
   explicit Channel(sim::EventLoop& loop);
+  ~Channel();
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
 
   /// Submits an operation of duration `cost`, of which only the trailing
   /// `critical` nanoseconds hold the channel exclusively (the lock + device
   /// kick); the leading remainder is thread-local preparation that runs
   /// concurrently with other clients' ops. `apply` runs at the completion
   /// instant (after any queueing). Returns the completion time.
-  /// `critical` defaults to the whole cost (fully exclusive).
+  /// `critical` defaults to the whole cost (fully exclusive); a provided
+  /// value must satisfy 0 <= critical <= cost — a miscomputed critical
+  /// fraction fails loudly instead of silently occupying the channel.
   Time submit(Duration cost, std::function<void()> apply,
-              Duration critical = -1);
+              std::optional<Duration> critical = std::nullopt);
+
+  /// Like submit, but the operation starts at `t` (>= now): the async
+  /// driver runtime reserves the channel for a batch whose descriptor
+  /// preparation finishes in the future, so the DMA of batch N can overlap
+  /// the preparation of batch N+1. The reservation takes effect immediately
+  /// (later submitters queue behind it, exactly like a claimed DMA ring
+  /// slot).
+  Time submit_at(Time t, Duration cost, std::function<void()> apply,
+                 std::optional<Duration> critical = std::nullopt);
 
   /// Earliest time a newly submitted op could start.
   Time free_at() const;
@@ -37,17 +52,24 @@ class Channel {
 
   std::uint64_t ops_submitted() const { return ops_; }
 
+  /// Ops submitted whose completion instant has not yet executed.
+  std::uint64_t depth() const { return depth_; }
+
  private:
   sim::EventLoop* loop_;
   Time free_at_ = 0;
   Duration busy_time_ = 0;
   std::uint64_t ops_ = 0;
+  std::uint64_t depth_ = 0;
+  int snapshot_provider_ = 0;
 
   // Cached telemetry sinks (owned by the loop's registry): channel occupancy
   // and the queueing delay legacy clients experience behind in-flight ops.
   telemetry::Counter* ops_ctr_;
   telemetry::Histogram* occupancy_hist_;
   telemetry::Histogram* queue_wait_hist_;
+  telemetry::Histogram* depth_hist_;
+  telemetry::Gauge* depth_gauge_;
   telemetry::Tracer* tracer_;
 };
 

@@ -36,6 +36,16 @@ struct CostModel {
 
   Duration batch_overhead = 300;       ///< per submitted batch
 
+  // ---- batched-async runtime calibration (src/driver/async) ----
+  // RBFRT-style batched updates split each op into driver-thread descriptor
+  // preparation and wire/DMA occupancy, both heavily discounted against the
+  // solo cost: the driver prepares descriptors in bulk (one metadata walk
+  // per batch, not per op) and the DMA engine streams ops back-to-back
+  // behind one shared round trip. Factors are fractions of the op's solo
+  // cost net of `pcie_rtt` (which the whole batch pays once).
+  double batch_prep_factor = 0.22;     ///< per-op CPU prep inside a batch
+  double batch_dma_factor = 0.18;      ///< per-op DMA occupancy inside a batch
+
   /// Fraction of an operation's latency that holds the shared driver/ASIC
   /// path exclusively (lock + MMIO kick); the rest is thread-local work and
   /// in-flight DMA that concurrent clients do not queue behind. This is what
@@ -66,6 +76,19 @@ struct CostModel {
     return pcie_rtt + (memoized ? table_del_memoized : table_del_cold);
   }
   Duration set_default() const { return pcie_rtt + table_set_default; }
+
+  // ---- batched-async helpers ----
+  /// Driver-thread preparation charged per op inside an async batch.
+  /// `solo` is the op's synchronous cost (including its round trip).
+  Duration batch_prep(Duration solo) const {
+    return static_cast<Duration>(static_cast<double>(solo - pcie_rtt) *
+                                 batch_prep_factor);
+  }
+  /// Wire/DMA occupancy charged per op inside an async batch.
+  Duration batch_dma(Duration solo) const {
+    return static_cast<Duration>(static_cast<double>(solo - pcie_rtt) *
+                                 batch_dma_factor);
+  }
 };
 
 }  // namespace mantis::driver

@@ -128,6 +128,10 @@ class Driver {
   std::uint64_t sync_ops() const { return sync_ops_; }
 
  private:
+  /// The batched async runtime (driver/async) shares the memo table, cost
+  /// model, and channel so batched and solo ops see one driver state.
+  friend class AsyncDriver;
+
   sim::Switch* sw_;
   DriverOptions opts_;
   Channel channel_;

@@ -161,6 +161,7 @@ GrayFabricScenario::GrayFabricScenario(GrayScenarioConfig cfg)
   }
 
   HarnessOptions hopts;
+  hopts.agent = cfg_.agent;
   hopts.agent.pacing_sleep = cfg_.pacing;
   harness_ = std::make_unique<FabricAgentHarness>(*fabric_, artifacts_, hopts);
   harness_->add_all_switches();
@@ -334,6 +335,7 @@ EcmpFabricScenario::EcmpFabricScenario(EcmpScenarioConfig cfg)
   }
 
   HarnessOptions hopts;
+  hopts.agent = cfg_.agent;
   hopts.agent.pacing_sleep = cfg_.pacing;
   harness_ = std::make_unique<FabricAgentHarness>(*fabric_, artifacts_, hopts);
   harness_->add_all_switches();

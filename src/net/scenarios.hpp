@@ -66,6 +66,9 @@ struct GrayScenarioConfig {
   bool inject_fault = true;
 
   Duration pacing = 0;  ///< harness pacing sleep (0 = busy-loop agents)
+  /// Per-agent options applied to every switch's agent (async_push etc.);
+  /// pacing_sleep inside is overridden by `pacing` above.
+  agent::AgentOptions agent;
   /// Worker threads for the fabric engine; 1 = sequential (identical
   /// results by the determinism contract, so this is purely a speed knob).
   int threads = 1;
@@ -175,6 +178,9 @@ struct EcmpScenarioConfig {
   std::uint32_t traffic_bytes = 500;
 
   Duration pacing = 0;
+  /// Per-agent options applied fabric-wide (async_push etc.); pacing_sleep
+  /// inside is overridden by `pacing` above.
+  agent::AgentOptions agent;
   int threads = 1;  ///< fabric-engine workers (1 = sequential, same results)
   Time run_until = 500 * kMicrosecond;
   Duration telemetry_window = 50 * kMicrosecond;

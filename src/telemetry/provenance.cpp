@@ -74,7 +74,12 @@ void ProvenanceContext::end_reaction(std::uint64_t rid, Time now, Duration poll,
 
 void ProvenanceContext::on_driver_op(const char* op, const std::string& detail,
                                      Time submitted, Time completion) {
-  const std::uint64_t rid = current_reaction();
+  on_driver_op_for(current_reaction(), op, detail, submitted, completion);
+}
+
+void ProvenanceContext::on_driver_op_for(std::uint64_t rid, const char* op,
+                                         const std::string& detail,
+                                         Time submitted, Time completion) {
   MANTIS_SPAN_RECORD(tracer_, op, "driver", Track::kDriverChannel, submitted,
                      completion, "reaction_id",
                      static_cast<std::int64_t>(rid));
@@ -89,6 +94,23 @@ void ProvenanceContext::on_driver_op(const char* op, const std::string& detail,
 }
 
 std::uint64_t ProvenanceContext::on_table_mutation() {
+  if (forced_rid_ != 0) {
+    // Async batch apply: stamp with the submitting reaction. Arm first-
+    // effect detection only if that reaction's frame is still open.
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->id == forced_rid_) {
+        it->mutated = true;
+        break;
+      }
+    }
+    const Time now = tracer_.now();
+    MANTIS_SPAN_RECORD(tracer_, "sim.table_commit", "provenance",
+                       Track::kSwitch, now, now, "reaction_id",
+                       static_cast<std::int64_t>(forced_rid_));
+    MANTIS_FLOW_STEP(tracer_, "reaction", "provenance", Track::kSwitch, now,
+                     forced_rid_);
+    return forced_rid_;
+  }
   if (frames_.empty()) return 0;
   frames_.back().mutated = true;
   const std::uint64_t rid = frames_.back().id;

@@ -59,6 +59,37 @@ class ProvenanceContext {
   void on_driver_op(const char* op, const std::string& detail, Time submitted,
                     Time completion);
 
+  /// Same, but attributed to an explicit reaction id: async batch
+  /// completions execute after (or outside) the submitting reaction's
+  /// frame, so the driver runtime captures the id at submit time and stamps
+  /// the completed ops with it here.
+  void on_driver_op_for(std::uint64_t rid, const char* op,
+                        const std::string& detail, Time submitted,
+                        Time completion);
+
+  /// Forces table-mutation attribution to `rid` while alive. The async
+  /// driver wraps a batch's apply phase in one of these so every entry the
+  /// batch touches is stamped with the *submitting* reaction — not whatever
+  /// frame happens to be open at the completion instant. If the submitting
+  /// frame is still open (the agent reaping its own push), its `mutated`
+  /// bit is set so first-effect detection arms as usual; mutations applied
+  /// after the frame closed (mirror maintenance) stamp entries but never
+  /// re-arm.
+  class ScopedAttribution {
+   public:
+    ScopedAttribution(ProvenanceContext& ctx, std::uint64_t rid)
+        : ctx_(&ctx), prev_(ctx.forced_rid_) {
+      ctx_->forced_rid_ = rid;
+    }
+    ~ScopedAttribution() { ctx_->forced_rid_ = prev_; }
+    ScopedAttribution(const ScopedAttribution&) = delete;
+    ScopedAttribution& operator=(const ScopedAttribution&) = delete;
+
+   private:
+    ProvenanceContext* ctx_;
+    std::uint64_t prev_;
+  };
+
   // ---- sim side ----
   /// Called by TableState on add/modify/delete/set_default. Marks the
   /// innermost frame as having mutated dataplane state and returns its id
@@ -110,6 +141,7 @@ class ProvenanceContext {
   Counter* first_effects_;
 
   std::uint64_t next_id_ = 0;
+  std::uint64_t forced_rid_ = 0;  ///< ScopedAttribution override (0 = none)
   std::vector<Frame> frames_;
   /// Reaction awaiting its first effect. Relaxed atomic: armed on the
   /// control thread between rounds, read by shard pipelines during rounds.

@@ -71,13 +71,14 @@ std::string link_stats_text(net::Fabric& fabric) {
 // ---------------------------------------------------------------------------
 
 RunSignature run_gray(int threads, std::uint64_t seed, Duration pacing = 0,
-                      int leaves = 2, int spines = 2) {
+                      int leaves = 2, int spines = 2, bool async_push = false) {
   net::GrayScenarioConfig cfg;
   cfg.leaves = leaves;
   cfg.spines = spines;
   cfg.seed = seed;
   cfg.pacing = pacing;
   cfg.threads = threads;
+  cfg.agent.async_push = async_push;
   if (leaves * spines > 4) {
     // Prologues serialize on the virtual clock; more switches need a later
     // fault (the scenario throws if prologues overrun fault_at).
@@ -131,6 +132,29 @@ TEST(ParallelFabricEquivalence, GrayWiderFabric) {
   EXPECT_EQ(par.events, base.events);
   EXPECT_EQ(par.metrics, base.metrics);
   EXPECT_EQ(par.stats, base.stats);
+}
+
+TEST(ParallelFabricEquivalence, GrayWithAsyncPushAgents) {
+  // Every agent pushes through the batched async driver runtime: the reroute
+  // lands as pipelined prepare/commit/mirror batches whose completions are
+  // events on the owning switch's control shard. Determinism must hold at
+  // every batch size / pipeline depth the scenario produces.
+  for (std::uint64_t seed : {2ull, 8ull}) {
+    const RunSignature base =
+        run_gray(1, seed, 0, 2, 2, /*async_push=*/true);
+    for (int threads : {2, 4}) {
+      const RunSignature par =
+          run_gray(threads, seed, 0, 2, 2, /*async_push=*/true);
+      EXPECT_EQ(par.events, base.events)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.metrics, base.metrics)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.mfr, base.mfr) << "seed " << seed << " threads "
+                                   << threads;
+      EXPECT_EQ(par.stats, base.stats)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
 }
 
 RunSignature run_ecmp(int threads, std::uint64_t seed) {
