@@ -90,7 +90,7 @@ void figure_10b(bench::Report& report) {
   for (const int n : {1, 2, 4, 8, 16, 32, 64}) {
     // Scalar malleables: n scalar writes commit in ONE master update.
     compile::Options copts;
-    copts.max_init_action_bits = 4096;
+    copts.rmt.max_action_bits = 4096;
     bench::Stack scal(scalars_program(n), {}, {}, {}, copts);
     scal.agent->run_prologue();
     // In the dialogue, any number of scalar writes commit via ONE master

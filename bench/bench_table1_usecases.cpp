@@ -2,6 +2,7 @@
 // flow (stages/tables/registers), and memory (SRAM/TCAM/metadata), measured
 // as the marginal increase over a basic router, exactly as the paper frames
 // it. All numbers come from the real compiler + stage allocator output.
+#include <algorithm>
 #include <sstream>
 
 #include "apps/dos_mitigation.hpp"
@@ -71,14 +72,18 @@ Row measure(const std::string& name, const std::string& src,
 
   const auto res = compute_resources(art.prog);
   const auto marg = marginal(res, base);
-  p4::StageModel model;
+  // marginal() is signed now; Table 1 reports increases, so clamp for print.
+  auto pos = [](std::int64_t v) {
+    return static_cast<std::uint64_t>(std::max<std::int64_t>(v, 0));
+  };
+  p4::RmtResourceModel model;
   const auto stages = p4::allocate_program_stages(art.prog, model);
   row.stages = std::max(0, stages.total() - base_stages.total());
-  row.tables = marg.num_tables;
-  row.registers = marg.num_registers;
-  row.sram_kb = (marg.table_sram_bits + marg.register_sram_bits) / 8 / 1024;
-  row.tcam_b = marg.table_tcam_bits / 8;
-  row.metadata_bits = marg.metadata_bits;
+  row.tables = pos(marg.num_tables);
+  row.registers = pos(marg.num_registers);
+  row.sram_kb = pos(marg.table_sram_bits + marg.register_sram_bits) / 8 / 1024;
+  row.tcam_b = pos(marg.table_tcam_bits) / 8;
+  row.metadata_bits = pos(marg.metadata_bits);
   return row;
 }
 

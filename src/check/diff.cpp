@@ -112,7 +112,8 @@ RefVerdict project(const RefVerdict& dut, const RefVerdict& ref_shape) {
 
 class DiffRun {
  public:
-  DiffRun(const Scenario& s, DiffResult& out) : s_(s), out_(out) {}
+  DiffRun(const Scenario& s, const DiffOptions& opts, DiffResult& out)
+      : s_(s), opts_(opts), out_(out) {}
 
   void run() {
     // ---- build both paths ----
@@ -130,7 +131,7 @@ class DiffRun {
     }
     compile::Artifacts art;
     try {
-      art = compile::compile(fp);
+      art = compile::compile(fp, opts_.compile);
     } catch (const UserError& e) {
       return skip(std::string("compile: ") + e.what());
     } catch (const std::logic_error& e) {
@@ -420,15 +421,17 @@ class DiffRun {
   }
 
   const Scenario& s_;
+  const DiffOptions& opts_;
   DiffResult& out_;
   DutState* dut_ = nullptr;  ///< set once the DUT stack is built
 };
 
 }  // namespace
 
-DiffResult run_diff(const Scenario& s, telemetry::MetricsRegistry* metrics) {
+DiffResult run_diff(const Scenario& s, const DiffOptions& opts,
+                    telemetry::MetricsRegistry* metrics) {
   DiffResult out;
-  DiffRun(s, out).run();
+  DiffRun(s, opts, out).run();
   if (metrics != nullptr) {
     metrics->counter("check.diff.runs").add();
     metrics->counter(std::string("check.diff.") +
@@ -436,6 +439,10 @@ DiffResult run_diff(const Scenario& s, telemetry::MetricsRegistry* metrics) {
         .add();
   }
   return out;
+}
+
+DiffResult run_diff(const Scenario& s, telemetry::MetricsRegistry* metrics) {
+  return run_diff(s, DiffOptions{}, metrics);
 }
 
 }  // namespace mantis::check

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "check/scenario.hpp"
+#include "compile/compiler.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace mantis::check {
@@ -56,11 +57,20 @@ struct DiffResult {
   bool diverged() const { return outcome == Outcome::kDiverged; }
 };
 
+/// Knobs for the compiled path. The reference interpreter has no hardware
+/// model, so varying `compile` (e.g. a randomized RmtResourceModel) must
+/// never change observable semantics — only whether compilation succeeds.
+struct DiffOptions {
+  compile::Options compile;
+};
+
 /// Runs the scenario through both paths. Never throws on program-level
 /// errors (they become outcomes); propagates only harness bugs
 /// (InvariantError etc.). When `metrics` is given, bumps the
 /// check.diff.{runs,agreed,agreed_error,diverged,skipped} counters.
 DiffResult run_diff(const Scenario& s,
+                    telemetry::MetricsRegistry* metrics = nullptr);
+DiffResult run_diff(const Scenario& s, const DiffOptions& opts,
                     telemetry::MetricsRegistry* metrics = nullptr);
 
 }  // namespace mantis::check

@@ -80,6 +80,38 @@ std::vector<Edit> edits_of(const Scenario& s) {
 
 }  // namespace
 
+Scenario minimize_scenario_with(
+    const Scenario& s, const std::function<bool(const Scenario&)>& oracle,
+    const MinimizeOptions& opts, MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+
+  auto interesting = [&](const Scenario& c) {
+    ++st.runs;
+    return oracle(c);
+  };
+
+  Scenario cur = s;
+  if (!interesting(cur)) return cur;
+
+  bool changed = true;
+  while (changed && st.runs < opts.max_runs) {
+    changed = false;
+    for (const auto& edit : edits_of(cur)) {
+      if (st.runs >= opts.max_runs) break;
+      Scenario cand = cur;
+      if (!edit(cand)) continue;
+      if (interesting(cand)) {
+        cur = std::move(cand);
+        ++st.accepted;
+        changed = true;
+        break;  // chunk indices shifted; rebuild the edit list
+      }
+    }
+  }
+  return cur;
+}
+
 Scenario minimize_scenario(const Scenario& s, const MinimizeOptions& opts,
                            MinimizeStats* stats) {
   MinimizeStats local;
@@ -113,22 +145,15 @@ Scenario minimize_scenario(const Scenario& s, const MinimizeOptions& opts,
     }
   }
 
-  bool changed = true;
-  while (changed && st.runs < opts.max_runs) {
-    changed = false;
-    for (const auto& edit : edits_of(cur)) {
-      if (st.runs >= opts.max_runs) break;
-      Scenario cand = cur;
-      if (!edit(cand)) continue;
-      if (diverges(cand)) {
-        cur = std::move(cand);
-        ++st.accepted;
-        changed = true;
-        break;  // chunk indices shifted; rebuild the edit list
-      }
-    }
-  }
-  return cur;
+  MinimizeOptions rest = opts;
+  rest.max_runs = opts.max_runs > st.runs ? opts.max_runs - st.runs : 0;
+  MinimizeStats greedy;
+  Scenario out = minimize_scenario_with(
+      cur, [&](const Scenario& c) { return run_diff(c).diverged(); }, rest,
+      &greedy);
+  st.runs += greedy.runs;
+  st.accepted += greedy.accepted;
+  return out;
 }
 
 }  // namespace mantis::check

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "check/diff.hpp"
 #include "check/scenario.hpp"
@@ -31,5 +32,13 @@ struct MinimizeStats {
 /// does not). The result is guaranteed to still diverge.
 Scenario minimize_scenario(const Scenario& s, const MinimizeOptions& opts = {},
                            MinimizeStats* stats = nullptr);
+
+/// Greedy reduction against an arbitrary interestingness oracle: shrinks `s`
+/// while `oracle(candidate)` stays true (returns `s` unchanged if the oracle
+/// rejects it up front). The divergence minimizer above and the resource-
+/// fuzz repro minimizer are both built on this.
+Scenario minimize_scenario_with(
+    const Scenario& s, const std::function<bool(const Scenario&)>& oracle,
+    const MinimizeOptions& opts = {}, MinimizeStats* stats = nullptr);
 
 }  // namespace mantis::check

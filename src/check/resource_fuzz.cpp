@@ -1,0 +1,201 @@
+#include "check/resource_fuzz.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/minimize.hpp"
+#include "compile/compiler.hpp"
+#include "p4/alloc/stage_alloc.hpp"
+#include "p4/resources.hpp"
+#include "p4r/sema.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mantis::check {
+
+namespace {
+
+constexpr const char* kReproHeader = "# p4r_fuzz resource repro v1";
+
+/// Post-compile mis-pack defense: independently re-checks the artifacts the
+/// compiler claimed fit the model. A non-empty return is a compiler bug
+/// (something was packed past a budget without a rejection).
+std::string verify_artifacts_fit(const compile::Artifacts& art,
+                                 const p4::RmtResourceModel& model) {
+  try {
+    p4::allocate_program_stages(art.prog, model);
+  } catch (const std::exception& e) {
+    return std::string("stage re-allocation failed post-compile: ") + e.what();
+  }
+
+  for (const auto& act : art.prog.actions) {
+    std::uint64_t bits = 0;
+    for (const auto& p : act.params) bits += p.width;
+    if (bits > model.max_action_bits) {
+      return "action " + act.name + " packed with " + std::to_string(bits) +
+             " parameter bits (budget " +
+             std::to_string(model.max_action_bits) + ")";
+    }
+  }
+
+  // PHV containers: generated ALU scratch (the 64-bit shift temporary and
+  // the per-register accumulators) models operand width, not PHV allocation,
+  // and is exempt; intrinsic standard metadata lives in dedicated hardware
+  // containers and is exempt too (mirrors check_model_limits). Everything
+  // else must fit a container.
+  const auto& cat = art.prog.fields;
+  for (p4::FieldId f = 0; f < cat.size(); ++f) {
+    const auto& name = cat.full_name(f);
+    if (name.find("p4r_sh_") != std::string::npos) continue;
+    if (name.rfind("standard_metadata.", 0) == 0) continue;
+    if (name.size() >= 4 && name.rfind("acc_") == name.size() - 4) continue;
+    if (cat.width(f) > model.phv_container_bits) {
+      return "field " + name + " is " + std::to_string(cat.width(f)) +
+             " bits wide (container " +
+             std::to_string(model.phv_container_bits) + ")";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+p4::RmtResourceModel random_resource_model(std::uint64_t seed) {
+  Rng rng(seed ^ 0xa2d7f4c9b1e85630ULL);
+  p4::RmtResourceModel m;
+  m.stages = static_cast<int>(rng.uniform_range(1, 16));
+  m.sram_bytes_per_stage = 1ull << rng.uniform_range(10, 21);  // 1 KiB..2 MiB
+  m.tcam_bytes_per_stage = 1ull << rng.uniform_range(7, 17);  // 128 B..128 KiB
+  m.tables_per_stage = static_cast<int>(rng.uniform_range(1, 24));
+  m.alus_per_stage = static_cast<int>(rng.uniform_range(1, 256));
+  m.hash_units_per_stage = static_cast<int>(rng.uniform_range(1, 24));
+  m.registers_per_stage = static_cast<int>(rng.uniform_range(1, 48));
+  m.max_action_bits = static_cast<unsigned>(rng.uniform_range(2, 256));
+  const unsigned phv_choices[] = {16, 32, 64};
+  m.phv_container_bits = phv_choices[rng.uniform(3)];
+  const unsigned word_choices[] = {8, 16, 32, 64};
+  m.measure_word_bits =
+      std::min(word_choices[rng.uniform(4)], m.phv_container_bits);
+  return m;
+}
+
+std::string_view resource_fuzz_kind_name(ResourceFuzzResult::Kind k) {
+  switch (k) {
+    case ResourceFuzzResult::Kind::kFit: return "fit";
+    case ResourceFuzzResult::Kind::kRejected: return "rejected";
+    case ResourceFuzzResult::Kind::kSkipped: return "skipped";
+    case ResourceFuzzResult::Kind::kViolation: return "violation";
+  }
+  return "?";
+}
+
+ResourceFuzzResult run_resource_iteration(const Scenario& s,
+                                          const p4::RmtResourceModel& model) {
+  ResourceFuzzResult r;
+  const std::string source = s.program.render();
+
+  // Domain check: scenarios that don't compile under the *default* model are
+  // debris (minimizer candidates, hand-edited repros), not model rejections.
+  p4r::P4RProgram fp;
+  try {
+    fp = p4r::frontend(source);
+    (void)compile::compile(fp, compile::Options{});
+  } catch (const UserError& e) {
+    r.kind = ResourceFuzzResult::Kind::kSkipped;
+    r.detail = e.what();
+    return r;
+  } catch (const std::logic_error& e) {
+    r.kind = ResourceFuzzResult::Kind::kSkipped;
+    r.detail = e.what();
+    return r;
+  }
+
+  compile::Options opts;
+  opts.rmt = model;
+  opts.enforce_rmt = true;
+  compile::Artifacts art;
+  try {
+    art = compile::compile(fp, opts);
+  } catch (const p4::ResourceExhausted& e) {
+    // The contract: over-budget programs surface exactly this diagnostic.
+    r.kind = ResourceFuzzResult::Kind::kRejected;
+    r.resource = e.resource();
+    r.detail = e.what();
+    return r;
+  } catch (const std::exception& e) {
+    // A program that compiles on the default model may only fail on another
+    // model for a resource reason — anything else is a violation.
+    r.kind = ResourceFuzzResult::Kind::kViolation;
+    r.detail = std::string("unstructured rejection: ") + e.what();
+    return r;
+  }
+
+  if (auto err = verify_artifacts_fit(art, model); !err.empty()) {
+    r.kind = ResourceFuzzResult::Kind::kViolation;
+    r.detail = "silent mis-pack: " + err;
+    return r;
+  }
+
+  // Fits: the model must not have changed semantics.
+  DiffOptions dopts;
+  dopts.compile = opts;
+  r.diff = run_diff(s, dopts);
+  r.diff_outcome = r.diff.outcome;
+  if (r.diff.outcome == Outcome::kDiverged) {
+    r.kind = ResourceFuzzResult::Kind::kViolation;
+    r.detail = "differential divergence under model: " +
+               (r.diff.divergences.empty() ? std::string("?")
+                                           : r.diff.divergences.front().detail);
+  } else {
+    r.kind = ResourceFuzzResult::Kind::kFit;
+  }
+  return r;
+}
+
+std::string serialize_resource_repro(const ResourceRepro& r) {
+  std::ostringstream out;
+  out << kReproHeader << "\n";
+  out << r.model.serialize() << "\n";
+  out << serialize_scenario(r.scenario);
+  return out.str();
+}
+
+ResourceRepro parse_resource_repro(const std::string& text) {
+  std::istringstream in(text);
+  std::string header, model_line;
+  if (!std::getline(in, header) || header != kReproHeader) {
+    throw UserError("resource repro: missing '" + std::string(kReproHeader) +
+                    "' header");
+  }
+  if (!std::getline(in, model_line)) {
+    throw UserError("resource repro: missing model line");
+  }
+  ResourceRepro r;
+  r.model = p4::RmtResourceModel::parse(model_line);
+  std::ostringstream rest;
+  rest << in.rdbuf();
+  r.scenario = parse_scenario(rest.str());
+  return r;
+}
+
+ResourceRepro minimize_resource_repro(const ResourceRepro& r,
+                                      const ResourceMinimizeOptions& opts) {
+  const auto want = run_resource_iteration(r.scenario, r.model);
+  auto same_class = [&](const Scenario& c) {
+    const auto got = run_resource_iteration(c, r.model);
+    if (got.kind != want.kind) return false;
+    if (got.kind == ResourceFuzzResult::Kind::kRejected &&
+        got.resource != want.resource) {
+      return false;
+    }
+    return true;
+  };
+  MinimizeOptions mopts;
+  mopts.max_runs = opts.max_runs;
+  ResourceRepro out;
+  out.model = r.model;
+  out.scenario = minimize_scenario_with(r.scenario, same_class, mopts);
+  return out;
+}
+
+}  // namespace mantis::check

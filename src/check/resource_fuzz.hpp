@@ -1,0 +1,75 @@
+// Resource-budget fuzzing (the `p4r_fuzz --resources` mode): every iteration
+// draws a random RmtResourceModel — from tiny single-stage targets up to
+// beyond-Tofino envelopes — and compiles a generated scenario against it,
+// asserting *graceful degradation*, per "Testing Compilers for Programmable
+// Switches Through Switch Hardware Simulation":
+//
+//   - over-budget programs must be rejected with a structured
+//     p4::ResourceExhausted naming the exhausted resource — never a crash,
+//     silent mis-pack, or unstructured error;
+//   - fitting programs must still pass the differential check against the
+//     reference interpreter (the hardware model may change *whether* a
+//     program compiles, never *what it computes*).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/diff.hpp"
+#include "check/scenario.hpp"
+#include "p4/rmt_model.hpp"
+
+namespace mantis::check {
+
+/// Deterministically samples a resource envelope for one fuzz iteration.
+/// Spans roughly 1/100x..2x of the default model per axis, biased toward
+/// tight budgets so rejections actually happen; invariants the rest of the
+/// stack assumes (max_action_bits >= 2, measure_word_bits >= 8 and <= the
+/// container width) always hold.
+p4::RmtResourceModel random_resource_model(std::uint64_t seed);
+
+struct ResourceFuzzResult {
+  enum class Kind {
+    kFit,        ///< compiled under the model and the differential check held
+    kRejected,   ///< structured ResourceExhausted naming a resource
+    kSkipped,    ///< scenario invalid under the *default* model (debris)
+    kViolation,  ///< crash / unstructured rejection / mis-pack / divergence
+  };
+  Kind kind = Kind::kSkipped;
+  /// Set when kind == kRejected: which budget the compiler ran out of.
+  p4::RmtResource resource = p4::RmtResource::kStages;
+  std::string detail;       ///< rejection/violation message
+  Outcome diff_outcome = Outcome::kSkipped;  ///< set when kind == kFit
+  DiffResult diff;          ///< the fit-path differential result
+};
+
+std::string_view resource_fuzz_kind_name(ResourceFuzzResult::Kind k);
+
+/// Runs one scenario against one model and classifies the outcome. Never
+/// throws on program- or model-level errors (they become kinds); propagates
+/// only harness bugs.
+ResourceFuzzResult run_resource_iteration(const Scenario& s,
+                                          const p4::RmtResourceModel& model);
+
+/// A checked-in resource-mode repro: the model plus the scenario it rejects
+/// (or fits). serialize/parse round-trip byte-exactly; parse throws UserError
+/// on malformed input.
+struct ResourceRepro {
+  p4::RmtResourceModel model;
+  Scenario scenario;
+};
+
+std::string serialize_resource_repro(const ResourceRepro& r);
+ResourceRepro parse_resource_repro(const std::string& text);
+
+struct ResourceMinimizeOptions {
+  std::size_t max_runs = 300;
+};
+
+/// Greedily shrinks the scenario while its classification against `model`
+/// (kind, and the named resource for rejections) is preserved. Used to keep
+/// tests/corpus/resource_*.repro entries readable.
+ResourceRepro minimize_resource_repro(const ResourceRepro& r,
+                                      const ResourceMinimizeOptions& opts = {});
+
+}  // namespace mantis::check

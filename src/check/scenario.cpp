@@ -24,6 +24,7 @@ void put_list(std::ostringstream& out, const std::string& name,
 }  // namespace
 
 std::string GenSpec::render() const {
+  if (!raw.empty()) return raw;
   std::string out;
   auto cat = [&](const std::vector<std::string>& items) {
     for (const auto& item : items) {
@@ -76,6 +77,7 @@ std::string serialize_scenario(const Scenario& s) {
   put_list(out, "egress", s.program.egress);
   put_list(out, "reaction_sig", {s.program.reaction_sig});
   put_list(out, "reaction_stmts", s.program.reaction_stmts);
+  if (!s.program.raw.empty()) put_list(out, "raw", {s.program.raw});
   return out.str();
 }
 
@@ -89,6 +91,7 @@ Scenario parse_scenario(const std::string& text) {
 
   std::vector<std::string>* section = nullptr;
   std::vector<std::string> sig_holder;
+  std::vector<std::string> raw_holder;
   std::string chunk;
   bool in_sections = false;
 
@@ -115,6 +118,7 @@ Scenario parse_scenario(const std::string& text) {
       else if (name == "egress") section = &s.program.egress;
       else if (name == "reaction_sig") section = &sig_holder;
       else if (name == "reaction_stmts") section = &s.program.reaction_stmts;
+      else if (name == "raw") section = &raw_holder;
       else throw UserError("repro: unknown section '" + name + "'");
       continue;
     }
@@ -171,6 +175,7 @@ Scenario parse_scenario(const std::string& text) {
   }
   flush_chunk();
   if (!sig_holder.empty()) s.program.reaction_sig = sig_holder.front();
+  if (!raw_holder.empty()) s.program.raw = raw_holder.front();
   return s;
 }
 

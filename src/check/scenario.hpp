@@ -26,6 +26,12 @@ struct GenSpec {
   std::string reaction_sig;          ///< e.g. "reaction rx(reg q[0:7])"
   std::vector<std::string> reaction_stmts;  ///< self-contained C statements
 
+  /// Verbatim P4R source. When set, render() returns it unchanged and the
+  /// chunk lists above are ignored — this is how hand-written programs (the
+  /// upstream conformance set in examples/p4r/) run through the differential
+  /// harness without being re-sliced into chunks.
+  std::string raw;
+
   /// Renders the spec as P4R source text.
   std::string render() const;
 

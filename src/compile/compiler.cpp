@@ -4,6 +4,7 @@
 
 #include "compile/context.hpp"
 #include "compile/packing.hpp"
+#include "p4/alloc/stage_alloc.hpp"
 #include "p4/emit.hpp"
 #include "util/check.hpp"
 
@@ -14,8 +15,8 @@ namespace detail {
 void run_init_pass(Context& ctx) {
   auto& prog = ctx.prog;
 
-  if (ctx.opts.max_init_action_bits < 2) {
-    throw UserError("compile options: max_init_action_bits must be >= 2 "
+  if (ctx.opts.rmt.max_action_bits < 2) {
+    throw UserError("compile options: rmt.max_action_bits must be >= 2 "
                     "(the vv/mv version bits live in the master init action)");
   }
 
@@ -29,8 +30,11 @@ void run_init_pass(Context& ctx) {
   const std::size_t mv_idx = items.size();
   items.push_back(PackItem{"mv_", 1});
 
-  const auto bins = first_fit_decreasing_pinned(items, ctx.opts.max_init_action_bits,
-                                                {vv_idx, mv_idx});
+  // Malleable scalars must land inside real actions, so oversized items are
+  // a hard resource rejection rather than a dedicated over-wide bin.
+  const auto bins = first_fit_decreasing_pinned(
+      items, ctx.opts.rmt.max_action_bits, {vv_idx, mv_idx},
+      p4::RmtResource::kActionBits, /*allow_oversized=*/false);
 
   auto scalar_of = [&](const std::string& name) -> const Context::ScalarItem* {
     for (const auto& s : ctx.scalar_items) {
@@ -148,6 +152,53 @@ void run_assemble(Context& ctx) {
   prog.validate();
 }
 
+// Front-door model checks, run before the transformation passes so no pass
+// ever packs an impossible program:
+//  - every user-declared field (and malleable scalar, which lowers to a
+//    metadata field) must fit the model's widest PHV container. Compiler-
+//    generated scratch fields (the 64-bit shift temporary) are exempt: they
+//    model VLIW ALU operand width, not PHV allocation. Intrinsic standard
+//    metadata is likewise exempt: the hardware holds it in dedicated
+//    containers (its 48-bit timestamps exist on every target), so it never
+//    competes for user PHV space.
+//  - every user action's total parameter bits must fit the action-size
+//    budget (the compiler splits only its own init actions, never user
+//    actions, so an over-budget user action is a hard rejection).
+void check_model_limits(const p4r::P4RProgram& src, const Options& opts) {
+  if (!opts.enforce_rmt) return;
+  const unsigned cap = opts.rmt.phv_container_bits;
+  auto reject = [&](const std::string& what, p4::Width w) {
+    throw p4::ResourceExhausted(
+        p4::RmtResource::kContainerWidth,
+        what + " is " + std::to_string(w) +
+            " bits wide but the widest PHV container is " +
+            std::to_string(cap) + " bits");
+  };
+  for (const auto& ht : src.prog.header_types) {
+    if (ht.name == "standard_metadata_t") continue;
+    for (const auto& f : ht.fields) {
+      if (f.width > cap) reject("field " + ht.name + "." + f.name, f.width);
+    }
+  }
+  for (const auto& mv : src.values) {
+    if (mv.width > cap) reject("malleable value " + mv.name, mv.width);
+  }
+  for (const auto& mf : src.fields) {
+    if (mf.width > cap) reject("malleable field " + mf.name, mf.width);
+  }
+  for (const auto& act : src.prog.actions) {
+    std::uint64_t bits = 0;
+    for (const auto& p : act.params) bits += p.width;
+    if (bits > opts.rmt.max_action_bits) {
+      throw p4::ResourceExhausted(
+          p4::RmtResource::kActionBits,
+          "action " + act.name + " needs " + std::to_string(bits) +
+              " parameter bits but the budget is " +
+              std::to_string(opts.rmt.max_action_bits));
+    }
+  }
+}
+
 }  // namespace detail
 
 // Defined in emit_c.cpp.
@@ -158,6 +209,7 @@ Artifacts compile(const p4r::P4RProgram& src, const Options& opts) {
   ctx.src = &src;
   ctx.opts = opts;
 
+  detail::check_model_limits(src, opts);
   detail::run_setup(ctx);
   detail::run_value_pass(ctx);
   detail::run_field_pass(ctx);
@@ -165,6 +217,11 @@ Artifacts compile(const p4r::P4RProgram& src, const Options& opts) {
   detail::run_measure_pass(ctx);
   detail::run_init_pass(ctx);
   detail::run_assemble(ctx);
+
+  // The assembled pipeline (user tables + generated init/load/measure tables)
+  // must place onto the modeled hardware; over-budget programs are rejected
+  // here with a ResourceExhausted naming the exhausted resource.
+  if (opts.enforce_rmt) p4::allocate_program_stages(ctx.prog, opts.rmt);
 
   Artifacts out;
   out.c_source = emit_c_skeleton(ctx);

@@ -9,16 +9,25 @@
 #include <string_view>
 
 #include "compile/bindings.hpp"
+#include "p4/rmt_model.hpp"
 #include "p4r/sema.hpp"
 
 namespace mantis::compile {
 
 struct Options {
-  /// Maximum total parameter bits of a single init action (platform action-
-  /// size budget). Exceeding it splits the init table (paper §4.1/§5.1.1).
-  unsigned max_init_action_bits = 128;
-  /// Width of packed measurement registers (paper packs 32-bit words).
-  unsigned measure_word_bits = 32;
+  /// The target's resource envelope. `rmt.max_action_bits` bounds a single
+  /// init action (exceeding it splits the init table, paper §4.1/§5.1.1) and
+  /// `rmt.measure_word_bits` sizes packed measurement registers; the
+  /// remaining budgets gate stage allocation when `enforce_rmt` is set.
+  p4::RmtResourceModel rmt;
+  /// Run the full hardware checks as part of compile() — PHV container
+  /// widths, per-action parameter budgets, and RMT stage allocation — and
+  /// reject programs that exceed the model with a p4::ResourceExhausted
+  /// naming the resource. Off by default: the simulator has no stages, and
+  /// some valid-for-simulation programs (e.g. dependent tables sharing a
+  /// register) are not stage-mappable under RMT co-location rules. The
+  /// resource-budget fuzzer and hardware-fidelity checks turn this on.
+  bool enforce_rmt = false;
 };
 
 struct Artifacts {

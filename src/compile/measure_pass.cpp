@@ -37,14 +37,18 @@ void run_measure_pass(Context& ctx) {
       }
       if (items.empty()) continue;
 
-      const auto bins = first_fit_decreasing(items, ctx.opts.measure_word_bits);
+      // Oversized fields are allowed: the bin's backing register widens to 64
+      // bits below. A zero-width measure word is a structured SRAM rejection.
+      const auto bins =
+          first_fit_decreasing(items, ctx.opts.rmt.measure_word_bits,
+                               p4::RmtResource::kSram, /*allow_oversized=*/true);
       auto& body = gress == p4::Gress::kIngress ? ing_body : egr_body;
 
       for (std::size_t k = 0; k < bins.size(); ++k) {
         const auto& bin = bins[k];
         const p4::Width reg_width =
-            bin.used > ctx.opts.measure_word_bits ? 64
-            : static_cast<p4::Width>(ctx.opts.measure_word_bits);
+            bin.used > ctx.opts.rmt.measure_word_bits ? 64
+            : static_cast<p4::Width>(ctx.opts.rmt.measure_word_bits);
         const std::string reg_name =
             "p4r_meas_" + rx.name + "_" +
             std::string(gress == p4::Gress::kIngress ? "ing" : "egr") + "_" +

@@ -9,8 +9,13 @@ namespace mantis::compile {
 
 std::vector<PackedBin> first_fit_decreasing_pinned(
     const std::vector<PackItem>& items, unsigned capacity,
-    const std::vector<std::size_t>& pinned) {
-  expects(capacity > 0, "first_fit_decreasing: capacity == 0");
+    const std::vector<std::size_t>& pinned, p4::RmtResource budget,
+    bool allow_oversized) {
+  if (capacity == 0 && !items.empty()) {
+    throw p4::ResourceExhausted(
+        budget, "packing: capacity is zero, cannot place " +
+                    std::to_string(items.size()) + " item(s)");
+  }
 
   std::vector<PackedBin> bins;
   std::vector<bool> placed(items.size(), false);
@@ -42,6 +47,12 @@ std::vector<PackedBin> first_fit_decreasing_pinned(
     if (placed[idx]) continue;
     const unsigned size = items[idx].size;
     if (size > capacity) {
+      if (!allow_oversized) {
+        throw p4::ResourceExhausted(
+            budget, "packing: item " + items[idx].name + " needs " +
+                        std::to_string(size) + " bits but the budget is " +
+                        std::to_string(capacity));
+      }
       // Oversized: dedicated bin.
       PackedBin solo;
       solo.items.push_back(idx);
@@ -69,8 +80,11 @@ std::vector<PackedBin> first_fit_decreasing_pinned(
 }
 
 std::vector<PackedBin> first_fit_decreasing(const std::vector<PackItem>& items,
-                                            unsigned capacity) {
-  return first_fit_decreasing_pinned(items, capacity, {});
+                                            unsigned capacity,
+                                            p4::RmtResource budget,
+                                            bool allow_oversized) {
+  return first_fit_decreasing_pinned(items, capacity, {}, budget,
+                                     allow_oversized);
 }
 
 }  // namespace mantis::compile

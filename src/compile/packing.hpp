@@ -2,11 +2,18 @@
 // Mantis packs init-action parameters into as few actions as possible and
 // measurement fields into as few 32-bit registers as possible, using
 // first-fit-decreasing.
+//
+// The capacity is a budget from the RmtResourceModel; running out of it is a
+// user-visible target limitation, so packing failures surface as
+// p4::ResourceExhausted naming the budget (never a crash or a silent
+// over-full bin).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "p4/rmt_model.hpp"
 
 namespace mantis::compile {
 
@@ -20,16 +27,26 @@ struct PackedBin {
   unsigned used = 0;               ///< bits consumed
 };
 
-/// First-fit-decreasing. Items larger than `capacity` get a dedicated
-/// oversized bin (callers handle those; used for >32-bit measurement fields).
-/// The relative order of equal-sized items is preserved (stable sort).
-std::vector<PackedBin> first_fit_decreasing(const std::vector<PackItem>& items,
-                                            unsigned capacity);
+/// First-fit-decreasing. The relative order of equal-sized items is preserved
+/// (stable sort).
+///
+/// `budget` names the RmtResourceModel budget `capacity` came from; it labels
+/// the ResourceExhausted thrown when capacity is zero, or when an item is
+/// larger than capacity and `allow_oversized` is false. With
+/// `allow_oversized` (the measurement-register path, which widens the backing
+/// register for >capacity fields) oversized items get a dedicated solo bin
+/// instead.
+std::vector<PackedBin> first_fit_decreasing(
+    const std::vector<PackItem>& items, unsigned capacity,
+    p4::RmtResource budget = p4::RmtResource::kActionBits,
+    bool allow_oversized = true);
 
 /// Variant that pins `pinned` item indices into the first bin (used to force
 /// vv/mv into the master init action).
 std::vector<PackedBin> first_fit_decreasing_pinned(
     const std::vector<PackItem>& items, unsigned capacity,
-    const std::vector<std::size_t>& pinned);
+    const std::vector<std::size_t>& pinned,
+    p4::RmtResource budget = p4::RmtResource::kActionBits,
+    bool allow_oversized = true);
 
 }  // namespace mantis::compile

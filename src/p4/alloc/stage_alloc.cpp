@@ -93,16 +93,60 @@ std::vector<std::string> registers_used_by(const Program& prog, const TableDecl&
   return out;
 }
 
+TableDemand table_demand(const Program& prog, const TableDecl& tbl) {
+  TableDemand d;
+
+  const std::uint64_t key_bits = table_match_bits(prog, tbl);
+  const std::uint64_t act_bits = table_action_data_bits(prog, tbl);
+  const bool in_tcam = tbl.is_ternary() ||
+                       std::any_of(tbl.reads.begin(), tbl.reads.end(),
+                                   [](const MatchSpec& m) {
+                                     return m.kind == MatchKind::kLpm;
+                                   });
+  d.tcam_bits = in_tcam ? tbl.size * key_bits : 0;
+  d.sram_bits = in_tcam ? tbl.size * act_bits : tbl.size * (key_bits + act_bits);
+
+  // ALU slots: RMT issues one action's field writes in parallel, so a table
+  // needs as many slots as its widest action body (one even if empty — the
+  // match result itself occupies a slot).
+  int widest = 1;
+  bool hash_action = false;
+  for (const auto& name : tbl.actions) {
+    const auto* act = prog.find_action(name);
+    ensures(act != nullptr, "table_demand: unknown action " + name);
+    widest = std::max(widest, static_cast<int>(act->body.size()));
+    for (const auto& ins : act->body) {
+      if (ins.op == PrimOp::kModifyFieldWithHash) hash_action = true;
+    }
+  }
+  d.alus = widest;
+
+  // Hash units: one to hash the key of any exact/LPM match, plus one for
+  // hash-computing actions.
+  const bool keyed_match =
+      std::any_of(tbl.reads.begin(), tbl.reads.end(), [](const MatchSpec& m) {
+        return m.kind == MatchKind::kExact || m.kind == MatchKind::kLpm;
+      });
+  d.hash_units = (keyed_match ? 1 : 0) + (hash_action ? 1 : 0);
+
+  d.registers = registers_used_by(prog, tbl);
+  return d;
+}
+
 StageAssignment allocate_stages(const Program& prog, const ControlBlock& block,
-                                const StageModel& model) {
+                                const RmtResourceModel& model) {
   const auto order = prog.tables_in(block);
 
   struct StageLoad {
     std::uint64_t sram = 0;
     std::uint64_t tcam = 0;
     int tables = 0;
+    int alus = 0;
+    int hash_units = 0;
+    std::unordered_set<std::string> registers;
   };
-  std::vector<StageLoad> load(static_cast<std::size_t>(model.max_stages));
+  std::vector<StageLoad> load(
+      static_cast<std::size_t>(std::max(model.stages, 0)));
 
   // register name -> stage that hosts it (RMT: one stage per register)
   std::unordered_map<std::string, int> register_stage;
@@ -126,6 +170,7 @@ StageAssignment allocate_stages(const Program& prog, const ControlBlock& block,
   for (std::size_t i = 0; i < order.size(); ++i) {
     const auto& name = order[i];
     const auto* tbl = prog.find_table(name);
+    const TableDemand need = table_demand(prog, *tbl);
 
     // Earliest legal stage from dependencies on earlier tables.
     int min_stage = 0;
@@ -139,73 +184,111 @@ StageAssignment allocate_stages(const Program& prog, const ControlBlock& block,
 
     // Register co-location: all users of a register share its stage.
     int pinned_stage = -1;
-    for (const auto& reg : registers_used_by(prog, *tbl)) {
+    for (const auto& reg : need.registers) {
       auto it = register_stage.find(reg);
       if (it != register_stage.end()) {
         if (pinned_stage != -1 && pinned_stage != it->second) {
-          throw UserError("stage allocation: table " + name +
-                          " uses registers pinned to different stages");
+          throw ResourceExhausted(
+              RmtResource::kRegisters,
+              "stage allocation: table " + name +
+                  " uses registers pinned to different stages");
         }
         pinned_stage = it->second;
       }
     }
     if (pinned_stage != -1 && pinned_stage < min_stage) {
-      throw UserError("stage allocation: register placement conflicts with "
-                      "dependencies for table " + name);
+      throw ResourceExhausted(
+          RmtResource::kRegisters,
+          "stage allocation: register placement conflicts with dependencies "
+          "for table " + name);
     }
 
-    const std::uint64_t key_bits = table_match_bits(prog, *tbl);
-    const std::uint64_t act_bits = table_action_data_bits(prog, *tbl);
-    const bool in_tcam = tbl->is_ternary() ||
-                         std::any_of(tbl->reads.begin(), tbl->reads.end(),
-                                     [](const MatchSpec& m) {
-                                       return m.kind == MatchKind::kLpm;
-                                     });
-    const std::uint64_t tcam_need = in_tcam ? tbl->size * key_bits : 0;
-    const std::uint64_t sram_need =
-        in_tcam ? tbl->size * act_bits : tbl->size * (key_bits + act_bits);
-
-    auto fits = [&](int s) {
+    // Which resource keeps the table out of stage s? Returns kStages when
+    // everything fits (i.e. no blocker).
+    auto blocker = [&](int s) -> RmtResource {
       const auto& sl = load[static_cast<std::size_t>(s)];
-      return sl.tables + 1 <= model.tables_per_stage &&
-             sl.sram + sram_need <= model.sram_bits_per_stage &&
-             sl.tcam + tcam_need <= model.tcam_bits_per_stage;
+      if (sl.tables + 1 > model.tables_per_stage) return RmtResource::kTables;
+      if (sl.sram + need.sram_bits > model.sram_bits_per_stage()) {
+        return RmtResource::kSram;
+      }
+      if (sl.tcam + need.tcam_bits > model.tcam_bits_per_stage()) {
+        return RmtResource::kTcam;
+      }
+      if (sl.alus + need.alus > model.alus_per_stage) return RmtResource::kAlus;
+      if (sl.hash_units + need.hash_units > model.hash_units_per_stage) {
+        return RmtResource::kHashUnits;
+      }
+      int new_regs = 0;
+      for (const auto& reg : need.registers) {
+        if (!sl.registers.count(reg)) ++new_regs;
+      }
+      if (static_cast<int>(sl.registers.size()) + new_regs >
+          model.registers_per_stage) {
+        return RmtResource::kRegisters;
+      }
+      return RmtResource::kStages;
     };
+    auto fits = [&](int s) { return blocker(s) == RmtResource::kStages; };
 
     int chosen = -1;
     if (pinned_stage != -1) {
       if (!fits(pinned_stage)) {
-        throw UserError("stage allocation: pinned stage overflows for table " + name);
+        throw ResourceExhausted(
+            blocker(pinned_stage),
+            "stage allocation: pinned stage overflows for table " + name);
       }
       chosen = pinned_stage;
     } else {
-      for (int s = min_stage; s < model.max_stages; ++s) {
+      for (int s = min_stage; s < model.stages; ++s) {
         if (fits(s)) {
           chosen = s;
           break;
         }
       }
       if (chosen == -1) {
-        throw UserError("stage allocation: program does not fit in " +
-                        std::to_string(model.max_stages) + " stages (table " +
-                        name + ")");
+        // Name the real bottleneck: if the table cannot fit even an empty
+        // stage, report that per-stage resource; otherwise the dependency
+        // chain simply outruns the stage budget.
+        RmtResource why = RmtResource::kStages;
+        if (need.sram_bits > model.sram_bits_per_stage()) {
+          why = RmtResource::kSram;
+        } else if (need.tcam_bits > model.tcam_bits_per_stage()) {
+          why = RmtResource::kTcam;
+        } else if (model.tables_per_stage < 1) {
+          why = RmtResource::kTables;
+        } else if (need.alus > model.alus_per_stage) {
+          why = RmtResource::kAlus;
+        } else if (need.hash_units > model.hash_units_per_stage) {
+          why = RmtResource::kHashUnits;
+        } else if (static_cast<int>(need.registers.size()) >
+                   model.registers_per_stage) {
+          why = RmtResource::kRegisters;
+        }
+        throw ResourceExhausted(
+            why, "stage allocation: program does not fit in " +
+                     std::to_string(model.stages) + " stages (table " + name +
+                     ")");
       }
     }
 
     auto& sl = load[static_cast<std::size_t>(chosen)];
     sl.tables += 1;
-    sl.sram += sram_need;
-    sl.tcam += tcam_need;
+    sl.sram += need.sram_bits;
+    sl.tcam += need.tcam_bits;
+    sl.alus += need.alus;
+    sl.hash_units += need.hash_units;
     result.table_stage[name] = chosen;
     result.stages_used = std::max(result.stages_used, chosen + 1);
-    for (const auto& reg : registers_used_by(prog, *tbl)) {
+    for (const auto& reg : need.registers) {
+      sl.registers.insert(reg);
       register_stage.emplace(reg, chosen);
     }
   }
   return result;
 }
 
-ProgramStages allocate_program_stages(const Program& prog, const StageModel& model) {
+ProgramStages allocate_program_stages(const Program& prog,
+                                      const RmtResourceModel& model) {
   ProgramStages out;
   out.ingress = allocate_stages(prog, prog.ingress, model).stages_used;
   out.egress = allocate_stages(prog, prog.egress, model).stages_used;

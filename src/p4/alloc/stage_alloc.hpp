@@ -10,6 +10,10 @@
 //    restricts a register to one stage); if dependencies make that
 //    impossible the allocator throws.
 //  - Otherwise tables may share a stage up to the capacity limits.
+//
+// Capacity comes from an explicit RmtResourceModel (stages, SRAM/TCAM bytes,
+// tables, ALUs, hash units, registers per stage). Every over-budget program
+// is rejected with a ResourceExhausted naming the exhausted resource.
 #pragma once
 
 #include <cstdint>
@@ -19,17 +23,9 @@
 
 #include "p4/ir.hpp"
 #include "p4/resources.hpp"
+#include "p4/rmt_model.hpp"
 
 namespace mantis::p4 {
-
-/// Per-stage capacity of the modeled RMT switch. Defaults approximate one
-/// Tofino-class pipeline (documented model, not vendor data).
-struct StageModel {
-  int max_stages = 12;
-  std::uint64_t sram_bits_per_stage = 10ull * 1024 * 1024;  // 1.25 MiB
-  std::uint64_t tcam_bits_per_stage = 512ull * 1024;        // 64 KiB
-  int tables_per_stage = 16;
-};
 
 struct StageAssignment {
   /// table name -> stage index (0-based)
@@ -37,10 +33,11 @@ struct StageAssignment {
   int stages_used = 0;
 };
 
-/// Allocates all tables applied by `block` (one pipeline). Throws UserError
-/// if the program cannot fit within `model.max_stages`.
+/// Allocates all tables applied by `block` (one pipeline). Throws
+/// ResourceExhausted (a UserError naming the exhausted resource) if the
+/// program cannot fit within `model`.
 StageAssignment allocate_stages(const Program& prog, const ControlBlock& block,
-                                const StageModel& model = StageModel{});
+                                const RmtResourceModel& model = RmtResourceModel{});
 
 /// Convenience: max of ingress and egress stage counts... reported per
 /// pipeline as ingress_stages + egress_stages (Tofino has separate gress
@@ -52,7 +49,7 @@ struct ProgramStages {
 };
 
 ProgramStages allocate_program_stages(const Program& prog,
-                                      const StageModel& model = StageModel{});
+                                      const RmtResourceModel& model = RmtResourceModel{});
 
 /// Fields written by any action of the table (destinations of field-writing
 /// primitives). Exposed for tests.
@@ -63,5 +60,19 @@ std::vector<FieldId> fields_read_by(const Program& prog, const TableDecl& tbl);
 
 /// Registers accessed (read or written) by any action of the table.
 std::vector<std::string> registers_used_by(const Program& prog, const TableDecl& tbl);
+
+/// The table's per-stage demand under the model's cost accounting: ALU slots
+/// (widest action body), hash units (exact/LPM key + hash actions), SRAM and
+/// TCAM bits, and the distinct registers it must co-locate with. Exposed for
+/// tests and the resource fuzzer's mis-pack re-check.
+struct TableDemand {
+  std::uint64_t sram_bits = 0;
+  std::uint64_t tcam_bits = 0;
+  int alus = 0;
+  int hash_units = 0;
+  std::vector<std::string> registers;
+};
+
+TableDemand table_demand(const Program& prog, const TableDecl& tbl);
 
 }  // namespace mantis::p4

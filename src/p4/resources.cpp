@@ -68,17 +68,36 @@ ResourceSummary compute_resources(const Program& prog) {
   return sum;
 }
 
-ResourceSummary marginal(const ResourceSummary& full, const ResourceSummary& base) {
-  auto sub = [](std::uint64_t a, std::uint64_t b) { return a > b ? a - b : 0; };
-  ResourceSummary m;
+ResourceDelta marginal(const ResourceSummary& full, const ResourceSummary& base) {
+  auto sub = [](std::uint64_t a, std::uint64_t b) {
+    return static_cast<std::int64_t>(a) - static_cast<std::int64_t>(b);
+  };
+  ResourceDelta m;
   m.table_tcam_bits = sub(full.table_tcam_bits, base.table_tcam_bits);
   m.table_sram_bits = sub(full.table_sram_bits, base.table_sram_bits);
   m.register_sram_bits = sub(full.register_sram_bits, base.register_sram_bits);
   m.metadata_bits = sub(full.metadata_bits, base.metadata_bits);
-  m.num_tables = full.num_tables > base.num_tables ? full.num_tables - base.num_tables : 0;
-  m.num_registers =
-      full.num_registers > base.num_registers ? full.num_registers - base.num_registers : 0;
+  m.num_tables = sub(full.num_tables, base.num_tables);
+  m.num_registers = sub(full.num_registers, base.num_registers);
   return m;
+}
+
+ResourceHeadroom headroom(const ResourceSummary& summary,
+                          const RmtResourceModel& model) {
+  auto sub = [](std::uint64_t a, std::uint64_t b) {
+    return static_cast<std::int64_t>(a) - static_cast<std::int64_t>(b);
+  };
+  const std::uint64_t stages = static_cast<std::uint64_t>(std::max(model.stages, 0));
+  ResourceHeadroom h;
+  h.tcam_bits = sub(stages * model.tcam_bits_per_stage(), summary.table_tcam_bits);
+  h.sram_bits = sub(stages * model.sram_bits_per_stage(),
+                    summary.table_sram_bits + summary.register_sram_bits);
+  h.tables = sub(stages * static_cast<std::uint64_t>(std::max(model.tables_per_stage, 0)),
+                 summary.num_tables);
+  h.registers = sub(
+      stages * static_cast<std::uint64_t>(std::max(model.registers_per_stage, 0)),
+      summary.num_registers);
+  return h;
 }
 
 }  // namespace mantis::p4

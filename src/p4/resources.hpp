@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "p4/ir.hpp"
+#include "p4/rmt_model.hpp"
 
 namespace mantis::p4 {
 
@@ -55,8 +56,40 @@ std::uint64_t table_match_bits(const Program& prog, const TableDecl& tbl);
 /// Widest action payload among the table's actions, plus an 8-bit action id.
 std::uint64_t table_action_data_bits(const Program& prog, const TableDecl& tbl);
 
-/// Marginal usage of `full` over `base` (clamped at zero per component).
+/// Signed per-component difference of two summaries. Negative components are
+/// meaningful (a transformation can *save* resources — e.g. eliminating a
+/// user register in favor of duplicated copies), so this no longer clamps at
+/// zero the way the implicit-constant model did.
+struct ResourceDelta {
+  std::int64_t table_tcam_bits = 0;
+  std::int64_t table_sram_bits = 0;
+  std::int64_t register_sram_bits = 0;
+  std::int64_t metadata_bits = 0;
+  std::int64_t num_tables = 0;
+  std::int64_t num_registers = 0;
+};
+
+/// Marginal usage of `full` over `base` (signed per component).
 /// This is how Table 1 reports "marginal increase over a basic router".
-ResourceSummary marginal(const ResourceSummary& full, const ResourceSummary& base);
+ResourceDelta marginal(const ResourceSummary& full, const ResourceSummary& base);
+
+/// Whole-pipeline headroom of `summary` against `model` (stages x per-stage
+/// capacity). Negative components mean the program is over budget; fits()
+/// is the aggregate answer. This is the summary-level round-trip through the
+/// same RmtResourceModel the stage allocator enforces per stage (the
+/// allocator can still reject a program whose aggregate fits, e.g. for
+/// dependency-chain or co-location reasons).
+struct ResourceHeadroom {
+  std::int64_t tcam_bits = 0;
+  std::int64_t sram_bits = 0;  ///< tables + registers vs total SRAM
+  std::int64_t tables = 0;
+  std::int64_t registers = 0;
+  bool fits() const {
+    return tcam_bits >= 0 && sram_bits >= 0 && tables >= 0 && registers >= 0;
+  }
+};
+
+ResourceHeadroom headroom(const ResourceSummary& summary,
+                          const RmtResourceModel& model);
 
 }  // namespace mantis::p4

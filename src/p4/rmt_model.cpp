@@ -1,0 +1,84 @@
+#include "p4/rmt_model.hpp"
+
+#include <sstream>
+
+namespace mantis::p4 {
+
+const char* rmt_resource_name(RmtResource r) {
+  switch (r) {
+    case RmtResource::kStages: return "stages";
+    case RmtResource::kSram: return "sram";
+    case RmtResource::kTcam: return "tcam";
+    case RmtResource::kTables: return "tables";
+    case RmtResource::kAlus: return "alus";
+    case RmtResource::kHashUnits: return "hash-units";
+    case RmtResource::kRegisters: return "registers";
+    case RmtResource::kActionBits: return "action-bits";
+    case RmtResource::kContainerWidth: return "container-width";
+  }
+  return "unknown";
+}
+
+std::string RmtResourceModel::describe() const {
+  std::ostringstream os;
+  os << stages << " stages, " << sram_bytes_per_stage / 1024 << " KiB SRAM + "
+     << tcam_bytes_per_stage / 1024 << " KiB TCAM per stage, "
+     << tables_per_stage << " tables, " << alus_per_stage << " ALUs, "
+     << hash_units_per_stage << " hash units, " << registers_per_stage
+     << " registers per stage; action<=" << max_action_bits
+     << "b, measure word " << measure_word_bits << "b, container<="
+     << phv_container_bits << "b";
+  return os.str();
+}
+
+std::string RmtResourceModel::serialize() const {
+  std::ostringstream os;
+  os << "model stages=" << stages << " sram_bytes=" << sram_bytes_per_stage
+     << " tcam_bytes=" << tcam_bytes_per_stage
+     << " tables=" << tables_per_stage << " alus=" << alus_per_stage
+     << " hash_units=" << hash_units_per_stage
+     << " registers=" << registers_per_stage
+     << " action_bits=" << max_action_bits
+     << " measure_word_bits=" << measure_word_bits
+     << " container_bits=" << phv_container_bits;
+  return os.str();
+}
+
+RmtResourceModel RmtResourceModel::parse(const std::string& line) {
+  std::istringstream is(line);
+  std::string head;
+  is >> head;
+  if (head != "model") {
+    throw UserError("RmtResourceModel: expected 'model ...', got: " + line);
+  }
+  RmtResourceModel m;
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      throw UserError("RmtResourceModel: bad token '" + tok + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    std::uint64_t n = 0;
+    try {
+      n = std::stoull(val);
+    } catch (const std::exception&) {
+      throw UserError("RmtResourceModel: bad value in '" + tok + "'");
+    }
+    if (key == "stages") m.stages = static_cast<int>(n);
+    else if (key == "sram_bytes") m.sram_bytes_per_stage = n;
+    else if (key == "tcam_bytes") m.tcam_bytes_per_stage = n;
+    else if (key == "tables") m.tables_per_stage = static_cast<int>(n);
+    else if (key == "alus") m.alus_per_stage = static_cast<int>(n);
+    else if (key == "hash_units") m.hash_units_per_stage = static_cast<int>(n);
+    else if (key == "registers") m.registers_per_stage = static_cast<int>(n);
+    else if (key == "action_bits") m.max_action_bits = static_cast<unsigned>(n);
+    else if (key == "measure_word_bits") m.measure_word_bits = static_cast<unsigned>(n);
+    else if (key == "container_bits") m.phv_container_bits = static_cast<unsigned>(n);
+    else throw UserError("RmtResourceModel: unknown key '" + key + "'");
+  }
+  return m;
+}
+
+}  // namespace mantis::p4

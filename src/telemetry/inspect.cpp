@@ -1,10 +1,12 @@
 #include "telemetry/inspect.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "int/collector.hpp"
 #include "telemetry/metrics.hpp"  // json_escape
 
 namespace mantis::telemetry {
@@ -155,6 +157,79 @@ std::string mfr_chrome_json(const MfrDump& dump) {
 
   out << "\n]\n}\n";
   return out.str();
+}
+
+std::string mfr_int_text(const MfrDump& dump) {
+  using mantis::int_tel::IntReport;
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& ev : dump.events) {
+    if (ev.kind != FlightEvent::Kind::kIntReport) continue;
+    ++shown;
+    IntReport rep;
+    if (!IntReport::parse(ev.detail, rep)) {
+      os << "t=" << ev.t << " <unparseable int_report: " << ev.detail << ">\n";
+      continue;
+    }
+    os << "t=" << ev.t << " sink=n" << rep.sink << " seq=" << rep.seq
+       << " proto=" << static_cast<unsigned>(rep.proto) << " flow "
+       << rep.flow_src << "->" << rep.flow_dst
+       << (rep.truncated ? " TRUNCATED" : "") << "\n";
+    for (const auto& hop : rep.hops) {
+      os << "    n" << hop.switch_id;
+      if (hop.ingress_port == mantis::int_tel::kSyntheticIngress) {
+        os << " in=probe";
+      } else {
+        os << " in=" << hop.ingress_port;
+      }
+      os << " out=" << hop.egress_port << " latency=" << hop.hop_latency_ns
+         << "ns queue=" << hop.queue_bytes << "B\n";
+    }
+  }
+  os << shown << " INT report(s) in dump (recorder samples 1 in N; see "
+        "net.int.sink_reports for the full count)\n";
+  return os.str();
+}
+
+std::string mfr_channel_text(const MfrDump& dump) {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& snap : dump.snapshots) {
+    if (snap.label.find("driver.channel") == std::string::npos) continue;
+    for (const auto& line : snap.lines) {
+      // key=value tokens, whitespace-separated.
+      std::uint64_t ops = 0, busy_ns = 0, depth = 0, per_mille = 0;
+      std::int64_t free_at = 0;
+      std::istringstream is(line);
+      std::string tok;
+      while (is >> tok) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = tok.substr(0, eq);
+        const char* val = tok.c_str() + eq + 1;
+        if (key == "ops") ops = std::strtoull(val, nullptr, 0);
+        if (key == "busy_ns") busy_ns = std::strtoull(val, nullptr, 0);
+        if (key == "depth") depth = std::strtoull(val, nullptr, 0);
+        if (key == "free_at") free_at = std::strtoll(val, nullptr, 0);
+        if (key == "utilization_permille") {
+          per_mille = std::strtoull(val, nullptr, 0);
+        }
+      }
+      ++shown;
+      os << snap.label << ": ops=" << ops << " busy=" << busy_ns / 1000 << "."
+         << busy_ns % 1000 / 100 << "us in_flight=" << depth
+         << " free_at=" << free_at << "ns utilization=" << per_mille / 10 << "."
+         << per_mille % 10 << "%\n";
+    }
+  }
+  if (shown == 0) {
+    os << "no driver.channel snapshot in dump (pre-channel-gauge .mfr?)\n";
+  } else {
+    os << shown << " channel(s); utilization is busy time / virtual time at "
+          "dump. Batched transfers land as one occupancy each; see "
+          "driver.channel.depth_at_submit for the pipelining histogram.\n";
+  }
+  return os.str();
 }
 
 }  // namespace mantis::telemetry

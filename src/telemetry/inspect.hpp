@@ -25,4 +25,13 @@ std::string mfr_reaction_text(const MfrDump& dump, std::uint64_t reaction_id);
 /// lanes, flow arcs per reaction id) for chrome://tracing / Perfetto.
 std::string mfr_chrome_json(const MfrDump& dump);
 
+/// Pretty-prints the dump's sampled INT sink reports (kind int_report),
+/// expanding each hop record onto its own line.
+std::string mfr_int_text(const MfrDump& dump);
+
+/// Renders every driver-channel utilization snapshot in the dump (one per
+/// switch in fabric dumps). The channel provider emits a single key=value
+/// line: ops= busy_ns= depth= free_at= utilization_permille=.
+std::string mfr_channel_text(const MfrDump& dump);
+
 }  // namespace mantis::telemetry

@@ -44,7 +44,7 @@ struct OverflowFixture {
   OverflowFixture()
       : copts([] {
           compile::Options o;
-          o.max_init_action_bits = 70;  // forces >= 2 init tables
+          o.rmt.max_action_bits = 70;  // forces >= 2 init tables
           return o;
         }()),
         stack(kManyScalarsSrc, {}, {}, {}, copts) {}

@@ -12,6 +12,7 @@
 #include "check/gen.hpp"
 #include "check/minimize.hpp"
 #include "check/ref_model.hpp"
+#include "check/resource_fuzz.hpp"
 #include "compile/compiler.hpp"
 #include "p4r/sema.hpp"
 
@@ -200,6 +201,9 @@ TEST(CheckCorpus, ReprosReplayDeterministically) {
   std::size_t seen = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (entry.path().extension() != ".repro") continue;
+    // Resource-model repros bundle a model line with the scenario and are
+    // replayed by CheckResourceCorpus below.
+    if (entry.path().filename().string().rfind("resource_", 0) == 0) continue;
     ++seen;
     std::ifstream in(entry.path());
     std::ostringstream buf;
@@ -221,6 +225,49 @@ TEST(CheckCorpus, ReprosReplayDeterministically) {
     }
   }
   EXPECT_GE(seen, 3u) << "corpus should hold pinned regression repros";
+}
+
+// Minimized repros from `p4r_fuzz --resources`: each bundles a randomized
+// RmtResourceModel with a scenario and pins its classification in the
+// filename (resource_fit_* / resource_rejected_<resource>_*). Replaying
+// must reproduce that exact classification — and never a violation.
+TEST(CheckResourceCorpus, ReprosReplayWithPinnedClassification) {
+  const std::filesystem::path dir =
+      std::filesystem::path(MANTIS_TEST_DATA_DIR) / "corpus";
+  ASSERT_TRUE(std::filesystem::exists(dir)) << dir;
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.path().extension() != ".repro") continue;
+    if (name.rfind("resource_", 0) != 0) continue;
+    ++seen;
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const ResourceRepro repro = parse_resource_repro(buf.str());
+    const auto a = run_resource_iteration(repro.scenario, repro.model);
+    const auto b = run_resource_iteration(repro.scenario, repro.model);
+    EXPECT_EQ(a.kind, b.kind) << entry.path();
+    EXPECT_EQ(a.detail, b.detail) << entry.path();
+    EXPECT_NE(a.kind, ResourceFuzzResult::Kind::kViolation)
+        << entry.path() << ": " << a.detail;
+
+    const auto seed_pos = name.find("_seed_");
+    ASSERT_NE(seed_pos, std::string::npos) << entry.path();
+    const std::string label = name.substr(9, seed_pos - 9);
+    if (label == "fit") {
+      EXPECT_EQ(a.kind, ResourceFuzzResult::Kind::kFit)
+          << entry.path() << ": " << a.detail;
+    } else if (label.rfind("rejected_", 0) == 0) {
+      ASSERT_EQ(a.kind, ResourceFuzzResult::Kind::kRejected)
+          << entry.path() << ": " << a.detail;
+      EXPECT_EQ(p4::rmt_resource_name(a.resource), label.substr(9))
+          << entry.path();
+    } else {
+      ADD_FAILURE() << entry.path() << ": unrecognized classification label";
+    }
+  }
+  EXPECT_GE(seen, 5u) << "corpus should hold pinned resource-fuzz repros";
 }
 
 }  // namespace

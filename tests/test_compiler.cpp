@@ -84,7 +84,7 @@ control egress { }
 
 TEST(InitPass, SplitsWhenExceedingActionBudget) {
   Options opts;
-  opts.max_init_action_bits = 40;
+  opts.rmt.max_action_bits = 40;
   const auto art = compile_src(R"(
 malleable value k1 { width : 32; init : 1; }
 malleable value k2 { width : 32; init : 2; }

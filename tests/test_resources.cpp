@@ -1,6 +1,8 @@
 // Tests for the resource model and the RMT stage allocator.
 #include <gtest/gtest.h>
 
+#include "compile/compiler.hpp"
+#include "compile/packing.hpp"
 #include "p4/alloc/stage_alloc.hpp"
 #include "p4/resources.hpp"
 #include "p4r/sema.hpp"
@@ -50,15 +52,50 @@ TEST(Resources, PerTableAccounting) {
   EXPECT_GT(res.metadata_bits, 0u);
 }
 
-TEST(Resources, MarginalClampsAtZero) {
+TEST(Resources, MarginalIsSigned) {
   ResourceSummary a, b;
   a.table_sram_bits = 100;
+  a.num_registers = 3;
   b.table_sram_bits = 300;
   b.num_tables = 2;
   const auto m1 = marginal(b, a);
-  EXPECT_EQ(m1.table_sram_bits, 200u);
+  EXPECT_EQ(m1.table_sram_bits, 200);
+  EXPECT_EQ(m1.num_registers, -3);  // savings are visible, not clamped
   const auto m2 = marginal(a, b);
-  EXPECT_EQ(m2.table_sram_bits, 0u);
+  EXPECT_EQ(m2.table_sram_bits, -200);
+  EXPECT_EQ(m2.num_tables, -2);
+}
+
+TEST(Resources, HeadroomRoundTripsThroughModel) {
+  const auto prog = build(kMixedSrc);
+  const auto res = compute_resources(prog);
+
+  // The generous default envelope leaves headroom on every axis.
+  const auto h = headroom(res, RmtResourceModel{});
+  EXPECT_TRUE(h.fits());
+  EXPECT_GT(h.tcam_bits, 0);
+  EXPECT_GT(h.sram_bits, 0);
+
+  // A model sized exactly to the summary has zero slack; one bit less and
+  // the headroom goes negative — the summary and the model agree on units.
+  RmtResourceModel exact;
+  exact.stages = 1;
+  exact.tcam_bytes_per_stage = (res.table_tcam_bits + 7) / 8;
+  exact.sram_bytes_per_stage =
+      (res.table_sram_bits + res.register_sram_bits + 7) / 8;
+  exact.tables_per_stage = static_cast<int>(res.num_tables);
+  exact.registers_per_stage = static_cast<int>(res.num_registers);
+  const auto tight = headroom(res, exact);
+  EXPECT_TRUE(tight.fits());
+  EXPECT_LT(tight.tcam_bits, 8);
+  EXPECT_LT(tight.sram_bits, 8);
+  EXPECT_EQ(tight.tables, 0);
+  EXPECT_EQ(tight.registers, 0);
+
+  RmtResourceModel small = exact;
+  small.tables_per_stage -= 1;
+  EXPECT_FALSE(headroom(res, small).fits());
+  EXPECT_EQ(headroom(res, small).tables, -1);
 }
 
 TEST(StageAlloc, IndependentTablesShareAStage) {
@@ -165,8 +202,8 @@ table big2 { reads { h.a : ternary; } actions { setb; } size : 10000; }
 control ingress { apply(big1); apply(big2); }
 control egress { }
 )P4R");
-  StageModel tight;
-  tight.tcam_bits_per_stage = 10000 * 32 + 100;  // fits one big table only
+  RmtResourceModel tight;
+  tight.tcam_bytes_per_stage = (10000 * 32 + 100) / 8;  // fits one big table only
   const auto alloc = allocate_stages(prog, prog.ingress, tight);
   EXPECT_NE(alloc.table_stage.at("big1"), alloc.table_stage.at("big2"));
 }
@@ -186,11 +223,18 @@ TEST(StageAlloc, OverflowBeyondMaxStagesRejected) {
   }
   src += ingress + " }\ncontrol egress { }\n";
   const auto prog = build(src.c_str());
-  StageModel model;
-  model.max_stages = 12;
-  EXPECT_THROW(allocate_stages(prog, prog.ingress, model), UserError);
-  StageModel bigger;
-  bigger.max_stages = 16;
+  RmtResourceModel model;
+  model.stages = 12;
+  try {
+    allocate_stages(prog, prog.ingress, model);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.resource(), RmtResource::kStages);
+    EXPECT_NE(std::string(e.what()).find("resource-exhausted: stages"),
+              std::string::npos);
+  }
+  RmtResourceModel bigger;
+  bigger.stages = 16;
   EXPECT_EQ(allocate_stages(prog, prog.ingress, bigger).stages_used, 14);
 }
 
@@ -205,10 +249,144 @@ TEST(StageAlloc, TablesPerStageLimit) {
   }
   src += ingress + " }\ncontrol egress { }\n";
   const auto prog = build(src.c_str());
-  StageModel model;
+  RmtResourceModel model;
   model.tables_per_stage = 8;
   const auto alloc = allocate_stages(prog, prog.ingress, model);
   EXPECT_EQ(alloc.stages_used, 3);  // 20 independent tables / 8 per stage
+}
+
+// --- Degenerate-budget edge cases: every boundary must surface the
+// --- structured ResourceExhausted diagnostic, never a crash or a mis-pack.
+
+const char* kOneTableSrc = R"P4R(
+header_type h_t { fields { a : 32; } }
+header h_t h;
+action nop_() { }
+table only_t { reads { h.a : exact; } actions { nop_; } size : 16; }
+control ingress { apply(only_t); }
+control egress { }
+)P4R";
+
+TEST(ResourceEdge, ZeroTableCapacityRejectsWithTablesDiagnostic) {
+  // A model with no logical-table slots per stage cannot host any table; the
+  // rejection must name "tables", not fall through to a generic stage error.
+  const auto prog = build(kOneTableSrc);
+  RmtResourceModel model;
+  model.tables_per_stage = 0;
+  try {
+    allocate_stages(prog, prog.ingress, model);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.resource(), RmtResource::kTables);
+    EXPECT_NE(std::string(e.what()).find("resource-exhausted: tables"),
+              std::string::npos);
+  }
+}
+
+TEST(ResourceEdge, ZeroCapacityPackingRejectsWithNamedBudget) {
+  // The bin packer's degenerate budget: zero capacity with items to place is
+  // a structured rejection labeled with the budget it came from.
+  const std::vector<compile::PackItem> items = {{"a", 8}, {"b", 4}};
+  try {
+    compile::first_fit_decreasing(items, 0, RmtResource::kActionBits);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.resource(), RmtResource::kActionBits);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("resource-exhausted: action-bits"), std::string::npos);
+    EXPECT_NE(what.find("capacity is zero"), std::string::npos);
+  }
+  // Zero capacity with zero items is vacuously fine.
+  EXPECT_TRUE(compile::first_fit_decreasing({}, 0).empty());
+}
+
+TEST(ResourceEdge, SingleStageModelRejectsDependentTables) {
+  // Two tables with a match dependency need two stages; a single-stage model
+  // rejects them as a stage-budget exhaustion (the per-stage resources are
+  // all ample — the dependency chain is the bottleneck).
+  const auto prog = build(R"P4R(
+header_type h_t { fields { a : 32; b : 32; } }
+header h_t h;
+action wr() { modify_field(h.b, h.a); }
+action nop_() { }
+table t1 { reads { h.a : exact; } actions { wr; } size : 4; }
+table t2 { reads { h.b : exact; } actions { nop_; } size : 4; }
+control ingress { apply(t1); apply(t2); }
+control egress { }
+)P4R");
+  RmtResourceModel model;
+  model.stages = 1;
+  try {
+    allocate_stages(prog, prog.ingress, model);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.resource(), RmtResource::kStages);
+    EXPECT_NE(std::string(e.what()).find("resource-exhausted: stages"),
+              std::string::npos);
+  }
+  // Independent tables do share the single stage.
+  const auto indep = build(R"P4R(
+header_type h_t { fields { a : 32; b : 32; } }
+header h_t h;
+action nop_() { }
+table t1 { reads { h.a : exact; } actions { nop_; } size : 4; }
+table t2 { reads { h.b : exact; } actions { nop_; } size : 4; }
+control ingress { apply(t1); apply(t2); }
+control egress { }
+)P4R");
+  EXPECT_EQ(allocate_stages(indep, indep.ingress, model).stages_used, 1);
+}
+
+TEST(ResourceEdge, TableExactlyFillingItsStageFits) {
+  // only_t: exact match on 32 bits + 8 action-id bits, 16 entries
+  // => 16 * 40 = 640 SRAM bits = exactly 80 bytes.
+  const auto prog = build(kOneTableSrc);
+  ASSERT_EQ(table_demand(prog, prog.tables.front()).sram_bits, 640u);
+
+  RmtResourceModel exact;
+  exact.sram_bytes_per_stage = 80;
+  EXPECT_EQ(allocate_stages(prog, prog.ingress, exact).stages_used, 1);
+
+  // One byte under the exact demand: the table cannot fit even an empty
+  // stage, and the rejection names SRAM as the bottleneck.
+  RmtResourceModel tight;
+  tight.sram_bytes_per_stage = 79;
+  try {
+    allocate_stages(prog, prog.ingress, tight);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.resource(), RmtResource::kSram);
+    EXPECT_NE(std::string(e.what()).find("resource-exhausted: sram"),
+              std::string::npos);
+  }
+}
+
+TEST(ResourceEdge, FieldWiderThanAnyContainerRejectedAtCompile) {
+  const char* src = R"P4R(
+header_type h_t { fields { wide : 48; } }
+header h_t h;
+control ingress { }
+control egress { }
+)P4R";
+  compile::Options opts;
+  opts.enforce_rmt = true;
+  opts.rmt.phv_container_bits = 32;
+  try {
+    compile::compile_source(src, opts);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.resource(), RmtResource::kContainerWidth);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("resource-exhausted: container-width"),
+              std::string::npos);
+    EXPECT_NE(what.find("h_t.wide"), std::string::npos);
+    EXPECT_NE(what.find("48"), std::string::npos);
+  }
+  // The same program is fine once the container is wide enough.
+  compile::Options roomy;
+  roomy.enforce_rmt = true;
+  roomy.rmt.phv_container_bits = 48;
+  EXPECT_NO_THROW(compile::compile_source(src, roomy));
 }
 
 }  // namespace

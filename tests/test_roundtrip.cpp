@@ -291,7 +291,7 @@ control egress { }
 
 TEST(CompileOptions, TinyInitBudgetRejectedGracefully) {
   compile::Options opts;
-  opts.max_init_action_bits = 1;
+  opts.rmt.max_action_bits = 1;
   EXPECT_THROW(compile::compile_source(figure1_style_source(), opts), UserError);
 }
 

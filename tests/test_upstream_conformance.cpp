@@ -1,0 +1,328 @@
+// Upstream example conformance: every P4R program shipped under
+// examples/p4r/ (the upstream Mantis example set, transcribed into this
+// repo's dialect) is pinned end to end — parse → sema → compile (with the
+// RMT model enforced) → a short scripted packet/reaction scenario whose
+// final state digest is checked byte-exactly against a hand-derived golden.
+//
+// Unlike the generated-program conformance tests (test_conformance.cpp),
+// these run the *verbatim file contents* through the differential harness
+// via GenSpec::raw, so any drift in the frontend grammar, the compiler
+// transformation, or the runtime semantics of the shipped examples fails
+// here with the exact state delta.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "check/diff.hpp"
+#include "check/scenario.hpp"
+#include "compile/compiler.hpp"
+#include "p4r/sema.hpp"
+
+namespace mantis::check {
+namespace {
+
+std::string load_example(const std::string& name) {
+  const std::string path = std::string(MANTIS_EXAMPLES_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) ADD_FAILURE() << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Parse + analyze + compile the example standalone, with the full RMT
+// resource model enforced: every shipped example must place onto the
+// default (Tofino-like) target, not just onto the stage-less simulator.
+void expect_compiles(const std::string& source, const std::string& name) {
+  compile::Options opts;
+  opts.enforce_rmt = true;
+  try {
+    const p4r::P4RProgram analyzed = p4r::frontend(source);
+    (void)compile::compile(analyzed, opts);
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << name << " failed to compile: " << e.what();
+  }
+}
+
+Scenario raw_scenario(const std::string& source, std::uint32_t epochs) {
+  Scenario s;
+  s.epochs = epochs;
+  s.program.raw = source;
+  return s;
+}
+
+void expect_conformance(const Scenario& s, const std::string& golden) {
+  const DiffResult r = run_diff(s);
+  ASSERT_EQ(r.outcome, Outcome::kAgreed)
+      << outcome_name(r.outcome) << " " << r.skip_reason
+      << (r.divergences.empty() ? "" : " / " + r.divergences[0].detail);
+  EXPECT_EQ(r.digest, golden);
+}
+
+PacketSpec packet(std::uint32_t epoch,
+                  std::vector<std::pair<std::string, std::uint64_t>> fields) {
+  PacketSpec p;
+  p.epoch = epoch;
+  p.fields = std::move(fields);
+  return p;
+}
+
+InitialEntry exact_entry(std::string table, std::string action,
+                         std::vector<std::uint64_t> key,
+                         std::vector<std::uint64_t> args = {}) {
+  InitialEntry e;
+  e.table = std::move(table);
+  e.action = std::move(action);
+  e.key = std::move(key);
+  e.masks.assign(e.key.size(), ~std::uint64_t{0});
+  e.args = std::move(args);
+  return e;
+}
+
+// figure1.p4r: malleable value + malleable field + malleable table, with a
+// register-window argmax reaction. The simulator never populates qdepths
+// (no data-plane writer), so the argmax stays at port 0 and value_var is
+// driven from its init (1) to 0 after the first dialogue.
+TEST(UpstreamConformance, Figure1) {
+  const std::string src = load_example("figure1.p4r");
+  expect_compiles(src, "figure1.p4r");
+
+  Scenario s = raw_scenario(src, 2);
+  s.entries.push_back(exact_entry("table_var", "my_action", {0x42}));
+  for (std::uint32_t ep = 0; ep < s.epochs; ++ep) {
+    s.packets.push_back(packet(
+        ep, {{"hdr.foo", 0x42}, {"hdr.baz", 5}, {"hdr.qux", 9}}));
+  }
+  // epoch 0: match on foo (alt 0) -> baz = 5 + value_var(1) = 6, foo := qux.
+  // reaction: all qdepths are 0 -> max_port = 0 -> value_var = 0.
+  // epoch 1: same match, baz = 5 + 0 = 5.
+  expect_conformance(s,
+                     "epochs=2\n"
+                     "scalar field_var=0\n"
+                     "scalar value_var=0\n"
+                     "register qdepths = 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n"
+                     "table out count=0\n"
+                     "table table_var count=1\n"
+                     "dut_iterations=2\n");
+}
+
+// figure4.p4r: a malleable value is the addend on every packet; the
+// reaction recomputes it from the measured post-ingress hdr.foo.
+TEST(UpstreamConformance, Figure4) {
+  const std::string src = load_example("figure4.p4r");
+  expect_compiles(src, "figure4.p4r");
+
+  Scenario s = raw_scenario(src, 2);
+  for (std::uint32_t ep = 0; ep < s.epochs; ++ep) {
+    s.packets.push_back(packet(ep, {{"hdr.foo", 10}}));
+  }
+  // epoch 0: foo = 10 + 1 = 11 -> value_var = 11 + 1 = 12.
+  // epoch 1: foo = 10 + 12 = 22 -> value_var = 23.
+  expect_conformance(s,
+                     "epochs=2\n"
+                     "scalar value_var=23\n"
+                     "register ri_foo = 22 0\n"
+                     "table my_table count=0\n"
+                     "table out count=0\n"
+                     "log my_reaction 11\n"
+                     "log my_reaction 22\n"
+                     "dut_iterations=2\n");
+}
+
+// figure5.p4r: the malleable field is a write *destination*; flipping the
+// selector re-points the assignment from hdr.foo to hdr.bar.
+TEST(UpstreamConformance, Figure5) {
+  const std::string src = load_example("figure5.p4r");
+  expect_compiles(src, "figure5.p4r");
+
+  Scenario s = raw_scenario(src, 2);
+  s.entries.push_back(exact_entry("my_table", "my_action", {51}));
+  for (std::uint32_t ep = 0; ep < s.epochs; ++ep) {
+    s.packets.push_back(
+        packet(ep, {{"hdr.foo", 1}, {"hdr.bar", 2}, {"hdr.baz", 51}}));
+  }
+  // epoch 0 (alt 0): foo := baz = 51, bar untouched -> logs 51, 2.
+  // epoch 1 (alt 1): bar := 51, foo untouched       -> logs 1, 51.
+  expect_conformance(s,
+                     "epochs=2\n"
+                     "scalar write_var=1\n"
+                     "table my_table count=1\n"
+                     "table out count=0\n"
+                     "log my_reaction 51\n"
+                     "log my_reaction 2\n"
+                     "log my_reaction 1\n"
+                     "log my_reaction 51\n"
+                     "dut_iterations=2\n");
+}
+
+// figure6.p4r: the malleable field is a read source in both the match key
+// of my_table and the addition inside my_action; one selector flip
+// re-points both references.
+TEST(UpstreamConformance, Figure6) {
+  const std::string src = load_example("figure6.p4r");
+  expect_compiles(src, "figure6.p4r");
+
+  Scenario s = raw_scenario(src, 2);
+  s.entries.push_back(exact_entry("my_table", "my_action", {5}));
+  for (std::uint32_t ep = 0; ep < s.epochs; ++ep) {
+    s.packets.push_back(
+        packet(ep, {{"hdr.foo", 5}, {"hdr.bar", 9}, {"hdr.baz", 100}}));
+  }
+  // epoch 0 (alt 0 = foo): key 5 matches -> baz = 100 + 5 = 105.
+  // epoch 1 (alt 1 = bar): bar = 9 misses the entry -> baz stays 100.
+  expect_conformance(s,
+                     "epochs=2\n"
+                     "scalar read_var=1\n"
+                     "table my_table count=1\n"
+                     "table out count=0\n"
+                     "log my_reaction 105\n"
+                     "log my_reaction 100\n"
+                     "dut_iterations=2\n");
+}
+
+// mbl_table.p4r: the reaction adds/removes a marker entry in the malleable
+// table based on a packet tally the data plane keeps in ri_tally[0].
+TEST(UpstreamConformance, MblTable) {
+  const std::string src = load_example("mbl_table.p4r");
+  expect_compiles(src, "mbl_table.p4r");
+
+  Scenario s = raw_scenario(src, 3);
+  s.packets.push_back(packet(0, {{"hdr.foo", 7}}));
+  s.packets.push_back(packet(0, {{"hdr.foo", 7}}));
+  s.packets.push_back(packet(1, {{"hdr.foo", 7}}));
+  s.packets.push_back(packet(1, {{"hdr.foo", 7}}));
+  s.packets.push_back(packet(2, {{"hdr.foo", 7}}));
+  // epoch 0: tally 2 (not > 2)  -> no entry,  logs 0, 2.
+  // epoch 1: tally 4 (> 2)      -> addEntry,  logs 1, 4.
+  // epoch 2: tally 5, entry hits -> unchanged, logs 1, 5.
+  expect_conformance(s,
+                     "epochs=3\n"
+                     "register ri_tally = 5 0\n"
+                     "table ti_out count=0\n"
+                     "table ti_tally count=0\n"
+                     "table ti_var_table count=1\n"
+                     "log my_reaction 0\n"
+                     "log my_reaction 2\n"
+                     "log my_reaction 1\n"
+                     "log my_reaction 4\n"
+                     "log my_reaction 1\n"
+                     "log my_reaction 5\n"
+                     "dut_iterations=3\n");
+}
+
+// field_arg.p4r: ing/egr header fields read as C variables; measurements
+// are taken after the respective pipeline ran (last writer wins).
+TEST(UpstreamConformance, FieldArg) {
+  const std::string src = load_example("field_arg.p4r");
+  expect_compiles(src, "field_arg.p4r");
+
+  Scenario s = raw_scenario(src, 2);
+  for (std::uint32_t ep = 0; ep < s.epochs; ++ep) {
+    s.packets.push_back(
+        packet(ep, {{"hdr.foo", 16}, {"hdr.bar", 3}, {"hdr.baz", 9}}));
+  }
+  // epoch 0: bar = 3 + 2 = 5, logs 16, 5, 9 -> scale = (16+5+9) & 7 = 6.
+  // epoch 1: bar = 3 + 6 = 9, logs 16, 9, 9 -> scale = (16+9+9) & 7 = 2.
+  expect_conformance(s,
+                     "epochs=2\n"
+                     "scalar scale_var=2\n"
+                     "table my_table count=0\n"
+                     "table out count=0\n"
+                     "log my_reaction 16\n"
+                     "log my_reaction 5\n"
+                     "log my_reaction 9\n"
+                     "log my_reaction 16\n"
+                     "log my_reaction 9\n"
+                     "log my_reaction 9\n"
+                     "dut_iterations=2\n");
+}
+
+// failover_tstamp.p4r: C statics remember the previous dialogue's counter
+// and probe timestamp; a stalled counter flips traffic to the backup port.
+TEST(UpstreamConformance, FailoverTstamp) {
+  const std::string src = load_example("failover_tstamp.p4r");
+  expect_compiles(src, "failover_tstamp.p4r");
+
+  Scenario s = raw_scenario(src, 3);
+  s.packets.push_back(packet(0, {{"probe.sport", 0}, {"probe.tstamp", 100}}));
+  s.packets.push_back(packet(1, {{"probe.sport", 0}, {"probe.tstamp", 200}}));
+  // epoch 2: the primary (sport 0) goes silent; only sport 3 probes arrive.
+  s.packets.push_back(packet(2, {{"probe.sport", 3}, {"probe.tstamp", 50}}));
+  // epoch 0/1: counter[0] advances -> port 1. epoch 2: stalled -> port 2.
+  expect_conformance(s,
+                     "epochs=3\n"
+                     "scalar out_port_var=2\n"
+                     "register ri_ingress_tstamp = 200 0 0 50\n"
+                     "register ri_pkt_counter = 2 0 0 1\n"
+                     "table ti_out count=0\n"
+                     "table ti_record count=0\n"
+                     "log my_reaction 1\n"
+                     "log my_reaction 100\n"
+                     "log my_reaction 2\n"
+                     "log my_reaction 200\n"
+                     "log my_reaction 2\n"
+                     "log my_reaction 200\n"
+                     "dut_iterations=3\n");
+}
+
+// dos.p4r: per-bucket SYN tallies; the reaction blocklists any bucket past
+// the threshold with a _drop entry. Counting sits before the blocklist, so
+// tallies keep growing even for blocked sources.
+TEST(UpstreamConformance, Dos) {
+  const std::string src = load_example("dos.p4r");
+  expect_compiles(src, "dos.p4r");
+
+  Scenario s = raw_scenario(src, 2);
+  for (int i = 0; i < 5; ++i) {
+    s.packets.push_back(packet(0, {{"pkt.src", 2}, {"pkt.syn", 1}}));
+  }
+  s.packets.push_back(packet(0, {{"pkt.src", 3}, {"pkt.syn", 1}}));
+  for (int i = 0; i < 2; ++i) {
+    s.packets.push_back(packet(1, {{"pkt.src", 2}, {"pkt.syn", 1}}));
+  }
+  s.packets.push_back(packet(1, {{"pkt.src", 3}, {"pkt.syn", 1}}));
+  // epoch 0: count[2] = 5 > 3 -> block source 2 (entryCount 1).
+  // epoch 1: source 2 dropped but still counted (7); source 3 at 2 stays.
+  expect_conformance(s,
+                     "epochs=2\n"
+                     "register ri_syn_count = 0 0 7 2 0 0 0 0\n"
+                     "table ti_block count=1\n"
+                     "table ti_count count=0\n"
+                     "table ti_out count=0\n"
+                     "log my_reaction 1\n"
+                     "log my_reaction 1\n"
+                     "dut_iterations=2\n");
+}
+
+// table_add_del_mod.p4r: add -> mod -> del across four dialogues, with the
+// egress-measured hdr.val pinning which action data each epoch's packet saw.
+TEST(UpstreamConformance, TableAddDelMod) {
+  const std::string src = load_example("table_add_del_mod.p4r");
+  expect_compiles(src, "table_add_del_mod.p4r");
+
+  Scenario s = raw_scenario(src, 4);
+  for (std::uint32_t ep = 0; ep < s.epochs; ++ep) {
+    s.packets.push_back(packet(ep, {{"hdr.key", 5}, {"hdr.val", 7}}));
+  }
+  // epoch 0: no entry yet        -> val 7;   then addEntry(111) (count 1).
+  // epoch 1: entry ai_set(111)   -> val 111; then modEntry(222).
+  // epoch 2: entry ai_set(222)   -> val 222; then delEntry (count 0).
+  // epoch 3: entry gone          -> val 7.
+  expect_conformance(s,
+                     "epochs=4\n"
+                     "table ti_acl count=0\n"
+                     "table ti_out count=0\n"
+                     "log my_reaction 1\n"
+                     "log my_reaction 7\n"
+                     "log my_reaction 1\n"
+                     "log my_reaction 111\n"
+                     "log my_reaction 0\n"
+                     "log my_reaction 222\n"
+                     "log my_reaction 0\n"
+                     "log my_reaction 7\n"
+                     "dut_iterations=4\n");
+}
+
+}  // namespace
+}  // namespace mantis::check

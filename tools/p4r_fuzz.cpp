@@ -9,7 +9,7 @@
 // Usage:
 //   p4r_fuzz [--seed S] [--iters N] [--minimize] [--corpus-dir DIR]
 //            [--metrics FILE] [--replay FILE] [--dump SEED] [--quiet]
-//            [--fabric]
+//            [--fabric] [--resources]
 //
 // --fabric switches to the multi-switch differential mode: each iteration
 // generates a seeded fabric scenario (topology + traffic + fault schedule),
@@ -18,8 +18,18 @@
 // flight-recorder dump). A divergence is an equivalence bug; the scenario
 // is reproducible from its seed alone.
 //
+// --resources switches to resource-budget fuzzing: each iteration pairs the
+// generated program with a *randomized* RMT resource model and asserts
+// graceful degradation — an over-budget program must be rejected with a
+// structured ResourceExhausted diagnostic naming the exhausted resource
+// (never a crash, an unstructured error, or a silent mis-pack), and a
+// fitting program must still pass the differential check under that model.
+// Violations are written as `resource_seed_*.repro` files that bundle the
+// model with the scenario; `--replay` recognizes the format.
+//
 // Exit status: 0 when every iteration agreed (or was skipped), 1 on any
-// divergence, 2 on usage errors.
+// divergence (or, with --resources, any contract violation), 2 on usage
+// errors.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +41,7 @@
 #include "check/fabric_diff.hpp"
 #include "check/gen.hpp"
 #include "check/minimize.hpp"
+#include "check/resource_fuzz.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/check.hpp"
 
@@ -47,13 +58,14 @@ struct Args {
   std::uint64_t dump_seed = 0;
   bool dump = false;
   bool fabric = false;
+  bool resources = false;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed S] [--iters N] [--minimize] "
                "[--corpus-dir DIR] [--metrics FILE] [--replay FILE] "
-               "[--quiet] [--fabric]\n",
+               "[--quiet] [--fabric] [--resources]\n",
                argv0);
   return 2;
 }
@@ -76,6 +88,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.minimize = true;
     } else if (opt == "--fabric") {
       a.fabric = true;
+    } else if (opt == "--resources") {
+      a.resources = true;
     } else if (opt == "--quiet") {
       a.quiet = true;
     } else if (opt == "--corpus-dir") {
@@ -118,8 +132,25 @@ void report_divergences(const mantis::check::DiffResult& r) {
 }
 
 int replay(const Args& args) {
-  const mantis::check::Scenario s =
-      mantis::check::parse_scenario(read_file(args.replay_path));
+  const std::string text = read_file(args.replay_path);
+  // Resource repros bundle a model line with the scenario; replay the full
+  // graceful-degradation contract rather than the plain differential check.
+  if (text.rfind("# p4r_fuzz resource repro", 0) == 0) {
+    const auto rr = mantis::check::parse_resource_repro(text);
+    const auto res =
+        mantis::check::run_resource_iteration(rr.scenario, rr.model);
+    std::printf("%s: %s", args.replay_path.c_str(),
+                std::string(mantis::check::resource_fuzz_kind_name(res.kind))
+                    .c_str());
+    if (res.kind == mantis::check::ResourceFuzzResult::Kind::kRejected) {
+      std::printf(" (%s)", mantis::p4::rmt_resource_name(res.resource));
+    }
+    if (!res.detail.empty()) std::printf(": %s", res.detail.c_str());
+    std::printf("\n");
+    return res.kind == mantis::check::ResourceFuzzResult::Kind::kViolation ? 1
+                                                                           : 0;
+  }
+  const mantis::check::Scenario s = mantis::check::parse_scenario(text);
   const auto r = mantis::check::run_diff(s);
   std::printf("%s: %s", args.replay_path.c_str(),
               std::string(mantis::check::outcome_name(r.outcome)).c_str());
@@ -127,6 +158,109 @@ int replay(const Args& args) {
   std::printf("\n");
   report_divergences(r);
   return r.diverged() ? 1 : 0;
+}
+
+// Resource-budget campaign: every scenario that compiles on the default
+// model is re-compiled under a seeded random RmtResourceModel. The contract
+// under ANY model is: structured rejection (ResourceExhausted) or a fit
+// whose artifacts independently re-verify and still pass the differential
+// check. Anything else — crash, unstructured error, silent mis-pack,
+// divergence — is a violation and fails the campaign.
+int resources_campaign(const Args& args) {
+  using Kind = mantis::check::ResourceFuzzResult::Kind;
+  mantis::telemetry::MetricsRegistry metrics;
+  std::uint64_t fit = 0, rejected = 0, skipped = 0, violations = 0;
+  std::uint64_t by_resource[16] = {};
+
+  for (std::uint64_t it = 0; it < args.iters; ++it) {
+    const std::uint64_t seed = mantis::check::iteration_seed(args.seed, it);
+    const auto model = mantis::check::random_resource_model(seed);
+    mantis::check::ResourceFuzzResult r;
+    try {
+      const auto s = mantis::check::generate_scenario(seed);
+      metrics.counter("check.resource_fuzz.iterations").add();
+      r = mantis::check::run_resource_iteration(s, model);
+      switch (r.kind) {
+        case Kind::kFit: ++fit; break;
+        case Kind::kSkipped: ++skipped; break;
+        case Kind::kRejected: {
+          ++rejected;
+          const auto idx = static_cast<std::size_t>(r.resource);
+          if (idx < 16) ++by_resource[idx];
+          metrics
+              .counter(std::string("check.resource_fuzz.rejected.") +
+                       mantis::p4::rmt_resource_name(r.resource))
+              .add();
+          break;
+        }
+        case Kind::kViolation: break;  // handled below with the repro dump
+      }
+      if (r.kind == Kind::kViolation) {
+        ++violations;
+        metrics.counter("check.resource_fuzz.violations").add();
+        std::fprintf(stderr, "iter %llu (seed %llu): VIOLATION  %s\n",
+                     static_cast<unsigned long long>(it),
+                     static_cast<unsigned long long>(seed), r.detail.c_str());
+        std::fprintf(stderr, "  %s\n", model.describe().c_str());
+        mantis::check::ResourceRepro repro{model, s};
+        if (args.minimize) {
+          repro = mantis::check::minimize_resource_repro(repro);
+        }
+        const std::string text =
+            mantis::check::serialize_resource_repro(repro);
+        if (!args.corpus_dir.empty()) {
+          const std::string path = args.corpus_dir + "/resource_seed_" +
+                                   std::to_string(seed) + ".repro";
+          std::ofstream out(path);
+          out << text;
+          std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "---- repro ----\n%s---- end ----\n",
+                       text.c_str());
+        }
+      }
+    } catch (const std::exception& e) {
+      // run_resource_iteration classifies everything it anticipates; an
+      // exception escaping it IS the crash the campaign exists to catch.
+      ++violations;
+      std::fprintf(stderr, "iter %llu (seed %llu): VIOLATION  escaped: %s\n",
+                   static_cast<unsigned long long>(it),
+                   static_cast<unsigned long long>(seed), e.what());
+    }
+    if (!args.quiet && (it + 1) % 50 == 0) {
+      std::fprintf(stderr,
+                   "progress: %llu/%llu (fit %llu, rejected %llu, "
+                   "skipped %llu, violations %llu)\n",
+                   static_cast<unsigned long long>(it + 1),
+                   static_cast<unsigned long long>(args.iters),
+                   static_cast<unsigned long long>(fit),
+                   static_cast<unsigned long long>(rejected),
+                   static_cast<unsigned long long>(skipped),
+                   static_cast<unsigned long long>(violations));
+    }
+  }
+
+  if (!args.metrics_path.empty()) {
+    mantis::telemetry::write_text_file(
+        args.metrics_path,
+        mantis::telemetry::report_json("p4r_fuzz_resources", {}, metrics));
+  }
+  std::printf(
+      "p4r_fuzz --resources: %llu iterations: %llu fit, %llu rejected, "
+      "%llu skipped, %llu violations\n",
+      static_cast<unsigned long long>(args.iters),
+      static_cast<unsigned long long>(fit),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(skipped),
+      static_cast<unsigned long long>(violations));
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (by_resource[i] == 0) continue;
+    std::printf("  rejected by %s: %llu\n",
+                mantis::p4::rmt_resource_name(
+                    static_cast<mantis::p4::RmtResource>(i)),
+                static_cast<unsigned long long>(by_resource[i]));
+  }
+  return violations != 0 ? 1 : 0;
 }
 
 int fabric_campaign(const Args& args) {
@@ -178,6 +312,7 @@ int main(int argc, char** argv) {
     }
     if (!args.replay_path.empty()) return replay(args);
     if (args.fabric) return fabric_campaign(args);
+    if (args.resources) return resources_campaign(args);
 
     mantis::telemetry::MetricsRegistry metrics;
     std::uint64_t diverged = 0, agreed = 0, agreed_error = 0, skipped = 0;
