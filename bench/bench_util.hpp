@@ -85,9 +85,14 @@ class Report {
 
   const std::string& out_path() const { return out_path_; }
 
+  /// Attaches a hot-path profile (prof::ProfileReport::to_json()); write()
+  /// embeds it as the report's "prof" section.
+  void set_prof(std::string prof_json) { prof_json_ = std::move(prof_json); }
+
   void write() const {
-    telemetry::write_text_file(out_path_,
-                               telemetry::report_json(name_, params_, metrics_));
+    telemetry::write_text_file(
+        out_path_,
+        telemetry::report_json(name_, params_, metrics_, prof_json_));
     std::printf("\nresults: %s\n", out_path_.c_str());
   }
 
@@ -96,6 +101,7 @@ class Report {
   std::string out_path_;
   telemetry::ReportParams params_;
   telemetry::MetricsRegistry metrics_;
+  std::string prof_json_;
 };
 
 /// google-benchmark reporter that mirrors each run into Report gauges

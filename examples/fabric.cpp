@@ -8,6 +8,9 @@
 //   $ ./example_fabric
 //   $ ./example_fabric --seed 7 --metrics m.json --trace t.json --mfr f.mfr
 //   $ ./example_fabric --int 4        # INT on ~1/4 of data flows
+//   $ ./example_fabric --threads 4 --pacing-us 100 --prof prof.json
+//     (hot-path profile; pacing gives the harness inter-poll windows, so
+//      the parallel engine actually runs rounds and shard stats populate)
 //
 // Deterministic: the same seed reproduces the event log and metrics
 // byte-for-byte. Exits nonzero if delivery never restores (smoke check).
@@ -24,7 +27,7 @@
 int main(int argc, char** argv) {
   using namespace mantis;
 
-  std::string metrics_path, trace_path, mfr_path;
+  std::string metrics_path, trace_path, mfr_path, prof_path;
   net::GrayScenarioConfig cfg;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0) {
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
     if (std::strcmp(argv[i], "--mfr") == 0) mfr_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--prof") == 0) prof_path = argv[i + 1];
     if (std::strcmp(argv[i], "--loss") == 0) {
       cfg.fault_loss = std::strtod(argv[i + 1], nullptr);
     }
@@ -51,6 +55,9 @@ int main(int argc, char** argv) {
 
   net::GrayFabricScenario scenario(cfg);
   if (!trace_path.empty()) scenario.loop().telemetry().tracer().set_enabled(true);
+  // Wall-clock cost attribution only — the event log, metrics, and .mfr
+  // dump stay byte-identical with profiling on (determinism contract).
+  if (!prof_path.empty()) scenario.loop().telemetry().prof().set_enabled(true);
   // With --mfr, every fault transition (an anomaly class) dumps the flight
   // recorder; the file left behind reflects the final transition and is
   // byte-identical across same-seed runs.
@@ -104,6 +111,14 @@ int main(int argc, char** argv) {
     std::printf("metrics: %s\n", metrics_path.c_str());
   }
 
+  if (!prof_path.empty()) {
+    // One final counter-track sample so sequential runs (no engine rounds)
+    // still render a prof lane in the Chrome export.
+    scenario.loop().telemetry().prof().sample(scenario.loop().now());
+    scenario.loop().telemetry().write_prof_json(prof_path);
+    std::printf("profile: %s (render with p4r_inspect prof)\n",
+                prof_path.c_str());
+  }
   if (!trace_path.empty()) {
     scenario.loop().telemetry().write_trace_json(trace_path);
     std::printf("trace: %s (open in chrome://tracing or Perfetto)\n",

@@ -24,13 +24,14 @@
 int main(int argc, char** argv) {
   using namespace mantis;
 
-  std::string metrics_path;
+  std::string metrics_path, prof_path;
   net::EcmpScenarioConfig cfg;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0) {
       cfg.seed = std::strtoull(argv[i + 1], nullptr, 10);
     }
     if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--prof") == 0) prof_path = argv[i + 1];
     if (std::strcmp(argv[i], "--flows") == 0) {
       cfg.flows = std::atoi(argv[i + 1]);
     }
@@ -45,6 +46,8 @@ int main(int argc, char** argv) {
   }
 
   net::EcmpFabricScenario scenario(cfg);
+  // Wall-clock cost attribution only; results stay byte-identical.
+  if (!prof_path.empty()) scenario.loop().telemetry().prof().set_enabled(true);
   auto res = scenario.run();
 
   std::printf("leaf-spine 2x2 ECMP, %d flows distinct only in dstPort\n\n",
@@ -74,6 +77,13 @@ int main(int argc, char** argv) {
     scenario.loop().telemetry().write_metrics_json(metrics_path, "fabric_ecmp",
                                                    params);
     std::printf("metrics: %s\n", metrics_path.c_str());
+  }
+
+  if (!prof_path.empty()) {
+    scenario.loop().telemetry().prof().sample(scenario.loop().now());
+    scenario.loop().telemetry().write_prof_json(prof_path);
+    std::printf("profile: %s (render with p4r_inspect prof)\n",
+                prof_path.c_str());
   }
 
   if (!res.rebalanced()) {

@@ -742,6 +742,7 @@ std::uint64_t Agent::scalar(const std::string& name) const {
 }
 
 void Agent::dialogue_iteration() {
+  MANTIS_PROF_SCOPE(&tel_->prof(), kAgentPoll, "agent.dialogue");
   expects(prologue_done_, "dialogue requires the prologue");
   const Time t0 = loop().now();
   const auto& master = art_->bindings.init_tables.front();

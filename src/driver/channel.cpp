@@ -18,6 +18,7 @@ Channel::Channel(sim::EventLoop& loop) : loop_(&loop) {
                                          depth_opts);
   depth_gauge_ = &tel.metrics().gauge("driver.channel.depth");
   tracer_ = &tel.tracer();
+  prof_ = &tel.prof();
   // Utilization snapshot for flight-recorder dumps (p4r_inspect channel).
   snapshot_provider_ = tel.recorder().add_snapshot_provider(
       "driver.channel", [this](std::string& out) {
@@ -46,6 +47,7 @@ Time Channel::submit(Duration cost, std::function<void()> apply,
 
 Time Channel::submit_at(Time t, Duration cost, std::function<void()> apply,
                         std::optional<Duration> critical) {
+  MANTIS_PROF_SCOPE(prof_, kControlDriver, "driver.channel_submit");
   expects(cost >= 0, "Channel::submit: negative cost");
   expects(t >= loop_->now(), "Channel::submit_at: start time in the past");
   const Duration crit = critical.value_or(cost);
@@ -75,6 +77,7 @@ Time Channel::submit_at(Time t, Duration cost, std::function<void()> apply,
 #endif
 
   loop_->schedule_at(completion, [this, apply = std::move(apply)] {
+    MANTIS_PROF_SCOPE(prof_, kControlDriver, "driver.channel_completion");
     if (apply) apply();
     --depth_;
     depth_gauge_->set(static_cast<double>(depth_));

@@ -71,6 +71,7 @@ class Channel {
   telemetry::Histogram* depth_hist_;
   telemetry::Gauge* depth_gauge_;
   telemetry::Tracer* tracer_;
+  telemetry::prof::Profiler* prof_;  ///< hot-path cost attribution
 };
 
 }  // namespace mantis::driver

@@ -24,6 +24,7 @@ IntProcessor::IntProcessor(sim::Switch& sw, IntProcessorConfig cfg,
   f_proto_ = fields.find("ipv4.protocol");
 
   auto& metrics = sw.loop().telemetry().metrics();
+  prof_ = &sw.loop().telemetry().prof();
   source_ctr_ = &metrics.counter("net.int.source_pkts");
   transit_ctr_ = &metrics.counter("net.int.transit_stamps");
   sink_ctr_ = &metrics.counter("net.int.sink_reports");
@@ -69,6 +70,7 @@ IntHop IntProcessor::make_hop(const sim::Packet& pkt, int port) const {
 }
 
 void IntProcessor::on_egress(sim::Packet& pkt, int port) {
+  MANTIS_PROF_SCOPE(prof_, kInt, "int.on_egress");
   const bool to_host = host_facing(port);
 
   if (!has_int(pkt)) {

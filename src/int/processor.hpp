@@ -78,6 +78,7 @@ class IntProcessor {
   p4::FieldId f_dst_ = p4::kInvalidField;
   p4::FieldId f_proto_ = p4::kInvalidField;
 
+  telemetry::prof::Profiler* prof_ = nullptr;  ///< hot-path cost attribution
   telemetry::Counter* source_ctr_;
   telemetry::Counter* transit_ctr_;
   telemetry::Counter* sink_ctr_;

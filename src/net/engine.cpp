@@ -35,6 +35,12 @@ ParallelFabricEngine::ParallelFabricEngine(Fabric& fabric, int threads)
   threads_ = std::min(threads_, std::max(1, fabric.num_shards()));
   if (threads_ <= 1) return;
 
+  // Profiler shard cells must exist before workers start (the cell array
+  // is grown only from this thread). Touching telemetry() here only forces
+  // bundle creation, which components sharing the loop do anyway.
+  prof_ = &loop_->telemetry().prof();
+  prof_->ensure_shards(static_cast<std::size_t>(fabric.num_shards()));
+
   loop_->ensure_tags(fabric.num_shards());
   shards_.reserve(static_cast<std::size_t>(fabric.num_shards()));
   for (int s = 0; s < fabric.num_shards(); ++s) {
@@ -108,7 +114,17 @@ void ParallelFabricEngine::run_shard(Shard& shard, Time round_end) {
     frame.now = ev.t;
     // Deferred telemetry from this callback carries the event's own key.
     shard.lane.begin_event(ev.t, ev.src, ev.seq);
+    ++shard.executed_round;
+#if MANTIS_TELEMETRY_ENABLED
+    {
+      // Wall-clock/allocation attribution only; the virtual clock and event
+      // order are untouched (parallel-equivalence contract).
+      telemetry::prof::EventScope prof_scope(prof_, shard.tag);
+      ev.cb();
+    }
+#else
     ev.cb();
+#endif
   }
   telemetry::ShardLane::set_current(nullptr);
   sim::EventLoop::set_shard_frame(nullptr);
@@ -137,6 +153,13 @@ void ParallelFabricEngine::run_until(Time t) {
       loop.step();
       continue;
     }
+#if MANTIS_TELEMETRY_ENABLED
+    const bool profiling = prof_ != nullptr && prof_->enabled();
+    if (profiling) {
+      prof_->count_local_push(
+          static_cast<std::uint64_t>(extract_buf_.size()));
+    }
+#endif
     for (auto& ev : extract_buf_) {
       shards_[static_cast<std::size_t>(ev.dst)]->local.push(std::move(ev));
     }
@@ -154,10 +177,38 @@ void ParallelFabricEngine::run_until(Time t) {
     cv_.notify_all();
     // The calling thread takes worker slot 0.
     run_shard_range(0, end);
+#if MANTIS_TELEMETRY_ENABLED
+    const std::int64_t stall_t0 =
+        profiling ? telemetry::prof::Profiler::wall_now_ns() : 0;
+#endif
     while (done_.load(std::memory_order_acquire) < threads_ - 1) {
       std::this_thread::yield();
     }
     ++rounds_;
+#if MANTIS_TELEMETRY_ENABLED
+    if (profiling) {
+      const std::int64_t stall =
+          telemetry::prof::Profiler::wall_now_ns() - stall_t0;
+      // Round load shape: busiest shard vs mean (imbalance), shards with no
+      // work at all (lookahead-limited idle windows).
+      std::uint64_t total = 0, max_events = 0;
+      std::size_t idle = 0;
+      for (auto& shard : shards_) {
+        const std::uint64_t e = shard->executed_round;
+        total += e;
+        if (e > max_events) max_events = e;
+        if (e == 0) ++idle;
+      }
+      prof_->note_round(max_events, total, idle,
+                        stall > 0 ? static_cast<std::uint64_t>(stall) : 0);
+      // Bounded counter-track samples for the Chrome export, every 256
+      // rounds so sampling never shows up in the profile itself.
+      if ((rounds_ & 0xFFu) == 0) prof_->sample(end);
+    }
+    for (auto& shard : shards_) shard->executed_round = 0;
+#else
+    for (auto& shard : shards_) shard->executed_round = 0;
+#endif
 
     // Barrier: outbox reinsertion (keys pre-assigned, insertion order
     // irrelevant) and canonical-order telemetry replay.

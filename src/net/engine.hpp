@@ -69,6 +69,10 @@ class ParallelFabricEngine {
     std::vector<sim::EventLoop::Event> outbox;
     std::uint64_t* seq = nullptr;  ///< per-src counter in the loop
     telemetry::ShardLane lane;
+    /// Events executed this round. Written by the owning worker, read and
+    /// reset by the main thread after the done_ barrier (that acquire
+    /// orders the read after the worker's release increment).
+    std::uint64_t executed_round = 0;
   };
 
   void worker_main(int worker);
@@ -86,6 +90,9 @@ class ParallelFabricEngine {
   int threads_;
   Duration lookahead_;
   std::uint64_t rounds_ = 0;
+  /// Hot-path profiler (the loop's bundle); shard/round/barrier accounting
+  /// keys off this. Wall-clock only — never feeds back into event order.
+  telemetry::prof::Profiler* prof_ = nullptr;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<telemetry::ShardLane*> lanes_;

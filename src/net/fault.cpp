@@ -7,9 +7,13 @@ namespace mantis::net {
 FaultInjector::FaultInjector(Fabric& fabric) : fabric_(&fabric) {
   transitions_ctr_ =
       &fabric.loop().telemetry().metrics().counter("net.fault.transitions");
+  prof_ = &fabric.loop().telemetry().prof();
 }
 
 void FaultInjector::note(const Link& link, const std::string& change) {
+  // Every fault transition (down/up, loss, latency, flap) funnels through
+  // here, so one scope covers the whole kind.
+  MANTIS_PROF_SCOPE(prof_, kFaultTransition, "fault.transition");
   const Time now = fabric_->loop().now();
   log_.push_back(std::to_string(now) + " " + link.name() + " " + change);
   transitions_ctr_->add();

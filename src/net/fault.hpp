@@ -51,6 +51,7 @@ class FaultInjector {
   std::vector<FaultSpec> specs_;
   std::vector<std::string> log_;
   telemetry::Counter* transitions_ctr_;
+  telemetry::prof::Profiler* prof_ = nullptr;  ///< hot-path cost attribution
 };
 
 }  // namespace mantis::net

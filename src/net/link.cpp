@@ -20,6 +20,7 @@ Link::Link(sim::EventLoop& loop, std::string name, End a, End b,
   expects(model_.loss >= 0 && model_.loss <= 1, "Link: bad loss probability");
   expects(static_cast<bool>(deliver_), "Link: deliver callback required");
   auto& metrics = loop.telemetry().metrics();
+  prof_ = &loop.telemetry().prof();
   const char* dir_tag[2] = {"ab", "ba"};
   for (int d = 0; d < 2; ++d) {
     auto& dir = dirs_[d];
@@ -52,6 +53,7 @@ Duration Link::serialization_time(std::uint32_t bytes) const {
 }
 
 void Link::transmit(NodeId from, sim::Packet pkt) {
+  MANTIS_PROF_SCOPE(prof_, kPacketTransit, "link.transmit");
   auto& dir = dirs_[static_cast<std::size_t>(direction_from(from))];
   if (dir.down) {
     // Interface down: the TX side discards without occupying the wire.
@@ -84,6 +86,7 @@ void Link::transmit(NodeId from, sim::Packet pkt) {
   const End to = receiver(direction_from(from));
   auto& d = dir;
   auto cb = [this, to, &d, p = std::move(pkt)]() mutable {
+    MANTIS_PROF_SCOPE(prof_, kPacketTransit, "link.deliver");
     ++d.stats.delivered_pkts;
     deliver_(std::move(p), to.node, to.port);
   };

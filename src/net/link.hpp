@@ -123,6 +123,7 @@ class Link {
   LinkModel model_;
   Deliver deliver_;
   Dir dirs_[2];
+  telemetry::prof::Profiler* prof_ = nullptr;  ///< hot-path cost attribution
 };
 
 }  // namespace mantis::net

@@ -10,6 +10,7 @@ telemetry::Telemetry& EventLoop::telemetry() {
     // now() (not now_): trace events emitted from worker threads must read
     // the shard-local clock of the running event.
     telemetry_->tracer().set_clock([this] { return now(); });
+    prof_ = &telemetry_->prof();
   }
   return *telemetry_;
 }
@@ -56,11 +57,17 @@ void EventLoop::schedule_for(int dst, Time t, Callback cb) {
     Event ev{t, dst, f->shard, (*f->next_seq)++, std::move(cb)};
     if (dst == f->shard && t < f->round_end) {
       f->local->push(std::move(ev));
+#if MANTIS_TELEMETRY_ENABLED
+      if (prof_ != nullptr && prof_->enabled()) prof_->count_local_push();
+#endif
     } else {
       expects(dst == f->shard || t >= f->round_end,
               "EventLoop::schedule_for: cross-shard event inside the "
               "lookahead horizon");
       f->outbox->push_back(std::move(ev));
+#if MANTIS_TELEMETRY_ENABLED
+      if (prof_ != nullptr && prof_->enabled()) prof_->count_outbox_push();
+#endif
     }
     return;
   }
@@ -70,6 +77,11 @@ void EventLoop::schedule_for(int dst, Time t, Callback cb) {
           "EventLoop::schedule_for: shard context may not schedule control "
           "events");
   queue_.push(Event{t, dst, src, next_seq(src), std::move(cb)});
+#if MANTIS_TELEMETRY_ENABLED
+  if (prof_ != nullptr && prof_->enabled()) {
+    prof_->count_heap_push(queue_.size());
+  }
+#endif
 }
 
 bool EventLoop::step() {
@@ -84,7 +96,17 @@ bool EventLoop::step() {
   // stamp them — keeping the canonical keys engine-independent.
   const int prev = exec_tag_;
   exec_tag_ = ev.dst;
+#if MANTIS_TELEMETRY_ENABLED
+  if (prof_ != nullptr && prof_->enabled()) prof_->count_heap_pop();
+  {
+    // Wall-clock + allocation attribution only: never reads or writes the
+    // virtual clock, so event ordering is untouched (determinism contract).
+    telemetry::prof::EventScope prof_scope(prof_, ev.dst);
+    ev.cb();
+  }
+#else
   ev.cb();
+#endif
   exec_tag_ = prev;
   return true;
 }
@@ -119,6 +141,7 @@ int EventLoop::next_dst() const {
 }
 
 Time EventLoop::extract_until(Time limit, std::vector<Event>& out) {
+  [[maybe_unused]] const std::size_t before = out.size();
   while (!queue_.empty()) {
     const Event& top = queue_.top();
     if (top.t >= limit) break;
@@ -132,12 +155,22 @@ Time EventLoop::extract_until(Time limit, std::vector<Event>& out) {
     out.push_back(top);
     queue_.pop();
   }
+#if MANTIS_TELEMETRY_ENABLED
+  if (prof_ != nullptr && prof_->enabled() && out.size() > before) {
+    prof_->count_heap_pop(out.size() - before);
+  }
+#endif
   return limit;
 }
 
 void EventLoop::reinsert(Event ev) {
   expects(ev.t >= now_, "EventLoop::reinsert: time in the past");
   queue_.push(std::move(ev));
+#if MANTIS_TELEMETRY_ENABLED
+  if (prof_ != nullptr && prof_->enabled()) {
+    prof_->count_heap_push(queue_.size());
+  }
+#endif
 }
 
 }  // namespace mantis::sim

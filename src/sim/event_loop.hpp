@@ -83,6 +83,11 @@ class EventLoop {
   /// to this loop (switch, driver, agent, legacy clients) records here.
   telemetry::Telemetry& telemetry();
 
+  /// The bundle's hot-path profiler, or nullptr while the bundle has never
+  /// been created. Dispatch and heap accounting key off this cached pointer
+  /// so an unprofiled loop pays one null test per site.
+  telemetry::prof::Profiler* profiler() const { return prof_; }
+
   /// Current virtual time — shard-local while a ShardFrame is installed on
   /// the calling thread, the global clock otherwise.
   Time now() const {
@@ -162,6 +167,7 @@ class EventLoop {
   /// Per-src sequence counters, index src + 1 (slot 0 = control).
   std::vector<std::uint64_t> seq_by_src_ = std::vector<std::uint64_t>(1, 0);
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+  telemetry::prof::Profiler* prof_ = nullptr;  ///< cached &telemetry_->prof()
 };
 
 }  // namespace mantis::sim

@@ -30,6 +30,7 @@ Switch::Switch(EventLoop& loop, const p4::Program& prog, SwitchConfig cfg)
       port_stats_(static_cast<std::size_t>(cfg.num_ports)),
       rx_up_(static_cast<std::size_t>(cfg.num_ports), true) {
   prov_ = &loop.telemetry().provenance();
+  prof_ = &loop.telemetry().prof();
   for (const auto& tbl : prog_.tables) {
     auto [it, inserted] = tables_.emplace(tbl.name, TableState(prog_, tbl));
     if (inserted) it->second.set_provenance(prov_);
@@ -109,6 +110,7 @@ const TableState& Switch::table(const std::string& name) const {
 }
 
 void Switch::inject_internal(Packet pkt, int port, bool recirculated) {
+  MANTIS_PROF_SCOPE(prof_, kPipelineExecute, "switch.ingress");
   expects(port >= 0 && port < cfg_.num_ports, "Switch::inject: bad port");
   auto& stats = port_stats_[static_cast<std::size_t>(port)];
   if (recirculated) {
@@ -191,6 +193,7 @@ void Switch::inject_internal(Packet pkt, int port, bool recirculated) {
 }
 
 void Switch::on_dequeue(Packet pkt, int port) {
+  MANTIS_PROF_SCOPE(prof_, kPipelineExecute, "switch.egress");
   const p4::Width w9 = 9, w19 = 19, w48 = 48;
   pkt.set(f_egress_port_, static_cast<std::uint64_t>(port), w9);
   pkt.set(f_deq_qdepth_, tm_->queue_depth_pkts(port), w19);

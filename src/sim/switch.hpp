@@ -125,6 +125,7 @@ class Switch {
   Time pipeline_free_at_ = 0;  ///< pipeline_pps admission bookkeeping
 
   telemetry::ProvenanceContext* prov_;
+  telemetry::prof::Profiler* prof_;  ///< hot-path cost attribution
   int snapshot_provider_ = 0;  ///< flight-recorder registration id
 
   // Cached telemetry sinks (owned by the loop's registry): per-stage packet

@@ -24,6 +24,7 @@ TrafficManager::TrafficManager(EventLoop& loop, int num_ports, double port_gbps,
   enq_ctr_ = &tel.metrics().counter("sim.tm.enq_pkts");
   deq_ctr_ = &tel.metrics().counter("sim.tm.deq_pkts");
   drop_ctr_ = &tel.metrics().counter("sim.tm.tail_drops");
+  prof_ = &tel.prof();
 }
 
 telemetry::Gauge& TrafficManager::port_depth_gauge(int port, PortQueue& q) {
@@ -55,6 +56,7 @@ Duration TrafficManager::transmission_time(std::uint32_t bytes) const {
 }
 
 void TrafficManager::enqueue(Packet pkt, int port) {
+  MANTIS_PROF_SCOPE(prof_, kTmDequeue, "tm.enqueue");
   auto& q = queue(port);
   if (!q.up || q.bytes + pkt.length_bytes() > capacity_bytes_) {
     ++q.stats.tail_drops;
@@ -78,6 +80,7 @@ void TrafficManager::start_service(int port) {
   q.busy = true;
   const Duration tx = transmission_time(q.packets.front().length_bytes());
   loop_->schedule_in(tx, [this, port] {
+    MANTIS_PROF_SCOPE(prof_, kTmDequeue, "tm.dequeue");
     auto& pq = queue(port);
     ensures(!pq.packets.empty(), "TrafficManager: service fired on empty queue");
     Packet pkt = std::move(pq.packets.front());

@@ -68,6 +68,7 @@ class TrafficManager {
   telemetry::Counter* enq_ctr_;
   telemetry::Counter* deq_ctr_;
   telemetry::Counter* drop_ctr_;
+  telemetry::prof::Profiler* prof_;  ///< hot-path cost attribution
 
   telemetry::Gauge& port_depth_gauge(int port, PortQueue& q);
   void record_depth(int port, PortQueue& q);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "telemetry/metrics.hpp"  // json_escape, write_text_file
+#include "telemetry/prof/prof.hpp"
 
 namespace mantis::telemetry {
 
@@ -20,7 +21,8 @@ std::string us_from_ns(std::int64_t ns) {
 
 }  // namespace
 
-std::string chrome_trace_json(const Tracer& tracer) {
+std::string chrome_trace_json(const Tracer& tracer,
+                              const prof::Profiler* profiler) {
   std::ostringstream out;
   out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
 
@@ -71,12 +73,52 @@ std::string chrome_trace_json(const Tracer& tracer) {
     out << "}}";
   }
 
+  // Profiler counter tracks: per-kind host-cycle burn rate over virtual
+  // time, rendered as stacked area charts (ph "C") on a dedicated lane.
+  // Counter events carry per-interval *deltas* of the cumulative per-kind
+  // self-time so the chart shows where host time went in each window.
+  if (profiler != nullptr) {
+    const prof::ProfileReport rep = profiler->report();
+    constexpr unsigned kProfTid = 6;  // one past the fixed tracer lanes
+    if (!rep.samples.empty()) {
+      emit_sep();
+      out << R"({"ph": "M", "pid": 0, "tid": )" << kProfTid
+          << R"(, "name": "thread_name", "args": {"name": "prof"}})";
+    }
+    prof::ProfileReport::Sample prev{};
+    for (const auto& s : rep.samples) {
+      emit_sep();
+      out << "{\"name\": \"prof.self_ns\", \"cat\": \"prof\", \"ph\": \"C\", "
+             "\"pid\": 0, \"tid\": "
+          << kProfTid << ", \"ts\": " << us_from_ns(s.vt) << ", \"args\": {";
+      bool first_arg = true;
+      for (std::size_t k = 0; k < prof::kNumKinds; ++k) {
+        const std::uint64_t cur = s.kind_self_ns[k];
+        const std::uint64_t delta =
+            cur >= prev.kind_self_ns[k] ? cur - prev.kind_self_ns[k] : 0;
+        if (cur == 0 && delta == 0) continue;
+        if (!first_arg) out << ", ";
+        first_arg = false;
+        out << "\"" << prof::kind_name(static_cast<prof::EventKind>(k))
+            << "\": " << delta;
+      }
+      out << "}}";
+      emit_sep();
+      out << "{\"name\": \"prof.events\", \"cat\": \"prof\", \"ph\": \"C\", "
+             "\"pid\": 0, \"tid\": "
+          << kProfTid << ", \"ts\": " << us_from_ns(s.vt)
+          << ", \"args\": {\"events\": " << (s.events - prev.events) << "}}";
+      prev = s;
+    }
+  }
+
   out << "\n]\n}\n";
   return out.str();
 }
 
-void write_chrome_trace(const std::string& path, const Tracer& tracer) {
-  write_text_file(path, chrome_trace_json(tracer));
+void write_chrome_trace(const std::string& path, const Tracer& tracer,
+                        const prof::Profiler* profiler) {
+  write_text_file(path, chrome_trace_json(tracer, profiler));
 }
 
 }  // namespace mantis::telemetry

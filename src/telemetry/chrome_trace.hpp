@@ -10,12 +10,20 @@
 
 namespace mantis::telemetry {
 
+namespace prof {
+class Profiler;
+}  // namespace prof
+
 /// Serializes the trace: {"displayTimeUnit":"ns","traceEvents":[...]}.
 /// Tracks become named pseudo-threads of pid 0. Complete events use ph "X",
-/// instants ph "i" (thread scope).
-std::string chrome_trace_json(const Tracer& tracer);
+/// instants ph "i" (thread scope). When `profiler` is non-null and has
+/// samples, its per-kind self-time series render as Chrome counter tracks
+/// (ph "C", "prof" lane) alongside the spans.
+std::string chrome_trace_json(const Tracer& tracer,
+                              const prof::Profiler* profiler = nullptr);
 
 /// Writes chrome_trace_json to `path`; throws UserError on I/O failure.
-void write_chrome_trace(const std::string& path, const Tracer& tracer);
+void write_chrome_trace(const std::string& path, const Tracer& tracer,
+                        const prof::Profiler* profiler = nullptr);
 
 }  // namespace mantis::telemetry

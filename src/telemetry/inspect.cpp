@@ -1,13 +1,18 @@
 #include "telemetry/inspect.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "int/collector.hpp"
 #include "telemetry/metrics.hpp"  // json_escape
+#include "util/check.hpp"
 
 namespace mantis::telemetry {
 
@@ -228,6 +233,358 @@ std::string mfr_channel_text(const MfrDump& dump) {
     os << shown << " channel(s); utilization is busy time / virtual time at "
           "dump. Batched transfers land as one occupancy each; see "
           "driver.channel.depth_at_submit for the pipelining histogram.\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// prof: render a mantis-prof/1 JSON report (the repo's JSON layer is
+// writer-only, so this carries its own minimal reader — enough for the
+// reports our own writers emit).
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject, in order
+
+  const JsonValue* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double num_or(const std::string& key, double dflt = 0) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : dflt;
+  }
+  std::string str_or(const std::string& key) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->type == Type::kString ? v->str : std::string();
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw UserError("prof: malformed JSON at byte " + std::to_string(pos_) +
+                    ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", JsonValue::Type::kBool, true);
+      case 'f': return literal("false", JsonValue::Type::kBool, false);
+      case 'n': return literal("null", JsonValue::Type::kNull, false);
+      default: return number_value();
+    }
+  }
+
+  JsonValue literal(const char* word, JsonValue::Type t, bool b) {
+    const std::size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) fail("bad literal");
+    pos_ += len;
+    JsonValue v;
+    v.type = t;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue number_value() {
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(begin, &end);
+    if (end == begin) fail("bad number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Our writers only escape ASCII control bytes; decode the BMP
+          // code point as a single byte when it fits, '?' otherwise.
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          const unsigned long cp =
+              std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          out.push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+    return out;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    v.str = string_body();
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string_body();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string fmt_ms(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e6);
+  return buf;
+}
+
+std::string fmt_pct(double num, double denom) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", denom > 0 ? num * 100.0 / denom : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string prof_report_text(const std::string& json) {
+  const JsonValue root = JsonReader(json).parse();
+  // Accept both a bare ProfileReport and a bench report embedding one.
+  const JsonValue* prof = &root;
+  if (root.str_or("schema").rfind("mantis-prof/", 0) != 0) {
+    prof = root.find("prof");
+    if (prof == nullptr) {
+      throw UserError("prof: no \"prof\" section and not a mantis-prof report");
+    }
+  }
+  if (prof->str_or("schema") != "mantis-prof/1") {
+    throw UserError("prof: unsupported schema \"" + prof->str_or("schema") +
+                    "\"");
+  }
+
+  std::ostringstream os;
+  const double events = prof->num_or("events");
+  const double wall_ns = prof->num_or("wall_ns");
+  os << "hot-path profile (mantis-prof/1): compiled="
+     << (prof->find("compiled") != nullptr && prof->find("compiled")->boolean
+             ? "yes"
+             : "no")
+     << " enabled="
+     << (prof->find("enabled") != nullptr && prof->find("enabled")->boolean
+             ? "yes"
+             : "no")
+     << "\n";
+  os << "events=" << static_cast<std::uint64_t>(events)
+     << " attributed_wall=" << fmt_ms(wall_ns) << "ms";
+  if (wall_ns > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", events * 1e9 / wall_ns / 1e6);
+    os << " (" << buf << " Mev/s through instrumented scopes)";
+  }
+  os << "\n";
+  os << "allocs: " << static_cast<std::uint64_t>(prof->num_or("event_allocs"))
+     << " inside events (" << prof->num_or("allocs_per_event")
+     << " per event), lifetime new/delete "
+     << static_cast<std::uint64_t>(prof->num_or("lifetime_allocs")) << "/"
+     << static_cast<std::uint64_t>(prof->num_or("lifetime_frees")) << "\n";
+
+  const JsonValue* kinds = prof->find("kinds");
+  if (kinds != nullptr && !kinds->members.empty()) {
+    os << "\nper-kind self time:\n";
+    // Sort by self_ns descending for the "what dominates" read.
+    auto sorted = kinds->members;
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second.num_or("self_ns") > b.second.num_or("self_ns");
+    });
+    for (const auto& [name, k] : sorted) {
+      const double self = k.num_or("self_ns");
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-18s %10sms %s  count=%llu allocs=%llu\n", name.c_str(),
+                    fmt_ms(self).c_str(), fmt_pct(self, wall_ns).c_str(),
+                    static_cast<unsigned long long>(k.num_or("count")),
+                    static_cast<unsigned long long>(k.num_or("allocs")));
+      os << line;
+    }
+  }
+
+  const JsonValue* sites = prof->find("sites");
+  if (sites != nullptr && !sites->items.empty()) {
+    os << "\ntop sites (self time):\n";
+    auto sorted = sites->items;
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.num_or("self_ns") > b.num_or("self_ns");
+    });
+    std::size_t shown = 0;
+    for (const auto& s : sorted) {
+      if (shown++ >= 12) break;
+      char line[200];
+      std::snprintf(line, sizeof(line),
+                    "  %-24s %10sms %s  count=%llu  [%s]\n",
+                    s.str_or("name").c_str(), fmt_ms(s.num_or("self_ns")).c_str(),
+                    fmt_pct(s.num_or("self_ns"), wall_ns).c_str(),
+                    static_cast<unsigned long long>(s.num_or("count")),
+                    s.str_or("kind").c_str());
+      os << line;
+    }
+    if (sorted.size() > shown) {
+      os << "  ... " << sorted.size() - shown << " more site(s)\n";
+    }
+  }
+
+  const JsonValue* heap = prof->find("heap");
+  if (heap != nullptr) {
+    os << "\nheap: pushes="
+       << static_cast<std::uint64_t>(heap->num_or("pushes"))
+       << " pops=" << static_cast<std::uint64_t>(heap->num_or("pops"))
+       << " peak_depth="
+       << static_cast<std::uint64_t>(heap->num_or("peak_depth"))
+       << " frame_local="
+       << static_cast<std::uint64_t>(heap->num_or("local_pushes"))
+       << " outbox="
+       << static_cast<std::uint64_t>(heap->num_or("outbox_pushes")) << "\n";
+  }
+
+  const JsonValue* shards = prof->find("shards");
+  if (shards != nullptr && shards->num_or("count") > 0) {
+    os << "\nshards: count="
+       << static_cast<std::uint64_t>(shards->num_or("count"))
+       << " rounds=" << static_cast<std::uint64_t>(shards->num_or("rounds"))
+       << " barrier_stall=" << fmt_ms(shards->num_or("barrier_stall_ns"))
+       << "ms idle_shard_rounds="
+       << static_cast<std::uint64_t>(shards->num_or("idle_shard_rounds"))
+       << " imbalance=" << shards->num_or("imbalance") << "\n";
+    const JsonValue* per = shards->find("per_shard");
+    if (per != nullptr) {
+      double max_events = 0;
+      for (const auto& s : per->items) {
+        max_events = std::max(max_events, s.num_or("events"));
+      }
+      for (std::size_t i = 0; i < per->items.size(); ++i) {
+        const auto& s = per->items[i];
+        const double ev = s.num_or("events");
+        const int bar =
+            max_events > 0 ? static_cast<int>(ev * 32 / max_events) : 0;
+        char line[200];
+        std::snprintf(line, sizeof(line),
+                      "  shard %-3zu %10llu ev %10sms  %s\n", i,
+                      static_cast<unsigned long long>(ev),
+                      fmt_ms(s.num_or("wall_ns")).c_str(),
+                      std::string(static_cast<std::size_t>(bar), '#').c_str());
+        os << line;
+      }
+    }
+  } else {
+    os << "\nshards: none (sequential run)\n";
+  }
+
+  const JsonValue* samples = prof->find("samples");
+  if (samples != nullptr) {
+    os << "\nsamples: " << samples->items.size()
+       << " (counter tracks in the Chrome trace export)\n";
   }
   return os.str();
 }

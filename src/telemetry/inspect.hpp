@@ -34,4 +34,10 @@ std::string mfr_int_text(const MfrDump& dump);
 /// line: ops= busy_ns= depth= free_at= utilization_permille=.
 std::string mfr_channel_text(const MfrDump& dump);
 
+/// Renders a hot-path profile (prof::ProfileReport::to_json() or a bench
+/// report embedding one under "prof") as a text breakdown: per-kind cost
+/// table, top sites, heap counters, shard balance. Throws UserError on
+/// malformed JSON or a report without a prof section.
+std::string prof_report_text(const std::string& json);
+
 }  // namespace mantis::telemetry

@@ -239,6 +239,29 @@ std::string report_json(const std::string& bench, const ReportParams& params,
   return out.str();
 }
 
+std::string report_json(const std::string& bench, const ReportParams& params,
+                        const MetricsRegistry& metrics,
+                        const std::string& prof_json) {
+  if (prof_json.empty()) return report_json(bench, params, metrics);
+  std::string base = report_json(bench, params, metrics);
+  // Splice a "prof" section (a pre-rendered JSON object) before the closing
+  // brace, indenting it one level.
+  const auto close = base.rfind("\n}\n");
+  expects(close != std::string::npos, "report_json: malformed base report");
+  std::ostringstream out;
+  out << base.substr(0, close) << ",\n  \"prof\": ";
+  std::string trimmed = prof_json;
+  while (!trimmed.empty() && (trimmed.back() == '\n' || trimmed.back() == ' ')) {
+    trimmed.pop_back();
+  }
+  for (const char c : trimmed) {
+    out << c;
+    if (c == '\n') out << "  ";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
 void write_text_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) throw UserError("cannot open for writing: " + path);

@@ -175,6 +175,13 @@ class ReportParams {
 std::string report_json(const std::string& bench, const ReportParams& params,
                         const MetricsRegistry& metrics);
 
+/// Report with an embedded hot-path profile: `prof_json` is a pre-rendered
+/// JSON object (prof::ProfileReport::to_json()), spliced in as the "prof"
+/// key. Empty `prof_json` degenerates to the plain report.
+std::string report_json(const std::string& bench, const ReportParams& params,
+                        const MetricsRegistry& metrics,
+                        const std::string& prof_json);
+
 /// Writes `content` to `path`; throws UserError on I/O failure.
 void write_text_file(const std::string& path, const std::string& content);
 

@@ -9,6 +9,7 @@
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prof/prof.hpp"
 #include "telemetry/provenance.hpp"
 #include "telemetry/trace.hpp"
 
@@ -24,6 +25,8 @@ class Telemetry {
   const FlightRecorder& recorder() const { return recorder_; }
   ProvenanceContext& provenance() { return provenance_; }
   const ProvenanceContext& provenance() const { return provenance_; }
+  prof::Profiler& prof() { return prof_; }
+  const prof::Profiler& prof() const { return prof_; }
 
   /// Convenience for the --metrics flag: a bare registry snapshot wrapped in
   /// the {bench, params, metrics} report schema.
@@ -32,13 +35,18 @@ class Telemetry {
     write_text_file(path, report_json(name, params, metrics_));
   }
   void write_trace_json(const std::string& path) const {
-    write_chrome_trace(path, tracer_);
+    write_chrome_trace(path, tracer_, &prof_);
+  }
+  /// Standalone hot-path profile (prof::ProfileReport::to_json()).
+  void write_prof_json(const std::string& path) const {
+    write_text_file(path, prof_.report_json());
   }
 
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
   FlightRecorder recorder_;
+  prof::Profiler prof_;
   // Last: constructed from references to the members above.
   ProvenanceContext provenance_{metrics_, tracer_, recorder_};
 };

@@ -21,6 +21,7 @@
 #include "net/fault.hpp"
 #include "net/scenarios.hpp"
 #include "sim/event_loop.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mantis {
 namespace {
@@ -152,6 +153,58 @@ TEST(ParallelFabricEquivalence, GrayWithAsyncPushAgents) {
       EXPECT_EQ(par.mfr, base.mfr) << "seed " << seed << " threads "
                                    << threads;
       EXPECT_EQ(par.stats, base.stats)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path profiler equivalence: enabling wall-clock profiling must not
+// perturb the virtual execution at any thread count. The profiler reads
+// host clocks and allocation counters but never feeds back into virtual
+// time, so every signature stays byte-identical to an unprofiled baseline.
+// ---------------------------------------------------------------------------
+
+RunSignature run_gray_profiled(int threads, std::uint64_t seed,
+                               Duration pacing) {
+  net::GrayScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.pacing = pacing;
+  cfg.threads = threads;
+  net::GrayFabricScenario scenario(cfg);
+  scenario.loop().telemetry().prof().set_enabled(true);
+  auto res = scenario.run();
+
+  RunSignature sig;
+  sig.events = join(res.events);
+  sig.metrics = scenario.loop().telemetry().metrics().snapshot_json();
+  sig.mfr = scenario.loop().telemetry().recorder().dump_text(
+      scenario.loop().now(), "equivalence");
+  sig.stats = link_stats_text(scenario.fabric());
+#if MANTIS_TELEMETRY_ENABLED
+  // The profiler must actually have observed the run it didn't perturb.
+  EXPECT_GT(scenario.loop().telemetry().prof().report().events, 0u)
+      << "threads " << threads;
+#endif
+  return sig;
+}
+
+TEST(ParallelFabricEquivalence, ProfilingScopesDoNotPerturbExecution) {
+  // Pacing 100us gives the harness inter-poll drain windows, so threads=4
+  // exercises real engine rounds (barrier stalls, outbox reinsertion) with
+  // the profiler's round/shard accounting active.
+  const Duration pacing = 100 * kMicrosecond;
+  for (std::uint64_t seed : {1ull, 9ull}) {
+    const RunSignature base = run_gray(1, seed, pacing);
+    for (int threads : {1, 4}) {
+      const RunSignature prof = run_gray_profiled(threads, seed, pacing);
+      EXPECT_EQ(prof.events, base.events)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(prof.metrics, base.metrics)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(prof.mfr, base.mfr)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(prof.stats, base.stats)
           << "seed " << seed << " threads " << threads;
     }
   }

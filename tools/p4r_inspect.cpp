@@ -6,6 +6,7 @@
 //   p4r_inspect reaction <dump.mfr> <id>       # one reaction's provenance
 //   p4r_inspect int <dump.mfr>                 # INT sink reports, per hop
 //   p4r_inspect channel <dump.mfr>             # driver-channel utilization
+//   p4r_inspect prof <report.json>             # hot-path profile breakdown
 //   p4r_inspect export --chrome <dump.mfr> [-o out.json]
 //   p4r_inspect snapshot <prog.p4r> [--iters N] [-o out.mfr]
 //
@@ -43,9 +44,10 @@ int usage(const char* argv0) {
                "       %s reaction <dump.mfr> <id>\n"
                "       %s int <dump.mfr>\n"
                "       %s channel <dump.mfr>\n"
+               "       %s prof <report.json>\n"
                "       %s export --chrome <dump.mfr> [-o out.json]\n"
                "       %s snapshot <prog.p4r> [--iters N] [-o out.mfr]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -118,6 +120,12 @@ int main(int argc, char** argv) {
     if (cmd == "channel") {
       const auto dump = telemetry::parse_mfr(slurp(argv[2]));
       std::fputs(telemetry::mfr_channel_text(dump).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "prof") {
+      // Accepts a standalone ProfileReport JSON (example --prof / bench
+      // --prof output) or a full bench report embedding a "prof" section.
+      std::fputs(telemetry::prof_report_text(slurp(argv[2])).c_str(), stdout);
       return 0;
     }
     if (cmd == "export") {
