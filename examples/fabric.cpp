@@ -53,6 +53,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --prof with parallel threads needs pacing: with the agents busy-looping
+  // (pacing 0) the harness never opens an inter-poll window, the engine
+  // never runs a round, and the profile's shard/round sections come back
+  // empty — a silent trap. Default a small pacing and say so.
+  if (!prof_path.empty() && cfg.threads > 1 && cfg.pacing <= 0) {
+    cfg.pacing = 100 * kMicrosecond;
+    std::printf("note: --prof with --threads %d defaults --pacing-us 100 "
+                "(pacing > 0 opens the inter-poll windows the parallel "
+                "engine profiles; pass --pacing-us explicitly to tune)\n",
+                cfg.threads);
+  }
+
   net::GrayFabricScenario scenario(cfg);
   if (!trace_path.empty()) scenario.loop().telemetry().tracer().set_enabled(true);
   // Wall-clock cost attribution only — the event log, metrics, and .mfr

@@ -53,10 +53,15 @@ Signature run_one(const FabricScenarioSpec& spec, const p4::Program& prog,
   fc.base_seed = spec.seed;
   fc.default_link.loss = spec.ambient_loss;
   fc.default_link.propagation = spec.propagation;
-  net::Topology topo = spec.topo == FabricScenarioSpec::Topo::kLeafSpine
-                           ? net::Topology::leaf_spine(spec.leaves,
-                                                       spec.spines, 1)
-                           : net::Topology::ring(spec.switches, 1);
+  net::Topology topo =
+      spec.topo == FabricScenarioSpec::Topo::kLeafSpine
+          ? net::Topology::leaf_spine(spec.leaves, spec.spines, 1)
+      : spec.topo == FabricScenarioSpec::Topo::kRing
+          ? net::Topology::ring(spec.switches, 1)
+          // 3-tier Clos: P pods x (2 leaves + 2 aggs) + 2P cores. Covers
+          // multi-hop cross-shard chains (leaf->agg->core->agg->leaf) the
+          // two-tier topologies never produce.
+          : net::Topology::clos(spec.clos_pods, 2, 2, 2 * spec.clos_pods, 1);
   net::Fabric fabric(loop, prog, std::move(topo), fc);
 
   for (std::size_t i = 0; i < fabric.num_links(); ++i) {
@@ -146,8 +151,10 @@ std::string FabricScenarioSpec::summary() const {
   os << "seed=" << seed << " topo=";
   if (topo == Topo::kLeafSpine) {
     os << "leaf_spine(" << leaves << "," << spines << ")";
-  } else {
+  } else if (topo == Topo::kRing) {
     os << "ring(" << switches << ")";
+  } else {
+    os << "clos(" << clos_pods << ",2,2," << 2 * clos_pods << ",1)";
   }
   os << " loss=" << ambient_loss << " prop=" << propagation
      << " periods=" << period_ab << "/" << period_ba
@@ -162,13 +169,17 @@ FabricScenarioSpec generate_fabric_scenario(std::uint64_t seed) {
   FabricScenarioSpec spec;
   spec.seed = seed;
 
-  if (rng.chance(0.5)) {
+  const std::uint64_t topo_pick = rng.uniform(3);
+  if (topo_pick == 0) {
     spec.topo = FabricScenarioSpec::Topo::kLeafSpine;
     spec.leaves = static_cast<int>(rng.uniform_range(2, 4));
     spec.spines = static_cast<int>(rng.uniform_range(2, 4));
-  } else {
+  } else if (topo_pick == 1) {
     spec.topo = FabricScenarioSpec::Topo::kRing;
     spec.switches = static_cast<int>(rng.uniform_range(3, 8));
+  } else {
+    spec.topo = FabricScenarioSpec::Topo::kClos;
+    spec.clos_pods = static_cast<int>(rng.uniform_range(2, 3));
   }
   spec.ambient_loss = rng.chance(0.5) ? rng.uniform01() * 0.1 : 0.0;
   spec.propagation = static_cast<Duration>(rng.uniform_range(100, 2000));
@@ -187,7 +198,11 @@ FabricScenarioSpec generate_fabric_scenario(std::uint64_t seed) {
   const int num_links =
       spec.topo == FabricScenarioSpec::Topo::kLeafSpine
           ? spec.leaves * spec.spines + spec.leaves  // + host uplinks
-          : 2 * spec.switches;
+      : spec.topo == FabricScenarioSpec::Topo::kRing
+          ? 2 * spec.switches
+          // clos(P,2,2,2P,1): P*L*A leaf-agg + P*C agg-core + 2P leaf-host.
+          : 4 * spec.clos_pods + 2 * spec.clos_pods * spec.clos_pods +
+                2 * spec.clos_pods;
   const std::uint64_t num_faults = rng.uniform_range(0, 3);
   for (std::uint64_t i = 0; i < num_faults; ++i) {
     FabricScenarioSpec::Fault f;

@@ -26,11 +26,12 @@ namespace mantis::check {
 struct FabricScenarioSpec {
   std::uint64_t seed = 1;  ///< fabric base seed (link drop processes)
 
-  enum class Topo { kLeafSpine, kRing };
+  enum class Topo { kLeafSpine, kRing, kClos };
   Topo topo = Topo::kLeafSpine;
-  int leaves = 2;    ///< leaf-spine only
-  int spines = 2;    ///< leaf-spine only
-  int switches = 4;  ///< ring only
+  int leaves = 2;     ///< leaf-spine only
+  int spines = 2;     ///< leaf-spine only
+  int switches = 4;   ///< ring only
+  int clos_pods = 2;  ///< clos only: clos(P, 2, 2, 2P, 1)
 
   double ambient_loss = 0.0;
   Duration propagation = 200;

@@ -24,32 +24,94 @@ Duration ParallelFabricEngine::compute_lookahead(Fabric& fabric) {
   return min_delay < 0 ? 1 : min_delay;
 }
 
+std::vector<std::int32_t> ParallelFabricEngine::assign_groups(
+    const std::vector<std::uint64_t>& weights, int groups) {
+  expects(groups >= 1, "assign_groups: need >= 1 group");
+  const int n = static_cast<int>(weights.size());
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return weights[static_cast<std::size_t>(a)] >
+           weights[static_cast<std::size_t>(b)];
+  });
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(groups), 0);
+  std::vector<std::int32_t> group_of(static_cast<std::size_t>(n), 0);
+  for (const int tag : order) {
+    int best = 0;
+    for (int g = 1; g < groups; ++g) {
+      if (load[static_cast<std::size_t>(g)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = g;
+      }
+    }
+    group_of[static_cast<std::size_t>(tag)] = best;
+    // +1 so zero-weight switches still spread instead of piling on group 0.
+    load[static_cast<std::size_t>(best)] +=
+        weights[static_cast<std::size_t>(tag)] + 1;
+  }
+  return group_of;
+}
+
+std::vector<std::uint64_t> ParallelFabricEngine::weights_from_profile(
+    const telemetry::prof::ProfileReport& report, int num_shards) {
+  if (static_cast<int>(report.shards.size()) != num_shards) return {};
+  std::vector<std::uint64_t> weights;
+  weights.reserve(report.shards.size());
+  for (const auto& cell : report.shards) weights.push_back(cell.events);
+  return weights;
+}
+
 ParallelFabricEngine::ParallelFabricEngine(Fabric& fabric, int threads)
+    : ParallelFabricEngine(fabric, threads, Options()) {}
+
+ParallelFabricEngine::ParallelFabricEngine(Fabric& fabric, int threads,
+                                           Options options)
     : loop_(&fabric.loop()),
       fabric_(&fabric),
       threads_(std::max(1, threads)),
       lookahead_(compute_lookahead(fabric)) {
   expects(lookahead_ > 0, "ParallelFabricEngine: non-positive lookahead");
   if (threads_ <= 1) return;  // sequential: no machinery at all
-  // Never more threads than shards; the remainder would only spin.
-  threads_ = std::min(threads_, std::max(1, fabric.num_shards()));
+
+  const int num_shards = fabric.num_shards();
+  int groups = options.groups > 0 ? options.groups
+                                  : std::min(num_shards, threads_ * 2);
+  groups = std::min(groups, num_shards);
+  groups = std::max(groups, 1);
+  // Never more threads than groups; the remainder would only spin.
+  threads_ = std::min(threads_, groups);
   if (threads_ <= 1) return;
+
+  std::vector<std::uint64_t> weights = std::move(options.weights);
+  if (weights.empty()) {
+    // Default weight: link degree (hosts included — host events run on the
+    // uplink switch's shard), a decent static proxy for event load.
+    weights.assign(static_cast<std::size_t>(num_shards), 0);
+    const auto& topo = fabric.topo();
+    for (const auto& l : topo.links) {
+      ++weights[static_cast<std::size_t>(fabric.shard_of(l.a))];
+      ++weights[static_cast<std::size_t>(fabric.shard_of(l.b))];
+    }
+  }
+  expects(static_cast<int>(weights.size()) == num_shards,
+          "ParallelFabricEngine: weights size != num_shards");
+  group_of_ = assign_groups(weights, groups);
 
   // Profiler shard cells must exist before workers start (the cell array
   // is grown only from this thread). Touching telemetry() here only forces
-  // bundle creation, which components sharing the loop do anyway.
+  // bundle creation, which components sharing the loop do anyway. Cells
+  // are per execution GROUP: that is the unit of round imbalance.
   prof_ = &loop_->telemetry().prof();
-  prof_->ensure_shards(static_cast<std::size_t>(fabric.num_shards()));
+  prof_->ensure_shards(static_cast<std::size_t>(groups));
 
-  loop_->ensure_tags(fabric.num_shards());
-  shards_.reserve(static_cast<std::size_t>(fabric.num_shards()));
-  for (int s = 0; s < fabric.num_shards(); ++s) {
-    auto shard = std::make_unique<Shard>();
-    shard->tag = s;
-    // Stable after ensure_tags: shard tags can never grow the table again.
-    shard->seq = loop_->seq_counter(s);
-    lanes_.push_back(&shard->lane);
-    shards_.push_back(std::move(shard));
+  loop_->ensure_tags(num_shards);
+  seq_base_ = loop_->seq_array();  // stable: tags can never grow the table
+  groups_.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    auto group = std::make_unique<Group>();
+    group->id = g;
+    lanes_.push_back(&group->lane);
+    groups_.push_back(std::move(group));
   }
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int w = 1; w < threads_; ++w) {
@@ -66,6 +128,16 @@ ParallelFabricEngine::~ParallelFabricEngine() {
   }
   cv_.notify_all();
   for (auto& t : workers_) t.join();
+}
+
+int ParallelFabricEngine::num_groups() const {
+  return groups_.empty() ? 1 : static_cast<int>(groups_.size());
+}
+
+int ParallelFabricEngine::group_of(int tag) const {
+  expects(tag >= 0 && tag < static_cast<int>(group_of_.size()),
+          "ParallelFabricEngine::group_of: bad tag");
+  return group_of_[static_cast<std::size_t>(tag)];
 }
 
 std::uint64_t ParallelFabricEngine::wait_for_round(std::uint64_t seen) {
@@ -86,40 +158,43 @@ void ParallelFabricEngine::worker_main(int worker) {
     const std::uint64_t cur = wait_for_round(seen);
     if (cur == seen) return;  // stop requested, no newer round
     seen = cur;
-    run_shard_range(worker, round_end_);
+    run_group_range(worker, round_end_);
     done_.fetch_add(1, std::memory_order_acq_rel);
   }
 }
 
-void ParallelFabricEngine::run_shard_range(int worker, Time round_end) {
-  for (int s = worker; s < static_cast<int>(shards_.size()); s += threads_) {
-    run_shard(*shards_[static_cast<std::size_t>(s)], round_end);
+void ParallelFabricEngine::run_group_range(int worker, Time round_end) {
+  for (int g = worker; g < static_cast<int>(groups_.size()); g += threads_) {
+    run_group(*groups_[static_cast<std::size_t>(g)], round_end);
   }
 }
 
-void ParallelFabricEngine::run_shard(Shard& shard, Time round_end) {
-  if (shard.local.empty()) return;
+void ParallelFabricEngine::run_group(Group& group, Time round_end) {
+  if (group.local.empty()) return;
   sim::EventLoop::ShardFrame frame;
   frame.loop = loop_;
-  frame.shard = shard.tag;
   frame.round_end = round_end;
-  frame.next_seq = shard.seq;
-  frame.local = &shard.local;
-  frame.outbox = &shard.outbox;
+  frame.seq_base = seq_base_;
+  frame.local = &group.local;
+  frame.outbox = &group.outbox;
   sim::EventLoop::set_shard_frame(&frame);
-  telemetry::ShardLane::set_current(&shard.lane);
-  while (!shard.local.empty()) {
-    sim::EventLoop::Event ev = shard.local.top();
-    shard.local.pop();
+  telemetry::ShardLane::set_current(&group.lane);
+  while (!group.local.empty()) {
+    sim::EventLoop::Event ev = group.local.pop_top();
     frame.now = ev.t;
+    // The frame tracks the running event's own tag — a group interleaves
+    // several switches' events in canonical order, and each event's
+    // schedules must stamp src = its switch, not "the group", to keep
+    // canonical keys identical to the sequential engine's.
+    frame.shard = ev.dst;
     // Deferred telemetry from this callback carries the event's own key.
-    shard.lane.begin_event(ev.t, ev.src, ev.seq);
-    ++shard.executed_round;
+    group.lane.begin_event(ev.t, ev.src, ev.seq);
+    ++group.executed_round;
 #if MANTIS_TELEMETRY_ENABLED
     {
       // Wall-clock/allocation attribution only; the virtual clock and event
       // order are untouched (parallel-equivalence contract).
-      telemetry::prof::EventScope prof_scope(prof_, shard.tag);
+      telemetry::prof::EventScope prof_scope(prof_, group.id);
       ev.cb();
     }
 #else
@@ -132,7 +207,7 @@ void ParallelFabricEngine::run_shard(Shard& shard, Time round_end) {
 
 void ParallelFabricEngine::run_until(Time t) {
   auto& loop = *loop_;
-  if (threads_ <= 1 || shards_.empty()) {
+  if (threads_ <= 1 || groups_.empty()) {
     loop.run_until(t);
     return;
   }
@@ -161,11 +236,13 @@ void ParallelFabricEngine::run_until(Time t) {
     }
 #endif
     for (auto& ev : extract_buf_) {
-      shards_[static_cast<std::size_t>(ev.dst)]->local.push(std::move(ev));
+      groups_[static_cast<std::size_t>(
+                  group_of_[static_cast<std::size_t>(ev.dst)])]
+          ->local.push(std::move(ev));
     }
     extract_buf_.clear();
 
-    // Publish the round: shard heaps and round_end_ are written before the
+    // Publish the round: group heaps and round_end_ are written before the
     // release store on round_seq_, acquired by each worker's spin/wait.
     round_end_ = end;
     done_.store(0, std::memory_order_relaxed);
@@ -176,7 +253,7 @@ void ParallelFabricEngine::run_until(Time t) {
     }
     cv_.notify_all();
     // The calling thread takes worker slot 0.
-    run_shard_range(0, end);
+    run_group_range(0, end);
 #if MANTIS_TELEMETRY_ENABLED
     const std::int64_t stall_t0 =
         profiling ? telemetry::prof::Profiler::wall_now_ns() : 0;
@@ -189,12 +266,12 @@ void ParallelFabricEngine::run_until(Time t) {
     if (profiling) {
       const std::int64_t stall =
           telemetry::prof::Profiler::wall_now_ns() - stall_t0;
-      // Round load shape: busiest shard vs mean (imbalance), shards with no
+      // Round load shape: busiest group vs mean (imbalance), groups with no
       // work at all (lookahead-limited idle windows).
       std::uint64_t total = 0, max_events = 0;
       std::size_t idle = 0;
-      for (auto& shard : shards_) {
-        const std::uint64_t e = shard->executed_round;
+      for (auto& group : groups_) {
+        const std::uint64_t e = group->executed_round;
         total += e;
         if (e > max_events) max_events = e;
         if (e == 0) ++idle;
@@ -205,16 +282,16 @@ void ParallelFabricEngine::run_until(Time t) {
       // rounds so sampling never shows up in the profile itself.
       if ((rounds_ & 0xFFu) == 0) prof_->sample(end);
     }
-    for (auto& shard : shards_) shard->executed_round = 0;
+    for (auto& group : groups_) group->executed_round = 0;
 #else
-    for (auto& shard : shards_) shard->executed_round = 0;
+    for (auto& group : groups_) group->executed_round = 0;
 #endif
 
     // Barrier: outbox reinsertion (keys pre-assigned, insertion order
     // irrelevant) and canonical-order telemetry replay.
-    for (auto& shard : shards_) {
-      for (auto& ev : shard->outbox) loop.reinsert(std::move(ev));
-      shard->outbox.clear();
+    for (auto& group : groups_) {
+      for (auto& ev : group->outbox) loop.reinsert(std::move(ev));
+      group->outbox.clear();
     }
     telemetry::ShardLane::merge_apply(lanes_);
   }

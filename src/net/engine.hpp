@@ -22,12 +22,23 @@
 //   3. order-dependent telemetry sinks deferring into per-shard lanes that
 //      merge in canonical order at each barrier (telemetry/shard_lane.hpp).
 //
+// Shard grouping: canonical tags stay one-per-switch forever (they are part
+// of the event keys), but execution shards are GROUPS of switches — a
+// datacenter-scale fabric has far more switches than cores, and one heap +
+// lane + barrier slot per switch would drown the rounds in bookkeeping.
+// The tag -> group map is load-aware (LPT greedy over per-switch weights:
+// link degree by default, or measured per-shard event counts from a prior
+// profiled run — the PR 9 imbalance telemetry) and purely an execution
+// placement: regrouping cannot move an event's canonical key, so any group
+// count is byte-identical to any other, threads=1 included.
+//
 // threads <= 1 is the sequential engine, verbatim: run_until delegates to
 // EventLoop::run_until and no worker, lane, or frame machinery exists.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -40,9 +51,20 @@ namespace mantis::net {
 
 class ParallelFabricEngine {
  public:
+  struct Options {
+    /// Execution shard groups; 0 = auto (2x threads, capped at the switch
+    /// count — enough slack for round-robin workers to average out load).
+    int groups = 0;
+    /// Per-switch load weights for the LPT assignment (size must equal
+    /// fabric.num_shards()); empty = link degree. Feed measured per-shard
+    /// event counts from a calibration run via weights_from_profile.
+    std::vector<std::uint64_t> weights;
+  };
+
   /// `fabric` must outlive the engine. `threads` is the total worker count
   /// (the calling thread participates, so threads == 2 spawns one helper).
   ParallelFabricEngine(Fabric& fabric, int threads);
+  ParallelFabricEngine(Fabric& fabric, int threads, Options options);
   ~ParallelFabricEngine();
 
   ParallelFabricEngine(const ParallelFabricEngine&) = delete;
@@ -57,17 +79,32 @@ class ParallelFabricEngine {
   int threads() const { return threads_; }
   Duration lookahead() const { return lookahead_; }
   std::uint64_t rounds() const { return rounds_; }
+  /// Execution shard groups (1 when running sequentially).
+  int num_groups() const;
+  /// The execution group owning switch tag `tag` (engine must be parallel).
+  int group_of(int tag) const;
 
   /// min over links of (propagation + 1 ns minimum serialization): the
   /// tightest provably-safe synchronization horizon for this fabric.
   static Duration compute_lookahead(Fabric& fabric);
 
+  /// Deterministic LPT (longest-processing-time) greedy: tags sorted by
+  /// descending weight (tag ascending among equals), each assigned to the
+  /// lightest group so far (lowest id among equals). Returns tag -> group.
+  static std::vector<std::int32_t> assign_groups(
+      const std::vector<std::uint64_t>& weights, int groups);
+
+  /// Per-switch weights out of a profiled run's per-shard event counts —
+  /// usable when the profile was taken with groups == num_shards (e.g. a
+  /// short calibration run); empty vector when the cell count differs.
+  static std::vector<std::uint64_t> weights_from_profile(
+      const telemetry::prof::ProfileReport& report, int num_shards);
+
  private:
-  struct Shard {
-    int tag = 0;
+  struct Group {
+    int id = 0;
     sim::EventLoop::LocalQueue local;
     std::vector<sim::EventLoop::Event> outbox;
-    std::uint64_t* seq = nullptr;  ///< per-src counter in the loop
     telemetry::ShardLane lane;
     /// Events executed this round. Written by the owning worker, read and
     /// reset by the main thread after the done_ barrier (that acquire
@@ -80,10 +117,10 @@ class ParallelFabricEngine {
   /// number) or stop is requested (returns `seen`). Spins briefly, then
   /// parks on the condition variable.
   std::uint64_t wait_for_round(std::uint64_t seen);
-  /// Drains one shard's local heap with its ShardFrame + ShardLane
-  /// installed. Runs on whichever thread owns the shard this round.
-  void run_shard(Shard& shard, Time round_end);
-  void run_shard_range(int worker, Time round_end);
+  /// Drains one group's local heap with its ShardFrame + ShardLane
+  /// installed. Runs on whichever thread owns the group this round.
+  void run_group(Group& group, Time round_end);
+  void run_group_range(int worker, Time round_end);
 
   sim::EventLoop* loop_;
   Fabric* fabric_;
@@ -94,7 +131,11 @@ class ParallelFabricEngine {
   /// keys off this. Wall-clock only — never feeds back into event order.
   telemetry::prof::Profiler* prof_ = nullptr;
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  /// tag (switch) -> execution group id; identity-free: only placement.
+  std::vector<std::int32_t> group_of_;
+  /// Base of the loop's per-tag sequence counter array (ShardFrame).
+  std::uint64_t* seq_base_ = nullptr;
   std::vector<telemetry::ShardLane*> lanes_;
   std::vector<sim::EventLoop::Event> extract_buf_;
 

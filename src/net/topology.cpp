@@ -161,4 +161,94 @@ Topology Topology::ring(int switches, int hosts_per_switch) {
   return topo;
 }
 
+std::uint64_t ClosSpec::ecmp_hash(std::uint64_t sw, std::uint64_t dst) {
+  // splitmix64 finalizer over the pair: avalanches enough that consecutive
+  // (sw, dst) pairs spread across small modulus groups.
+  std::uint64_t x = (sw << 32) ^ dst ^ 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+int ClosSpec::next_hop_port(NodeId sw, std::uint32_t dst) const {
+  const int g = leaf_of_addr(dst);
+  const int h = host_of_addr(dst);
+  if (g < 0 || g >= num_leaves() || h < 0 || h >= hosts_per_leaf) return -1;
+  const int dst_pod = g / leaves_per_pod;
+  const int dst_leaf = g % leaves_per_pod;
+  if (is_leaf(sw)) {
+    if (sw == g) return aggs_per_pod + h;  // local host port
+    // Any pod agg reaches every other leaf (same pod directly, other pods
+    // via its cores) at equal cost: ECMP over the A uplinks.
+    return static_cast<int>(ecmp_hash(static_cast<std::uint64_t>(sw), dst) %
+                            static_cast<std::uint64_t>(aggs_per_pod));
+  }
+  if (is_agg(sw)) {
+    const int idx = static_cast<int>(sw) - num_leaves();
+    const int pod = idx / aggs_per_pod;
+    if (pod == dst_pod) return dst_leaf;  // down port toward the leaf
+    // Up: every owned core reaches the destination pod — ECMP over C/A.
+    return leaves_per_pod +
+           static_cast<int>(ecmp_hash(static_cast<std::uint64_t>(sw), dst) %
+                            static_cast<std::uint64_t>(cores_per_agg()));
+  }
+  if (is_core(sw)) return dst_pod;  // one down port per pod
+  return -1;  // hosts route implicitly (single uplink)
+}
+
+Topology Topology::clos(const ClosSpec& s) {
+  expects(s.pods >= 1 && s.leaves_per_pod >= 1 && s.aggs_per_pod >= 1 &&
+              s.cores >= 1,
+          "clos: all tier sizes must be >= 1");
+  expects(s.hosts_per_leaf >= 0 && s.hosts_per_leaf <= 256,
+          "clos: hosts_per_leaf must be in [0, 256] (addressing uses 8 bits)");
+  expects(s.cores % s.aggs_per_pod == 0,
+          "clos: cores must divide evenly over aggs_per_pod");
+  Topology topo;
+  topo.num_switches = s.num_switches();
+  topo.num_nodes = s.num_switches() + s.num_hosts();
+  // Tier 1-2: each leaf to every agg in its pod.
+  for (int p = 0; p < s.pods; ++p) {
+    for (int l = 0; l < s.leaves_per_pod; ++l) {
+      for (int a = 0; a < s.aggs_per_pod; ++a) {
+        topo.links.push_back(Link{s.leaf_id(p, l), s.agg_id(p, a), a, l, 1.0});
+      }
+    }
+  }
+  // Tier 2-3: agg a (in every pod) to its contiguous core group.
+  const int cpa = s.cores_per_agg();
+  for (int p = 0; p < s.pods; ++p) {
+    for (int a = 0; a < s.aggs_per_pod; ++a) {
+      for (int j = 0; j < cpa; ++j) {
+        const int core = a * cpa + j;
+        topo.links.push_back(Link{s.agg_id(p, a), s.core_id(core),
+                                  s.leaves_per_pod + j, p, 1.0});
+      }
+    }
+  }
+  // Hosts, one subtree per leaf.
+  for (int g = 0; g < s.num_leaves(); ++g) {
+    for (int h = 0; h < s.hosts_per_leaf; ++h) {
+      topo.links.push_back(
+          Link{g, s.host_id(g, h), s.aggs_per_pod + h, 0, 1.0});
+      topo.dst_node.emplace(s.host_addr(g, h), s.host_id(g, h));
+    }
+  }
+  return topo;
+}
+
+Topology Topology::clos(int pods, int leaves_per_pod, int aggs_per_pod,
+                        int cores, int hosts_per_leaf) {
+  return clos(ClosSpec{pods, leaves_per_pod, aggs_per_pod, cores,
+                       hosts_per_leaf});
+}
+
+Topology Topology::fat_tree(int k) {
+  expects(k >= 2 && k % 2 == 0, "fat_tree: k must be even and >= 2");
+  return clos(ClosSpec{k, k / 2, k / 2, (k / 2) * (k / 2), k / 2});
+}
+
 }  // namespace mantis::net

@@ -18,6 +18,81 @@ namespace mantis::net {
 /// Node index within a Topology (and within the Fabric built from it).
 using NodeId = int;
 
+/// Layout of a 3-tier Clos fabric (pods of leaves + aggregations, shared
+/// core tier). Pure arithmetic over the parameters — node ids, port
+/// numbers, host addresses and structural next hops are all O(1), which is
+/// what makes the 1024-switch bench installable without running Dijkstra
+/// per switch.
+///
+/// Node id layout (switches first, as Topology requires):
+///   leaves  [0, P*L)               — pod p leaf l  = p*L + l
+///   aggs    [P*L, P*L + P*A)       — pod p agg a   = P*L + p*A + a
+///   cores   [P*L + P*A, +C)        — core c
+///   hosts   [num_switches, +P*L*H) — leaf g host h = num_switches + g*H + h
+///
+/// Port layout:
+///   leaf:  port a in [0, A) -> pod agg a; port A + h -> local host h
+///   agg:   port l in [0, L) -> pod leaf l; port L + j -> core group member
+///          j (agg a owns cores [a*(C/A), (a+1)*(C/A)) — C % A == 0)
+///   core:  port p in [0, P) -> pod p's owning agg
+///
+/// Host addresses match leaf_spine: 0x0a000000 + (global_leaf << 8) + h.
+struct ClosSpec {
+  int pods = 0;            ///< P
+  int leaves_per_pod = 0;  ///< L
+  int aggs_per_pod = 0;    ///< A
+  int cores = 0;           ///< C (C % A == 0; each agg owns C/A cores)
+  int hosts_per_leaf = 0;  ///< H (H <= 256 for the addressing scheme)
+
+  int num_leaves() const { return pods * leaves_per_pod; }
+  int num_aggs() const { return pods * aggs_per_pod; }
+  int num_switches() const { return num_leaves() + num_aggs() + cores; }
+  int num_hosts() const { return num_leaves() * hosts_per_leaf; }
+  int cores_per_agg() const { return cores / aggs_per_pod; }
+
+  NodeId leaf_id(int pod, int leaf) const { return pod * leaves_per_pod + leaf; }
+  NodeId agg_id(int pod, int agg) const {
+    return num_leaves() + pod * aggs_per_pod + agg;
+  }
+  NodeId core_id(int core) const { return num_leaves() + num_aggs() + core; }
+  NodeId host_id(int global_leaf, int host) const {
+    return num_switches() + global_leaf * hosts_per_leaf + host;
+  }
+  /// The pod-local agg index owning core `core` (its uplink target in every
+  /// pod): cores are striped over aggs in contiguous runs of C/A.
+  int agg_of_core(int core) const { return core / cores_per_agg(); }
+
+  bool is_leaf(NodeId n) const { return n >= 0 && n < num_leaves(); }
+  bool is_agg(NodeId n) const {
+    return n >= num_leaves() && n < num_leaves() + num_aggs();
+  }
+  bool is_core(NodeId n) const {
+    return n >= num_leaves() + num_aggs() && n < num_switches();
+  }
+
+  std::uint32_t host_addr(int global_leaf, int host) const {
+    return 0x0a000000u + (static_cast<std::uint32_t>(global_leaf) << 8) +
+           static_cast<std::uint32_t>(host);
+  }
+  /// Inverse of host_addr: (global_leaf, host), no range check.
+  static int leaf_of_addr(std::uint32_t addr) {
+    return static_cast<int>((addr - 0x0a000000u) >> 8);
+  }
+  static int host_of_addr(std::uint32_t addr) {
+    return static_cast<int>(addr & 0xffu);
+  }
+
+  /// Structural shortest-path next hop: the egress port of switch `sw`
+  /// toward host address `dst`, ECMP-balanced over equal-cost uplinks by a
+  /// deterministic hash of (sw, dst). Matches Dijkstra hop counts on the
+  /// full fabric (tests/test_topology.cpp proves it against the oracle).
+  int next_hop_port(NodeId sw, std::uint32_t dst) const;
+
+  /// Deterministic ECMP spreading hash (splitmix64-style finalizer). Public
+  /// so tests can predict the chosen member of an equal-cost group.
+  static std::uint64_t ecmp_hash(std::uint64_t sw, std::uint64_t dst);
+};
+
 struct Topology {
   struct Link {
     NodeId a = 0;
@@ -79,6 +154,20 @@ struct Topology {
   /// with `hosts_per_switch` hosts on ports 2.. of each switch. Host
   /// addresses as in leaf_spine (0x0a000000 + (switch << 8) + index).
   static Topology ring(int switches, int hosts_per_switch);
+
+  /// A 3-tier Clos fabric per `spec` (see ClosSpec for the node, port and
+  /// address layout). Links are declared leaf-agg (pod-major), then
+  /// agg-core, then leaf-host, all at cost 1.0.
+  static Topology clos(const ClosSpec& spec);
+  /// Convenience overload: clos({pods, leaves, aggs, cores, hosts}).
+  static Topology clos(int pods, int leaves_per_pod, int aggs_per_pod,
+                       int cores, int hosts_per_leaf);
+
+  /// The canonical k-ary fat-tree (Al-Fares et al.): k pods of k/2 edge and
+  /// k/2 aggregation switches, (k/2)^2 cores, k/2 hosts per edge switch —
+  /// every switch has exactly k ports. `k` must be even and >= 2. Built as
+  /// clos(k, k/2, k/2, k*k/4, k/2).
+  static Topology fat_tree(int k);
 };
 
 }  // namespace mantis::net

@@ -92,8 +92,11 @@ std::uint64_t ActionExecutor::eval(const p4::Operand& o,
 
 void ActionExecutor::execute(const p4::ActionDecl& action,
                              std::span<const std::uint64_t> args, Packet& pkt) {
-  expects(args.size() == action.params.size(),
-          "ActionExecutor: arg count mismatch for " + action.name);
+  if (args.size() != action.params.size()) [[unlikely]] {
+    // Concat only on the throw path; this guard runs once per table apply.
+    throw PreconditionError("ActionExecutor: arg count mismatch for " +
+                            action.name);
+  }
   for (const auto& ins : action.body) {
     auto dst_field = [&]() -> p4::FieldId { return ins.args[0].field; };
     auto dst_width = [&]() -> p4::Width {

@@ -1,0 +1,218 @@
+// Calendar queue for the event loop, plus the small binary heap the
+// parallel engine uses for per-shard rounds.
+//
+// The canonical (t, src, seq) key is a strict total order (per-src sequence
+// numbers never repeat), so ANY correct priority queue pops events in
+// exactly one order — the data structure is free to change without moving
+// a single event, which is what lets this replace std::priority_queue under
+// the byte-identical determinism contract (docs/NETWORK.md). The
+// equivalence suite pins that claim across seeds x topologies x threads.
+//
+// Structure (classic calendar queue, hardened for our workloads):
+//  * A power-of-two ring of buckets, one virtual "day" (2^shift ns) per
+//    bucket, covering the window [cursor, cursor + buckets) days. Every
+//    event of one day lands in one bucket, kept as a small binary heap in
+//    full (t, src, seq) order — so same-instant ties (control-first among
+//    them) can never straddle buckets no matter where day boundaries fall.
+//  * Events beyond the window — or behind the cursor, which a scheduler
+//    running "in the past" relative to the queue minimum may produce — go
+//    to an overflow heap. The head is min(first nonempty bucket's top,
+//    overflow top) by the full comparator, so correctness never depends on
+//    the window placement; the window only buys O(1)-amortized pops for
+//    the dense fabric workload (tens of events per ns at the 1024-switch
+//    scale).
+//  * When the ring drains, the cursor jumps to the overflow minimum's day
+//    and everything inside the new window migrates in (each event migrates
+//    at most once). When occupancy outgrows the ring it doubles, up to
+//    max_buckets. Both policies are pure functions of the push/pop
+//    sequence: layout decisions are deterministic, and pop order is
+//    layout-independent anyway.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/time.hpp"
+
+namespace mantis::sim {
+
+/// Binary min-heap handing events out by move (no top()-copy per pop —
+/// std::priority_queue::top returns const& and forces one). Used for the
+/// calendar buckets and the parallel engine's per-shard round queues.
+template <typename Event, typename RunsAfter>
+class EventHeap {
+ public:
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+
+  void push(Event&& ev) {
+    v_.push_back(std::move(ev));
+    std::push_heap(v_.begin(), v_.end(), RunsAfter{});
+  }
+
+  const Event& top() const { return v_.front(); }
+
+  Event pop_top() {
+    std::pop_heap(v_.begin(), v_.end(), RunsAfter{});
+    Event ev = std::move(v_.back());
+    v_.pop_back();
+    return ev;
+  }
+
+  /// The backing store, for wholesale redistribution (calendar resize).
+  std::vector<Event>& raw() { return v_; }
+
+ private:
+  std::vector<Event> v_;
+};
+
+template <typename Event, typename RunsAfter>
+class CalendarQueue {
+ public:
+  struct Config {
+    /// Bucket width is 2^shift nanoseconds (day = t >> shift).
+    int shift = 0;
+    /// Initial ring size; must be a power of two.
+    std::size_t buckets = 256;
+    /// Ring growth cap (2^15 buckets * 24B vector header ~= 768 KiB).
+    std::size_t max_buckets = std::size_t{1} << 15;
+    /// Double the ring when in-window events exceed buckets * this.
+    std::size_t resize_occupancy = 4;
+  };
+
+  CalendarQueue() : CalendarQueue(Config{}) {}
+  explicit CalendarQueue(Config cfg) : cfg_(cfg) {
+    expects(cfg_.buckets >= 2 && (cfg_.buckets & (cfg_.buckets - 1)) == 0,
+            "CalendarQueue: buckets must be a power of two >= 2");
+    expects(cfg_.max_buckets >= cfg_.buckets,
+            "CalendarQueue: max_buckets below initial buckets");
+    expects(cfg_.shift >= 0 && cfg_.shift < 63, "CalendarQueue: bad shift");
+    ring_.resize(cfg_.buckets);
+    mask_ = cfg_.buckets - 1;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push(Event&& ev) {
+    if (ring_size_ > cfg_.resize_occupancy * ring_.size() &&
+        ring_.size() < cfg_.max_buckets) {
+      grow();
+    }
+    const std::uint64_t d = day(ev.t);
+    if (d >= cursor_ && d < cursor_ + ring_.size()) {
+      ring_[d & mask_].push(std::move(ev));
+      ++ring_size_;
+    } else {
+      overflow_.push(std::move(ev));
+    }
+    ++size_;
+  }
+
+  /// The minimum event by the full (t, src, seq) comparator. Advances the
+  /// cursor past empty buckets (cheap, never reorders anything), which is
+  /// why the cursor is mutable.
+  const Event& top() const {
+    expects(size_ > 0, "CalendarQueue::top: empty queue");
+    const Event* ring_min = ring_candidate();
+    if (ring_min == nullptr) return overflow_.top();
+    if (overflow_.empty()) return *ring_min;
+    // Earlier of the two heads; RunsAfter(a, b) == "a runs after b".
+    return RunsAfter{}(*ring_min, overflow_.top()) ? overflow_.top()
+                                                   : *ring_min;
+  }
+
+  Event pop_top() {
+    expects(size_ > 0, "CalendarQueue::pop_top: empty queue");
+    if (ring_size_ == 0 && !overflow_.empty()) migrate();
+    const Event* ring_min = ring_candidate();
+    const bool from_ring =
+        ring_min != nullptr &&
+        (overflow_.empty() || !RunsAfter{}(*ring_min, overflow_.top()));
+    --size_;
+    if (from_ring) {
+      --ring_size_;
+      return ring_[cursor_ & mask_].pop_top();
+    }
+    return overflow_.pop_top();
+  }
+
+  // Introspection for tests: window placement and spill behavior.
+  std::size_t buckets() const { return ring_.size(); }
+  std::size_t overflow_size() const { return overflow_.size(); }
+  std::uint64_t cursor_day() const { return cursor_; }
+
+ private:
+  std::uint64_t day(Time t) const {
+    return static_cast<std::uint64_t>(t) >> cfg_.shift;
+  }
+
+  /// Top of the first nonempty bucket at/after the cursor — the ring
+  /// minimum: later days hold strictly later times, and within a day the
+  /// bucket heap orders by the full key. nullptr when the ring is empty.
+  const Event* ring_candidate() const {
+    if (ring_size_ == 0) return nullptr;
+    // Buckets behind the cursor are empty by invariant (pushes below the
+    // cursor spill to overflow), so each slot holds exactly one day and
+    // this scan visits at most ring_.size() slots.
+    while (ring_[cursor_ & mask_].empty()) ++cursor_;
+    return &ring_[cursor_ & mask_].top();
+  }
+
+  /// Ring drained: jump the window to the overflow minimum's day and pull
+  /// everything now inside it. Each event migrates at most once, so even a
+  /// workload that always schedules beyond the window degrades to plain
+  /// heap behavior, not worse.
+  void migrate() {
+    cursor_ = day(overflow_.top().t);
+    while (!overflow_.empty() &&
+           day(overflow_.top().t) < cursor_ + ring_.size()) {
+      Event ev = overflow_.pop_top();
+      ring_[day(ev.t) & mask_].push(std::move(ev));
+      ++ring_size_;
+    }
+  }
+
+  void grow() {
+    std::vector<EventHeap<Event, RunsAfter>> old = std::move(ring_);
+    ring_.clear();
+    ring_.resize(std::min(old.size() * 2, cfg_.max_buckets));
+    mask_ = ring_.size() - 1;
+    ring_size_ = 0;
+    for (auto& bucket : old) {
+      for (auto& ev : bucket.raw()) {
+        ring_[day(ev.t) & mask_].push(std::move(ev));
+        ++ring_size_;
+      }
+    }
+    // Overflow events the wider window now covers migrate in too.
+    auto& spill = overflow_.raw();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < spill.size(); ++i) {
+      const std::uint64_t d = day(spill[i].t);
+      if (d >= cursor_ && d < cursor_ + ring_.size()) {
+        ring_[d & mask_].push(std::move(spill[i]));
+        ++ring_size_;
+      } else {
+        if (keep != i) spill[keep] = std::move(spill[i]);
+        ++keep;
+      }
+    }
+    spill.resize(keep);
+    std::make_heap(spill.begin(), spill.end(), RunsAfter{});
+  }
+
+  Config cfg_;
+  std::vector<EventHeap<Event, RunsAfter>> ring_;
+  std::size_t mask_ = 0;
+  mutable std::uint64_t cursor_ = 0;  ///< window start day
+  std::size_t ring_size_ = 0;         ///< events currently in the ring
+  std::size_t size_ = 0;
+  EventHeap<Event, RunsAfter> overflow_;
+};
+
+}  // namespace mantis::sim

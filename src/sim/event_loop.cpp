@@ -54,7 +54,7 @@ void EventLoop::schedule_for(int dst, Time t, Callback cb) {
     expects(dst != kControlShard,
             "EventLoop::schedule_for: shard context may not schedule "
             "control events");
-    Event ev{t, dst, f->shard, (*f->next_seq)++, std::move(cb)};
+    Event ev{t, dst, f->shard, f->seq_base[f->shard]++, std::move(cb)};
     if (dst == f->shard && t < f->round_end) {
       f->local->push(std::move(ev));
 #if MANTIS_TELEMETRY_ENABLED
@@ -86,9 +86,10 @@ void EventLoop::schedule_for(int dst, Time t, Callback cb) {
 
 bool EventLoop::step() {
   if (queue_.empty()) return false;
-  // Copy out before pop so the callback may schedule more events.
-  Event ev = queue_.top();
-  queue_.pop();
+  // Move out before running so the callback may schedule more events. The
+  // old top()+pop() copied the whole event — capture, packet and all —
+  // once per dispatch; pop_top moves it.
+  Event ev = queue_.pop_top();
   ensures(ev.t >= now_, "EventLoop: time went backwards");
   now_ = ev.t;
   // Sequential execution of a tagged event runs in that shard's context:
@@ -152,8 +153,7 @@ Time EventLoop::extract_until(Time limit, std::vector<Event>& out) {
       limit = top.t;
       break;
     }
-    out.push_back(top);
-    queue_.pop();
+    out.push_back(queue_.pop_top());
   }
 #if MANTIS_TELEMETRY_ENABLED
   if (prof_ != nullptr && prof_->enabled() && out.size() > before) {

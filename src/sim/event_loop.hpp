@@ -20,20 +20,23 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
+#include "util/small_fn.hpp"
 #include "util/time.hpp"
 
 namespace mantis::sim {
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only (util/small_fn.hpp): packet-carrying captures live in one
+  /// pooled block and events can never be copied by accident — the queue
+  /// hands them out by move.
+  using Callback = util::SmallFn;
 
   /// Destination tag for control-plane work (agents, drivers, fault
   /// transitions, periodic samplers): always executed on the main thread,
@@ -57,21 +60,29 @@ class EventLoop {
       return a.seq > b.seq;
     }
   };
-  using LocalQueue = std::priority_queue<Event, std::vector<Event>, RunsAfter>;
+  /// Per-shard round queue for the parallel engine: a plain binary heap
+  /// (rounds hold few events; the calendar ring pays off only on the big
+  /// global queue).
+  using LocalQueue = EventHeap<Event, RunsAfter>;
 
   /// Execution context a parallel-engine worker installs (thread-local)
-  /// while running one shard's events for one round. While installed:
+  /// while running one shard group's events for one round. While installed:
   ///  * now() returns the running event's time,
-  ///  * schedule_* stamps src = shard and draws seq from `next_seq`,
-  ///  * same-shard events inside the horizon go to `local`, everything
-  ///    else to `outbox` (cross-shard targets must land >= round_end —
+  ///  * `shard` is the RUNNING event's dst tag (the engine updates it per
+  ///    event — a group drains several switches' tags interleaved in
+  ///    canonical order, exactly as the sequential engine would),
+  ///  * schedule_* stamps src = shard and draws seq from seq_base[shard],
+  ///    the same per-tag counters the sequential path uses — canonical
+  ///    keys stay independent of how switches are grouped into shards,
+  ///  * same-tag events inside the horizon go to `local`, everything
+  ///    else to `outbox` (cross-switch targets must land >= round_end —
   ///    that is exactly the conservative-lookahead guarantee).
   struct ShardFrame {
     const EventLoop* loop = nullptr;
-    int shard = kControlShard;
+    int shard = kControlShard;  ///< dst tag of the running event
     Time now = 0;
     Time round_end = 0;
-    std::uint64_t* next_seq = nullptr;
+    std::uint64_t* seq_base = nullptr;  ///< per-src counters, index = tag
     LocalQueue* local = nullptr;
     std::vector<Event>* outbox = nullptr;
   };
@@ -138,6 +149,10 @@ class EventLoop {
   /// Pointer into the per-src counter for `tag`; stable until ensure_tags /
   /// an untagged schedule grows the table, so re-fetch each round.
   std::uint64_t* seq_counter(int tag);
+  /// Base of the per-tag counter array (element `tag` = counter for tag,
+  /// valid for tags [0, count) after ensure_tags(count)); same stability
+  /// caveat as seq_counter. ShardFrame::seq_base points here.
+  std::uint64_t* seq_array() { return seq_counter(0); }
 
   bool queue_empty() const { return queue_.empty(); }
   /// Head-of-queue time / destination; queue must be non-empty.
@@ -161,7 +176,10 @@ class EventLoop {
 
   static thread_local ShardFrame* tls_frame_;
 
-  std::priority_queue<Event, std::vector<Event>, RunsAfter> queue_;
+  /// Calendar queue (sim/calendar_queue.hpp): same pop order as the old
+  /// std::priority_queue bit for bit (the key is a strict total order),
+  /// O(1)-amortized for the dense fabric workloads.
+  CalendarQueue<Event, RunsAfter> queue_;
   Time now_ = 0;
   int exec_tag_ = kControlShard;  ///< dst of the event step() is running
   /// Per-src sequence counters, index src + 1 (slot 0 = control).

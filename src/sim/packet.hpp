@@ -12,6 +12,7 @@
 
 #include "p4/ir.hpp"
 #include "util/bits.hpp"
+#include "util/pool.hpp"
 #include "util/time.hpp"
 
 namespace mantis::sim {
@@ -85,7 +86,10 @@ class Packet {
   }
 
  private:
-  std::vector<std::uint64_t> values_;
+  /// Pool-backed (util/pool.hpp): one packet field vector is created per
+  /// injected packet and one more per pipeline copy — the second-largest
+  /// allocation source on the hot path after std::function captures.
+  std::vector<std::uint64_t, util::pool::PoolAllocator<std::uint64_t>> values_;
   std::uint32_t length_bytes_;
   bool dropped_ = false;
   Time arrival_time_ = -1;

@@ -26,7 +26,9 @@ void Pipeline::run_nodes(const std::vector<p4::ControlNode>& nodes, Packet& pkt)
         ++stats_.table_misses;
       }
       const auto* act = prog_->find_action(*result.action);
-      ensures(act != nullptr, "Pipeline: unknown action " + *result.action);
+      if (act == nullptr) [[unlikely]] {  // concat only on the throw path
+        throw InvariantError("Pipeline: unknown action " + *result.action);
+      }
       exec_.execute(*act, *result.args, pkt);
     } else {
       const auto& ifn = std::get<p4::IfNode>(node.node);

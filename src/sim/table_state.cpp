@@ -174,7 +174,11 @@ TableState::LookupResult TableState::lookup(const Packet& pkt) const {
   if (decl_->reads.empty()) return miss;  // default-action-only table
 
   if (all_exact_) {
-    std::vector<std::uint64_t> packed;
+    // Per-thread scratch: the exact index is keyed by std::vector, and
+    // building a fresh key per lookup was one allocation per table apply on
+    // the packet hot path. Contents are fully rewritten every call.
+    thread_local std::vector<std::uint64_t> packed;
+    packed.clear();
     packed.reserve(decl_->reads.size());
     for (const auto& read : decl_->reads) packed.push_back(pkt.get(read.field));
     auto it = exact_index_.find(packed);

@@ -20,10 +20,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "util/small_fn.hpp"
 #include "util/time.hpp"
 
 namespace mantis::telemetry {
@@ -38,7 +38,10 @@ class ShardLane {
     int src = -1;
     std::uint64_t seq = 0;
     std::uint32_t emit = 0;
-    std::function<void()> apply;
+    /// Move-only, pool-backed (util/small_fn.hpp): most deferrals are a
+    /// pointer and a double, which fit inline — a histogram record in a
+    /// parallel round costs no allocation.
+    util::SmallFn apply;
   };
 
   /// The lane installed on the calling thread, or nullptr (record direct).
@@ -54,7 +57,7 @@ class ShardLane {
     emit_ = 0;
   }
 
-  void defer(std::function<void()> apply) {
+  void defer(util::SmallFn apply) {
     ops_.push_back(Op{t_, src_, seq_, emit_++, std::move(apply)});
   }
 

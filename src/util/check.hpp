@@ -38,4 +38,16 @@ inline void ensures(bool cond, const std::string& msg) {
   if (!cond) throw InvariantError(msg);
 }
 
+// Literal-message overloads: the std::string (one heap allocation) is only
+// built when the check fails. Checks stay on in release builds, and many sit
+// on per-packet paths — the profiler attributed ~40% of hot-path allocations
+// to passing string literals through the const std::string& overloads above.
+inline void expects(bool cond, const char* msg) {
+  if (!cond) [[unlikely]] throw PreconditionError(msg);
+}
+
+inline void ensures(bool cond, const char* msg) {
+  if (!cond) [[unlikely]] throw InvariantError(msg);
+}
+
 }  // namespace mantis

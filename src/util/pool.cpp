@@ -1,0 +1,140 @@
+#include "util/pool.hpp"
+
+#include <atomic>
+#include <bit>
+
+namespace mantis::util::pool {
+
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__)
+constexpr bool kPooling = false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+constexpr bool kPooling = false;
+#else
+constexpr bool kPooling = true;
+#endif
+#else
+constexpr bool kPooling = true;
+#endif
+
+constexpr std::size_t kClasses = 7;  // 64, 128, 256, 512, 1024, 2048, 4096
+
+std::size_t class_index(std::size_t bytes) {
+  const std::size_t rounded = std::bit_ceil(bytes < kMinBlockBytes
+                                                ? kMinBlockBytes
+                                                : bytes);
+  return static_cast<std::size_t>(std::countr_zero(rounded)) -
+         static_cast<std::size_t>(std::countr_zero(kMinBlockBytes));
+}
+
+constexpr std::size_t class_bytes(std::size_t idx) {
+  return kMinBlockBytes << idx;
+}
+
+// Lifetime totals of threads that have exited; live threads' counters are
+// folded in by stats() for the calling thread only (other threads' in-
+// flight counts appear once they exit — good enough for tests and reports).
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_fresh{0};
+std::atomic<std::uint64_t> g_recycled{0};
+std::atomic<std::uint64_t> g_overflow{0};
+std::atomic<std::uint64_t> g_oversize{0};
+
+/// Per-thread freelists + local counters. Destroyed at thread exit: frees
+/// every parked block (engine worker threads come and go per engine, so
+/// parked blocks must not outlive their thread) and flushes counters.
+struct ThreadCache {
+  void* items[kClasses][kFreelistCap];
+  std::size_t count[kClasses] = {};
+  PoolStats local;
+  bool alive = true;
+
+  ~ThreadCache() {
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      for (std::size_t i = 0; i < count[c]; ++i) {
+        ::operator delete(items[c][i]);
+      }
+      count[c] = 0;
+    }
+    g_hits.fetch_add(local.hits, std::memory_order_relaxed);
+    g_fresh.fetch_add(local.fresh, std::memory_order_relaxed);
+    g_recycled.fetch_add(local.recycled, std::memory_order_relaxed);
+    g_overflow.fetch_add(local.overflow, std::memory_order_relaxed);
+    g_oversize.fetch_add(local.oversize, std::memory_order_relaxed);
+    local = PoolStats{};
+    alive = false;
+  }
+};
+
+ThreadCache& cache() {
+  thread_local ThreadCache tc;
+  return tc;
+}
+
+}  // namespace
+
+bool pooling_active() { return kPooling; }
+
+PoolStats stats() {
+  const ThreadCache& tc = cache();
+  PoolStats s;
+  s.hits = g_hits.load(std::memory_order_relaxed) + tc.local.hits;
+  s.fresh = g_fresh.load(std::memory_order_relaxed) + tc.local.fresh;
+  s.recycled = g_recycled.load(std::memory_order_relaxed) + tc.local.recycled;
+  s.overflow = g_overflow.load(std::memory_order_relaxed) + tc.local.overflow;
+  s.oversize = g_oversize.load(std::memory_order_relaxed) + tc.local.oversize;
+  return s;
+}
+
+void purge_thread_cache() noexcept {
+  if (!kPooling) return;
+  ThreadCache& tc = cache();
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (std::size_t i = 0; i < tc.count[c]; ++i) {
+      ::operator delete(tc.items[c][i]);
+    }
+    tc.count[c] = 0;
+  }
+}
+
+void* acquire(std::size_t bytes) {
+  if (!kPooling || bytes > kMaxBlockBytes) {
+    if (kPooling) ++cache().local.oversize;
+    return ::operator new(bytes < 1 ? 1 : bytes);
+  }
+  ThreadCache& tc = cache();
+  const std::size_t c = class_index(bytes);
+  if (tc.count[c] > 0) {
+    ++tc.local.hits;
+    return tc.items[c][--tc.count[c]];
+  }
+  // Freelist dry: grow by one fresh block (the graceful-exhaustion path —
+  // no cap on total growth, the freelist cap only bounds what is parked).
+  ++tc.local.fresh;
+  return ::operator new(class_bytes(c));
+}
+
+void release(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (!kPooling || bytes > kMaxBlockBytes) {
+    ::operator delete(p);
+    return;
+  }
+  ThreadCache& tc = cache();
+  if (!tc.alive) {  // late release during thread teardown
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t c = class_index(bytes);
+  if (tc.count[c] < kFreelistCap) {
+    ++tc.local.recycled;
+    tc.items[c][tc.count[c]++] = p;
+  } else {
+    ++tc.local.overflow;
+    ::operator delete(p);
+  }
+}
+
+}  // namespace mantis::util::pool

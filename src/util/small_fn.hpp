@@ -1,0 +1,131 @@
+// Move-only callable for hot paths: the replacement for std::function as
+// sim::EventLoop::Callback and telemetry::ShardLane's deferred-op type.
+//
+// std::function was responsible for most of the per-event allocations the
+// profiler attributed to dispatch: every packet-carrying capture (a link
+// delivery, a TM enqueue, an egress transmit) exceeds its small-buffer
+// size, and copying an Event out of the priority queue duplicated the
+// capture — packet and all — once more per pop.
+//
+// SmallFn fixes both:
+//  * captures up to kInlineBytes live inline in the object (no heap at
+//    all); larger captures go in one block from util::pool (recycled, so
+//    steady-state packet events allocate nothing);
+//  * it is move-only, so an Event can never be copied by accident — the
+//    queue hands events out by moving them (EventLoop::step, the engine's
+//    shard drains), and a heap-spilled SmallFn moves as a pointer swap.
+//
+// Unlike std::function the target need not be copyable, only movable.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/pool.hpp"
+
+namespace mantis::util {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. Sized so the common fabric callbacks — a few
+  /// pointers, a port, a time — stay inline while packet-carrying captures
+  /// (~100+ bytes) take the pooled path.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, SmallFn>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>,
+                  "SmallFn target must be callable as void()");
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      void* block = pool::acquire(sizeof(Fn));
+      ::new (block) Fn(std::forward<F>(f));
+      *reinterpret_cast<void**>(buf_) = block;
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs dst's storage from src's and destroys src's target.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* s) { (*static_cast<Fn*>(*reinterpret_cast<void**>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+      },
+      [](void* s) noexcept {
+        Fn* fn = static_cast<Fn*>(*reinterpret_cast<void**>(s));
+        fn->~Fn();
+        pool::release(fn, sizeof(Fn));
+      },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mantis::util

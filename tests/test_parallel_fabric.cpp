@@ -20,8 +20,10 @@
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
 #include "net/scenarios.hpp"
+#include "net/topology.hpp"
 #include "sim/event_loop.hpp"
 #include "telemetry/telemetry.hpp"
+#include "workload/flow_classes.hpp"
 
 namespace mantis {
 namespace {
@@ -515,6 +517,124 @@ TEST(RngOwnership, DirectionStreamsAreIndependentAndReplayable) {
   EXPECT_EQ(a[1], b[1]);
   EXPECT_NE(a[0], a[1]);  // directions draw from independent streams
   EXPECT_NE(a[0], c[0]);  // different seed => different pattern
+}
+
+// ---------------------------------------------------------------------------
+// Clos equivalence: a 3-tier Clos driven by the aggregated flow-class
+// workload, with structural ECMP routes and a fault schedule. Covers the
+// third topology of the seeds x {leaf_spine, ring, clos} x threads matrix,
+// plus the multi-switch shard grouping (12 switches, uneven load) and the
+// flow-class delivery ring's cross-shard determinism argument.
+// ---------------------------------------------------------------------------
+
+RunSignature run_clos(int threads, std::uint64_t seed, int groups = 0) {
+  sim::EventLoop loop;
+  auto artifacts = compile::compile_source(apps::gray_failure_p4r_source());
+
+  const net::ClosSpec spec{2, 2, 2, 4, 1};
+  net::FabricConfig fc;
+  fc.base_seed = seed;
+  fc.default_link.propagation = 1000;
+  fc.default_link.loss = 0.01;  // ambient loss: every direction draws RNG
+  fc.switch_cfg.num_ports = 8;
+  net::Fabric fabric(loop, artifacts.prog, net::Topology::clos(spec), fc);
+
+  // Structural ECMP routes for every host on every switch. The compiled
+  // program's malleable `route` carries the isolation pass's vv column; no
+  // agent runs here, so entries and packets stay on version 0.
+  for (net::NodeId sw = 0; sw < fabric.num_switches(); ++sw) {
+    auto& route = fabric.switch_at(sw).table("route");
+    for (int g = 0; g < spec.num_leaves(); ++g) {
+      const std::uint32_t addr = spec.host_addr(g, 0);
+      const int port = spec.next_hop_port(sw, addr);
+      if (port < 0) continue;
+      p4::EntrySpec es;
+      es.key.push_back(p4::MatchValue{addr, ~std::uint64_t{0}});
+      es.key.push_back(p4::MatchValue{0, ~std::uint64_t{0}});
+      es.action = "set_egress";
+      es.action_args = {static_cast<std::uint64_t>(port)};
+      route.add_entry(es);
+    }
+  }
+
+  const Time horizon = 100 * kMicrosecond;
+
+  // Aggregated flows: every leaf's host talks to the diagonally opposite
+  // one, epochs sized to the lookahead contract.
+  workload::FlowClassesConfig wc;
+  wc.total_flows = 10'000;
+  wc.epoch = 10 * kMicrosecond;
+  wc.max_samples_per_epoch = 16;
+  std::vector<workload::FlowClasses::Endpoint> eps;
+  for (int g = 0; g < spec.num_leaves(); ++g) {
+    eps.push_back({spec.host_addr(g, 0),
+                   spec.host_addr(spec.num_leaves() - 1 - g, 0)});
+  }
+  workload::FlowClasses flows(fabric, wc, std::move(eps));
+
+  // A gray fault on one leaf uplink mid-run: control events (fault
+  // transitions) interleaving with flow-class rounds.
+  net::FaultInjector inj(fabric);
+  net::FaultSpec gray;
+  gray.kind = net::FaultSpec::Kind::kGrayLoss;
+  gray.link = 0;  // first leaf-agg link
+  gray.at = 30 * kMicrosecond;
+  gray.duration = 40 * kMicrosecond;
+  gray.loss = 0.5;
+  inj.schedule(gray);
+
+  if (threads > 1) {
+    net::ParallelFabricEngine::Options opt;
+    opt.groups = groups;
+    net::ParallelFabricEngine engine(fabric, threads, opt);
+    flows.start(horizon, engine.lookahead());
+    engine.run_until(horizon);
+  } else {
+    flows.start(horizon);
+    loop.run_until(horizon);
+  }
+  fabric.sample_telemetry();
+
+  RunSignature sig;
+  sig.events = join(inj.log()) + "\nsent=" +
+               std::to_string(flows.samples_sent()) +
+               " delivered=" + std::to_string(flows.samples_delivered());
+  sig.metrics = loop.telemetry().metrics().snapshot_json();
+  sig.mfr = loop.telemetry().recorder().dump_text(loop.now(), "equivalence");
+  sig.stats = link_stats_text(fabric);
+  return sig;
+}
+
+TEST(ParallelFabricEquivalence, ClosWithFlowClasses) {
+  for (std::uint64_t seed : {3ull, 9ull}) {
+    const RunSignature base = run_clos(1, seed);
+    for (int threads : {2, 4, 8}) {
+      const RunSignature par = run_clos(threads, seed);
+      EXPECT_EQ(par.events, base.events)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.metrics, base.metrics)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.mfr, base.mfr) << "seed " << seed << " threads "
+                                   << threads;
+      EXPECT_EQ(par.stats, base.stats)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFabricEngine, ShardGroupingIsExecutionPlacementOnly) {
+  // Grouping decides which worker runs a switch's events, never their
+  // canonical keys: any group count — one group owning ALL 12 switches,
+  // a prime count that splits pods unevenly, or one switch per group —
+  // must match the sequential run byte-for-byte.
+  const RunSignature base = run_clos(1, 4);
+  for (const int groups : {1, 5, 13}) {
+    const RunSignature par = run_clos(2, 4, groups);
+    EXPECT_EQ(par.events, base.events) << "groups " << groups;
+    EXPECT_EQ(par.metrics, base.metrics) << "groups " << groups;
+    EXPECT_EQ(par.mfr, base.mfr) << "groups " << groups;
+    EXPECT_EQ(par.stats, base.stats) << "groups " << groups;
+  }
 }
 
 }  // namespace

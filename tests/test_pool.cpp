@@ -1,0 +1,168 @@
+// Lifecycle tests for the thread-local freelist pools (util/pool.*).
+//
+// The pools back every per-event hot-path allocation (SmallFn spills,
+// packet field vectors, deferred telemetry ops), so their contract is
+// load-bearing for both performance (test_prof pins allocs/event) and
+// correctness: recycling must be per-thread, exhaustion must degrade to
+// plain new/delete, and purge_thread_cache must return the thread to a
+// cold, deterministic state. Under ASan the pools pass through; every test
+// branches on pooling_active() so the suite is sanitizer-clean either way.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/pool.hpp"
+
+namespace mantis::util::pool {
+namespace {
+
+TEST(Pool, RecyclesSameBlockOnSameThread) {
+  purge_thread_cache();
+  void* a = acquire(128);
+  ASSERT_NE(a, nullptr);
+  std::memset(a, 0xab, 128);  // blocks are real, writable memory
+  release(a, 128);
+  void* b = acquire(128);
+  if (pooling_active()) {
+    // LIFO freelist: the block just parked is the one handed back.
+    EXPECT_EQ(b, a);
+  } else {
+    EXPECT_NE(b, nullptr);  // ASan pass-through: fresh block each time
+  }
+  release(b, 128);
+  purge_thread_cache();
+}
+
+TEST(Pool, SizeClassRoundingSharesFreelists) {
+  if (!pooling_active()) GTEST_SKIP() << "pass-through mode (ASan)";
+  purge_thread_cache();
+  // 65 and 100 bytes round to the same 128-byte class: a block released
+  // at one request size serves the other.
+  void* a = acquire(65);
+  release(a, 65);
+  void* b = acquire(100);
+  EXPECT_EQ(b, a);
+  release(b, 100);
+  purge_thread_cache();
+}
+
+TEST(Pool, ExhaustionFallsBackToFreshAllocations) {
+  if (!pooling_active()) GTEST_SKIP() << "pass-through mode (ASan)";
+  purge_thread_cache();
+  const PoolStats before = stats();
+  // Drain the (empty) freelist far past its capacity: every acquire must
+  // still succeed, counted as `fresh` (the graceful-growth signal).
+  std::vector<void*> blocks;
+  for (std::size_t i = 0; i < kFreelistCap + 64; ++i) {
+    void* p = acquire(256);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0x5a, 256);
+    blocks.push_back(p);
+  }
+  const PoolStats mid = stats();
+  EXPECT_GE(mid.fresh - before.fresh, kFreelistCap + 64);
+
+  // Releasing more blocks than the freelist holds: the first kFreelistCap
+  // park (recycled), the excess frees (overflow) — never a leak or crash.
+  for (void* p : blocks) release(p, 256);
+  const PoolStats after = stats();
+  EXPECT_GE(after.recycled - mid.recycled, kFreelistCap);
+  EXPECT_GE(after.overflow - mid.overflow, 64u);
+  purge_thread_cache();
+}
+
+TEST(Pool, OversizeRequestsPassThrough) {
+  const PoolStats before = stats();
+  void* p = acquire(kMaxBlockBytes + 1);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x11, kMaxBlockBytes + 1);
+  release(p, kMaxBlockBytes + 1);
+  if (pooling_active()) {
+    EXPECT_GE(stats().oversize - before.oversize, 1u);
+  }
+}
+
+TEST(Pool, PurgeReturnsThreadToColdState) {
+  if (!pooling_active()) GTEST_SKIP() << "pass-through mode (ASan)";
+  purge_thread_cache();
+  void* a = acquire(512);
+  release(a, 512);
+  purge_thread_cache();  // frees the parked block
+  const PoolStats before = stats();
+  void* b = acquire(512);
+  // A purged freelist cannot serve a hit: the acquire is fresh again —
+  // exactly the determinism test_prof needs between pinned runs.
+  EXPECT_EQ(stats().hits, before.hits);
+  EXPECT_GE(stats().fresh, before.fresh + 1);
+  release(b, 512);
+  purge_thread_cache();
+}
+
+TEST(Pool, FreelistsAreThreadLocal) {
+  if (!pooling_active()) GTEST_SKIP() << "pass-through mode (ASan)";
+  // A block parked on a worker thread must not be handed to this thread:
+  // cross-thread recycling would need synchronization the pools
+  // deliberately avoid.
+  purge_thread_cache();
+  void* worker_block = nullptr;
+  std::thread worker([&] {
+    worker_block = acquire(1024);
+    release(worker_block, 1024);
+    purge_thread_cache();  // worker frees its own parked blocks on exit
+  });
+  worker.join();
+  void* mine = acquire(1024);
+  ASSERT_NE(mine, nullptr);
+  release(mine, 1024);
+  purge_thread_cache();
+}
+
+TEST(Pool, AllocatorAdapterRecyclesContainerBuffers) {
+  purge_thread_cache();
+  {
+    std::vector<int, PoolAllocator<int>> v;
+    v.reserve(16);  // 64 bytes: the smallest class
+    for (int i = 0; i < 16; ++i) v.push_back(i);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  }
+  if (pooling_active()) {
+    // The vector's buffer was parked on destruction; the next same-class
+    // acquire is a hit.
+    const PoolStats before = stats();
+    void* p = acquire(64);
+    EXPECT_GE(stats().hits, before.hits + 1);
+    release(p, 64);
+  }
+  purge_thread_cache();
+}
+
+TEST(Pool, ReuseIsDeterministicAcrossIdenticalSequences) {
+  if (!pooling_active()) GTEST_SKIP() << "pass-through mode (ASan)";
+  // Two identical acquire/release sequences from the same cold state make
+  // identical hit/fresh decisions — the property that lets test_prof pin
+  // operator-new counts after a purge.
+  auto run = [] {
+    purge_thread_cache();
+    const PoolStats before = stats();
+    std::vector<void*> live;
+    for (int i = 0; i < 32; ++i) {
+      live.push_back(acquire(96));
+      if (i % 3 == 2) {
+        release(live.back(), 96);
+        live.pop_back();
+      }
+    }
+    for (void* p : live) release(p, 96);
+    const PoolStats after = stats();
+    purge_thread_cache();
+    return std::pair(after.hits - before.hits, after.fresh - before.fresh);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mantis::util::pool

@@ -17,10 +17,18 @@
 // exclude it (`ctest -LE stress`).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "apps/gray_failure.hpp"
+#include "compile/compiler.hpp"
+#include "net/engine.hpp"
+#include "net/fabric.hpp"
 #include "net/scenarios.hpp"
+#include "net/topology.hpp"
 #include "telemetry/telemetry.hpp"
+#include "workload/flow_classes.hpp"
 
 namespace mantis {
 namespace {
@@ -85,6 +93,95 @@ TEST(StressFabric, SixtyFourSwitchGrayFailure) {
   auto& tel = scenario.loop().telemetry();
   EXPECT_LE(tel.recorder().size(), tel.recorder().capacity());
   EXPECT_LT(res.events.size(), 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// Datacenter-scale smoke: the bench's 1024-switch 3-tier Clos, shortened.
+// Parallel execution with multi-switch shard groups must deliver the exact
+// packet set the sequential loop does (the delivery-invariance half of the
+// determinism contract; the byte-exact telemetry half runs on a small Clos
+// in tests/test_parallel_fabric.cpp where it is cheap).
+// ---------------------------------------------------------------------------
+
+struct ClosRun {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t host_rx = 0;
+};
+
+ClosRun run_big_clos(int threads) {
+  const net::ClosSpec spec{16, 32, 16, 256, 1};  // 1024 switches, 512 hosts
+  sim::EventLoop loop;
+  auto artifacts = compile::compile_source(apps::gray_failure_p4r_source());
+
+  net::FabricConfig fc;
+  fc.default_link.propagation = 2000;
+  fc.switch_cfg.num_ports = 48;  // agg radix L + C/A
+  net::Fabric fabric(loop, artifacts.prog, net::Topology::clos(spec), fc);
+
+  // A 32-destination slice of the bench's endpoint plan keeps the smoke
+  // inside CI time while still crossing pods, aggs and the core tier.
+  std::vector<std::uint32_t> dst_addrs;
+  for (int k = 0; k < 32; ++k) {
+    dst_addrs.push_back(spec.host_addr((k * 8 + 3) % spec.num_leaves(), 0));
+  }
+  for (int sw = 0; sw < spec.num_switches(); ++sw) {
+    auto& route = fabric.switch_at(sw).table("route");
+    for (const std::uint32_t addr : dst_addrs) {
+      const int port = spec.next_hop_port(sw, addr);
+      if (port < 0) continue;
+      p4::EntrySpec es;
+      es.key.push_back(p4::MatchValue{addr, ~std::uint64_t{0}});
+      es.key.push_back(p4::MatchValue{0, ~std::uint64_t{0}});  // vv column
+      es.action = "set_egress";
+      es.action_args = {static_cast<std::uint64_t>(port)};
+      route.add_entry(es);
+    }
+  }
+
+  workload::FlowClassesConfig wc;
+  wc.total_flows = 1'048'576;
+  wc.epoch = 20 * kMicrosecond;
+  wc.max_samples_per_epoch = 8;
+  std::vector<workload::FlowClasses::Endpoint> eps;
+  for (int c = 0; c < 32; ++c) {
+    const std::uint32_t dst = dst_addrs[static_cast<std::size_t>(c)];
+    int src_leaf = (c * 37 + 11) % spec.num_leaves();
+    if (spec.host_addr(src_leaf, 0) == dst) {
+      src_leaf = (src_leaf + 1) % spec.num_leaves();
+    }
+    eps.push_back({spec.host_addr(src_leaf, 0), dst});
+  }
+  workload::FlowClasses flows(fabric, wc, std::move(eps));
+
+  const Time horizon = 60 * kMicrosecond;  // 3 epochs
+  if (threads > 1) {
+    net::ParallelFabricEngine engine(fabric, threads);
+    flows.start(horizon, engine.lookahead());
+    engine.run_until(horizon + 30 * kMicrosecond);  // drain in-flight
+  } else {
+    flows.start(horizon);
+    loop.run_until(horizon + 30 * kMicrosecond);
+  }
+
+  ClosRun r;
+  r.sent = flows.samples_sent();
+  r.delivered = flows.samples_delivered();
+  r.host_rx = fabric.stats().host_rx_pkts.load();
+  return r;
+}
+
+TEST(StressFabric, ThousandSwitchClosDeliveryInvariance) {
+  const ClosRun seq = run_big_clos(1);
+  EXPECT_GT(seq.sent, 0u);
+  // Lossless links and fully drained queues: the structural routes carry
+  // every sample across the fabric.
+  EXPECT_EQ(seq.delivered, seq.sent);
+
+  const ClosRun par = run_big_clos(8);
+  EXPECT_EQ(par.sent, seq.sent);
+  EXPECT_EQ(par.delivered, seq.delivered);
+  EXPECT_EQ(par.host_rx, seq.host_rx);
 }
 
 }  // namespace

@@ -1,0 +1,239 @@
+// Invariant tests for the Clos / fat-tree builders (net/topology.*).
+//
+// The ClosSpec arithmetic (node ids, port numbers, structural next hops) is
+// what lets the 1024-switch bench install routes without running Dijkstra
+// per switch — so these tests pin the arithmetic against the slow oracles:
+// link-count formulas, exhaustive port-consistency scans, and a hop-by-hop
+// walk of next_hop_port compared with compute_routes_from (Dijkstra) path
+// lengths on every (switch, host) pair of several small fabrics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/check.hpp"
+
+namespace mantis::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Structural counts.
+// ---------------------------------------------------------------------------
+
+TEST(ClosTopology, NodeAndLinkCountFormulas) {
+  const ClosSpec spec{2, 2, 2, 4, 1};
+  const Topology t = Topology::clos(spec);
+
+  EXPECT_EQ(spec.num_leaves(), 4);
+  EXPECT_EQ(spec.num_aggs(), 4);
+  EXPECT_EQ(spec.num_switches(), 12);
+  EXPECT_EQ(spec.num_hosts(), 4);
+  EXPECT_EQ(t.num_switches, spec.num_switches());
+  EXPECT_EQ(t.num_nodes, spec.num_switches() + spec.num_hosts());
+  EXPECT_EQ(t.num_hosts(), spec.num_hosts());
+
+  // links = leaf-agg (P*L*A) + agg-core (P*C) + leaf-host (leaves*H).
+  const std::size_t expected = 2 * 2 * 2 + 2 * 4 + 4 * 1;
+  EXPECT_EQ(t.links.size(), expected);
+}
+
+TEST(ClosTopology, FatTreeIsTheCanonicalKaryInstance) {
+  // Al-Fares et al.: k pods, k/2 edge + k/2 agg per pod, (k/2)^2 cores,
+  // k/2 hosts per edge switch, every switch with exactly k ports, and
+  // 3k^3/4 links in total (k^3/4 per tier).
+  for (const int k : {2, 4, 6}) {
+    const Topology t = Topology::fat_tree(k);
+    const int half = k / 2;
+    EXPECT_EQ(t.num_switches, k * half + k * half + half * half) << "k=" << k;
+    EXPECT_EQ(t.num_hosts(), k * half * half) << "k=" << k;
+    EXPECT_EQ(t.links.size(),
+              static_cast<std::size_t>(3 * k * k * k / 4))
+        << "k=" << k;
+
+    // Port-per-switch census: a k-ary fat tree is k-regular over switches.
+    std::map<NodeId, int> ports_used;
+    for (const auto& l : t.links) {
+      if (t.is_switch(l.a)) ++ports_used[l.a];
+      if (t.is_switch(l.b)) ++ports_used[l.b];
+    }
+    for (NodeId sw = 0; sw < t.num_switches; ++sw) {
+      EXPECT_EQ(ports_used[sw], k) << "k=" << k << " switch " << sw;
+    }
+  }
+}
+
+TEST(ClosTopology, BisectionScalesWithCoreTier) {
+  // Cutting the fabric at the core tier severs exactly the agg-core links:
+  // P*C of them. Doubling the core count doubles the cut.
+  const ClosSpec narrow{2, 2, 2, 4, 1};
+  const ClosSpec wide{2, 2, 2, 8, 1};
+  auto core_cut = [](const ClosSpec& spec) {
+    const Topology t = Topology::clos(spec);
+    std::size_t cut = 0;
+    for (const auto& l : t.links) {
+      if (spec.is_core(l.a) || spec.is_core(l.b)) ++cut;
+    }
+    return cut;
+  };
+  EXPECT_EQ(core_cut(narrow), static_cast<std::size_t>(2 * 4));
+  EXPECT_EQ(core_cut(wide), static_cast<std::size_t>(2 * 8));
+}
+
+// ---------------------------------------------------------------------------
+// Wiring consistency.
+// ---------------------------------------------------------------------------
+
+TEST(ClosTopology, NoSelfLoopsAndUniquePorts) {
+  for (const ClosSpec spec :
+       {ClosSpec{2, 2, 2, 4, 1}, ClosSpec{3, 2, 2, 6, 2}}) {
+    const Topology t = Topology::clos(spec);
+    std::set<std::pair<NodeId, int>> endpoints;
+    for (const auto& l : t.links) {
+      EXPECT_NE(l.a, l.b);
+      EXPECT_TRUE(endpoints.insert({l.a, l.port_a}).second)
+          << "duplicate (node " << l.a << ", port " << l.port_a << ")";
+      EXPECT_TRUE(endpoints.insert({l.b, l.port_b}).second)
+          << "duplicate (node " << l.b << ", port " << l.port_b << ")";
+    }
+  }
+}
+
+TEST(ClosTopology, PortLayoutMatchesSpecArithmetic) {
+  const ClosSpec spec{2, 3, 2, 4, 2};
+  const Topology t = Topology::clos(spec);
+  // Leaf port a reaches pod agg a; leaf port A+h reaches local host h.
+  for (int p = 0; p < spec.pods; ++p) {
+    for (int l = 0; l < spec.leaves_per_pod; ++l) {
+      const NodeId leaf = spec.leaf_id(p, l);
+      for (int a = 0; a < spec.aggs_per_pod; ++a) {
+        const int li = t.link_at(leaf, a);
+        ASSERT_GE(li, 0);
+        const auto& link = t.links[static_cast<std::size_t>(li)];
+        EXPECT_EQ(link.a == leaf ? link.b : link.a, spec.agg_id(p, a));
+      }
+      const int g = p * spec.leaves_per_pod + l;
+      for (int h = 0; h < spec.hosts_per_leaf; ++h) {
+        const int li = t.link_at(leaf, spec.aggs_per_pod + h);
+        ASSERT_GE(li, 0);
+        const auto& link = t.links[static_cast<std::size_t>(li)];
+        EXPECT_EQ(link.a == leaf ? link.b : link.a, spec.host_id(g, h));
+      }
+    }
+  }
+  // Core c hangs off agg agg_of_core(c) in every pod, on core port p -> pod.
+  for (int c = 0; c < spec.cores; ++c) {
+    const NodeId core = spec.core_id(c);
+    for (int p = 0; p < spec.pods; ++p) {
+      const int li = t.link_at(core, p);
+      ASSERT_GE(li, 0);
+      const auto& link = t.links[static_cast<std::size_t>(li)];
+      EXPECT_EQ(link.a == core ? link.b : link.a,
+                spec.agg_id(p, spec.agg_of_core(c)));
+    }
+  }
+}
+
+TEST(ClosTopology, HostAddressingMatchesLeafSpineScheme) {
+  const ClosSpec spec{2, 2, 2, 4, 2};
+  const Topology t = Topology::clos(spec);
+  for (int g = 0; g < spec.num_leaves(); ++g) {
+    for (int h = 0; h < spec.hosts_per_leaf; ++h) {
+      const std::uint32_t addr = spec.host_addr(g, h);
+      EXPECT_EQ(addr, 0x0a000000u + (static_cast<std::uint32_t>(g) << 8) +
+                          static_cast<std::uint32_t>(h));
+      ASSERT_TRUE(t.dst_node.count(addr));
+      EXPECT_EQ(t.dst_node.at(addr), spec.host_id(g, h));
+      EXPECT_EQ(ClosSpec::leaf_of_addr(addr), g);
+      EXPECT_EQ(ClosSpec::host_of_addr(addr), h);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural routing vs the Dijkstra oracle.
+// ---------------------------------------------------------------------------
+
+/// Hops from `sw` to the host owning `addr`, following `next_port` at each
+/// switch. Returns -1 on a dead end or a walk longer than the fabric
+/// diameter allows (loop).
+int walk(const Topology& t, NodeId sw, std::uint32_t addr,
+         const std::function<int(NodeId)>& next_port) {
+  const NodeId target = t.dst_node.at(addr);
+  NodeId cur = sw;
+  for (int hops = 1; hops <= 8; ++hops) {
+    const int port = next_port(cur);
+    if (port < 0) return -1;
+    const int li = t.link_at(cur, port);
+    if (li < 0) return -1;
+    const auto& l = t.links[static_cast<std::size_t>(li)];
+    cur = l.a == cur ? l.b : l.a;
+    if (cur == target) return hops;
+    if (!t.is_switch(cur)) return -1;  // wrong host
+  }
+  return -1;
+}
+
+TEST(ClosTopology, NextHopPortMatchesDijkstraPathLengths) {
+  // Every (switch, host) pair of two small fabrics: the structural walk
+  // must terminate at the right host in exactly the Dijkstra shortest-path
+  // hop count (next_hop_port picks AMONG equal-cost first hops; path
+  // length is the ECMP-invariant the oracle can check).
+  for (const ClosSpec spec :
+       {ClosSpec{2, 2, 2, 4, 1}, ClosSpec{4, 2, 2, 4, 2} /* fat_tree(4) */}) {
+    const Topology t = Topology::clos(spec);
+    for (NodeId sw = 0; sw < t.num_switches; ++sw) {
+      const auto oracle = t.compute_routes_from(sw, {});
+      for (const auto& [addr, first_port] : oracle) {
+        ASSERT_GE(first_port, 0) << "oracle: unreachable " << addr;
+        // Oracle walk: compute_routes_from at every intermediate switch
+        // follows one shortest path (Dijkstra, deterministic ties).
+        const int want = walk(t, sw, addr, [&](NodeId cur) {
+          return t.compute_routes_from(cur, {}).at(addr);
+        });
+        const int got = walk(t, sw, addr, [&](NodeId cur) {
+          return spec.next_hop_port(cur, addr);
+        });
+        ASSERT_GT(want, 0);
+        EXPECT_EQ(got, want)
+            << "switch " << sw << " dst " << std::hex << addr;
+      }
+    }
+  }
+}
+
+TEST(ClosTopology, EcmpHashIsDeterministicAndSpreads) {
+  const ClosSpec spec{2, 2, 4, 8, 8};
+  // Same inputs, same answer (the bench installs routes from this).
+  EXPECT_EQ(spec.next_hop_port(0, spec.host_addr(3, 0)),
+            spec.next_hop_port(0, spec.host_addr(3, 0)));
+  // Across many destinations a leaf must use more than one of its 4
+  // uplinks (a constant hash would recreate the hash-polarization bug),
+  // and every chosen port must be a real uplink.
+  std::set<int> uplinks;
+  for (int g = 2; g < 4; ++g) {  // other-pod leaves only: uplink routes
+    for (int h = 0; h < spec.hosts_per_leaf; ++h) {
+      const int port = spec.next_hop_port(0, spec.host_addr(g, h));
+      EXPECT_GE(port, 0);
+      EXPECT_LT(port, spec.aggs_per_pod);
+      uplinks.insert(port);
+    }
+  }
+  EXPECT_GT(uplinks.size(), 1u);
+}
+
+TEST(ClosTopology, RejectsBadSpecs) {
+  EXPECT_THROW(Topology::clos(ClosSpec{0, 1, 1, 1, 1}), PreconditionError);
+  EXPECT_THROW(Topology::clos(ClosSpec{2, 2, 3, 4, 1}),
+               PreconditionError);  // C % A != 0
+  EXPECT_THROW(Topology::clos(ClosSpec{2, 2, 2, 4, 300}),
+               PreconditionError);  // H > 256 breaks addressing
+  EXPECT_THROW(Topology::fat_tree(3), PreconditionError);  // odd k
+  EXPECT_THROW(Topology::fat_tree(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mantis::net

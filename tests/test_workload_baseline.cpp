@@ -1,12 +1,19 @@
 // Tests for workload generators and estimation baselines.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <tuple>
+
 #include "baseline/count_min.hpp"
 #include "baseline/dp_hashtable.hpp"
 #include "baseline/legacy_controller.hpp"
 #include "baseline/sflow.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
 #include "p4r/sema.hpp"
 #include "sim/switch.hpp"
+#include "util/check.hpp"
+#include "workload/flow_classes.hpp"
 #include "workload/fluid_tcp.hpp"
 #include "workload/heartbeat.hpp"
 #include "workload/trace_gen.hpp"
@@ -208,6 +215,134 @@ TEST(FluidTcp, BacksOffUnderLoss) {
   flow.start(3 * kMillisecond);
   loop.run_until(3 * kMillisecond);
   EXPECT_LT(flow.rate_gbps(), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated Zipf flow classes
+// ---------------------------------------------------------------------------
+
+constexpr const char* kRouteOnlySrc = R"P4R(
+header_type ipv4_t {
+  fields { srcAddr : 32; dstAddr : 32; protocol : 8; }
+}
+header ipv4_t ipv4;
+action set_egress(port) { modify_field(standard_metadata.egress_spec, port); }
+table route {
+  reads { ipv4.dstAddr : exact; }
+  actions { set_egress; _drop; }
+  default_action : _drop;
+  size : 64;
+}
+control ingress { apply(route); }
+control egress { }
+)P4R";
+
+/// 2x2 leaf-spine with shortest-path routes installed on every switch.
+struct FlowClassFabric {
+  sim::EventLoop loop;
+  p4::Program prog;
+  std::unique_ptr<net::Fabric> fabric;
+
+  FlowClassFabric() {
+    prog = p4r::frontend(kRouteOnlySrc).prog;
+    net::FabricConfig fc;
+    fc.base_seed = 11;
+    fabric = std::make_unique<net::Fabric>(
+        loop, prog, net::Topology::leaf_spine(2, 2, 1), fc);
+    for (net::NodeId n = 0; n < fabric->num_switches(); ++n) {
+      for (const auto& [addr, port] :
+           fabric->topo().compute_routes_from(n, {})) {
+        p4::EntrySpec spec;
+        spec.key.push_back(p4::MatchValue{addr, ~std::uint64_t{0}});
+        spec.action = "set_egress";
+        spec.action_args = {static_cast<std::uint64_t>(port)};
+        fabric->switch_at(n).table("route").add_entry(spec);
+      }
+    }
+  }
+};
+
+TEST(FlowClasses, ZipfPartitionIsExactAndHeavyTailed) {
+  const auto parts = workload::FlowClasses::zipf_partition(1'000'000, 64, 1.1);
+  ASSERT_EQ(parts.size(), 64u);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    sum += parts[i];
+    if (i > 0) EXPECT_LE(parts[i], parts[i - 1]) << "class " << i;
+  }
+  EXPECT_EQ(sum, 1'000'000u);                  // exact partition
+  EXPECT_GT(parts[0], 10 * parts[63]);         // heavy tail
+  EXPECT_GT(parts[63], 0u);                    // no starved class
+  // Deterministic (the bench and tests rely on replayability).
+  EXPECT_EQ(parts, workload::FlowClasses::zipf_partition(1'000'000, 64, 1.1));
+  // Remainder handling: totals that don't divide cleanly still sum exactly.
+  const auto odd = workload::FlowClasses::zipf_partition(17, 5, 1.0);
+  std::uint64_t odd_sum = 0;
+  for (const auto v : odd) odd_sum += v;
+  EXPECT_EQ(odd_sum, 17u);
+}
+
+TEST(FlowClasses, EmitsCappedSamplesAndDeliversAll) {
+  FlowClassFabric f;
+  workload::FlowClassesConfig cfg;
+  cfg.total_flows = 100'000;  // huge aggregate rate: every epoch hits the cap
+  cfg.epoch = 10 * kMicrosecond;
+  cfg.max_samples_per_epoch = 4;
+  std::vector<workload::FlowClasses::Endpoint> eps = {
+      {0x0a000000u, 0x0a000100u},  // leaf0 host -> leaf1 host
+      {0x0a000100u, 0x0a000000u},
+  };
+  workload::FlowClasses flows(*f.fabric, cfg, eps);
+  EXPECT_EQ(flows.num_classes(), 2u);
+  EXPECT_EQ(flows.flows_in(0) + flows.flows_in(1), 100'000u);
+
+  const Time until = 100 * kMicrosecond;  // 10 epochs
+  flows.start(until);
+  // Drain past the horizon so in-flight samples land.
+  f.loop.run_until(until + 50 * kMicrosecond);
+
+  // The cap binds every epoch at this rate: 2 classes x 10 epochs x 4.
+  EXPECT_EQ(flows.samples_sent(), 80u);
+  // Lossless fabric: every sample delivered and attributed to its class.
+  EXPECT_EQ(flows.samples_delivered(), flows.samples_sent());
+  // AIMD kept rates inside the configured band, deterministically.
+  for (std::size_t c = 0; c < flows.num_classes(); ++c) {
+    EXPECT_GE(flows.rate_pps(c), cfg.min_rate_pps);
+    EXPECT_LE(flows.rate_pps(c), cfg.max_rate_pps);
+  }
+  EXPECT_GT(flows.aggregate_rate_pps(), 0.0);
+}
+
+TEST(FlowClasses, RunsAreReplayable) {
+  auto run = [] {
+    FlowClassFabric f;
+    workload::FlowClassesConfig cfg;
+    cfg.total_flows = 5'000;
+    cfg.epoch = 10 * kMicrosecond;
+    std::vector<workload::FlowClasses::Endpoint> eps = {
+        {0x0a000000u, 0x0a000100u},
+        {0x0a000100u, 0x0a000000u},
+    };
+    workload::FlowClasses flows(*f.fabric, cfg, eps);
+    flows.start(80 * kMicrosecond);
+    f.loop.run_until(120 * kMicrosecond);
+    return std::tuple(flows.samples_sent(), flows.samples_delivered(),
+                      flows.rate_pps(0), flows.rate_pps(1));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FlowClasses, RejectsEpochsBelowTheLookaheadContract) {
+  FlowClassFabric f;
+  workload::FlowClassesConfig cfg;
+  cfg.epoch = 1 * kMicrosecond;
+  std::vector<workload::FlowClasses::Endpoint> eps = {
+      {0x0a000000u, 0x0a000100u}};
+  workload::FlowClasses flows(*f.fabric, cfg, eps);
+  // The delivery-cell ring is only deterministic with epoch >= 2x the
+  // engine lookahead; a too-coarse lookahead must be rejected loudly.
+  EXPECT_THROW(flows.start(10 * kMicrosecond, /*engine_lookahead=*/600),
+               PreconditionError);
 }
 
 TEST(UdpFlood, SendsAtConfiguredRate) {
