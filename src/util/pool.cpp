@@ -42,6 +42,11 @@ std::atomic<std::uint64_t> g_recycled{0};
 std::atomic<std::uint64_t> g_overflow{0};
 std::atomic<std::uint64_t> g_oversize{0};
 
+/// Set by ~ThreadCache. Lives outside the cache and is trivially
+/// destructible, so late acquire/release/stats calls during thread
+/// teardown can test it without touching the destroyed cache object.
+thread_local bool g_cache_dead = false;
+
 /// Per-thread freelists + local counters. Destroyed at thread exit: frees
 /// every parked block (engine worker threads come and go per engine, so
 /// parked blocks must not outlive their thread) and flushes counters.
@@ -49,7 +54,6 @@ struct ThreadCache {
   void* items[kClasses][kFreelistCap];
   std::size_t count[kClasses] = {};
   PoolStats local;
-  bool alive = true;
 
   ~ThreadCache() {
     for (std::size_t c = 0; c < kClasses; ++c) {
@@ -64,7 +68,7 @@ struct ThreadCache {
     g_overflow.fetch_add(local.overflow, std::memory_order_relaxed);
     g_oversize.fetch_add(local.oversize, std::memory_order_relaxed);
     local = PoolStats{};
-    alive = false;
+    g_cache_dead = true;
   }
 };
 
@@ -78,18 +82,24 @@ ThreadCache& cache() {
 bool pooling_active() { return kPooling; }
 
 PoolStats stats() {
-  const ThreadCache& tc = cache();
   PoolStats s;
-  s.hits = g_hits.load(std::memory_order_relaxed) + tc.local.hits;
-  s.fresh = g_fresh.load(std::memory_order_relaxed) + tc.local.fresh;
-  s.recycled = g_recycled.load(std::memory_order_relaxed) + tc.local.recycled;
-  s.overflow = g_overflow.load(std::memory_order_relaxed) + tc.local.overflow;
-  s.oversize = g_oversize.load(std::memory_order_relaxed) + tc.local.oversize;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.fresh = g_fresh.load(std::memory_order_relaxed);
+  s.recycled = g_recycled.load(std::memory_order_relaxed);
+  s.overflow = g_overflow.load(std::memory_order_relaxed);
+  s.oversize = g_oversize.load(std::memory_order_relaxed);
+  if (g_cache_dead) return s;  // caller's cache already flushed to globals
+  const ThreadCache& tc = cache();
+  s.hits += tc.local.hits;
+  s.fresh += tc.local.fresh;
+  s.recycled += tc.local.recycled;
+  s.overflow += tc.local.overflow;
+  s.oversize += tc.local.oversize;
   return s;
 }
 
 void purge_thread_cache() noexcept {
-  if (!kPooling) return;
+  if (!kPooling || g_cache_dead) return;
   ThreadCache& tc = cache();
   for (std::size_t c = 0; c < kClasses; ++c) {
     for (std::size_t i = 0; i < tc.count[c]; ++i) {
@@ -101,8 +111,14 @@ void purge_thread_cache() noexcept {
 
 void* acquire(std::size_t bytes) {
   if (!kPooling || bytes > kMaxBlockBytes) {
-    if (kPooling) ++cache().local.oversize;
+    if (kPooling && !g_cache_dead) ++cache().local.oversize;
     return ::operator new(bytes < 1 ? 1 : bytes);
+  }
+  if (g_cache_dead) {
+    // Late acquire during thread teardown: no freelist, but still hand out
+    // a full size-class block — it may be released (and parked) on a
+    // still-live thread, where blocks are assumed class-sized.
+    return ::operator new(class_bytes(class_index(bytes)));
   }
   ThreadCache& tc = cache();
   const std::size_t c = class_index(bytes);
@@ -118,15 +134,11 @@ void* acquire(std::size_t bytes) {
 
 void release(void* p, std::size_t bytes) noexcept {
   if (p == nullptr) return;
-  if (!kPooling || bytes > kMaxBlockBytes) {
-    ::operator delete(p);
+  if (!kPooling || bytes > kMaxBlockBytes || g_cache_dead) {
+    ::operator delete(p);  // g_cache_dead: late release during teardown
     return;
   }
   ThreadCache& tc = cache();
-  if (!tc.alive) {  // late release during thread teardown
-    ::operator delete(p);
-    return;
-  }
   const std::size_t c = class_index(bytes);
   if (tc.count[c] < kFreelistCap) {
     ++tc.local.recycled;

@@ -85,6 +85,7 @@ class PoolAllocator {
   PoolAllocator(const PoolAllocator<U>&) noexcept {}
 
   T* allocate(std::size_t n) {
+    if (n > SIZE_MAX / sizeof(T)) throw std::bad_array_new_length();
     return static_cast<T*>(acquire(n * sizeof(T)));
   }
   void deallocate(T* p, std::size_t n) noexcept {

@@ -50,7 +50,15 @@ class SmallFn {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = &inline_ops<Fn>;
     } else {
-      void* block = pool::acquire(sizeof(Fn));
+      // pool::acquire only guarantees max_align_t alignment; over-aligned
+      // captures must take plain aligned new (heap_ops' destroy mirrors
+      // the choice).
+      void* block;
+      if constexpr (alignof(Fn) > alignof(std::max_align_t)) {
+        block = ::operator new(sizeof(Fn), std::align_val_t{alignof(Fn)});
+      } else {
+        block = pool::acquire(sizeof(Fn));
+      }
       ::new (block) Fn(std::forward<F>(f));
       *reinterpret_cast<void**>(buf_) = block;
       ops_ = &heap_ops<Fn>;
@@ -120,7 +128,11 @@ class SmallFn {
       [](void* s) noexcept {
         Fn* fn = static_cast<Fn*>(*reinterpret_cast<void**>(s));
         fn->~Fn();
-        pool::release(fn, sizeof(Fn));
+        if constexpr (alignof(Fn) > alignof(std::max_align_t)) {
+          ::operator delete(fn, std::align_val_t{alignof(Fn)});
+        } else {
+          pool::release(fn, sizeof(Fn));
+        }
       },
   };
 

@@ -74,6 +74,14 @@ double FlowClasses::aggregate_rate_pps() const {
   return sum;
 }
 
+std::uint64_t FlowClasses::samples_sent() const {
+  std::uint64_t sum = 0;
+  for (const auto& cs : classes_) {
+    sum += cs.sent_total;
+  }
+  return sum;
+}
+
 std::uint64_t FlowClasses::samples_delivered() const {
   std::uint64_t sum = 0;
   for (const auto& cs : classes_) {
@@ -128,7 +136,7 @@ void FlowClasses::send_sample(std::size_t c) {
   pkt.set(f_src_, kClassAddrBase + static_cast<std::uint32_t>(c), 32);
   pkt.set(f_dst_, cs.ep.dst_addr, 32);
   fabric_->host_for(cs.ep.src_addr).send(std::move(pkt));
-  ++samples_sent_;
+  ++cs.sent_total;
 }
 
 void FlowClasses::on_host_receive(const sim::Packet& pkt, Time now) {

@@ -91,7 +91,7 @@ class FlowClasses {
   double rate_pps(std::size_t c) const { return classes_[c].rate_pps; }
   /// Modeled aggregate offered rate over all classes, packets/sec.
   double aggregate_rate_pps() const;
-  std::uint64_t samples_sent() const { return samples_sent_; }
+  std::uint64_t samples_sent() const;
   /// Cumulative sample deliveries over the whole run (the AIMD ring cells
   /// reset as epochs retire; this counter never does).
   std::uint64_t samples_delivered() const;
@@ -104,6 +104,9 @@ class FlowClasses {
     double rate_pps = 0;  ///< per-flow; aggregate = rate_pps * flows
     /// Samples emitted, per epoch ring slot (src-shard-only, plain).
     std::array<std::uint32_t, 4> sent{};
+    /// Cumulative samples emitted (src-shard-only like sent[], so plain;
+    /// samples_sent() sums across classes after the run quiesces).
+    std::uint64_t sent_total = 0;
     /// Sample deliveries by arrival epoch (cross-shard, see file comment).
     std::array<std::atomic<std::uint64_t>, 4> delivered{};
     /// Cumulative deliveries (never reset; order-independent, so the sum
@@ -122,7 +125,6 @@ class FlowClasses {
   /// deque constructs elements in place without ever relocating them.
   std::deque<ClassState> classes_;
   Time start_time_ = 0;
-  std::uint64_t samples_sent_ = 0;
   p4::FieldId f_src_ = p4::kInvalidField;
   p4::FieldId f_dst_ = p4::kInvalidField;
 };
